@@ -1,0 +1,28 @@
+//! Criterion: BCC engines — the kernel-level view of the paper's Table 2.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pasgal_core::bcc::{bcc_bfs_based, bcc_fast, bcc_hopcroft_tarjan, bcc_tarjan_vishkin};
+use pasgal_graph::gen::suite::{by_name, SuiteScale};
+
+fn bench_graph(c: &mut Criterion, name: &str) {
+    let g = by_name(name).unwrap().build_symmetric(SuiteScale::Tiny);
+    let mut grp = c.benchmark_group(format!("bcc/{name}"));
+    grp.sample_size(10);
+    grp.bench_function("hopcroft_tarjan_seq", |b| {
+        b.iter(|| black_box(bcc_hopcroft_tarjan(&g)))
+    });
+    grp.bench_function("pasgal_fast_bcc", |b| b.iter(|| black_box(bcc_fast(&g))));
+    grp.bench_function("tarjan_vishkin", |b| {
+        b.iter(|| black_box(bcc_tarjan_vishkin(&g)))
+    });
+    grp.bench_function("bfs_tree_gbbs", |b| b.iter(|| black_box(bcc_bfs_based(&g))));
+    grp.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_graph(c, "OK");
+    bench_graph(c, "BBL");
+}
+
+criterion_group!(bcc_benches, benches);
+criterion_main!(bcc_benches);

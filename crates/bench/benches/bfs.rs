@@ -1,0 +1,32 @@
+//! Criterion: BFS engines on one low-diameter and one large-diameter
+//! suite graph — the kernel-level view of the paper's Table 4.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pasgal_core::bfs::flat::{bfs_flat, DirOptConfig};
+use pasgal_core::bfs::gap::bfs_gap;
+use pasgal_core::bfs::seq::bfs_seq;
+use pasgal_core::bfs::vgc::bfs_vgc;
+use pasgal_core::common::VgcConfig;
+use pasgal_graph::gen::suite::{by_name, SuiteScale};
+
+fn bench_graph(c: &mut Criterion, name: &str) {
+    let g = by_name(name).unwrap().build_symmetric(SuiteScale::Tiny);
+    let mut grp = c.benchmark_group(format!("bfs/{name}"));
+    grp.bench_function("seq_queue", |b| b.iter(|| black_box(bfs_seq(&g, 0))));
+    grp.bench_function("flat_gbbs", |b| {
+        b.iter(|| black_box(bfs_flat(&g, 0, None, &DirOptConfig::default())))
+    });
+    grp.bench_function("gapbs", |b| b.iter(|| black_box(bfs_gap(&g, 0, None))));
+    grp.bench_function("pasgal_vgc", |b| {
+        b.iter(|| black_box(bfs_vgc(&g, 0, &VgcConfig::default())))
+    });
+    grp.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_graph(c, "LJ"); // low diameter (social)
+    bench_graph(c, "AF"); // large diameter (road)
+}
+
+criterion_group!(bfs_benches, benches);
+criterion_main!(bfs_benches);

@@ -1,0 +1,44 @@
+//! Criterion microbenchmarks: the parallel-primitive substrate
+//! (scan, pack, counting sort) that every algorithm is built on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pasgal_parlay::{pack, scan, sort};
+
+fn bench_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan_exclusive");
+    for n in [1 << 12, 1 << 16, 1 << 20] {
+        let xs: Vec<u64> = (0..n as u64).map(|i| i % 7).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("n={n}"), |b| {
+            b.iter(|| scan::scan_exclusive(black_box(&xs)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pack_filter");
+    for n in [1 << 12, 1 << 18] {
+        let xs: Vec<u64> = (0..n as u64).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("n={n}"), |b| {
+            b.iter(|| pack::filter(black_box(&xs), |&x| x % 3 == 0))
+        });
+    }
+    g.finish();
+}
+
+fn bench_counting_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("counting_sort");
+    for n in [1 << 14, 1 << 18] {
+        let xs: Vec<u32> = (0..n as u32).map(|i| (i * 2654435761) % 1024).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("n={n}_buckets=1024"), |b| {
+            b.iter(|| sort::counting_sort_by_key(black_box(&xs), 1024, |&x| x as usize))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scan, bench_pack, bench_counting_sort);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion: SCC engines on one low-diameter and one large-diameter
+//! directed suite graph — the kernel-level view of the paper's Table 3.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pasgal_core::common::VgcConfig;
+use pasgal_core::scc::{scc_bfs_based, scc_multistep, scc_tarjan, scc_vgc};
+use pasgal_graph::gen::suite::{by_name, SuiteScale};
+
+fn bench_graph(c: &mut Criterion, name: &str) {
+    let g = by_name(name).unwrap().build(SuiteScale::Tiny);
+    let mut grp = c.benchmark_group(format!("scc/{name}"));
+    grp.sample_size(10);
+    grp.bench_function("tarjan_seq", |b| b.iter(|| black_box(scc_tarjan(&g))));
+    grp.bench_function("pasgal_vgc", |b| {
+        b.iter(|| black_box(scc_vgc(&g, &VgcConfig::default())))
+    });
+    grp.bench_function("bfs_reach_gbbs", |b| b.iter(|| black_box(scc_bfs_based(&g))));
+    grp.bench_function("multistep", |b| {
+        b.iter(|| black_box(scc_multistep(&g).unwrap()))
+    });
+    grp.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_graph(c, "LJ");
+    bench_graph(c, "REC");
+}
+
+criterion_group!(scc_benches, benches);
+criterion_main!(scc_benches);

@@ -1,0 +1,38 @@
+//! Criterion: SSSP engines — kernel-level view of the §2.2 evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pasgal_core::sssp::stepping::RhoConfig;
+use pasgal_core::sssp::{
+    sssp_bellman_ford, sssp_delta_stepping, sssp_dijkstra, sssp_rho_stepping,
+};
+use pasgal_graph::gen::suite::{by_name, SuiteScale};
+use pasgal_graph::gen::with_random_weights;
+
+fn bench_graph(c: &mut Criterion, name: &str) {
+    let g = with_random_weights(
+        &by_name(name).unwrap().build_symmetric(SuiteScale::Tiny),
+        2024,
+        1 << 12,
+    );
+    let mut grp = c.benchmark_group(format!("sssp/{name}"));
+    grp.sample_size(10);
+    grp.bench_function("dijkstra_seq", |b| b.iter(|| black_box(sssp_dijkstra(&g, 0))));
+    grp.bench_function("bellman_ford", |b| {
+        b.iter(|| black_box(sssp_bellman_ford(&g, 0)))
+    });
+    grp.bench_function("delta_stepping", |b| {
+        b.iter(|| black_box(sssp_delta_stepping(&g, 0, 1 << 10)))
+    });
+    grp.bench_function("pasgal_rho_stepping", |b| {
+        b.iter(|| black_box(sssp_rho_stepping(&g, 0, &RhoConfig::default())))
+    });
+    grp.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_graph(c, "TW");
+    bench_graph(c, "NA");
+}
+
+criterion_group!(sssp_benches, benches);
+criterion_main!(sssp_benches);

@@ -1,0 +1,62 @@
+//! Criterion: the BFS-free substrate kernels — union-find connectivity,
+//! spanning forest, Euler tour + list ranking, subtree aggregates, and
+//! k-core peeling. These are what give FAST-BCC its constant round count.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pasgal_collections::union_find::ConcurrentUnionFind;
+use pasgal_core::bcc::euler::euler_tour;
+use pasgal_core::cc::{connectivity, spanning_forest};
+use pasgal_core::kcore::{kcore_peel, kcore_seq};
+use pasgal_graph::gen::suite::{by_name, SuiteScale};
+use pasgal_parlay::gran::par_for;
+
+fn bench_union_find(c: &mut Criterion) {
+    let g = by_name("AF").unwrap().build_symmetric(SuiteScale::Tiny);
+    let n = g.num_vertices();
+    let mut grp = c.benchmark_group("substrate/union_find");
+    grp.bench_function("connectivity_road", |b| {
+        b.iter(|| black_box(connectivity(&g)))
+    });
+    grp.bench_function("raw_unite_chain", |b| {
+        b.iter(|| {
+            let uf = ConcurrentUnionFind::new(n);
+            par_for(n - 1, 512, |i| {
+                uf.unite(i as u32, (i + 1) as u32);
+            });
+            black_box(uf.count_sets())
+        })
+    });
+    grp.finish();
+}
+
+fn bench_euler(c: &mut Criterion) {
+    let g = by_name("BBL").unwrap().build_symmetric(SuiteScale::Tiny);
+    let n = g.num_vertices();
+    let forest = spanning_forest(&g);
+    let mut grp = c.benchmark_group("substrate/euler");
+    grp.sample_size(20);
+    grp.bench_function("spanning_forest", |b| {
+        b.iter(|| black_box(spanning_forest(&g)))
+    });
+    grp.bench_function("tour_and_list_ranking", |b| {
+        b.iter(|| black_box(euler_tour(n, &forest.edges, &forest.labels)))
+    });
+    let tour = euler_tour(n, &forest.edges, &forest.labels);
+    let vals: Vec<u32> = (0..n as u32).collect();
+    grp.bench_function("subtree_min_sparse_table", |b| {
+        b.iter(|| black_box(tour.subtree_min(&vals)))
+    });
+    grp.finish();
+}
+
+fn bench_kcore(c: &mut Criterion) {
+    let g = by_name("OK").unwrap().build_symmetric(SuiteScale::Tiny);
+    let mut grp = c.benchmark_group("substrate/kcore");
+    grp.sample_size(20);
+    grp.bench_function("bz_sequential", |b| b.iter(|| black_box(kcore_seq(&g))));
+    grp.bench_function("vgc_peeling", |b| b.iter(|| black_box(kcore_peel(&g, 512))));
+    grp.finish();
+}
+
+criterion_group!(benches, bench_union_find, bench_euler, bench_kcore);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Regenerates the SSSP parameter ablation (Ablation C); see DESIGN.md §4.
+//!
+//! Scale via `PASGAL_SCALE=tiny|small|full` (default: small).
+
+fn main() {
+    let scale = pasgal_bench::scale_from_env();
+    println!("{}", pasgal_bench::experiments::ablation_sssp_params(scale));
+}

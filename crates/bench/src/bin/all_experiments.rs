@@ -1,0 +1,45 @@
+//! Runs every experiment of the reproduction and prints one combined
+//! report (the content recorded in `EXPERIMENTS.md`).
+//!
+//! ```text
+//! PASGAL_SCALE=small cargo run --release -p pasgal-bench --bin all_experiments
+//! ```
+
+use pasgal_bench::experiments;
+use std::time::Instant;
+
+fn main() {
+    let scale = pasgal_bench::scale_from_env();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!("# PASGAL-rs — full experiment run");
+    println!();
+    println!(
+        "scale = {scale:?}, worker threads = {threads}, host = {} cores",
+        threads
+    );
+    println!();
+
+    let t0 = Instant::now();
+    for (name, f) in [
+        (
+            "Table 1",
+            Box::new(experiments::table1_graphs) as Box<dyn Fn(_) -> String>,
+        ),
+        ("Fig. 1", Box::new(experiments::fig1_scc_scaling)),
+        ("Fig. 2", Box::new(experiments::fig2_speedup)),
+        ("Table BCC", Box::new(experiments::table_bcc)),
+        ("Table SCC", Box::new(experiments::table_scc)),
+        ("Table BFS", Box::new(experiments::table_bfs)),
+        ("Table SSSP", Box::new(experiments::table_sssp)),
+        ("Ablation A (τ)", Box::new(experiments::ablation_vgc)),
+        ("Ablation B (hash bag)", Box::new(experiments::ablation_hashbag)),
+        ("Ablation C (SSSP params)", Box::new(experiments::ablation_sssp_params)),
+    ] {
+        let t = Instant::now();
+        println!("{}", f(scale));
+        eprintln!("[{name} done in {:.1?}]", t.elapsed());
+    }
+    eprintln!("[all experiments done in {:.1?}]", t0.elapsed());
+}

@@ -1,0 +1,9 @@
+//! Regenerates one paper artifact; see `pasgal-bench` crate docs and
+//! DESIGN.md §4 for the experiment index.
+//!
+//! Scale via `PASGAL_SCALE=tiny|small|full` (default: small).
+
+fn main() {
+    let scale = pasgal_bench::scale_from_env();
+    println!("{}", pasgal_bench::experiments::table_bfs(scale));
+}

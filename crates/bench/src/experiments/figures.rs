@@ -1,0 +1,181 @@
+//! Fig. 1 (SCC speedup vs #processors) and Fig. 2 (speedup over the
+//! sequential baseline for SCC/BCC/BFS on every graph).
+
+use crate::report::{fmt_speedup, Table};
+use crate::runner::measure;
+use pasgal_core::bcc::{bcc_bfs_based, bcc_fast, bcc_hopcroft_tarjan, bcc_tarjan_vishkin};
+use pasgal_core::bfs::flat::{bfs_flat, DirOptConfig};
+use pasgal_core::bfs::gap::bfs_gap;
+use pasgal_core::bfs::seq::bfs_seq;
+use pasgal_core::bfs::vgc::bfs_vgc_dir;
+use pasgal_core::common::VgcConfig;
+use pasgal_core::scc::{scc_bfs_based, scc_multistep, scc_tarjan, scc_vgc};
+use pasgal_graph::gen::suite::{by_name, SuiteScale, SUITE};
+use pasgal_graph::transform::transpose;
+
+/// Fig. 1: SCC speedup over sequential Tarjan as thread count grows, on
+/// two low-diameter and two large-diameter graphs (the paper's panel
+/// layout). Thread counts sweep powers of two up to the machine's
+/// parallelism.
+pub fn fig1_scc_scaling(scale: SuiteScale) -> String {
+    let max_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut threads = vec![1usize];
+    while *threads.last().unwrap() * 2 <= max_threads {
+        let next = threads.last().unwrap() * 2;
+        threads.push(next);
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Fig. 1 — SCC speedup over sequential Tarjan vs #threads \
+         (machine parallelism: {max_threads})\n\n"
+    ));
+    for name in ["LJ", "SD", "AF", "REC"] {
+        let entry = by_name(name).expect("suite entry");
+        let g = entry.build(scale);
+        let seq = measure(|| {
+            let r = scc_tarjan(&g);
+            ((), r.stats)
+        });
+        let mut t = Table::new(
+            format!(
+                "{name} ({}) — n = {}, m = {}",
+                if entry.category.is_low_diameter() {
+                    "low-diameter"
+                } else {
+                    "large-diameter"
+                },
+                g.num_vertices(),
+                g.num_edges()
+            ),
+            &["threads", "PASGAL", "GBBS-style", "Multistep"],
+        );
+        for &p in &threads {
+            let (vgc, bfs, ms) = pasgal_parlay::with_threads(p, || {
+                let vgc = measure(|| {
+                    let r = scc_vgc(&g, &VgcConfig::default());
+                    ((), r.stats)
+                });
+                let bfs = measure(|| {
+                    let r = scc_bfs_based(&g);
+                    ((), r.stats)
+                });
+                let ms = measure(|| {
+                    let r = scc_multistep(&g).expect("32-bit ok");
+                    ((), r.stats)
+                });
+                (vgc, bfs, ms)
+            });
+            t.row(&[
+                p.to_string(),
+                fmt_speedup(seq.secs() / vgc.secs().max(1e-12)),
+                fmt_speedup(seq.secs() / bfs.secs().max(1e-12)),
+                fmt_speedup(seq.secs() / ms.secs().max(1e-12)),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Fig. 2: speedup of every parallel implementation over the sequential
+/// baseline, per problem, on every suite graph. Values < 1 mean *slower
+/// than sequential* — the paper's headline observation for the baselines
+/// on large-diameter graphs.
+pub fn fig2_speedup(scale: SuiteScale) -> String {
+    let mut out = String::new();
+
+    // ---- SCC panel -------------------------------------------------------
+    let mut t = Table::new(
+        "Fig. 2 / SCC — speedup over sequential Tarjan (<1 = slower than sequential)",
+        &["graph", "PASGAL", "GBBS-style", "Multistep"],
+    );
+    for entry in SUITE.iter().filter(|e| e.directed) {
+        let g = entry.build(scale);
+        let seq = measure(|| ((), scc_tarjan(&g).stats));
+        let vgc = measure(|| ((), scc_vgc(&g, &VgcConfig::default()).stats));
+        let bfs = measure(|| ((), scc_bfs_based(&g).stats));
+        let ms = measure(|| ((), scc_multistep(&g).expect("32-bit ok").stats));
+        t.row(&[
+            entry.name.into(),
+            fmt_speedup(seq.secs() / vgc.secs().max(1e-12)),
+            fmt_speedup(seq.secs() / bfs.secs().max(1e-12)),
+            fmt_speedup(seq.secs() / ms.secs().max(1e-12)),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // ---- BCC panel -------------------------------------------------------
+    let mut t = Table::new(
+        "Fig. 2 / BCC — speedup over sequential Hopcroft-Tarjan",
+        &["graph", "PASGAL", "GBBS-style", "Tarjan-Vishkin"],
+    );
+    for entry in SUITE {
+        let g = entry.build_symmetric(scale);
+        let seq = measure(|| ((), bcc_hopcroft_tarjan(&g).stats));
+        let fast = measure(|| ((), bcc_fast(&g).stats));
+        let bfs = measure(|| ((), bcc_bfs_based(&g).stats));
+        let tv = measure(|| ((), bcc_tarjan_vishkin(&g).stats));
+        t.row(&[
+            entry.name.into(),
+            fmt_speedup(seq.secs() / fast.secs().max(1e-12)),
+            fmt_speedup(seq.secs() / bfs.secs().max(1e-12)),
+            fmt_speedup(seq.secs() / tv.secs().max(1e-12)),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // ---- BFS panel -------------------------------------------------------
+    let mut t = Table::new(
+        "Fig. 2 / BFS — speedup over the sequential queue BFS",
+        &["graph", "PASGAL", "GBBS-style", "GAPBS-style"],
+    );
+    for entry in SUITE {
+        let g = entry.build(scale);
+        let tp = if g.is_symmetric() {
+            None
+        } else {
+            Some(transpose(&g))
+        };
+        let seq = measure(|| ((), bfs_seq(&g, 0).stats));
+        let vgc = measure(|| {
+            (
+                (),
+                bfs_vgc_dir(&g, 0, tp.as_ref(), &VgcConfig::default()).stats,
+            )
+        });
+        let flat = measure(|| {
+            (
+                (),
+                bfs_flat(&g, 0, tp.as_ref(), &DirOptConfig::default()).stats,
+            )
+        });
+        let gap = measure(|| ((), bfs_gap(&g, 0, tp.as_ref()).stats));
+        t.row(&[
+            entry.name.into(),
+            fmt_speedup(seq.secs() / vgc.secs().max(1e-12)),
+            fmt_speedup(seq.secs() / flat.secs().max(1e-12)),
+            fmt_speedup(seq.secs() / gap.secs().max(1e-12)),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_runs_at_tiny_scale() {
+        let s = fig1_scc_scaling(SuiteScale::Tiny);
+        assert!(s.contains("LJ"));
+        assert!(s.contains("REC"));
+        assert!(s.contains("threads"));
+    }
+}

@@ -1,0 +1,10 @@
+//! The experiment implementations behind every binary. Keeping them in
+//! the library makes them unit-testable; the binaries are thin wrappers.
+
+pub mod ablations;
+pub mod figures;
+pub mod tables;
+
+pub use ablations::{ablation_hashbag, ablation_sssp_params, ablation_vgc};
+pub use figures::{fig1_scc_scaling, fig2_speedup};
+pub use tables::{table1_graphs, table_bcc, table_bfs, table_scc, table_sssp};

@@ -1,0 +1,30 @@
+//! # pasgal-bench
+//!
+//! Experiment harness regenerating every figure and table of the PASGAL
+//! brief announcement (see `DESIGN.md` §4 for the experiment index and
+//! `EXPERIMENTS.md` for recorded results):
+//!
+//! | binary | paper artifact |
+//! |--------|----------------|
+//! | `fig1_scc_scaling` | Fig. 1 — SCC speedup vs #processors |
+//! | `fig2_speedup` | Fig. 2 — speedup bars over sequential, all problems |
+//! | `table1_graphs` | Table 1 + appendix Table 5 — graph statistics |
+//! | `table_bcc` | appendix Table — BCC running times + geo-means |
+//! | `table_scc` | appendix Table — SCC running times + geo-means |
+//! | `table_bfs` | appendix Table — BFS running times + geo-means |
+//! | `table_sssp` | §2.2 SSSP evaluation (no table in the BA) |
+//! | `ablation_vgc` | τ sweep (the paper calls τ "a tunable parameter") |
+//! | `ablation_hashbag` | hash bag vs flat-vector frontiers |
+//! | `ablation_sssp` | Δ and (ρ, τ) parameter sweeps |
+//! | `all_experiments` | run everything, emit a combined report |
+//!
+//! The library part holds the shared machinery: wall-clock measurement
+//! with warmup, geometric means, fixed-width table rendering, and the
+//! suite/scale selection shared by all binaries.
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use report::{geo_mean, Table};
+pub use runner::{measure, measure_with, scale_from_env, Measurement};

@@ -1,0 +1,134 @@
+//! Report rendering: fixed-width tables and the per-category geometric
+//! means the paper's appendix tables end with.
+
+/// Geometric mean of positive values; 0 for an empty slice.
+pub fn geo_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = xs.iter().map(|&x| x.max(1e-12).ln()).sum();
+    (s / xs.len() as f64).exp()
+}
+
+/// A fixed-width text table (the experiment binaries print these; the
+/// harness pastes them into `EXPERIMENTS.md`).
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: String,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            title: title.into(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Append a separator-like row of dashes.
+    pub fn rule(&mut self) {
+        self.rows.push(vec!["—".to_string(); self.header.len()]);
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {c:>w$} |", w = w));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Format a duration in seconds with adaptive precision (like the paper's
+/// tables: `0.112`, `3.16`, `129.8`).
+pub fn fmt_secs(s: f64) -> String {
+    if s < 0.0005 {
+        format!("{:.2}ms", s * 1e3)
+    } else if s < 1.0 {
+        format!("{s:.3}")
+    } else if s < 100.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{s:.1}")
+    }
+}
+
+/// Format a speedup ratio.
+pub fn fmt_speedup(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_mean_basics() {
+        assert_eq!(geo_mean(&[]), 0.0);
+        assert!((geo_mean(&[4.0]) - 4.0).abs() < 1e-9);
+        assert!((geo_mean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert!((geo_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["graph", "time"]);
+        t.row(&["LJ".into(), "0.1".into()]);
+        t.row(&["HL12".into(), "129.8".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("| graph |"));
+        assert!(s.contains("|  HL12 | 129.8 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn table_rejects_arity_mismatch() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_secs_adapts() {
+        assert_eq!(fmt_secs(0.0001), "0.10ms");
+        assert_eq!(fmt_secs(0.112), "0.112");
+        assert_eq!(fmt_secs(3.157), "3.16");
+        assert_eq!(fmt_secs(129.84), "129.8");
+    }
+}

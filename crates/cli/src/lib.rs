@@ -1,0 +1,408 @@
+//! Argument parsing and command dispatch for the `pasgal` command-line
+//! tool (kept in a library so it is unit-testable; `main.rs` is a shim).
+//!
+//! ```text
+//! pasgal <command> <graph-file> [options]
+//!
+//! commands:
+//!   bfs        hop distances from --src (default 0)
+//!   sssp       shortest paths from --src (weights from file, else unit)
+//!   scc        strongly connected components
+//!   bcc        biconnected components (input is symmetrized if needed)
+//!   cc         connected components
+//!   kcore      coreness of every vertex
+//!   ptp        point-to-point distance --src → --dst
+//!   stats      graph statistics (the Table-1 row)
+//!   gen        generate a suite graph: pasgal gen <NAME> <out-file>
+//!
+//! options:
+//!   --algo <name>     implementation to use (default: the PASGAL one;
+//!                     see --help output per command for alternatives)
+//!   --src N --dst N   source/target vertex
+//!   --tau N           VGC budget (default 512)
+//!   --threads N       rayon worker threads (default: all)
+//!   --scale tiny|small|full   for `gen` (default small)
+//! ```
+//!
+//! Graph format is chosen by extension: `.adj` (PBBS text), `.bin`
+//! (binary CSR), anything else is read as an edge list.
+
+use pasgal_core::common::VgcConfig;
+use pasgal_graph::csr::Graph;
+use pasgal_graph::io;
+use std::collections::HashMap;
+use std::path::Path;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// Subcommand name.
+    pub command: String,
+    /// Positional arguments after the command.
+    pub positional: Vec<String>,
+    /// `--key value` options.
+    pub options: HashMap<String, String>,
+}
+
+/// Errors surfaced to the user with a usage hint.
+#[derive(Debug, PartialEq)]
+pub struct UsageError(pub String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl std::error::Error for UsageError {}
+
+/// Parse raw arguments (excluding argv[0]).
+pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
+    let mut it = args.iter().peekable();
+    let command = it
+        .next()
+        .ok_or_else(|| UsageError("missing command".into()))?
+        .clone();
+    let mut positional = Vec::new();
+    let mut options = HashMap::new();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let val = it
+                .next()
+                .ok_or_else(|| UsageError(format!("option --{key} needs a value")))?;
+            options.insert(key.to_string(), val.clone());
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok(Cli {
+        command,
+        positional,
+        options,
+    })
+}
+
+impl Cli {
+    /// Numeric option with a default.
+    pub fn num(&self, key: &str, default: u64) -> Result<u64, UsageError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|_| UsageError(format!("--{key} expects a number, got {s:?}"))),
+        }
+    }
+
+    /// String option with a default.
+    pub fn opt<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(|s| s.as_str()).unwrap_or(default)
+    }
+}
+
+/// Load a graph by file extension.
+pub fn load_graph(path: &str) -> Result<Graph, String> {
+    let p = Path::new(path);
+    let ext = p.extension().and_then(|e| e.to_str()).unwrap_or("");
+    let res = match ext {
+        "adj" => io::read_adj(p),
+        "bin" => io::read_bin(p),
+        _ => io::read_edge_list(p),
+    };
+    res.map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+/// Run a parsed command against a loaded graph world. Returns the text to
+/// print. Separated from IO for testability.
+pub fn run(cli: &Cli) -> Result<String, String> {
+    use pasgal_core::{bcc, bfs, cc, kcore, scc, sssp};
+    use pasgal_graph::transform::symmetrize;
+
+    let usage_err = |m: &str| Err(m.to_string());
+    match cli.command.as_str() {
+        "gen" => {
+            let [name, out] = cli.positional.as_slice() else {
+                return usage_err("usage: pasgal gen <SUITE-NAME> <out-file> [--scale s]");
+            };
+            let entry = pasgal_graph::gen::suite::by_name(name)
+                .ok_or_else(|| format!("unknown suite graph {name:?}"))?;
+            let scale = match cli.opt("scale", "small") {
+                "tiny" => pasgal_graph::gen::suite::SuiteScale::Tiny,
+                "full" => pasgal_graph::gen::suite::SuiteScale::Full,
+                _ => pasgal_graph::gen::suite::SuiteScale::Small,
+            };
+            let g = entry.build(scale);
+            let write = if out.ends_with(".adj") {
+                io::write_adj(&g, out)
+            } else if out.ends_with(".bin") {
+                io::write_bin(&g, out)
+            } else {
+                io::write_edge_list(&g, out)
+            };
+            write.map_err(|e| format!("cannot write {out}: {e}"))?;
+            return Ok(format!(
+                "wrote {} (n = {}, m = {})",
+                out,
+                g.num_vertices(),
+                g.num_edges()
+            ));
+        }
+        "stats" | "bfs" | "sssp" | "scc" | "bcc" | "cc" | "kcore" | "ptp" | "validate" => {}
+        other => return usage_err(&format!("unknown command {other:?}")),
+    }
+
+    let [file] = cli.positional.as_slice() else {
+        return usage_err("usage: pasgal <command> <graph-file> [options]");
+    };
+    let g = load_graph(file)?;
+    let n = g.num_vertices();
+    if n == 0 {
+        return usage_err("graph is empty");
+    }
+    let tau = cli.num("tau", 512).map_err(|e| e.to_string())? as usize;
+    let cfg = VgcConfig::with_tau(tau);
+    let src = cli.num("src", 0).map_err(|e| e.to_string())? as u32;
+    if (src as usize) >= n {
+        return usage_err(&format!("--src {src} out of range (n = {n})"));
+    }
+    let algo = cli.opt("algo", "pasgal").to_string();
+
+    let out = match cli.command.as_str() {
+        "validate" => {
+            let vs = pasgal_graph::validate::validate(
+                &g,
+                &pasgal_graph::validate::ValidateOptions::default(),
+            );
+            if vs.is_empty() {
+                "graph is structurally valid".to_string()
+            } else {
+                let mut s = format!("{} violations:\n", vs.len());
+                for v in &vs {
+                    s.push_str(&format!("  {v}\n"));
+                }
+                return Err(s);
+            }
+        }
+        "stats" => {
+            let info = pasgal_graph::stats::graph_info(&g, 16, 1);
+            let d = pasgal_graph::stats::degree_stats(&g);
+            format!(
+                "n = {}\nm' = {:?}\nm = {}\nD' ≥ {:?}\nD ≥ {}\ndegrees: min {} avg {:.2} max {}",
+                info.n,
+                info.m_directed,
+                info.m_symmetric,
+                info.diam_directed,
+                info.diam_symmetric,
+                d.min,
+                d.avg,
+                d.max
+            )
+        }
+        "bfs" => {
+            let r = match algo.as_str() {
+                "seq" => bfs::seq::bfs_seq(&g, src),
+                "flat" | "gbbs" => {
+                    bfs::flat::bfs_flat(&g, src, None, &bfs::flat::DirOptConfig::default())
+                }
+                "gap" | "gapbs" => bfs::gap::bfs_gap(&g, src, None),
+                _ => bfs::vgc::bfs_vgc(&g, src, &cfg),
+            };
+            let reached = r.dist.iter().filter(|&&d| d != u32::MAX).count();
+            let ecc = r.dist.iter().filter(|&&d| d != u32::MAX).max().unwrap();
+            format!(
+                "bfs from {src}: reached {reached}/{n}, eccentricity {ecc}, rounds {}",
+                r.stats.rounds
+            )
+        }
+        "sssp" => {
+            let r = match algo.as_str() {
+                "seq" | "dijkstra" => sssp::sssp_dijkstra(&g, src),
+                "delta" => sssp::sssp_delta_stepping(&g, src, cli.num("delta", 1024).map_err(|e| e.to_string())?),
+                "bf" | "bellman-ford" => sssp::sssp_bellman_ford(&g, src),
+                _ => sssp::sssp_rho_stepping(&g, src, &sssp::stepping::RhoConfig::default()),
+            };
+            let reached = r.dist.iter().filter(|&&d| d != u64::MAX).count();
+            let far = r.dist.iter().filter(|&&d| d != u64::MAX).max().unwrap();
+            format!(
+                "sssp from {src}: reached {reached}/{n}, max distance {far}, rounds {}",
+                r.stats.rounds
+            )
+        }
+        "scc" => {
+            let r = match algo.as_str() {
+                "seq" | "tarjan" => scc::scc_tarjan(&g),
+                "gbbs" | "bfs" => scc::scc_bfs_based(&g),
+                "bgss" => scc::scc_bgss_bfs(&g),
+                "bgss-vgc" => scc::scc_bgss_vgc(&g, &cfg),
+                "multistep" => scc::scc_multistep(&g).map_err(|e| e.to_string())?,
+                _ => scc::scc_vgc(&g, &cfg),
+            };
+            format!("scc: {} components, rounds {}", r.num_sccs, r.stats.rounds)
+        }
+        "bcc" => {
+            let gs = if g.is_symmetric() { g } else { symmetrize(&g) };
+            let r = match algo.as_str() {
+                "seq" | "hopcroft-tarjan" => bcc::bcc_hopcroft_tarjan(&gs),
+                "tv" | "tarjan-vishkin" => bcc::bcc_tarjan_vishkin(&gs),
+                "gbbs" | "bfs" => bcc::bcc_bfs_based(&gs),
+                _ => bcc::bcc_fast(&gs),
+            };
+            let arts = bcc::articulation_points(&gs, &r.edge_labels)
+                .iter()
+                .filter(|&&a| a)
+                .count();
+            format!(
+                "bcc: {} blocks, {} articulation points, rounds {}",
+                r.num_bccs, arts, r.stats.rounds
+            )
+        }
+        "cc" => {
+            let r = cc::connectivity(&g);
+            format!("cc: {} components", r.num_components)
+        }
+        "kcore" => {
+            let gs = if g.is_symmetric() { g } else { symmetrize(&g) };
+            let r = match algo.as_str() {
+                "seq" | "bz" => kcore::kcore_seq(&gs),
+                _ => kcore::kcore_peel(&gs, tau),
+            };
+            format!(
+                "kcore: degeneracy {}, rounds {}",
+                r.degeneracy, r.stats.rounds
+            )
+        }
+        "ptp" => {
+            let dst = cli.num("dst", (n - 1) as u64).map_err(|e| e.to_string())? as u32;
+            if (dst as usize) >= n {
+                return usage_err(&format!("--dst {dst} out of range (n = {n})"));
+            }
+            let r = match algo.as_str() {
+                "seq" | "dijkstra" => sssp::ptp::ptp_dijkstra(&g, src, dst),
+                "bidi" => sssp::ptp::ptp_bidirectional_auto(&g, src, dst),
+                _ => sssp::ptp::ptp_rho_stepping(
+                    &g,
+                    src,
+                    dst,
+                    &sssp::stepping::RhoConfig::default(),
+                ),
+            };
+            if r.distance == u64::MAX {
+                format!("ptp {src} → {dst}: unreachable (settled {})", r.settled)
+            } else {
+                format!(
+                    "ptp {src} → {dst}: distance {}, settled {}",
+                    r.distance, r.settled
+                )
+            }
+        }
+        _ => unreachable!("validated above"),
+    };
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(args: &[&str]) -> Cli {
+        parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn write_fixture() -> std::path::PathBuf {
+        let g = pasgal_graph::gen::basic::grid2d(6, 9);
+        let p = std::env::temp_dir().join(format!("pasgal_cli_{}.bin", std::process::id()));
+        pasgal_graph::io::write_bin(&g, &p).unwrap();
+        p
+    }
+
+    #[test]
+    fn parse_command_positional_options() {
+        let c = cli(&["bfs", "g.adj", "--src", "5", "--tau", "64"]);
+        assert_eq!(c.command, "bfs");
+        assert_eq!(c.positional, vec!["g.adj"]);
+        assert_eq!(c.num("src", 0).unwrap(), 5);
+        assert_eq!(c.num("tau", 512).unwrap(), 64);
+        assert_eq!(c.num("missing", 9).unwrap(), 9);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_args(&[]).is_err());
+        let e = parse_args(&["bfs".into(), "--src".into()]);
+        assert!(e.is_err());
+        let c = cli(&["bfs", "g", "--src", "abc"]);
+        assert!(c.num("src", 0).is_err());
+    }
+
+    #[test]
+    fn run_bfs_and_variants() {
+        let p = write_fixture();
+        let f = p.to_str().unwrap();
+        for algo in ["pasgal", "seq", "flat", "gap"] {
+            let out = run(&cli(&["bfs", f, "--algo", algo])).unwrap();
+            assert!(out.contains("reached 54/54"), "{algo}: {out}");
+            assert!(out.contains("eccentricity 13"), "{algo}: {out}");
+        }
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn run_scc_bcc_cc_kcore() {
+        let p = write_fixture();
+        let f = p.to_str().unwrap();
+        let out = run(&cli(&["scc", f])).unwrap();
+        assert!(out.contains("1 components"), "{out}");
+        let out = run(&cli(&["bcc", f])).unwrap();
+        assert!(out.contains("1 blocks"), "{out}");
+        let out = run(&cli(&["cc", f])).unwrap();
+        assert!(out.contains("1 components"), "{out}");
+        let out = run(&cli(&["kcore", f])).unwrap();
+        assert!(out.contains("degeneracy 2"), "{out}");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn run_sssp_and_ptp() {
+        let p = write_fixture();
+        let f = p.to_str().unwrap();
+        let out = run(&cli(&["sssp", f])).unwrap();
+        assert!(out.contains("max distance 13"), "{out}");
+        let out = run(&cli(&["ptp", f, "--dst", "53"])).unwrap();
+        assert!(out.contains("distance 13"), "{out}");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn run_stats() {
+        let p = write_fixture();
+        let out = run(&cli(&["stats", p.to_str().unwrap()])).unwrap();
+        assert!(out.contains("n = 54"), "{out}");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn run_validate() {
+        let p = write_fixture();
+        let out = run(&cli(&["validate", p.to_str().unwrap()])).unwrap();
+        assert!(out.contains("valid"), "{out}");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn run_gen_roundtrip() {
+        let p = std::env::temp_dir().join(format!("pasgal_gen_{}.adj", std::process::id()));
+        let out = run(&cli(&["gen", "LJ", p.to_str().unwrap(), "--scale", "tiny"])).unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        let g = load_graph(p.to_str().unwrap()).unwrap();
+        assert!(g.num_vertices() > 0);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn run_rejects_bad_input() {
+        assert!(run(&cli(&["nope", "x"])).is_err());
+        assert!(run(&cli(&["bfs", "/no/such/file.adj"])).is_err());
+        let p = write_fixture();
+        let e = run(&cli(&["bfs", p.to_str().unwrap(), "--src", "999999"]));
+        assert!(e.is_err());
+        std::fs::remove_file(&p).unwrap();
+    }
+}

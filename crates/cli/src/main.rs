@@ -1,0 +1,47 @@
+//! `pasgal` — run any PASGAL-rs algorithm on a graph file.
+//! See the library docs (`pasgal_cli`) for the full usage.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" || args[0] == "help" {
+        eprintln!(
+            "usage: pasgal <command> <graph-file> [options]\n\
+             commands: bfs sssp scc bcc cc kcore ptp stats validate gen\n\
+             options:  --algo NAME --src N --dst N --tau N --delta N\n\
+                       --threads N --scale tiny|small|full\n\
+             formats:  .adj (PBBS text), .bin (binary CSR), else edge list\n\
+             examples: pasgal gen NA road.bin && pasgal bfs road.bin --src 0\n\
+                       pasgal scc web.adj --algo bgss-vgc --tau 1024"
+        );
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+
+    let cli = match pasgal_cli::parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // Configure the global pool before any parallel work.
+    if let Ok(t) = cli.num("threads", 0) {
+        if t > 0 {
+            let _ = rayon::ThreadPoolBuilder::new()
+                .num_threads(t as usize)
+                .build_global();
+        }
+    }
+
+    let t0 = std::time::Instant::now();
+    match pasgal_cli::run(&cli) {
+        Ok(out) => {
+            println!("{out}");
+            eprintln!("[{:.2?}]", t0.elapsed());
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Typed atomic arrays with the CAS idioms graph algorithms need.
+//!
+//! Distances, labels and parent pointers are all "arrays of small integers
+//! mutated concurrently under a monotone rule" (usually *write the minimum*).
+//! `write_min` is the priority-update primitive: it retries CAS only while
+//! its value still improves the slot, so under contention only improving
+//! writes pay for traffic.
+//!
+//! ```
+//! use pasgal_collections::atomic_array::AtomicU32Array;
+//!
+//! let dist = AtomicU32Array::new(4, u32::MAX);
+//! assert!(dist.write_min(2, 10)); // improved
+//! assert!(!dist.write_min(2, 12)); // not an improvement
+//! assert!(dist.write_min(2, 7));
+//! assert_eq!(dist.get(2), 7);
+//! ```
+
+use pasgal_parlay::gran::par_for;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+macro_rules! atomic_array {
+    ($name:ident, $atomic:ty, $prim:ty) => {
+        /// Fixed-size array of atomics (see module docs).
+        pub struct $name {
+            data: Vec<$atomic>,
+        }
+
+        impl $name {
+            /// Array of `n` slots, all initialized to `init`.
+            pub fn new(n: usize, init: $prim) -> Self {
+                let mut data = Vec::with_capacity(n);
+                data.resize_with(n, || <$atomic>::new(init));
+                Self { data }
+            }
+
+            /// Number of slots.
+            pub fn len(&self) -> usize {
+                self.data.len()
+            }
+
+            /// Whether the array has zero slots.
+            pub fn is_empty(&self) -> bool {
+                self.data.is_empty()
+            }
+
+            /// Relaxed load of slot `i`.
+            #[inline]
+            pub fn get(&self, i: usize) -> $prim {
+                self.data[i].load(Ordering::Relaxed)
+            }
+
+            /// Relaxed store to slot `i`.
+            #[inline]
+            pub fn set(&self, i: usize, v: $prim) {
+                self.data[i].store(v, Ordering::Relaxed);
+            }
+
+            /// Priority update: lower `v` into slot `i`; returns `true` iff
+            /// the slot changed (i.e. `v` strictly improved it).
+            #[inline]
+            pub fn write_min(&self, i: usize, v: $prim) -> bool {
+                let a = &self.data[i];
+                let mut cur = a.load(Ordering::Relaxed);
+                while v < cur {
+                    match a.compare_exchange_weak(cur, v, Ordering::Relaxed, Ordering::Relaxed) {
+                        Ok(_) => return true,
+                        Err(actual) => cur = actual,
+                    }
+                }
+                false
+            }
+
+            /// Priority update: raise `v` into slot `i`; returns `true` iff
+            /// the slot changed.
+            #[inline]
+            pub fn write_max(&self, i: usize, v: $prim) -> bool {
+                let a = &self.data[i];
+                let mut cur = a.load(Ordering::Relaxed);
+                while v > cur {
+                    match a.compare_exchange_weak(cur, v, Ordering::Relaxed, Ordering::Relaxed) {
+                        Ok(_) => return true,
+                        Err(actual) => cur = actual,
+                    }
+                }
+                false
+            }
+
+            /// Single CAS from `expect` to `v`; returns `true` on success.
+            #[inline]
+            pub fn cas(&self, i: usize, expect: $prim, v: $prim) -> bool {
+                self.data[i]
+                    .compare_exchange(expect, v, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+            }
+
+            /// Atomic add; returns the previous value.
+            #[inline]
+            pub fn fetch_add(&self, i: usize, v: $prim) -> $prim {
+                self.data[i].fetch_add(v, Ordering::Relaxed)
+            }
+
+            /// Parallel fill.
+            pub fn fill(&self, v: $prim) {
+                par_for(self.data.len(), 4096, |i| self.set(i, v));
+            }
+
+            /// Copy out to a plain vector (parallel-safe snapshot under
+            /// quiescence).
+            pub fn to_vec(&self) -> Vec<$prim> {
+                self.data.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+            }
+
+            /// Build from a plain vector.
+            pub fn from_vec(v: Vec<$prim>) -> Self {
+                Self {
+                    data: v.into_iter().map(<$atomic>::new).collect(),
+                }
+            }
+        }
+    };
+}
+
+atomic_array!(AtomicU32Array, AtomicU32, u32);
+atomic_array!(AtomicU64Array, AtomicU64, u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_get_set() {
+        let a = AtomicU32Array::new(10, 7);
+        assert_eq!(a.len(), 10);
+        assert!(!a.is_empty());
+        assert!((0..10).all(|i| a.get(i) == 7));
+        a.set(3, 42);
+        assert_eq!(a.get(3), 42);
+    }
+
+    #[test]
+    fn write_min_improves_only() {
+        let a = AtomicU32Array::new(1, 100);
+        assert!(a.write_min(0, 50));
+        assert!(!a.write_min(0, 50));
+        assert!(!a.write_min(0, 99));
+        assert!(a.write_min(0, 10));
+        assert_eq!(a.get(0), 10);
+    }
+
+    #[test]
+    fn write_max_raises_only() {
+        let a = AtomicU64Array::new(1, 5);
+        assert!(a.write_max(0, 9));
+        assert!(!a.write_max(0, 9));
+        assert!(!a.write_max(0, 3));
+        assert_eq!(a.get(0), 9);
+    }
+
+    #[test]
+    fn concurrent_write_min_settles_at_global_min() {
+        let a = AtomicU32Array::new(1, u32::MAX);
+        par_for(10_000, 16, |i| {
+            a.write_min(0, (i as u32) + 5);
+        });
+        assert_eq!(a.get(0), 5);
+    }
+
+    #[test]
+    fn cas_succeeds_once() {
+        let a = AtomicU32Array::new(1, 0);
+        assert!(a.cas(0, 0, 1));
+        assert!(!a.cas(0, 0, 2));
+        assert_eq!(a.get(0), 1);
+    }
+
+    #[test]
+    fn fetch_add_counts() {
+        let a = AtomicU64Array::new(1, 0);
+        par_for(1000, 8, |_| {
+            a.fetch_add(0, 1);
+        });
+        assert_eq!(a.get(0), 1000);
+    }
+
+    #[test]
+    fn fill_and_vec_roundtrip() {
+        let a = AtomicU32Array::new(1000, 0);
+        a.fill(3);
+        let v = a.to_vec();
+        assert!(v.iter().all(|&x| x == 3));
+        let b = AtomicU32Array::from_vec(v);
+        assert_eq!(b.get(999), 3);
+    }
+}

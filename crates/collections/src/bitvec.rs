@@ -1,0 +1,167 @@
+//! Concurrent bit vector.
+//!
+//! The "visited" set of every traversal: `test_and_set` is one
+//! `fetch_or(Relaxed)` — exactly one caller wins per bit, which is how
+//! parallel BFS decides which thread owns a newly discovered vertex.
+//!
+//! ```
+//! use pasgal_collections::bitvec::AtomicBitVec;
+//!
+//! let visited = AtomicBitVec::new(128);
+//! assert!(visited.test_and_set(42));  // this caller owns vertex 42
+//! assert!(!visited.test_and_set(42)); // everyone else loses
+//! assert_eq!(visited.count_ones(), 1);
+//! ```
+
+use pasgal_parlay::gran::par_for;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fixed-size concurrent bit vector.
+pub struct AtomicBitVec {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl AtomicBitVec {
+    /// All-zeros bit vector of `len` bits.
+    pub fn new(len: usize) -> Self {
+        let n_words = len.div_ceil(64);
+        let mut words = Vec::with_capacity(n_words);
+        words.resize_with(n_words, || AtomicU64::new(0));
+        Self { words, len }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64].load(Ordering::Relaxed) >> (i % 64)) & 1 == 1
+    }
+
+    /// Atomically set bit `i`; returns `true` iff this call changed it
+    /// from 0 to 1 (i.e. the caller "won" the vertex).
+    #[inline]
+    pub fn test_and_set(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        let prev = self.words[i / 64].fetch_or(mask, Ordering::Relaxed);
+        prev & mask == 0
+    }
+
+    /// Set bit `i` unconditionally.
+    #[inline]
+    pub fn set(&self, i: usize) {
+        let _ = self.test_and_set(i);
+    }
+
+    /// Clear bit `i` (not atomic with respect to concurrent setters of the
+    /// *same* bit racing to observe the old value; fine for phase-separated
+    /// use).
+    #[inline]
+    pub fn clear(&self, i: usize) {
+        debug_assert!(i < self.len);
+        let mask = !(1u64 << (i % 64));
+        self.words[i / 64].fetch_and(mask, Ordering::Relaxed);
+    }
+
+    /// Zero the whole vector (parallel).
+    pub fn clear_all(&self) {
+        par_for(self.words.len(), 4096, |w| {
+            self.words[w].store(0, Ordering::Relaxed);
+        });
+    }
+
+    /// Number of set bits (parallel).
+    pub fn count_ones(&self) -> usize {
+        use rayon::prelude::*;
+        self.words
+            .par_iter()
+            .with_min_len(4096)
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_all_zero() {
+        let b = AtomicBitVec::new(130);
+        assert_eq!(b.len(), 130);
+        assert!(!b.is_empty());
+        assert!((0..130).all(|i| !b.get(i)));
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn zero_length() {
+        let b = AtomicBitVec::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn test_and_set_wins_once() {
+        let b = AtomicBitVec::new(100);
+        assert!(b.test_and_set(42));
+        assert!(!b.test_and_set(42));
+        assert!(b.get(42));
+        assert_eq!(b.count_ones(), 1);
+    }
+
+    #[test]
+    fn set_clear_roundtrip() {
+        let b = AtomicBitVec::new(64);
+        b.set(63);
+        assert!(b.get(63));
+        b.clear(63);
+        assert!(!b.get(63));
+    }
+
+    #[test]
+    fn clear_all_resets() {
+        let b = AtomicBitVec::new(1000);
+        for i in (0..1000).step_by(3) {
+            b.set(i);
+        }
+        b.clear_all();
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn concurrent_test_and_set_exactly_one_winner_per_bit() {
+        let b = AtomicBitVec::new(10_000);
+        let winners = std::sync::atomic::AtomicUsize::new(0);
+        // every bit contended by 8 logical attempts
+        par_for(80_000, 64, |k| {
+            if b.test_and_set(k % 10_000) {
+                winners.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(winners.load(Ordering::Relaxed), 10_000);
+        assert_eq!(b.count_ones(), 10_000);
+    }
+
+    #[test]
+    fn boundary_bits() {
+        let b = AtomicBitVec::new(129);
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(128);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(128));
+        assert_eq!(b.count_ones(), 4);
+    }
+}

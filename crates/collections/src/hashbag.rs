@@ -1,0 +1,369 @@
+//! The parallel hash bag (Wang et al., PPoPP'23), the frontier container
+//! of PASGAL.
+//!
+//! A *hash bag* is an unordered multiset buffer optimized for one pattern:
+//! many threads concurrently insert an unpredictable number of elements
+//! (the next frontier discovered by local searches), then one parallel
+//! `extract_and_clear` drains it between rounds.
+//!
+//! Design, following the paper it cites:
+//!
+//! * storage is a series of **geometrically growing chunks** (sizes
+//!   `s, 2s, 4s, …`), allocated lazily, so a bag sized for `n` vertices
+//!   costs `O(current contents)` touched memory, not `O(n)`, per round —
+//!   crucial for large-diameter graphs whose frontiers are tiny;
+//! * an insertion **CAS-claims a hashed empty slot** in the active chunk
+//!   (a handful of probes), falling over to the next chunk when the active
+//!   one is crowded — no locks on the hot path;
+//! * chunk fill is tracked with a relaxed counter; crossing a load-factor
+//!   threshold advances the active-chunk cursor;
+//! * `extract_and_clear` packs all live slots in parallel (order
+//!   unspecified) and resets the bag for the next round.
+//!
+//! Duplicate values are preserved (bag, not set): each insertion probes
+//! with a fresh per-thread nonce, so two insertions of the same vertex
+//! claim two slots. Graph algorithms rely on this: the same vertex may be
+//! re-inserted when its tentative distance improves again.
+//!
+//! Two instantiations are provided: [`HashBag`] over `u32` (vertex
+//! frontiers) and [`HashBag64`] over `u64` (pair frontiers — the BGSS SCC
+//! multi-search stores `(vertex, center)` pairs packed into one word).
+//!
+//! ```
+//! use pasgal_collections::hashbag::HashBag;
+//!
+//! let frontier = HashBag::new(1000);
+//! frontier.insert(3);
+//! frontier.insert(7);
+//! frontier.insert(3); // duplicates are kept (multiset)
+//! let mut drained = frontier.extract_and_clear();
+//! drained.sort_unstable();
+//! assert_eq!(drained, vec![3, 3, 7]);
+//! assert!(frontier.is_empty()); // ready for the next round
+//! ```
+
+use pasgal_parlay::hash::hash64;
+use pasgal_parlay::pack::filter_map_index;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Probes per chunk before falling over to the next chunk.
+const PROBE_LIMIT: usize = 8;
+
+/// Advance the active chunk when it is ~3/4 full.
+const LOAD_NUM: usize = 3;
+const LOAD_DEN: usize = 4;
+
+thread_local! {
+    static NONCE: Cell<u64> = const { Cell::new(0) };
+}
+
+#[inline]
+fn fresh_nonce() -> u64 {
+    // Mix a per-thread counter with the address of the thread-local cell
+    // (distinct per thread) for a cheap unique-ish nonce stream.
+    NONCE.with(|c| {
+        let v = c.get().wrapping_add(1);
+        c.set(v);
+        v.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (c as *const _ as u64)
+    })
+}
+
+macro_rules! define_hash_bag {
+    ($(#[$doc:meta])* $name:ident, $atomic:ty, $prim:ty) => {
+        $(#[$doc])*
+        pub struct $name {
+            /// chunk `i` has capacity `chunk0 << i`; allocated on first use.
+            chunks: Vec<OnceLock<Box<[$atomic]>>>,
+            /// successful insertions per chunk (relaxed; exact at quiescence).
+            counts: Vec<AtomicUsize>,
+            /// index of the chunk insertions currently target.
+            active: AtomicUsize,
+            chunk0: usize,
+        }
+
+        impl $name {
+            /// Slot marker for "empty"; inserted values must differ from it.
+            pub const EMPTY: $prim = <$prim>::MAX;
+
+            /// A bag able to hold at least `capacity` elements.
+            ///
+            /// The first chunk is small (so near-empty rounds stay cheap);
+            /// chunk sizes double until the cumulative capacity comfortably
+            /// exceeds `capacity` even at the load-factor threshold.
+            pub fn new(capacity: usize) -> Self {
+                let chunk0 = 1024usize;
+                let mut total = 0usize;
+                let mut nchunks = 0usize;
+                // Usable capacity per chunk is size * LOAD_NUM/LOAD_DEN; add
+                // two spare chunks of headroom for probe-failure fallover.
+                while total * LOAD_NUM / LOAD_DEN < capacity.max(1) {
+                    total += chunk0 << nchunks;
+                    nchunks += 1;
+                }
+                nchunks += 2;
+                let mut chunks = Vec::with_capacity(nchunks);
+                chunks.resize_with(nchunks, OnceLock::new);
+                let mut counts = Vec::with_capacity(nchunks);
+                counts.resize_with(nchunks, || AtomicUsize::new(0));
+                Self {
+                    chunks,
+                    counts,
+                    active: AtomicUsize::new(0),
+                    chunk0,
+                }
+            }
+
+            fn chunk(&self, c: usize) -> &[$atomic] {
+                self.chunks[c].get_or_init(|| {
+                    let size = self.chunk0 << c;
+                    let mut v = Vec::with_capacity(size);
+                    v.resize_with(size, || <$atomic>::new(Self::EMPTY));
+                    v.into_boxed_slice()
+                })
+            }
+
+            /// Insert `x` (must not equal [`Self::EMPTY`]). Lock-free;
+            /// panics only if every chunk is saturated, which sizing in
+            /// [`Self::new`] prevents for ≤ `capacity` insertions.
+            pub fn insert(&self, x: $prim) {
+                debug_assert!(x != Self::EMPTY, "MAX is reserved as the empty marker");
+                let nonce = fresh_nonce();
+                let mut c = self.active.load(Ordering::Relaxed);
+                while c < self.chunks.len() {
+                    let chunk = self.chunk(c);
+                    let size = chunk.len();
+                    for probe in 0..PROBE_LIMIT {
+                        let h =
+                            hash64(nonce ^ hash64(x as u64 ^ ((probe as u64) << 57)));
+                        let slot = (((h as u128) * (size as u128)) >> 64) as usize;
+                        if chunk[slot].load(Ordering::Relaxed) == Self::EMPTY
+                            && chunk[slot]
+                                .compare_exchange(
+                                    Self::EMPTY,
+                                    x,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                )
+                                .is_ok()
+                        {
+                            let filled = self.counts[c].fetch_add(1, Ordering::Relaxed) + 1;
+                            if filled * LOAD_DEN >= size * LOAD_NUM {
+                                // crowded: move the cursor forward (best effort)
+                                let _ = self.active.compare_exchange(
+                                    c,
+                                    c + 1,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                );
+                            }
+                            return;
+                        }
+                    }
+                    // All probes hit occupied slots: fall over to the next
+                    // chunk and pull the cursor along so later insertions
+                    // skip the crowd.
+                    let _ = self.active.compare_exchange(
+                        c,
+                        c + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    );
+                    c += 1;
+                }
+                panic!(concat!(
+                    stringify!($name),
+                    " overflow: all chunks saturated (capacity misconfigured)"
+                ));
+            }
+
+            /// Exact number of elements (when no insertions are concurrent).
+            pub fn len(&self) -> usize {
+                self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+            }
+
+            /// Whether the bag holds no elements (quiescent).
+            pub fn is_empty(&self) -> bool {
+                self.len() == 0
+            }
+
+            /// Drain: return all elements (order unspecified) and reset the
+            /// bag. Runs in parallel over the initialized chunks; untouched
+            /// chunk memory is never scanned.
+            pub fn extract_and_clear(&self) -> Vec<$prim> {
+                let hi = self.chunks.iter().take_while(|c| c.get().is_some()).count();
+                let mut out = Vec::with_capacity(self.len());
+                for c in 0..hi {
+                    if self.counts[c].load(Ordering::Relaxed) == 0 {
+                        continue;
+                    }
+                    let chunk = self.chunk(c);
+                    // Pure read pass (filter_map_index evaluates its closure
+                    // twice per index), then a separate parallel clear pass.
+                    let part = filter_map_index(chunk.len(), |i| {
+                        let v = chunk[i].load(Ordering::Relaxed);
+                        (v != Self::EMPTY).then_some(v)
+                    });
+                    pasgal_parlay::gran::par_for(chunk.len(), 4096, |i| {
+                        chunk[i].store(Self::EMPTY, Ordering::Relaxed);
+                    });
+                    out.extend_from_slice(&part);
+                    self.counts[c].store(0, Ordering::Relaxed);
+                }
+                self.active.store(0, Ordering::Relaxed);
+                out
+            }
+        }
+    };
+}
+
+define_hash_bag!(
+    /// Lock-free concurrent multiset buffer over `u32` (see module docs).
+    HashBag,
+    AtomicU32,
+    u32
+);
+
+define_hash_bag!(
+    /// Lock-free concurrent multiset buffer over `u64` — used for packed
+    /// `(vertex, center)` pair frontiers in the BGSS SCC multi-search.
+    HashBag64,
+    AtomicU64,
+    u64
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasgal_parlay::gran::par_for;
+
+    #[test]
+    fn insert_then_extract_roundtrip() {
+        let bag = HashBag::new(1000);
+        for x in 0..100u32 {
+            bag.insert(x);
+        }
+        assert_eq!(bag.len(), 100);
+        let mut got = bag.extract_and_clear();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<u32>>());
+        assert!(bag.is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_preserved() {
+        let bag = HashBag::new(100);
+        for _ in 0..10 {
+            bag.insert(7);
+        }
+        let got = bag.extract_and_clear();
+        assert_eq!(got.len(), 10);
+        assert!(got.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn extract_resets_for_reuse() {
+        let bag = HashBag::new(100);
+        bag.insert(1);
+        let _ = bag.extract_and_clear();
+        bag.insert(2);
+        assert_eq!(bag.extract_and_clear(), vec![2]);
+    }
+
+    #[test]
+    fn empty_extract() {
+        let bag = HashBag::new(10);
+        assert!(bag.extract_and_clear().is_empty());
+    }
+
+    #[test]
+    fn parallel_inserts_lose_nothing() {
+        let n = 200_000u32;
+        let bag = HashBag::new(n as usize);
+        par_for(n as usize, 256, |i| bag.insert(i as u32));
+        let mut got = bag.extract_and_clear();
+        assert_eq!(got.len(), n as usize);
+        got.sort_unstable();
+        assert_eq!(got, (0..n).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn parallel_duplicate_heavy_multiset_semantics() {
+        // 64 copies each of 1000 distinct values
+        let bag = HashBag::new(64_000);
+        par_for(64_000, 128, |i| bag.insert((i % 1000) as u32));
+        let got = bag.extract_and_clear();
+        assert_eq!(got.len(), 64_000);
+        let mut hist = vec![0u32; 1000];
+        for x in got {
+            hist[x as usize] += 1;
+        }
+        assert!(hist.iter().all(|&c| c == 64));
+    }
+
+    #[test]
+    fn fill_to_capacity_does_not_panic() {
+        let cap = 50_000;
+        let bag = HashBag::new(cap);
+        par_for(cap, 512, |i| bag.insert(i as u32));
+        assert_eq!(bag.len(), cap);
+    }
+
+    #[test]
+    fn repeated_rounds_simulating_frontiers() {
+        let bag = HashBag::new(10_000);
+        for round in 0..20u32 {
+            let width = 1 << (round % 10);
+            par_for(width as usize, 64, |i| bag.insert(i as u32));
+            let got = bag.extract_and_clear();
+            assert_eq!(got.len(), width as usize, "round {round}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn true_overflow_panics_with_message() {
+        // Tiny bag, force way past its sizing contract.
+        let bag = HashBag::new(1);
+        for i in 0..100_000u32 {
+            bag.insert(i);
+        }
+    }
+
+    #[test]
+    fn bag64_roundtrip_with_wide_values() {
+        let bag = HashBag64::new(1000);
+        let vals: Vec<u64> = (0..500u64).map(|i| (i << 32) | (i * 7)).collect();
+        for &x in &vals {
+            bag.insert(x);
+        }
+        let mut got = bag.extract_and_clear();
+        got.sort_unstable();
+        let mut want = vals;
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bag64_parallel_pairs_lose_nothing() {
+        let n = 100_000usize;
+        let bag = HashBag64::new(n);
+        par_for(n, 256, |i| {
+            let pair = ((i as u64) << 32) | 0xabcd;
+            bag.insert(pair);
+        });
+        let got = bag.extract_and_clear();
+        assert_eq!(got.len(), n);
+        assert!(got.iter().all(|&p| p & 0xffff_ffff == 0xabcd));
+    }
+
+    #[test]
+    fn bag64_duplicates_preserved() {
+        let bag = HashBag64::new(64);
+        for _ in 0..5 {
+            bag.insert(u64::MAX - 1);
+        }
+        assert_eq!(bag.extract_and_clear().len(), 5);
+    }
+}

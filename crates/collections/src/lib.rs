@@ -1,0 +1,23 @@
+//! # pasgal-collections
+//!
+//! Concurrent data structures backing PASGAL-rs:
+//!
+//! * [`hashbag::HashBag`] — the paper's *parallel hash bag*
+//!   (Wang et al., PPoPP'23): a lock-free unordered buffer that maintains
+//!   the dynamically-growing next frontier of a graph traversal.
+//!   Insertions CAS-claim hashed slots in geometrically growing chunks;
+//!   extraction packs the live slots in parallel.
+//! * [`bitvec::AtomicBitVec`] — concurrent bit vector with atomic
+//!   test-and-set, the "visited" array of every traversal.
+//! * [`atomic_array`] — typed atomic arrays (`AtomicU32Array`,
+//!   `AtomicU64Array`) with `write_min`/CAS helpers, used for distances,
+//!   labels and parent pointers.
+//! * [`union_find::ConcurrentUnionFind`] — lock-free union-find with
+//!   CAS hooking + path splitting, used by connectivity, spanning forest,
+//!   FAST-BCC and Tarjan-Vishkin.
+
+pub mod atomic_array;
+pub mod bitvec;
+pub mod hashbag;
+pub mod u64set;
+pub mod union_find;

@@ -1,0 +1,169 @@
+//! Lock-free concurrent set of `u64` keys (open addressing, CAS claims).
+//!
+//! The per-round `(vertex, center)` reachability table of the BGSS SCC
+//! multi-search: `insert` is a test-and-set over packed pairs, so each
+//! pair is claimed by exactly one task, which also deduplicates the pair
+//! frontier. Fixed capacity (sized per round), linear probing; no
+//! deletions (the whole table is dropped or [`ConcurrentU64Set::clear`]ed
+//! between rounds).
+
+use pasgal_parlay::gran::par_for;
+use pasgal_parlay::hash::hash64;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+const EMPTY: u64 = u64::MAX;
+
+/// Fixed-capacity lock-free hash set over `u64` keys (`u64::MAX` reserved).
+pub struct ConcurrentU64Set {
+    slots: Box<[AtomicU64]>,
+    len: AtomicUsize,
+    mask: usize,
+}
+
+impl ConcurrentU64Set {
+    /// A set able to hold at least `capacity` keys (sized to ≤ 50% load).
+    pub fn new(capacity: usize) -> Self {
+        let size = (2 * capacity.max(8)).next_power_of_two();
+        let mut v = Vec::with_capacity(size);
+        v.resize_with(size, || AtomicU64::new(EMPTY));
+        Self {
+            slots: v.into_boxed_slice(),
+            len: AtomicUsize::new(0),
+            mask: size - 1,
+        }
+    }
+
+    /// Insert `key`; returns `true` iff it was not present (this call
+    /// claimed it). Lock-free. Panics if the table is full — sizing is the
+    /// caller's contract, and a silent spin would deadlock instead.
+    pub fn insert(&self, key: u64) -> bool {
+        debug_assert!(key != EMPTY, "u64::MAX is reserved");
+        let mut i = (hash64(key) as usize) & self.mask;
+        for _ in 0..=self.mask {
+            let cur = self.slots[i].load(Ordering::Relaxed);
+            if cur == key {
+                return false;
+            }
+            if cur == EMPTY {
+                match self.slots[i].compare_exchange(
+                    EMPTY,
+                    key,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        self.len.fetch_add(1, Ordering::Relaxed);
+                        return true;
+                    }
+                    Err(actual) if actual == key => return false,
+                    Err(_) => {} // someone claimed this slot with another key: probe on
+                }
+            }
+            i = (i + 1) & self.mask;
+        }
+        panic!("ConcurrentU64Set overflow: capacity misconfigured");
+    }
+
+    /// Is `key` present? (Exact at quiescence.)
+    pub fn contains(&self, key: u64) -> bool {
+        let mut i = (hash64(key) as usize) & self.mask;
+        for _ in 0..=self.mask {
+            let cur = self.slots[i].load(Ordering::Relaxed);
+            if cur == key {
+                return true;
+            }
+            if cur == EMPTY {
+                return false;
+            }
+            i = (i + 1) & self.mask;
+        }
+        false
+    }
+
+    /// Number of keys (exact at quiescence).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All keys, in unspecified order (quiescent).
+    pub fn keys(&self) -> Vec<u64> {
+        pasgal_parlay::pack::filter_map_index(self.slots.len(), |i| {
+            let v = self.slots[i].load(Ordering::Relaxed);
+            (v != EMPTY).then_some(v)
+        })
+    }
+
+    /// Reset to empty (parallel).
+    pub fn clear(&self) {
+        par_for(self.slots.len(), 4096, |i| {
+            self.slots[i].store(EMPTY, Ordering::Relaxed);
+        });
+        self.len.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_claims_once() {
+        let s = ConcurrentU64Set::new(16);
+        assert!(s.insert(42));
+        assert!(!s.insert(42));
+        assert!(s.contains(42));
+        assert!(!s.contains(43));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn many_keys_roundtrip() {
+        let s = ConcurrentU64Set::new(10_000);
+        for i in 0..10_000u64 {
+            assert!(s.insert(i * 0x1_0000_0001));
+        }
+        assert_eq!(s.len(), 10_000);
+        let mut got = s.keys();
+        got.sort_unstable();
+        let want: Vec<u64> = (0..10_000u64).map(|i| i * 0x1_0000_0001).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn parallel_contended_inserts_have_one_winner_each() {
+        let s = ConcurrentU64Set::new(1000);
+        let winners = AtomicUsize::new(0);
+        par_for(50_000, 128, |i| {
+            if s.insert((i % 1000) as u64 + 1) {
+                winners.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(winners.load(Ordering::Relaxed), 1000);
+        assert_eq!(s.len(), 1000);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let s = ConcurrentU64Set::new(100);
+        s.insert(5);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(5));
+        assert!(s.insert(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let s = ConcurrentU64Set::new(8);
+        // capacity 8 → 16 slots; 17 distinct keys must overflow
+        for i in 0..40u64 {
+            s.insert(i + 1);
+        }
+    }
+}

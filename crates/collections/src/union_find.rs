@@ -1,0 +1,242 @@
+//! Lock-free concurrent union-find.
+//!
+//! CAS-based "hooking" union with path-splitting finds — the standard
+//! concurrent disjoint-set structure used by parallel connectivity
+//! (Jayanti–Tarjan style). Parents are stored in a `u32` array; a root
+//! points to itself. `unite` hooks the *larger-id root under the
+//! smaller-id root* so the structure is deterministic at quiescence:
+//! every component's representative is its minimum member id.
+//!
+//! Used by: parallel connectivity, spanning forest, FAST-BCC's skeleton
+//! connectivity, and the Tarjan-Vishkin auxiliary-graph connectivity.
+//!
+//! ```
+//! use pasgal_collections::union_find::ConcurrentUnionFind;
+//!
+//! let uf = ConcurrentUnionFind::new(4);
+//! assert!(uf.unite(0, 3));       // merged
+//! assert!(!uf.unite(3, 0));      // already together
+//! assert!(uf.same(0, 3));
+//! assert_eq!(uf.find(3), 0);     // representative = min member id
+//! assert_eq!(uf.count_sets(), 3);
+//! ```
+
+use pasgal_parlay::gran::par_for;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Concurrent disjoint-set forest over `0..n` (ids are `u32`).
+pub struct ConcurrentUnionFind {
+    parent: Vec<AtomicU32>,
+}
+
+impl ConcurrentUnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        debug_assert!(n <= u32::MAX as usize);
+        let mut parent = Vec::with_capacity(n);
+        for i in 0..n as u32 {
+            parent.push(AtomicU32::new(i));
+        }
+        Self { parent }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Find the representative of `x`, compressing with path splitting
+    /// (each visited node is re-pointed at its grandparent).
+    #[inline]
+    pub fn find(&self, mut x: u32) -> u32 {
+        loop {
+            let p = self.parent[x as usize].load(Ordering::Relaxed);
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p as usize].load(Ordering::Relaxed);
+            if p == gp {
+                return p;
+            }
+            // Path splitting: best-effort re-point; failure is harmless.
+            let _ = self.parent[x as usize].compare_exchange_weak(
+                p,
+                gp,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+            x = gp;
+        }
+    }
+
+    /// Union the sets of `a` and `b`. Returns `true` iff they were in
+    /// different sets (i.e. this call merged them).
+    ///
+    /// Deterministic rule: the root with the larger id is hooked under the
+    /// root with the smaller id.
+    pub fn unite(&self, a: u32, b: u32) -> bool {
+        let mut x = a;
+        let mut y = b;
+        loop {
+            x = self.find(x);
+            y = self.find(y);
+            if x == y {
+                return false;
+            }
+            // hook max-root under min-root
+            let (lo, hi) = if x < y { (x, y) } else { (y, x) };
+            if self.parent[hi as usize]
+                .compare_exchange(hi, lo, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return true;
+            }
+            // raced: someone re-parented `hi`; retry from the new roots
+        }
+    }
+
+    /// Are `a` and `b` currently in the same set? (Exact at quiescence.)
+    pub fn same(&self, a: u32, b: u32) -> bool {
+        loop {
+            let ra = self.find(a);
+            let rb = self.find(b);
+            if ra == rb {
+                return true;
+            }
+            // ra might have been re-parented between the two finds
+            if self.parent[ra as usize].load(Ordering::Relaxed) == ra {
+                return false;
+            }
+        }
+    }
+
+    /// Fully-compressed label array: `labels[v]` = min id of v's component.
+    /// Call at quiescence (no concurrent unites).
+    pub fn labels(&self) -> Vec<u32> {
+        let n = self.len();
+        let mut out = vec![0u32; n];
+        {
+            let s = pasgal_parlay::unsafe_slice::SyncUnsafeSlice::new(&mut out);
+            par_for(n, 2048, |i| {
+                // SAFETY: each index written by exactly one iteration.
+                unsafe { s.write(i, self.find(i as u32)) };
+            });
+        }
+        out
+    }
+
+    /// Number of distinct sets (at quiescence).
+    pub fn count_sets(&self) -> usize {
+        pasgal_parlay::reduce::count_if(self.len(), |i| {
+            self.parent[i].load(Ordering::Relaxed) == i as u32
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let uf = ConcurrentUnionFind::new(5);
+        assert_eq!(uf.len(), 5);
+        assert_eq!(uf.count_sets(), 5);
+        assert!(!uf.same(0, 1));
+    }
+
+    #[test]
+    fn unite_then_same() {
+        let uf = ConcurrentUnionFind::new(4);
+        assert!(uf.unite(0, 1));
+        assert!(!uf.unite(1, 0));
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(0, 2));
+        assert_eq!(uf.count_sets(), 3);
+    }
+
+    #[test]
+    fn representative_is_min_id() {
+        let uf = ConcurrentUnionFind::new(10);
+        uf.unite(9, 3);
+        uf.unite(3, 7);
+        assert_eq!(uf.find(9), 3);
+        assert_eq!(uf.find(7), 3);
+        uf.unite(7, 1);
+        assert_eq!(uf.find(9), 1);
+    }
+
+    #[test]
+    fn labels_are_component_minima() {
+        let uf = ConcurrentUnionFind::new(6);
+        uf.unite(0, 2);
+        uf.unite(2, 4);
+        uf.unite(1, 5);
+        let l = uf.labels();
+        assert_eq!(l, vec![0, 1, 0, 3, 0, 1]);
+    }
+
+    #[test]
+    fn parallel_chain_union_connects_everything() {
+        let n = 100_000;
+        let uf = ConcurrentUnionFind::new(n);
+        par_for(n - 1, 64, |i| {
+            uf.unite(i as u32, (i + 1) as u32);
+        });
+        assert_eq!(uf.count_sets(), 1);
+        assert_eq!(uf.find((n - 1) as u32), 0);
+    }
+
+    #[test]
+    fn parallel_random_unions_match_sequential_dsu() {
+        let n = 10_000usize;
+        let rng = pasgal_parlay::rng::SplitRng::new(99);
+        let edges: Vec<(u32, u32)> = (0..20_000u64)
+            .map(|i| {
+                (
+                    rng.range_at(2 * i, n as u64) as u32,
+                    rng.range_at(2 * i + 1, n as u64) as u32,
+                )
+            })
+            .collect();
+
+        let uf = ConcurrentUnionFind::new(n);
+        par_for(edges.len(), 32, |i| {
+            uf.unite(edges[i].0, edges[i].1);
+        });
+
+        // sequential oracle
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(p: &mut [u32], mut x: u32) -> u32 {
+            while p[x as usize] != x {
+                p[x as usize] = p[p[x as usize] as usize];
+                x = p[x as usize];
+            }
+            x
+        }
+        for &(a, b) in &edges {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+                parent[hi as usize] = lo;
+            }
+        }
+        let want: Vec<u32> = (0..n as u32).map(|v| find(&mut parent, v)).collect();
+        // concurrent version may pick different reps mid-run, but labels()
+        // canonicalizes to min-id, and the oracle's union rule does too.
+        assert_eq!(uf.labels(), want);
+    }
+
+    #[test]
+    fn empty_structure() {
+        let uf = ConcurrentUnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.count_sets(), 0);
+        assert!(uf.labels().is_empty());
+    }
+}

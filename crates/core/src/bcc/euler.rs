@@ -1,0 +1,415 @@
+//! Euler tour of a spanning forest, parallel list ranking, and subtree
+//! aggregates via range-min/max queries.
+//!
+//! This is the BFS-free tree machinery FAST-BCC and Tarjan-Vishkin stand
+//! on: given an *arbitrary* spanning forest (from union-find, no `Ω(D)`
+//! rounds), the Euler tour linearizes every tree so that each subtree is a
+//! contiguous interval `[first(v), last(v)]`, ancestor tests are two
+//! comparisons, and subtree reductions become range queries over one flat
+//! array.
+//!
+//! * tour construction: the classic successor trick — the arc after
+//!   `(u, v)` is `v`'s next outgoing arc after `(v, u)` in cyclic
+//!   adjacency order;
+//! * list ranking: pointer jumping (`O(log n)` rounds, `O(n log n)` work —
+//!   the textbook parallel list-ranking);
+//! * subtree aggregates: a sparse table (`O(n log n)` space) built in
+//!   parallel, queried once per vertex.
+
+use pasgal_graph::builder::from_edges_symmetric;
+use pasgal_graph::VertexId;
+use pasgal_parlay::gran::par_for;
+use pasgal_parlay::unsafe_slice::SyncUnsafeSlice;
+
+/// Marker for "no parent" (roots).
+pub const NO_PARENT: u32 = u32::MAX;
+
+const NIL: u32 = u32::MAX;
+
+/// Euler-tour numbering of a rooted spanning forest.
+///
+/// Interval contract: for every vertex `v`, `first(v) < first(w)` and
+/// `last(w) < last(v)` for all `w` in `v`'s subtree; subtrees of different
+/// trees occupy disjoint ranges. `total_len == 2 n`.
+pub struct EulerTour {
+    /// Parent in the rooted forest; [`NO_PARENT`] for roots.
+    pub parent: Vec<u32>,
+    /// Entry time of each vertex.
+    pub first: Vec<u32>,
+    /// Exit time of each vertex (`> first` of everything in the subtree).
+    pub last: Vec<u32>,
+    /// One past the largest time used (`2 n`).
+    pub total_len: usize,
+}
+
+impl EulerTour {
+    /// Is `a` an ancestor of `b` (including `a == b`)?
+    #[inline]
+    pub fn is_ancestor(&self, a: VertexId, b: VertexId) -> bool {
+        self.first[a as usize] <= self.first[b as usize]
+            && self.last[b as usize] <= self.last[a as usize]
+    }
+
+    /// For every vertex `v`, the minimum of `per_vertex[w]` over `w` in
+    /// `v`'s subtree (including `v`).
+    pub fn subtree_min(&self, per_vertex: &[u32]) -> Vec<u32> {
+        self.subtree_agg(per_vertex, u32::MAX, |a, b| a.min(b))
+    }
+
+    /// Subtree maximum analogue of [`EulerTour::subtree_min`].
+    pub fn subtree_max(&self, per_vertex: &[u32]) -> Vec<u32> {
+        self.subtree_agg(per_vertex, 0, |a, b| a.max(b))
+    }
+
+    fn subtree_agg(
+        &self,
+        per_vertex: &[u32],
+        identity: u32,
+        op: impl Fn(u32, u32) -> u32 + Sync + Copy,
+    ) -> Vec<u32> {
+        let n = per_vertex.len();
+        assert_eq!(n, self.first.len());
+        let len = self.total_len.max(1);
+        // Position each vertex's value at its entry time.
+        let mut base = vec![identity; len];
+        {
+            let s = SyncUnsafeSlice::new(&mut base);
+            par_for(n, 2048, |v| {
+                // SAFETY: first-times are distinct per vertex.
+                unsafe { s.write(self.first[v] as usize, per_vertex[v]) };
+            });
+        }
+        // Sparse table: table[k][i] = agg over [i, i + 2^k).
+        let levels = (usize::BITS - len.leading_zeros()) as usize;
+        let mut table: Vec<Vec<u32>> = Vec::with_capacity(levels);
+        table.push(base);
+        for k in 1..levels {
+            let half = 1usize << (k - 1);
+            let prev = &table[k - 1];
+            let size = len - (1usize << k) + 1;
+            let mut next = vec![identity; size];
+            {
+                let s = SyncUnsafeSlice::new(&mut next);
+                par_for(size, 4096, |i| {
+                    // SAFETY: one writer per index.
+                    unsafe { s.write(i, op(prev[i], prev[i + half])) };
+                });
+            }
+            table.push(next);
+        }
+        // Query [first(v), last(v)] per vertex.
+        let mut out = vec![identity; n];
+        {
+            let s = SyncUnsafeSlice::new(&mut out);
+            let table = &table;
+            par_for(n, 2048, |v| {
+                let lo = self.first[v] as usize;
+                let hi = self.last[v] as usize; // inclusive
+                let span = hi - lo + 1;
+                let k = (usize::BITS - 1 - span.leading_zeros()) as usize;
+                let a = table[k][lo];
+                let b = table[k][hi + 1 - (1usize << k)];
+                // SAFETY: one writer per vertex.
+                unsafe { s.write(v, op(a, b)) };
+            });
+        }
+        out
+    }
+}
+
+/// Build the Euler tour of a spanning forest.
+///
+/// * `n` — number of vertices;
+/// * `tree_edges` — the forest's edges (each once, either orientation);
+/// * `comp` — component labels where the label **is the root vertex id**
+///   (the min-id convention of [`crate::cc::spanning_forest`]).
+pub fn euler_tour(n: usize, tree_edges: &[(VertexId, VertexId)], comp: &[u32]) -> EulerTour {
+    assert_eq!(comp.len(), n);
+    // Forest adjacency (sorted CSR).
+    let forest = from_edges_symmetric(n, tree_edges);
+    let num_arcs = forest.num_edges();
+
+    // Component sizes and per-tree base offsets (ordered by root id):
+    // tree with size s occupies [base, base + 2 s).
+    let mut size = vec![0u32; n];
+    for v in 0..n {
+        size[comp[v] as usize] += 1;
+    }
+    let mut tree_base = vec![0u32; n];
+    {
+        let mut acc = 0u32;
+        for r in 0..n {
+            tree_base[r] = acc;
+            acc += 2 * size[r]; // zero for non-roots
+        }
+    }
+
+    let mut parent = vec![NO_PARENT; n];
+    let mut first = vec![0u32; n];
+    let mut last = vec![0u32; n];
+
+    // Roots and isolated vertices get their interval endpoints directly.
+    par_for_write(&mut first, &mut last, n, |v, first_s, last_s| {
+        if comp[v] == v as u32 {
+            let b = tree_base[v];
+            let s = size[v];
+            unsafe {
+                first_s.write(v, b);
+                last_s.write(v, b + 2 * s - 1);
+            }
+        }
+    });
+
+    if num_arcs == 0 {
+        return EulerTour {
+            parent,
+            first,
+            last,
+            total_len: 2 * n,
+        };
+    }
+
+    // --- successor list over arcs ---------------------------------------
+    let offsets = forest.offsets();
+    let targets = forest.targets();
+    let arc_src: Vec<u32> = {
+        let mut v = vec![0u32; num_arcs];
+        let s = SyncUnsafeSlice::new(&mut v);
+        par_for(n, 1024, |u| {
+            for i in offsets[u]..offsets[u + 1] {
+                // SAFETY: disjoint ranges per u.
+                unsafe { s.write(i, u as u32) };
+            }
+        });
+        v
+    };
+    let twin = |e: usize| -> usize {
+        let (u, v) = (arc_src[e], targets[e]);
+        let slice = &targets[offsets[v as usize]..offsets[v as usize + 1]];
+        offsets[v as usize] + slice.binary_search(&u).expect("twin arc exists")
+    };
+
+    let mut succ = vec![NIL; num_arcs];
+    {
+        let s = SyncUnsafeSlice::new(&mut succ);
+        par_for(num_arcs, 1024, |e| {
+            let v = targets[e] as usize;
+            let t = twin(e);
+            let deg = offsets[v + 1] - offsets[v];
+            let j = t - offsets[v];
+            let nxt = offsets[v] + (j + 1) % deg;
+            // SAFETY: one writer per arc.
+            unsafe { s.write(e, nxt as u32) };
+        });
+    }
+    // Break each tree's Euler cycle just before the root's first arc.
+    for r in 0..n {
+        if comp[r] == r as u32 && forest.degree(r as u32) > 0 {
+            let start = offsets[r]; // root's first outgoing arc
+            let pred = twin(offsets[r + 1] - 1); // next(pred) == start
+            debug_assert_eq!(succ[pred], start as u32);
+            succ[pred] = NIL;
+        }
+    }
+
+    // --- list ranking by pointer jumping --------------------------------
+    // rank[e] = number of arcs strictly after e in its list.
+    let mut rank: Vec<u32> = succ.iter().map(|&s| u32::from(s != NIL)).collect();
+    let mut s_cur = succ;
+    let rounds = (usize::BITS - num_arcs.leading_zeros()) as usize;
+    for _ in 0..rounds {
+        let mut rank_next = vec![0u32; num_arcs];
+        let mut s_next = vec![NIL; num_arcs];
+        {
+            let rn = SyncUnsafeSlice::new(&mut rank_next);
+            let sn = SyncUnsafeSlice::new(&mut s_next);
+            let (rank, s_cur) = (&rank, &s_cur);
+            par_for(num_arcs, 2048, |e| {
+                let s = s_cur[e];
+                // SAFETY: one writer per arc in each buffer.
+                unsafe {
+                    if s == NIL {
+                        rn.write(e, rank[e]);
+                        sn.write(e, NIL);
+                    } else {
+                        rn.write(e, rank[e] + rank[s as usize]);
+                        sn.write(e, s_cur[s as usize]);
+                    }
+                }
+            });
+        }
+        rank = rank_next;
+        s_cur = s_next;
+    }
+
+    // Global arc position: tree arcs live at [base+1, base + 2(size-1)].
+    // rank counts arcs after e; its tree has 2(size_t - 1) arcs.
+    let arc_pos = |e: usize| -> u32 {
+        let root = comp[arc_src[e] as usize] as usize;
+        let tree_arcs = 2 * (size[root] - 1);
+        tree_base[root] + 1 + (tree_arcs - 1 - rank[e])
+    };
+
+    // --- parent / first / last ------------------------------------------
+    {
+        let p_s = SyncUnsafeSlice::new(&mut parent);
+        let f_s = SyncUnsafeSlice::new(&mut first);
+        let l_s = SyncUnsafeSlice::new(&mut last);
+        par_for(num_arcs, 1024, |e| {
+            let t = twin(e);
+            let pe = arc_pos(e);
+            let pt = arc_pos(t);
+            if pe < pt {
+                // e = (parent -> child) descend arc
+                let child = targets[e] as usize;
+                // SAFETY: exactly one descend arc per non-root vertex.
+                unsafe {
+                    p_s.write(child, arc_src[e]);
+                    f_s.write(child, pe);
+                    l_s.write(child, pt);
+                }
+            }
+        });
+    }
+
+    EulerTour {
+        parent,
+        first,
+        last,
+        total_len: 2 * n,
+    }
+}
+
+/// Helper: run a loop that may write disjointly into two slices.
+fn par_for_write(
+    a: &mut [u32],
+    b: &mut [u32],
+    n: usize,
+    f: impl Fn(usize, &SyncUnsafeSlice<u32>, &SyncUnsafeSlice<u32>) + Sync,
+) {
+    let a_s = SyncUnsafeSlice::new(a);
+    let b_s = SyncUnsafeSlice::new(b);
+    par_for(n, 1024, |i| f(i, &a_s, &b_s));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::spanning_forest;
+    use pasgal_graph::gen::basic::{binary_tree, grid2d, path, star};
+
+    fn tour_of(g: &pasgal_graph::csr::Graph) -> EulerTour {
+        let f = spanning_forest(g);
+        euler_tour(g.num_vertices(), &f.edges, &f.labels)
+    }
+
+    fn check_invariants(t: &EulerTour, n: usize) {
+        for v in 0..n {
+            assert!(t.first[v] < t.last[v], "v={v}");
+            assert!((t.last[v] as usize) < t.total_len);
+        }
+        // intervals either nest or are disjoint
+        for v in 0..n {
+            for w in 0..n {
+                let (fv, lv) = (t.first[v], t.last[v]);
+                let (fw, lw) = (t.first[w], t.last[w]);
+                let nested = (fv <= fw && lw <= lv) || (fw <= fv && lv <= lw);
+                let disjoint = lv < fw || lw < fv;
+                assert!(nested || disjoint, "v={v} w={w}");
+            }
+        }
+        // parent interval contains child interval
+        for v in 0..n {
+            let p = t.parent[v];
+            if p != NO_PARENT {
+                assert!(t.is_ancestor(p, v as u32), "parent({v}) = {p}");
+                assert!(t.first[p as usize] < t.first[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn path_tour() {
+        let t = tour_of(&path(6));
+        check_invariants(&t, 6);
+        assert_eq!(t.parent[0], NO_PARENT);
+        // a path rooted at 0: parent chain is i-1
+        for v in 1..6 {
+            assert_eq!(t.parent[v], v as u32 - 1);
+        }
+        assert_eq!(t.first[0], 0);
+        assert_eq!(t.last[0], 11);
+    }
+
+    #[test]
+    fn star_tour() {
+        let t = tour_of(&star(8));
+        check_invariants(&t, 8);
+        for v in 1..8 {
+            assert_eq!(t.parent[v], 0);
+            assert_eq!(t.last[v], t.first[v] + 1); // leaves
+        }
+    }
+
+    #[test]
+    fn binary_tree_tour() {
+        let t = tour_of(&binary_tree(15));
+        check_invariants(&t, 15);
+        // ancestor relation matches the arithmetic tree
+        assert!(t.is_ancestor(0, 14));
+        assert!(t.is_ancestor(1, 4));
+        assert!(!t.is_ancestor(1, 2));
+    }
+
+    #[test]
+    fn grid_tour_invariants() {
+        let t = tour_of(&grid2d(5, 6));
+        check_invariants(&t, 30);
+    }
+
+    #[test]
+    fn forest_with_multiple_trees_and_isolated() {
+        // two components {0,1,2} and {3,4}, plus isolated 5
+        let g =
+            pasgal_graph::builder::from_edges_symmetric(6, &[(0, 1), (1, 2), (3, 4)]);
+        let t = tour_of(&g);
+        check_invariants(&t, 6);
+        assert_eq!(t.parent[0], NO_PARENT);
+        assert_eq!(t.parent[3], NO_PARENT);
+        assert_eq!(t.parent[5], NO_PARENT);
+        assert_eq!(t.last[5], t.first[5] + 1);
+        // trees occupy disjoint ranges
+        assert!(t.last[0] < t.first[3] || t.last[3] < t.first[0]);
+    }
+
+    #[test]
+    fn subtree_min_max_match_bruteforce() {
+        let g = binary_tree(31);
+        let f = spanning_forest(&g);
+        let t = euler_tour(31, &f.edges, &f.labels);
+        let vals: Vec<u32> = (0..31).map(|v| (v * 37 % 23) as u32).collect();
+        let got_min = t.subtree_min(&vals);
+        let got_max = t.subtree_max(&vals);
+        for v in 0..31u32 {
+            let members: Vec<usize> =
+                (0..31).filter(|&w| t.is_ancestor(v, w as u32)).collect();
+            let want_min = members.iter().map(|&w| vals[w]).min().unwrap();
+            let want_max = members.iter().map(|&w| vals[w]).max().unwrap();
+            assert_eq!(got_min[v as usize], want_min, "min at {v}");
+            assert_eq!(got_max[v as usize], want_max, "max at {v}");
+        }
+    }
+
+    #[test]
+    fn subtree_agg_on_long_path() {
+        let g = path(200);
+        let f = spanning_forest(&g);
+        let t = euler_tour(200, &f.edges, &f.labels);
+        let vals: Vec<u32> = (0..200u32).collect();
+        let mins = t.subtree_min(&vals);
+        // rooted at 0, subtree of v is {v..199}: min = v
+        for (v, &m) in mins.iter().enumerate() {
+            assert_eq!(m, v as u32);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Hopcroft-Tarjan sequential biconnectivity (1973) — the paper's
+//! sequential baseline and our correctness oracle. Iterative DFS with an
+//! explicit edge stack; when a child subtree cannot reach above the
+//! current vertex (`low[child] ≥ disc[v]`), the edges accumulated since
+//! the tree edge `(v, child)` form one BCC.
+
+use super::{BccResult, EdgeIndexer};
+use crate::common::AlgoStats;
+use pasgal_graph::csr::Graph;
+
+const UNVISITED: u32 = u32::MAX;
+
+/// Sequential Hopcroft-Tarjan BCC.
+pub fn bcc_hopcroft_tarjan(g: &Graph) -> BccResult {
+    assert!(g.is_symmetric(), "BCC requires an undirected graph");
+    let n = g.num_vertices();
+    let indexer = EdgeIndexer::new(g);
+    let m_undirected = indexer.len();
+    let mut edge_labels = vec![u32::MAX; m_undirected];
+    let mut num_bccs = 0u32;
+
+    let mut disc = vec![UNVISITED; n];
+    let mut low = vec![0u32; n];
+    let mut timer = 0u32;
+    let mut edge_stack: Vec<usize> = Vec::new(); // canonical edge ids
+    // frame: (vertex, parent, next neighbor position)
+    let mut frames: Vec<(u32, u32, usize)> = Vec::new();
+    let mut edges_scanned = 0u64;
+
+    for root in 0..n as u32 {
+        if disc[root as usize] != UNVISITED {
+            continue;
+        }
+        disc[root as usize] = timer;
+        low[root as usize] = timer;
+        timer += 1;
+        frames.push((root, UNVISITED, 0));
+
+        while let Some(&mut (v, parent, ref mut pos)) = frames.last_mut() {
+            let nbrs = g.neighbors(v);
+            if *pos < nbrs.len() {
+                let w = nbrs[*pos];
+                *pos += 1;
+                edges_scanned += 1;
+                if disc[w as usize] == UNVISITED {
+                    // tree edge
+                    edge_stack.push(indexer.id(g, v, w));
+                    disc[w as usize] = timer;
+                    low[w as usize] = timer;
+                    timer += 1;
+                    frames.push((w, v, 0));
+                } else if w != parent && disc[w as usize] < disc[v as usize] {
+                    // back edge (counted once, toward the ancestor)
+                    edge_stack.push(indexer.id(g, v, w));
+                    low[v as usize] = low[v as usize].min(disc[w as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (u, _, _)) = frames.last_mut() {
+                    // v was u's child: close the subtree
+                    low[u as usize] = low[u as usize].min(low[v as usize]);
+                    if low[v as usize] >= disc[u as usize] {
+                        // pop one BCC: edges up to and including (u, v)
+                        let cut = indexer.id(g, u, v);
+                        let label = num_bccs;
+                        num_bccs += 1;
+                        loop {
+                            let e = edge_stack.pop().expect("edge stack underflow");
+                            edge_labels[e] = label;
+                            if e == cut {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        debug_assert!(edge_stack.is_empty());
+    }
+
+    debug_assert!(edge_labels.iter().all(|&l| l != u32::MAX));
+    BccResult {
+        edge_labels,
+        num_bccs: num_bccs as usize,
+        stats: AlgoStats {
+            rounds: 1,
+            tasks: 1,
+            edges_traversed: edges_scanned,
+            peak_frontier: 1,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bcc::{articulation_points, bridges};
+    use crate::common::canonicalize_labels;
+    use pasgal_graph::builder::from_edges_symmetric;
+    use pasgal_graph::gen::basic::{clique, cycle, grid2d, path, star};
+
+    #[test]
+    fn cycle_is_one_bcc() {
+        let r = bcc_hopcroft_tarjan(&cycle(5));
+        assert_eq!(r.num_bccs, 1);
+        assert!(r.edge_labels.iter().all(|&l| l == r.edge_labels[0]));
+    }
+
+    #[test]
+    fn path_edges_are_all_bridges() {
+        let g = path(5);
+        let r = bcc_hopcroft_tarjan(&g);
+        assert_eq!(r.num_bccs, 4);
+        assert!(bridges(&r.edge_labels).iter().all(|&b| b));
+        let arts = articulation_points(&g, &r.edge_labels);
+        assert_eq!(arts, vec![false, true, true, true, false]);
+    }
+
+    #[test]
+    fn star_center_is_articulation() {
+        let g = star(5);
+        let r = bcc_hopcroft_tarjan(&g);
+        assert_eq!(r.num_bccs, 4);
+        let arts = articulation_points(&g, &r.edge_labels);
+        assert_eq!(arts, vec![true, false, false, false, false]);
+    }
+
+    #[test]
+    fn clique_is_one_bcc() {
+        let r = bcc_hopcroft_tarjan(&clique(6));
+        assert_eq!(r.num_bccs, 1);
+    }
+
+    #[test]
+    fn grid_is_one_bcc() {
+        let r = bcc_hopcroft_tarjan(&grid2d(4, 5));
+        assert_eq!(r.num_bccs, 1);
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_vertex() {
+        let g = from_edges_symmetric(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
+        let r = bcc_hopcroft_tarjan(&g);
+        assert_eq!(r.num_bccs, 2);
+        let arts = articulation_points(&g, &r.edge_labels);
+        assert_eq!(arts, vec![false, false, true, false, false]);
+    }
+
+    #[test]
+    fn barbell_two_cliques_and_a_bridge() {
+        // clique {0,1,2}, clique {3,4,5}, bridge (2,3)
+        let g = from_edges_symmetric(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        );
+        let r = bcc_hopcroft_tarjan(&g);
+        assert_eq!(r.num_bccs, 3);
+        let br = bridges(&r.edge_labels);
+        let list = crate::bcc::edge_list_canonical(&g);
+        let bridge_edges: Vec<_> = list
+            .iter()
+            .zip(&br)
+            .filter(|(_, &b)| b)
+            .map(|(&e, _)| e)
+            .collect();
+        assert_eq!(bridge_edges, vec![(2, 3)]);
+    }
+
+    #[test]
+    fn cycle_with_chord_still_one_bcc() {
+        let g = from_edges_symmetric(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let r = bcc_hopcroft_tarjan(&g);
+        assert_eq!(r.num_bccs, 1);
+    }
+
+    #[test]
+    fn disconnected_components_counted_separately() {
+        let g = from_edges_symmetric(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5)]);
+        let r = bcc_hopcroft_tarjan(&g);
+        assert_eq!(r.num_bccs, 3); // triangle + two bridges
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let r = bcc_hopcroft_tarjan(&Graph::empty(4, true));
+        assert_eq!(r.num_bccs, 0);
+        assert!(r.edge_labels.is_empty());
+    }
+
+    #[test]
+    fn labels_are_canonicalizable() {
+        let g = cycle(4);
+        let r = bcc_hopcroft_tarjan(&g);
+        let c = canonicalize_labels(&r.edge_labels);
+        assert!(c.iter().all(|&l| l == 0));
+    }
+}

@@ -1,0 +1,210 @@
+//! Biconnected components of undirected graphs.
+//!
+//! A BCC is a maximal edge set in which every two edges lie on a common
+//! simple cycle; bridges are singleton-edge BCCs. All implementations here
+//! output a **label per undirected edge** in one canonical order (see
+//! [`edge_list_canonical`]), so results are directly comparable:
+//!
+//! * [`hopcroft_tarjan`] — the sequential DFS algorithm (paper's baseline,
+//!   Table 2 `Hopcroft-Tarjan*`);
+//! * [`euler`] — the shared substrate: Euler tour + list ranking + subtree
+//!   aggregates over an arbitrary (union-find) spanning forest;
+//! * [`fast`] — FAST-BCC (Dong et al., SPAA'23), the algorithm PASGAL
+//!   ships: connectivity + Euler tour + low/high + cluster union-find.
+//!   `O(n + m)` work, polylogarithmic span, **`O(n)` auxiliary space**, no
+//!   BFS anywhere;
+//! * [`tarjan_vishkin`] — the classic parallel BCC baseline: the same
+//!   structure but it *materializes* the auxiliary graph (`O(m)` space),
+//!   which is exactly why the paper's Table 2 shows `o.o.m.` for it on the
+//!   largest graphs — reproduced here as a space-budget check;
+//! * [`bfs_based`] — GBBS-style baseline: identical labeling machinery but
+//!   the spanning tree comes from a round-synchronous parallel BFS
+//!   (`Ω(D)` rounds), reproducing the synchronization bottleneck.
+
+pub mod bfs_based;
+pub mod euler;
+pub mod fast;
+pub mod hopcroft_tarjan;
+pub mod tarjan_vishkin;
+
+pub use bfs_based::bcc_bfs_based;
+pub use fast::bcc_fast;
+pub use hopcroft_tarjan::bcc_hopcroft_tarjan;
+pub use tarjan_vishkin::{bcc_tarjan_vishkin, bcc_tarjan_vishkin_budgeted, SpaceBudgetExceeded};
+
+use crate::common::AlgoStats;
+use pasgal_graph::csr::Graph;
+use pasgal_graph::VertexId;
+
+/// BCC output: one label per canonical undirected edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BccResult {
+    /// `edge_labels[i]` = BCC id of the i-th canonical edge (see
+    /// [`edge_list_canonical`]). Ids are arbitrary; canonicalize to
+    /// compare.
+    pub edge_labels: Vec<u32>,
+    /// Number of biconnected components (= distinct labels).
+    pub num_bccs: usize,
+    /// Execution statistics.
+    pub stats: AlgoStats,
+}
+
+/// The canonical undirected edge order: `(u, v)` pairs with `u < v`, in
+/// CSR iteration order. Every BCC implementation indexes its output by
+/// this list.
+pub fn edge_list_canonical(g: &Graph) -> Vec<(VertexId, VertexId)> {
+    assert!(g.is_symmetric(), "BCC requires an undirected (symmetric) graph");
+    let mut out = Vec::with_capacity(g.num_edges() / 2);
+    for u in 0..g.num_vertices() as u32 {
+        for &v in g.neighbors(u) {
+            if u < v {
+                out.push((u, v));
+            }
+        }
+    }
+    out
+}
+
+/// Index of a canonical edge `(min, max)` in [`edge_list_canonical`]'s
+/// order, resolvable in `O(log deg)`.
+pub struct EdgeIndexer {
+    /// `base[u]` = number of canonical edges `(a, b)` with `a < u`.
+    base: Vec<usize>,
+}
+
+impl EdgeIndexer {
+    /// Build the indexer for `g`.
+    pub fn new(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        let mut base = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        for u in 0..n as u32 {
+            base.push(acc);
+            let nbrs = g.neighbors(u);
+            let split = nbrs.partition_point(|&v| v <= u);
+            acc += nbrs.len() - split;
+        }
+        base.push(acc);
+        Self { base }
+    }
+
+    /// Total number of canonical edges.
+    pub fn len(&self) -> usize {
+        *self.base.last().unwrap()
+    }
+
+    /// Whether the graph has no canonical edges.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Canonical index of edge `{u, v}` (must exist in `g`).
+    pub fn id(&self, g: &Graph, u: VertexId, v: VertexId) -> usize {
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        let nbrs = g.neighbors(a);
+        let split = nbrs.partition_point(|&x| x <= a);
+        let pos = nbrs[split..]
+            .binary_search(&b)
+            .expect("edge must exist in canonical list");
+        self.base[a as usize] + pos
+    }
+}
+
+/// Articulation points derived from an edge labeling: `v` is an
+/// articulation point iff its incident edges span at least two BCCs.
+pub fn articulation_points(g: &Graph, edge_labels: &[u32]) -> Vec<bool> {
+    let idx = EdgeIndexer::new(g);
+    let n = g.num_vertices();
+    let mut out = vec![false; n];
+    for v in 0..n as u32 {
+        let mut seen: Option<u32> = None;
+        for &w in g.neighbors(v) {
+            let l = edge_labels[idx.id(g, v, w)];
+            match seen {
+                None => seen = Some(l),
+                Some(s) if s != l => {
+                    out[v as usize] = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Bridges derived from an edge labeling: an edge is a bridge iff it is
+/// alone in its BCC.
+pub fn bridges(edge_labels: &[u32]) -> Vec<bool> {
+    use std::collections::HashMap;
+    let mut count: HashMap<u32, u32> = HashMap::new();
+    for &l in edge_labels {
+        *count.entry(l).or_insert(0) += 1;
+    }
+    edge_labels.iter().map(|l| count[l] == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasgal_graph::gen::basic::{cycle, path, star};
+
+    #[test]
+    fn canonical_edge_list_orders_by_min_endpoint() {
+        let g = cycle(4);
+        assert_eq!(edge_list_canonical(&g), vec![(0, 1), (0, 3), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn canonical_list_requires_symmetric() {
+        let g = pasgal_graph::builder::from_edges(3, &[(0, 1)]);
+        let _ = edge_list_canonical(&g);
+    }
+
+    #[test]
+    fn indexer_agrees_with_list() {
+        let g = cycle(6);
+        let list = edge_list_canonical(&g);
+        let idx = EdgeIndexer::new(&g);
+        assert_eq!(idx.len(), list.len());
+        for (i, &(u, v)) in list.iter().enumerate() {
+            assert_eq!(idx.id(&g, u, v), i);
+            assert_eq!(idx.id(&g, v, u), i);
+        }
+    }
+
+    #[test]
+    fn articulation_from_labels_on_two_triangles() {
+        // two triangles sharing vertex 2: {0,1,2} and {2,3,4}
+        let g = pasgal_graph::builder::from_edges_symmetric(
+            5,
+            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)],
+        );
+        let list = edge_list_canonical(&g);
+        // label by "which triangle": edges with both endpoints <= 2 are 0
+        let labels: Vec<u32> = list
+            .iter()
+            .map(|&(u, v)| u32::from(!(u <= 2 && v <= 2)))
+            .collect();
+        let arts = articulation_points(&g, &labels);
+        assert_eq!(arts, vec![false, false, true, false, false]);
+    }
+
+    #[test]
+    fn bridges_on_path_labels() {
+        let _g = path(4);
+        let labels = vec![0, 1, 2]; // every path edge its own BCC
+        assert_eq!(bridges(&labels), vec![true, true, true]);
+    }
+
+    #[test]
+    fn star_edges_each_their_own() {
+        let g = star(4);
+        let list = edge_list_canonical(&g);
+        assert_eq!(list, vec![(0, 1), (0, 2), (0, 3)]);
+        let labels = vec![0, 1, 2];
+        let arts = articulation_points(&g, &labels);
+        assert_eq!(arts, vec![true, false, false, false]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Tarjan-Vishkin parallel biconnectivity (1985) — the classic parallel
+//! baseline.
+//!
+//! Identical clustering rules to [`super::fast`] (FAST-BCC inherits them),
+//! but the auxiliary graph is **materialized**: one auxiliary vertex per
+//! tree edge, one auxiliary edge per applied rule, then a connectivity
+//! pass over the explicit auxiliary edge list. That costs `Θ(m)` extra
+//! space — which is why the paper's Table 2 reports `o.o.m.` for
+//! Tarjan-Vishkin on ClueWeb/Hyperlink-scale graphs while FAST-BCC runs in
+//! `O(n)` auxiliary space. We reproduce the failure mode with an explicit
+//! space budget: [`bcc_tarjan_vishkin_budgeted`] returns
+//! [`SpaceBudgetExceeded`] instead of thrashing.
+
+use super::euler::{euler_tour, NO_PARENT};
+use super::fast::{compute_low_high, read_edge_labels};
+use super::BccResult;
+use crate::cc::spanning_forest;
+use crate::common::AlgoStats;
+use pasgal_collections::union_find::ConcurrentUnionFind;
+use pasgal_parlay::counters::Counters;
+use pasgal_graph::csr::Graph;
+use pasgal_graph::VertexId;
+use rayon::prelude::*;
+
+/// The auxiliary graph would not fit in the configured space budget —
+/// the reproduction of the paper's "o.o.m." table cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpaceBudgetExceeded {
+    /// Bytes the auxiliary structures would need.
+    pub required_bytes: usize,
+    /// The configured budget.
+    pub budget_bytes: usize,
+}
+
+impl std::fmt::Display for SpaceBudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tarjan-vishkin auxiliary graph needs {} bytes, budget is {} (o.o.m.)",
+            self.required_bytes, self.budget_bytes
+        )
+    }
+}
+impl std::error::Error for SpaceBudgetExceeded {}
+
+/// Tarjan-Vishkin BCC with an auxiliary-space budget (bytes).
+pub fn bcc_tarjan_vishkin_budgeted(
+    g: &Graph,
+    budget_bytes: usize,
+) -> Result<BccResult, SpaceBudgetExceeded> {
+    assert!(g.is_symmetric(), "BCC requires an undirected graph");
+    let n = g.num_vertices();
+    let counters = Counters::new();
+
+    counters.add_round();
+    let forest = spanning_forest(g);
+    counters.add_round();
+    let tour = euler_tour(n, &forest.edges, &forest.labels);
+    counters.add_round();
+    let (low, high) = compute_low_high(g, &tour);
+
+    // The defining difference from FAST-BCC: build the auxiliary edge list
+    // explicitly. Budget check *before* allocating (m/2 candidate rule
+    // applications, 8 bytes each, plus the union-find scratch).
+    let worst_aux_edges = g.num_edges() / 2 + n;
+    let required_bytes = worst_aux_edges * std::mem::size_of::<(u32, u32)>() + 4 * n;
+    if required_bytes > budget_bytes {
+        return Err(SpaceBudgetExceeded {
+            required_bytes,
+            budget_bytes,
+        });
+    }
+
+    counters.add_round();
+    let mut aux_edges: Vec<(VertexId, VertexId)> = Vec::new();
+    // tree rule
+    aux_edges.par_extend((0..n as u32).into_par_iter().filter_map(|v| {
+        let u = tour.parent[v as usize];
+        if u == NO_PARENT || tour.parent[u as usize] == NO_PARENT {
+            return None;
+        }
+        let escapes =
+            low[v as usize] < tour.first[u as usize] || high[v as usize] > tour.last[u as usize];
+        escapes.then_some((v, u))
+    }));
+    // non-tree rule
+    let tour_ref = &tour;
+    aux_edges.par_extend(
+        (0..n as u32)
+            .into_par_iter()
+            .flat_map_iter(move |u| {
+                g.neighbors(u)
+                    .iter()
+                    .filter(move |&&v| {
+                        u < v
+                            && tour_ref.parent[u as usize] != v
+                            && tour_ref.parent[v as usize] != u
+                            && !tour_ref.is_ancestor(u, v)
+                            && !tour_ref.is_ancestor(v, u)
+                    })
+                    .map(move |&v| (u, v))
+                    .collect::<Vec<_>>()
+                    .into_iter()
+            }),
+    );
+    counters.add_edges(g.num_edges() as u64);
+    counters.add_tasks(n as u64);
+
+    // Connectivity over the materialized auxiliary graph.
+    counters.add_round();
+    let uf = ConcurrentUnionFind::new(n);
+    aux_edges.par_iter().with_min_len(512).for_each(|&(a, b)| {
+        uf.unite(a, b);
+    });
+
+    counters.add_round();
+    let (edge_labels, num_bccs) = read_edge_labels(g, &tour, &uf);
+    Ok(BccResult {
+        edge_labels,
+        num_bccs,
+        stats: AlgoStats::from(counters.snapshot()),
+    })
+}
+
+/// Tarjan-Vishkin BCC with an unlimited budget.
+pub fn bcc_tarjan_vishkin(g: &Graph) -> BccResult {
+    bcc_tarjan_vishkin_budgeted(g, usize::MAX).expect("unlimited budget")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bcc::hopcroft_tarjan::bcc_hopcroft_tarjan;
+    use crate::common::canonicalize_labels;
+    use pasgal_graph::builder::from_edges_symmetric;
+    use pasgal_graph::gen::basic::{cycle, grid2d, path, random_directed, star};
+    use pasgal_graph::transform::symmetrize;
+
+    fn check(g: &Graph) {
+        let want = bcc_hopcroft_tarjan(g);
+        let got = bcc_tarjan_vishkin(g);
+        assert_eq!(got.num_bccs, want.num_bccs);
+        assert_eq!(
+            canonicalize_labels(&got.edge_labels),
+            canonicalize_labels(&want.edge_labels)
+        );
+    }
+
+    #[test]
+    fn matches_oracle_on_fixtures() {
+        check(&cycle(7));
+        check(&path(9));
+        check(&star(6));
+        check(&grid2d(5, 5));
+        check(&from_edges_symmetric(
+            5,
+            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)],
+        ));
+    }
+
+    #[test]
+    fn matches_oracle_on_random_graphs() {
+        for seed in 0..5 {
+            check(&symmetrize(&random_directed(100, 220, seed)));
+        }
+    }
+
+    #[test]
+    fn budget_failure_reproduces_oom() {
+        let g = grid2d(20, 20);
+        let e = bcc_tarjan_vishkin_budgeted(&g, 64);
+        match e {
+            Err(SpaceBudgetExceeded {
+                required_bytes,
+                budget_bytes,
+            }) => {
+                assert!(required_bytes > budget_bytes);
+            }
+            Ok(_) => panic!("expected o.o.m."),
+        }
+    }
+
+    #[test]
+    fn generous_budget_succeeds() {
+        let g = grid2d(10, 10);
+        assert!(bcc_tarjan_vishkin_budgeted(&g, 1 << 30).is_ok());
+    }
+
+    #[test]
+    fn budget_error_displays_both_numbers() {
+        let e = SpaceBudgetExceeded {
+            required_bytes: 100,
+            budget_bytes: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100") && s.contains("10") && s.contains("o.o.m."));
+    }
+}

@@ -1,0 +1,226 @@
+//! Round-synchronous frontier BFS with direction optimization — the
+//! GBBS-style parallel baseline.
+//!
+//! One global round per hop level (`Ω(D)` rounds total — the scalability
+//! problem the paper attacks). Each round runs either:
+//!
+//! * a **sparse** (top-down) step: map over the frontier, CAS-claim
+//!   undiscovered neighbors, emit the next frontier compactly; or
+//! * a **dense** (bottom-up) step: map over *undiscovered* vertices,
+//!   scan their in-neighbors for a frontier member (early exit on hit) —
+//!   cheaper when the frontier touches most of the graph (Beamer's
+//!   direction optimization).
+//!
+//! Switching heuristics follow GBBS/GAPBS: go dense when the frontier's
+//! out-edge count exceeds `m / alpha`, back to sparse when the frontier
+//! shrinks below `n / beta`. Dense steps need in-neighbors: the transpose
+//! for directed graphs (pass it explicitly) or the graph itself when
+//! symmetric.
+
+use crate::common::{AlgoStats, BfsResult, UNREACHED};
+use pasgal_collections::atomic_array::AtomicU32Array;
+use pasgal_collections::bitvec::AtomicBitVec;
+use pasgal_parlay::counters::Counters;
+use pasgal_parlay::pack::{filter_map_index, pack_index};
+use pasgal_graph::csr::Graph;
+use pasgal_graph::VertexId;
+use rayon::prelude::*;
+
+/// Direction-optimization thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirOptConfig {
+    /// Go dense when frontier out-edges > m / alpha.
+    pub alpha: usize,
+    /// Return to sparse when |frontier| < n / beta.
+    pub beta: usize,
+}
+
+impl Default for DirOptConfig {
+    fn default() -> Self {
+        // GBBS-flavored defaults
+        Self {
+            alpha: 20,
+            beta: 20,
+        }
+    }
+}
+
+/// Flat frontier BFS. `incoming` supplies in-neighbors for dense rounds:
+/// pass `Some(&transpose)` for directed graphs, or `None` to (a) use `g`
+/// itself when symmetric or (b) disable dense rounds entirely.
+pub fn bfs_flat(
+    g: &Graph,
+    src: VertexId,
+    incoming: Option<&Graph>,
+    cfg: &DirOptConfig,
+) -> BfsResult {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let counters = Counters::new();
+    let dist = AtomicU32Array::new(n, UNREACHED);
+    dist.set(src as usize, 0);
+
+    let gin: Option<&Graph> = incoming.or(if g.is_symmetric() { Some(g) } else { None });
+
+    let mut frontier: Vec<VertexId> = vec![src];
+    let mut level: u32 = 0;
+    let mut dense_mode = false;
+
+    while !frontier.is_empty() {
+        counters.add_round();
+        counters.observe_frontier(frontier.len() as u64);
+        let next_level = level + 1;
+
+        // Beamer switch: estimate work on each side.
+        if let Some(gin) = gin {
+            let frontier_edges: u64 = frontier
+                .par_iter()
+                .with_min_len(2048)
+                .map(|&u| g.degree(u) as u64)
+                .sum();
+            if !dense_mode && frontier_edges > (m / cfg.alpha.max(1)) as u64 {
+                dense_mode = true;
+            } else if dense_mode && frontier.len() < n / cfg.beta.max(1) {
+                dense_mode = false;
+            }
+
+            if dense_mode {
+                // Bottom-up: mark frontier in a bitmap, scan undiscovered
+                // vertices' in-neighbors.
+                let in_frontier = AtomicBitVec::new(n);
+                frontier.par_iter().with_min_len(2048).for_each(|&u| {
+                    in_frontier.set(u as usize);
+                });
+                // Phase 1 claims (mutating), phase 2 packs with a pure
+                // predicate — filter_map_index evaluates its closure twice.
+                let claimed = AtomicBitVec::new(n);
+                pasgal_parlay::gran::par_for(n, 512, |v| {
+                    if dist.get(v) != UNREACHED {
+                        return;
+                    }
+                    for &u in gin.neighbors(v as u32) {
+                        counters.add_edges(1);
+                        if in_frontier.get(u as usize) {
+                            dist.set(v, next_level);
+                            claimed.set(v);
+                            return;
+                        }
+                    }
+                });
+                let next = filter_map_index(n, |v| claimed.get(v).then_some(v as u32));
+                counters.add_tasks(frontier.len() as u64);
+                frontier = next;
+                level = next_level;
+                continue;
+            }
+        }
+
+        // Top-down sparse step.
+        let next: Vec<VertexId> = frontier
+            .par_iter()
+            .with_min_len(64)
+            .flat_map_iter(|&u| {
+                counters.add_tasks(1);
+                counters.add_edges(g.degree(u) as u64);
+                g.neighbors(u)
+                    .iter()
+                    .filter(|&&v| dist.cas(v as usize, UNREACHED, next_level))
+                    .copied()
+                    .collect::<Vec<_>>()
+                    .into_iter()
+            })
+            .collect();
+        frontier = next;
+        level = next_level;
+    }
+
+    BfsResult {
+        dist: dist.to_vec(),
+        stats: AlgoStats::from(counters.snapshot()),
+    }
+}
+
+/// All vertices at hop distance exactly `d` (utility for tests/benches).
+pub fn level_set(dist: &[u32], d: u32) -> Vec<VertexId> {
+    pack_index(dist.len(), |v| dist[v] == d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::seq::bfs_seq;
+    use pasgal_graph::gen::basic::{grid2d, path, random_directed, star};
+    use pasgal_graph::gen::rmat::{rmat_undirected, RmatParams};
+    use pasgal_graph::transform::transpose;
+
+    #[test]
+    fn matches_seq_on_path() {
+        let g = path(50);
+        assert_eq!(
+            bfs_flat(&g, 0, None, &DirOptConfig::default()).dist,
+            bfs_seq(&g, 0).dist
+        );
+    }
+
+    #[test]
+    fn matches_seq_on_grid_all_sources_sampled() {
+        let g = grid2d(8, 9);
+        for src in [0u32, 5, 35, 71] {
+            assert_eq!(
+                bfs_flat(&g, src, None, &DirOptConfig::default()).dist,
+                bfs_seq(&g, src).dist,
+                "src {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_seq_on_directed_random_with_transpose() {
+        let g = random_directed(300, 1500, 7);
+        let t = transpose(&g);
+        let want = bfs_seq(&g, 3).dist;
+        assert_eq!(bfs_flat(&g, 3, Some(&t), &DirOptConfig::default()).dist, want);
+        // and without dense phase
+        assert_eq!(bfs_flat(&g, 3, None, &DirOptConfig::default()).dist, want);
+    }
+
+    #[test]
+    fn dense_mode_triggers_on_star() {
+        // star from center: frontier of n-1 leaves, heavy out-edges
+        let g = star(10_000);
+        let cfg = DirOptConfig { alpha: 1000, beta: 2 };
+        let r = bfs_flat(&g, 0, None, &cfg);
+        assert_eq!(bfs_seq(&g, 0).dist, r.dist);
+    }
+
+    #[test]
+    fn matches_seq_on_power_law() {
+        let g = rmat_undirected(RmatParams::social(10, 8, 11));
+        let want = bfs_seq(&g, 0).dist;
+        let got = bfs_flat(&g, 0, None, &DirOptConfig::default());
+        assert_eq!(got.dist, want);
+    }
+
+    #[test]
+    fn rounds_proportional_to_diameter() {
+        let g = path(200);
+        let r = bfs_flat(&g, 0, None, &DirOptConfig::default());
+        assert_eq!(r.stats.rounds, 200); // one round per level (incl. final empty-discovery round)
+    }
+
+    #[test]
+    fn level_set_extracts_levels() {
+        let g = path(5);
+        let r = bfs_flat(&g, 0, None, &DirOptConfig::default());
+        assert_eq!(level_set(&r.dist, 2), vec![2]);
+        assert_eq!(level_set(&r.dist, 9), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_unreached() {
+        let g = pasgal_graph::builder::from_edges(5, &[(0, 1), (2, 3)]);
+        let r = bfs_flat(&g, 0, None, &DirOptConfig::default());
+        assert_eq!(r.dist[2], UNREACHED);
+        assert_eq!(r.dist[4], UNREACHED);
+    }
+}

@@ -1,0 +1,53 @@
+//! GAPBS-style BFS baseline.
+//!
+//! The GAP Benchmark Suite's BFS is the same direction-optimizing
+//! algorithm as [`crate::bfs::flat`] with different tuning: its published
+//! heuristic goes bottom-up when the frontier's edge count exceeds
+//! `m_frontier > m_unexplored / α` with `α = 14`, and returns top-down when
+//! the frontier drops below `n / β` with `β = 24`. We reproduce it as a
+//! configuration of the shared engine, which keeps the comparison
+//! algorithm-to-algorithm (see DESIGN.md §5).
+
+use crate::bfs::flat::{bfs_flat, DirOptConfig};
+use crate::common::BfsResult;
+use pasgal_graph::csr::Graph;
+use pasgal_graph::VertexId;
+
+/// GAPBS's published thresholds.
+pub fn gap_config() -> DirOptConfig {
+    DirOptConfig {
+        alpha: 14,
+        beta: 24,
+    }
+}
+
+/// GAPBS-style BFS (direction optimizing, bitmap dense phase).
+pub fn bfs_gap(g: &Graph, src: VertexId, incoming: Option<&Graph>) -> BfsResult {
+    bfs_flat(g, src, incoming, &gap_config())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::seq::bfs_seq;
+    use pasgal_graph::gen::basic::grid2d;
+    use pasgal_graph::gen::rmat::{rmat_undirected, RmatParams};
+
+    #[test]
+    fn matches_seq_on_grid() {
+        let g = grid2d(7, 13);
+        assert_eq!(bfs_gap(&g, 0, None).dist, bfs_seq(&g, 0).dist);
+    }
+
+    #[test]
+    fn matches_seq_on_power_law() {
+        let g = rmat_undirected(RmatParams::social(9, 10, 4));
+        assert_eq!(bfs_gap(&g, 1, None).dist, bfs_seq(&g, 1).dist);
+    }
+
+    #[test]
+    fn config_has_published_values() {
+        let c = gap_config();
+        assert_eq!((c.alpha, c.beta), (14, 24));
+    }
+}

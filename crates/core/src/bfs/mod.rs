@@ -1,0 +1,21 @@
+//! Breadth-first search: hop distances from a single source.
+//!
+//! Implementations:
+//! * [`seq`] — the standard queue-based sequential BFS (the paper's
+//!   sequential baseline, Table 4's last column);
+//! * [`flat`] — round-synchronous frontier BFS with Beamer
+//!   direction optimization, GBBS-style (`Ω(D)` rounds);
+//! * [`gap`] — the same engine with GAPBS's switching thresholds and
+//!   bitmap-heavy dense phase;
+//! * [`vgc`] — the PASGAL algorithm: VGC local searches + hash-bag
+//!   multi-frontiers (one bag per pending hop distance) + direction
+//!   optimization. Vertices may be visited more than once (a local search
+//!   can assign a provisional non-minimal distance, later improved via
+//!   `write_min`), which the multi-frontier structure keeps cheap.
+//!
+//! All return [`crate::common::BfsResult`] with identical `dist` arrays.
+
+pub mod flat;
+pub mod gap;
+pub mod seq;
+pub mod vgc;

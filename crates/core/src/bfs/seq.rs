@@ -1,0 +1,98 @@
+//! Sequential queue-based BFS — the paper's sequential baseline
+//! ("a queue-based solution", Table 4 `Queue-based*`).
+
+use crate::common::{AlgoStats, BfsResult, HopDist, UNREACHED};
+use pasgal_graph::csr::Graph;
+use pasgal_graph::VertexId;
+use std::collections::VecDeque;
+
+/// Standard sequential BFS from `src`.
+pub fn bfs_seq(g: &Graph, src: VertexId) -> BfsResult {
+    let n = g.num_vertices();
+    let mut dist = vec![UNREACHED; n];
+    let mut q = VecDeque::with_capacity(1024);
+    dist[src as usize] = 0;
+    q.push_back(src);
+    let mut edges = 0u64;
+    while let Some(u) = q.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            edges += 1;
+            if dist[v as usize] == UNREACHED {
+                dist[v as usize] = du + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    BfsResult {
+        dist,
+        stats: AlgoStats {
+            rounds: 1,
+            tasks: 1,
+            edges_traversed: edges,
+            peak_frontier: 1,
+        },
+    }
+}
+
+/// Convenience: number of vertices reached (including the source).
+pub fn reached_count(dist: &[HopDist]) -> usize {
+    dist.iter().filter(|&&d| d != UNREACHED).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasgal_graph::builder::from_edges;
+    use pasgal_graph::gen::basic::{clique, cycle, path, path_directed, star};
+
+    #[test]
+    fn path_distances() {
+        let r = bfs_seq(&path(5), 0);
+        assert_eq!(r.dist, vec![0, 1, 2, 3, 4]);
+        let r = bfs_seq(&path(5), 2);
+        assert_eq!(r.dist, vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn directed_path_one_way() {
+        let r = bfs_seq(&path_directed(4), 2);
+        assert_eq!(r.dist, vec![UNREACHED, UNREACHED, 0, 1]);
+        assert_eq!(reached_count(&r.dist), 2);
+    }
+
+    #[test]
+    fn star_is_one_hop() {
+        let r = bfs_seq(&star(6), 0);
+        assert_eq!(r.dist, vec![0, 1, 1, 1, 1, 1]);
+        let r = bfs_seq(&star(6), 3);
+        assert_eq!(r.dist[0], 1);
+        assert_eq!(r.dist[5], 2);
+    }
+
+    #[test]
+    fn clique_diameter_one() {
+        let r = bfs_seq(&clique(5), 2);
+        assert!(r.dist.iter().enumerate().all(|(v, &d)| d == u32::from(v != 2)));
+    }
+
+    #[test]
+    fn cycle_wraps() {
+        let r = bfs_seq(&cycle(6), 0);
+        assert_eq!(r.dist, vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn disconnected_unreached() {
+        let g = from_edges(4, &[(0, 1)]);
+        let r = bfs_seq(&g, 0);
+        assert_eq!(r.dist, vec![0, 1, UNREACHED, UNREACHED]);
+    }
+
+    #[test]
+    fn edge_count_statistic() {
+        let r = bfs_seq(&path(3), 0);
+        // undirected path stores 4 directed edges; all scanned from reached side
+        assert_eq!(r.stats.edges_traversed, 4);
+    }
+}

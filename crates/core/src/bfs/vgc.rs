@@ -1,0 +1,352 @@
+//! PASGAL BFS: vertical granularity control + hash-bag multi-frontiers +
+//! direction optimization (paper §2.2, "Parallel BFS").
+//!
+//! Each frontier task runs a [`crate::vgc::local_search`]: it walks the
+//! graph depth-first from its start vertex, relaxing hop distances with
+//! monotone `write_min`, until it has traversed at least `τ` edges; only
+//! the vertices discovered beyond the budget are spilled to shared hash
+//! bags. A local search may assign *provisional* (non-minimal) distances —
+//! a vertex can be visited more than once, unlike strict BFS (the paper
+//! states this explicitly). To keep that extra work small the algorithm
+//! maintains **multiple frontiers**: geometric hash bags, where bag `i`
+//! holds vertices roughly `2^i` hops ahead of the wavefront (the paper:
+//! "frontier *i* maintains vertices with distance 2^i from the current
+//! frontier"). A round extracts the nearest nonempty bag and processes the
+//! entries within a window `[d_min, d_min + 2^i)` of its smallest pending
+//! distance — so the benefit of multi-hop rounds is kept while "unready"
+//! vertices far ahead are not expanded prematurely.
+//!
+//! Two rules make this robust (learned the hard way — see the tests):
+//!
+//! 1. **Never drop a pending entry.** A spilled copy can be the only
+//!    record of a vertex's final improvement; entries outside the current
+//!    window are re-bucketed by their *current* distance, and the
+//!    wavefront may even step backward to process late copies. Processing
+//!    late is harmless (distances only improve); dropping loses subtrees.
+//! 2. **Bucketing is purely a heuristic.** Correctness comes from
+//!    monotone `write_min` + "every successful improvement re-enters a
+//!    bag"; the bucket structure only decides processing order and hence
+//!    the amount of wasted re-visiting.
+//!
+//! When the pending set is a large fraction of the graph and in-neighbors
+//! are available, a round switches to a dense bottom-up step (Beamer
+//! direction optimization), exactly like the paper.
+
+use crate::common::{AlgoStats, BfsResult, UNREACHED, VgcConfig};
+use crate::vgc::local_search_fifo_multi;
+use pasgal_collections::atomic_array::AtomicU32Array;
+use pasgal_collections::bitvec::AtomicBitVec;
+use pasgal_collections::hashbag::HashBag;
+use pasgal_parlay::counters::Counters;
+use pasgal_parlay::gran::par_for;
+use pasgal_parlay::pack::filter_map_index;
+use pasgal_graph::csr::Graph;
+use pasgal_graph::VertexId;
+use rayon::prelude::*;
+
+/// Number of geometric frontier bags: bag `i` covers offsets
+/// `[2^i, 2^{i+1})` from the wavefront; the last bag catches everything
+/// farther (offsets can never exceed `n < 2^32`).
+const NUM_BAGS: usize = 32;
+
+/// Go dense when the processed window exceeds `n / DENSE_DIVISOR` (and
+/// in-neighbors are available).
+const DENSE_DIVISOR: usize = 20;
+
+#[inline]
+fn bucket_of(offset: u32) -> usize {
+    // floor(log2(max(offset, 1))), clamped to the last bag
+    let off = offset.max(1);
+    ((31 - off.leading_zeros()) as usize).min(NUM_BAGS - 1)
+}
+
+/// PASGAL BFS from `src` (sparse VGC rounds only; direction optimization
+/// disabled). See [`bfs_vgc_dir`] for the full hybrid.
+pub fn bfs_vgc(g: &Graph, src: VertexId, cfg: &VgcConfig) -> BfsResult {
+    bfs_vgc_dir(g, src, None, cfg)
+}
+
+/// PASGAL BFS with direction optimization. `incoming` supplies
+/// in-neighbors for dense rounds (`None`: use `g` when symmetric, else
+/// stay sparse).
+pub fn bfs_vgc_dir(
+    g: &Graph,
+    src: VertexId,
+    incoming: Option<&Graph>,
+    cfg: &VgcConfig,
+) -> BfsResult {
+    let n = g.num_vertices();
+    let counters = Counters::new();
+    let dist = AtomicU32Array::new(n, UNREACHED);
+    dist.set(src as usize, 0);
+    let gin: Option<&Graph> = incoming.or(if g.is_symmetric() { Some(g) } else { None });
+
+    // Spills per round are bounded by successful relaxations; chunks are
+    // lazy, so generous sizing costs nothing until used.
+    let bags: Vec<HashBag> = (0..NUM_BAGS).map(|_| HashBag::new(2 * n + 16)).collect();
+
+    // Wavefront estimate; only used to pick buckets (heuristic, rule 2).
+    let mut base: u32;
+
+    // Bootstrap: treat the source as a pending entry of bag 0.
+    bags[0].insert(src);
+
+    // Round loop: pull the nearest nonempty bag until all are dry.
+    while let Some(i) = bags.iter().position(|b| !b.is_empty()) {
+        let raw = bags[i].extract_and_clear();
+        // Re-evaluate entries by their *current* distance (rule 1).
+        let entries: Vec<(VertexId, u32)> = raw
+            .into_par_iter()
+            .with_min_len(2048)
+            .map(|v| (v, dist.get(v as usize)))
+            .collect();
+        debug_assert!(entries.iter().all(|&(_, d)| d != UNREACHED));
+        let Some(d_min) = entries.par_iter().map(|&(_, d)| d).min() else {
+            continue;
+        };
+        // Processing window: the nearest 2^i distances of this bag.
+        let width = 1u32 << i.min(30);
+        let hi = d_min.saturating_add(width);
+        base = d_min;
+
+        type Pending = Vec<(VertexId, u32)>;
+        let (window, defer): (Pending, Pending) = entries
+            .into_par_iter()
+            .with_min_len(2048)
+            .partition(|&(_, d)| d < hi);
+        for &(v, d) in &defer {
+            bags[bucket_of(d.saturating_sub(base))].insert(v);
+        }
+        if window.is_empty() {
+            continue;
+        }
+
+        counters.add_round();
+        counters.observe_frontier(window.len() as u64);
+
+        // Dense bottom-up round (direction optimization): expands the
+        // exact level `d_min` collectively; other window entries are
+        // deferred back (they are not expanded by the sweep).
+        if let Some(gin) = gin {
+            if window.len() > n / DENSE_DIVISOR {
+                let next_level = d_min + 1;
+                let claimed_bits = AtomicBitVec::new(n);
+                let scanned = Counters::new();
+                par_for(n, 512, |v| {
+                    if dist.get(v) <= next_level {
+                        return;
+                    }
+                    for &u in gin.neighbors(v as u32) {
+                        scanned.add_edges(1);
+                        if dist.get(u as usize) == d_min {
+                            if dist.write_min(v, next_level) {
+                                claimed_bits.set(v);
+                            }
+                            return;
+                        }
+                    }
+                });
+                let claimed = filter_map_index(n, |v| claimed_bits.get(v).then_some(v as u32));
+                counters.add_tasks(window.len() as u64);
+                counters.add_edges(scanned.edges());
+                for v in claimed {
+                    bags[0].insert(v); // offset 1 from the new wavefront
+                }
+                for (v, d) in window {
+                    if d != d_min {
+                        bags[bucket_of(d.saturating_sub(base))].insert(v);
+                    }
+                }
+                continue;
+            }
+        }
+
+        // Sparse VGC round: one multi-seed local search per frontier
+        // chunk, with budget τ per seed.
+        let tau = cfg.tau;
+        let round_base = base;
+        let seeds: Vec<VertexId> = window.iter().map(|&(v, _)| v).collect();
+        let chunk = crate::vgc::frontier_chunk_len(seeds.len());
+        seeds.par_chunks(chunk).for_each(|grp| {
+            counters.add_tasks(1);
+            let mut spill = |v: VertexId| {
+                let d = dist.get(v as usize);
+                bags[bucket_of(d.saturating_sub(round_base))].insert(v);
+            };
+            let stats = local_search_fifo_multi(
+                g,
+                grp,
+                tau * grp.len(),
+                &|from, to| {
+                    let nd = dist.get(from as usize).saturating_add(1);
+                    dist.write_min(to as usize, nd)
+                },
+                &mut spill,
+            );
+            counters.add_edges(stats.edges);
+        });
+    }
+
+    BfsResult {
+        dist: dist.to_vec(),
+        stats: AlgoStats::from(counters.snapshot()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::seq::bfs_seq;
+    use pasgal_graph::builder::from_edges;
+    use pasgal_graph::gen::basic::{
+        clique, grid2d, grid2d_directed, path, path_directed, random_directed, star,
+    };
+    use pasgal_graph::gen::rmat::{rmat_directed, rmat_undirected, RmatParams};
+    use pasgal_graph::gen::synthetic::{bubbles, traces};
+    use pasgal_graph::transform::transpose;
+
+    fn check(g: &Graph, src: u32, cfg: &VgcConfig) {
+        let want = bfs_seq(g, src).dist;
+        let got = bfs_vgc(g, src, cfg);
+        assert_eq!(got.dist, want, "τ = {}", cfg.tau);
+    }
+
+    #[test]
+    fn bucket_of_is_floor_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(u32::MAX), NUM_BAGS - 1);
+    }
+
+    #[test]
+    fn matches_seq_on_small_fixtures() {
+        for tau in [1, 2, 8, 512] {
+            let cfg = VgcConfig::with_tau(tau);
+            check(&path(30), 0, &cfg);
+            check(&path(30), 15, &cfg);
+            check(&star(20), 3, &cfg);
+            check(&clique(10), 0, &cfg);
+            check(&path_directed(25), 0, &cfg);
+        }
+    }
+
+    #[test]
+    fn matches_seq_on_grid() {
+        for tau in [4, 64, 4096] {
+            check(&grid2d(12, 17), 5, &VgcConfig::with_tau(tau));
+        }
+    }
+
+    #[test]
+    fn matches_seq_on_wide_directed_grid() {
+        // the configuration that exposed the overflow-drop bug
+        let g = grid2d_directed(10, 400, 0.6, 501);
+        check(&g, 0, &VgcConfig::default());
+        check(&g, 0, &VgcConfig::with_tau(8));
+    }
+
+    #[test]
+    fn matches_seq_on_random_directed() {
+        let g = random_directed(500, 2500, 13);
+        for src in [0, 100, 499] {
+            check(&g, src, &VgcConfig::default());
+            check(&g, src, &VgcConfig::with_tau(3));
+        }
+    }
+
+    #[test]
+    fn matches_seq_on_power_law() {
+        let g = rmat_undirected(RmatParams::social(10, 8, 21));
+        check(&g, 0, &VgcConfig::default());
+        let gd = rmat_directed(RmatParams::social(10, 8, 22));
+        check(&gd, 7, &VgcConfig::default());
+    }
+
+    #[test]
+    fn matches_seq_on_large_diameter_families() {
+        check(&bubbles(40, 6, 2), 0, &VgcConfig::default());
+        check(&traces(800, 0.3, 3), 0, &VgcConfig::with_tau(32));
+    }
+
+    #[test]
+    fn deep_local_search_on_chain() {
+        let g = path_directed(5000);
+        check(&g, 0, &VgcConfig::with_tau(100_000));
+        check(&g, 0, &VgcConfig::with_tau(37));
+    }
+
+    #[test]
+    fn far_fewer_rounds_than_flat_bfs_on_chain() {
+        let g = path_directed(4000);
+        let flat_rounds = crate::bfs::flat::bfs_flat(
+            &g,
+            0,
+            None,
+            &crate::bfs::flat::DirOptConfig::default(),
+        )
+        .stats
+        .rounds;
+        let vgc_rounds = bfs_vgc(&g, 0, &VgcConfig::with_tau(512)).stats.rounds;
+        assert_eq!(flat_rounds, 4000);
+        assert!(
+            vgc_rounds * 20 < flat_rounds,
+            "VGC rounds {vgc_rounds} not ≪ flat rounds {flat_rounds}"
+        );
+    }
+
+    #[test]
+    fn fewer_rounds_than_flat_on_narrow_grid() {
+        // wide-and-narrow grid: the case where exact-distance bucketing
+        // degenerated to one round per level
+        let g = grid2d_directed(20, 192, 0.55, 302);
+        let flat = crate::bfs::flat::bfs_flat(
+            &g,
+            0,
+            None,
+            &crate::bfs::flat::DirOptConfig::default(),
+        );
+        let vgc = bfs_vgc(&g, 0, &VgcConfig::default());
+        assert_eq!(flat.dist, vgc.dist);
+        assert!(
+            vgc.stats.rounds < flat.stats.rounds / 2,
+            "vgc {} vs flat {}",
+            vgc.stats.rounds,
+            flat.stats.rounds
+        );
+    }
+
+    #[test]
+    fn direction_optimized_variant_matches() {
+        let g = random_directed(400, 4000, 5);
+        let t = transpose(&g);
+        let want = bfs_seq(&g, 2).dist;
+        let got = bfs_vgc_dir(&g, 2, Some(&t), &VgcConfig::default());
+        assert_eq!(got.dist, want);
+    }
+
+    #[test]
+    fn dense_rounds_trigger_on_dense_symmetric_graph() {
+        let g = clique(2000);
+        let r = bfs_vgc(&g, 0, &VgcConfig::with_tau(4));
+        assert_eq!(bfs_seq(&g, 0).dist, r.dist);
+    }
+
+    #[test]
+    fn disconnected_components_unreached() {
+        let g = from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let r = bfs_vgc(&g, 0, &VgcConfig::default());
+        assert_eq!(r.dist[3], UNREACHED);
+        assert_eq!(r.dist[5], UNREACHED);
+        assert_eq!(&r.dist[..3], &[0, 1, 2]);
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = Graph::empty(1, false);
+        let r = bfs_vgc(&g, 0, &VgcConfig::default());
+        assert_eq!(r.dist, vec![0]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Parallel connectivity and spanning forest (union-find based).
+//!
+//! The BFS-free substrate FAST-BCC and Tarjan-Vishkin build on: a single
+//! parallel sweep over the edges unites endpoints in a
+//! [`ConcurrentUnionFind`]; the edges whose `unite` succeeded form a
+//! spanning forest (each successful unite is a unique merge, so at most
+//! `n - 1` edges win and they are acyclic by construction). No `Ω(D)`
+//! rounds anywhere — this is exactly why the paper's BCC avoids BFS.
+
+use crate::common::AlgoStats;
+use pasgal_collections::union_find::ConcurrentUnionFind;
+use pasgal_parlay::counters::Counters;
+use pasgal_graph::csr::Graph;
+use pasgal_graph::VertexId;
+use rayon::prelude::*;
+
+/// Connectivity output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CcResult {
+    /// `labels[v]` = smallest vertex id in v's component.
+    pub labels: Vec<u32>,
+    /// Number of connected components.
+    pub num_components: usize,
+    /// Execution statistics.
+    pub stats: AlgoStats,
+}
+
+/// Spanning forest output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanningForest {
+    /// Tree edges as `(u, v)` pairs, at most `n - 1`.
+    pub edges: Vec<(VertexId, VertexId)>,
+    /// Component labels (same as [`CcResult::labels`]).
+    pub labels: Vec<u32>,
+}
+
+/// Parallel connected components via concurrent union-find. Treats the
+/// graph as undirected (every stored arc unites its endpoints).
+pub fn connectivity(g: &Graph) -> CcResult {
+    let n = g.num_vertices();
+    let counters = Counters::new();
+    let uf = ConcurrentUnionFind::new(n);
+    (0..n as u32).into_par_iter().with_min_len(512).for_each(|u| {
+        counters.add_tasks(1);
+        for &v in g.neighbors(u) {
+            counters.add_edges(1);
+            uf.unite(u, v);
+        }
+    });
+    counters.add_round();
+    let labels = uf.labels();
+    let num_components = uf.count_sets();
+    CcResult {
+        labels,
+        num_components,
+        stats: AlgoStats::from(counters.snapshot()),
+    }
+}
+
+/// Parallel spanning forest: edges whose `unite` merged two components.
+///
+/// Returns each tree edge once (as the `(u, v)` orientation that won the
+/// race). Deterministic *as a forest* (it spans), not as a specific edge
+/// set under true concurrency — callers must not rely on which edge of a
+/// cycle wins.
+pub fn spanning_forest(g: &Graph) -> SpanningForest {
+    let n = g.num_vertices();
+    let uf = ConcurrentUnionFind::new(n);
+    let edges: Vec<(VertexId, VertexId)> = (0..n as u32)
+        .into_par_iter()
+        .with_min_len(512)
+        .flat_map_iter(|u| {
+            let uf = &uf;
+            g.neighbors(u)
+                .iter()
+                .filter(move |&&v| {
+                    // skip one direction of symmetric pairs cheaply
+                    (u < v || !g.has_edge(v, u)) && uf.unite(u, v)
+                })
+                .map(move |&v| (u, v))
+                .collect::<Vec<_>>()
+                .into_iter()
+        })
+        .collect();
+    SpanningForest {
+        edges,
+        labels: uf.labels(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasgal_graph::builder::{from_edges, from_edges_symmetric};
+    use pasgal_graph::gen::basic::{clique, cycle, grid2d, path};
+
+    #[test]
+    fn single_component_grid() {
+        let r = connectivity(&grid2d(6, 7));
+        assert_eq!(r.num_components, 1);
+        assert!(r.labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn multiple_components() {
+        let g = from_edges_symmetric(7, &[(0, 1), (1, 2), (3, 4), (5, 6)]);
+        let r = connectivity(&g);
+        assert_eq!(r.num_components, 3);
+        assert_eq!(r.labels, vec![0, 0, 0, 3, 3, 5, 5]);
+    }
+
+    #[test]
+    fn isolated_vertices_are_their_own_components() {
+        let g = Graph::empty(4, true);
+        let r = connectivity(&g);
+        assert_eq!(r.num_components, 4);
+    }
+
+    #[test]
+    fn directed_arcs_treated_as_undirected() {
+        let g = from_edges(3, &[(0, 1), (2, 1)]);
+        let r = connectivity(&g);
+        assert_eq!(r.num_components, 1);
+    }
+
+    #[test]
+    fn forest_has_right_edge_count_and_spans() {
+        let g = grid2d(5, 8);
+        let f = spanning_forest(&g);
+        assert_eq!(f.edges.len(), 39); // n - 1 for a connected graph
+        // forest connects everything: rebuild a DSU from the tree edges
+        let uf = ConcurrentUnionFind::new(40);
+        for &(u, v) in &f.edges {
+            assert!(uf.unite(u, v), "cycle edge in forest: ({u}, {v})");
+        }
+        assert_eq!(uf.count_sets(), 1);
+    }
+
+    #[test]
+    fn forest_on_disconnected_graph() {
+        let g = from_edges_symmetric(6, &[(0, 1), (1, 2), (3, 4)]);
+        let f = spanning_forest(&g);
+        assert_eq!(f.edges.len(), 3);
+        assert_eq!(f.labels, vec![0, 0, 0, 3, 3, 5]);
+    }
+
+    #[test]
+    fn forest_of_clique_is_acyclic() {
+        let f = spanning_forest(&clique(20));
+        assert_eq!(f.edges.len(), 19);
+    }
+
+    #[test]
+    fn forest_of_cycle_drops_exactly_one_edge() {
+        let f = spanning_forest(&cycle(10));
+        assert_eq!(f.edges.len(), 9);
+    }
+
+    #[test]
+    fn path_forest_is_the_path() {
+        let f = spanning_forest(&path(5));
+        let mut es: Vec<_> = f
+            .edges
+            .iter()
+            .map(|&(u, v)| (u.min(v), u.max(v)))
+            .collect();
+        es.sort_unstable();
+        assert_eq!(es, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Shared result types, configuration, and label canonicalization.
+
+use pasgal_parlay::counters::CounterSnapshot;
+
+/// Hop distance type for BFS (`u32::MAX` = unreached).
+pub type HopDist = u32;
+
+/// Sentinel for "unreached" in BFS hop distances.
+pub const UNREACHED: HopDist = HopDist::MAX;
+
+/// Machine-independent execution statistics, reported by every parallel
+/// algorithm.
+///
+/// The paper's large-diameter results are driven by `rounds` (each round is
+/// one global fork/join + synchronization): classic frontier algorithms pay
+/// `Ω(D)` rounds, VGC collapses that. Reporting these lets the benchmark
+/// harness reproduce the paper's *mechanism* regardless of core count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlgoStats {
+    /// Global synchronization rounds executed.
+    pub rounds: u64,
+    /// Parallel base-case tasks spawned.
+    pub tasks: u64,
+    /// Edge traversals performed (includes wasted re-visits).
+    pub edges_traversed: u64,
+    /// Largest frontier observed.
+    pub peak_frontier: u64,
+}
+
+impl From<CounterSnapshot> for AlgoStats {
+    fn from(c: CounterSnapshot) -> Self {
+        Self {
+            rounds: c.rounds,
+            tasks: c.tasks,
+            edges_traversed: c.edges,
+            peak_frontier: c.peak_frontier,
+        }
+    }
+}
+
+/// Tuning for vertical granularity control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VgcConfig {
+    /// Minimum edge traversals per local-search task before it hands the
+    /// rest of its discoveries to the shared frontier (the paper's `τ`).
+    pub tau: usize,
+}
+
+impl Default for VgcConfig {
+    fn default() -> Self {
+        Self { tau: 512 }
+    }
+}
+
+impl VgcConfig {
+    /// Config with a specific `τ`.
+    pub fn with_tau(tau: usize) -> Self {
+        Self { tau: tau.max(1) }
+    }
+}
+
+/// BFS output: hop distances from the source plus stats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfsResult {
+    /// `dist[v]` = hop distance from the source, [`UNREACHED`] if none.
+    pub dist: Vec<HopDist>,
+    /// Execution statistics.
+    pub stats: AlgoStats,
+}
+
+/// SCC output: a component label per vertex plus stats. Labels are
+/// arbitrary ids; use [`canonicalize_labels`] before comparing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SccResult {
+    /// `labels[v]` = SCC id of `v`.
+    pub labels: Vec<u32>,
+    /// Number of strongly connected components.
+    pub num_sccs: usize,
+    /// Execution statistics.
+    pub stats: AlgoStats,
+}
+
+/// SSSP output: shortest distances plus stats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SsspResult {
+    /// `dist[v]` = shortest distance from the source, `u64::MAX` if
+    /// unreached.
+    pub dist: Vec<u64>,
+    /// Execution statistics.
+    pub stats: AlgoStats,
+}
+
+/// Rewrite arbitrary labels so each class is named by its smallest member
+/// vertex id. Two labelings describe the same partition iff their
+/// canonical forms are equal.
+pub fn canonicalize_labels(labels: &[u32]) -> Vec<u32> {
+    use std::collections::HashMap;
+    let mut rep: HashMap<u32, u32> = HashMap::new();
+    for (v, &l) in labels.iter().enumerate() {
+        let e = rep.entry(l).or_insert(v as u32);
+        if *e > v as u32 {
+            *e = v as u32;
+        }
+    }
+    labels.iter().map(|l| rep[l]).collect()
+}
+
+/// Count the distinct labels in a labeling.
+pub fn count_labels(labels: &[u32]) -> usize {
+    let mut sorted: Vec<u32> = labels.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalize_maps_to_min_member() {
+        // classes: {0,2} labeled 9, {1} labeled 4, {3} labeled 9? no — keep
+        // distinct labels distinct
+        let labels = vec![9, 4, 9, 7];
+        let c = canonicalize_labels(&labels);
+        assert_eq!(c, vec![0, 1, 0, 3]);
+    }
+
+    #[test]
+    fn canonical_forms_equal_iff_same_partition() {
+        let a = vec![5, 5, 8, 8];
+        let b = vec![1, 1, 0, 0];
+        assert_eq!(canonicalize_labels(&a), canonicalize_labels(&b));
+        let c = vec![1, 2, 0, 0];
+        assert_ne!(canonicalize_labels(&a), canonicalize_labels(&c));
+    }
+
+    #[test]
+    fn count_labels_counts() {
+        assert_eq!(count_labels(&[3, 3, 1, 2]), 3);
+        assert_eq!(count_labels(&[]), 0);
+    }
+
+    #[test]
+    fn vgc_config_clamps_tau() {
+        assert_eq!(VgcConfig::with_tau(0).tau, 1);
+        assert_eq!(VgcConfig::default().tau, 512);
+    }
+
+    #[test]
+    fn algo_stats_from_snapshot() {
+        let c = CounterSnapshot {
+            rounds: 1,
+            tasks: 2,
+            edges: 3,
+            peak_frontier: 4,
+        };
+        let s: AlgoStats = c.into();
+        assert_eq!(s.rounds, 1);
+        assert_eq!(s.edges_traversed, 3);
+    }
+}

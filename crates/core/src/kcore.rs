@@ -1,0 +1,272 @@
+//! k-core decomposition — the first of the paper's announced extensions
+//! ("we believe the techniques in current PASGAL can be extended to more
+//! problems, including *k-core and other peeling algorithms*").
+//!
+//! The coreness of a vertex is the largest `k` such that it survives in
+//! the `k`-core (the maximal subgraph with all degrees ≥ `k`).
+//!
+//! * [`kcore_seq`] — the Batagelj–Zaveršnik bucket algorithm, `O(n + m)`,
+//!   the sequential baseline and oracle;
+//! * [`kcore_peel`] — parallel peeling in the PASGAL style: for each
+//!   `k = 1, 2, …` repeatedly remove the frontier of vertices whose
+//!   induced degree dropped below `k` (atomic decrement of neighbor
+//!   degrees claims removals), with the cascades held in a **hash bag**
+//!   and processed by **multi-hop VGC local searches** — a removal chain
+//!   of length `L` costs `O(L / τ)` rounds instead of `O(L)` (peeling
+//!   chains are the diameter-like bottleneck of k-core: think of a long
+//!   path, which is one cascade of length `n`).
+//!
+//! ```
+//! use pasgal_core::kcore::{kcore_peel, kcore_seq};
+//! use pasgal_graph::builder::from_edges_symmetric;
+//!
+//! // triangle {0,1,2} with a pendant path 2-3-4
+//! let g = from_edges_symmetric(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]);
+//! let r = kcore_peel(&g, 512);
+//! assert_eq!(r.coreness, vec![2, 2, 2, 1, 1]);
+//! assert_eq!(r.coreness, kcore_seq(&g).coreness);
+//! ```
+
+use crate::common::AlgoStats;
+use pasgal_collections::atomic_array::AtomicU32Array;
+use pasgal_collections::hashbag::HashBag;
+use pasgal_parlay::counters::Counters;
+use pasgal_parlay::pack::pack_index;
+use pasgal_graph::csr::Graph;
+use pasgal_graph::VertexId;
+use rayon::prelude::*;
+
+/// k-core output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KcoreResult {
+    /// `coreness[v]` = largest `k` with `v` in the `k`-core.
+    pub coreness: Vec<u32>,
+    /// The degeneracy (max coreness).
+    pub degeneracy: u32,
+    /// Execution statistics.
+    pub stats: AlgoStats,
+}
+
+/// Sequential Batagelj–Zaveršnik k-core (bucket peeling).
+pub fn kcore_seq(g: &Graph) -> KcoreResult {
+    assert!(g.is_symmetric(), "k-core requires an undirected graph");
+    let n = g.num_vertices();
+    let mut degree: Vec<u32> = (0..n as u32).map(|v| g.degree(v) as u32).collect();
+    let maxd = degree.iter().copied().max().unwrap_or(0) as usize;
+
+    // bucket sort by degree
+    let mut bucket_start = vec![0usize; maxd + 2];
+    for &d in &degree {
+        bucket_start[d as usize + 1] += 1;
+    }
+    for i in 1..bucket_start.len() {
+        bucket_start[i] += bucket_start[i - 1];
+    }
+    let mut order = vec![0u32; n]; // vertices sorted by current degree
+    let mut pos = vec![0usize; n];
+    {
+        let mut cursor = bucket_start.clone();
+        for v in 0..n as u32 {
+            let d = degree[v as usize] as usize;
+            order[cursor[d]] = v;
+            pos[v as usize] = cursor[d];
+            cursor[d] += 1;
+        }
+    }
+    // bucket_start[d] = first index of degree-d zone in `order`
+    let mut edges = 0u64;
+    let mut coreness = vec![0u32; n];
+    for i in 0..n {
+        let v = order[i];
+        let dv = degree[v as usize];
+        coreness[v as usize] = dv;
+        for &w in g.neighbors(v) {
+            edges += 1;
+            if degree[w as usize] > dv {
+                // move w one bucket down: swap with the first element of
+                // its degree zone, then shrink the zone
+                let dw = degree[w as usize] as usize;
+                let pw = pos[w as usize];
+                let z = bucket_start[dw].max(i + 1);
+                let u = order[z];
+                order.swap(pw, z);
+                pos[w as usize] = z;
+                pos[u as usize] = pw;
+                bucket_start[dw] = z + 1;
+                degree[w as usize] -= 1;
+            }
+        }
+    }
+    let degeneracy = coreness.iter().copied().max().unwrap_or(0);
+    KcoreResult {
+        coreness,
+        degeneracy,
+        stats: AlgoStats {
+            rounds: 1,
+            tasks: 1,
+            edges_traversed: edges,
+            peak_frontier: 1,
+        },
+    }
+}
+
+/// Parallel peeling k-core with VGC-style cascade processing.
+pub fn kcore_peel(g: &Graph, tau: usize) -> KcoreResult {
+    assert!(g.is_symmetric(), "k-core requires an undirected graph");
+    let n = g.num_vertices();
+    let counters = Counters::new();
+    let degree = AtomicU32Array::new(n, 0);
+    (0..n).into_par_iter().with_min_len(2048).for_each(|v| {
+        degree.set(v, g.degree(v as u32) as u32);
+    });
+    let coreness = AtomicU32Array::new(n, u32::MAX); // MAX = alive
+    let bag = HashBag::new(2 * n + 16);
+    let mut k = 0u32;
+
+    // Level loop: advance k to the smallest remaining degree (skipping
+    // empty levels) until everything is peeled.
+    while let Some(next_k) = (0..n as u32)
+        .into_par_iter()
+        .with_min_len(2048)
+        .filter(|&v| coreness.get(v as usize) == u32::MAX)
+        .map(|v| degree.get(v as usize))
+        .min()
+    {
+        k = k.max(next_k);
+
+        // initial frontier for this k: every alive vertex with degree ≤ k,
+        // claimed by CAS (peel order within a level is irrelevant to
+        // coreness values)
+        let mut frontier: Vec<VertexId> =
+            pack_index(n, |v| coreness.get(v) == u32::MAX && degree.get(v) <= k);
+        frontier.retain(|&v| coreness.cas(v as usize, u32::MAX, k));
+
+        while !frontier.is_empty() {
+            counters.add_round();
+            counters.observe_frontier(frontier.len() as u64);
+            let chunk = crate::vgc::frontier_chunk_len(frontier.len());
+            let k_now = k;
+            frontier.par_chunks(chunk).for_each(|grp| {
+                counters.add_tasks(1);
+                // VGC: process the whole removal cascade locally up to the
+                // aggregate budget; overflow cascades spill to the bag.
+                let mut queue: std::collections::VecDeque<VertexId> =
+                    grp.iter().copied().collect();
+                let budget = (tau * grp.len()) as u64;
+                let mut edges = 0u64;
+                while let Some(u) = queue.pop_front() {
+                    if edges >= budget {
+                        bag.insert(u);
+                        continue;
+                    }
+                    for &w in g.neighbors(u) {
+                        edges += 1;
+                        if coreness.get(w as usize) != u32::MAX {
+                            continue;
+                        }
+                        // decrement = wrapping add of -1; post-claim
+                        // stragglers may drive the (now irrelevant) value
+                        // past zero, which the claimed-check above makes
+                        // harmless
+                        let old = degree.fetch_add(w as usize, u32::MAX);
+                        if old != 0
+                            && old - 1 <= k_now
+                            && coreness.cas(w as usize, u32::MAX, k_now)
+                        {
+                            queue.push_back(w);
+                        }
+                    }
+                }
+                counters.add_edges(edges);
+            });
+            // spilled vertices are already claimed; they re-enter as
+            // cascade seeds (their neighbors still need decrementing)
+            frontier = bag.extract_and_clear();
+        }
+    }
+
+    let coreness = coreness.to_vec();
+    let degeneracy = coreness.iter().copied().max().unwrap_or(0);
+    KcoreResult {
+        coreness,
+        degeneracy,
+        stats: AlgoStats::from(counters.snapshot()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasgal_graph::builder::from_edges_symmetric;
+    use pasgal_graph::gen::basic::{clique, cycle, grid2d, path, random_directed, star};
+    use pasgal_graph::gen::rmat::{rmat_undirected, RmatParams};
+    use pasgal_graph::transform::symmetrize;
+
+    fn check(g: &Graph) {
+        let want = kcore_seq(g);
+        for tau in [1, 64, 4096] {
+            let got = kcore_peel(g, tau);
+            assert_eq!(got.coreness, want.coreness, "tau={tau}");
+            assert_eq!(got.degeneracy, want.degeneracy);
+        }
+    }
+
+    #[test]
+    fn known_corenesses() {
+        let r = kcore_seq(&clique(6));
+        assert!(r.coreness.iter().all(|&c| c == 5));
+        let r = kcore_seq(&cycle(8));
+        assert!(r.coreness.iter().all(|&c| c == 2));
+        let r = kcore_seq(&path(6));
+        assert!(r.coreness.iter().all(|&c| c == 1));
+        let r = kcore_seq(&star(5));
+        assert!(r.coreness.iter().all(|&c| c == 1));
+        let r = kcore_seq(&grid2d(5, 9));
+        assert_eq!(r.degeneracy, 2);
+    }
+
+    #[test]
+    fn triangle_with_tail() {
+        // triangle {0,1,2} (coreness 2) with path 2-3-4 (coreness 1)
+        let g = from_edges_symmetric(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]);
+        let r = kcore_seq(&g);
+        assert_eq!(r.coreness, vec![2, 2, 2, 1, 1]);
+        check(&g);
+    }
+
+    #[test]
+    fn parallel_matches_seq_on_fixtures() {
+        check(&clique(8));
+        check(&cycle(20));
+        check(&path(30));
+        check(&grid2d(6, 8));
+        check(&Graph::empty(4, true));
+    }
+
+    #[test]
+    fn parallel_matches_seq_on_random_graphs() {
+        for seed in 0..4 {
+            check(&symmetrize(&random_directed(150, 500, seed)));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_seq_on_power_law() {
+        check(&rmat_undirected(RmatParams::social(8, 6, 3)));
+    }
+
+    #[test]
+    fn long_cascade_uses_few_rounds_with_big_tau() {
+        // a path is one removal cascade of length n
+        let g = path(3000);
+        let small = kcore_peel(&g, 2);
+        let big = kcore_peel(&g, 4096);
+        assert_eq!(small.coreness, big.coreness);
+        assert!(
+            big.stats.rounds * 10 < small.stats.rounds.max(10),
+            "big-τ rounds {} vs small-τ rounds {}",
+            big.stats.rounds,
+            small.stats.rounds
+        );
+    }
+}

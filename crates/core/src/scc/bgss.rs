@@ -1,0 +1,457 @@
+//! BGSS SCC — the randomized multi-search algorithm of Blelloch, Gu, Shun
+//! & Sun, which is what GBBS actually ships for SCC, and what Wang et
+//! al.'s PPoPP'23 paper (the SCC PASGAL adopts) accelerates with VGC and
+//! hash bags.
+//!
+//! Vertices are processed as *centers* in a random order, in batches of
+//! doubling size. For each batch the algorithm computes, for every live
+//! vertex `v`, the set of batch centers that reach `v` (forward search on
+//! `g`) and that `v` reaches (backward search on the transpose), as a
+//! table of `(v, center)` **pairs** — one concurrent hash-set insert per
+//! pair, which simultaneously deduplicates the pair frontier. Then:
+//!
+//! * `v` is *finished* if some center appears in both sets: `v` belongs to
+//!   that center's SCC (all common centers are mutually strongly
+//!   connected, so the minimum is a consistent label);
+//! * surviving vertices are *partitioned* by their (forward set, backward
+//!   set) signature — provably, two vertices with different signatures
+//!   cannot share an SCC, and searches never cross partition boundaries,
+//!   so later batches do less work.
+//!
+//! The search order is pluggable, mirroring the paper's comparison:
+//! [`scc_bgss_bfs`] expands pairs one hop per round (GBBS), while
+//! [`scc_bgss_vgc`] runs budgeted multi-hop local searches over pairs with
+//! [`HashBag64`] spill buffers (Wang et al. / PASGAL).
+
+use crate::common::{AlgoStats, SccResult, VgcConfig};
+use crate::scc::reach::ReachEngine;
+use pasgal_collections::atomic_array::AtomicU32Array;
+use pasgal_collections::hashbag::HashBag64;
+use pasgal_collections::u64set::ConcurrentU64Set;
+use pasgal_parlay::counters::Counters;
+use pasgal_parlay::hash::hash64;
+use pasgal_parlay::rng::SplitRng;
+use pasgal_graph::csr::Graph;
+use pasgal_graph::transform::transpose;
+use pasgal_graph::VertexId;
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+const UNFINISHED: u32 = u32::MAX;
+
+#[inline]
+fn pack(v: VertexId, c_idx: u32) -> u64 {
+    ((v as u64) << 32) | c_idx as u64
+}
+
+#[inline]
+fn unpack(p: u64) -> (VertexId, u32) {
+    ((p >> 32) as u32, p as u32)
+}
+
+struct BgssState<'g> {
+    g: &'g Graph,
+    scc_id: AtomicU32Array,
+    part: AtomicU32Array,
+    counters: Counters,
+    engine: ReachEngine,
+}
+
+impl<'g> BgssState<'g> {
+    fn live(&self, v: VertexId) -> bool {
+        self.scc_id.get(v as usize) == UNFINISHED
+    }
+
+    /// Multi-source pair search from `centers` over `dir`. `center_part`
+    /// gives each center's partition; a pair `(v, i)` expands only through
+    /// live vertices of partition `center_part[i]`. Returns all pairs.
+    fn multi_search(&self, dir: &Graph, centers: &[VertexId], center_part: &[u32]) -> Vec<u64> {
+        // Capacity guessing with restart-on-overflow: pair counts are
+        // expected O(live) per batch (the BGSS bound), but adversarial
+        // inputs can exceed any guess; a retry with doubled capacity keeps
+        // the common case cheap.
+        let mut cap = 4 * centers.len().max(1) * 256 + 1024;
+        loop {
+            match self.try_multi_search(dir, centers, center_part, cap) {
+                Some(pairs) => return pairs,
+                None => cap *= 2,
+            }
+        }
+    }
+
+    fn try_multi_search(
+        &self,
+        dir: &Graph,
+        centers: &[VertexId],
+        center_part: &[u32],
+        cap: usize,
+    ) -> Option<Vec<u64>> {
+        let pairs = ConcurrentU64Set::new(cap);
+        let overflow = std::sync::atomic::AtomicBool::new(false);
+        let full = || overflow.load(std::sync::atomic::Ordering::Relaxed);
+        // hard ceiling for this capacity; insert() panics past the table
+        // size, so stop growing the frontier well before that
+        let limit = cap;
+
+        let try_claim = |v: VertexId, i: u32| -> bool {
+            self.part.get(v as usize) == center_part[i as usize]
+                && self.live(v)
+                && pairs.len() < limit
+                && pairs.insert(pack(v, i))
+        };
+
+        let mut frontier: Vec<u64> = centers
+            .iter()
+            .enumerate()
+            .filter(|&(i, &c)| {
+                pairs.len() < limit && pairs.insert(pack(c, i as u32))
+            })
+            .map(|(i, &c)| pack(c, i as u32))
+            .collect();
+
+        match self.engine {
+            ReachEngine::BfsOrder => {
+                while !frontier.is_empty() && !full() {
+                    self.counters.add_round();
+                    self.counters.observe_frontier(frontier.len() as u64);
+                    frontier = frontier
+                        .par_iter()
+                        .with_min_len(64)
+                        .flat_map_iter(|&p| {
+                            self.counters.add_tasks(1);
+                            let (v, i) = unpack(p);
+                            self.counters.add_edges(dir.degree(v) as u64);
+                            if pairs.len() + dir.degree(v) >= limit {
+                                overflow.store(true, std::sync::atomic::Ordering::Relaxed);
+                                return Vec::new().into_iter();
+                            }
+                            dir.neighbors(v)
+                                .iter()
+                                .filter(|&&w| try_claim(w, i))
+                                .map(|&w| pack(w, i))
+                                .collect::<Vec<_>>()
+                                .into_iter()
+                        })
+                        .collect();
+                }
+            }
+            ReachEngine::Vgc(cfg) => {
+                let bag = HashBag64::new(2 * self.g.num_vertices() + 1024);
+                while !frontier.is_empty() && !full() {
+                    self.counters.add_round();
+                    self.counters.observe_frontier(frontier.len() as u64);
+                    let chunk = crate::vgc::frontier_chunk_len(frontier.len());
+                    frontier.par_chunks(chunk).for_each(|grp| {
+                        self.counters.add_tasks(1);
+                        let mut stack: Vec<u64> = grp.to_vec();
+                        let budget = (cfg.tau * grp.len()) as u64;
+                        let mut edges = 0u64;
+                        while let Some(p) = stack.pop() {
+                            if edges >= budget || full() {
+                                bag.insert(p);
+                                continue;
+                            }
+                            let (v, i) = unpack(p);
+                            if pairs.len() + dir.degree(v) >= limit {
+                                overflow.store(true, std::sync::atomic::Ordering::Relaxed);
+                                bag.insert(p);
+                                continue;
+                            }
+                            for &w in dir.neighbors(v) {
+                                edges += 1;
+                                if try_claim(w, i) {
+                                    stack.push(pack(w, i));
+                                }
+                            }
+                        }
+                        self.counters.add_edges(edges);
+                    });
+                    frontier = bag.extract_and_clear();
+                }
+                // drain any leftovers from an aborted round
+                let _ = bag.extract_and_clear();
+            }
+        }
+        if full() {
+            None
+        } else {
+            Some(pairs.keys())
+        }
+    }
+}
+
+/// Group pairs by vertex: returns `(vertex, sorted center-index list)`.
+fn group_pairs(pairs: Vec<u64>) -> HashMap<VertexId, Vec<u32>> {
+    let mut by_vertex: HashMap<VertexId, Vec<u32>> = HashMap::new();
+    for p in pairs {
+        let (v, i) = unpack(p);
+        by_vertex.entry(v).or_default().push(i);
+    }
+    for l in by_vertex.values_mut() {
+        l.sort_unstable();
+    }
+    by_vertex
+}
+
+/// BGSS SCC with an explicit engine and precomputed transpose.
+pub fn scc_bgss(g: &Graph, gt: &Graph, engine: ReachEngine, seed: u64) -> SccResult {
+    let n = g.num_vertices();
+    assert_eq!(gt.num_vertices(), n);
+    let state = BgssState {
+        g,
+        scc_id: AtomicU32Array::new(n, UNFINISHED),
+        part: AtomicU32Array::new(n, 0),
+        counters: Counters::new(),
+        engine,
+    };
+
+    // --- iterated trim (as in GBBS): peel zero in/out degree vertices ----
+    let mut changed = true;
+    while changed {
+        state.counters.add_round();
+        let trimmed: usize = (0..n as u32)
+            .into_par_iter()
+            .with_min_len(512)
+            .map(|v| {
+                if !state.live(v) {
+                    return 0;
+                }
+                let has_out = g.neighbors(v).iter().any(|&u| u != v && state.live(u));
+                let has_in =
+                    has_out && gt.neighbors(v).iter().any(|&u| u != v && state.live(u));
+                if !has_in {
+                    state.scc_id.set(v as usize, v);
+                    1
+                } else {
+                    0
+                }
+            })
+            .sum();
+        changed = trimmed > 0;
+    }
+
+    // --- random center order, batches of doubling size -------------------
+    let rng = SplitRng::new(seed ^ 0xb655);
+    let mut perm: Vec<VertexId> = (0..n as u32).collect();
+    perm.sort_unstable_by_key(|&v| hash64(rng.u64_at(v as u64)));
+
+    let mut pos = 0usize;
+    let mut batch = 1usize;
+    let mut next_part = 1u32;
+
+    while pos < n {
+        // collect the next `batch` live centers
+        let mut centers: Vec<VertexId> = Vec::with_capacity(batch);
+        while pos < n && centers.len() < batch {
+            let v = perm[pos];
+            pos += 1;
+            if state.live(v) {
+                centers.push(v);
+            }
+        }
+        if centers.is_empty() {
+            break;
+        }
+        batch = (batch * 2).min(1 << 14);
+        let center_part: Vec<u32> = centers
+            .iter()
+            .map(|&c| state.part.get(c as usize))
+            .collect();
+
+        state.counters.add_round(); // batch boundary
+        let fwd = group_pairs(state.multi_search(g, &centers, &center_part));
+        let bwd = group_pairs(state.multi_search(gt, &centers, &center_part));
+
+        // finish SCCs and refine partitions
+        let empty: Vec<u32> = Vec::new();
+        let mut sig_to_part: HashMap<(u32, u64, u64), u32> = HashMap::new();
+        let touched: std::collections::HashSet<VertexId> =
+            fwd.keys().chain(bwd.keys()).copied().collect();
+        for &v in &touched {
+            if !state.live(v) {
+                continue;
+            }
+            let f = fwd.get(&v).unwrap_or(&empty);
+            let b = bwd.get(&v).unwrap_or(&empty);
+            // intersection of two sorted lists
+            let (mut i, mut j) = (0, 0);
+            let mut common_min: Option<u32> = None;
+            while i < f.len() && j < b.len() {
+                match f[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        common_min = Some(f[i]);
+                        break;
+                    }
+                }
+            }
+            if let Some(ci) = common_min {
+                state.scc_id.set(v as usize, centers[ci as usize]);
+                continue;
+            }
+            // signature-based refinement: 128 bits of set identity (two
+            // independent 64-bit hashes) — collision odds ~ n²/2¹²⁸
+            let hset = |l: &[u32], salt: u64| -> u64 {
+                let mut h = hash64(salt);
+                for &x in l {
+                    h ^= hash64((x as u64 + 1).wrapping_mul(salt | 1));
+                    h = hash64(h);
+                }
+                h
+            };
+            let old = state.part.get(v as usize);
+            let sig = (
+                old,
+                hset(f, 0x5151).wrapping_add(hset(b, 0x1313)),
+                hset(f, 0x9090) ^ hset(b, 0x7777).rotate_left(17),
+            );
+            let id = *sig_to_part.entry(sig).or_insert_with(|| {
+                let id = next_part;
+                next_part += 1;
+                id
+            });
+            state.part.set(v as usize, id);
+        }
+    }
+
+    let labels = state.scc_id.to_vec();
+    debug_assert!(labels.iter().all(|&l| l != UNFINISHED));
+    let num_sccs = labels
+        .iter()
+        .enumerate()
+        .filter(|&(v, &l)| l == v as u32)
+        .count();
+    SccResult {
+        labels,
+        num_sccs,
+        stats: AlgoStats::from(state.counters.snapshot()),
+    }
+}
+
+/// GBBS's SCC: BGSS with strict BFS-order pair expansion.
+pub fn scc_bgss_bfs(g: &Graph) -> SccResult {
+    let gt = transpose(g);
+    scc_bgss(g, &gt, ReachEngine::BfsOrder, 0x6bb5)
+}
+
+/// Wang et al. / PASGAL SCC: BGSS with VGC local searches over pairs and
+/// hash-bag spill buffers.
+pub fn scc_bgss_vgc(g: &Graph, cfg: &VgcConfig) -> SccResult {
+    let gt = transpose(g);
+    scc_bgss(g, &gt, ReachEngine::Vgc(*cfg), 0x6bb5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::canonicalize_labels;
+    use crate::scc::tarjan::scc_tarjan;
+    use pasgal_graph::builder::from_edges;
+    use pasgal_graph::gen::basic::{
+        cycle_directed, grid2d_directed, path_directed, random_directed,
+    };
+    use pasgal_graph::gen::rmat::{rmat_directed, RmatParams};
+
+    fn check(g: &Graph) {
+        let want = scc_tarjan(g);
+        for (name, got) in [
+            ("bgss-bfs", scc_bgss_bfs(g)),
+            ("bgss-vgc", scc_bgss_vgc(g, &VgcConfig::default())),
+            ("bgss-vgc-tau4", scc_bgss_vgc(g, &VgcConfig::with_tau(4))),
+        ] {
+            assert_eq!(got.num_sccs, want.num_sccs, "{name}: count");
+            assert_eq!(
+                canonicalize_labels(&got.labels),
+                canonicalize_labels(&want.labels),
+                "{name}: labels"
+            );
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let p = pack(0xdead_beef, 0x1234_5678);
+        assert_eq!(unpack(p), (0xdead_beef, 0x1234_5678));
+    }
+
+    #[test]
+    fn tiny_fixtures() {
+        check(&cycle_directed(6));
+        check(&path_directed(8));
+        check(&from_edges(
+            5,
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (2, 3)],
+        ));
+        check(&Graph::empty(4, false));
+    }
+
+    #[test]
+    fn two_sccs_with_tendrils() {
+        let g = from_edges(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 5),
+                (6, 7),
+            ],
+        );
+        check(&g);
+    }
+
+    #[test]
+    fn random_directed_matches_tarjan() {
+        for seed in 0..5 {
+            check(&random_directed(150, 450, seed));
+        }
+    }
+
+    #[test]
+    fn denser_random_graph_with_giant_scc() {
+        check(&random_directed(250, 2500, 9));
+    }
+
+    #[test]
+    fn power_law_matches() {
+        check(&rmat_directed(RmatParams::social(9, 8, 17)));
+    }
+
+    #[test]
+    fn directed_grid_matches() {
+        check(&grid2d_directed(8, 25, 0.5, 3));
+    }
+
+    #[test]
+    fn many_small_sccs_partition_refinement_works() {
+        // a long cycle of 2-cycles: u <-> u+1 pairs chained one-way
+        let mut edges = Vec::new();
+        for i in (0..100u32).step_by(2) {
+            edges.push((i, i + 1));
+            edges.push((i + 1, i));
+            if i + 2 < 100 {
+                edges.push((i + 1, i + 2));
+            }
+        }
+        check(&from_edges(100, &edges));
+    }
+
+    #[test]
+    fn vgc_variant_uses_fewer_rounds_on_directed_grid() {
+        let g = grid2d_directed(5, 400, 0.6, 4);
+        let bfs = scc_bgss_bfs(&g);
+        let vgc = scc_bgss_vgc(&g, &VgcConfig::default());
+        assert_eq!(bfs.num_sccs, vgc.num_sccs);
+        assert!(
+            vgc.stats.rounds < bfs.stats.rounds,
+            "vgc {} !< bfs {}",
+            vgc.stats.rounds,
+            bfs.stats.rounds
+        );
+    }
+}

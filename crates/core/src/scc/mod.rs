@@ -1,0 +1,101 @@
+//! Strongly connected components.
+//!
+//! Implementations:
+//! * [`tarjan`] — the standard sequential algorithm (Tarjan 1972), the
+//!   paper's sequential baseline (Table 3 `Tarjan*`);
+//! * [`reach`] — the shared *reachability search* kernels every parallel
+//!   SCC algorithm is built from: BFS-order (round per hop, `Ω(D)` rounds)
+//!   and VGC local-search order (the paper's §2.1 relaxation: "a
+//!   reachability search does not require a strong BFS order");
+//! * [`fwbw`] — parallel trim + forward/backward reachability framework
+//!   with a pluggable reachability engine:
+//!   [`scc_bfs_based`] (GBBS-style, BFS-order reachability) and
+//!   [`scc_vgc`] (PASGAL: VGC reachability + hash bags);
+//! * [`multistep`] — the Multistep baseline (Slota et al. 2014): iterated
+//!   trim, one FW-BW for the giant SCC, label-propagation coloring for the
+//!   rest, with the original's 32-bit vertex-id limitation reproduced;
+//! * [`bgss`] — the randomized multi-search algorithm of Blelloch et al.
+//!   (what GBBS actually ships, and what Wang et al.'s VGC SCC builds on):
+//!   batched centers, `(vertex, center)` pair tables, partition
+//!   refinement — again with both BFS-order and VGC engines.
+
+pub mod bgss;
+pub mod fwbw;
+pub mod multistep;
+pub mod reach;
+pub mod tarjan;
+
+pub use bgss::{scc_bgss_bfs, scc_bgss_vgc};
+pub use fwbw::{scc_bfs_based, scc_vgc};
+pub use multistep::scc_multistep;
+pub use tarjan::scc_tarjan;
+
+use pasgal_graph::csr::Graph;
+use pasgal_graph::VertexId;
+
+/// Build the condensation DAG: one vertex per SCC, one edge per pair of
+/// adjacent distinct SCCs (deduplicated). Returns the DAG and the dense
+/// component id (`0..num_sccs`) of every original vertex, numbered by
+/// each component's smallest member.
+pub fn condensation(g: &Graph, labels: &[u32]) -> (Graph, Vec<u32>) {
+    assert_eq!(labels.len(), g.num_vertices());
+    let canon = crate::common::canonicalize_labels(labels);
+    // dense ids ordered by representative (= smallest member id)
+    let mut reps: Vec<u32> = canon.clone();
+    reps.sort_unstable();
+    reps.dedup();
+    let dense = |l: u32| -> u32 { reps.binary_search(&l).expect("canonical label") as u32 };
+    let comp: Vec<u32> = canon.iter().map(|&l| dense(l)).collect();
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    for (u, v) in g.edges() {
+        let (cu, cv) = (comp[u as usize], comp[v as usize]);
+        if cu != cv {
+            edges.push((cu, cv));
+        }
+    }
+    let dag = pasgal_graph::builder::from_edges(reps.len(), &edges);
+    (dag, comp)
+}
+
+#[cfg(test)]
+mod condensation_tests {
+    use super::*;
+    use crate::common::VgcConfig;
+    use pasgal_graph::builder::from_edges;
+    use pasgal_graph::gen::basic::random_directed;
+
+    #[test]
+    fn two_sccs_with_bridge() {
+        let g = from_edges(5, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4)]);
+        let r = scc_tarjan(&g);
+        let (dag, comp) = condensation(&g, &r.labels);
+        assert_eq!(dag.num_vertices(), 3); // {0,1}, {2,3}, {4}
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        // edges: {0,1} -> {2,3} -> {4}
+        assert_eq!(dag.num_edges(), 2);
+    }
+
+    #[test]
+    fn condensation_is_acyclic() {
+        for seed in 0..3 {
+            let g = random_directed(200, 800, seed);
+            let r = scc_vgc(&g, &VgcConfig::default());
+            let (dag, _) = condensation(&g, &r.labels);
+            // every SCC of a condensation is a singleton
+            let rd = scc_tarjan(&dag);
+            assert_eq!(rd.num_sccs, dag.num_vertices(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn strongly_connected_graph_condenses_to_a_point() {
+        let g = pasgal_graph::gen::basic::cycle_directed(10);
+        let r = scc_tarjan(&g);
+        let (dag, comp) = condensation(&g, &r.labels);
+        assert_eq!(dag.num_vertices(), 1);
+        assert_eq!(dag.num_edges(), 0);
+        assert!(comp.iter().all(|&c| c == 0));
+    }
+}

@@ -1,0 +1,277 @@
+//! Multistep SCC — the baseline of Slota, Rajamanickam & Madduri (IPDPS
+//! 2014), reproduced from the published algorithm:
+//!
+//! 1. **Trim** iteratively: vertices with zero live in- or out-degree are
+//!    singleton SCCs (repeat until fixpoint — this removes the enormous
+//!    tendril sets of web/social graphs);
+//! 2. **FW-BW once**: from a max-degree-product pivot, BFS-order forward
+//!    and backward searches; the intersection is the giant SCC;
+//! 3. **Coloring** (MultiStep-C) on the remainder: propagate the maximum
+//!    vertex id forward to fixpoint; every color root then claims its SCC
+//!    by a backward search restricted to its color; repeat;
+//! 4. **Serial cutoff**: when few vertices remain, finish with sequential
+//!    Tarjan on the induced subgraph (as the original does).
+//!
+//! The original implementation stores vertex ids in 32-bit ints and
+//! therefore cannot process graphs with more than 2³² vertices — the
+//! paper's Table 3 marks CW/HL14/HL12 as "n.s." for Multistep. We
+//! reproduce the limitation as an explicit capability check.
+
+use crate::common::{AlgoStats, SccResult};
+use crate::scc::reach::{reach, ReachEngine};
+use pasgal_collections::atomic_array::AtomicU32Array;
+use pasgal_collections::bitvec::AtomicBitVec;
+use pasgal_parlay::counters::Counters;
+use pasgal_graph::csr::Graph;
+use pasgal_graph::transform::transpose;
+use pasgal_graph::VertexId;
+use rayon::prelude::*;
+
+const UNLABELED: u32 = u32::MAX;
+
+/// The original Multistep's vertex-id capacity (32-bit ints).
+pub const MULTISTEP_MAX_VERTICES: usize = u32::MAX as usize;
+
+/// Below this many live vertices, switch to sequential Tarjan.
+const SERIAL_CUTOFF: usize = 256;
+
+/// Error for inputs beyond the original implementation's capability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unsupported(pub String);
+
+impl std::fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "multistep: {}", self.0)
+    }
+}
+impl std::error::Error for Unsupported {}
+
+/// Multistep SCC. Fails (like the original, which is 32-bit-only) on
+/// graphs with more than [`MULTISTEP_MAX_VERTICES`] vertices.
+pub fn scc_multistep(g: &Graph) -> Result<SccResult, Unsupported> {
+    let n = g.num_vertices();
+    if n > MULTISTEP_MAX_VERTICES {
+        return Err(Unsupported(format!(
+            "graph has {n} vertices; the original Multistep uses 32-bit vertex ids"
+        )));
+    }
+    let gt = transpose(g);
+    let counters = Counters::new();
+    let labels = AtomicU32Array::new(n, UNLABELED);
+    let live = |v: VertexId| labels.get(v as usize) == UNLABELED;
+
+    // --- Phase 1: iterated trim -----------------------------------------
+    let mut changed = true;
+    while changed {
+        counters.add_round();
+        let trimmed: usize = (0..n as u32)
+            .into_par_iter()
+            .with_min_len(512)
+            .map(|v| {
+                if !live(v) {
+                    return 0;
+                }
+                let has_out = g.neighbors(v).iter().any(|&u| u != v && live(u));
+                let has_in = has_out && gt.neighbors(v).iter().any(|&u| u != v && live(u));
+                if !has_in {
+                    labels.set(v as usize, v);
+                    1
+                } else {
+                    0
+                }
+            })
+            .sum();
+        changed = trimmed > 0;
+    }
+
+    // --- Phase 2: one FW-BW for the giant SCC ---------------------------
+    let pivot = (0..n as u32)
+        .into_par_iter()
+        .with_min_len(512)
+        .filter(|&v| live(v))
+        .map(|v| {
+            let key = (g.degree(v) as u64 + 1) * (gt.degree(v) as u64 + 1);
+            (key, std::cmp::Reverse(v))
+        })
+        .max()
+        .map(|(_, std::cmp::Reverse(v))| v);
+
+    if let Some(pivot) = pivot {
+        let fwd = AtomicBitVec::new(n);
+        let bwd = AtomicBitVec::new(n);
+        reach(g, &[pivot], &|v| live(v), &fwd, ReachEngine::BfsOrder, &counters);
+        reach(&gt, &[pivot], &|v| live(v), &bwd, ReachEngine::BfsOrder, &counters);
+        (0..n).into_par_iter().with_min_len(2048).for_each(|v| {
+            if fwd.get(v) && bwd.get(v) {
+                labels.set(v, pivot);
+            }
+        });
+    }
+
+    // --- Phase 3: coloring rounds on the remainder ----------------------
+    loop {
+        let remaining: Vec<VertexId> = (0..n as u32)
+            .into_par_iter()
+            .with_min_len(2048)
+            .filter(|&v| live(v))
+            .collect();
+        if remaining.is_empty() {
+            break;
+        }
+        if remaining.len() <= SERIAL_CUTOFF {
+            // Serial cutoff: Tarjan on the induced live subgraph.
+            finish_serial(g, &remaining, &labels);
+            counters.add_round();
+            break;
+        }
+
+        // Color propagation: color[v] := max over {v} ∪ live in-neighbors,
+        // iterated to fixpoint (forward propagation of max ids).
+        let colors = AtomicU32Array::new(n, 0);
+        remaining.par_iter().for_each(|&v| colors.set(v as usize, v));
+        let mut dirty = true;
+        while dirty {
+            counters.add_round();
+            let flips: u64 = remaining
+                .par_iter()
+                .with_min_len(256)
+                .map(|&v| {
+                    let mut changed = 0u64;
+                    let cv = colors.get(v as usize);
+                    for &w in g.neighbors(v) {
+                        counters.add_edges(1);
+                        if live(w) && colors.write_max(w as usize, cv) {
+                            changed += 1;
+                        }
+                    }
+                    changed
+                })
+                .sum();
+            dirty = flips > 0;
+        }
+
+        // Each color root claims its SCC by a backward search restricted
+        // to its own color.
+        let roots: Vec<VertexId> = remaining
+            .par_iter()
+            .copied()
+            .filter(|&v| colors.get(v as usize) == v)
+            .collect();
+        let claimed = AtomicBitVec::new(n);
+        counters.add_round();
+        roots.par_iter().with_min_len(1).for_each(|&r| {
+            // sequential backward walk per root (roots are numerous and
+            // their color classes small after the giant SCC is gone)
+            let mut stack = vec![r];
+            claimed.set(r as usize);
+            labels.set(r as usize, r);
+            while let Some(u) = stack.pop() {
+                for &w in gt.neighbors(u) {
+                    counters.add_edges(1);
+                    if colors.get(w as usize) == r
+                        && labels.get(w as usize) == UNLABELED
+                        && claimed.test_and_set(w as usize)
+                    {
+                        labels.set(w as usize, r);
+                        stack.push(w);
+                    }
+                }
+            }
+        });
+    }
+
+    let labels = labels.to_vec();
+    let num_sccs = labels
+        .iter()
+        .enumerate()
+        .filter(|&(v, &l)| l == v as u32)
+        .count();
+    Ok(SccResult {
+        labels,
+        num_sccs,
+        stats: AlgoStats::from(counters.snapshot()),
+    })
+}
+
+/// Sequential Tarjan on the subgraph induced by `verts`, writing final
+/// labels (original vertex ids) into `labels`.
+fn finish_serial(g: &Graph, verts: &[VertexId], labels: &AtomicU32Array) {
+    use pasgal_graph::transform::induced_subgraph;
+    let mut sorted = verts.to_vec();
+    sorted.sort_unstable();
+    let sub = induced_subgraph(g, &sorted);
+    let r = crate::scc::tarjan::scc_tarjan(&sub);
+    // map each component to its smallest original member id
+    let canon = crate::common::canonicalize_labels(&r.labels);
+    for (local, &rep_local) in canon.iter().enumerate() {
+        let orig = sorted[local];
+        let rep = sorted[rep_local as usize];
+        labels.set(orig as usize, rep);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::canonicalize_labels;
+    use crate::scc::tarjan::scc_tarjan;
+    use pasgal_graph::builder::from_edges;
+    use pasgal_graph::gen::basic::{
+        cycle_directed, grid2d_directed, path_directed, random_directed,
+    };
+    use pasgal_graph::gen::rmat::{rmat_directed, RmatParams};
+
+    fn check(g: &Graph) {
+        let want = scc_tarjan(g);
+        let got = scc_multistep(g).expect("supported");
+        assert_eq!(got.num_sccs, want.num_sccs);
+        assert_eq!(
+            canonicalize_labels(&got.labels),
+            canonicalize_labels(&want.labels)
+        );
+    }
+
+    #[test]
+    fn tiny_fixtures() {
+        check(&cycle_directed(5));
+        check(&path_directed(7));
+        check(&Graph::empty(3, false));
+        check(&from_edges(
+            5,
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (2, 3)],
+        ));
+    }
+
+    #[test]
+    fn random_graphs_match_tarjan() {
+        for seed in 0..4 {
+            check(&random_directed(150, 450, seed));
+        }
+    }
+
+    #[test]
+    fn larger_random_graph_exercises_coloring() {
+        // big enough that the coloring phase (not just the serial cutoff)
+        // does real work
+        check(&random_directed(3000, 6000, 11));
+    }
+
+    #[test]
+    fn power_law_matches() {
+        check(&rmat_directed(RmatParams::social(9, 6, 8)));
+    }
+
+    #[test]
+    fn directed_grid_matches() {
+        check(&grid2d_directed(6, 30, 0.5, 2));
+    }
+
+    #[test]
+    fn capability_check_is_documented() {
+        // we cannot build a >2^32-vertex graph here; assert the constant
+        // used by the check matches the published limitation
+        assert_eq!(MULTISTEP_MAX_VERTICES, u32::MAX as usize);
+        let e = Unsupported("x".into());
+        assert!(e.to_string().contains("multistep"));
+    }
+}

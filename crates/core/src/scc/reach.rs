@@ -1,0 +1,237 @@
+//! Reachability search kernels.
+//!
+//! Every parallel SCC algorithm here reduces to "mark all vertices
+//! reachable from a set of sources, restricted to an allowed subset".
+//! The paper's observation (§2.1): a reachability search *does not need
+//! BFS order* — so it admits vertical granularity control. The two
+//! engines below differ only in that:
+//!
+//! * [`ReachEngine::BfsOrder`] — round-synchronous frontier expansion,
+//!   one hop per round (`Ω(D)` synchronizations; how GBBS and Multistep
+//!   perform their searches);
+//! * [`ReachEngine::Vgc`] — each frontier task runs a budgeted multi-hop
+//!   local search, spilling overflow into a hash bag (PASGAL).
+//!
+//! Both mark bits in a shared [`AtomicBitVec`]; the claim is an atomic
+//! test-and-set, so every vertex is expanded exactly once regardless of
+//! engine or schedule.
+
+use crate::common::VgcConfig;
+use crate::vgc::local_search_multi;
+use pasgal_collections::bitvec::AtomicBitVec;
+use pasgal_collections::hashbag::HashBag;
+use pasgal_parlay::counters::Counters;
+use pasgal_graph::csr::Graph;
+use pasgal_graph::VertexId;
+use rayon::prelude::*;
+
+/// Which traversal order a reachability search uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReachEngine {
+    /// Strict one-hop-per-round frontier expansion (the baselines).
+    BfsOrder,
+    /// VGC local searches with the given budget (PASGAL).
+    Vgc(VgcConfig),
+}
+
+/// Mark everything reachable from `sources` in `visited`, expanding only
+/// through vertices `v` with `allowed(v)` true. Sources are marked
+/// unconditionally (even if `allowed` is false for them, matching FW-BW
+/// pivot semantics). Round/task/edge statistics accumulate into
+/// `counters`.
+pub fn reach(
+    g: &Graph,
+    sources: &[VertexId],
+    allowed: &(impl Fn(VertexId) -> bool + Sync),
+    visited: &AtomicBitVec,
+    engine: ReachEngine,
+    counters: &Counters,
+) {
+    let mut frontier: Vec<VertexId> = sources
+        .iter()
+        .copied()
+        .filter(|&s| visited.test_and_set(s as usize))
+        .collect();
+    if frontier.is_empty() {
+        return;
+    }
+    match engine {
+        ReachEngine::BfsOrder => {
+            while !frontier.is_empty() {
+                counters.add_round();
+                counters.observe_frontier(frontier.len() as u64);
+                frontier = frontier
+                    .par_iter()
+                    .with_min_len(64)
+                    .flat_map_iter(|&u| {
+                        counters.add_tasks(1);
+                        counters.add_edges(g.degree(u) as u64);
+                        g.neighbors(u)
+                            .iter()
+                            .filter(|&&v| allowed(v) && visited.test_and_set(v as usize))
+                            .copied()
+                            .collect::<Vec<_>>()
+                            .into_iter()
+                    })
+                    .collect();
+            }
+        }
+        ReachEngine::Vgc(cfg) => {
+            let bag = HashBag::new(g.num_vertices().max(1));
+            while !frontier.is_empty() {
+                counters.add_round();
+                counters.observe_frontier(frontier.len() as u64);
+                let chunk = crate::vgc::frontier_chunk_len(frontier.len());
+                frontier.par_chunks(chunk).for_each(|grp| {
+                    counters.add_tasks(1);
+                    let mut spill = |v: VertexId| bag.insert(v);
+                    let stats = local_search_multi(
+                        g,
+                        grp,
+                        cfg.tau * grp.len(),
+                        &|_, v| allowed(v) && visited.test_and_set(v as usize),
+                        &mut spill,
+                    );
+                    counters.add_edges(stats.edges);
+                });
+                frontier = bag.extract_and_clear();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasgal_graph::builder::from_edges;
+    use pasgal_graph::gen::basic::{grid2d, path_directed, random_directed};
+
+    fn reach_set(g: &Graph, sources: &[u32], engine: ReachEngine) -> Vec<bool> {
+        let visited = AtomicBitVec::new(g.num_vertices());
+        let counters = Counters::new();
+        reach(g, sources, &|_| true, &visited, engine, &counters);
+        (0..g.num_vertices()).map(|v| visited.get(v)).collect()
+    }
+
+    fn oracle(g: &Graph, sources: &[u32]) -> Vec<bool> {
+        let mut seen = vec![false; g.num_vertices()];
+        let mut stack: Vec<u32> = sources.to_vec();
+        for &s in sources {
+            seen[s as usize] = true;
+        }
+        while let Some(u) = stack.pop() {
+            for &v in g.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+
+    #[test]
+    fn engines_agree_with_oracle() {
+        let g = random_directed(400, 1600, 3);
+        for engine in [
+            ReachEngine::BfsOrder,
+            ReachEngine::Vgc(VgcConfig::default()),
+            ReachEngine::Vgc(VgcConfig::with_tau(2)),
+        ] {
+            assert_eq!(reach_set(&g, &[0], engine), oracle(&g, &[0]));
+            assert_eq!(reach_set(&g, &[7, 13], engine), oracle(&g, &[7, 13]));
+        }
+    }
+
+    #[test]
+    fn allowed_restricts_expansion() {
+        let g = path_directed(10);
+        let visited = AtomicBitVec::new(10);
+        let counters = Counters::new();
+        // block vertex 5: reachability stops there
+        reach(
+            &g,
+            &[0],
+            &|v| v != 5,
+            &visited,
+            ReachEngine::Vgc(VgcConfig::default()),
+            &counters,
+        );
+        assert!((0..5).all(|v| visited.get(v)));
+        assert!((5..10).all(|v| !visited.get(v)));
+    }
+
+    #[test]
+    fn sources_marked_even_if_disallowed() {
+        let g = path_directed(3);
+        let visited = AtomicBitVec::new(3);
+        let counters = Counters::new();
+        reach(
+            &g,
+            &[0],
+            &|_| false,
+            &visited,
+            ReachEngine::BfsOrder,
+            &counters,
+        );
+        assert!(visited.get(0));
+        assert!(!visited.get(1));
+    }
+
+    #[test]
+    fn already_visited_sources_do_nothing() {
+        let g = path_directed(5);
+        let visited = AtomicBitVec::new(5);
+        visited.set(0);
+        let counters = Counters::new();
+        reach(
+            &g,
+            &[0],
+            &|_| true,
+            &visited,
+            ReachEngine::BfsOrder,
+            &counters,
+        );
+        assert_eq!(visited.count_ones(), 1);
+        assert_eq!(counters.rounds(), 0);
+    }
+
+    #[test]
+    fn vgc_uses_fewer_rounds_on_chain() {
+        let g = path_directed(2000);
+        let c_bfs = Counters::new();
+        let v1 = AtomicBitVec::new(2000);
+        reach(&g, &[0], &|_| true, &v1, ReachEngine::BfsOrder, &c_bfs);
+        let c_vgc = Counters::new();
+        let v2 = AtomicBitVec::new(2000);
+        reach(
+            &g,
+            &[0],
+            &|_| true,
+            &v2,
+            ReachEngine::Vgc(VgcConfig::with_tau(256)),
+            &c_vgc,
+        );
+        assert_eq!(v1.count_ones(), v2.count_ones());
+        assert!(
+            c_vgc.rounds() * 50 < c_bfs.rounds(),
+            "vgc {} vs bfs {}",
+            c_vgc.rounds(),
+            c_bfs.rounds()
+        );
+    }
+
+    #[test]
+    fn grid_reach_complete() {
+        let g = grid2d(10, 10);
+        let got = reach_set(&g, &[55], ReachEngine::Vgc(VgcConfig::with_tau(16)));
+        assert!(got.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn disconnected_piece_untouched() {
+        let g = from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let got = reach_set(&g, &[0], ReachEngine::Vgc(VgcConfig::default()));
+        assert_eq!(got, vec![true, true, true, false, false, false]);
+    }
+}

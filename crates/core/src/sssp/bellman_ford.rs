@@ -1,0 +1,90 @@
+//! Parallel frontier Bellman-Ford — the naive round-synchronous SSSP
+//! baseline.
+//!
+//! Each round relaxes all out-edges of the vertices improved in the
+//! previous round, in parallel via `write_min`. On non-negative weights
+//! this converges after at most `n - 1` rounds; in practice, after about
+//! one round per "hop radius" of the shortest-path tree — so, like
+//! BFS-order traversal, it pays `Ω(D)` synchronizations on large-diameter
+//! graphs.
+
+use super::INF;
+use crate::common::{AlgoStats, SsspResult};
+use pasgal_collections::atomic_array::AtomicU64Array;
+use pasgal_collections::bitvec::AtomicBitVec;
+use pasgal_parlay::counters::Counters;
+use pasgal_parlay::pack::filter_map_index;
+use pasgal_graph::csr::Graph;
+use pasgal_graph::VertexId;
+use rayon::prelude::*;
+
+/// Parallel Bellman-Ford from `src`.
+pub fn sssp_bellman_ford(g: &Graph, src: VertexId) -> SsspResult {
+    let n = g.num_vertices();
+    let counters = Counters::new();
+    let dist = AtomicU64Array::new(n, INF);
+    dist.set(src as usize, 0);
+    let mut frontier: Vec<VertexId> = vec![src];
+
+    while !frontier.is_empty() {
+        counters.add_round();
+        counters.observe_frontier(frontier.len() as u64);
+        // Claim improved vertices in a bitvec (a vertex can be improved by
+        // several relaxations per round; it enters the next frontier once).
+        let improved = AtomicBitVec::new(n);
+        frontier.par_iter().with_min_len(64).for_each(|&u| {
+            counters.add_tasks(1);
+            let du = dist.get(u as usize);
+            for (v, w) in g.weighted_neighbors(u) {
+                counters.add_edges(1);
+                if du != INF && dist.write_min(v as usize, du + w as u64) {
+                    improved.set(v as usize);
+                }
+            }
+        });
+        frontier = filter_map_index(n, |v| improved.get(v).then_some(v as u32));
+    }
+
+    SsspResult {
+        dist: dist.to_vec(),
+        stats: AlgoStats::from(counters.snapshot()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sssp::dijkstra::sssp_dijkstra;
+    use pasgal_graph::builder::from_weighted_edges;
+    use pasgal_graph::gen::basic::{grid2d, path};
+    use pasgal_graph::gen::with_random_weights;
+
+    #[test]
+    fn matches_dijkstra_on_weighted_grid() {
+        let g = with_random_weights(&grid2d(8, 11), 3, 50);
+        assert_eq!(sssp_bellman_ford(&g, 0).dist, sssp_dijkstra(&g, 0).dist);
+    }
+
+    #[test]
+    fn matches_dijkstra_unweighted() {
+        let g = path(40);
+        assert_eq!(sssp_bellman_ford(&g, 5).dist, sssp_dijkstra(&g, 5).dist);
+    }
+
+    #[test]
+    fn revisits_vertices_when_cheaper_path_found_later() {
+        // 0 -> 2 direct (10), 0 -> 1 -> 2 (1 + 1): round 1 sets dist(2)=10,
+        // round 2 improves to 2
+        let g = from_weighted_edges(3, &[(0, 2), (0, 1), (1, 2)], &[10, 1, 1]);
+        let r = sssp_bellman_ford(&g, 0);
+        assert_eq!(r.dist, vec![0, 1, 2]);
+        assert!(r.stats.rounds >= 2);
+    }
+
+    #[test]
+    fn rounds_grow_with_diameter() {
+        let g = path(300);
+        let r = sssp_bellman_ford(&g, 0);
+        assert!(r.stats.rounds >= 299);
+    }
+}

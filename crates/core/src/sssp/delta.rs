@@ -1,0 +1,164 @@
+//! Δ-stepping (Meyer & Sanders 2003) — the GAPBS-style SSSP baseline.
+//!
+//! Tentative distances are kept in buckets of width Δ. The smallest
+//! nonempty bucket is settled by repeatedly relaxing *light* edges
+//! (weight ≤ Δ, which can re-insert into the same bucket) until the bucket
+//! drains, then *heavy* edges (weight > Δ, which always land in later
+//! buckets) once per settled vertex. Entries whose distance has since
+//! improved are recognized lazily (`⌊dist/Δ⌋ ≠ bucket`) and dropped — the
+//! improving relaxation inserted a fresh copy in the right bucket.
+
+use super::INF;
+use crate::common::{AlgoStats, SsspResult};
+use pasgal_collections::atomic_array::AtomicU64Array;
+use pasgal_parlay::counters::Counters;
+use pasgal_graph::csr::Graph;
+use pasgal_graph::VertexId;
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+
+/// Δ-stepping from `src` with bucket width `delta` (≥ 1).
+pub fn sssp_delta_stepping(g: &Graph, src: VertexId, delta: u64) -> SsspResult {
+    let delta = delta.max(1);
+    let n = g.num_vertices();
+    let counters = Counters::new();
+    let dist = AtomicU64Array::new(n, INF);
+    dist.set(src as usize, 0);
+
+    let bucket_of = |d: u64| d / delta;
+    let mut buckets: BTreeMap<u64, Vec<VertexId>> = BTreeMap::new();
+    buckets.insert(0, vec![src]);
+
+    while let Some((&b, _)) = buckets.iter().next() {
+        let mut frontier = buckets.remove(&b).unwrap_or_default();
+        let mut settled: Vec<VertexId> = Vec::new();
+
+        // -------- light-edge phase: drain bucket b --------
+        while !frontier.is_empty() {
+            counters.add_round();
+            counters.observe_frontier(frontier.len() as u64);
+            // lazy stale filter
+            let work: Vec<VertexId> = frontier
+                .into_par_iter()
+                .with_min_len(512)
+                .filter(|&v| dist.get(v as usize) != INF && bucket_of(dist.get(v as usize)) == b)
+                .collect();
+            settled.extend_from_slice(&work);
+            // relax light edges, collecting (bucket, v) claims
+            let claims: Vec<(u64, VertexId)> = work
+                .par_iter()
+                .with_min_len(64)
+                .flat_map_iter(|&u| {
+                    counters.add_tasks(1);
+                    let du = dist.get(u as usize);
+                    let mut out = Vec::new();
+                    for (v, w) in g.weighted_neighbors(u) {
+                        counters.add_edges(1);
+                        if (w as u64) <= delta {
+                            let nd = du + w as u64;
+                            if dist.write_min(v as usize, nd) {
+                                out.push((bucket_of(nd), v));
+                            }
+                        }
+                    }
+                    out.into_iter()
+                })
+                .collect();
+            frontier = Vec::new();
+            for (bk, v) in claims {
+                if bk == b {
+                    frontier.push(v);
+                } else {
+                    buckets.entry(bk).or_default().push(v);
+                }
+            }
+        }
+
+        // -------- heavy-edge phase: once per settled vertex --------
+        if !settled.is_empty() {
+            counters.add_round();
+            settled.sort_unstable();
+            settled.dedup();
+            let claims: Vec<(u64, VertexId)> = settled
+                .par_iter()
+                .with_min_len(64)
+                .flat_map_iter(|&u| {
+                    counters.add_tasks(1);
+                    let du = dist.get(u as usize);
+                    let mut out = Vec::new();
+                    for (v, w) in g.weighted_neighbors(u) {
+                        if (w as u64) > delta {
+                            counters.add_edges(1);
+                            let nd = du + w as u64;
+                            if dist.write_min(v as usize, nd) {
+                                out.push((bucket_of(nd), v));
+                            }
+                        }
+                    }
+                    out.into_iter()
+                })
+                .collect();
+            for (bk, v) in claims {
+                debug_assert!(bk > b);
+                buckets.entry(bk).or_default().push(v);
+            }
+        }
+    }
+
+    SsspResult {
+        dist: dist.to_vec(),
+        stats: AlgoStats::from(counters.snapshot()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sssp::dijkstra::sssp_dijkstra;
+    use pasgal_graph::builder::from_weighted_edges;
+    use pasgal_graph::gen::basic::{grid2d, path, random_directed};
+    use pasgal_graph::gen::with_random_weights;
+
+    #[test]
+    fn matches_dijkstra_across_deltas() {
+        let g = with_random_weights(&grid2d(9, 12), 5, 100);
+        let want = sssp_dijkstra(&g, 0).dist;
+        for delta in [1, 7, 50, 100, 10_000] {
+            assert_eq!(sssp_delta_stepping(&g, 0, delta).dist, want, "Δ={delta}");
+        }
+    }
+
+    #[test]
+    fn matches_on_weighted_directed_random() {
+        let g0 = random_directed(300, 1800, 6);
+        let g = with_random_weights(&g0, 8, 1000);
+        let want = sssp_dijkstra(&g, 4).dist;
+        assert_eq!(sssp_delta_stepping(&g, 4, 64).dist, want);
+    }
+
+    #[test]
+    fn unit_weights_degenerate_to_bfs_like() {
+        let g = path(50);
+        assert_eq!(
+            sssp_delta_stepping(&g, 0, 1).dist,
+            sssp_dijkstra(&g, 0).dist
+        );
+    }
+
+    #[test]
+    fn heavy_edges_processed_once() {
+        // heavy shortcut vs light path: 0 ->(heavy 100) 2, 0 ->1->2 (2+2)
+        let g = from_weighted_edges(3, &[(0, 2), (0, 1), (1, 2)], &[100, 2, 2]);
+        let r = sssp_delta_stepping(&g, 0, 10);
+        assert_eq!(r.dist, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn delta_zero_clamps() {
+        let g = path(5);
+        assert_eq!(
+            sssp_delta_stepping(&g, 0, 0).dist,
+            sssp_dijkstra(&g, 0).dist
+        );
+    }
+}

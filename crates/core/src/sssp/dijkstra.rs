@@ -1,0 +1,84 @@
+//! Sequential Dijkstra with a binary heap (lazy deletion) — the SSSP
+//! oracle and sequential baseline.
+
+use super::INF;
+use crate::common::{AlgoStats, SsspResult};
+use pasgal_graph::csr::Graph;
+use pasgal_graph::VertexId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Sequential Dijkstra from `src`. Unweighted graphs are treated as
+/// unit-weighted.
+pub fn sssp_dijkstra(g: &Graph, src: VertexId) -> SsspResult {
+    let n = g.num_vertices();
+    let mut dist = vec![INF; n];
+    let mut heap: BinaryHeap<Reverse<(u64, VertexId)>> = BinaryHeap::new();
+    dist[src as usize] = 0;
+    heap.push(Reverse((0, src)));
+    let mut edges = 0u64;
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue; // stale heap entry
+        }
+        for (v, w) in g.weighted_neighbors(u) {
+            edges += 1;
+            let nd = d + w as u64;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    SsspResult {
+        dist,
+        stats: AlgoStats {
+            rounds: 1,
+            tasks: 1,
+            edges_traversed: edges,
+            peak_frontier: 1,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasgal_graph::builder::{from_weighted_edges, from_edges};
+    use pasgal_graph::gen::basic::path;
+
+    #[test]
+    fn weighted_diamond_takes_cheaper_route() {
+        // 0 -> 1 (1), 0 -> 2 (10), 1 -> 2 (2): dist(2) = 3 via 1
+        let g = from_weighted_edges(3, &[(0, 1), (0, 2), (1, 2)], &[1, 10, 2]);
+        let r = sssp_dijkstra(&g, 0);
+        assert_eq!(r.dist, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn unweighted_equals_hops() {
+        let g = path(6);
+        let r = sssp_dijkstra(&g, 0);
+        assert_eq!(r.dist, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn unreachable_is_inf() {
+        let g = from_edges(3, &[(0, 1)]);
+        let r = sssp_dijkstra(&g, 0);
+        assert_eq!(r.dist[2], INF);
+    }
+
+    #[test]
+    fn zero_weight_edges_allowed() {
+        let g = from_weighted_edges(3, &[(0, 1), (1, 2)], &[0, 0]);
+        let r = sssp_dijkstra(&g, 0);
+        assert_eq!(r.dist, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn source_choice_matters() {
+        let g = from_weighted_edges(3, &[(0, 1), (1, 2)], &[5, 7]);
+        assert_eq!(sssp_dijkstra(&g, 1).dist, vec![INF, 0, 7]);
+    }
+}

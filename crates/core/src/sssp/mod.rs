@@ -1,0 +1,28 @@
+//! Single-source shortest paths on non-negatively weighted graphs.
+//!
+//! Implementations:
+//! * [`dijkstra`] — sequential binary-heap Dijkstra (baseline);
+//! * [`bellman_ford`] — round-synchronous parallel Bellman-Ford (frontier
+//!   of improved vertices; `Ω(D)` rounds — the naive parallel baseline);
+//! * [`delta`] — Δ-stepping (Meyer & Sanders), the GAPBS-style baseline:
+//!   distance buckets of width Δ, light/heavy edge phases;
+//! * [`stepping`] — the paper's SSSP (§2.2): the *stepping algorithm
+//!   framework* of Dong, Gu & Sun (PPoPP'21) instantiated as ρ-stepping,
+//!   accelerated with VGC local searches and hash-bag frontiers exactly as
+//!   the paper describes.
+//!
+//! All produce identical `dist` arrays (`u64::MAX` = unreached).
+
+pub mod bellman_ford;
+pub mod delta;
+pub mod dijkstra;
+pub mod ptp;
+pub mod stepping;
+
+pub use bellman_ford::sssp_bellman_ford;
+pub use delta::sssp_delta_stepping;
+pub use dijkstra::sssp_dijkstra;
+pub use stepping::sssp_rho_stepping;
+
+/// Sentinel distance for unreached vertices.
+pub const INF: u64 = u64::MAX;

@@ -1,0 +1,322 @@
+//! Point-to-point (s–t) shortest path — another of the paper's announced
+//! extensions ("point-to-point shortest paths").
+//!
+//! * [`ptp_dijkstra`] — early-exit Dijkstra: settle vertices until `t`
+//!   is popped; the baseline;
+//! * [`ptp_bidirectional`] — bidirectional Dijkstra, forward from `s` and
+//!   backward (over the transpose) from `t`, stopping when the two
+//!   settled balls guarantee optimality — typically explores `O(√)` of
+//!   what the unidirectional search does on road-like graphs;
+//! * [`ptp_rho_stepping`] — the parallel variant: ρ-stepping with VGC,
+//!   pruned so no relaxation beyond the best known `s→t` distance is
+//!   expanded, and terminating as soon as every pending distance exceeds
+//!   the current best.
+
+use super::stepping::RhoConfig;
+use super::INF;
+use crate::common::AlgoStats;
+use crate::vgc::local_search_weighted_multi;
+use pasgal_collections::atomic_array::AtomicU64Array;
+use pasgal_collections::hashbag::HashBag;
+use pasgal_parlay::counters::Counters;
+use pasgal_graph::csr::Graph;
+use pasgal_graph::transform::transpose;
+use pasgal_graph::VertexId;
+use rayon::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Point-to-point result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PtpResult {
+    /// Shortest `s→t` distance, `u64::MAX` if unreachable.
+    pub distance: u64,
+    /// Vertices whose distance was settled/touched (search effort proxy).
+    pub settled: usize,
+    /// Execution statistics.
+    pub stats: AlgoStats,
+}
+
+/// Early-exit Dijkstra: stops as soon as `t` is settled.
+pub fn ptp_dijkstra(g: &Graph, s: VertexId, t: VertexId) -> PtpResult {
+    let n = g.num_vertices();
+    let mut dist = vec![INF; n];
+    let mut heap: BinaryHeap<Reverse<(u64, VertexId)>> = BinaryHeap::new();
+    dist[s as usize] = 0;
+    heap.push(Reverse((0, s)));
+    let mut settled = 0usize;
+    let mut edges = 0u64;
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        settled += 1;
+        if u == t {
+            return PtpResult {
+                distance: d,
+                settled,
+                stats: AlgoStats {
+                    rounds: 1,
+                    tasks: 1,
+                    edges_traversed: edges,
+                    peak_frontier: 1,
+                },
+            };
+        }
+        for (v, w) in g.weighted_neighbors(u) {
+            edges += 1;
+            let nd = d + w as u64;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    PtpResult {
+        distance: INF,
+        settled,
+        stats: AlgoStats {
+            rounds: 1,
+            tasks: 1,
+            edges_traversed: edges,
+            peak_frontier: 1,
+        },
+    }
+}
+
+/// Bidirectional Dijkstra. `gt` must be the transpose of `g` (pass `g`
+/// itself for symmetric graphs).
+pub fn ptp_bidirectional(g: &Graph, gt: &Graph, s: VertexId, t: VertexId) -> PtpResult {
+    let n = g.num_vertices();
+    assert_eq!(gt.num_vertices(), n);
+    if s == t {
+        return PtpResult {
+            distance: 0,
+            settled: 1,
+            stats: AlgoStats::default(),
+        };
+    }
+    let mut dist_f = vec![INF; n];
+    let mut dist_b = vec![INF; n];
+    let mut heap_f: BinaryHeap<Reverse<(u64, VertexId)>> = BinaryHeap::new();
+    let mut heap_b: BinaryHeap<Reverse<(u64, VertexId)>> = BinaryHeap::new();
+    dist_f[s as usize] = 0;
+    dist_b[t as usize] = 0;
+    heap_f.push(Reverse((0, s)));
+    heap_b.push(Reverse((0, t)));
+    let mut best = INF;
+    let mut settled = 0usize;
+    let mut edges = 0u64;
+
+    loop {
+        let top_f = heap_f.peek().map(|&Reverse((d, _))| d).unwrap_or(INF);
+        let top_b = heap_b.peek().map(|&Reverse((d, _))| d).unwrap_or(INF);
+        if top_f.saturating_add(top_b) >= best {
+            break; // no shorter meeting path possible
+        }
+        // expand the cheaper side
+        if top_f <= top_b {
+            let Reverse((d, u)) = heap_f.pop().expect("nonempty by top_f < INF");
+            if d > dist_f[u as usize] {
+                continue;
+            }
+            settled += 1;
+            for (v, w) in g.weighted_neighbors(u) {
+                edges += 1;
+                let nd = d + w as u64;
+                if nd < dist_f[v as usize] {
+                    dist_f[v as usize] = nd;
+                    heap_f.push(Reverse((nd, v)));
+                    if dist_b[v as usize] != INF {
+                        best = best.min(nd + dist_b[v as usize]);
+                    }
+                }
+            }
+        } else {
+            let Reverse((d, u)) = heap_b.pop().expect("nonempty by top_b < INF");
+            if d > dist_b[u as usize] {
+                continue;
+            }
+            settled += 1;
+            for (v, w) in gt.weighted_neighbors(u) {
+                edges += 1;
+                let nd = d + w as u64;
+                if nd < dist_b[v as usize] {
+                    dist_b[v as usize] = nd;
+                    heap_b.push(Reverse((nd, v)));
+                    if dist_f[v as usize] != INF {
+                        best = best.min(nd + dist_f[v as usize]);
+                    }
+                }
+            }
+        }
+    }
+
+    PtpResult {
+        distance: best,
+        settled,
+        stats: AlgoStats {
+            rounds: 1,
+            tasks: 1,
+            edges_traversed: edges,
+            peak_frontier: 1,
+        },
+    }
+}
+
+/// Parallel point-to-point via pruned ρ-stepping: relaxations that cannot
+/// beat the best known `s→t` distance are not expanded, and the loop stops
+/// once every pending distance exceeds it.
+pub fn ptp_rho_stepping(g: &Graph, s: VertexId, t: VertexId, cfg: &RhoConfig) -> PtpResult {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let counters = Counters::new();
+    let dist = AtomicU64Array::new(n, INF);
+    dist.set(s as usize, 0);
+    let bag = HashBag::new(2 * m + n + 16);
+    let mut frontier: Vec<VertexId> = vec![s];
+
+    while !frontier.is_empty() {
+        counters.add_round();
+        counters.observe_frontier(frontier.len() as u64);
+        let best = dist.get(t as usize);
+        // prune: anything at or beyond the best s→t distance is useless
+        let near: Vec<VertexId> = frontier
+            .into_par_iter()
+            .with_min_len(512)
+            .filter(|&v| dist.get(v as usize) < best)
+            .collect();
+        if near.is_empty() {
+            break;
+        }
+        let tau = cfg.vgc.tau;
+        let chunk = crate::vgc::frontier_chunk_len(near.len());
+        near.par_chunks(chunk).for_each(|grp| {
+            counters.add_tasks(1);
+            let mut spill = |v: VertexId| bag.insert(v);
+            let st = local_search_weighted_multi(
+                g,
+                grp,
+                tau * grp.len(),
+                &|from, to, w| {
+                    let df = dist.get(from as usize);
+                    if df == INF {
+                        return false;
+                    }
+                    let nd = df + w as u64;
+                    if nd >= dist.get(t as usize) && to != t {
+                        return false; // cannot improve the s→t path
+                    }
+                    if dist.write_min(to as usize, nd) {
+                        if to == t {
+                            false // target improved; no need to expand past it
+                        } else {
+                            true
+                        }
+                    } else {
+                        false
+                    }
+                },
+                &mut spill,
+            );
+            counters.add_edges(st.edges);
+        });
+        frontier = bag.extract_and_clear();
+    }
+
+    let settled = (0..n)
+        .into_par_iter()
+        .filter(|&v| dist.get(v) != INF)
+        .count();
+    PtpResult {
+        distance: dist.get(t as usize),
+        settled,
+        stats: AlgoStats::from(counters.snapshot()),
+    }
+}
+
+/// Convenience: bidirectional Dijkstra computing the transpose itself.
+pub fn ptp_bidirectional_auto(g: &Graph, s: VertexId, t: VertexId) -> PtpResult {
+    if g.is_symmetric() {
+        ptp_bidirectional(g, g, s, t)
+    } else {
+        let gt = transpose(g);
+        ptp_bidirectional(g, &gt, s, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::VgcConfig;
+    use pasgal_graph::builder::from_weighted_edges;
+    use pasgal_graph::gen::basic::{grid2d, path, random_directed};
+    use pasgal_graph::gen::with_random_weights;
+
+    fn oracle(g: &Graph, s: u32, t: u32) -> u64 {
+        crate::sssp::dijkstra::sssp_dijkstra(g, s).dist[t as usize]
+    }
+
+    fn check_all(g: &Graph, s: u32, t: u32) {
+        let want = oracle(g, s, t);
+        assert_eq!(ptp_dijkstra(g, s, t).distance, want, "early-exit");
+        assert_eq!(ptp_bidirectional_auto(g, s, t).distance, want, "bidi");
+        let cfg = RhoConfig {
+            rho: 64,
+            vgc: VgcConfig::with_tau(64),
+        };
+        assert_eq!(ptp_rho_stepping(g, s, t, &cfg).distance, want, "rho");
+    }
+
+    #[test]
+    fn simple_weighted_diamond() {
+        let g = from_weighted_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)], &[1, 5, 1, 1]);
+        check_all(&g, 0, 3);
+        assert_eq!(ptp_dijkstra(&g, 0, 3).distance, 2);
+    }
+
+    #[test]
+    fn unreachable_target() {
+        let g = from_weighted_edges(3, &[(0, 1)], &[1]);
+        check_all(&g, 0, 2);
+        assert_eq!(ptp_bidirectional_auto(&g, 0, 2).distance, INF);
+    }
+
+    #[test]
+    fn s_equals_t() {
+        let g = path(5);
+        assert_eq!(ptp_bidirectional_auto(&g, 2, 2).distance, 0);
+        assert_eq!(ptp_dijkstra(&g, 2, 2).distance, 0);
+    }
+
+    #[test]
+    fn grid_corner_to_corner() {
+        let g = with_random_weights(&grid2d(12, 15), 4, 50);
+        let n = g.num_vertices() as u32;
+        check_all(&g, 0, n - 1);
+    }
+
+    #[test]
+    fn random_directed_pairs() {
+        let g = with_random_weights(&random_directed(300, 1800, 5), 6, 100);
+        for (s, t) in [(0, 299), (5, 100), (250, 3)] {
+            check_all(&g, s, t);
+        }
+    }
+
+    #[test]
+    fn bidirectional_explores_less_than_unidirectional() {
+        let g = with_random_weights(&grid2d(40, 40), 9, 20);
+        let s = 0;
+        let t = (g.num_vertices() - 1) as u32;
+        let uni = ptp_dijkstra(&g, s, t);
+        let bi = ptp_bidirectional_auto(&g, s, t);
+        assert_eq!(uni.distance, bi.distance);
+        assert!(
+            bi.settled < uni.settled,
+            "bidi {} !< uni {}",
+            bi.settled,
+            uni.settled
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! ρ-stepping — the paper's SSSP (§2.2): the *stepping algorithm
+//! framework* (Dong, Gu & Sun, PPoPP'21) with VGC and hash bags.
+//!
+//! The frontier (vertices whose tentative distance improved and whose
+//! out-edges are pending) lives in a hash bag. Each step:
+//!
+//! 1. extract the bag; estimate a threshold θ — approximately the ρ-th
+//!    smallest tentative distance in the frontier (by sampling, as in the
+//!    original);
+//! 2. vertices at distance ≤ θ are *processed*: each runs a **VGC local
+//!    search** relaxing edges multi-hop (a relaxation whose result stays
+//!    ≤ θ keeps expanding in-task; one that lands beyond θ just re-enters
+//!    the bag);
+//! 3. the rest are re-inserted for a later step.
+//!
+//! Processing near vertices first bounds wasted relaxations (like
+//! Δ-stepping), while VGC keeps the number of global rounds far below the
+//! `Ω(D)`-round baselines on large-diameter graphs.
+
+use super::INF;
+use crate::common::{AlgoStats, SsspResult, VgcConfig};
+use crate::vgc::local_search_weighted_multi;
+use pasgal_collections::atomic_array::AtomicU64Array;
+use pasgal_collections::hashbag::HashBag;
+use pasgal_parlay::counters::Counters;
+use pasgal_parlay::rng::SplitRng;
+use pasgal_graph::csr::Graph;
+use pasgal_graph::VertexId;
+use rayon::prelude::*;
+
+/// Tuning for ρ-stepping.
+#[derive(Debug, Clone, Copy)]
+pub struct RhoConfig {
+    /// Target number of vertices processed per step (the ρ parameter).
+    pub rho: usize,
+    /// VGC budget for the per-vertex local searches.
+    pub vgc: VgcConfig,
+}
+
+impl Default for RhoConfig {
+    fn default() -> Self {
+        // Middle of the rounds-vs-wasted-relaxations trade-off (see the
+        // ablation binary): small ρ/τ bound the work wasted on provisional
+        // distances, large ρ/τ collapse rounds. 4096/256 is a good default
+        // across the suite; road-like graphs favor smaller values.
+        Self {
+            rho: 4096,
+            vgc: VgcConfig::with_tau(256),
+        }
+    }
+}
+
+/// ρ-stepping SSSP from `src`.
+pub fn sssp_rho_stepping(g: &Graph, src: VertexId, cfg: &RhoConfig) -> SsspResult {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let counters = Counters::new();
+    let dist = AtomicU64Array::new(n, INF);
+    dist.set(src as usize, 0);
+
+    // Re-insertions are one per successful relaxation, bounded per step by
+    // the edges relaxed; size the bag generously (chunks allocate lazily).
+    let bag = HashBag::new(2 * m + n + 16);
+    let rng = SplitRng::new(0x9d0);
+
+    let mut frontier: Vec<VertexId> = vec![src];
+    let mut step_no: u64 = 0;
+
+    while !frontier.is_empty() {
+        counters.add_round();
+        counters.observe_frontier(frontier.len() as u64);
+        step_no += 1;
+
+        // Threshold: the ~ρ-th smallest tentative distance, estimated from
+        // a sample (exact when the frontier is small).
+        let theta = if frontier.len() <= cfg.rho {
+            u64::MAX
+        } else {
+            const SAMPLES: usize = 512;
+            let mut sample: Vec<u64> = (0..SAMPLES)
+                .map(|i| {
+                    let idx = rng.range_at(step_no * SAMPLES as u64 + i as u64, frontier.len() as u64);
+                    dist.get(frontier[idx as usize] as usize)
+                })
+                .collect();
+            sample.sort_unstable();
+            let q = (SAMPLES * cfg.rho / frontier.len()).clamp(1, SAMPLES - 1);
+            sample[q]
+        };
+
+        // Partition: process near vertices, defer the rest.
+        let (near, far): (Vec<VertexId>, Vec<VertexId>) = frontier
+            .into_par_iter()
+            .with_min_len(512)
+            .partition(|&v| dist.get(v as usize) <= theta);
+        for &v in &far {
+            bag.insert(v);
+        }
+
+        let tau = cfg.vgc.tau;
+        let chunk = crate::vgc::frontier_chunk_len(near.len().max(1));
+        near.par_chunks(chunk).for_each(|grp| {
+            counters.add_tasks(1);
+            let mut spill = |v: VertexId| bag.insert(v);
+            let st = local_search_weighted_multi(
+                g,
+                grp,
+                tau * grp.len(),
+                &|from, to, w| {
+                    let df = dist.get(from as usize);
+                    if df == INF {
+                        return false;
+                    }
+                    let nd = df + w as u64;
+                    if dist.write_min(to as usize, nd) {
+                        if nd <= theta {
+                            true // keep expanding in-task
+                        } else {
+                            bag.insert(to);
+                            false
+                        }
+                    } else {
+                        false
+                    }
+                },
+                &mut spill,
+            );
+            counters.add_edges(st.edges);
+        });
+
+        frontier = bag.extract_and_clear();
+    }
+
+    SsspResult {
+        dist: dist.to_vec(),
+        stats: AlgoStats::from(counters.snapshot()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sssp::dijkstra::sssp_dijkstra;
+    use pasgal_graph::builder::from_weighted_edges;
+    use pasgal_graph::gen::basic::{grid2d, path, random_directed};
+    use pasgal_graph::gen::rmat::{rmat_undirected, RmatParams};
+    use pasgal_graph::gen::with_random_weights;
+
+    fn check(g: &Graph, src: u32, cfg: &RhoConfig) {
+        let want = sssp_dijkstra(g, src).dist;
+        let got = sssp_rho_stepping(g, src, cfg);
+        assert_eq!(got.dist, want, "rho={}, tau={}", cfg.rho, cfg.vgc.tau);
+    }
+
+    #[test]
+    fn matches_dijkstra_on_weighted_grid() {
+        let g = with_random_weights(&grid2d(10, 14), 2, 100);
+        check(&g, 0, &RhoConfig::default());
+        check(
+            &g,
+            0,
+            &RhoConfig {
+                rho: 4,
+                vgc: VgcConfig::with_tau(8),
+            },
+        );
+    }
+
+    #[test]
+    fn matches_on_random_directed() {
+        let g0 = random_directed(400, 2400, 19);
+        let g = with_random_weights(&g0, 4, 1000);
+        for src in [0, 7, 399] {
+            check(&g, src, &RhoConfig::default());
+        }
+    }
+
+    #[test]
+    fn matches_on_power_law() {
+        let g0 = rmat_undirected(RmatParams::social(9, 8, 23));
+        let g = with_random_weights(&g0, 6, 64);
+        check(&g, 3, &RhoConfig::default());
+    }
+
+    #[test]
+    fn small_rho_forces_many_steps_still_correct() {
+        let g = with_random_weights(&grid2d(6, 6), 7, 16);
+        check(
+            &g,
+            0,
+            &RhoConfig {
+                rho: 2,
+                vgc: VgcConfig::with_tau(4),
+            },
+        );
+    }
+
+    #[test]
+    fn unweighted_unit_distances() {
+        let g = path(60);
+        let r = sssp_rho_stepping(&g, 0, &RhoConfig::default());
+        assert_eq!(r.dist, (0..60).map(|i| i as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fewer_rounds_than_bellman_ford_on_long_path() {
+        let g = with_random_weights(&path(3000), 1, 10);
+        let bf = crate::sssp::bellman_ford::sssp_bellman_ford(&g, 0);
+        let rs = sssp_rho_stepping(&g, 0, &RhoConfig::default());
+        assert_eq!(bf.dist, rs.dist);
+        assert!(
+            rs.stats.rounds * 20 < bf.stats.rounds,
+            "rho {} vs bf {}",
+            rs.stats.rounds,
+            bf.stats.rounds
+        );
+    }
+
+    #[test]
+    fn unreachable_vertices_remain_inf() {
+        let g = from_weighted_edges(4, &[(0, 1)], &[3]);
+        let r = sssp_rho_stepping(&g, 0, &RhoConfig::default());
+        assert_eq!(r.dist, vec![0, 3, INF, INF]);
+    }
+}

@@ -1,0 +1,278 @@
+//! Vertical granularity control (VGC) — the paper's core technique.
+//!
+//! Classic granularity control coarsens a parallel *loop*: below some size,
+//! run the base case sequentially to hide scheduling overhead. VGC
+//! transplants the idea to graph *traversals*: a frontier task does not
+//! process exactly one vertex — it runs a **local search**, walking
+//! multiple hops from its start vertex until it has traversed at least `τ`
+//! edges, and only the vertices discovered beyond that budget are handed
+//! back to the shared frontier (a hash bag) for the next round.
+//!
+//! Effects (paper §2.1): (1) far fewer global synchronization rounds,
+//! because a round advances many hops at once; (2) the frontier fattens
+//! quickly, so there is enough parallelism per round even on sparse
+//! large-diameter graphs. Correctness is preserved for computations that
+//! tolerate out-of-BFS-order visiting — reachability trivially, and
+//! distance computations via monotone `write_min` relaxation.
+//!
+//! ```
+//! use pasgal_core::vgc::local_search;
+//! use pasgal_graph::gen::basic::path_directed;
+//! use std::sync::atomic::{AtomicBool, Ordering};
+//!
+//! // A 1000-hop chain: one τ=100 local search walks 100 hops in a single
+//! // task and hands exactly one continuation vertex to the next round.
+//! let g = path_directed(1000);
+//! let visited: Vec<AtomicBool> = (0..1000).map(|_| AtomicBool::new(false)).collect();
+//! visited[0].store(true, Ordering::Relaxed);
+//! let mut spilled = vec![];
+//! let stats = local_search(
+//!     &g, 0, 100,
+//!     &|_, v| !visited[v as usize].swap(true, Ordering::Relaxed),
+//!     &mut |v| spilled.push(v),
+//! );
+//! assert_eq!(stats.edges, 100);
+//! assert_eq!(spilled.len(), 1);
+//! ```
+
+use pasgal_graph::csr::Graph;
+use pasgal_graph::VertexId;
+
+/// Split a frontier into about `4 × workers` chunks (one multi-seed local
+/// search per chunk). Returns the chunk length. The factor 4 gives the
+/// work-stealing scheduler slack for load balancing without fragmenting
+/// budgets.
+pub fn frontier_chunk_len(frontier_len: usize) -> usize {
+    let workers = rayon::current_num_threads().max(1);
+    frontier_len.div_ceil(4 * workers).max(1)
+}
+
+/// Outcome of [`local_search`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalSearchStats {
+    /// Edges scanned by this task.
+    pub edges: u64,
+    /// Vertices spilled to the shared frontier.
+    pub spilled: u64,
+}
+
+/// Budgeted multi-hop local search from `start`.
+///
+/// * `try_claim(u, v)` attempts to claim/relax edge `(u, v)`; returning
+///   `true` means `v` was newly claimed (or improved) and should be
+///   explored. It must be safe under concurrent invocation (CAS-based).
+/// * While fewer than `tau` edges have been scanned, claimed vertices are
+///   explored *within this task*, depth-first, in arbitrary (non-BFS)
+///   order. Once the budget is exhausted, claimed vertices are passed to
+///   `spill` instead — typically a hash-bag insertion.
+///
+/// The function always finishes scanning the vertex it is working on
+/// (budget overshoot ≤ max degree), so a task performs at least
+/// `min(τ, reachable-work)` edge traversals.
+pub fn local_search(
+    g: &Graph,
+    start: VertexId,
+    tau: usize,
+    try_claim: &(impl Fn(VertexId, VertexId) -> bool + ?Sized),
+    spill: &mut impl FnMut(VertexId),
+) -> LocalSearchStats {
+    local_search_multi(g, &[start], tau, try_claim, spill)
+}
+
+/// Multi-seed LIFO local search: one task owns a whole *chunk* of frontier
+/// vertices with an aggregate budget. This keeps VGC's "every task does at
+/// least `τ` work per frontier vertex" guarantee independent of how tasks
+/// interleave: a task boxed in around one seed continues from its other
+/// seeds instead of retiring with unspent budget.
+pub fn local_search_multi(
+    g: &Graph,
+    starts: &[VertexId],
+    tau: usize,
+    try_claim: &(impl Fn(VertexId, VertexId) -> bool + ?Sized),
+    spill: &mut impl FnMut(VertexId),
+) -> LocalSearchStats {
+    let mut stack: Vec<VertexId> = starts.to_vec();
+    let mut edges: u64 = 0;
+    let mut spilled: u64 = 0;
+    while let Some(u) = stack.pop() {
+        if edges >= tau as u64 {
+            // budget exhausted: everything still on the stack is handed to
+            // the shared frontier
+            spill(u);
+            spilled += 1;
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            edges += 1;
+            if try_claim(u, v) {
+                stack.push(v);
+            }
+        }
+    }
+    LocalSearchStats { edges, spilled }
+}
+
+/// FIFO variant of [`local_search`]: expands claimed vertices in
+/// breadth-first order *within the task*. For distance computations (BFS)
+/// this keeps provisional distances near-exact inside the local ball, so
+/// far fewer corrections (re-visits) leak to later rounds; for plain
+/// reachability the order is irrelevant and the cheaper LIFO stack wins.
+pub fn local_search_fifo(
+    g: &Graph,
+    start: VertexId,
+    tau: usize,
+    try_claim: &(impl Fn(VertexId, VertexId) -> bool + ?Sized),
+    spill: &mut impl FnMut(VertexId),
+) -> LocalSearchStats {
+    local_search_fifo_multi(g, &[start], tau, try_claim, spill)
+}
+
+/// Multi-seed FIFO local search (see [`local_search_multi`] for why
+/// multi-seed, [`local_search_fifo`] for why FIFO).
+pub fn local_search_fifo_multi(
+    g: &Graph,
+    starts: &[VertexId],
+    tau: usize,
+    try_claim: &(impl Fn(VertexId, VertexId) -> bool + ?Sized),
+    spill: &mut impl FnMut(VertexId),
+) -> LocalSearchStats {
+    let mut queue: std::collections::VecDeque<VertexId> =
+        starts.iter().copied().collect();
+    let mut edges: u64 = 0;
+    let mut spilled: u64 = 0;
+    while let Some(u) = queue.pop_front() {
+        if edges >= tau as u64 {
+            spill(u);
+            spilled += 1;
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            edges += 1;
+            if try_claim(u, v) {
+                queue.push_back(v);
+            }
+        }
+    }
+    LocalSearchStats { edges, spilled }
+}
+
+/// Weighted variant: `try_relax(u, v, w)` sees the edge weight.
+pub fn local_search_weighted(
+    g: &Graph,
+    start: VertexId,
+    tau: usize,
+    try_relax: &(impl Fn(VertexId, VertexId, u32) -> bool + ?Sized),
+    spill: &mut impl FnMut(VertexId),
+) -> LocalSearchStats {
+    local_search_weighted_multi(g, &[start], tau, try_relax, spill)
+}
+
+/// Multi-seed weighted local search in FIFO order (weighted relaxations
+/// are distance-sensitive, so FIFO's near-exact provisional values matter
+/// as much as for BFS).
+pub fn local_search_weighted_multi(
+    g: &Graph,
+    starts: &[VertexId],
+    tau: usize,
+    try_relax: &(impl Fn(VertexId, VertexId, u32) -> bool + ?Sized),
+    spill: &mut impl FnMut(VertexId),
+) -> LocalSearchStats {
+    let mut queue: std::collections::VecDeque<VertexId> =
+        starts.iter().copied().collect();
+    let mut edges: u64 = 0;
+    let mut spilled: u64 = 0;
+    while let Some(u) = queue.pop_front() {
+        if edges >= tau as u64 {
+            spill(u);
+            spilled += 1;
+            continue;
+        }
+        for (v, w) in g.weighted_neighbors(u) {
+            edges += 1;
+            if try_relax(u, v, w) {
+                queue.push_back(v);
+            }
+        }
+    }
+    LocalSearchStats { edges, spilled }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasgal_graph::gen::basic::{clique, path_directed};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    fn visited_claim(visited: &[AtomicBool]) -> impl Fn(VertexId, VertexId) -> bool + '_ {
+        move |_, v| !visited[v as usize].swap(true, Ordering::Relaxed)
+    }
+
+    #[test]
+    fn unbudgeted_search_covers_reachable_set() {
+        let g = path_directed(100);
+        let visited: Vec<AtomicBool> = (0..100).map(|_| AtomicBool::new(false)).collect();
+        visited[0].store(true, Ordering::Relaxed);
+        let mut spills = vec![];
+        let stats = local_search(&g, 0, usize::MAX, &visited_claim(&visited), &mut |v| {
+            spills.push(v)
+        });
+        assert!(spills.is_empty());
+        assert!(visited.iter().all(|b| b.load(Ordering::Relaxed)));
+        assert_eq!(stats.edges, 99);
+        assert_eq!(stats.spilled, 0);
+    }
+
+    #[test]
+    fn budget_spills_remaining_work() {
+        let g = path_directed(100);
+        let visited: Vec<AtomicBool> = (0..100).map(|_| AtomicBool::new(false)).collect();
+        visited[0].store(true, Ordering::Relaxed);
+        let mut spills = vec![];
+        let stats = local_search(&g, 0, 10, &visited_claim(&visited), &mut |v| spills.push(v));
+        // walks 10 edges (vertices 1..=10 claimed), spills the 11th hop
+        assert_eq!(spills.len(), 1);
+        assert_eq!(stats.spilled, 1);
+        assert!(stats.edges >= 10);
+        // spilled vertex is already claimed — the next round explores from it
+        assert!(visited[spills[0] as usize].load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn budget_overshoot_bounded_by_degree() {
+        let g = clique(50);
+        let visited: Vec<AtomicBool> = (0..50).map(|_| AtomicBool::new(false)).collect();
+        visited[0].store(true, Ordering::Relaxed);
+        let mut spills = vec![];
+        let stats = local_search(&g, 0, 1, &visited_claim(&visited), &mut |v| spills.push(v));
+        // scans vertex 0 fully (49 edges) then spills the whole stack
+        assert_eq!(stats.edges, 49);
+        assert_eq!(spills.len(), 49);
+    }
+
+    #[test]
+    fn weighted_variant_sees_weights() {
+        let g = pasgal_graph::builder::from_weighted_edges(3, &[(0, 1), (1, 2)], &[5, 7]);
+        let seen = std::cell::RefCell::new(vec![]);
+        let mut spills = vec![];
+        local_search_weighted(
+            &g,
+            0,
+            usize::MAX,
+            &|u, v, w| {
+                seen.borrow_mut().push((u, v, w));
+                true
+            },
+            &mut |v| spills.push(v),
+        );
+        assert_eq!(seen.into_inner(), vec![(0, 1, 5), (1, 2, 7)]);
+    }
+
+    #[test]
+    fn claim_false_stops_expansion() {
+        let g = path_directed(10);
+        let mut spills = vec![];
+        let stats = local_search(&g, 0, usize::MAX, &|_, _| false, &mut |v| spills.push(v));
+        assert_eq!(stats.edges, 1); // only vertex 0's single edge scanned
+        assert!(spills.is_empty());
+    }
+}

@@ -1,0 +1,339 @@
+//! Parallel CSR construction from edge lists.
+//!
+//! Construction is a stable counting sort of the edge list by source vertex
+//! (`pasgal_parlay::sort`), a degree histogram + scan for offsets, then a
+//! per-vertex sort of neighbor slices. Self-loops and duplicate edges are
+//! removed by default (the convention of the paper's benchmark graphs).
+
+use crate::csr::Graph;
+use crate::{VertexId, Weight};
+use pasgal_parlay::gran::par_for;
+use pasgal_parlay::scan::scan_exclusive;
+use pasgal_parlay::unsafe_slice::SyncUnsafeSlice;
+use rayon::prelude::*;
+
+/// Incremental edge-list builder (convenient for tests and examples).
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(VertexId, VertexId)>,
+    weights: Vec<Weight>,
+    symmetric: bool,
+    keep_self_loops: bool,
+    keep_duplicates: bool,
+}
+
+impl GraphBuilder {
+    /// Builder for a graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            edges: Vec::new(),
+            weights: Vec::new(),
+            symmetric: false,
+            keep_self_loops: false,
+            keep_duplicates: false,
+        }
+    }
+
+    /// Add a directed edge.
+    pub fn add_edge(mut self, u: VertexId, v: VertexId) -> Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Add a weighted directed edge.
+    pub fn add_weighted_edge(mut self, u: VertexId, v: VertexId, w: Weight) -> Self {
+        // weights vector is kept aligned lazily: pad with 1s if mixing
+        while self.weights.len() < self.edges.len() {
+            self.weights.push(1);
+        }
+        self.edges.push((u, v));
+        self.weights.push(w);
+        self
+    }
+
+    /// Add both directions of an undirected edge.
+    pub fn add_undirected_edge(self, u: VertexId, v: VertexId) -> Self {
+        self.add_edge(u, v).add_edge(v, u)
+    }
+
+    /// Mark the result as symmetric (caller guarantees edge set closure).
+    pub fn symmetric(mut self) -> Self {
+        self.symmetric = true;
+        self
+    }
+
+    /// Keep self-loops instead of dropping them.
+    pub fn keep_self_loops(mut self) -> Self {
+        self.keep_self_loops = true;
+        self
+    }
+
+    /// Keep duplicate (multi-)edges instead of dropping them.
+    pub fn keep_duplicates(mut self) -> Self {
+        self.keep_duplicates = true;
+        self
+    }
+
+    /// Build the CSR graph.
+    pub fn build(self) -> Graph {
+        let weights = if self.weights.is_empty() {
+            None
+        } else {
+            let mut w = self.weights;
+            while w.len() < self.edges.len() {
+                w.push(1);
+            }
+            Some(w)
+        };
+        from_edges_impl(
+            self.n,
+            &self.edges,
+            weights.as_deref(),
+            self.symmetric,
+            self.keep_self_loops,
+            self.keep_duplicates,
+        )
+    }
+}
+
+/// Build a CSR graph from a directed edge list (parallel; drops self-loops
+/// and duplicates).
+pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Graph {
+    from_edges_impl(n, edges, None, false, false, false)
+}
+
+/// Build a weighted CSR graph from a directed edge list. On duplicate
+/// edges the *smallest* weight wins (duplicates sort by `(target, weight)`
+/// and the first copy is kept), which is the right semantics for
+/// shortest-path inputs.
+pub fn from_weighted_edges(n: usize, edges: &[(VertexId, VertexId)], weights: &[Weight]) -> Graph {
+    assert_eq!(edges.len(), weights.len());
+    from_edges_impl(n, edges, Some(weights), false, false, false)
+}
+
+/// Build the symmetric closure of an edge list: for every `(u, v)` both
+/// directions are inserted. Result is marked symmetric.
+pub fn from_edges_symmetric(n: usize, edges: &[(VertexId, VertexId)]) -> Graph {
+    let mut both = Vec::with_capacity(edges.len() * 2);
+    both.extend_from_slice(edges);
+    both.extend(edges.iter().map(|&(u, v)| (v, u)));
+    from_edges_impl(n, &both, None, true, false, false)
+}
+
+fn from_edges_impl(
+    n: usize,
+    edges: &[(VertexId, VertexId)],
+    weights: Option<&[Weight]>,
+    symmetric: bool,
+    keep_self_loops: bool,
+    keep_duplicates: bool,
+) -> Graph {
+    assert!(n <= u32::MAX as usize, "u32 vertex-id limit exceeded");
+    for &(u, v) in edges {
+        assert!(
+            (u as usize) < n && (v as usize) < n,
+            "edge ({u}, {v}) out of range for n = {n}"
+        );
+    }
+
+    // Annotate with weights, drop self loops.
+    let mut annotated: Vec<(VertexId, VertexId, Weight)> = edges
+        .par_iter()
+        .enumerate()
+        .filter(|(_, &(u, v))| keep_self_loops || u != v)
+        .map(|(i, &(u, v))| (u, v, weights.map_or(1, |w| w[i])))
+        .collect();
+
+    // Stable bucket sort by source, then sort each bucket by target.
+    if n > 0 {
+        annotated =
+            pasgal_parlay::sort::counting_sort_by_key(&annotated, n, |&(u, _, _)| u as usize);
+    }
+
+    // Degree histogram.
+    let mut degree = vec![0usize; n];
+    for &(u, _, _) in &annotated {
+        degree[u as usize] += 1;
+    }
+    let (mut offsets, total) = scan_exclusive(&degree);
+    offsets.push(total);
+
+    // Sort each vertex's slice by target (stable within: counting sort kept
+    // edge-list order; we need ascending targets).
+    let mut slice_sorted = annotated;
+    {
+        let ranges: Vec<(usize, usize)> = (0..n)
+            .map(|v| (offsets[v], offsets[v + 1]))
+            .filter(|(lo, hi)| hi - lo > 1)
+            .collect();
+        let cells = SyncUnsafeSlice::new(&mut slice_sorted);
+        ranges.par_iter().with_min_len(64).for_each(|&(lo, hi)| {
+            // SAFETY: per-vertex ranges are disjoint.
+            let s = unsafe {
+                std::slice::from_raw_parts_mut(cells.get_mut(lo) as *mut (u32, u32, u32), hi - lo)
+            };
+            s.sort_unstable_by_key(|&(_, v, w)| (v, w));
+        });
+    }
+
+    if keep_duplicates {
+        let targets: Vec<u32> = slice_sorted.iter().map(|&(_, v, _)| v).collect();
+        let w: Vec<u32> = slice_sorted.iter().map(|&(_, _, w)| w).collect();
+        let weights_out = weights.map(|_| w);
+        return Graph::from_csr(offsets, targets, weights_out, symmetric);
+    }
+
+    // Dedup within each vertex slice, recompute offsets.
+    let mut kept = vec![false; slice_sorted.len()];
+    let mut new_degree = vec![0usize; n];
+    {
+        let kept_s = SyncUnsafeSlice::new(&mut kept);
+        let deg_s = SyncUnsafeSlice::new(&mut new_degree);
+        par_for(n, 256, |v| {
+            let (lo, hi) = (offsets[v], offsets[v + 1]);
+            let mut prev = u32::MAX;
+            let mut d = 0;
+            for (i, entry) in slice_sorted.iter().enumerate().take(hi).skip(lo) {
+                let t = entry.1;
+                if t != prev {
+                    // SAFETY: index i belongs to vertex v's slice only.
+                    unsafe { kept_s.write(i, true) };
+                    d += 1;
+                    prev = t;
+                }
+            }
+            // SAFETY: one writer per v.
+            unsafe { deg_s.write(v, d) };
+        });
+    }
+    let (mut new_offsets, new_total) = scan_exclusive(&new_degree);
+    new_offsets.push(new_total);
+
+    let survivors = pasgal_parlay::pack::filter_map_index(slice_sorted.len(), |i| {
+        kept[i].then_some(slice_sorted[i])
+    });
+    debug_assert_eq!(survivors.len(), new_total);
+
+    let targets: Vec<u32> = survivors.iter().map(|&(_, v, _)| v).collect();
+    let weights_out = weights.map(|_| survivors.iter().map(|&(_, _, w)| w).collect());
+    Graph::from_csr(new_offsets, targets, weights_out, symmetric)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_basic() {
+        let g = GraphBuilder::new(3)
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(0, 2)
+            .build();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[2]);
+    }
+
+    #[test]
+    fn self_loops_dropped_by_default() {
+        let g = GraphBuilder::new(2).add_edge(0, 0).add_edge(0, 1).build();
+        assert_eq!(g.num_edges(), 1);
+        let g = GraphBuilder::new(2)
+            .add_edge(0, 0)
+            .add_edge(0, 1)
+            .keep_self_loops()
+            .build();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn duplicates_dropped_by_default() {
+        let g = from_edges(2, &[(0, 1), (0, 1), (0, 1)]);
+        assert_eq!(g.num_edges(), 1);
+        let g = GraphBuilder::new(2)
+            .add_edge(0, 1)
+            .add_edge(0, 1)
+            .keep_duplicates()
+            .build();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn neighbors_sorted_ascending() {
+        let g = from_edges(5, &[(0, 4), (0, 1), (0, 3), (0, 2)]);
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn symmetric_closure() {
+        let g = from_edges_symmetric(3, &[(0, 1), (1, 2)]);
+        assert!(g.is_symmetric());
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn weighted_edges_carry_weights() {
+        let g = from_weighted_edges(3, &[(0, 1), (0, 2), (1, 2)], &[10, 20, 30]);
+        let ws: Vec<(u32, u32)> = g.weighted_neighbors(0).collect();
+        assert_eq!(ws, vec![(1, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn duplicate_weighted_edges_keep_smallest_weight_deterministically() {
+        // duplicates sort by (target, weight); the first kept is min weight
+        let g = from_weighted_edges(2, &[(0, 1), (0, 1)], &[7, 3]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.weighted_neighbors(0).next(), Some((1, 3)));
+    }
+
+    #[test]
+    fn undirected_builder_edge() {
+        let g = GraphBuilder::new(2).add_undirected_edge(0, 1).build();
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn large_random_graph_builds_consistently() {
+        let rng = pasgal_parlay::rng::SplitRng::new(5);
+        let n = 10_000usize;
+        let edges: Vec<(u32, u32)> = (0..100_000u64)
+            .map(|i| {
+                (
+                    rng.range_at(2 * i, n as u64) as u32,
+                    rng.range_at(2 * i + 1, n as u64) as u32,
+                )
+            })
+            .collect();
+        let g = from_edges(n, &edges);
+        // CSR invariants
+        assert_eq!(*g.offsets().last().unwrap(), g.num_edges());
+        for v in 0..n as u32 {
+            let nb = g.neighbors(v);
+            assert!(nb.windows(2).all(|w| w[0] < w[1]), "sorted+dedup at {v}");
+            assert!(!nb.contains(&v), "self loop at {v}");
+        }
+        // spot-check membership against the raw list
+        for &(u, v) in edges.iter().take(100) {
+            if u != v {
+                assert!(g.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let _ = from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn zero_vertices() {
+        let g = from_edges(0, &[]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Compressed-sparse-row graph representation.
+//!
+//! Immutable after construction; neighbor lists are contiguous slices,
+//! sorted ascending, which parallel kernels exploit for predictable
+//! traversal and binary-searchable adjacency.
+
+use crate::{Dist, VertexId, Weight};
+
+/// An immutable CSR graph.
+///
+/// * `offsets[v]..offsets[v+1]` indexes `targets` (and `weights`, when
+///   present) with the out-neighbors of `v`, sorted ascending.
+/// * `symmetric == true` declares that the edge set is closed under
+///   reversal (undirected view); algorithms that require undirected input
+///   (BCC, connectivity) assert on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+    weights: Option<Vec<Weight>>,
+    symmetric: bool,
+}
+
+impl Graph {
+    /// Assemble from raw CSR arrays. Validates shape in debug builds.
+    pub fn from_csr(
+        offsets: Vec<usize>,
+        targets: Vec<VertexId>,
+        weights: Option<Vec<Weight>>,
+        symmetric: bool,
+    ) -> Self {
+        debug_assert!(!offsets.is_empty(), "offsets must have n+1 entries");
+        debug_assert_eq!(*offsets.last().unwrap(), targets.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        if let Some(w) = &weights {
+            debug_assert_eq!(w.len(), targets.len());
+        }
+        let n = offsets.len() - 1;
+        debug_assert!(targets.iter().all(|&t| (t as usize) < n));
+        Self {
+            offsets,
+            targets,
+            weights,
+            symmetric,
+        }
+    }
+
+    /// Graph with `n` vertices and no edges.
+    pub fn empty(n: usize, symmetric: bool) -> Self {
+        Self {
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
+            weights: None,
+            symmetric,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (directed) edges stored. For a symmetric graph this counts
+    /// each undirected edge twice.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Out-neighbors of `v`, ascending.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Out-neighbors with weights; unit weight (1) if the graph is
+    /// unweighted.
+    #[inline]
+    pub fn weighted_neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        let lo = self.offsets[v as usize];
+        let hi = self.offsets[v as usize + 1];
+        let ws = self.weights.as_deref();
+        (lo..hi).map(move |i| (self.targets[i], ws.map_or(1, |w| w[i])))
+    }
+
+    /// The weight slice for `v`'s out-edges, if the graph is weighted.
+    #[inline]
+    pub fn neighbor_weights(&self, v: VertexId) -> Option<&[Weight]> {
+        self.weights
+            .as_deref()
+            .map(|w| &w[self.offsets[v as usize]..self.offsets[v as usize + 1]])
+    }
+
+    /// Whether the stored edge set is symmetric (undirected view).
+    #[inline]
+    pub fn is_symmetric(&self) -> bool {
+        self.symmetric
+    }
+
+    /// Whether edge weights are present.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// Does the directed edge `(u, v)` exist? (binary search)
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Raw offsets (length `n + 1`).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Raw targets (length `m`).
+    pub fn targets(&self) -> &[VertexId] {
+        &self.targets
+    }
+
+    /// Raw weights, if present.
+    pub fn weights(&self) -> Option<&[Weight]> {
+        self.weights.as_deref()
+    }
+
+    /// Replace all weights; lengths must match.
+    pub fn with_weights(mut self, weights: Vec<Weight>) -> Self {
+        assert_eq!(weights.len(), self.targets.len());
+        self.weights = Some(weights);
+        self
+    }
+
+    /// Drop weights.
+    pub fn without_weights(mut self) -> Self {
+        self.weights = None;
+        self
+    }
+
+    /// Upper bound on any finite shortest-path distance, for sanity checks:
+    /// `n * max_weight` (or `n` when unweighted).
+    pub fn distance_bound(&self) -> Dist {
+        let maxw = self
+            .weights
+            .as_deref()
+            .and_then(|w| w.iter().max().copied())
+            .unwrap_or(1) as Dist;
+        (self.num_vertices() as Dist).saturating_mul(maxw.max(1))
+    }
+
+    /// Iterate all directed edges `(u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices() as VertexId)
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        Graph::from_csr(vec![0, 2, 3, 4, 4], vec![1, 2, 3, 3], None, false)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert!(!g.is_symmetric());
+        assert!(!g.is_weighted());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(3, true);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(2), 0);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn has_edge_binary_search() {
+        let g = diamond();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(3, 0));
+    }
+
+    #[test]
+    fn weighted_neighbors_default_unit() {
+        let g = diamond();
+        let ws: Vec<(u32, u32)> = g.weighted_neighbors(0).collect();
+        assert_eq!(ws, vec![(1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn with_weights_roundtrip() {
+        let g = diamond().with_weights(vec![5, 6, 7, 8]);
+        assert!(g.is_weighted());
+        let ws: Vec<(u32, u32)> = g.weighted_neighbors(0).collect();
+        assert_eq!(ws, vec![(1, 5), (2, 6)]);
+        assert_eq!(g.neighbor_weights(1), Some(&[7u32][..]));
+        let g = g.without_weights();
+        assert!(!g.is_weighted());
+    }
+
+    #[test]
+    fn edges_iterator_lists_all() {
+        let g = diamond();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn distance_bound_scales_with_weights() {
+        let g = diamond();
+        assert_eq!(g.distance_bound(), 4);
+        let g = g.with_weights(vec![10, 10, 10, 10]);
+        assert_eq!(g.distance_bound(), 40);
+    }
+}

@@ -1,0 +1,304 @@
+//! Elementary graph families: paths, cycles, stars, cliques, trees, grids.
+//!
+//! These serve two roles: tiny hand-checkable fixtures for unit tests, and
+//! the paper's *synthetic large-diameter* family — the REC graphs are
+//! simply `a × b` grids with `b ≫ a`, the adversarial case for
+//! frontier-based algorithms (diameter ≈ `a + b`).
+
+use crate::builder::{from_edges, from_edges_symmetric};
+use crate::csr::Graph;
+use crate::VertexId;
+use pasgal_parlay::rng::SplitRng;
+
+/// Directed path `0 → 1 → … → n-1`. Diameter `n-1`: the adversarial
+/// worst case the paper concedes ("e.g., a chain").
+pub fn path_directed(n: usize) -> Graph {
+    let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1) as u32)
+        .map(|i| (i, i + 1))
+        .collect();
+    from_edges(n, &edges)
+}
+
+/// Undirected path.
+pub fn path(n: usize) -> Graph {
+    let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1) as u32)
+        .map(|i| (i, i + 1))
+        .collect();
+    from_edges_symmetric(n, &edges)
+}
+
+/// Directed cycle `0 → 1 → … → n-1 → 0` (one big SCC).
+pub fn cycle_directed(n: usize) -> Graph {
+    if n == 0 {
+        return Graph::empty(0, false);
+    }
+    let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+    from_edges(n, &edges)
+}
+
+/// Undirected cycle.
+pub fn cycle(n: usize) -> Graph {
+    if n < 3 {
+        return path(n);
+    }
+    let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+    from_edges_symmetric(n, &edges)
+}
+
+/// Undirected star: center `0`, leaves `1..n`.
+pub fn star(n: usize) -> Graph {
+    let edges: Vec<(u32, u32)> = (1..n as u32).map(|i| (0, i)).collect();
+    from_edges_symmetric(n, &edges)
+}
+
+/// Undirected clique on `n` vertices.
+pub fn clique(n: usize) -> Graph {
+    if n < 2 {
+        return Graph::empty(n, true);
+    }
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            edges.push((u, v));
+        }
+    }
+    from_edges_symmetric(n, &edges)
+}
+
+/// Complete binary tree with `n` vertices (undirected), rooted at 0.
+pub fn binary_tree(n: usize) -> Graph {
+    let edges: Vec<(u32, u32)> = (1..n as u32).map(|i| ((i - 1) / 2, i)).collect();
+    from_edges_symmetric(n, &edges)
+}
+
+/// Undirected `rows × cols` grid (4-neighborhood). The paper's REC graph
+/// is `grid2d(1_000, 100_000)`; diameter ≈ `rows + cols`.
+pub fn grid2d(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let at = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut edges = Vec::with_capacity(2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((at(r, c), at(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((at(r, c), at(r + 1, c)));
+            }
+        }
+    }
+    from_edges_symmetric(n, &edges)
+}
+
+/// Directed REC-style grid: every lattice edge gets an orientation —
+/// both directions with probability `p_both`, otherwise one direction
+/// chosen at random. With `p_both ≈ 0.5` most of the grid collapses into
+/// a few giant SCCs connected by one-way edges, mirroring the directed
+/// REC instance of the paper (m′ < m, huge directed diameter).
+pub fn grid2d_directed(rows: usize, cols: usize, p_both: f64, seed: u64) -> Graph {
+    let n = rows * cols;
+    let rng = SplitRng::new(seed).split(0x9ec);
+    let at = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut edges = Vec::with_capacity(2 * n);
+    let mut k = 0u64;
+    for r in 0..rows {
+        for c in 0..cols {
+            let mut orient = |u: VertexId, v: VertexId, k: u64| {
+                if rng.bool_at(k, p_both) {
+                    edges.push((u, v));
+                    edges.push((v, u));
+                } else if rng.bool_at(k.wrapping_add(1 << 40), 0.5) {
+                    edges.push((u, v));
+                } else {
+                    edges.push((v, u));
+                }
+            };
+            if c + 1 < cols {
+                orient(at(r, c), at(r, c + 1), k);
+                k += 1;
+            }
+            if r + 1 < rows {
+                orient(at(r, c), at(r + 1, c), k);
+                k += 1;
+            }
+        }
+    }
+    from_edges(n, &edges)
+}
+
+/// "Sampled" grid (the paper's SREC): keep each undirected grid edge with
+/// probability `keep_p`. Sparser, even larger diameter, possibly
+/// disconnected.
+pub fn grid2d_sampled(rows: usize, cols: usize, keep_p: f64, seed: u64) -> Graph {
+    let n = rows * cols;
+    let rng = SplitRng::new(seed).split(0x5a);
+    let at = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut edges = Vec::new();
+    let mut k = 0u64;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                if rng.bool_at(k, keep_p) {
+                    edges.push((at(r, c), at(r, c + 1)));
+                }
+                k += 1;
+            }
+            if r + 1 < rows {
+                if rng.bool_at(k, keep_p) {
+                    edges.push((at(r, c), at(r + 1, c)));
+                }
+                k += 1;
+            }
+        }
+    }
+    from_edges_symmetric(n, &edges)
+}
+
+/// Sampled + oriented grid (the paper's SREC is "sampled REC"): each
+/// lattice edge survives with probability `keep_p`, then is oriented like
+/// [`grid2d_directed`] (both ways with probability `p_both`).
+pub fn grid2d_directed_sampled(
+    rows: usize,
+    cols: usize,
+    p_both: f64,
+    keep_p: f64,
+    seed: u64,
+) -> Graph {
+    let n = rows * cols;
+    let rng = SplitRng::new(seed).split(0x5ec);
+    let at = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut edges = Vec::new();
+    let mut k = 0u64;
+    for r in 0..rows {
+        for c in 0..cols {
+            let mut maybe = |u: VertexId, v: VertexId, k: u64| {
+                if !rng.bool_at(k, keep_p) {
+                    return;
+                }
+                if rng.bool_at(k.wrapping_add(1 << 41), p_both) {
+                    edges.push((u, v));
+                    edges.push((v, u));
+                } else if rng.bool_at(k.wrapping_add(1 << 42), 0.5) {
+                    edges.push((u, v));
+                } else {
+                    edges.push((v, u));
+                }
+            };
+            if c + 1 < cols {
+                maybe(at(r, c), at(r, c + 1), k);
+                k += 1;
+            }
+            if r + 1 < rows {
+                maybe(at(r, c), at(r + 1, c), k);
+                k += 1;
+            }
+        }
+    }
+    from_edges(n, &edges)
+}
+
+/// Uniform random directed graph: `m` edges drawn uniformly (Erdős–Rényi
+/// G(n, m) flavor; duplicates and self-loops removed by the builder).
+pub fn random_directed(n: usize, m: usize, seed: u64) -> Graph {
+    let rng = SplitRng::new(seed).split(0xe1);
+    let edges: Vec<(u32, u32)> = (0..m as u64)
+        .map(|i| {
+            (
+                rng.range_at(2 * i, n as u64) as u32,
+                rng.range_at(2 * i + 1, n as u64) as u32,
+            )
+        })
+        .collect();
+    from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shapes() {
+        let g = path_directed(4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(3), &[] as &[u32]);
+        let u = path(4);
+        assert_eq!(u.num_edges(), 6);
+        assert_eq!(u.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn cycles() {
+        let g = cycle_directed(3);
+        assert_eq!(g.neighbors(2), &[0]);
+        let u = cycle(4);
+        assert_eq!(u.degree(0), 2);
+        assert_eq!(u.num_edges(), 8);
+    }
+
+    #[test]
+    fn star_and_clique() {
+        let s = star(5);
+        assert_eq!(s.degree(0), 4);
+        assert_eq!(s.degree(3), 1);
+        let k = clique(5);
+        assert!((0..5).all(|v| k.degree(v) == 4));
+        assert_eq!(k.num_edges(), 20);
+    }
+
+    #[test]
+    fn tree_structure() {
+        let t = binary_tree(7);
+        assert_eq!(t.degree(0), 2);
+        assert_eq!(t.neighbors(1), &[0, 3, 4]);
+        assert_eq!(t.num_edges(), 12);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid2d(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        // interior vertex (1,1) = 5 has 4 neighbors
+        assert_eq!(g.degree(5), 4);
+        // corner has 2
+        assert_eq!(g.degree(0), 2);
+        // edge count: 3*3 horiz + 2*4 vert = 17, doubled
+        assert_eq!(g.num_edges(), 34);
+    }
+
+    #[test]
+    fn directed_grid_has_all_lattice_adjacency_somewhere() {
+        let g = grid2d_directed(4, 5, 0.4, 9);
+        // each lattice pair present in at least one direction
+        let und = crate::transform::symmetrize(&g);
+        let ref_grid = grid2d(4, 5);
+        assert_eq!(und.num_edges(), ref_grid.num_edges());
+        assert!(g.num_edges() < ref_grid.num_edges());
+        assert!(g.num_edges() >= ref_grid.num_edges() / 2);
+    }
+
+    #[test]
+    fn sampled_grid_is_sparser_and_deterministic() {
+        let a = grid2d_sampled(10, 10, 0.7, 3);
+        let b = grid2d_sampled(10, 10, 0.7, 3);
+        assert_eq!(a, b);
+        assert!(a.num_edges() < grid2d(10, 10).num_edges());
+        assert!(a.num_edges() > 0);
+    }
+
+    #[test]
+    fn random_directed_bounds() {
+        let g = random_directed(100, 500, 1);
+        assert!(g.num_edges() <= 500);
+        assert!(g.num_edges() > 400); // few dup/self-loop losses
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(path(0).num_vertices(), 0);
+        assert_eq!(path(1).num_edges(), 0);
+        assert_eq!(cycle_directed(0).num_vertices(), 0);
+        assert_eq!(cycle(2).num_edges(), 2); // falls back to path
+        assert_eq!(star(1).num_edges(), 0);
+    }
+}

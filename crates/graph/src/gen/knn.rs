@@ -1,0 +1,160 @@
+//! Geometric k-nearest-neighbor graphs.
+//!
+//! The paper's k-NN category (Chem, GeoLife, Cosmo50) consists of graphs
+//! where each point is connected to its k nearest neighbors in a low-
+//! dimensional metric space; such graphs are sparse, locally clustered and
+//! have very large diameters (Table 1: CH5 has D ≈ 14479 at n = 4.2M).
+//!
+//! We reproduce that shape with uniform random points in the unit square
+//! and an exact k-NN search over a bucket grid (expected O(n·k) work).
+
+use crate::builder::from_edges;
+use crate::csr::Graph;
+use pasgal_parlay::rng::SplitRng;
+use rayon::prelude::*;
+
+/// Directed k-NN graph over `n` uniform random 2-D points: edge `u → v`
+/// iff `v` is among `u`'s `k` nearest neighbors (Euclidean).
+pub fn knn(n: usize, k: usize, seed: u64) -> Graph {
+    assert!(k >= 1);
+    if n <= 1 {
+        return Graph::empty(n, false);
+    }
+    let rng = SplitRng::new(seed).split(0x1717);
+    let pts: Vec<(f64, f64)> = (0..n as u64)
+        .map(|i| (rng.f64_at(2 * i), rng.f64_at(2 * i + 1)))
+        .collect();
+
+    // Bucket grid with ~1 point per cell on average.
+    let side = (n as f64).sqrt().ceil() as usize;
+    let cell_of = |p: (f64, f64)| -> (usize, usize) {
+        let cx = ((p.0 * side as f64) as usize).min(side - 1);
+        let cy = ((p.1 * side as f64) as usize).min(side - 1);
+        (cx, cy)
+    };
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); side * side];
+    for (i, &p) in pts.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        buckets[cy * side + cx].push(i as u32);
+    }
+
+    let edges: Vec<(u32, u32)> = (0..n as u32)
+        .into_par_iter()
+        .with_min_len(64)
+        .flat_map_iter(|u| {
+            let p = pts[u as usize];
+            let (cx, cy) = cell_of(p);
+            // expanding-ring search until we certainly have the k nearest
+            let mut best: Vec<(f64, u32)> = Vec::with_capacity(4 * k);
+            let mut ring = 0usize;
+            loop {
+                let lo_x = cx.saturating_sub(ring);
+                let hi_x = (cx + ring).min(side - 1);
+                let lo_y = cy.saturating_sub(ring);
+                let hi_y = (cy + ring).min(side - 1);
+                for y in lo_y..=hi_y {
+                    for x in lo_x..=hi_x {
+                        // only cells at Chebyshev distance exactly `ring`
+                        // (inner cells were scanned in earlier iterations)
+                        if x.abs_diff(cx).max(y.abs_diff(cy)) != ring {
+                            continue;
+                        }
+                        for &v in &buckets[y * side + x] {
+                            if v == u {
+                                continue;
+                            }
+                            let q = pts[v as usize];
+                            let d2 = (p.0 - q.0).powi(2) + (p.1 - q.1).powi(2);
+                            best.push((d2, v));
+                        }
+                    }
+                }
+                // safe stopping rule: the k-th best must be closer than the
+                // nearest possible point outside the searched square
+                if best.len() >= k {
+                    best.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+                    best.truncate(4 * k);
+                    let kth = best[k - 1].0.sqrt();
+                    let safe = ring as f64 / side as f64;
+                    if kth <= safe || ring >= side {
+                        break;
+                    }
+                } else if ring >= side {
+                    break;
+                }
+                ring += 1;
+            }
+            best.truncate(k.min(best.len()));
+            best.into_iter().map(move |(_, v)| (u, v)).collect::<Vec<_>>()
+        })
+        .collect();
+
+    from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = knn(500, 5, 9);
+        let b = knn(500, 5, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn out_degree_is_k() {
+        let k = 5;
+        let g = knn(1000, k, 3);
+        for v in 0..g.num_vertices() as u32 {
+            assert_eq!(g.degree(v), k, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn knn_matches_bruteforce_on_small_instance() {
+        let n = 200;
+        let k = 4;
+        let seed = 11;
+        let g = knn(n, k, seed);
+        // recompute points identically
+        let rng = SplitRng::new(seed).split(0x1717);
+        let pts: Vec<(f64, f64)> = (0..n as u64)
+            .map(|i| (rng.f64_at(2 * i), rng.f64_at(2 * i + 1)))
+            .collect();
+        for u in 0..n as u32 {
+            let p = pts[u as usize];
+            let mut ds: Vec<(f64, u32)> = (0..n as u32)
+                .filter(|&v| v != u)
+                .map(|v| {
+                    let q = pts[v as usize];
+                    ((p.0 - q.0).powi(2) + (p.1 - q.1).powi(2), v)
+                })
+                .collect();
+            ds.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+            let want: std::collections::HashSet<u32> =
+                ds[..k].iter().map(|&(_, v)| v).collect();
+            let got: std::collections::HashSet<u32> = g.neighbors(u).iter().copied().collect();
+            // allow ties at the k-th distance: every returned neighbor must
+            // be within the k-th best distance
+            let kth = ds[k - 1].0;
+            for &v in &got {
+                let q = pts[v as usize];
+                let d = (p.0 - q.0).powi(2) + (p.1 - q.1).powi(2);
+                assert!(d <= kth + 1e-12, "vertex {u}: {v} too far");
+            }
+            assert_eq!(got.len(), k);
+            // and at least k-1 of the exact set present (tie slack)
+            assert!(want.intersection(&got).count() >= k - 1);
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(knn(0, 3, 1).num_vertices(), 0);
+        assert_eq!(knn(1, 3, 1).num_edges(), 0);
+        let g = knn(2, 3, 1);
+        assert_eq!(g.num_edges(), 2); // each points at the other, k clipped
+    }
+}

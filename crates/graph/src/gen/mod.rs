@@ -1,0 +1,78 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on 22 public graphs in five categories — social,
+//! web, road, k-NN, synthetic — whose relevant axes are *degree
+//! distribution* and *diameter*. These generators produce deterministic,
+//! seedable stand-ins for each category at laptop scale (the substitution
+//! is documented in `DESIGN.md` §5):
+//!
+//! * [`basic`] — paths, cycles, stars, cliques, binary trees, 2-D grids
+//!   (the paper's REC graphs are `10³×10⁵` grids);
+//! * [`rmat`] — recursive-matrix power-law graphs (social/web stand-ins);
+//! * [`knn`] — geometric k-nearest-neighbor graphs over random 2-D points;
+//! * [`synthetic`] — "bubbles" and "traces" shaped like the
+//!   network-repository `huge-bubbles`/`huge-traces` DIMACS graphs;
+//! * [`suite`] — the named, scaled-down mirror of the paper's Table 1
+//!   dataset list, used by every experiment binary.
+
+pub mod basic;
+pub mod knn;
+pub mod rmat;
+pub mod suite;
+pub mod synthetic;
+
+use crate::csr::Graph;
+use crate::Weight;
+use pasgal_parlay::rng::SplitRng;
+
+/// Attach deterministic uniform weights in `1..=max_weight` to a graph.
+///
+/// Weight of edge `(u, v)` depends only on `(seed, u, v)`, so the weighted
+/// graph is reproducible and — importantly for SSSP tests on symmetric
+/// graphs — the two directions of an undirected edge get the *same* weight.
+pub fn with_random_weights(g: &Graph, seed: u64, max_weight: Weight) -> Graph {
+    assert!(max_weight >= 1);
+    let rng = SplitRng::new(seed).split(0x77);
+    let mut weights = Vec::with_capacity(g.num_edges());
+    for u in 0..g.num_vertices() as u32 {
+        for &v in g.neighbors(u) {
+            let (a, b) = if u <= v { (u, v) } else { (v, u) };
+            let key = (a as u64) << 32 | b as u64;
+            weights.push((rng.range_at(key, max_weight as u64) + 1) as Weight);
+        }
+    }
+    g.clone().with_weights(weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::basic::grid2d;
+
+    #[test]
+    fn weights_in_range_and_symmetric() {
+        let g = grid2d(5, 5);
+        let wg = with_random_weights(&g, 7, 100);
+        for u in 0..wg.num_vertices() as u32 {
+            for (v, w) in wg.weighted_neighbors(u) {
+                assert!((1..=100).contains(&w));
+                // reverse edge has same weight
+                let wrev = wg
+                    .weighted_neighbors(v)
+                    .find(|&(t, _)| t == u)
+                    .map(|(_, w)| w);
+                assert_eq!(wrev, Some(w));
+            }
+        }
+    }
+
+    #[test]
+    fn weights_deterministic_in_seed() {
+        let g = grid2d(4, 4);
+        let a = with_random_weights(&g, 1, 10);
+        let b = with_random_weights(&g, 1, 10);
+        let c = with_random_weights(&g, 2, 10);
+        assert_eq!(a.weights(), b.weights());
+        assert_ne!(a.weights(), c.weights());
+    }
+}

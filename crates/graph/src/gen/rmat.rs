@@ -1,0 +1,171 @@
+//! RMAT (recursive-matrix) power-law graph generator.
+//!
+//! The standard stand-in for social networks and web graphs: edges are
+//! drawn by recursively descending a 2×2 probability matrix `(a, b, c, d)`
+//! over the adjacency matrix. Skewed matrices produce heavy-tailed degree
+//! distributions and small diameters — exactly the *low-diameter* regime
+//! of the paper's social/web categories.
+//!
+//! Generation is parallel and deterministic: edge `i` depends only on
+//! `(seed, i)`.
+
+use crate::builder::{from_edges, from_edges_symmetric};
+use crate::csr::Graph;
+use pasgal_parlay::rng::SplitRng;
+use rayon::prelude::*;
+
+/// RMAT parameter set.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatParams {
+    /// log2 of the number of vertices.
+    pub scale: u32,
+    /// Edges to draw (before dedup).
+    pub edges: usize,
+    /// Quadrant probabilities; must sum to ~1.
+    pub a: f64,
+    /// upper-right quadrant probability.
+    pub b: f64,
+    /// lower-left quadrant probability.
+    pub c: f64,
+    /// Noise added per level to break symmetry (Graph500-style).
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RmatParams {
+    /// Social-network-flavored parameters (Graph500: a=.57 b=.19 c=.19).
+    pub fn social(scale: u32, avg_degree: usize, seed: u64) -> Self {
+        Self {
+            scale,
+            edges: (1usize << scale) * avg_degree,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            noise: 0.1,
+            seed,
+        }
+    }
+
+    /// Web-graph-flavored parameters: more skew (bigger hubs, still small
+    /// diameter, slightly deeper than social).
+    pub fn web(scale: u32, avg_degree: usize, seed: u64) -> Self {
+        Self {
+            scale,
+            edges: (1usize << scale) * avg_degree,
+            a: 0.65,
+            b: 0.15,
+            c: 0.15,
+            noise: 0.05,
+            seed,
+        }
+    }
+}
+
+fn draw_edge(p: &RmatParams, rng: SplitRng, i: u64) -> (u32, u32) {
+    let mut u = 0u64;
+    let mut v = 0u64;
+    let r = rng.split(i);
+    for level in 0..p.scale {
+        let x = r.f64_at(level as u64);
+        // per-level multiplicative noise keeps the degree tail from being
+        // perfectly self-similar (Graph500 trick)
+        let na = p.a * (1.0 + p.noise * (r.f64_at(1000 + level as u64) - 0.5));
+        let nb = p.b * (1.0 + p.noise * (r.f64_at(2000 + level as u64) - 0.5));
+        let nc = p.c * (1.0 + p.noise * (r.f64_at(3000 + level as u64) - 0.5));
+        let (qa, qb, qc) = (na, na + nb, na + nb + nc);
+        u <<= 1;
+        v <<= 1;
+        if x < qa {
+            // upper-left: nothing set
+        } else if x < qb {
+            v |= 1;
+        } else if x < qc {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+    }
+    (u as u32, v as u32)
+}
+
+/// Directed RMAT graph (duplicates and self-loops removed).
+pub fn rmat_directed(p: RmatParams) -> Graph {
+    let n = 1usize << p.scale;
+    let rng = SplitRng::new(p.seed).split(0x4a7);
+    let edges: Vec<(u32, u32)> = (0..p.edges)
+        .into_par_iter()
+        .with_min_len(1024)
+        .map(|i| draw_edge(&p, rng, i as u64))
+        .collect();
+    from_edges(n, &edges)
+}
+
+/// Undirected (symmetrized) RMAT graph.
+pub fn rmat_undirected(p: RmatParams) -> Graph {
+    let n = 1usize << p.scale;
+    let rng = SplitRng::new(p.seed).split(0x4a7);
+    let edges: Vec<(u32, u32)> = (0..p.edges)
+        .into_par_iter()
+        .with_min_len(1024)
+        .map(|i| draw_edge(&p, rng, i as u64))
+        .collect();
+    from_edges_symmetric(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let p = RmatParams::social(10, 8, 42);
+        let a = rmat_directed(p);
+        let b = rmat_directed(p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = rmat_directed(RmatParams::social(10, 8, 1));
+        let b = rmat_directed(RmatParams::social(10, 8, 2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn size_in_expected_range() {
+        let p = RmatParams::social(12, 8, 7);
+        let g = rmat_directed(p);
+        assert_eq!(g.num_vertices(), 4096);
+        // dedup removes some, but most survive
+        assert!(g.num_edges() > p.edges / 2, "m = {}", g.num_edges());
+        assert!(g.num_edges() <= p.edges);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = rmat_directed(RmatParams::social(12, 16, 3));
+        let n = g.num_vertices();
+        let mut degs: Vec<usize> = (0..n as u32).map(|v| g.degree(v)).collect();
+        degs.sort_unstable();
+        let max = *degs.last().unwrap();
+        let median = degs[n / 2];
+        // power-law-ish: hub degree far above median
+        assert!(
+            max > 8 * median.max(1),
+            "max {max} not ≫ median {median}"
+        );
+    }
+
+    #[test]
+    fn undirected_is_symmetric() {
+        let g = rmat_undirected(RmatParams::web(8, 8, 5));
+        assert!(g.is_symmetric());
+        for u in 0..g.num_vertices() as u32 {
+            for &v in g.neighbors(u) {
+                assert!(g.has_edge(v, u));
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! The scaled-down mirror of the paper's Table 1 dataset list.
+//!
+//! Each named entry corresponds to one of the paper's 22 graphs, mapped to
+//! a deterministic synthetic generator of the same *category* (degree
+//! distribution + diameter regime — see DESIGN.md §5). Sizes are scaled by
+//! a [`SuiteScale`]: `Tiny` for unit/integration tests, `Small` for quick
+//! experiment runs, `Full` for the benchmark harness.
+//!
+//! Directed entries mirror the paper's directed graphs (used by SCC);
+//! undirected entries mirror its undirected ones. The paper symmetrizes
+//! directed graphs for BCC — [`NamedGraph::build_symmetric`] does the same.
+
+use super::{basic, knn, rmat, synthetic};
+use crate::csr::Graph;
+use crate::transform::symmetrize;
+
+/// Size multiplier for the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteScale {
+    /// ~1–3k vertices: unit/integration tests.
+    Tiny,
+    /// ~10–30k vertices: quick experiments.
+    Small,
+    /// ~100–300k vertices: the benchmark harness default.
+    Full,
+}
+
+impl SuiteScale {
+    fn shift(self) -> u32 {
+        match self {
+            SuiteScale::Tiny => 0,
+            SuiteScale::Small => 3,
+            SuiteScale::Full => 6,
+        }
+    }
+}
+
+/// Dataset category, matching the paper's grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Social networks (low diameter, power-law).
+    Social,
+    /// Web graphs (low diameter, power-law, deeper than social).
+    Web,
+    /// Road networks (large diameter, near-constant degree).
+    Road,
+    /// k-NN graphs (large diameter, degree = k).
+    Knn,
+    /// Synthetic large-diameter graphs (grids, bubbles, traces).
+    Synthetic,
+}
+
+impl Category {
+    /// Paper's binary split: social/web are "low-diameter", the rest
+    /// "large-diameter".
+    pub fn is_low_diameter(self) -> bool {
+        matches!(self, Category::Social | Category::Web)
+    }
+}
+
+/// One named dataset of the suite.
+#[derive(Debug, Clone, Copy)]
+pub struct NamedGraph {
+    /// Short name, matching the paper's abbreviation (LJ, TW, AF, REC, …).
+    pub name: &'static str,
+    /// Which of the paper's five categories it mirrors.
+    pub category: Category,
+    /// Whether the paper's original is directed.
+    pub directed: bool,
+}
+
+impl NamedGraph {
+    /// Build the graph at the given scale (deterministic).
+    pub fn build(&self, scale: SuiteScale) -> Graph {
+        build_named(self.name, scale)
+    }
+
+    /// Build and symmetrize (the paper's BCC preprocessing); undirected
+    /// entries are returned as-is.
+    pub fn build_symmetric(&self, scale: SuiteScale) -> Graph {
+        let g = self.build(scale);
+        if g.is_symmetric() {
+            g
+        } else {
+            symmetrize(&g)
+        }
+    }
+}
+
+/// The full suite, in the paper's Table 1 order.
+pub const SUITE: &[NamedGraph] = &[
+    // --- Social ---
+    NamedGraph { name: "LJ", category: Category::Social, directed: true },
+    NamedGraph { name: "FB", category: Category::Social, directed: false },
+    NamedGraph { name: "OK", category: Category::Social, directed: false },
+    NamedGraph { name: "TW", category: Category::Social, directed: true },
+    NamedGraph { name: "FS", category: Category::Social, directed: false },
+    // --- Web ---
+    NamedGraph { name: "WK", category: Category::Web, directed: true },
+    NamedGraph { name: "SD", category: Category::Web, directed: true },
+    NamedGraph { name: "CW", category: Category::Web, directed: true },
+    // --- Road ---
+    NamedGraph { name: "AF", category: Category::Road, directed: true },
+    NamedGraph { name: "NA", category: Category::Road, directed: true },
+    NamedGraph { name: "AS", category: Category::Road, directed: true },
+    NamedGraph { name: "EU", category: Category::Road, directed: true },
+    // --- kNN ---
+    NamedGraph { name: "CH5", category: Category::Knn, directed: true },
+    NamedGraph { name: "GL5", category: Category::Knn, directed: true },
+    NamedGraph { name: "GL10", category: Category::Knn, directed: true },
+    NamedGraph { name: "COS5", category: Category::Knn, directed: true },
+    // --- Synthetic ---
+    NamedGraph { name: "REC", category: Category::Synthetic, directed: true },
+    NamedGraph { name: "SREC", category: Category::Synthetic, directed: true },
+    NamedGraph { name: "TRCE", category: Category::Synthetic, directed: false },
+    NamedGraph { name: "BBL", category: Category::Synthetic, directed: false },
+];
+
+/// Look up a suite entry by name.
+pub fn by_name(name: &str) -> Option<&'static NamedGraph> {
+    SUITE.iter().find(|g| g.name == name)
+}
+
+fn build_named(name: &str, scale: SuiteScale) -> Graph {
+    let s = scale.shift();
+    let f = 1usize << s; // linear factor for non-power-of-two families
+    match name {
+        // Social: RMAT power-law. LJ/TW directed; FB/OK/FS undirected.
+        // Average degrees loosely follow the originals' m/n ratios.
+        "LJ" => rmat::rmat_directed(rmat::RmatParams::social(11 + s, 14, 101)),
+        "FB" => rmat::rmat_undirected(rmat::RmatParams::social(11 + s, 3, 102)),
+        "OK" => rmat::rmat_undirected(rmat::RmatParams::social(10 + s, 38, 103)),
+        "TW" => rmat::rmat_directed(rmat::RmatParams::social(11 + s, 35, 104)),
+        "FS" => rmat::rmat_undirected(rmat::RmatParams::social(12 + s, 27, 105)),
+        // Web: skewier RMAT.
+        "WK" => rmat::rmat_directed(rmat::RmatParams::web(11 + s, 25, 201)),
+        "SD" => rmat::rmat_directed(rmat::RmatParams::web(12 + s, 22, 202)),
+        "CW" => rmat::rmat_directed(rmat::RmatParams::web(13 + s, 21, 203)),
+        // Road: directed REC-like lattices with mixed orientation — sparse,
+        // degree ≈ 2.6 directed, huge diameter. Aspect ratios vary so the
+        // four road graphs are not clones of each other.
+        "AF" => basic::grid2d_directed(12 * f, 160 * f, 0.55, 301),
+        "NA" => basic::grid2d_directed(20 * f, 192 * f, 0.55, 302),
+        "AS" => basic::grid2d_directed(16 * f, 256 * f, 0.50, 303),
+        "EU" => basic::grid2d_directed(24 * f, 224 * f, 0.55, 304),
+        // kNN geometric graphs.
+        "CH5" => knn::knn(2_000 * f, 5, 401),
+        "GL5" => knn::knn(3_000 * f, 5, 402),
+        "GL10" => knn::knn(3_000 * f, 10, 403),
+        "COS5" => knn::knn(4_000 * f, 5, 404),
+        // Synthetic.
+        "REC" => basic::grid2d_directed(10 * f, 400 * f, 0.6, 501),
+        "SREC" => basic::grid2d_directed_sampled(12 * f, 360 * f, 0.6, 0.85, 502),
+        "TRCE" => synthetic::traces(4_000 * f, 0.3, 503),
+        "BBL" => synthetic::bubbles(500 * f, 8, 504),
+        other => panic!("unknown suite graph {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_twenty_entries_across_five_categories() {
+        assert_eq!(SUITE.len(), 20);
+        for cat in [
+            Category::Social,
+            Category::Web,
+            Category::Road,
+            Category::Knn,
+            Category::Synthetic,
+        ] {
+            assert!(SUITE.iter().any(|g| g.category == cat));
+        }
+    }
+
+    #[test]
+    fn by_name_finds_and_misses() {
+        assert!(by_name("LJ").is_some());
+        assert!(by_name("REC").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn every_entry_builds_at_tiny_scale() {
+        for g in SUITE {
+            let built = g.build(SuiteScale::Tiny);
+            assert!(built.num_vertices() > 0, "{}", g.name);
+            assert!(built.num_edges() > 0, "{}", g.name);
+        }
+    }
+
+    #[test]
+    fn directedness_matches_declaration() {
+        for g in SUITE {
+            let built = g.build(SuiteScale::Tiny);
+            assert_eq!(built.is_symmetric(), !g.directed, "{}", g.name);
+        }
+    }
+
+    #[test]
+    fn build_symmetric_always_symmetric() {
+        for g in SUITE.iter().filter(|g| g.directed).take(3) {
+            let s = g.build_symmetric(SuiteScale::Tiny);
+            assert!(s.is_symmetric());
+        }
+    }
+
+    #[test]
+    fn scales_grow() {
+        let tiny = by_name("LJ").unwrap().build(SuiteScale::Tiny);
+        let small = by_name("LJ").unwrap().build(SuiteScale::Small);
+        assert!(small.num_vertices() > 4 * tiny.num_vertices());
+    }
+
+    #[test]
+    fn low_diameter_flag() {
+        assert!(Category::Social.is_low_diameter());
+        assert!(Category::Web.is_low_diameter());
+        assert!(!Category::Road.is_low_diameter());
+        assert!(!Category::Knn.is_low_diameter());
+        assert!(!Category::Synthetic.is_low_diameter());
+    }
+}

@@ -1,0 +1,131 @@
+//! "Bubbles" and "traces" — stand-ins for the network-repository DIMACS
+//! graphs `huge-bubbles` and `huge-traces` the paper uses as undirected
+//! synthetic large-diameter inputs.
+//!
+//! Both families are sparse (average degree ≈ 3) with diameters in the
+//! thousands:
+//!
+//! * **bubbles**: a long backbone where every backbone node is blown up
+//!   into a small cycle ("bubble"), so the graph is 2-connected locally
+//!   but still path-like globally;
+//! * **traces**: a long wandering path with short random side branches
+//!   (tendrils), like execution/mesh traces.
+
+use crate::builder::from_edges_symmetric;
+use crate::csr::Graph;
+use pasgal_parlay::rng::SplitRng;
+
+/// Chain of `num_bubbles` cycles, each of `bubble_size` vertices;
+/// consecutive bubbles share a bridging edge. `n = num_bubbles *
+/// bubble_size`, diameter ≈ `num_bubbles * (bubble_size/2 + 1)`.
+pub fn bubbles(num_bubbles: usize, bubble_size: usize, seed: u64) -> Graph {
+    assert!(bubble_size >= 3, "a bubble needs at least 3 vertices");
+    let n = num_bubbles * bubble_size;
+    let rng = SplitRng::new(seed).split(0xbb);
+    let mut edges = Vec::with_capacity(n + num_bubbles);
+    for b in 0..num_bubbles {
+        let base = (b * bubble_size) as u32;
+        for i in 0..bubble_size as u32 {
+            edges.push((base + i, base + (i + 1) % bubble_size as u32));
+        }
+        if b + 1 < num_bubbles {
+            // bridge from a random vertex of this bubble to a random vertex
+            // of the next
+            let from = base + rng.range_at(2 * b as u64, bubble_size as u64) as u32;
+            let to = base
+                + bubble_size as u32
+                + rng.range_at(2 * b as u64 + 1, bubble_size as u64) as u32;
+            edges.push((from, to));
+        }
+    }
+    from_edges_symmetric(n, &edges)
+}
+
+/// A long path over a fraction `1 - branch_frac` of the vertices, with the
+/// remaining vertices attached as short random tendrils hanging off the
+/// backbone. Diameter ≈ backbone length.
+pub fn traces(n: usize, branch_frac: f64, seed: u64) -> Graph {
+    assert!((0.0..1.0).contains(&branch_frac));
+    if n == 0 {
+        return Graph::empty(0, true);
+    }
+    let rng = SplitRng::new(seed).split(0x7c);
+    let backbone = ((n as f64) * (1.0 - branch_frac)).max(1.0) as usize;
+    let mut edges = Vec::with_capacity(n);
+    for i in 0..backbone.saturating_sub(1) as u32 {
+        edges.push((i, i + 1));
+    }
+    // tendrils: each extra vertex attaches to a random earlier vertex that
+    // is on the backbone or an existing tendril, biased toward making short
+    // (1–3 hop) branches by attaching to the backbone most of the time.
+    for v in backbone..n {
+        let attach = if rng.bool_at(v as u64, 0.8) || v == backbone {
+            rng.range_at((v as u64) << 1, backbone as u64) as u32
+        } else {
+            (backbone + rng.range_at((v as u64) << 1 | 1, (v - backbone) as u64) as usize) as u32
+        };
+        edges.push((attach, v as u32));
+    }
+    from_edges_symmetric(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bubbles_shape() {
+        let g = bubbles(10, 5, 1);
+        assert_eq!(g.num_vertices(), 50);
+        // cycles: 10*5 edges, bridges: 9 -> *2 directions
+        assert_eq!(g.num_edges(), (50 + 9) * 2);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn bubbles_every_vertex_degree_at_least_two() {
+        let g = bubbles(20, 4, 2);
+        assert!((0..g.num_vertices() as u32).all(|v| g.degree(v) >= 2));
+    }
+
+    #[test]
+    fn bubbles_deterministic() {
+        assert_eq!(bubbles(5, 6, 3), bubbles(5, 6, 3));
+        assert_ne!(bubbles(5, 6, 3), bubbles(5, 6, 4));
+    }
+
+    #[test]
+    fn traces_shape() {
+        let g = traces(1000, 0.3, 5);
+        assert_eq!(g.num_vertices(), 1000);
+        // a tree: n-1 undirected edges, stored doubled
+        assert_eq!(g.num_edges(), 2 * 999);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn traces_connected_as_a_tree() {
+        // every vertex reachable from 0 by construction: simple BFS check
+        let g = traces(500, 0.4, 7);
+        let mut seen = vec![false; 500];
+        let mut q = std::collections::VecDeque::from([0u32]);
+        seen[0] = true;
+        let mut cnt = 1;
+        while let Some(u) = q.pop_front() {
+            for &v in g.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    cnt += 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        assert_eq!(cnt, 500);
+    }
+
+    #[test]
+    fn traces_degenerate() {
+        assert_eq!(traces(0, 0.3, 1).num_vertices(), 0);
+        assert_eq!(traces(1, 0.3, 1).num_edges(), 0);
+    }
+}

@@ -1,0 +1,413 @@
+//! Graph IO in the two formats the paper's library supports, plus a plain
+//! edge-list text format.
+//!
+//! * **`.adj`** — the PBBS *AdjacencyGraph* text format:
+//!   ```text
+//!   AdjacencyGraph
+//!   <n>
+//!   <m>
+//!   <offset_0> … <offset_{n-1}>
+//!   <target_0> … <target_{m-1}>
+//!   ```
+//!   (`WeightedAdjacencyGraph` adds `m` weights after the targets.)
+//! * **`.bin`** — a GBBS-style binary CSR: little-endian `u64` header
+//!   `[n, m, sizes]` followed by `n+1` `u64` offsets and `m` `u32` targets
+//!   (+ `m` `u32` weights when the weighted flag is set in `sizes`).
+//! * **`.el`** — one `u v [w]` pair per line.
+//!
+//! ```
+//! use pasgal_graph::{builder::from_edges, io};
+//!
+//! let g = from_edges(3, &[(0, 1), (1, 2)]);
+//! let path = std::env::temp_dir().join("pasgal_doc_io.adj");
+//! io::write_adj(&g, &path).unwrap();
+//! let back = io::read_adj(&path).unwrap();
+//! assert_eq!(g.targets(), back.targets());
+//! std::fs::remove_file(&path).unwrap();
+//! ```
+
+use crate::csr::Graph;
+use crate::{VertexId, Weight};
+use bytes::{Buf, BufMut};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors from graph IO.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The file does not parse as the expected format.
+    Format(String),
+}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+fn format_err<T>(msg: impl Into<String>) -> Result<T, IoError> {
+    Err(IoError::Format(msg.into()))
+}
+
+// ---------------------------------------------------------------- .adj ---
+
+/// Write PBBS AdjacencyGraph text.
+pub fn write_adj(g: &Graph, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    let weighted = g.is_weighted();
+    writeln!(
+        w,
+        "{}",
+        if weighted {
+            "WeightedAdjacencyGraph"
+        } else {
+            "AdjacencyGraph"
+        }
+    )?;
+    writeln!(w, "{}", g.num_vertices())?;
+    writeln!(w, "{}", g.num_edges())?;
+    for v in 0..g.num_vertices() {
+        writeln!(w, "{}", g.offsets()[v])?;
+    }
+    for &t in g.targets() {
+        writeln!(w, "{t}")?;
+    }
+    if let Some(ws) = g.weights() {
+        for &x in ws {
+            writeln!(w, "{x}")?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read PBBS AdjacencyGraph text. The result is marked non-symmetric;
+/// callers that know better can rebuild via `transform::symmetrize`.
+pub fn read_adj(path: impl AsRef<Path>) -> Result<Graph, IoError> {
+    let mut tokens = Vec::new();
+    let mut header = String::new();
+    {
+        let mut r = BufReader::new(File::open(path)?);
+        r.read_line(&mut header)?;
+        let mut rest = String::new();
+        r.read_to_string(&mut rest)?;
+        for tok in rest.split_ascii_whitespace() {
+            tokens.push(tok.parse::<u64>().map_err(|_| {
+                IoError::Format(format!("non-numeric token {tok:?}"))
+            })?);
+        }
+    }
+    let weighted = match header.trim() {
+        "AdjacencyGraph" => false,
+        "WeightedAdjacencyGraph" => true,
+        h => return format_err(format!("bad header {h:?}")),
+    };
+    let mut it = tokens.into_iter();
+    let n = it.next().ok_or(IoError::Format("missing n".into()))? as usize;
+    let m = it.next().ok_or(IoError::Format("missing m".into()))? as usize;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..n {
+        offsets.push(it.next().ok_or(IoError::Format("truncated offsets".into()))? as usize);
+    }
+    offsets.push(m);
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return format_err("offsets not monotone");
+    }
+    let mut targets = Vec::with_capacity(m);
+    for _ in 0..m {
+        let t = it.next().ok_or(IoError::Format("truncated targets".into()))?;
+        if t as usize >= n {
+            return format_err(format!("target {t} out of range"));
+        }
+        targets.push(t as VertexId);
+    }
+    let weights = if weighted {
+        let mut ws = Vec::with_capacity(m);
+        for _ in 0..m {
+            ws.push(it.next().ok_or(IoError::Format("truncated weights".into()))? as Weight);
+        }
+        Some(ws)
+    } else {
+        None
+    };
+    Ok(Graph::from_csr(offsets, targets, weights, false))
+}
+
+// ---------------------------------------------------------------- .bin ---
+
+const BIN_MAGIC: u64 = 0x5041_5347_414c_0001; // "PASGAL" + version
+const FLAG_WEIGHTED: u64 = 1;
+const FLAG_SYMMETRIC: u64 = 2;
+
+/// Write binary CSR.
+pub fn write_bin(g: &Graph, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let mut buf = Vec::with_capacity(32 + 8 * g.num_vertices() + 4 * g.num_edges());
+    buf.put_u64_le(BIN_MAGIC);
+    buf.put_u64_le(g.num_vertices() as u64);
+    buf.put_u64_le(g.num_edges() as u64);
+    let mut flags = 0;
+    if g.is_weighted() {
+        flags |= FLAG_WEIGHTED;
+    }
+    if g.is_symmetric() {
+        flags |= FLAG_SYMMETRIC;
+    }
+    buf.put_u64_le(flags);
+    for &o in g.offsets() {
+        buf.put_u64_le(o as u64);
+    }
+    for &t in g.targets() {
+        buf.put_u32_le(t);
+    }
+    if let Some(ws) = g.weights() {
+        for &w in ws {
+            buf.put_u32_le(w);
+        }
+    }
+    let mut f = BufWriter::new(File::create(path)?);
+    f.write_all(&buf)?;
+    f.flush()?;
+    Ok(())
+}
+
+/// Read binary CSR.
+pub fn read_bin(path: impl AsRef<Path>) -> Result<Graph, IoError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let mut buf = &bytes[..];
+    if buf.remaining() < 32 {
+        return format_err("truncated header");
+    }
+    if buf.get_u64_le() != BIN_MAGIC {
+        return format_err("bad magic");
+    }
+    let n = buf.get_u64_le() as usize;
+    let m = buf.get_u64_le() as usize;
+    let flags = buf.get_u64_le();
+    let need = (n + 1) * 8 + m * 4 + if flags & FLAG_WEIGHTED != 0 { m * 4 } else { 0 };
+    if buf.remaining() < need {
+        return format_err("truncated body");
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(buf.get_u64_le() as usize);
+    }
+    if *offsets.last().unwrap() != m || offsets.windows(2).any(|w| w[0] > w[1]) {
+        return format_err("inconsistent offsets");
+    }
+    let mut targets = Vec::with_capacity(m);
+    for _ in 0..m {
+        let t = buf.get_u32_le();
+        if t as usize >= n {
+            return format_err("target out of range");
+        }
+        targets.push(t);
+    }
+    let weights = if flags & FLAG_WEIGHTED != 0 {
+        let mut ws = Vec::with_capacity(m);
+        for _ in 0..m {
+            ws.push(buf.get_u32_le());
+        }
+        Some(ws)
+    } else {
+        None
+    };
+    Ok(Graph::from_csr(
+        offsets,
+        targets,
+        weights,
+        flags & FLAG_SYMMETRIC != 0,
+    ))
+}
+
+// ----------------------------------------------------------------- .el ---
+
+/// Write an edge-list text file (`u v` or `u v w` per line).
+pub fn write_edge_list(g: &Graph, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for u in 0..g.num_vertices() as u32 {
+        for (v, wt) in g.weighted_neighbors(u) {
+            if g.is_weighted() {
+                writeln!(w, "{u} {v} {wt}")?;
+            } else {
+                writeln!(w, "{u} {v}")?;
+            }
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read an edge-list text file; `n` is inferred as `max id + 1`. Lines
+/// starting with `#` or `%` are comments.
+pub fn read_edge_list(path: impl AsRef<Path>) -> Result<Graph, IoError> {
+    let r = BufReader::new(File::open(path)?);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut weights: Vec<Weight> = Vec::new();
+    let mut any_weight = false;
+    for line in r.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        let u: VertexId = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| IoError::Format(format!("bad line {line:?}")))?;
+        let v: VertexId = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| IoError::Format(format!("bad line {line:?}")))?;
+        let w: Weight = match parts.next() {
+            Some(s) => {
+                any_weight = true;
+                s.parse()
+                    .map_err(|_| IoError::Format(format!("bad weight in {line:?}")))?
+            }
+            None => 1,
+        };
+        edges.push((u, v));
+        weights.push(w);
+    }
+    let n = edges
+        .iter()
+        .map(|&(u, v)| u.max(v) as usize + 1)
+        .max()
+        .unwrap_or(0);
+    Ok(if any_weight {
+        crate::builder::from_weighted_edges(n, &edges, &weights)
+    } else {
+        crate::builder::from_edges(n, &edges)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{from_edges, from_weighted_edges};
+    use crate::gen::basic::grid2d;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pasgal_io_test_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn adj_roundtrip() {
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let p = tmp("adj");
+        write_adj(&g, &p).unwrap();
+        let h = read_adj(&p).unwrap();
+        std::fs::remove_file(&p).unwrap();
+        assert_eq!(g.offsets(), h.offsets());
+        assert_eq!(g.targets(), h.targets());
+    }
+
+    #[test]
+    fn adj_weighted_roundtrip() {
+        let g = from_weighted_edges(3, &[(0, 1), (1, 2)], &[5, 9]);
+        let p = tmp("adjw");
+        write_adj(&g, &p).unwrap();
+        let h = read_adj(&p).unwrap();
+        std::fs::remove_file(&p).unwrap();
+        assert_eq!(g.weights(), h.weights());
+    }
+
+    #[test]
+    fn adj_rejects_garbage() {
+        let p = tmp("garbage");
+        std::fs::write(&p, "NotAGraph\n1 2 3\n").unwrap();
+        let e = read_adj(&p);
+        std::fs::remove_file(&p).unwrap();
+        assert!(matches!(e, Err(IoError::Format(_))));
+    }
+
+    #[test]
+    fn bin_roundtrip_preserves_everything() {
+        let g = grid2d(5, 7);
+        let p = tmp("bin");
+        write_bin(&g, &p).unwrap();
+        let h = read_bin(&p).unwrap();
+        std::fs::remove_file(&p).unwrap();
+        assert_eq!(g, h);
+        assert!(h.is_symmetric());
+    }
+
+    #[test]
+    fn bin_weighted_roundtrip() {
+        let g = from_weighted_edges(3, &[(0, 1), (2, 0)], &[7, 8]);
+        let p = tmp("binw");
+        write_bin(&g, &p).unwrap();
+        let h = read_bin(&p).unwrap();
+        std::fs::remove_file(&p).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn bin_rejects_bad_magic() {
+        let p = tmp("badmagic");
+        std::fs::write(&p, vec![0u8; 64]).unwrap();
+        let e = read_bin(&p);
+        std::fs::remove_file(&p).unwrap();
+        assert!(matches!(e, Err(IoError::Format(_))));
+    }
+
+    #[test]
+    fn bin_rejects_truncation() {
+        let g = grid2d(4, 4);
+        let p = tmp("trunc");
+        write_bin(&g, &p).unwrap();
+        let full = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &full[..full.len() / 2]).unwrap();
+        let e = read_bin(&p);
+        std::fs::remove_file(&p).unwrap();
+        assert!(matches!(e, Err(IoError::Format(_))));
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = from_edges(5, &[(0, 1), (1, 2), (4, 0)]);
+        let p = tmp("el");
+        write_edge_list(&g, &p).unwrap();
+        let h = read_edge_list(&p).unwrap();
+        std::fs::remove_file(&p).unwrap();
+        assert_eq!(g.targets(), h.targets());
+    }
+
+    #[test]
+    fn edge_list_with_comments_and_weights() {
+        let p = tmp("elw");
+        std::fs::write(&p, "# comment\n0 1 9\n% also comment\n1 2 4\n\n").unwrap();
+        let g = read_edge_list(&p).unwrap();
+        std::fs::remove_file(&p).unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.weighted_neighbors(0).next(), Some((1, 9)));
+        assert_eq!(g.num_vertices(), 3);
+    }
+
+    #[test]
+    fn empty_edge_list() {
+        let p = tmp("empty");
+        std::fs::write(&p, "# nothing\n").unwrap();
+        let g = read_edge_list(&p).unwrap();
+        std::fs::remove_file(&p).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+}

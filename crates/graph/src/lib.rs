@@ -1,0 +1,48 @@
+//! # pasgal-graph
+//!
+//! Graph substrate for PASGAL-rs: compressed-sparse-row graphs, builders,
+//! IO in the two formats the paper's library supports (PBBS `.adj` text and
+//! a GBBS-style binary), synthetic generators covering the paper's five
+//! dataset categories (social, web, road, k-NN, synthetic), and statistics
+//! (degrees, sampled diameter lower bounds — the method behind the paper's
+//! Table 1).
+//!
+//! The central type is [`csr::Graph`]: immutable CSR with `u32` vertex ids,
+//! optional `u32` edge weights, and cheap parallel construction.
+//!
+//! ```
+//! use pasgal_graph::builder::GraphBuilder;
+//!
+//! // a directed triangle plus a pendant vertex
+//! let g = GraphBuilder::new(4)
+//!     .add_edge(0, 1)
+//!     .add_edge(1, 2)
+//!     .add_edge(2, 0)
+//!     .add_edge(2, 3)
+//!     .build();
+//! assert_eq!(g.num_vertices(), 4);
+//! assert_eq!(g.num_edges(), 4);
+//! assert_eq!(g.neighbors(2), &[0, 3]);
+//! ```
+
+pub mod builder;
+pub mod csr;
+pub mod gen;
+pub mod io;
+pub mod stats;
+pub mod transform;
+pub mod validate;
+
+/// Vertex identifier. `u32` halves memory traffic vs `usize`; all suites
+/// here stay far below 2³² vertices. (The paper's Multistep baseline is
+/// *limited* to 32-bit ids — we reproduce that check in `pasgal-core`.)
+pub type VertexId = u32;
+
+/// Edge weight for the weighted (SSSP) algorithms.
+pub type Weight = u32;
+
+/// Distance type: large enough that `n * max_weight` cannot overflow.
+pub type Dist = u64;
+
+/// Sentinel for "unreached" distances.
+pub const INF: Dist = Dist::MAX;

@@ -1,0 +1,260 @@
+//! Graph statistics: degrees, reachability, and the sampled diameter
+//! lower bound used by the paper's Table 1 ("the number shown is a lower
+//! bound obtained by at least 1000 sampled searches on each graph").
+//!
+//! ```
+//! use pasgal_graph::gen::basic::grid2d;
+//! use pasgal_graph::stats::estimate_diameter;
+//!
+//! // double-sweep finds the exact diameter of a grid from any sample
+//! assert_eq!(estimate_diameter(&grid2d(10, 20), 4, 1), 28);
+//! ```
+
+use crate::csr::Graph;
+use crate::transform::symmetrize;
+use crate::VertexId;
+use pasgal_parlay::rng::SplitRng;
+use rayon::prelude::*;
+use std::collections::VecDeque;
+
+/// Degree summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum out-degree.
+    pub min: usize,
+    /// Maximum out-degree.
+    pub max: usize,
+    /// Average out-degree.
+    pub avg: f64,
+}
+
+/// Compute degree statistics (parallel).
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    let n = g.num_vertices();
+    if n == 0 {
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            avg: 0.0,
+        };
+    }
+    let (min, max) = (0..n as u32)
+        .into_par_iter()
+        .with_min_len(2048)
+        .map(|v| {
+            let d = g.degree(v);
+            (d, d)
+        })
+        .reduce(
+            || (usize::MAX, 0),
+            |a, b| (a.0.min(b.0), a.1.max(b.1)),
+        );
+    DegreeStats {
+        min,
+        max,
+        avg: g.num_edges() as f64 / n as f64,
+    }
+}
+
+/// Out-degree histogram: `hist[d]` = number of vertices with out-degree
+/// exactly `d` (length `max_degree + 1`; empty for an empty graph).
+pub fn degree_histogram(g: &Graph) -> Vec<u64> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let maxd = (0..n as u32).map(|v| g.degree(v)).max().unwrap_or(0);
+    pasgal_parlay::histogram::histogram_by(n, maxd + 1, |v| g.degree(v as u32))
+}
+
+/// Sequential BFS eccentricity from `src`: `(max finite hop distance,
+/// #reached vertices)`. Shared helper for diameter estimation.
+pub fn bfs_eccentricity(g: &Graph, src: VertexId) -> (usize, usize) {
+    let n = g.num_vertices();
+    let mut dist = vec![usize::MAX; n];
+    let mut q = VecDeque::new();
+    dist[src as usize] = 0;
+    q.push_back(src);
+    let mut ecc = 0;
+    let mut reached = 1;
+    while let Some(u) = q.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == usize::MAX {
+                dist[v as usize] = du + 1;
+                ecc = ecc.max(du + 1);
+                reached += 1;
+                q.push_back(v);
+            }
+        }
+    }
+    (ecc, reached)
+}
+
+/// Farthest vertex from `src` (for double-sweep).
+fn bfs_farthest(g: &Graph, src: VertexId) -> (VertexId, usize) {
+    let n = g.num_vertices();
+    let mut dist = vec![usize::MAX; n];
+    let mut q = VecDeque::new();
+    dist[src as usize] = 0;
+    q.push_back(src);
+    let mut far = (src, 0);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u as usize];
+        if du > far.1 {
+            far = (u, du);
+        }
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == usize::MAX {
+                dist[v as usize] = du + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    far
+}
+
+/// Diameter lower bound by sampled double-sweep BFS: run BFS from
+/// `samples` random sources, then a second sweep from the farthest vertex
+/// each found; report the largest eccentricity seen. This is the paper's
+/// Table 1 method (a lower bound, not the exact diameter).
+pub fn estimate_diameter(g: &Graph, samples: usize, seed: u64) -> usize {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let rng = SplitRng::new(seed).split(0xd1a);
+    let sources: Vec<VertexId> = (0..samples as u64)
+        .map(|i| rng.range_at(i, n as u64) as VertexId)
+        .collect();
+    sources
+        .par_iter()
+        .with_min_len(1)
+        .map(|&s| {
+            let (far, ecc1) = bfs_farthest(g, s);
+            let (ecc2, _) = bfs_eccentricity(g, far);
+            ecc1.max(ecc2)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// The full Table-1 row for a (possibly directed) graph: `(n, m', m, D',
+/// D)` where primes are the directed quantities and unprimed the
+/// symmetrized ones. For symmetric inputs `m' = None`, `D' = None`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphInfo {
+    /// Vertex count.
+    pub n: usize,
+    /// Directed edge count (None for undirected inputs).
+    pub m_directed: Option<usize>,
+    /// Symmetrized edge count.
+    pub m_symmetric: usize,
+    /// Directed diameter lower bound (None for undirected inputs).
+    pub diam_directed: Option<usize>,
+    /// Symmetrized diameter lower bound.
+    pub diam_symmetric: usize,
+}
+
+/// Compute a Table-1 row with `samples` sampled searches per quantity.
+pub fn graph_info(g: &Graph, samples: usize, seed: u64) -> GraphInfo {
+    if g.is_symmetric() {
+        GraphInfo {
+            n: g.num_vertices(),
+            m_directed: None,
+            m_symmetric: g.num_edges(),
+            diam_directed: None,
+            diam_symmetric: estimate_diameter(g, samples, seed),
+        }
+    } else {
+        let sym = symmetrize(g);
+        GraphInfo {
+            n: g.num_vertices(),
+            m_directed: Some(g.num_edges()),
+            m_symmetric: sym.num_edges(),
+            diam_directed: Some(estimate_diameter(g, samples, seed)),
+            diam_symmetric: estimate_diameter(&sym, samples, seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::basic::{clique, grid2d, path, path_directed, star};
+
+    #[test]
+    fn degree_stats_on_star() {
+        let s = degree_stats(&star(5));
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.avg - 8.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degree_stats_empty() {
+        let s = degree_stats(&Graph::empty(0, true));
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn degree_histogram_on_star() {
+        let h = degree_histogram(&star(5));
+        // 4 leaves of degree 1, center of degree 4
+        assert_eq!(h, vec![0, 4, 0, 0, 1]);
+        assert!(degree_histogram(&Graph::empty(0, true)).is_empty());
+    }
+
+    #[test]
+    fn eccentricity_on_path() {
+        let g = path(10);
+        assert_eq!(bfs_eccentricity(&g, 0), (9, 10));
+        assert_eq!(bfs_eccentricity(&g, 5), (5, 10));
+    }
+
+    #[test]
+    fn eccentricity_counts_unreachable() {
+        let g = path_directed(5);
+        let (ecc, reached) = bfs_eccentricity(&g, 4);
+        assert_eq!(ecc, 0);
+        assert_eq!(reached, 1);
+    }
+
+    #[test]
+    fn diameter_of_path_found_by_double_sweep() {
+        // even a single sample finds the true diameter of a path
+        let g = path(100);
+        assert_eq!(estimate_diameter(&g, 1, 3), 99);
+    }
+
+    #[test]
+    fn diameter_of_clique_is_one() {
+        assert_eq!(estimate_diameter(&clique(10), 4, 1), 1);
+    }
+
+    #[test]
+    fn diameter_of_grid_close_to_truth() {
+        let g = grid2d(10, 20);
+        let d = estimate_diameter(&g, 8, 5);
+        assert_eq!(d, 28); // exact: (10-1)+(20-1)
+    }
+
+    #[test]
+    fn graph_info_directed_vs_symmetric() {
+        let g = path_directed(50);
+        let info = graph_info(&g, 4, 7);
+        assert_eq!(info.n, 50);
+        assert_eq!(info.m_directed, Some(49));
+        assert_eq!(info.m_symmetric, 98);
+        assert_eq!(info.diam_symmetric, 49);
+        assert!(info.diam_directed.unwrap() <= 49);
+    }
+
+    #[test]
+    fn graph_info_undirected_has_no_primes() {
+        let info = graph_info(&path(10), 4, 7);
+        assert_eq!(info.m_directed, None);
+        assert_eq!(info.diam_directed, None);
+        assert_eq!(info.diam_symmetric, 9);
+    }
+}

@@ -1,0 +1,219 @@
+//! Graph transformations: transpose, symmetrize, induced relabeling.
+
+use crate::builder;
+use crate::csr::Graph;
+use crate::VertexId;
+use rayon::prelude::*;
+
+/// Reverse every edge: `(u, v)` becomes `(v, u)`. Weights follow edges.
+///
+/// SCC algorithms run reachability on both `g` and `transpose(g)`.
+pub fn transpose(g: &Graph) -> Graph {
+    let n = g.num_vertices();
+    let rev: Vec<(VertexId, VertexId)> = (0..n as u32)
+        .into_par_iter()
+        .flat_map_iter(|u| g.neighbors(u).iter().map(move |&v| (v, u)))
+        .collect();
+    match g.weights() {
+        None => builder::from_edges(n, &rev),
+        Some(_) => {
+            let w: Vec<u32> = (0..n as u32)
+                .into_par_iter()
+                .flat_map_iter(|u| g.neighbor_weights(u).unwrap().iter().copied())
+                .collect();
+            builder::from_weighted_edges(n, &rev, &w)
+        }
+    }
+}
+
+/// Union of the graph and its transpose, marked symmetric. This is the
+/// paper's procedure for testing BCC on directed inputs ("we symmetrize
+/// directed graphs for testing BCC").
+pub fn symmetrize(g: &Graph) -> Graph {
+    let n = g.num_vertices();
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(g.num_edges() * 2);
+    for (u, v) in g.edges() {
+        edges.push((u, v));
+        edges.push((v, u));
+    }
+    let built = builder::from_edges(n, &edges);
+    Graph::from_csr(
+        built.offsets().to_vec(),
+        built.targets().to_vec(),
+        None,
+        true,
+    )
+}
+
+/// Extract the subgraph induced by `keep` (a sorted vertex set), relabeling
+/// vertices to `0..keep.len()` in order. Returns the subgraph.
+pub fn induced_subgraph(g: &Graph, keep: &[VertexId]) -> Graph {
+    debug_assert!(keep.windows(2).all(|w| w[0] < w[1]), "keep must be sorted");
+    let n = g.num_vertices();
+    let mut new_id = vec![u32::MAX; n];
+    for (i, &v) in keep.iter().enumerate() {
+        new_id[v as usize] = i as u32;
+    }
+    let mut edges = Vec::new();
+    let mut weights = Vec::new();
+    for &v in keep {
+        for (t, w) in g.weighted_neighbors(v) {
+            if new_id[t as usize] != u32::MAX {
+                edges.push((new_id[v as usize], new_id[t as usize]));
+                weights.push(w);
+            }
+        }
+    }
+    if g.is_weighted() {
+        builder::from_weighted_edges(keep.len(), &edges, &weights)
+    } else {
+        builder::from_edges(keep.len(), &edges)
+    }
+}
+
+/// Extract the largest connected component (by vertex count, treating
+/// edges as undirected), relabeled to `0..size`. Returns the subgraph and
+/// the original ids of its vertices. Standard preprocessing before
+/// traversal benchmarks so every source reaches the whole graph.
+pub fn largest_component(g: &Graph) -> (Graph, Vec<VertexId>) {
+    let n = g.num_vertices();
+    if n == 0 {
+        return (Graph::empty(0, g.is_symmetric()), Vec::new());
+    }
+    // undirected connectivity via a DSU over all arcs
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(p: &mut [u32], mut x: u32) -> u32 {
+        while p[x as usize] != x {
+            p[x as usize] = p[p[x as usize] as usize];
+            x = p[x as usize];
+        }
+        x
+    }
+    for (u, v) in g.edges() {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            let (lo, hi) = if ru < rv { (ru, rv) } else { (rv, ru) };
+            parent[hi as usize] = lo;
+        }
+    }
+    let mut size = vec![0usize; n];
+    for v in 0..n as u32 {
+        size[find(&mut parent, v) as usize] += 1;
+    }
+    let best_root = (0..n as u32)
+        .max_by_key(|&r| size[r as usize])
+        .expect("n > 0");
+    let keep: Vec<VertexId> = (0..n as u32)
+        .filter(|&v| find(&mut parent, v) == best_root)
+        .collect();
+    let sub = induced_subgraph(g, &keep);
+    let sub = if g.is_symmetric() {
+        Graph::from_csr(
+            sub.offsets().to_vec(),
+            sub.targets().to_vec(),
+            sub.weights().map(|w| w.to_vec()),
+            true,
+        )
+    } else {
+        sub
+    };
+    (sub, keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let t = transpose(&g);
+        assert_eq!(t.neighbors(1), &[0]);
+        assert_eq!(t.neighbors(2), &[0, 1]);
+        assert_eq!(t.neighbors(0), &[] as &[u32]);
+        assert_eq!(t.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 4)]);
+        let tt = transpose(&transpose(&g));
+        assert_eq!(g, tt);
+    }
+
+    #[test]
+    fn transpose_carries_weights() {
+        let g = crate::builder::from_weighted_edges(2, &[(0, 1)], &[42]);
+        let t = transpose(&g);
+        assert_eq!(t.weighted_neighbors(1).next(), Some((0, 42)));
+    }
+
+    #[test]
+    fn symmetrize_makes_undirected() {
+        let g = from_edges(3, &[(0, 1), (1, 2)]);
+        let s = symmetrize(&g);
+        assert!(s.is_symmetric());
+        assert_eq!(s.num_edges(), 4);
+        assert!(s.has_edge(1, 0) && s.has_edge(2, 1));
+    }
+
+    #[test]
+    fn symmetrize_dedups_mutual_edges() {
+        let g = from_edges(2, &[(0, 1), (1, 0)]);
+        let s = symmetrize(&g);
+        assert_eq!(s.num_edges(), 2);
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        let g = from_edges(5, &[(0, 2), (2, 4), (4, 0), (1, 3)]);
+        let sub = induced_subgraph(&g, &[0, 2, 4]);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 3);
+        // 0->2 becomes 0->1, 2->4 becomes 1->2, 4->0 becomes 2->0
+        assert!(sub.has_edge(0, 1) && sub.has_edge(1, 2) && sub.has_edge(2, 0));
+    }
+
+    #[test]
+    fn induced_subgraph_drops_external_edges() {
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let sub = induced_subgraph(&g, &[0, 1]);
+        assert_eq!(sub.num_edges(), 1);
+    }
+
+    #[test]
+    fn largest_component_picks_the_big_one() {
+        // component {0,1,2} (3 vertices) and {3,4} (2 vertices), isolated 5
+        let g = crate::builder::from_edges_symmetric(6, &[(0, 1), (1, 2), (3, 4)]);
+        let (sub, ids) = largest_component(&g);
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 4);
+        assert!(sub.is_symmetric());
+    }
+
+    #[test]
+    fn largest_component_on_connected_graph_is_identity_shaped() {
+        let g = crate::gen::basic::grid2d(4, 5);
+        let (sub, ids) = largest_component(&g);
+        assert_eq!(sub.num_vertices(), 20);
+        assert_eq!(ids.len(), 20);
+        assert_eq!(sub.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn largest_component_directed_uses_weak_connectivity() {
+        let g = from_edges(5, &[(0, 1), (2, 1), (3, 4)]);
+        let (sub, ids) = largest_component(&g);
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(sub.num_edges(), 2);
+    }
+
+    #[test]
+    fn largest_component_empty() {
+        let (sub, ids) = largest_component(&Graph::empty(0, true));
+        assert_eq!(sub.num_vertices(), 0);
+        assert!(ids.is_empty());
+    }
+}

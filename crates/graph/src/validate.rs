@@ -1,0 +1,302 @@
+//! Structural validation of CSR graphs.
+//!
+//! Readers of external files ([`crate::io`]) and users assembling raw CSR
+//! arrays get a detailed report of every structural violation instead of
+//! a panic deep inside an algorithm. `Graph::from_csr` debug-asserts the
+//! same invariants; this module is the release-mode, user-facing version.
+
+use crate::csr::Graph;
+
+/// One structural problem found by [`validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// `offsets` is empty (must have `n + 1` entries).
+    EmptyOffsets,
+    /// `offsets[i] > offsets[i + 1]`.
+    NonMonotoneOffsets {
+        /// Index `i` with the decreasing step.
+        at: usize,
+    },
+    /// `offsets[n] != targets.len()`.
+    OffsetsTargetsMismatch {
+        /// Value of `offsets[n]`.
+        last_offset: usize,
+        /// Actual `targets.len()`.
+        num_targets: usize,
+    },
+    /// A target vertex id is `≥ n`.
+    TargetOutOfRange {
+        /// Source vertex of the offending edge.
+        source: u32,
+        /// The out-of-range target.
+        target: u32,
+    },
+    /// A neighbor list is not sorted ascending.
+    UnsortedNeighbors {
+        /// The vertex whose list is unsorted.
+        vertex: u32,
+    },
+    /// A neighbor list has a duplicate (multi-edge).
+    DuplicateEdge {
+        /// Source of the duplicated edge.
+        source: u32,
+        /// Target of the duplicated edge.
+        target: u32,
+    },
+    /// A self-loop `v → v`.
+    SelfLoop {
+        /// The vertex with the loop.
+        vertex: u32,
+    },
+    /// Weight array present but of the wrong length.
+    WeightLengthMismatch {
+        /// `weights.len()`.
+        weights: usize,
+        /// `targets.len()`.
+        targets: usize,
+    },
+    /// The graph is marked symmetric but edge `(u, v)` has no reverse.
+    MissingReverseEdge {
+        /// Forward edge source.
+        source: u32,
+        /// Forward edge target (reverse missing).
+        target: u32,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::EmptyOffsets => write!(f, "offsets array is empty"),
+            Violation::NonMonotoneOffsets { at } => {
+                write!(f, "offsets decrease at index {at}")
+            }
+            Violation::OffsetsTargetsMismatch {
+                last_offset,
+                num_targets,
+            } => write!(
+                f,
+                "offsets end at {last_offset} but there are {num_targets} targets"
+            ),
+            Violation::TargetOutOfRange { source, target } => {
+                write!(f, "edge ({source}, {target}) points past the vertex count")
+            }
+            Violation::UnsortedNeighbors { vertex } => {
+                write!(f, "neighbors of {vertex} are not sorted ascending")
+            }
+            Violation::DuplicateEdge { source, target } => {
+                write!(f, "duplicate edge ({source}, {target})")
+            }
+            Violation::SelfLoop { vertex } => write!(f, "self-loop at {vertex}"),
+            Violation::WeightLengthMismatch { weights, targets } => {
+                write!(f, "{weights} weights for {targets} edges")
+            }
+            Violation::MissingReverseEdge { source, target } => write!(
+                f,
+                "graph marked symmetric but ({target}, {source}) is missing"
+            ),
+        }
+    }
+}
+
+/// What to check beyond the hard CSR invariants.
+#[derive(Debug, Clone, Copy)]
+pub struct ValidateOptions {
+    /// Report duplicate edges (the builders dedup, but raw CSR may not).
+    pub forbid_duplicates: bool,
+    /// Report self-loops.
+    pub forbid_self_loops: bool,
+    /// Verify the symmetric flag by checking every reverse edge.
+    pub check_symmetry: bool,
+    /// Stop after this many violations (0 = unlimited).
+    pub max_violations: usize,
+}
+
+impl Default for ValidateOptions {
+    fn default() -> Self {
+        Self {
+            forbid_duplicates: true,
+            forbid_self_loops: true,
+            check_symmetry: true,
+            max_violations: 32,
+        }
+    }
+}
+
+/// Validate a graph; returns all violations found (empty = structurally
+/// sound).
+pub fn validate(g: &Graph, opts: &ValidateOptions) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let cap = if opts.max_violations == 0 {
+        usize::MAX
+    } else {
+        opts.max_violations
+    };
+    let push = |out: &mut Vec<Violation>, v: Violation| -> bool {
+        out.push(v);
+        out.len() < cap
+    };
+
+    let offsets = g.offsets();
+    if offsets.is_empty() {
+        return vec![Violation::EmptyOffsets];
+    }
+    let n = g.num_vertices();
+    for i in 0..n {
+        if offsets[i] > offsets[i + 1] {
+            if !push(&mut out, Violation::NonMonotoneOffsets { at: i }) {
+                return out;
+            }
+        }
+    }
+    if *offsets.last().unwrap() != g.targets().len() {
+        if !push(
+            &mut out,
+            Violation::OffsetsTargetsMismatch {
+                last_offset: *offsets.last().unwrap(),
+                num_targets: g.targets().len(),
+            },
+        ) {
+            return out;
+        }
+    }
+    if let Some(w) = g.weights() {
+        if w.len() != g.targets().len() {
+            if !push(
+                &mut out,
+                Violation::WeightLengthMismatch {
+                    weights: w.len(),
+                    targets: g.targets().len(),
+                },
+            ) {
+                return out;
+            }
+        }
+    }
+
+    for u in 0..n as u32 {
+        let nbrs = g.neighbors(u);
+        for (k, &v) in nbrs.iter().enumerate() {
+            if (v as usize) >= n {
+                if !push(&mut out, Violation::TargetOutOfRange { source: u, target: v }) {
+                    return out;
+                }
+                continue;
+            }
+            if k > 0 && nbrs[k - 1] > v {
+                if !push(&mut out, Violation::UnsortedNeighbors { vertex: u }) {
+                    return out;
+                }
+            }
+            if opts.forbid_duplicates && k > 0 && nbrs[k - 1] == v {
+                if !push(&mut out, Violation::DuplicateEdge { source: u, target: v }) {
+                    return out;
+                }
+            }
+            if opts.forbid_self_loops && v == u {
+                if !push(&mut out, Violation::SelfLoop { vertex: u }) {
+                    return out;
+                }
+            }
+            if opts.check_symmetry && g.is_symmetric() && (v as usize) < n && !g.has_edge(v, u) {
+                if !push(&mut out, Violation::MissingReverseEdge { source: u, target: v }) {
+                    return out;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Convenience: validate with defaults and panic with a readable message
+/// on the first violation (for examples/tools).
+pub fn assert_valid(g: &Graph) {
+    let vs = validate(g, &ValidateOptions::default());
+    if let Some(v) = vs.first() {
+        panic!("invalid graph: {v} ({} violations total)", vs.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use crate::gen::basic::grid2d;
+
+    #[test]
+    fn builder_output_is_valid() {
+        let g = from_edges(10, &[(0, 1), (2, 3), (9, 0)]);
+        assert!(validate(&g, &ValidateOptions::default()).is_empty());
+        assert_valid(&g);
+        assert!(validate(&grid2d(5, 5), &ValidateOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn detects_out_of_range_target() {
+        let g = Graph::from_csr(vec![0, 1], vec![5], None, false);
+        let vs = validate(&g, &ValidateOptions::default());
+        assert!(matches!(
+            vs[0],
+            Violation::TargetOutOfRange { source: 0, target: 5 }
+        ));
+    }
+
+    #[test]
+    fn detects_unsorted_and_duplicate() {
+        let g = Graph::from_csr(vec![0, 3, 3], vec![1, 0, 0], None, false);
+        let vs = validate(&g, &ValidateOptions::default());
+        assert!(vs.iter().any(|v| matches!(v, Violation::UnsortedNeighbors { vertex: 0 })));
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::DuplicateEdge { source: 0, target: 0 })));
+        // duplicate (0,0) is also a self loop
+        assert!(vs.iter().any(|v| matches!(v, Violation::SelfLoop { vertex: 0 })));
+    }
+
+    #[test]
+    fn detects_asymmetry_under_symmetric_flag() {
+        let g = Graph::from_csr(vec![0, 1, 1], vec![1], None, true);
+        let vs = validate(&g, &ValidateOptions::default());
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::MissingReverseEdge { source: 0, target: 1 })));
+    }
+
+    #[test]
+    fn violation_cap_respected() {
+        // every edge is a self loop duplicate mess
+        let g = Graph::from_csr(vec![0, 4], vec![0, 0, 0, 0], None, false);
+        let vs = validate(
+            &g,
+            &ValidateOptions {
+                max_violations: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(vs.len(), 2);
+    }
+
+    #[test]
+    fn weight_mismatch_detected() {
+        // from_csr debug-asserts, so construct the report path via options
+        // on a well-formed graph and check display formatting instead
+        let v = Violation::WeightLengthMismatch {
+            weights: 3,
+            targets: 5,
+        };
+        assert_eq!(v.to_string(), "3 weights for 5 edges");
+    }
+
+    #[test]
+    fn displays_are_readable() {
+        let cases: Vec<Violation> = vec![
+            Violation::EmptyOffsets,
+            Violation::NonMonotoneOffsets { at: 2 },
+            Violation::TargetOutOfRange { source: 1, target: 9 },
+            Violation::SelfLoop { vertex: 3 },
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

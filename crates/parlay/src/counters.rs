@@ -1,0 +1,151 @@
+//! Relaxed atomic instrumentation counters.
+//!
+//! The paper explains its results through a machine-independent mechanism:
+//! frontier-based algorithms pay one global synchronization per round, and
+//! on large-diameter graphs the number of rounds (∝ diameter) dwarfs the
+//! per-round work. To let the benchmark harness demonstrate that mechanism
+//! regardless of how many cores this machine has, every algorithm in
+//! `pasgal-core` reports its round count, task count, and edge traversals
+//! through a [`Counters`] instance.
+//!
+//! All counters use `Ordering::Relaxed`: they are statistics, never used
+//! for synchronization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A set of relaxed statistics counters shared across worker threads.
+#[derive(Debug, Default)]
+pub struct Counters {
+    rounds: AtomicU64,
+    tasks: AtomicU64,
+    edges: AtomicU64,
+    peak_frontier: AtomicU64,
+}
+
+impl Counters {
+    /// New counter set, all zeros.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one global synchronization round (one frontier step).
+    pub fn add_round(&self) {
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` spawned parallel tasks.
+    pub fn add_tasks(&self, n: u64) {
+        self.tasks.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` traversed edges.
+    pub fn add_edges(&self, n: u64) {
+        self.edges.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record a frontier of size `n`; keeps the maximum seen.
+    pub fn observe_frontier(&self, n: u64) {
+        self.peak_frontier.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Number of synchronization rounds recorded.
+    pub fn rounds(&self) -> u64 {
+        self.rounds.load(Ordering::Relaxed)
+    }
+
+    /// Number of parallel tasks recorded.
+    pub fn tasks(&self) -> u64 {
+        self.tasks.load(Ordering::Relaxed)
+    }
+
+    /// Number of edge traversals recorded.
+    pub fn edges(&self) -> u64 {
+        self.edges.load(Ordering::Relaxed)
+    }
+
+    /// Largest frontier observed.
+    pub fn peak_frontier(&self) -> u64 {
+        self.peak_frontier.load(Ordering::Relaxed)
+    }
+
+    /// Reset everything to zero.
+    pub fn reset(&self) {
+        self.rounds.store(0, Ordering::Relaxed);
+        self.tasks.store(0, Ordering::Relaxed);
+        self.edges.store(0, Ordering::Relaxed);
+        self.peak_frontier.store(0, Ordering::Relaxed);
+    }
+
+    /// Snapshot into a plain value for reporting.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            rounds: self.rounds(),
+            tasks: self.tasks(),
+            edges: self.edges(),
+            peak_frontier: self.peak_frontier(),
+        }
+    }
+}
+
+/// Plain-old-data snapshot of a [`Counters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    /// Global synchronization rounds.
+    pub rounds: u64,
+    /// Parallel tasks spawned.
+    pub tasks: u64,
+    /// Edges traversed.
+    pub edges: u64,
+    /// Largest frontier observed.
+    pub peak_frontier: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = Counters::new();
+        c.add_round();
+        c.add_round();
+        c.add_tasks(5);
+        c.add_edges(100);
+        c.observe_frontier(7);
+        c.observe_frontier(3);
+        assert_eq!(c.rounds(), 2);
+        assert_eq!(c.tasks(), 5);
+        assert_eq!(c.edges(), 100);
+        assert_eq!(c.peak_frontier(), 7);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let c = Counters::new();
+        c.add_round();
+        c.add_tasks(1);
+        c.add_edges(1);
+        c.observe_frontier(1);
+        c.reset();
+        assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn concurrent_accumulation_is_exact() {
+        let c = Counters::new();
+        crate::gran::par_for(1000, 10, |_| {
+            c.add_edges(1);
+        });
+        assert_eq!(c.edges(), 1000);
+    }
+
+    #[test]
+    fn snapshot_copies_values() {
+        let c = Counters::new();
+        c.add_round();
+        let s = c.snapshot();
+        c.add_round();
+        assert_eq!(s.rounds, 1);
+        assert_eq!(c.rounds(), 2);
+    }
+}

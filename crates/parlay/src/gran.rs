@@ -1,0 +1,171 @@
+//! Horizontal granularity control: blocked parallel loops.
+//!
+//! Classic granularity control ("coarsening") stops spawning parallel tasks
+//! once a subrange is small enough that scheduling overhead would dominate,
+//! and runs that base case sequentially. The PASGAL paper's *vertical*
+//! granularity control (implemented in `pasgal-core`) transplants the same
+//! idea from loop ranges to graph traversals: a task keeps walking the graph
+//! until it has done at least `τ` work.
+//!
+//! These helpers exist so every hot loop in the library shares one notion of
+//! grain size and one instrumentation path.
+
+use crate::counters::Counters;
+use rayon::prelude::*;
+
+/// Default sequential base-case size for blocked loops.
+///
+/// ParlayLib uses roughly 2048 for cheap loop bodies; rayon's adaptive
+/// splitting makes the exact value less critical, but graph kernels with
+/// very cheap bodies benefit from an explicit grain.
+pub const DEFAULT_GRAIN: usize = 2048;
+
+/// Parallel loop over `0..n`, calling `f(i)` for each index, with an
+/// explicit sequential grain.
+///
+/// `f` must be safe to call concurrently for distinct indices.
+pub fn par_for(n: usize, grain: usize, f: impl Fn(usize) + Sync + Send) {
+    if n == 0 {
+        return;
+    }
+    let grain = grain.max(1);
+    if n <= grain {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    (0..n).into_par_iter().with_min_len(grain).for_each(f);
+}
+
+/// Parallel loop over `0..n` with the default grain.
+pub fn par_for_default(n: usize, f: impl Fn(usize) + Sync + Send) {
+    par_for(n, DEFAULT_GRAIN, f);
+}
+
+/// Parallel loop over blocks: `f(lo, hi)` is called for disjoint
+/// consecutive ranges covering `0..n`, each of size at most `block`.
+///
+/// This is the shape used by scan/pack two-pass algorithms: a first pass
+/// computes per-block summaries, a scan combines them, a second pass
+/// finishes each block with its offset.
+pub fn par_blocks(n: usize, block: usize, f: impl Fn(usize, usize) + Sync) {
+    if n == 0 {
+        return;
+    }
+    let block = block.max(1);
+    let nblocks = n.div_ceil(block);
+    if nblocks == 1 {
+        f(0, n);
+        return;
+    }
+    (0..nblocks).into_par_iter().for_each(|b| {
+        let lo = b * block;
+        let hi = (lo + block).min(n);
+        f(lo, hi);
+    });
+}
+
+/// Number of blocks of size `block` needed to cover `n` items.
+pub fn num_blocks(n: usize, block: usize) -> usize {
+    n.div_ceil(block.max(1))
+}
+
+/// Pick a block size that yields roughly `8 × workers` blocks, clamped to
+/// `[grain, n]` — enough slack for load balancing without oversplitting.
+pub fn adaptive_block_size(n: usize, grain: usize) -> usize {
+    let workers = rayon::current_num_threads().max(1);
+    let target_blocks = 8 * workers;
+    (n.div_ceil(target_blocks)).clamp(grain.max(1), n.max(1))
+}
+
+/// Parallel loop that also counts spawned base-case tasks into `counters`,
+/// so experiments can report scheduling volume machine-independently.
+pub fn par_for_counted(n: usize, grain: usize, counters: &Counters, f: impl Fn(usize) + Sync) {
+    if n == 0 {
+        return;
+    }
+    let block = grain.max(1);
+    par_blocks(n, block, |lo, hi| {
+        counters.add_tasks(1);
+        for i in lo..hi {
+            f(i);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_for_visits_every_index_once() {
+        let n = 10_000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        par_for(n, 64, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_for_empty_is_noop() {
+        par_for(0, 16, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn par_for_small_runs_sequentially() {
+        let sum = AtomicUsize::new(0);
+        par_for(5, 100, |i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn par_blocks_cover_range_exactly() {
+        let n = 1003;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        par_blocks(n, 64, |lo, hi| {
+            assert!(lo < hi && hi <= n);
+            for h in &hits[lo..hi] {
+                h.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_blocks_single_block() {
+        let calls = AtomicUsize::new(0);
+        par_blocks(10, 100, |lo, hi| {
+            assert_eq!((lo, hi), (0, 10));
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn num_blocks_math() {
+        assert_eq!(num_blocks(0, 4), 0);
+        assert_eq!(num_blocks(1, 4), 1);
+        assert_eq!(num_blocks(4, 4), 1);
+        assert_eq!(num_blocks(5, 4), 2);
+        assert_eq!(num_blocks(5, 0), 5); // block clamped to 1
+    }
+
+    #[test]
+    fn adaptive_block_size_in_bounds() {
+        let b = adaptive_block_size(1_000_000, 128);
+        assert!(b >= 128);
+        assert!(b <= 1_000_000);
+    }
+
+    #[test]
+    fn par_for_counted_counts_blocks() {
+        let c = Counters::new();
+        par_for_counted(1000, 100, &c, |_| {});
+        assert_eq!(c.tasks(), 10);
+    }
+}

@@ -1,0 +1,80 @@
+//! Cheap integer hash finalizers.
+//!
+//! The hash bag, sampling-based counters, and pivot randomization all need
+//! a fast, statistically decent integer mixer. We use the `splitmix64`
+//! finalizer (Stafford variant 13) and a 32-bit variant — both bijective,
+//! so they never collide on distinct inputs of the same width.
+
+/// 64-bit finalizer (splitmix64 / murmur3-style avalanche). Bijective.
+#[inline]
+pub fn hash64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// 32-bit finalizer (murmur3 fmix32). Bijective.
+#[inline]
+pub fn hash32(mut x: u32) -> u32 {
+    x ^= x >> 16;
+    x = x.wrapping_mul(0x85eb_ca6b);
+    x ^= x >> 13;
+    x = x.wrapping_mul(0xc2b2_ae35);
+    x ^ (x >> 16)
+}
+
+/// Map `x` uniformly into `0..range` using the high bits of `hash64`
+/// (Lemire's multiply-shift reduction).
+#[inline]
+pub fn hash_to_range(x: u64, range: usize) -> usize {
+    debug_assert!(range > 0);
+    (((hash64(x) as u128) * (range as u128)) >> 64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn hash64_is_injective_on_sample() {
+        let mut seen = HashSet::new();
+        for i in 0..100_000u64 {
+            assert!(seen.insert(hash64(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn hash32_is_injective_on_sample() {
+        let mut seen = HashSet::new();
+        for i in 0..100_000u32 {
+            assert!(seen.insert(hash32(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn hash64_avalanche_differs_from_identity() {
+        // not a strict avalanche test, just sanity: consecutive inputs map far apart
+        assert_ne!(hash64(1).wrapping_sub(hash64(0)), 1);
+        assert_ne!(hash64(2).wrapping_sub(hash64(1)), 1);
+    }
+
+    #[test]
+    fn hash_to_range_in_bounds_and_spread() {
+        let range = 1000;
+        let mut buckets = vec![0usize; range];
+        for i in 0..100_000u64 {
+            let b = hash_to_range(i, range);
+            assert!(b < range);
+            buckets[b] += 1;
+        }
+        // each bucket expects ~100; allow generous slack
+        assert!(buckets.iter().all(|&c| c > 30 && c < 300));
+    }
+
+    #[test]
+    fn hash_to_range_one() {
+        assert_eq!(hash_to_range(12345, 1), 0);
+    }
+}

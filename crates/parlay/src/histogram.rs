@@ -1,0 +1,108 @@
+//! Parallel histogram: count occurrences of small integer keys.
+//!
+//! Two-pass blocked algorithm like [`crate::sort`]'s counting sort but
+//! without the scatter: per-block local histograms, then a parallel
+//! column reduction. Used for degree distributions, bucket sizing, and
+//! label frequency counts.
+
+use crate::gran::{adaptive_block_size, num_blocks, par_blocks, par_for};
+use crate::unsafe_slice::SyncUnsafeSlice;
+
+/// Below this size the histogram is computed in one sequential pass.
+const SEQ_THRESHOLD: usize = 1 << 14;
+
+/// Count how many `i ∈ 0..n` map to each key `key(i) ∈ 0..num_buckets`.
+pub fn histogram_by(n: usize, num_buckets: usize, key: impl Fn(usize) -> usize + Sync) -> Vec<u64> {
+    if num_buckets == 0 {
+        return Vec::new();
+    }
+    if n <= SEQ_THRESHOLD || num_buckets > 4 * n.max(1) {
+        let mut out = vec![0u64; num_buckets];
+        for i in 0..n {
+            let k = key(i);
+            debug_assert!(k < num_buckets);
+            out[k] += 1;
+        }
+        return out;
+    }
+
+    let block = adaptive_block_size(n, 4096);
+    let nb = num_blocks(n, block);
+    // locals[b * num_buckets + k]
+    let mut locals = vec![0u64; nb * num_buckets];
+    {
+        let s = SyncUnsafeSlice::new(&mut locals);
+        par_blocks(n, block, |lo, hi| {
+            let b = lo / block;
+            for i in lo..hi {
+                let k = key(i);
+                debug_assert!(k < num_buckets);
+                // SAFETY: each block owns its row of the matrix.
+                unsafe { *s.get_mut(b * num_buckets + k) += 1 };
+            }
+        });
+    }
+    // column reduction
+    let mut out = vec![0u64; num_buckets];
+    {
+        let s = SyncUnsafeSlice::new(&mut out);
+        let locals = &locals;
+        par_for(num_buckets, 256, |k| {
+            let mut acc = 0u64;
+            for b in 0..nb {
+                acc += locals[b * num_buckets + k];
+            }
+            // SAFETY: one writer per bucket.
+            unsafe { s.write(k, acc) };
+        });
+    }
+    out
+}
+
+/// Histogram of a slice of small keys.
+pub fn histogram(keys: &[u32], num_buckets: usize) -> Vec<u64> {
+    histogram_by(keys.len(), num_buckets, |i| keys[i] as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_inputs() {
+        assert!(histogram(&[], 0).is_empty());
+        assert_eq!(histogram(&[], 4), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn small_matches_manual() {
+        let h = histogram(&[1, 1, 3, 0, 1], 4);
+        assert_eq!(h, vec![1, 3, 0, 1]);
+    }
+
+    #[test]
+    fn large_matches_sequential() {
+        let keys: Vec<u32> = (0..300_000u32).map(|i| (i * 2654435761) % 97).collect();
+        let got = histogram(&keys, 97);
+        let mut want = vec![0u64; 97];
+        for &k in &keys {
+            want[k as usize] += 1;
+        }
+        assert_eq!(got, want);
+        assert_eq!(got.iter().sum::<u64>(), 300_000);
+    }
+
+    #[test]
+    fn histogram_by_with_computed_keys() {
+        let h = histogram_by(100_000, 2, |i| i % 2);
+        assert_eq!(h, vec![50_000, 50_000]);
+    }
+
+    #[test]
+    fn many_buckets_fall_back_sequential() {
+        let keys: Vec<u32> = (0..100).collect();
+        let h = histogram(&keys, 1_000_000);
+        assert_eq!(h.iter().sum::<u64>(), 100);
+        assert_eq!(h[99], 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! # pasgal-parlay
+//!
+//! Parallel-primitives substrate for PASGAL-rs, playing the role ParlayLib
+//! plays for the original C++ PASGAL. Everything is built on rayon's
+//! work-stealing fork-join runtime (`rayon::join`), which is the same
+//! scheduling primitive ParlayLib provides.
+//!
+//! The crate provides:
+//!
+//! * [`scan`] — parallel prefix sums (exclusive/inclusive scans);
+//! * [`reduce`] — parallel reductions (sum, min, max, custom monoids);
+//! * [`pack`] — parallel filter/pack built on scans;
+//! * [`sort`] — counting sort by small keys and comparison sample-sort;
+//! * [`gran`] — (horizontal) granularity control helpers: blocked loops
+//!   with a tunable grain, the classic technique that *vertical*
+//!   granularity control (the paper's contribution) generalizes;
+//! * [`rng`] — deterministic splittable RNG (no global state, reproducible
+//!   across thread schedules);
+//! * [`hash`] — cheap integer hash finalizers used by the hash bag and the
+//!   sampling-based frontier structures;
+//! * [`counters`] — relaxed atomic instrumentation used to report
+//!   machine-independent metrics (rounds, tasks spawned, edges traversed);
+//! * [`unsafe_slice`] — the one shared-mutation escape hatch
+//!   ([`unsafe_slice::SyncUnsafeSlice`]) with documented invariants, used to
+//!   implement "parallel write to disjoint or CAS-guarded indices" kernels.
+//!
+//! # Example
+//!
+//! ```
+//! use pasgal_parlay::{scan, pack};
+//!
+//! let xs = vec![1u64, 2, 3, 4, 5];
+//! let (sums, total) = scan::scan_exclusive(&xs);
+//! assert_eq!(sums, vec![0, 1, 3, 6, 10]);
+//! assert_eq!(total, 15);
+//!
+//! let evens = pack::filter(&xs, |&x| x % 2 == 0);
+//! assert_eq!(evens, vec![2, 4]);
+//! ```
+
+pub mod counters;
+pub mod gran;
+pub mod histogram;
+pub mod hash;
+pub mod pack;
+pub mod reduce;
+pub mod rng;
+pub mod scan;
+pub mod sort;
+pub mod unsafe_slice;
+
+/// Number of worker threads rayon will use for parallel regions.
+///
+/// This is the value configured for the global pool (or the ambient pool if
+/// called from within one).
+pub fn num_workers() -> usize {
+    rayon::current_num_threads()
+}
+
+/// Run `f` on a dedicated rayon pool with exactly `threads` workers.
+///
+/// Used by the experiment harness to reproduce the paper's
+/// "speedup vs #processors" figures: the same algorithm is run under pools
+/// of growing size.
+pub fn with_threads<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("failed to build rayon pool");
+    pool.install(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_workers_is_positive() {
+        assert!(num_workers() >= 1);
+    }
+
+    #[test]
+    fn with_threads_runs_closure() {
+        let x = with_threads(2, || 21 * 2);
+        assert_eq!(x, 42);
+    }
+
+    #[test]
+    fn with_threads_sets_pool_size() {
+        let n = with_threads(3, num_workers);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn with_threads_zero_clamps_to_one() {
+        let n = with_threads(0, num_workers);
+        assert_eq!(n, 1);
+    }
+}

@@ -1,0 +1,152 @@
+//! Parallel filter / pack, built on [`crate::scan`].
+//!
+//! `pack` takes a predicate (or a flag vector) and produces the dense
+//! sequence of surviving elements, preserving order. This is the workhorse
+//! behind sparse `edge_map` (compact the next frontier) and hash-bag
+//! extraction.
+
+use crate::gran::{adaptive_block_size, num_blocks, par_blocks};
+use crate::scan::scan_exclusive;
+use crate::unsafe_slice::SyncUnsafeSlice;
+
+/// Sequential threshold below which packing runs in one pass.
+const SEQ_PACK_THRESHOLD: usize = 1 << 13;
+
+/// Keep the elements of `xs` satisfying `pred`, preserving order.
+pub fn filter<T: Copy + Send + Sync>(xs: &[T], pred: impl Fn(&T) -> bool + Sync) -> Vec<T> {
+    filter_map_index(xs.len(), |i| if pred(&xs[i]) { Some(xs[i]) } else { None })
+}
+
+/// Parallel order-preserving filter-map over indices `0..n`.
+///
+/// `f(i)` returns `Some(out)` to keep an element. Two-pass: count per block,
+/// scan, write per block at its offset.
+///
+/// **`f` must be pure**: it is evaluated twice per index (counting pass and
+/// writing pass) and must return the same answer both times. A side-effecting
+/// closure (e.g. one that clears what it reads) would desynchronize the
+/// passes and corrupt the output.
+pub fn filter_map_index<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(usize) -> Option<T> + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    if n <= SEQ_PACK_THRESHOLD {
+        return (0..n).filter_map(f).collect();
+    }
+
+    let block = adaptive_block_size(n, 1024);
+    let nb = num_blocks(n, block);
+
+    // Pass 1: survivors per block.
+    let mut counts = vec![0usize; nb];
+    {
+        let counts_s = SyncUnsafeSlice::new(&mut counts);
+        par_blocks(n, block, |lo, hi| {
+            let c = (lo..hi).filter(|&i| f(i).is_some()).count();
+            // SAFETY: one task per block index.
+            unsafe { counts_s.write(lo / block, c) };
+        });
+    }
+    let (offsets, total) = scan_exclusive(&counts);
+
+    // Pass 2: write survivors at block offsets.
+    let mut out: Vec<T> = Vec::with_capacity(total);
+    {
+        let spare = out.spare_capacity_mut();
+        let out_ptr = SpareSlice(spare.as_mut_ptr() as *mut T, total);
+        let offsets = &offsets;
+        par_blocks(n, block, |lo, hi| {
+            let mut at = offsets[lo / block];
+            for i in lo..hi {
+                if let Some(v) = f(i) {
+                    // SAFETY: offsets partition 0..total disjointly per block;
+                    // each output slot written exactly once, within capacity.
+                    unsafe { out_ptr.write(at, v) };
+                    at += 1;
+                }
+            }
+        });
+    }
+    // SAFETY: exactly `total` slots were initialized by pass 2.
+    unsafe { out.set_len(total) };
+    out
+}
+
+/// Raw spare-capacity writer shared across tasks.
+struct SpareSlice<T>(*mut T, usize);
+unsafe impl<T: Send> Sync for SpareSlice<T> {}
+unsafe impl<T: Send> Send for SpareSlice<T> {}
+impl<T> SpareSlice<T> {
+    /// # Safety
+    /// `i < self.1` and no concurrent writer of slot `i`.
+    unsafe fn write(&self, i: usize, v: T) {
+        debug_assert!(i < self.1);
+        self.0.add(i).write(v);
+    }
+}
+
+/// Pack the *indices* `i` in `0..n` for which `flag(i)` holds.
+pub fn pack_index(n: usize, flag: impl Fn(usize) -> bool + Sync) -> Vec<u32> {
+    debug_assert!(n <= u32::MAX as usize + 1);
+    filter_map_index(n, |i| if flag(i) { Some(i as u32) } else { None })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_small() {
+        let xs: Vec<u32> = (0..100).collect();
+        let got = filter(&xs, |&x| x % 7 == 0);
+        let want: Vec<u32> = (0..100).filter(|x| x % 7 == 0).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn filter_large_preserves_order() {
+        let xs: Vec<u64> = (0..300_000).map(|i| i * 31 % 1009).collect();
+        let got = filter(&xs, |&x| x < 100);
+        let want: Vec<u64> = xs.iter().copied().filter(|&x| x < 100).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn filter_none_survive() {
+        let xs = vec![1u8; 100_000];
+        assert!(filter(&xs, |_| false).is_empty());
+    }
+
+    #[test]
+    fn filter_all_survive() {
+        let xs: Vec<u32> = (0..100_000).collect();
+        assert_eq!(filter(&xs, |_| true), xs);
+    }
+
+    #[test]
+    fn filter_empty() {
+        let xs: Vec<u32> = vec![];
+        assert!(filter(&xs, |_| true).is_empty());
+    }
+
+    #[test]
+    fn filter_map_transforms() {
+        let got = filter_map_index(50_000, |i| if i % 2 == 0 { Some(i * 10) } else { None });
+        assert_eq!(got.len(), 25_000);
+        assert_eq!(got[0], 0);
+        assert_eq!(got[1], 20);
+        assert_eq!(got[24_999], 499_980);
+    }
+
+    #[test]
+    fn pack_index_matches_sequential() {
+        let n = 100_000;
+        let got = pack_index(n, |i| i % 97 == 5);
+        let want: Vec<u32> = (0..n as u32).filter(|i| i % 97 == 5).collect();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,128 @@
+//! Parallel reductions.
+//!
+//! Thin, explicitly-grained wrappers over rayon's reduce, plus the
+//! graph-specific "max index by key" used for pivot selection in SCC.
+
+use rayon::prelude::*;
+
+/// Grain for reduction loops — bodies are cheap, so keep blocks big.
+const REDUCE_GRAIN: usize = 4096;
+
+/// Parallel sum.
+pub fn sum_u64(xs: &[u64]) -> u64 {
+    xs.par_iter().with_min_len(REDUCE_GRAIN).copied().sum()
+}
+
+/// Parallel sum of usizes (as u64 to avoid overflow surprises on 32-bit).
+pub fn sum_usize(xs: &[usize]) -> u64 {
+    xs.par_iter()
+        .with_min_len(REDUCE_GRAIN)
+        .map(|&x| x as u64)
+        .sum()
+}
+
+/// Parallel maximum; `None` on empty input.
+pub fn max_u64(xs: &[u64]) -> Option<u64> {
+    xs.par_iter().with_min_len(REDUCE_GRAIN).copied().max()
+}
+
+/// Parallel minimum; `None` on empty input.
+pub fn min_u64(xs: &[u64]) -> Option<u64> {
+    xs.par_iter().with_min_len(REDUCE_GRAIN).copied().min()
+}
+
+/// Parallel reduce with a custom monoid `(identity, combine)` over a mapped
+/// view of `0..n`.
+pub fn map_reduce<T, F, C>(n: usize, identity: T, map: F, combine: C) -> T
+where
+    T: Send + Sync + Copy,
+    F: Fn(usize) -> T + Sync + Send,
+    C: Fn(T, T) -> T + Sync + Send,
+{
+    (0..n)
+        .into_par_iter()
+        .with_min_len(REDUCE_GRAIN)
+        .map(map)
+        .reduce(|| identity, &combine)
+}
+
+/// Index of the element with the largest key, ties broken toward the
+/// smallest index; `None` on empty input.
+///
+/// Used for SCC pivot selection: "vertex with max (in-degree × out-degree)".
+pub fn argmax_by_key<K, F>(n: usize, key: F) -> Option<usize>
+where
+    K: Ord + Send + Copy,
+    F: Fn(usize) -> K + Sync,
+{
+    if n == 0 {
+        return None;
+    }
+    let best = (0..n)
+        .into_par_iter()
+        .with_min_len(REDUCE_GRAIN)
+        .map(|i| (key(i), std::cmp::Reverse(i)))
+        .max()?;
+    Some(best.1 .0)
+}
+
+/// Count elements of `0..n` satisfying `pred`.
+pub fn count_if<F>(n: usize, pred: F) -> usize
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    (0..n)
+        .into_par_iter()
+        .with_min_len(REDUCE_GRAIN)
+        .filter(|&i| pred(i))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums() {
+        let xs: Vec<u64> = (1..=100).collect();
+        assert_eq!(sum_u64(&xs), 5050);
+        let ys: Vec<usize> = (1..=100).collect();
+        assert_eq!(sum_usize(&ys), 5050);
+    }
+
+    #[test]
+    fn min_max() {
+        let xs = vec![5u64, 3, 9, 1];
+        assert_eq!(max_u64(&xs), Some(9));
+        assert_eq!(min_u64(&xs), Some(1));
+        assert_eq!(max_u64(&[]), None);
+        assert_eq!(min_u64(&[]), None);
+    }
+
+    #[test]
+    fn map_reduce_custom_monoid() {
+        // max of i^2 mod 101 over 0..1000
+        let m = map_reduce(1000, 0u64, |i| ((i * i) % 101) as u64, u64::max);
+        assert_eq!(m, 100);
+    }
+
+    #[test]
+    fn argmax_finds_max_and_breaks_ties_low() {
+        let keys = [3u64, 7, 7, 2];
+        let got = argmax_by_key(keys.len(), |i| keys[i]);
+        assert_eq!(got, Some(1));
+        assert_eq!(argmax_by_key(0, |_| 0u64), None);
+    }
+
+    #[test]
+    fn argmax_large() {
+        let got = argmax_by_key(100_000, |i| if i == 54_321 { 1u64 } else { 0 });
+        assert_eq!(got, Some(54_321));
+    }
+
+    #[test]
+    fn count_if_counts() {
+        assert_eq!(count_if(1000, |i| i % 3 == 0), 334);
+        assert_eq!(count_if(0, |_| true), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Deterministic splittable RNG.
+//!
+//! Graph generators and randomized algorithms (pivot choice, sampled
+//! diameter estimation) must be reproducible regardless of thread schedule,
+//! so instead of a shared stateful RNG we use a *counter-based* generator:
+//! `SplitRng` is a seed, and drawing the `i`-th variate hashes `(seed, i)`.
+//! Any parallel loop can draw variate `i` independently with no
+//! coordination, and two runs with the same seed are bit-identical.
+
+use crate::hash::hash64;
+
+/// Counter-based deterministic RNG; `Copy`, freely shareable across tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitRng {
+    seed: u64,
+}
+
+impl SplitRng {
+    /// Build from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed: hash64(seed ^ 0xda94_2042_e4dd_58b5),
+        }
+    }
+
+    /// Derive an independent child stream (e.g. one per generator phase).
+    pub fn split(self, stream: u64) -> Self {
+        Self {
+            seed: hash64(self.seed ^ hash64(stream)),
+        }
+    }
+
+    /// The `i`-th u64 variate of this stream.
+    #[inline]
+    pub fn u64_at(self, i: u64) -> u64 {
+        hash64(self.seed.wrapping_add(hash64(i)))
+    }
+
+    /// The `i`-th variate mapped uniformly into `0..range`.
+    #[inline]
+    pub fn range_at(self, i: u64, range: u64) -> u64 {
+        debug_assert!(range > 0);
+        (((self.u64_at(i) as u128) * (range as u128)) >> 64) as u64
+    }
+
+    /// The `i`-th variate as a double in `[0, 1)`.
+    #[inline]
+    pub fn f64_at(self, i: u64) -> f64 {
+        // 53 random mantissa bits
+        (self.u64_at(i) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` at index `i`.
+    #[inline]
+    pub fn bool_at(self, i: u64, p: f64) -> bool {
+        self.f64_at(i) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        let r = SplitRng::new(42);
+        let a: Vec<u64> = (0..10).map(|i| r.u64_at(i)).collect();
+        let b: Vec<u64> = (0..10).map(|i| r.u64_at(i)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SplitRng::new(1).u64_at(0);
+        let b = SplitRng::new(2).u64_at(0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let r = SplitRng::new(7);
+        let s1 = r.split(1);
+        let s2 = r.split(2);
+        assert_ne!(s1.u64_at(0), s2.u64_at(0));
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn range_at_in_bounds() {
+        let r = SplitRng::new(3);
+        for i in 0..10_000 {
+            assert!(r.range_at(i, 17) < 17);
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_spread() {
+        let r = SplitRng::new(11);
+        let mut lo = 0;
+        for i in 0..10_000 {
+            let x = r.f64_at(i);
+            assert!((0.0..1.0).contains(&x));
+            if x < 0.5 {
+                lo += 1;
+            }
+        }
+        assert!((4000..6000).contains(&lo), "lopsided: {lo}");
+    }
+
+    #[test]
+    fn bool_at_respects_probability_roughly() {
+        let r = SplitRng::new(13);
+        let hits = (0..10_000).filter(|&i| r.bool_at(i, 0.1)).count();
+        assert!((500..1500).contains(&hits), "p=0.1 gave {hits}/10000");
+    }
+}

@@ -1,0 +1,205 @@
+//! Parallel prefix sums (scans).
+//!
+//! Two-pass blocked algorithm, the ParlayLib classic: pass 1 reduces each
+//! block; the block sums are scanned sequentially (there are only
+//! `O(n / block)` of them); pass 2 rewrites each block with its offset.
+//! Work `O(n)`, span `O(block + n/block)`.
+
+use crate::gran::{adaptive_block_size, num_blocks, par_blocks};
+use crate::unsafe_slice::SyncUnsafeSlice;
+
+/// Sequential threshold under which scans run in one pass.
+const SEQ_SCAN_THRESHOLD: usize = 1 << 14;
+
+/// Trait for types scannable with `+` starting from a zero.
+pub trait ScanItem: Copy + Send + Sync {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Associative combine.
+    fn add(self, other: Self) -> Self;
+}
+
+macro_rules! impl_scan_item {
+    ($($t:ty),*) => {$(
+        impl ScanItem for $t {
+            #[inline]
+            fn zero() -> Self { 0 }
+            #[inline]
+            fn add(self, other: Self) -> Self { self + other }
+        }
+    )*};
+}
+impl_scan_item!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ScanItem for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn add(self, other: Self) -> Self {
+        self + other
+    }
+}
+
+/// Exclusive scan: returns `(prefix, total)` where
+/// `prefix[i] = xs[0] + … + xs[i-1]` and `total = sum(xs)`.
+pub fn scan_exclusive<T: ScanItem>(xs: &[T]) -> (Vec<T>, T) {
+    let n = xs.len();
+    let mut out = vec![T::zero(); n];
+    let total = scan_exclusive_into(xs, &mut out);
+    (out, total)
+}
+
+/// Exclusive scan into a caller-provided buffer (`out.len() == xs.len()`),
+/// returning the total. Allows buffer reuse in hot loops.
+pub fn scan_exclusive_into<T: ScanItem>(xs: &[T], out: &mut [T]) -> T {
+    let n = xs.len();
+    assert_eq!(out.len(), n, "output buffer must match input length");
+    if n == 0 {
+        return T::zero();
+    }
+    if n <= SEQ_SCAN_THRESHOLD {
+        return seq_scan_exclusive(xs, out);
+    }
+
+    let block = adaptive_block_size(n, 1024);
+    let nb = num_blocks(n, block);
+
+    // Pass 1: per-block sums.
+    let mut block_sums = vec![T::zero(); nb];
+    {
+        let sums = SyncUnsafeSlice::new(&mut block_sums);
+        par_blocks(n, block, |lo, hi| {
+            let mut acc = T::zero();
+            for x in &xs[lo..hi] {
+                acc = acc.add(*x);
+            }
+            // SAFETY: each block index is written by exactly one task.
+            unsafe { sums.write(lo / block, acc) };
+        });
+    }
+
+    // Scan the (few) block sums sequentially.
+    let mut acc = T::zero();
+    let mut offsets = vec![T::zero(); nb];
+    for b in 0..nb {
+        offsets[b] = acc;
+        acc = acc.add(block_sums[b]);
+    }
+    let total = acc;
+
+    // Pass 2: finish each block with its offset.
+    {
+        let out_s = SyncUnsafeSlice::new(out);
+        let offsets = &offsets;
+        par_blocks(n, block, |lo, hi| {
+            let mut acc = offsets[lo / block];
+            for (i, x) in xs[lo..hi].iter().enumerate() {
+                // SAFETY: blocks are disjoint ranges; each index written once.
+                unsafe { out_s.write(lo + i, acc) };
+                acc = acc.add(*x);
+            }
+        });
+    }
+    total
+}
+
+/// Inclusive scan: `out[i] = xs[0] + … + xs[i]`; returns `(prefix, total)`.
+pub fn scan_inclusive<T: ScanItem>(xs: &[T]) -> (Vec<T>, T) {
+    let (mut out, total) = scan_exclusive(xs);
+    for (o, x) in out.iter_mut().zip(xs) {
+        *o = o.add(*x);
+    }
+    (out, total)
+}
+
+fn seq_scan_exclusive<T: ScanItem>(xs: &[T], out: &mut [T]) -> T {
+    let mut acc = T::zero();
+    for (o, x) in out.iter_mut().zip(xs) {
+        *o = acc;
+        acc = acc.add(*x);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle(xs: &[u64]) -> (Vec<u64>, u64) {
+        let mut out = Vec::with_capacity(xs.len());
+        let mut acc = 0u64;
+        for &x in xs {
+            out.push(acc);
+            acc += x;
+        }
+        (out, acc)
+    }
+
+    #[test]
+    fn empty_scan() {
+        let (v, t) = scan_exclusive::<u64>(&[]);
+        assert!(v.is_empty());
+        assert_eq!(t, 0);
+    }
+
+    #[test]
+    fn single_element() {
+        let (v, t) = scan_exclusive(&[7u64]);
+        assert_eq!(v, vec![0]);
+        assert_eq!(t, 7);
+    }
+
+    #[test]
+    fn small_matches_oracle() {
+        let xs: Vec<u64> = (0..100).map(|i| (i * 37 + 11) % 97).collect();
+        let (got, total) = scan_exclusive(&xs);
+        let (want, wt) = oracle(&xs);
+        assert_eq!(got, want);
+        assert_eq!(total, wt);
+    }
+
+    #[test]
+    fn large_matches_oracle() {
+        let xs: Vec<u64> = (0..200_000).map(|i| (i * 7 + 3) % 13).collect();
+        let (got, total) = scan_exclusive(&xs);
+        let (want, wt) = oracle(&xs);
+        assert_eq!(got, want);
+        assert_eq!(total, wt);
+    }
+
+    #[test]
+    fn inclusive_is_exclusive_shifted() {
+        let xs: Vec<u64> = (0..50_000).map(|i| i % 5).collect();
+        let (inc, t1) = scan_inclusive(&xs);
+        let (exc, t2) = scan_exclusive(&xs);
+        assert_eq!(t1, t2);
+        for i in 0..xs.len() {
+            assert_eq!(inc[i], exc[i] + xs[i]);
+        }
+    }
+
+    #[test]
+    fn scan_into_reuses_buffer() {
+        let xs = vec![1u64; 10];
+        let mut buf = vec![99u64; 10];
+        let total = scan_exclusive_into(&xs, &mut buf);
+        assert_eq!(total, 10);
+        assert_eq!(buf, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer")]
+    fn scan_into_length_mismatch_panics() {
+        let xs = vec![1u64; 4];
+        let mut buf = vec![0u64; 3];
+        let _ = scan_exclusive_into(&xs, &mut buf);
+    }
+
+    #[test]
+    fn f64_scan_works() {
+        let xs = vec![0.5f64; 8];
+        let (v, t) = scan_exclusive(&xs);
+        assert_eq!(v[4], 2.0);
+        assert_eq!(t, 4.0);
+    }
+}

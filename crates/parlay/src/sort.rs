@@ -1,0 +1,207 @@
+//! Parallel sorting: stable counting sort by bucket key, plus a
+//! comparison-sort wrapper.
+//!
+//! The counting sort is the substrate's workhorse: CSR construction sorts
+//! edges by source vertex, and the stepping-algorithm SSSP buckets vertices
+//! by tentative distance. It is a two-pass blocked algorithm — per-block
+//! bucket histograms, a scan over the `blocks × buckets` matrix in bucket-
+//! major order (so equal keys stay in block order ⇒ stability), then a
+//! parallel scatter.
+
+use crate::gran::{adaptive_block_size, num_blocks, par_blocks};
+use crate::scan::scan_exclusive;
+use crate::unsafe_slice::SyncUnsafeSlice;
+use rayon::prelude::*;
+
+/// Below this size counting sort runs sequentially.
+const SEQ_SORT_THRESHOLD: usize = 1 << 14;
+
+/// Stable sort of `xs` into buckets `0..num_buckets` given by `key`.
+///
+/// Returns the sorted vector. Panics in debug builds if a key is out of
+/// range.
+pub fn counting_sort_by_key<T, F>(xs: &[T], num_buckets: usize, key: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> usize + Sync,
+{
+    let n = xs.len();
+    if n == 0 || num_buckets == 0 {
+        return Vec::new();
+    }
+    if n <= SEQ_SORT_THRESHOLD || num_buckets > 4 * n {
+        return seq_counting_sort(xs, num_buckets, key);
+    }
+
+    let block = adaptive_block_size(n, 4096);
+    let nb = num_blocks(n, block);
+
+    // Pass 1: per-block histograms, laid out bucket-major:
+    // counts[bucket * nb + block].
+    let mut counts = vec![0usize; nb * num_buckets];
+    {
+        let counts_s = SyncUnsafeSlice::new(&mut counts);
+        par_blocks(n, block, |lo, hi| {
+            let b = lo / block;
+            for x in &xs[lo..hi] {
+                let k = key(x);
+                debug_assert!(k < num_buckets, "key {k} out of range {num_buckets}");
+                // SAFETY: slot (k, b) is owned by this block's task; distinct
+                // blocks write distinct b columns.
+                unsafe { *counts_s.get_mut(k * nb + b) += 1 };
+            }
+        });
+    }
+
+    // Bucket-major scan gives each (bucket, block) its output offset and
+    // preserves stability.
+    let (offsets, total) = scan_exclusive(&counts);
+    debug_assert_eq!(total, n);
+
+    // Pass 2: scatter.
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    {
+        let out_ptr = RawOut(out.spare_capacity_mut().as_mut_ptr() as *mut T, n);
+        let offsets = &offsets;
+        par_blocks(n, block, |lo, hi| {
+            let b = lo / block;
+            let mut cursor = vec![0usize; 0];
+            // Local cursor per bucket, lazily materialized only for buckets
+            // this block touches would need a map; with modest bucket counts
+            // a dense local copy is cheaper.
+            cursor.resize(num_buckets, usize::MAX);
+            for x in &xs[lo..hi] {
+                let k = key(x);
+                let c = &mut cursor[k];
+                if *c == usize::MAX {
+                    *c = offsets[k * nb + b];
+                }
+                // SAFETY: offsets partition 0..n across (bucket, block) pairs;
+                // each output slot written exactly once.
+                unsafe { out_ptr.write(*c, *x) };
+                *c += 1;
+            }
+        });
+    }
+    // SAFETY: all n slots initialized by the scatter pass.
+    unsafe { out.set_len(n) };
+    out
+}
+
+struct RawOut<T>(*mut T, usize);
+unsafe impl<T: Send> Sync for RawOut<T> {}
+unsafe impl<T: Send> Send for RawOut<T> {}
+impl<T> RawOut<T> {
+    /// # Safety
+    /// `i < self.1`, slot `i` written by exactly one task.
+    unsafe fn write(&self, i: usize, v: T) {
+        debug_assert!(i < self.1);
+        self.0.add(i).write(v);
+    }
+}
+
+fn seq_counting_sort<T, F>(xs: &[T], num_buckets: usize, key: F) -> Vec<T>
+where
+    T: Copy,
+    F: Fn(&T) -> usize,
+{
+    let mut counts = vec![0usize; num_buckets];
+    for x in xs {
+        counts[key(x)] += 1;
+    }
+    let mut acc = 0;
+    for c in counts.iter_mut() {
+        let t = *c;
+        *c = acc;
+        acc += t;
+    }
+    let mut out = vec![xs[0]; xs.len()];
+    for x in xs {
+        let k = key(x);
+        out[counts[k]] = *x;
+        counts[k] += 1;
+    }
+    out
+}
+
+/// Parallel unstable comparison sort (sample-sort under the hood via rayon).
+pub fn sort_unstable<T: Ord + Send>(xs: &mut [T]) {
+    xs.par_sort_unstable();
+}
+
+/// Parallel unstable sort by key.
+pub fn sort_unstable_by_key<T, K, F>(xs: &mut [T], key: F)
+where
+    T: Send,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    xs.par_sort_unstable_by_key(key);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_trivial() {
+        let got = counting_sort_by_key::<u32, _>(&[], 10, |&x| x as usize);
+        assert!(got.is_empty());
+        let got = counting_sort_by_key(&[5u32], 10, |&x| x as usize);
+        assert_eq!(got, vec![5]);
+    }
+
+    #[test]
+    fn small_sorts_correctly() {
+        let xs = vec![3u32, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5];
+        let got = counting_sort_by_key(&xs, 10, |&x| x as usize);
+        let mut want = xs.clone();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn large_sorts_correctly() {
+        let xs: Vec<u32> = (0..150_000u32).map(|i| (i * 2654435761) % 256).collect();
+        let got = counting_sort_by_key(&xs, 256, |&x| x as usize);
+        let mut want = xs.clone();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn stability_preserved() {
+        // pairs (key, original_index); after sorting by key, equal keys must
+        // keep ascending original index.
+        let xs: Vec<(u32, u32)> = (0..120_000u32).map(|i| ((i * 7919) % 16, i)).collect();
+        let got = counting_sort_by_key(&xs, 16, |p| p.0 as usize);
+        for w in got.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "stability violated");
+            }
+        }
+    }
+
+    #[test]
+    fn many_buckets_falls_back_sequential() {
+        let xs: Vec<u32> = (0..1000).rev().collect();
+        let got = counting_sort_by_key(&xs, 1_000_000, |&x| x as usize);
+        let mut want = xs.clone();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sort_unstable_wrappers() {
+        let mut xs: Vec<u64> = (0..50_000).map(|i| (i * 31) % 977).collect();
+        let mut want = xs.clone();
+        want.sort_unstable();
+        sort_unstable(&mut xs);
+        assert_eq!(xs, want);
+
+        let mut ys: Vec<(u32, u32)> = (0..10_000).map(|i| (i % 100, i)).collect();
+        sort_unstable_by_key(&mut ys, |p| p.0);
+        assert!(ys.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+}

@@ -1,0 +1,117 @@
+//! Shared-mutation escape hatch for parallel kernels.
+//!
+//! Parallel graph kernels frequently need "many threads write into one
+//! array at indices they own (disjointly) or claim via CAS". Rust's borrow
+//! rules cannot express this directly on `&mut [T]`, so we provide
+//! [`SyncUnsafeSlice`], a thin wrapper whose `write`/`get` methods are
+//! `unsafe` with the invariant spelled out: *no two threads may access the
+//! same index concurrently unless both accesses are reads*.
+//!
+//! This is the only `unsafe` surface of the substrate; every use site in
+//! the library justifies disjointness in a comment.
+
+use std::cell::UnsafeCell;
+
+/// A `&mut [T]` that can be shared across threads for disjoint-index writes.
+pub struct SyncUnsafeSlice<'a, T> {
+    data: &'a [UnsafeCell<T>],
+}
+
+// SAFETY: `SyncUnsafeSlice` only hands out raw access through `unsafe`
+// methods whose contract requires callers to keep accesses to each index
+// data-race-free. Given that contract, sharing the wrapper is sound.
+unsafe impl<'a, T: Send + Sync> Sync for SyncUnsafeSlice<'a, T> {}
+unsafe impl<'a, T: Send + Sync> Send for SyncUnsafeSlice<'a, T> {}
+
+impl<'a, T> SyncUnsafeSlice<'a, T> {
+    /// Wrap a mutable slice for shared disjoint-index access.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        let ptr = slice as *mut [T] as *const [UnsafeCell<T>];
+        // SAFETY: `UnsafeCell<T>` has the same layout as `T`, and we hold
+        // the unique borrow of `slice` for lifetime `'a`.
+        Self {
+            data: unsafe { &*ptr },
+        }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Write `value` at `index`.
+    ///
+    /// # Safety
+    /// No other thread may read or write `index` concurrently.
+    #[inline]
+    pub unsafe fn write(&self, index: usize, value: T) {
+        *self.data[index].get() = value;
+    }
+
+    /// Read the value at `index`.
+    ///
+    /// # Safety
+    /// No other thread may write `index` concurrently.
+    #[inline]
+    pub unsafe fn get(&self, index: usize) -> &T {
+        &*self.data[index].get()
+    }
+
+    /// Get a mutable reference to the value at `index`.
+    ///
+    /// # Safety
+    /// No other thread may access `index` concurrently.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get_mut(&self, index: usize) -> &mut T {
+        &mut *self.data[index].get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gran::par_for;
+
+    #[test]
+    fn parallel_disjoint_writes() {
+        let n = 100_000;
+        let mut v = vec![0usize; n];
+        {
+            let s = SyncUnsafeSlice::new(&mut v);
+            par_for(n, 128, |i| {
+                // SAFETY: each index is written by exactly one loop iteration.
+                unsafe { s.write(i, i * 2) };
+            });
+        }
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut v = vec![1, 2, 3];
+        let s = SyncUnsafeSlice::new(&mut v);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        let mut e: Vec<i32> = vec![];
+        let s = SyncUnsafeSlice::new(&mut e);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn get_reads_written_value() {
+        let mut v = vec![0u8; 4];
+        let s = SyncUnsafeSlice::new(&mut v);
+        unsafe {
+            s.write(2, 9);
+            assert_eq!(*s.get(2), 9);
+            *s.get_mut(2) += 1;
+            assert_eq!(*s.get(2), 10);
+        }
+    }
+}

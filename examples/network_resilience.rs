@@ -1,0 +1,79 @@
+//! Network-resilience scenario exercising the two extensions the paper
+//! announces as future work: k-core decomposition (find the robust core
+//! of a network) and point-to-point shortest paths (route queries).
+//!
+//! ```text
+//! cargo run --release --example network_resilience
+//! ```
+
+use pasgal_core::kcore::{kcore_peel, kcore_seq};
+use pasgal_core::sssp::ptp::{ptp_bidirectional_auto, ptp_dijkstra, ptp_rho_stepping};
+use pasgal_core::sssp::stepping::RhoConfig;
+use pasgal_graph::gen::suite::{by_name, SuiteScale};
+use pasgal_graph::gen::with_random_weights;
+use pasgal_graph::transform::symmetrize;
+
+fn main() {
+    // --- k-core on a social network ---------------------------------------
+    let g = by_name("FS").expect("suite entry").build(SuiteScale::Small);
+    println!(
+        "social network: {} users, {} friendships",
+        g.num_vertices(),
+        g.num_edges() / 2
+    );
+
+    let t = std::time::Instant::now();
+    let seq = kcore_seq(&g);
+    let t_seq = t.elapsed();
+    let t = std::time::Instant::now();
+    let par = kcore_peel(&g, 512);
+    let t_par = t.elapsed();
+    assert_eq!(seq.coreness, par.coreness);
+
+    println!(
+        "k-core: degeneracy {} | sequential BZ {:.2?} | VGC peeling {:.2?} ({} rounds)",
+        par.degeneracy, t_seq, t_par, par.stats.rounds
+    );
+    let mut hist = vec![0usize; par.degeneracy as usize + 1];
+    for &c in &par.coreness {
+        hist[c as usize] += 1;
+    }
+    println!("coreness histogram (k: users with coreness exactly k):");
+    for (k, &c) in hist.iter().enumerate().filter(|(_, &c)| c > 0).take(12) {
+        println!("  {k:>3}: {c}");
+    }
+    let core_k = par.degeneracy;
+    let core_size = par.coreness.iter().filter(|&&c| c >= core_k).count();
+    println!("the {core_k}-core (most robust subgraph) has {core_size} members");
+
+    // --- point-to-point routing on a road network --------------------------
+    let road = symmetrize(&by_name("AS").expect("suite entry").build(SuiteScale::Small));
+    let road = with_random_weights(&road, 7, 600);
+    let n = road.num_vertices() as u32;
+    let (s, t_dst) = (0u32, n - 1);
+    println!(
+        "\nroad network: {} junctions; routing {s} → {t_dst}",
+        road.num_vertices()
+    );
+
+    let t = std::time::Instant::now();
+    let uni = ptp_dijkstra(&road, s, t_dst);
+    let t_uni = t.elapsed();
+    let t = std::time::Instant::now();
+    let bi = ptp_bidirectional_auto(&road, s, t_dst);
+    let t_bi = t.elapsed();
+    let t = std::time::Instant::now();
+    let rho = ptp_rho_stepping(&road, s, t_dst, &RhoConfig::default());
+    let t_rho = t.elapsed();
+    assert_eq!(uni.distance, bi.distance);
+    assert_eq!(uni.distance, rho.distance);
+
+    println!("{:<28} {:>12} {:>10}", "engine", "time", "settled");
+    println!("{:<28} {:>12.2?} {:>10}", "early-exit dijkstra", t_uni, uni.settled);
+    println!("{:<28} {:>12.2?} {:>10}", "bidirectional dijkstra", t_bi, bi.settled);
+    println!("{:<28} {:>12.2?} {:>10}", "pruned rho-stepping (VGC)", t_rho, rho.settled);
+    println!(
+        "shortest travel time: {:.1} minutes",
+        uni.distance as f64 / 60.0
+    );
+}

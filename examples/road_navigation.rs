@@ -1,0 +1,74 @@
+//! Road-network navigation scenario: single-source shortest paths over a
+//! weighted road-like graph, comparing every SSSP engine — the workload
+//! where the paper's techniques matter most (sparse, enormous diameter).
+//!
+//! ```text
+//! cargo run --release --example road_navigation
+//! ```
+
+use pasgal_core::sssp::stepping::RhoConfig;
+use pasgal_core::sssp::{
+    sssp_bellman_ford, sssp_delta_stepping, sssp_dijkstra, sssp_rho_stepping,
+};
+use pasgal_graph::gen::suite::{by_name, SuiteScale};
+use pasgal_graph::gen::with_random_weights;
+use pasgal_graph::stats::graph_info;
+use pasgal_graph::transform::symmetrize;
+
+fn main() {
+    // The "NA" (North-America-like) road stand-in, symmetrized (two-way
+    // streets) and weighted with travel times.
+    let road = by_name("NA").expect("suite entry");
+    let g = symmetrize(&road.build(SuiteScale::Small));
+    let g = with_random_weights(&g, 2024, 600); // seconds per segment
+
+    let info = graph_info(&g, 4, 1);
+    println!(
+        "road network: {} junctions, {} segments, diameter ≥ {} hops",
+        info.n,
+        info.m_symmetric / 2,
+        info.diam_symmetric
+    );
+
+    let depot = 0u32;
+    let mut rows = Vec::new();
+
+    let t = std::time::Instant::now();
+    let dij = sssp_dijkstra(&g, depot);
+    rows.push(("dijkstra (sequential)", t.elapsed(), dij.stats.rounds));
+
+    let t = std::time::Instant::now();
+    let bf = sssp_bellman_ford(&g, depot);
+    rows.push(("bellman-ford (parallel)", t.elapsed(), bf.stats.rounds));
+
+    let t = std::time::Instant::now();
+    let ds = sssp_delta_stepping(&g, depot, 300);
+    rows.push(("delta-stepping (Δ=300)", t.elapsed(), ds.stats.rounds));
+
+    let t = std::time::Instant::now();
+    let rs = sssp_rho_stepping(&g, depot, &RhoConfig::default());
+    rows.push(("rho-stepping + VGC (PASGAL)", t.elapsed(), rs.stats.rounds));
+
+    assert_eq!(dij.dist, bf.dist);
+    assert_eq!(dij.dist, ds.dist);
+    assert_eq!(dij.dist, rs.dist);
+
+    println!("\n{:<30} {:>12} {:>10}", "engine", "time", "rounds");
+    for (name, time, rounds) in rows {
+        println!("{name:<30} {time:>12.2?} {rounds:>10}");
+    }
+
+    // A navigation query: the 5 hardest-to-reach junctions.
+    let mut far: Vec<(u64, u32)> = dij
+        .dist
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != u64::MAX)
+        .map(|(v, &d)| (d, v as u32))
+        .collect();
+    far.sort_unstable_by_key(|&(d, _)| std::cmp::Reverse(d));
+    println!("\nhardest deliveries from depot {depot}:");
+    for (d, v) in far.iter().take(5) {
+        println!("  junction {v:>8}: {:>6.1} minutes", *d as f64 / 60.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Social-network scenario: BFS hop distances ("degrees of separation")
+//! and biconnectivity ("who holds the network together") on a power-law
+//! graph — the *low-diameter* regime where the paper shows PASGAL stays
+//! competitive with the specialized baselines.
+//!
+//! ```text
+//! cargo run --release --example social_reachability
+//! ```
+
+use pasgal_core::bcc::{articulation_points, bcc_fast};
+use pasgal_core::bfs::{flat, gap, seq, vgc};
+use pasgal_core::common::{VgcConfig, UNREACHED};
+use pasgal_graph::gen::suite::{by_name, SuiteScale};
+
+fn main() {
+    let social = by_name("OK").expect("suite entry");
+    let g = social.build(SuiteScale::Small);
+    println!(
+        "social network: {} users, {} friendships",
+        g.num_vertices(),
+        g.num_edges() / 2
+    );
+
+    // --- degrees of separation from the highest-degree user --------------
+    let celebrity = (0..g.num_vertices() as u32)
+        .max_by_key(|&v| g.degree(v))
+        .unwrap();
+    println!(
+        "celebrity = user {celebrity} with {} friends",
+        g.degree(celebrity)
+    );
+
+    let t = std::time::Instant::now();
+    let s = seq::bfs_seq(&g, celebrity);
+    let t_seq = t.elapsed();
+    let t = std::time::Instant::now();
+    let f = flat::bfs_flat(&g, celebrity, None, &flat::DirOptConfig::default());
+    let t_flat = t.elapsed();
+    let t = std::time::Instant::now();
+    let gp = gap::bfs_gap(&g, celebrity, None);
+    let t_gap = t.elapsed();
+    let t = std::time::Instant::now();
+    let v = vgc::bfs_vgc(&g, celebrity, &VgcConfig::default());
+    let t_vgc = t.elapsed();
+    assert_eq!(s.dist, f.dist);
+    assert_eq!(s.dist, gp.dist);
+    assert_eq!(s.dist, v.dist);
+
+    println!("\n{:<26} {:>12} {:>8}", "BFS engine", "time", "rounds");
+    println!("{:<26} {:>12.2?} {:>8}", "sequential queue", t_seq, 1);
+    println!("{:<26} {:>12.2?} {:>8}", "flat + dir-opt (GBBS)", t_flat, f.stats.rounds);
+    println!("{:<26} {:>12.2?} {:>8}", "flat + dir-opt (GAPBS)", t_gap, gp.stats.rounds);
+    println!("{:<26} {:>12.2?} {:>8}", "PASGAL VGC", t_vgc, v.stats.rounds);
+
+    // histogram of separation degrees
+    let mut hist = [0usize; 16];
+    let mut unreachable = 0usize;
+    for &d in &s.dist {
+        if d == UNREACHED {
+            unreachable += 1;
+        } else {
+            hist[(d as usize).min(15)] += 1;
+        }
+    }
+    println!("\ndegrees of separation:");
+    for (d, &count) in hist.iter().enumerate() {
+        if count > 0 {
+            println!("  {d:>2} hops: {count:>8}");
+        }
+    }
+    println!("  unreachable: {unreachable}");
+
+    // --- structural robustness: articulation users ------------------------
+    let bcc = bcc_fast(&g);
+    let arts = articulation_points(&g, &bcc.edge_labels);
+    let num_arts = arts.iter().filter(|&&a| a).count();
+    println!(
+        "\nbiconnectivity: {} blocks; {} articulation users ({:.2}%) whose removal disconnects someone",
+        bcc.num_bccs,
+        num_arts,
+        100.0 * num_arts as f64 / g.num_vertices() as f64
+    );
+}

@@ -1,0 +1,75 @@
+//! Cross-crate integration: all BCC implementations produce the same edge
+//! partition as Hopcroft-Tarjan on the symmetrized suite (the paper's BCC
+//! protocol: "we symmetrize directed graphs for testing BCC").
+
+use pasgal_core::bcc::{
+    articulation_points, bcc_bfs_based, bcc_fast, bcc_hopcroft_tarjan, bcc_tarjan_vishkin,
+    bcc_tarjan_vishkin_budgeted,
+};
+use pasgal_core::common::canonicalize_labels;
+use pasgal_graph::gen::suite::{SuiteScale, SUITE};
+
+#[test]
+fn all_bcc_agree_on_the_symmetrized_suite() {
+    for entry in SUITE {
+        let g = entry.build_symmetric(SuiteScale::Tiny);
+        let want = bcc_hopcroft_tarjan(&g);
+        let want_canon = canonicalize_labels(&want.edge_labels);
+
+        for (name, got) in [
+            ("fast", bcc_fast(&g)),
+            ("tarjan-vishkin", bcc_tarjan_vishkin(&g)),
+            ("bfs-based", bcc_bfs_based(&g)),
+        ] {
+            assert_eq!(got.num_bccs, want.num_bccs, "{}: {} count", entry.name, name);
+            assert_eq!(
+                canonicalize_labels(&got.edge_labels),
+                want_canon,
+                "{}: {} partition",
+                entry.name,
+                name
+            );
+        }
+    }
+}
+
+#[test]
+fn articulation_points_agree_between_fast_and_oracle() {
+    for name in ["BBL", "TRCE", "AF", "LJ"] {
+        let entry = pasgal_graph::gen::suite::by_name(name).unwrap();
+        let g = entry.build_symmetric(SuiteScale::Tiny);
+        let a = articulation_points(&g, &bcc_hopcroft_tarjan(&g).edge_labels);
+        let b = articulation_points(&g, &bcc_fast(&g).edge_labels);
+        assert_eq!(a, b, "{name}");
+    }
+}
+
+#[test]
+fn tarjan_vishkin_oom_on_big_graph_small_budget_fast_bcc_fits() {
+    let g = pasgal_graph::gen::suite::by_name("REC")
+        .unwrap()
+        .build_symmetric(SuiteScale::Small);
+    // A budget big enough for O(n) structures but not the O(m) aux graph:
+    // FAST-BCC's auxiliary state is ~n unions; TV needs the edge list.
+    let n = g.num_vertices();
+    let budget = 6 * n; // bytes — below m/2 * 8
+    let tv = bcc_tarjan_vishkin_budgeted(&g, budget);
+    assert!(tv.is_err(), "TV should exceed the budget (o.o.m.)");
+    let fast = bcc_fast(&g);
+    assert!(fast.num_bccs > 0);
+}
+
+#[test]
+fn fast_bcc_rounds_do_not_scale_with_diameter() {
+    // same algorithm on a tiny low-diameter graph and a huge-diameter
+    // grid: round counts stay within a small constant band
+    let low = pasgal_graph::gen::suite::by_name("LJ")
+        .unwrap()
+        .build_symmetric(SuiteScale::Tiny);
+    let high = pasgal_graph::gen::suite::by_name("REC")
+        .unwrap()
+        .build_symmetric(SuiteScale::Tiny);
+    let a = bcc_fast(&low).stats.rounds;
+    let b = bcc_fast(&high).stats.rounds;
+    assert!(b <= 2 * a + 8, "fast-bcc rounds blew up: {a} vs {b}");
+}

@@ -1,0 +1,83 @@
+//! Cross-crate integration: every parallel BFS implementation agrees with
+//! the sequential oracle on every graph of the paper-mirroring suite.
+
+use pasgal_core::bfs::flat::{bfs_flat, DirOptConfig};
+use pasgal_core::bfs::gap::bfs_gap;
+use pasgal_core::bfs::seq::bfs_seq;
+use pasgal_core::bfs::vgc::{bfs_vgc, bfs_vgc_dir};
+use pasgal_core::common::VgcConfig;
+use pasgal_graph::gen::suite::{SuiteScale, SUITE};
+use pasgal_graph::transform::transpose;
+
+#[test]
+fn all_bfs_agree_on_the_whole_suite() {
+    for entry in SUITE {
+        let g = entry.build(SuiteScale::Tiny);
+        let t = if g.is_symmetric() {
+            None
+        } else {
+            Some(transpose(&g))
+        };
+        let src = 0u32;
+        let want = bfs_seq(&g, src).dist;
+
+        let flat = bfs_flat(&g, src, t.as_ref(), &DirOptConfig::default());
+        assert_eq!(flat.dist, want, "{}: flat", entry.name);
+
+        let gap = bfs_gap(&g, src, t.as_ref());
+        assert_eq!(gap.dist, want, "{}: gap", entry.name);
+
+        let vgc = bfs_vgc_dir(&g, src, t.as_ref(), &VgcConfig::default());
+        assert_eq!(vgc.dist, want, "{}: vgc", entry.name);
+    }
+}
+
+#[test]
+fn vgc_rounds_collapse_on_large_diameter_categories() {
+    for entry in SUITE {
+        if entry.category.is_low_diameter() {
+            continue;
+        }
+        let g = entry.build(SuiteScale::Tiny);
+        let flat = bfs_flat(&g, 0, None, &DirOptConfig::default());
+        let vgc = bfs_vgc(&g, 0, &VgcConfig::default());
+        assert_eq!(flat.dist, vgc.dist, "{}", entry.name);
+        // strictly fewer rounds whenever the flat traversal needed real
+        // depth (a source whose reachable set is shallow gives 1 vs 1)
+        if flat.stats.rounds > 4 {
+            assert!(
+                vgc.stats.rounds < flat.stats.rounds,
+                "{}: vgc rounds {} !< flat rounds {}",
+                entry.name,
+                vgc.stats.rounds,
+                flat.stats.rounds
+            );
+        }
+    }
+}
+
+#[test]
+fn multiple_sources_agree_on_representative_graphs() {
+    for name in ["LJ", "AF", "CH5", "REC", "BBL"] {
+        let entry = pasgal_graph::gen::suite::by_name(name).unwrap();
+        let g = entry.build(SuiteScale::Tiny);
+        let n = g.num_vertices() as u32;
+        for src in [0, n / 3, n - 1] {
+            let want = bfs_seq(&g, src).dist;
+            let got = bfs_vgc(&g, src, &VgcConfig::with_tau(64));
+            assert_eq!(got.dist, want, "{name} from {src}");
+        }
+    }
+}
+
+#[test]
+fn tau_sweep_preserves_correctness() {
+    let g = pasgal_graph::gen::suite::by_name("NA")
+        .unwrap()
+        .build(SuiteScale::Tiny);
+    let want = bfs_seq(&g, 0).dist;
+    for tau in [1, 4, 16, 256, 65536] {
+        let got = bfs_vgc(&g, 0, &VgcConfig::with_tau(tau));
+        assert_eq!(got.dist, want, "tau={tau}");
+    }
+}

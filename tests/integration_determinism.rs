@@ -1,0 +1,61 @@
+//! Schedule-independence: parallel algorithms are internally
+//! nondeterministic (racing CAS claims), but their *outputs* must not
+//! depend on the thread count or schedule — distances exactly, component
+//! partitions up to canonicalization.
+
+use pasgal_core::bcc::bcc_fast;
+use pasgal_core::bfs::vgc::bfs_vgc;
+use pasgal_core::common::{canonicalize_labels, VgcConfig};
+use pasgal_core::kcore::kcore_peel;
+use pasgal_core::scc::scc_vgc;
+use pasgal_core::sssp::stepping::{sssp_rho_stepping, RhoConfig};
+use pasgal_graph::gen::suite::{by_name, SuiteScale};
+use pasgal_graph::gen::with_random_weights;
+use pasgal_parlay::with_threads;
+
+#[test]
+fn results_identical_across_thread_counts() {
+    for name in ["LJ", "AF", "BBL"] {
+        let entry = by_name(name).unwrap();
+        let g = entry.build(SuiteScale::Tiny);
+        let gs = entry.build_symmetric(SuiteScale::Tiny);
+        let gw = with_random_weights(&gs, 5, 100);
+
+        let base_bfs = with_threads(1, || bfs_vgc(&g, 0, &VgcConfig::default()).dist);
+        let base_scc = with_threads(1, || canonicalize_labels(&scc_vgc(&g, &VgcConfig::default()).labels));
+        let base_bcc = with_threads(1, || canonicalize_labels(&bcc_fast(&gs).edge_labels));
+        let base_sssp =
+            with_threads(1, || sssp_rho_stepping(&gw, 0, &RhoConfig::default()).dist);
+        let base_core = with_threads(1, || kcore_peel(&gs, 128).coreness);
+
+        for threads in [2, 4] {
+            let bfs = with_threads(threads, || bfs_vgc(&g, 0, &VgcConfig::default()).dist);
+            assert_eq!(bfs, base_bfs, "{name}: bfs @ {threads}");
+            let scc = with_threads(threads, || {
+                canonicalize_labels(&scc_vgc(&g, &VgcConfig::default()).labels)
+            });
+            assert_eq!(scc, base_scc, "{name}: scc @ {threads}");
+            let bcc = with_threads(threads, || {
+                canonicalize_labels(&bcc_fast(&gs).edge_labels)
+            });
+            assert_eq!(bcc, base_bcc, "{name}: bcc @ {threads}");
+            let sssp = with_threads(threads, || {
+                sssp_rho_stepping(&gw, 0, &RhoConfig::default()).dist
+            });
+            assert_eq!(sssp, base_sssp, "{name}: sssp @ {threads}");
+            let core = with_threads(threads, || kcore_peel(&gs, 128).coreness);
+            assert_eq!(core, base_core, "{name}: kcore @ {threads}");
+        }
+    }
+}
+
+#[test]
+fn repeated_runs_are_stable() {
+    // same pool, many repetitions: racy claims must not leak into outputs
+    let g = by_name("CH5").unwrap().build(SuiteScale::Tiny);
+    let want = bfs_vgc(&g, 0, &VgcConfig::with_tau(32)).dist;
+    for rep in 0..10 {
+        let got = bfs_vgc(&g, 0, &VgcConfig::with_tau(32)).dist;
+        assert_eq!(got, want, "rep {rep}");
+    }
+}

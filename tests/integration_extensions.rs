@@ -1,0 +1,72 @@
+//! Integration tests for the future-work extensions (k-core, point-to-
+//! point shortest paths) across the suite.
+
+use pasgal_core::common::VgcConfig;
+use pasgal_core::kcore::{kcore_peel, kcore_seq};
+use pasgal_core::sssp::dijkstra::sssp_dijkstra;
+use pasgal_core::sssp::ptp::{ptp_bidirectional_auto, ptp_dijkstra, ptp_rho_stepping};
+use pasgal_core::sssp::stepping::RhoConfig;
+use pasgal_graph::gen::suite::{SuiteScale, SUITE};
+use pasgal_graph::gen::with_random_weights;
+
+#[test]
+fn kcore_matches_oracle_on_the_suite() {
+    for entry in SUITE {
+        let g = entry.build_symmetric(SuiteScale::Tiny);
+        let want = kcore_seq(&g);
+        let got = kcore_peel(&g, 512);
+        assert_eq!(got.coreness, want.coreness, "{}", entry.name);
+        assert_eq!(got.degeneracy, want.degeneracy, "{}", entry.name);
+    }
+}
+
+#[test]
+fn kcore_degeneracy_regimes_match_categories() {
+    // road-like lattices have degeneracy 2; power-law graphs much higher
+    for (name, lo, hi) in [("NA", 1, 3), ("LJ", 8, 1000)] {
+        let g = pasgal_graph::gen::suite::by_name(name)
+            .unwrap()
+            .build_symmetric(SuiteScale::Tiny);
+        let d = kcore_seq(&g).degeneracy;
+        assert!((lo..=hi).contains(&d), "{name}: degeneracy {d}");
+    }
+}
+
+#[test]
+fn ptp_agrees_with_full_sssp_on_suite_samples() {
+    for name in ["LJ", "AF", "CH5", "BBL"] {
+        let entry = pasgal_graph::gen::suite::by_name(name).unwrap();
+        let g = with_random_weights(&entry.build_symmetric(SuiteScale::Tiny), 11, 500);
+        let n = g.num_vertices() as u32;
+        let full = sssp_dijkstra(&g, 0);
+        for t in [n / 2, n - 1] {
+            let want = full.dist[t as usize];
+            assert_eq!(ptp_dijkstra(&g, 0, t).distance, want, "{name} uni");
+            assert_eq!(ptp_bidirectional_auto(&g, 0, t).distance, want, "{name} bi");
+            let cfg = RhoConfig {
+                rho: 1024,
+                vgc: VgcConfig::with_tau(256),
+            };
+            assert_eq!(
+                ptp_rho_stepping(&g, 0, t, &cfg).distance,
+                want,
+                "{name} rho"
+            );
+        }
+    }
+}
+
+#[test]
+fn early_exit_settles_fewer_on_near_targets() {
+    let g = with_random_weights(
+        &pasgal_graph::gen::suite::by_name("NA")
+            .unwrap()
+            .build_symmetric(SuiteScale::Tiny),
+        3,
+        100,
+    );
+    // a target adjacent to the source is settled almost immediately
+    let t = g.neighbors(0)[0];
+    let r = ptp_dijkstra(&g, 0, t);
+    assert!(r.settled < g.num_vertices() / 10, "settled {}", r.settled);
+}

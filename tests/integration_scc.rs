@@ -1,0 +1,97 @@
+//! Cross-crate integration: all SCC implementations produce the same
+//! component partition as Tarjan's algorithm on the directed suite.
+
+use pasgal_core::common::{canonicalize_labels, VgcConfig};
+use pasgal_core::scc::{
+    scc_bfs_based, scc_bgss_bfs, scc_bgss_vgc, scc_multistep, scc_tarjan, scc_vgc,
+};
+use pasgal_graph::gen::suite::{SuiteScale, SUITE};
+
+#[test]
+fn all_scc_agree_on_directed_suite() {
+    for entry in SUITE.iter().filter(|e| e.directed) {
+        let g = entry.build(SuiteScale::Tiny);
+        let want = scc_tarjan(&g);
+        let want_canon = canonicalize_labels(&want.labels);
+
+        let vgc = scc_vgc(&g, &VgcConfig::default());
+        assert_eq!(vgc.num_sccs, want.num_sccs, "{}: vgc count", entry.name);
+        assert_eq!(
+            canonicalize_labels(&vgc.labels),
+            want_canon,
+            "{}: vgc labels",
+            entry.name
+        );
+
+        let bfs = scc_bfs_based(&g);
+        assert_eq!(bfs.num_sccs, want.num_sccs, "{}: bfs count", entry.name);
+        assert_eq!(
+            canonicalize_labels(&bfs.labels),
+            want_canon,
+            "{}: bfs labels",
+            entry.name
+        );
+
+        let ms = scc_multistep(&g).expect("within 32-bit limit");
+        assert_eq!(ms.num_sccs, want.num_sccs, "{}: multistep count", entry.name);
+        assert_eq!(
+            canonicalize_labels(&ms.labels),
+            want_canon,
+            "{}: multistep labels",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn bgss_family_agrees_on_representative_graphs() {
+    for name in ["LJ", "WK", "AF", "CH5", "REC"] {
+        let entry = pasgal_graph::gen::suite::by_name(name).unwrap();
+        let g = entry.build(SuiteScale::Tiny);
+        let want = scc_tarjan(&g);
+        let want_canon = canonicalize_labels(&want.labels);
+        let vgc = scc_bgss_vgc(&g, &VgcConfig::default());
+        assert_eq!(vgc.num_sccs, want.num_sccs, "{name}: bgss-vgc count");
+        assert_eq!(
+            canonicalize_labels(&vgc.labels),
+            want_canon,
+            "{name}: bgss-vgc labels"
+        );
+        let bfs = scc_bgss_bfs(&g);
+        assert_eq!(bfs.num_sccs, want.num_sccs, "{name}: bgss-bfs count");
+        assert_eq!(
+            canonicalize_labels(&bfs.labels),
+            want_canon,
+            "{name}: bgss-bfs labels"
+        );
+    }
+}
+
+#[test]
+fn scc_vgc_rounds_beat_bfs_rounds_on_road_and_grid() {
+    for name in ["AF", "REC"] {
+        let entry = pasgal_graph::gen::suite::by_name(name).unwrap();
+        let g = entry.build(SuiteScale::Tiny);
+        let vgc = scc_vgc(&g, &VgcConfig::default());
+        let bfs = scc_bfs_based(&g);
+        assert_eq!(vgc.num_sccs, bfs.num_sccs);
+        assert!(
+            vgc.stats.rounds < bfs.stats.rounds,
+            "{name}: vgc {} !< bfs {}",
+            vgc.stats.rounds,
+            bfs.stats.rounds
+        );
+    }
+}
+
+#[test]
+fn scc_labels_are_members_of_their_component() {
+    let g = pasgal_graph::gen::suite::by_name("LJ")
+        .unwrap()
+        .build(SuiteScale::Tiny);
+    let r = scc_vgc(&g, &VgcConfig::default());
+    for (v, &l) in r.labels.iter().enumerate() {
+        assert!((l as usize) < g.num_vertices(), "label out of range at {v}");
+        assert_eq!(r.labels[l as usize], l, "label {l} is not its own rep");
+    }
+}

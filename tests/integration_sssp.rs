@@ -1,0 +1,81 @@
+//! Cross-crate integration: all SSSP implementations agree with Dijkstra
+//! on the weighted suite.
+
+use pasgal_core::common::VgcConfig;
+use pasgal_core::sssp::stepping::RhoConfig;
+use pasgal_core::sssp::{
+    sssp_bellman_ford, sssp_delta_stepping, sssp_dijkstra, sssp_rho_stepping,
+};
+use pasgal_graph::gen::suite::{SuiteScale, SUITE};
+use pasgal_graph::gen::with_random_weights;
+
+#[test]
+fn all_sssp_agree_on_the_weighted_suite() {
+    for entry in SUITE {
+        let g0 = entry.build(SuiteScale::Tiny);
+        let g = with_random_weights(&g0, 42, 1 << 10);
+        let want = sssp_dijkstra(&g, 0).dist;
+
+        let bf = sssp_bellman_ford(&g, 0);
+        assert_eq!(bf.dist, want, "{}: bellman-ford", entry.name);
+
+        let ds = sssp_delta_stepping(&g, 0, 256);
+        assert_eq!(ds.dist, want, "{}: delta-stepping", entry.name);
+
+        let rs = sssp_rho_stepping(&g, 0, &RhoConfig::default());
+        assert_eq!(rs.dist, want, "{}: rho-stepping", entry.name);
+    }
+}
+
+#[test]
+fn rho_stepping_rounds_beat_bellman_ford_on_large_diameter() {
+    for name in ["AF", "REC", "GL5"] {
+        let entry = pasgal_graph::gen::suite::by_name(name).unwrap();
+        let g = with_random_weights(&entry.build(SuiteScale::Tiny), 7, 100);
+        let bf = sssp_bellman_ford(&g, 0);
+        let rs = sssp_rho_stepping(&g, 0, &RhoConfig::default());
+        assert_eq!(bf.dist, rs.dist, "{name}");
+        assert!(
+            rs.stats.rounds < bf.stats.rounds,
+            "{name}: rho {} !< bf {}",
+            rs.stats.rounds,
+            bf.stats.rounds
+        );
+    }
+}
+
+#[test]
+fn delta_parameter_sweep_is_correct() {
+    let g = with_random_weights(
+        &pasgal_graph::gen::suite::by_name("NA")
+            .unwrap()
+            .build(SuiteScale::Tiny),
+        3,
+        1 << 12,
+    );
+    let want = sssp_dijkstra(&g, 0).dist;
+    for delta in [1, 64, 4096, 1 << 20] {
+        assert_eq!(sssp_delta_stepping(&g, 0, delta).dist, want, "Δ={delta}");
+    }
+}
+
+#[test]
+fn rho_and_tau_sweep_is_correct() {
+    let g = with_random_weights(
+        &pasgal_graph::gen::suite::by_name("CH5")
+            .unwrap()
+            .build(SuiteScale::Tiny),
+        9,
+        1 << 8,
+    );
+    let want = sssp_dijkstra(&g, 0).dist;
+    for rho in [8, 1024, 1 << 20] {
+        for tau in [4, 512] {
+            let cfg = RhoConfig {
+                rho,
+                vgc: VgcConfig::with_tau(tau),
+            };
+            assert_eq!(sssp_rho_stepping(&g, 0, &cfg).dist, want, "ρ={rho} τ={tau}");
+        }
+    }
+}

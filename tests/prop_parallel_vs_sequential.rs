@@ -1,0 +1,272 @@
+//! Property-based tests: on arbitrary random graphs, every parallel
+//! algorithm must agree with its sequential oracle, and the substrate
+//! structures must obey their invariants.
+
+use proptest::prelude::*;
+
+use pasgal_core::bcc::{bcc_fast, bcc_hopcroft_tarjan, bcc_tarjan_vishkin};
+use pasgal_core::bfs::flat::{bfs_flat, DirOptConfig};
+use pasgal_core::bfs::seq::bfs_seq;
+use pasgal_core::bfs::vgc::bfs_vgc;
+use pasgal_core::cc::{connectivity, spanning_forest};
+use pasgal_core::common::{canonicalize_labels, VgcConfig};
+use pasgal_core::scc::{scc_multistep, scc_tarjan, scc_vgc};
+use pasgal_core::sssp::stepping::RhoConfig;
+use pasgal_core::sssp::{sssp_delta_stepping, sssp_dijkstra, sssp_rho_stepping};
+use pasgal_graph::builder::{from_edges, from_edges_symmetric, from_weighted_edges};
+use pasgal_graph::csr::Graph;
+
+/// Strategy: a directed graph as (n, edge list).
+fn directed_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2..max_n).prop_flat_map(move |n| {
+        let edge = (0..n as u32, 0..n as u32);
+        (Just(n), proptest::collection::vec(edge, 0..max_m))
+    })
+}
+
+fn build_directed(n: usize, edges: &[(u32, u32)]) -> Graph {
+    from_edges(n, edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bfs_vgc_matches_seq((n, edges) in directed_graph(60, 240), tau in 1usize..64) {
+        let g = build_directed(n, &edges);
+        let want = bfs_seq(&g, 0).dist;
+        let got = bfs_vgc(&g, 0, &VgcConfig::with_tau(tau));
+        prop_assert_eq!(got.dist, want);
+    }
+
+    #[test]
+    fn bfs_flat_matches_seq((n, edges) in directed_graph(60, 240)) {
+        let g = build_directed(n, &edges);
+        let want = bfs_seq(&g, 0).dist;
+        let got = bfs_flat(&g, 0, None, &DirOptConfig::default());
+        prop_assert_eq!(got.dist, want);
+    }
+
+    #[test]
+    fn scc_vgc_matches_tarjan((n, edges) in directed_graph(40, 160)) {
+        let g = build_directed(n, &edges);
+        let want = scc_tarjan(&g);
+        let got = scc_vgc(&g, &VgcConfig::with_tau(8));
+        prop_assert_eq!(got.num_sccs, want.num_sccs);
+        prop_assert_eq!(
+            canonicalize_labels(&got.labels),
+            canonicalize_labels(&want.labels)
+        );
+    }
+
+    #[test]
+    fn scc_bgss_matches_tarjan((n, edges) in directed_graph(35, 140), tau in 1usize..128) {
+        use pasgal_core::scc::bgss::scc_bgss_vgc;
+        let g = build_directed(n, &edges);
+        let want = scc_tarjan(&g);
+        let got = scc_bgss_vgc(&g, &VgcConfig::with_tau(tau));
+        prop_assert_eq!(got.num_sccs, want.num_sccs);
+        prop_assert_eq!(
+            canonicalize_labels(&got.labels),
+            canonicalize_labels(&want.labels)
+        );
+    }
+
+    #[test]
+    fn scc_multistep_matches_tarjan((n, edges) in directed_graph(40, 160)) {
+        let g = build_directed(n, &edges);
+        let want = scc_tarjan(&g);
+        let got = scc_multistep(&g).unwrap();
+        prop_assert_eq!(got.num_sccs, want.num_sccs);
+        prop_assert_eq!(
+            canonicalize_labels(&got.labels),
+            canonicalize_labels(&want.labels)
+        );
+    }
+
+    #[test]
+    fn bcc_fast_matches_hopcroft_tarjan((n, edges) in directed_graph(40, 120)) {
+        let g = from_edges_symmetric(n, &edges);
+        let want = bcc_hopcroft_tarjan(&g);
+        let got = bcc_fast(&g);
+        prop_assert_eq!(got.num_bccs, want.num_bccs);
+        prop_assert_eq!(
+            canonicalize_labels(&got.edge_labels),
+            canonicalize_labels(&want.edge_labels)
+        );
+    }
+
+    #[test]
+    fn bcc_tv_matches_hopcroft_tarjan((n, edges) in directed_graph(30, 90)) {
+        let g = from_edges_symmetric(n, &edges);
+        let want = bcc_hopcroft_tarjan(&g);
+        let got = bcc_tarjan_vishkin(&g);
+        prop_assert_eq!(got.num_bccs, want.num_bccs);
+        prop_assert_eq!(
+            canonicalize_labels(&got.edge_labels),
+            canonicalize_labels(&want.edge_labels)
+        );
+    }
+
+    #[test]
+    fn sssp_implementations_match_dijkstra(
+        (n, edges) in directed_graph(40, 160),
+        weights_seed in 0u64..1000,
+        delta in 1u64..64,
+    ) {
+        let ws: Vec<u32> = edges
+            .iter()
+            .enumerate()
+            .map(|(i, _)| ((weights_seed.wrapping_mul(31).wrapping_add(i as u64) % 50) + 1) as u32)
+            .collect();
+        let g = from_weighted_edges(n, &edges, &ws);
+        let want = sssp_dijkstra(&g, 0).dist;
+        prop_assert_eq!(&sssp_delta_stepping(&g, 0, delta).dist, &want);
+        let cfg = RhoConfig { rho: 8, vgc: VgcConfig::with_tau(16) };
+        prop_assert_eq!(&sssp_rho_stepping(&g, 0, &cfg).dist, &want);
+    }
+
+    #[test]
+    fn connectivity_labels_partition((n, edges) in directed_graph(50, 150)) {
+        let g = from_edges_symmetric(n, &edges);
+        let cc = connectivity(&g);
+        // labels must be idempotent representatives
+        for (v, &l) in cc.labels.iter().enumerate() {
+            prop_assert!((l as usize) <= v);
+            prop_assert_eq!(cc.labels[l as usize], l);
+        }
+        // endpoints of every edge share a label
+        for (u, v) in g.edges() {
+            prop_assert_eq!(cc.labels[u as usize], cc.labels[v as usize]);
+        }
+    }
+
+    #[test]
+    fn spanning_forest_is_spanning_and_acyclic((n, edges) in directed_graph(50, 150)) {
+        let g = from_edges_symmetric(n, &edges);
+        let cc = connectivity(&g);
+        let f = spanning_forest(&g);
+        prop_assert_eq!(f.edges.len(), n - cc.num_components);
+        // rebuilding a DSU from tree edges gives the same partition
+        let uf = pasgal_collections::union_find::ConcurrentUnionFind::new(n);
+        for &(a, b) in &f.edges {
+            prop_assert!(uf.unite(a, b), "cycle edge in forest");
+        }
+        prop_assert_eq!(uf.labels(), cc.labels);
+    }
+
+    #[test]
+    fn hashbag_is_a_multiset(items in proptest::collection::vec(0u32..1000, 0..2000)) {
+        let bag = pasgal_collections::hashbag::HashBag::new(items.len().max(1));
+        for &x in &items {
+            bag.insert(x);
+        }
+        let mut got = bag.extract_and_clear();
+        got.sort_unstable();
+        let mut want = items.clone();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn scan_matches_sequential(xs in proptest::collection::vec(0u64..1000, 0..500)) {
+        let (got, total) = pasgal_parlay::scan::scan_exclusive(&xs);
+        let mut acc = 0u64;
+        for (i, &x) in xs.iter().enumerate() {
+            prop_assert_eq!(got[i], acc);
+            acc += x;
+        }
+        prop_assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn counting_sort_matches_std(xs in proptest::collection::vec(0u32..64, 0..1000)) {
+        let got = pasgal_parlay::sort::counting_sort_by_key(&xs, 64, |&x| x as usize);
+        let mut want = xs.clone();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn kcore_peel_matches_bz((n, edges) in directed_graph(50, 200), tau in 1usize..512) {
+        let g = from_edges_symmetric(n, &edges);
+        let want = pasgal_core::kcore::kcore_seq(&g);
+        let got = pasgal_core::kcore::kcore_peel(&g, tau);
+        prop_assert_eq!(got.coreness, want.coreness);
+    }
+
+    #[test]
+    fn io_roundtrips_arbitrary_graphs(
+        (n, edges) in directed_graph(40, 120),
+        weighted in proptest::bool::ANY,
+        case in 0u64..u64::MAX,
+    ) {
+        let g = if weighted {
+            let ws: Vec<u32> = edges
+                .iter()
+                .enumerate()
+                .map(|(i, _)| (i as u32 % 97) + 1)
+                .collect();
+            from_weighted_edges(n, &edges, &ws)
+        } else {
+            from_edges(n, &edges)
+        };
+        let dir = std::env::temp_dir();
+        let tag = format!("{}_{case:x}", std::process::id());
+        let p_adj = dir.join(format!("pasgal_prop_{tag}.adj"));
+        let p_bin = dir.join(format!("pasgal_prop_{tag}.bin"));
+        pasgal_graph::io::write_adj(&g, &p_adj).unwrap();
+        pasgal_graph::io::write_bin(&g, &p_bin).unwrap();
+        let a = pasgal_graph::io::read_adj(&p_adj).unwrap();
+        let b = pasgal_graph::io::read_bin(&p_bin).unwrap();
+        let _ = std::fs::remove_file(&p_adj);
+        let _ = std::fs::remove_file(&p_bin);
+        prop_assert_eq!(g.offsets(), a.offsets());
+        prop_assert_eq!(g.targets(), a.targets());
+        prop_assert_eq!(g.weights(), a.weights());
+        prop_assert_eq!(&g, &b);
+    }
+
+    #[test]
+    fn euler_tour_invariants_hold((n, edges) in directed_graph(40, 120)) {
+        use pasgal_core::bcc::euler::{euler_tour, NO_PARENT};
+        let g = from_edges_symmetric(n, &edges);
+        let f = spanning_forest(&g);
+        let t = euler_tour(n, &f.edges, &f.labels);
+        for v in 0..n {
+            prop_assert!(t.first[v] < t.last[v]);
+            prop_assert!((t.last[v] as usize) < t.total_len);
+            let p = t.parent[v];
+            if p != NO_PARENT {
+                // child interval strictly nested in parent's
+                prop_assert!(t.first[p as usize] < t.first[v]);
+                prop_assert!(t.last[v] < t.last[p as usize]);
+            } else {
+                // roots are their component's min id
+                prop_assert_eq!(f.labels[v], v as u32);
+            }
+        }
+        // intervals nest or are disjoint (checked pairwise on a sample)
+        for v in (0..n).step_by(3) {
+            for w in (0..n).step_by(7) {
+                let nested = (t.first[v] <= t.first[w] && t.last[w] <= t.last[v])
+                    || (t.first[w] <= t.first[v] && t.last[v] <= t.last[w]);
+                let disjoint = t.last[v] < t.first[w] || t.last[w] < t.first[v];
+                prop_assert!(nested || disjoint, "v={} w={}", v, w);
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_direction_optimized_matches_on_directed(
+        (n, edges) in directed_graph(50, 300),
+    ) {
+        use pasgal_core::bfs::vgc::bfs_vgc_dir;
+        use pasgal_graph::transform::transpose;
+        let g = build_directed(n, &edges);
+        let t = transpose(&g);
+        let want = bfs_seq(&g, 0).dist;
+        let got = bfs_vgc_dir(&g, 0, Some(&t), &VgcConfig::with_tau(16));
+        prop_assert_eq!(got.dist, want);
+    }
+}
