@@ -14,7 +14,9 @@ fn bench_graph(c: &mut Criterion, name: &str) {
     grp.bench_function("pasgal_vgc", |b| {
         b.iter(|| black_box(scc_vgc(&g, &VgcConfig::default())))
     });
-    grp.bench_function("bfs_reach_gbbs", |b| b.iter(|| black_box(scc_bfs_based(&g))));
+    grp.bench_function("bfs_reach_gbbs", |b| {
+        b.iter(|| black_box(scc_bfs_based(&g)))
+    });
     grp.bench_function("multistep", |b| {
         b.iter(|| black_box(scc_multistep(&g).unwrap()))
     });

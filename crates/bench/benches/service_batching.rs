@@ -1,0 +1,113 @@
+//! Criterion: the service's micro-batching executor under concurrent
+//! point-to-point load.
+//!
+//! N clients ask for PTP distances from one source to N different
+//! targets. Unbatched, that is N full ρ-stepping runs; through the
+//! service, the single-flight batcher answers all N from **one**
+//! traversal (plus cache hits on repeats), which is the amortization the
+//! serving layer exists for.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pasgal_core::sssp::ptp::ptp_rho_stepping;
+use pasgal_core::sssp::stepping::RhoConfig;
+use pasgal_graph::gen::suite::{by_name, SuiteScale};
+use pasgal_service::{Query, Service, ServiceConfig};
+use std::sync::{Arc, Barrier};
+
+const CLIENTS: usize = 16;
+
+fn targets(n: usize) -> Vec<u32> {
+    (0..CLIENTS)
+        .map(|i| ((i * 2654435761) % n) as u32)
+        .collect()
+}
+
+fn bench_graph(c: &mut Criterion, name: &str) {
+    let g = by_name(name).unwrap().build(SuiteScale::Tiny);
+    let n = g.num_vertices();
+    let ts = targets(n);
+
+    let mut grp = c.benchmark_group(format!("service_batching/{name}"));
+    grp.sample_size(10);
+    grp.throughput(Throughput::Elements(CLIENTS as u64));
+
+    // Baseline: every client runs its own point-to-point traversal.
+    grp.bench_function("unbatched_ptp", |b| {
+        b.iter(|| {
+            let cfg = RhoConfig::default();
+            for &t in &ts {
+                black_box(ptp_rho_stepping(&g, 0, t, &cfg));
+            }
+        })
+    });
+
+    // Batched: concurrent clients against the service; same-source PTP
+    // queries coalesce onto one SSSP. A fresh service per iteration so
+    // the cache never carries over between samples.
+    grp.bench_function("service_batched", |b| {
+        b.iter(|| {
+            let svc = Arc::new(Service::new(ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            }));
+            svc.register("g", g.clone());
+            let barrier = Arc::new(Barrier::new(CLIENTS));
+            let handles: Vec<_> = ts
+                .iter()
+                .map(|&t| {
+                    let svc = Arc::clone(&svc);
+                    let barrier = Arc::clone(&barrier);
+                    std::thread::spawn(move || {
+                        barrier.wait();
+                        black_box(
+                            svc.query(&Query::Ptp {
+                                graph: "g".into(),
+                                src: 0,
+                                dst: t,
+                            })
+                            .unwrap(),
+                        )
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        })
+    });
+
+    // Warm path: the distance array is already cached, so all N queries
+    // are O(1) lookups.
+    let warm = Arc::new(Service::new(ServiceConfig::default()));
+    warm.register("g", g.clone());
+    warm.query(&Query::Ptp {
+        graph: "g".into(),
+        src: 0,
+        dst: ts[0],
+    })
+    .unwrap();
+    grp.bench_function("service_cached", |b| {
+        b.iter(|| {
+            for &t in &ts {
+                black_box(
+                    warm.query(&Query::Ptp {
+                        graph: "g".into(),
+                        src: 0,
+                        dst: t,
+                    })
+                    .unwrap(),
+                );
+            }
+        })
+    });
+
+    grp.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_graph(c, "NA"); // road-like: deep traversals, worst case for per-query cost
+    bench_graph(c, "OK"); // social-like: shallow but wide
+}
+
+criterion_group!(service_benches, benches);
+criterion_main!(service_benches);

@@ -2,9 +2,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pasgal_core::sssp::stepping::RhoConfig;
-use pasgal_core::sssp::{
-    sssp_bellman_ford, sssp_delta_stepping, sssp_dijkstra, sssp_rho_stepping,
-};
+use pasgal_core::sssp::{sssp_bellman_ford, sssp_delta_stepping, sssp_dijkstra, sssp_rho_stepping};
 use pasgal_graph::gen::suite::{by_name, SuiteScale};
 use pasgal_graph::gen::with_random_weights;
 
@@ -16,7 +14,9 @@ fn bench_graph(c: &mut Criterion, name: &str) {
     );
     let mut grp = c.benchmark_group(format!("sssp/{name}"));
     grp.sample_size(10);
-    grp.bench_function("dijkstra_seq", |b| b.iter(|| black_box(sssp_dijkstra(&g, 0))));
+    grp.bench_function("dijkstra_seq", |b| {
+        b.iter(|| black_box(sssp_dijkstra(&g, 0)))
+    });
     grp.bench_function("bellman_ford", |b| {
         b.iter(|| black_box(sssp_bellman_ford(&g, 0)))
     });

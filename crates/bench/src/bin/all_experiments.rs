@@ -34,8 +34,14 @@ fn main() {
         ("Table BFS", Box::new(experiments::table_bfs)),
         ("Table SSSP", Box::new(experiments::table_sssp)),
         ("Ablation A (τ)", Box::new(experiments::ablation_vgc)),
-        ("Ablation B (hash bag)", Box::new(experiments::ablation_hashbag)),
-        ("Ablation C (SSSP params)", Box::new(experiments::ablation_sssp_params)),
+        (
+            "Ablation B (hash bag)",
+            Box::new(experiments::ablation_hashbag),
+        ),
+        (
+            "Ablation C (SSSP params)",
+            Box::new(experiments::ablation_sssp_params),
+        ),
     ] {
         let t = Instant::now();
         println!("{}", f(scale));

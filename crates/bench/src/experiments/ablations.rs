@@ -3,13 +3,13 @@
 
 use crate::report::{fmt_secs, Table};
 use crate::runner::measure;
+use pasgal_collections::bitvec::AtomicBitVec;
+use pasgal_collections::hashbag::HashBag;
 use pasgal_core::bfs::seq::bfs_seq;
 use pasgal_core::bfs::vgc::bfs_vgc;
 use pasgal_core::common::VgcConfig;
 use pasgal_core::scc::{scc_tarjan, scc_vgc};
 use pasgal_graph::gen::suite::{by_name, SuiteScale};
-use pasgal_collections::bitvec::AtomicBitVec;
-use pasgal_collections::hashbag::HashBag;
 use pasgal_parlay::gran::par_for;
 use pasgal_parlay::pack::pack_index;
 use std::time::Instant;
@@ -120,11 +120,7 @@ pub fn ablation_hashbag(_scale: SuiteScale) -> String {
         par_for(64, 8, |i| v.push(i as u32));
         let _ = v.take();
     });
-    t.row(&[
-        "mutex<vec>".into(),
-        fmt_secs(dense_mx),
-        fmt_secs(sparse_mx),
-    ]);
+    t.row(&["mutex<vec>".into(), fmt_secs(dense_mx), fmt_secs(sparse_mx)]);
 
     // flag array + pack (O(n) scan per extraction regardless of contents)
     let flags = AtomicBitVec::new(N);
@@ -163,7 +159,10 @@ pub fn ablation_sssp_params(scale: SuiteScale) -> String {
         let seq = measure(|| ((), sssp_dijkstra(&g, 0).stats));
 
         let mut t = Table::new(
-            format!("Ablation C — Δ-stepping Δ sweep on {name} (Dijkstra* = {})", fmt_secs(seq.secs())),
+            format!(
+                "Ablation C — Δ-stepping Δ sweep on {name} (Dijkstra* = {})",
+                fmt_secs(seq.secs())
+            ),
             &["delta", "time", "rounds", "edges"],
         );
         for delta in [64u64, 256, 1024, 4096, 1 << 16] {

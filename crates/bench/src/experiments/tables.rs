@@ -4,9 +4,7 @@
 
 use crate::report::{fmt_secs, fmt_speedup, geo_mean, Table};
 use crate::runner::{measure, Measurement};
-use pasgal_core::bcc::{
-    bcc_bfs_based, bcc_fast, bcc_hopcroft_tarjan, bcc_tarjan_vishkin_budgeted,
-};
+use pasgal_core::bcc::{bcc_bfs_based, bcc_fast, bcc_hopcroft_tarjan, bcc_tarjan_vishkin_budgeted};
 use pasgal_core::bfs::flat::{bfs_flat, DirOptConfig};
 use pasgal_core::bfs::gap::bfs_gap;
 use pasgal_core::bfs::seq::bfs_seq;
@@ -14,9 +12,7 @@ use pasgal_core::bfs::vgc::bfs_vgc_dir;
 use pasgal_core::common::VgcConfig;
 use pasgal_core::scc::{scc_bfs_based, scc_multistep, scc_tarjan, scc_vgc};
 use pasgal_core::sssp::stepping::RhoConfig;
-use pasgal_core::sssp::{
-    sssp_bellman_ford, sssp_delta_stepping, sssp_dijkstra, sssp_rho_stepping,
-};
+use pasgal_core::sssp::{sssp_bellman_ford, sssp_delta_stepping, sssp_dijkstra, sssp_rho_stepping};
 use pasgal_graph::gen::suite::{Category, NamedGraph, SuiteScale, SUITE};
 use pasgal_graph::gen::with_random_weights;
 use pasgal_graph::stats::graph_info;
@@ -102,7 +98,14 @@ pub fn table_bfs(scale: SuiteScale) -> String {
     let mut t = Table::new(
         "BFS running time (s) — paper appendix Table, + machine-independent rounds",
         &[
-            "cat", "graph", "PASGAL", "GBBS", "GAPBS", "Queue*", "rnds(PASGAL)", "rnds(GBBS)",
+            "cat",
+            "graph",
+            "PASGAL",
+            "GBBS",
+            "GAPBS",
+            "Queue*",
+            "rnds(PASGAL)",
+            "rnds(GBBS)",
         ],
     );
     let mut geo = GeoAcc::new(4);
@@ -168,7 +171,13 @@ pub fn table_scc(scale: SuiteScale) -> String {
     let mut t = Table::new(
         "SCC running time (s) — paper appendix Table, + rounds",
         &[
-            "cat", "graph", "PASGAL", "GBBS", "Multistep", "Tarjan*", "rnds(PASGAL)",
+            "cat",
+            "graph",
+            "PASGAL",
+            "GBBS",
+            "Multistep",
+            "Tarjan*",
+            "rnds(PASGAL)",
             "rnds(GBBS)",
         ],
     );
@@ -257,8 +266,14 @@ pub fn table_bcc(scale: SuiteScale) -> String {
     let mut t = Table::new(
         "BCC running time (s) — paper appendix Table (TV budget reproduces o.o.m.)",
         &[
-            "cat", "graph", "PASGAL", "GBBS", "Tarjan-Vishkin", "Hopcroft-Tarjan*",
-            "rnds(PASGAL)", "rnds(GBBS)",
+            "cat",
+            "graph",
+            "PASGAL",
+            "GBBS",
+            "Tarjan-Vishkin",
+            "Hopcroft-Tarjan*",
+            "rnds(PASGAL)",
+            "rnds(GBBS)",
         ],
     );
     let budget = tv_budget();
@@ -316,8 +331,14 @@ pub fn table_sssp(scale: SuiteScale) -> String {
     let mut t = Table::new(
         "SSSP running time (s) — rho-stepping (PASGAL) vs Δ-stepping vs Bellman-Ford vs Dijkstra*",
         &[
-            "cat", "graph", "PASGAL", "Δ-stepping", "Bellman-Ford", "Dijkstra*",
-            "rnds(PASGAL)", "rnds(BF)",
+            "cat",
+            "graph",
+            "PASGAL",
+            "Δ-stepping",
+            "Bellman-Ford",
+            "Dijkstra*",
+            "rnds(PASGAL)",
+            "rnds(BF)",
         ],
     );
     let mut geo = GeoAcc::new(4);

@@ -14,14 +14,17 @@
 //!   ptp        point-to-point distance --src → --dst
 //!   stats      graph statistics (the Table-1 row)
 //!   gen        generate a suite graph: pasgal gen <NAME> <out-file>
+//!   serve      start the query service: pasgal serve [graph-files...]
 //!
 //! options:
 //!   --algo <name>     implementation to use (default: the PASGAL one;
 //!                     see --help output per command for alternatives)
 //!   --src N --dst N   source/target vertex
 //!   --tau N           VGC budget (default 512)
-//!   --threads N       rayon worker threads (default: all)
+//!   --threads N       rayon worker threads (default: all; must be ≥ 1)
 //!   --scale tiny|small|full   for `gen` (default small)
+//!   --host H --port N         for `serve` (default 127.0.0.1:7421)
+//!   --workers N --queue N --timeout-ms N --cache N   service tuning
 //! ```
 //!
 //! Graph format is chosen by extension: `.adj` (PBBS text), `.bin`
@@ -98,6 +101,22 @@ impl Cli {
     }
 }
 
+/// Validate `--threads`: absent is fine (0 = use every core), but an
+/// explicit value must parse and be in `1..=4096`. Callers apply the
+/// result to the global pool; this only validates.
+pub fn threads_option(cli: &Cli) -> Result<usize, UsageError> {
+    let t = cli.num("threads", 0)?;
+    if cli.options.contains_key("threads") && t == 0 {
+        return Err(UsageError("--threads must be at least 1".into()));
+    }
+    if t > 4096 {
+        return Err(UsageError(format!(
+            "--threads {t} is not a sane thread count"
+        )));
+    }
+    Ok(t as usize)
+}
+
 /// Load a graph by file extension.
 pub fn load_graph(path: &str) -> Result<Graph, String> {
     let p = Path::new(path);
@@ -108,6 +127,67 @@ pub fn load_graph(path: &str) -> Result<Graph, String> {
         _ => io::read_edge_list(p),
     };
     res.map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+/// Build the query service for `pasgal serve`: parse the tuning options,
+/// register every positional graph file under its file stem, and bind the
+/// TCP server. Returns both so the caller controls their lifetime.
+pub fn start_service(
+    cli: &Cli,
+) -> Result<
+    (
+        std::sync::Arc<pasgal_service::Service>,
+        pasgal_service::Server,
+    ),
+    String,
+> {
+    use pasgal_service::{Server, Service, ServiceConfig};
+
+    threads_option(cli).map_err(|e| e.to_string())?;
+    let defaults = ServiceConfig::default();
+    let workers = cli
+        .num("workers", defaults.workers as u64)
+        .map_err(|e| e.to_string())? as usize;
+    let queue = cli
+        .num("queue", defaults.queue_capacity as u64)
+        .map_err(|e| e.to_string())? as usize;
+    let timeout_ms = cli
+        .num("timeout-ms", defaults.query_timeout.as_millis() as u64)
+        .map_err(|e| e.to_string())?;
+    let cache = cli
+        .num("cache", defaults.cache_capacity as u64)
+        .map_err(|e| e.to_string())? as usize;
+    let tau = cli
+        .num("tau", defaults.tau as u64)
+        .map_err(|e| e.to_string())? as usize;
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    if queue == 0 {
+        return Err("--queue must be at least 1".into());
+    }
+    let config = ServiceConfig {
+        workers,
+        queue_capacity: queue,
+        query_timeout: std::time::Duration::from_millis(timeout_ms),
+        cache_capacity: cache.max(1),
+        tau: tau.max(1),
+    };
+    let service = std::sync::Arc::new(Service::new(config));
+    for file in &cli.positional {
+        let name = Path::new(file)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(file.as_str())
+            .to_string();
+        let g = load_graph(file)?;
+        service.register(&name, g);
+    }
+    let host = cli.opt("host", "127.0.0.1");
+    let port = cli.num("port", 7421).map_err(|e| e.to_string())?;
+    let server = Server::spawn(std::sync::Arc::clone(&service), &format!("{host}:{port}"))
+        .map_err(|e| format!("cannot bind {host}:{port}: {e}"))?;
+    Ok((service, server))
 }
 
 /// Run a parsed command against a loaded graph world. Returns the text to
@@ -145,6 +225,24 @@ pub fn run(cli: &Cli) -> Result<String, String> {
                 g.num_edges()
             ));
         }
+        "serve" => {
+            let (service, server) = start_service(cli)?;
+            let listing = service
+                .catalog()
+                .list()
+                .into_iter()
+                .map(|(name, n, m)| format!("  {name}: n = {n}, m = {m}"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            let mut out = format!("pasgal-service listening on {}", server.local_addr());
+            if !listing.is_empty() {
+                out.push_str(&format!("\nregistered graphs:\n{listing}"));
+            }
+            // `run` is the testable core; main keeps the server alive.
+            std::mem::forget(server);
+            std::mem::forget(service);
+            return Ok(out);
+        }
         "stats" | "bfs" | "sssp" | "scc" | "bcc" | "cc" | "kcore" | "ptp" | "validate" => {}
         other => return usage_err(&format!("unknown command {other:?}")),
     }
@@ -152,6 +250,7 @@ pub fn run(cli: &Cli) -> Result<String, String> {
     let [file] = cli.positional.as_slice() else {
         return usage_err("usage: pasgal <command> <graph-file> [options]");
     };
+    threads_option(cli).map_err(|e| e.to_string())?;
     let g = load_graph(file)?;
     let n = g.num_vertices();
     if n == 0 {
@@ -215,7 +314,11 @@ pub fn run(cli: &Cli) -> Result<String, String> {
         "sssp" => {
             let r = match algo.as_str() {
                 "seq" | "dijkstra" => sssp::sssp_dijkstra(&g, src),
-                "delta" => sssp::sssp_delta_stepping(&g, src, cli.num("delta", 1024).map_err(|e| e.to_string())?),
+                "delta" => sssp::sssp_delta_stepping(
+                    &g,
+                    src,
+                    cli.num("delta", 1024).map_err(|e| e.to_string())?,
+                ),
                 "bf" | "bellman-ford" => sssp::sssp_bellman_ford(&g, src),
                 _ => sssp::sssp_rho_stepping(&g, src, &sssp::stepping::RhoConfig::default()),
             };
@@ -277,12 +380,9 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             let r = match algo.as_str() {
                 "seq" | "dijkstra" => sssp::ptp::ptp_dijkstra(&g, src, dst),
                 "bidi" => sssp::ptp::ptp_bidirectional_auto(&g, src, dst),
-                _ => sssp::ptp::ptp_rho_stepping(
-                    &g,
-                    src,
-                    dst,
-                    &sssp::stepping::RhoConfig::default(),
-                ),
+                _ => {
+                    sssp::ptp::ptp_rho_stepping(&g, src, dst, &sssp::stepping::RhoConfig::default())
+                }
             };
             if r.distance == u64::MAX {
                 format!("ptp {src} → {dst}: unreachable (settled {})", r.settled)
@@ -404,5 +504,85 @@ mod tests {
         let e = run(&cli(&["bfs", p.to_str().unwrap(), "--src", "999999"]));
         assert!(e.is_err());
         std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn threads_option_validated() {
+        assert_eq!(threads_option(&cli(&["bfs", "g"])).unwrap(), 0);
+        assert_eq!(
+            threads_option(&cli(&["bfs", "g", "--threads", "4"])).unwrap(),
+            4
+        );
+        assert!(threads_option(&cli(&["bfs", "g", "--threads", "0"])).is_err());
+        assert!(threads_option(&cli(&["bfs", "g", "--threads", "abc"])).is_err());
+        assert!(threads_option(&cli(&["bfs", "g", "--threads", "-3"])).is_err());
+        assert!(threads_option(&cli(&["bfs", "g", "--threads", "99999"])).is_err());
+        // run() surfaces the same error instead of silently ignoring it
+        let p = write_fixture();
+        let e = run(&cli(&["bfs", p.to_str().unwrap(), "--threads", "0"]));
+        assert!(e.is_err(), "{e:?}");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn dst_out_of_range_is_usage_error() {
+        let p = write_fixture();
+        let f = p.to_str().unwrap();
+        let e = run(&cli(&["ptp", f, "--dst", "54"])).unwrap_err();
+        assert!(e.contains("out of range"), "{e}");
+        let e = run(&cli(&["ptp", f, "--dst", "x"])).unwrap_err();
+        assert!(e.contains("expects a number"), "{e}");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn serve_starts_and_answers_over_tcp() {
+        use std::io::{BufRead, BufReader, Write};
+
+        let p = write_fixture();
+        let out = run(&cli(&[
+            "serve",
+            p.to_str().unwrap(),
+            "--port",
+            "0",
+            "--workers",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("listening on"), "{out}");
+        let addr = out
+            .lines()
+            .next()
+            .unwrap()
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .to_string();
+        // graph registered under its file stem
+        let stem = p.file_stem().unwrap().to_str().unwrap();
+        assert!(out.contains(stem), "{out}");
+
+        let stream = std::net::TcpStream::connect(&addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writer
+            .write_all(
+                format!("{{\"op\":\"bfs\",\"graph\":{stem:?},\"src\":0,\"target\":53}}\n")
+                    .as_bytes(),
+            )
+            .unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"dist\":13"), "{line}");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn serve_rejects_bad_options() {
+        assert!(run(&cli(&["serve", "--workers", "0"])).is_err());
+        assert!(run(&cli(&["serve", "--queue", "0"])).is_err());
+        assert!(run(&cli(&["serve", "/no/such/graph.bin", "--port", "0"])).is_err());
+        assert!(run(&cli(&["serve", "--port", "99999999"])).is_err());
     }
 }

@@ -6,12 +6,14 @@ fn main() {
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" || args[0] == "help" {
         eprintln!(
             "usage: pasgal <command> <graph-file> [options]\n\
-             commands: bfs sssp scc bcc cc kcore ptp stats validate gen\n\
+             commands: bfs sssp scc bcc cc kcore ptp stats validate gen serve\n\
              options:  --algo NAME --src N --dst N --tau N --delta N\n\
                        --threads N --scale tiny|small|full\n\
+             serve:    --host H --port N --workers N --queue N\n\
+                       --timeout-ms N --cache N (graphs register by stem)\n\
              formats:  .adj (PBBS text), .bin (binary CSR), else edge list\n\
              examples: pasgal gen NA road.bin && pasgal bfs road.bin --src 0\n\
-                       pasgal scc web.adj --algo bgss-vgc --tau 1024"
+                       pasgal serve road.bin --port 7421"
         );
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
@@ -24,12 +26,18 @@ fn main() {
         }
     };
 
-    // Configure the global pool before any parallel work.
-    if let Ok(t) = cli.num("threads", 0) {
-        if t > 0 {
+    // Configure the global pool before any parallel work. A malformed
+    // --threads is a usage error, not something to ignore silently.
+    match pasgal_cli::threads_option(&cli) {
+        Ok(0) => {}
+        Ok(t) => {
             let _ = rayon::ThreadPoolBuilder::new()
-                .num_threads(t as usize)
+                .num_threads(t)
                 .build_global();
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
         }
     }
 
@@ -37,6 +45,12 @@ fn main() {
     match pasgal_cli::run(&cli) {
         Ok(out) => {
             println!("{out}");
+            if cli.command == "serve" {
+                // keep the forgotten server and its workers alive
+                loop {
+                    std::thread::park();
+                }
+            }
             eprintln!("[{:.2?}]", t0.elapsed());
         }
         Err(e) => {

@@ -108,7 +108,10 @@ macro_rules! atomic_array {
             /// Copy out to a plain vector (parallel-safe snapshot under
             /// quiescence).
             pub fn to_vec(&self) -> Vec<$prim> {
-                self.data.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+                self.data
+                    .iter()
+                    .map(|a| a.load(Ordering::Relaxed))
+                    .collect()
             }
 
             /// Build from a plain vector.

@@ -12,9 +12,9 @@ use super::BccResult;
 use crate::bfs::flat::{bfs_flat, DirOptConfig};
 use crate::common::{AlgoStats, UNREACHED};
 use pasgal_collections::union_find::ConcurrentUnionFind;
-use pasgal_parlay::counters::Counters;
 use pasgal_graph::csr::Graph;
 use pasgal_graph::VertexId;
+use pasgal_parlay::counters::Counters;
 
 /// GBBS-style BCC: BFS spanning forest + Euler-tour labeling.
 pub fn bcc_bfs_based(g: &Graph) -> BccResult {
@@ -32,7 +32,7 @@ pub fn bcc_bfs_based(g: &Graph) -> BccResult {
         }
         let r = bfs_flat(g, root, None, &DirOptConfig::default());
         counters.add_round(); // component boundary
-        // fold the BFS stats (its rounds are the expensive part)
+                              // fold the BFS stats (its rounds are the expensive part)
         counters.add_tasks(r.stats.tasks);
         counters.add_edges(r.stats.edges_traversed);
         for _ in 0..r.stats.rounds {

@@ -370,8 +370,7 @@ mod tests {
     #[test]
     fn forest_with_multiple_trees_and_isolated() {
         // two components {0,1,2} and {3,4}, plus isolated 5
-        let g =
-            pasgal_graph::builder::from_edges_symmetric(6, &[(0, 1), (1, 2), (3, 4)]);
+        let g = pasgal_graph::builder::from_edges_symmetric(6, &[(0, 1), (1, 2), (3, 4)]);
         let t = tour_of(&g);
         check_invariants(&t, 6);
         assert_eq!(t.parent[0], NO_PARENT);
@@ -391,8 +390,7 @@ mod tests {
         let got_min = t.subtree_min(&vals);
         let got_max = t.subtree_max(&vals);
         for v in 0..31u32 {
-            let members: Vec<usize> =
-                (0..31).filter(|&w| t.is_ancestor(v, w as u32)).collect();
+            let members: Vec<usize> = (0..31).filter(|&w| t.is_ancestor(v, w as u32)).collect();
             let want_min = members.iter().map(|&w| vals[w]).min().unwrap();
             let want_max = members.iter().map(|&w| vals[w]).max().unwrap();
             assert_eq!(got_min[v as usize], want_min, "min at {v}");

@@ -28,8 +28,8 @@ use super::{edge_list_canonical, BccResult};
 use crate::cc::spanning_forest;
 use crate::common::AlgoStats;
 use pasgal_collections::union_find::ConcurrentUnionFind;
-use pasgal_parlay::counters::Counters;
 use pasgal_graph::csr::Graph;
+use pasgal_parlay::counters::Counters;
 use rayon::prelude::*;
 
 /// `low`/`high` arrays: min/max `first(x)` over non-tree neighbors of the
@@ -79,34 +79,40 @@ pub(crate) fn cluster_unions(
 ) {
     let n = g.num_vertices();
     // Tree rule.
-    (0..n as u32).into_par_iter().with_min_len(512).for_each(|v| {
-        counters.add_tasks(1);
-        let u = tour.parent[v as usize];
-        if u == NO_PARENT || tour.parent[u as usize] == NO_PARENT {
-            // v is a root (no parent edge), or u is a root (the rule links
-            // (u,v) with (p(u),u), which does not exist)
-            return;
-        }
-        let escapes =
-            low[v as usize] < tour.first[u as usize] || high[v as usize] > tour.last[u as usize];
-        if escapes {
-            uf.unite(v, u);
-        }
-    });
-    // Non-tree rule.
-    (0..n as u32).into_par_iter().with_min_len(256).for_each(|u| {
-        for &v in g.neighbors(u) {
-            counters.add_edges(1);
-            if u < v
-                && tour.parent[u as usize] != v
-                && tour.parent[v as usize] != u
-                && !tour.is_ancestor(u, v)
-                && !tour.is_ancestor(v, u)
-            {
-                uf.unite(u, v);
+    (0..n as u32)
+        .into_par_iter()
+        .with_min_len(512)
+        .for_each(|v| {
+            counters.add_tasks(1);
+            let u = tour.parent[v as usize];
+            if u == NO_PARENT || tour.parent[u as usize] == NO_PARENT {
+                // v is a root (no parent edge), or u is a root (the rule links
+                // (u,v) with (p(u),u), which does not exist)
+                return;
             }
-        }
-    });
+            let escapes = low[v as usize] < tour.first[u as usize]
+                || high[v as usize] > tour.last[u as usize];
+            if escapes {
+                uf.unite(v, u);
+            }
+        });
+    // Non-tree rule.
+    (0..n as u32)
+        .into_par_iter()
+        .with_min_len(256)
+        .for_each(|u| {
+            for &v in g.neighbors(u) {
+                counters.add_edges(1);
+                if u < v
+                    && tour.parent[u as usize] != v
+                    && tour.parent[v as usize] != u
+                    && !tour.is_ancestor(u, v)
+                    && !tour.is_ancestor(v, u)
+                {
+                    uf.unite(u, v);
+                }
+            }
+        });
 }
 
 /// Read edge labels off the clusters: the parent tree edge of `v` belongs
@@ -213,10 +219,7 @@ mod tests {
 
     #[test]
     fn barbell_with_bridge() {
-        let g = from_edges_symmetric(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        );
+        let g = from_edges_symmetric(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
         check(&g);
         let r = bcc_fast(&g);
         assert_eq!(bridges(&r.edge_labels).iter().filter(|&&b| b).count(), 1);

@@ -23,7 +23,7 @@ pub fn bcc_hopcroft_tarjan(g: &Graph) -> BccResult {
     let mut low = vec![0u32; n];
     let mut timer = 0u32;
     let mut edge_stack: Vec<usize> = Vec::new(); // canonical edge ids
-    // frame: (vertex, parent, next neighbor position)
+                                                 // frame: (vertex, parent, next neighbor position)
     let mut frames: Vec<(u32, u32, usize)> = Vec::new();
     let mut edges_scanned = 0u64;
 
@@ -149,10 +149,7 @@ mod tests {
     #[test]
     fn barbell_two_cliques_and_a_bridge() {
         // clique {0,1,2}, clique {3,4,5}, bridge (2,3)
-        let g = from_edges_symmetric(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        );
+        let g = from_edges_symmetric(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
         let r = bcc_hopcroft_tarjan(&g);
         assert_eq!(r.num_bccs, 3);
         let br = bridges(&r.edge_labels);

@@ -53,7 +53,10 @@ pub struct BccResult {
 /// CSR iteration order. Every BCC implementation indexes its output by
 /// this list.
 pub fn edge_list_canonical(g: &Graph) -> Vec<(VertexId, VertexId)> {
-    assert!(g.is_symmetric(), "BCC requires an undirected (symmetric) graph");
+    assert!(
+        g.is_symmetric(),
+        "BCC requires an undirected (symmetric) graph"
+    );
     let mut out = Vec::with_capacity(g.num_edges() / 2);
     for u in 0..g.num_vertices() as u32 {
         for &v in g.neighbors(u) {
@@ -152,7 +155,10 @@ mod tests {
     #[test]
     fn canonical_edge_list_orders_by_min_endpoint() {
         let g = cycle(4);
-        assert_eq!(edge_list_canonical(&g), vec![(0, 1), (0, 3), (1, 2), (2, 3)]);
+        assert_eq!(
+            edge_list_canonical(&g),
+            vec![(0, 1), (0, 3), (1, 2), (2, 3)]
+        );
     }
 
     #[test]

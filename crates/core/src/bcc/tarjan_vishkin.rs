@@ -17,9 +17,9 @@ use super::BccResult;
 use crate::cc::spanning_forest;
 use crate::common::AlgoStats;
 use pasgal_collections::union_find::ConcurrentUnionFind;
-use pasgal_parlay::counters::Counters;
 use pasgal_graph::csr::Graph;
 use pasgal_graph::VertexId;
+use pasgal_parlay::counters::Counters;
 use rayon::prelude::*;
 
 /// The auxiliary graph would not fit in the configured space budget —
@@ -85,24 +85,20 @@ pub fn bcc_tarjan_vishkin_budgeted(
     }));
     // non-tree rule
     let tour_ref = &tour;
-    aux_edges.par_extend(
-        (0..n as u32)
-            .into_par_iter()
-            .flat_map_iter(move |u| {
-                g.neighbors(u)
-                    .iter()
-                    .filter(move |&&v| {
-                        u < v
-                            && tour_ref.parent[u as usize] != v
-                            && tour_ref.parent[v as usize] != u
-                            && !tour_ref.is_ancestor(u, v)
-                            && !tour_ref.is_ancestor(v, u)
-                    })
-                    .map(move |&v| (u, v))
-                    .collect::<Vec<_>>()
-                    .into_iter()
-            }),
-    );
+    aux_edges.par_extend((0..n as u32).into_par_iter().flat_map_iter(move |u| {
+        g.neighbors(u)
+            .iter()
+            .filter(move |&&v| {
+                u < v
+                    && tour_ref.parent[u as usize] != v
+                    && tour_ref.parent[v as usize] != u
+                    && !tour_ref.is_ancestor(u, v)
+                    && !tour_ref.is_ancestor(v, u)
+            })
+            .map(move |&v| (u, v))
+            .collect::<Vec<_>>()
+            .into_iter()
+    }));
     counters.add_edges(g.num_edges() as u64);
     counters.add_tasks(n as u64);
 

@@ -20,10 +20,10 @@
 use crate::common::{AlgoStats, BfsResult, UNREACHED};
 use pasgal_collections::atomic_array::AtomicU32Array;
 use pasgal_collections::bitvec::AtomicBitVec;
-use pasgal_parlay::counters::Counters;
-use pasgal_parlay::pack::{filter_map_index, pack_index};
 use pasgal_graph::csr::Graph;
 use pasgal_graph::VertexId;
+use pasgal_parlay::counters::Counters;
+use pasgal_parlay::pack::{filter_map_index, pack_index};
 use rayon::prelude::*;
 
 /// Direction-optimization thresholds.
@@ -179,7 +179,10 @@ mod tests {
         let g = random_directed(300, 1500, 7);
         let t = transpose(&g);
         let want = bfs_seq(&g, 3).dist;
-        assert_eq!(bfs_flat(&g, 3, Some(&t), &DirOptConfig::default()).dist, want);
+        assert_eq!(
+            bfs_flat(&g, 3, Some(&t), &DirOptConfig::default()).dist,
+            want
+        );
         // and without dense phase
         assert_eq!(bfs_flat(&g, 3, None, &DirOptConfig::default()).dist, want);
     }
@@ -188,7 +191,10 @@ mod tests {
     fn dense_mode_triggers_on_star() {
         // star from center: frontier of n-1 leaves, heavy out-edges
         let g = star(10_000);
-        let cfg = DirOptConfig { alpha: 1000, beta: 2 };
+        let cfg = DirOptConfig {
+            alpha: 1000,
+            beta: 2,
+        };
         let r = bfs_flat(&g, 0, None, &cfg);
         assert_eq!(bfs_seq(&g, 0).dist, r.dist);
     }

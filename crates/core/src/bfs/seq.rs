@@ -73,7 +73,11 @@ mod tests {
     #[test]
     fn clique_diameter_one() {
         let r = bfs_seq(&clique(5), 2);
-        assert!(r.dist.iter().enumerate().all(|(v, &d)| d == u32::from(v != 2)));
+        assert!(r
+            .dist
+            .iter()
+            .enumerate()
+            .all(|(v, &d)| d == u32::from(v != 2)));
     }
 
     #[test]

@@ -32,16 +32,16 @@
 //! are available, a round switches to a dense bottom-up step (Beamer
 //! direction optimization), exactly like the paper.
 
-use crate::common::{AlgoStats, BfsResult, UNREACHED, VgcConfig};
+use crate::common::{AlgoStats, BfsResult, VgcConfig, UNREACHED};
 use crate::vgc::local_search_fifo_multi;
 use pasgal_collections::atomic_array::AtomicU32Array;
 use pasgal_collections::bitvec::AtomicBitVec;
 use pasgal_collections::hashbag::HashBag;
+use pasgal_graph::csr::Graph;
+use pasgal_graph::VertexId;
 use pasgal_parlay::counters::Counters;
 use pasgal_parlay::gran::par_for;
 use pasgal_parlay::pack::filter_map_index;
-use pasgal_graph::csr::Graph;
-use pasgal_graph::VertexId;
 use rayon::prelude::*;
 
 /// Number of geometric frontier bags: bag `i` covers offsets
@@ -281,14 +281,10 @@ mod tests {
     #[test]
     fn far_fewer_rounds_than_flat_bfs_on_chain() {
         let g = path_directed(4000);
-        let flat_rounds = crate::bfs::flat::bfs_flat(
-            &g,
-            0,
-            None,
-            &crate::bfs::flat::DirOptConfig::default(),
-        )
-        .stats
-        .rounds;
+        let flat_rounds =
+            crate::bfs::flat::bfs_flat(&g, 0, None, &crate::bfs::flat::DirOptConfig::default())
+                .stats
+                .rounds;
         let vgc_rounds = bfs_vgc(&g, 0, &VgcConfig::with_tau(512)).stats.rounds;
         assert_eq!(flat_rounds, 4000);
         assert!(
@@ -302,12 +298,8 @@ mod tests {
         // wide-and-narrow grid: the case where exact-distance bucketing
         // degenerated to one round per level
         let g = grid2d_directed(20, 192, 0.55, 302);
-        let flat = crate::bfs::flat::bfs_flat(
-            &g,
-            0,
-            None,
-            &crate::bfs::flat::DirOptConfig::default(),
-        );
+        let flat =
+            crate::bfs::flat::bfs_flat(&g, 0, None, &crate::bfs::flat::DirOptConfig::default());
         let vgc = bfs_vgc(&g, 0, &VgcConfig::default());
         assert_eq!(flat.dist, vgc.dist);
         assert!(

@@ -9,9 +9,9 @@
 
 use crate::common::AlgoStats;
 use pasgal_collections::union_find::ConcurrentUnionFind;
-use pasgal_parlay::counters::Counters;
 use pasgal_graph::csr::Graph;
 use pasgal_graph::VertexId;
+use pasgal_parlay::counters::Counters;
 use rayon::prelude::*;
 
 /// Connectivity output.
@@ -40,13 +40,16 @@ pub fn connectivity(g: &Graph) -> CcResult {
     let n = g.num_vertices();
     let counters = Counters::new();
     let uf = ConcurrentUnionFind::new(n);
-    (0..n as u32).into_par_iter().with_min_len(512).for_each(|u| {
-        counters.add_tasks(1);
-        for &v in g.neighbors(u) {
-            counters.add_edges(1);
-            uf.unite(u, v);
-        }
-    });
+    (0..n as u32)
+        .into_par_iter()
+        .with_min_len(512)
+        .for_each(|u| {
+            counters.add_tasks(1);
+            for &v in g.neighbors(u) {
+                counters.add_edges(1);
+                uf.unite(u, v);
+            }
+        });
     counters.add_round();
     let labels = uf.labels();
     let num_components = uf.count_sets();
@@ -128,7 +131,7 @@ mod tests {
         let g = grid2d(5, 8);
         let f = spanning_forest(&g);
         assert_eq!(f.edges.len(), 39); // n - 1 for a connected graph
-        // forest connects everything: rebuild a DSU from the tree edges
+                                       // forest connects everything: rebuild a DSU from the tree edges
         let uf = ConcurrentUnionFind::new(40);
         for &(u, v) in &f.edges {
             assert!(uf.unite(u, v), "cycle edge in forest: ({u}, {v})");
@@ -159,11 +162,7 @@ mod tests {
     #[test]
     fn path_forest_is_the_path() {
         let f = spanning_forest(&path(5));
-        let mut es: Vec<_> = f
-            .edges
-            .iter()
-            .map(|&(u, v)| (u.min(v), u.max(v)))
-            .collect();
+        let mut es: Vec<_> = f.edges.iter().map(|&(u, v)| (u.min(v), u.max(v))).collect();
         es.sort_unstable();
         assert_eq!(es, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
     }

@@ -30,10 +30,10 @@
 use crate::common::AlgoStats;
 use pasgal_collections::atomic_array::AtomicU32Array;
 use pasgal_collections::hashbag::HashBag;
-use pasgal_parlay::counters::Counters;
-use pasgal_parlay::pack::pack_index;
 use pasgal_graph::csr::Graph;
 use pasgal_graph::VertexId;
+use pasgal_parlay::counters::Counters;
+use pasgal_parlay::pack::pack_index;
 use rayon::prelude::*;
 
 /// k-core output.
@@ -150,8 +150,7 @@ pub fn kcore_peel(g: &Graph, tau: usize) -> KcoreResult {
                 counters.add_tasks(1);
                 // VGC: process the whole removal cascade locally up to the
                 // aggregate budget; overflow cascades spill to the bag.
-                let mut queue: std::collections::VecDeque<VertexId> =
-                    grp.iter().copied().collect();
+                let mut queue: std::collections::VecDeque<VertexId> = grp.iter().copied().collect();
                 let budget = (tau * grp.len()) as u64;
                 let mut edges = 0u64;
                 while let Some(u) = queue.pop_front() {
@@ -169,9 +168,7 @@ pub fn kcore_peel(g: &Graph, tau: usize) -> KcoreResult {
                         // past zero, which the claimed-check above makes
                         // harmless
                         let old = degree.fetch_add(w as usize, u32::MAX);
-                        if old != 0
-                            && old - 1 <= k_now
-                            && coreness.cas(w as usize, u32::MAX, k_now)
+                        if old != 0 && old - 1 <= k_now && coreness.cas(w as usize, u32::MAX, k_now)
                         {
                             queue.push_back(w);
                         }

@@ -28,12 +28,12 @@ use crate::scc::reach::ReachEngine;
 use pasgal_collections::atomic_array::AtomicU32Array;
 use pasgal_collections::hashbag::HashBag64;
 use pasgal_collections::u64set::ConcurrentU64Set;
-use pasgal_parlay::counters::Counters;
-use pasgal_parlay::hash::hash64;
-use pasgal_parlay::rng::SplitRng;
 use pasgal_graph::csr::Graph;
 use pasgal_graph::transform::transpose;
 use pasgal_graph::VertexId;
+use pasgal_parlay::counters::Counters;
+use pasgal_parlay::hash::hash64;
+use pasgal_parlay::rng::SplitRng;
 use rayon::prelude::*;
 use std::collections::HashMap;
 
@@ -103,9 +103,7 @@ impl<'g> BgssState<'g> {
         let mut frontier: Vec<u64> = centers
             .iter()
             .enumerate()
-            .filter(|&(i, &c)| {
-                pairs.len() < limit && pairs.insert(pack(c, i as u32))
-            })
+            .filter(|&(i, &c)| pairs.len() < limit && pairs.insert(pack(c, i as u32)))
             .map(|(i, &c)| pack(c, i as u32))
             .collect();
 
@@ -217,8 +215,7 @@ pub fn scc_bgss(g: &Graph, gt: &Graph, engine: ReachEngine, seed: u64) -> SccRes
                     return 0;
                 }
                 let has_out = g.neighbors(v).iter().any(|&u| u != v && state.live(u));
-                let has_in =
-                    has_out && gt.neighbors(v).iter().any(|&u| u != v && state.live(u));
+                let has_in = has_out && gt.neighbors(v).iter().any(|&u| u != v && state.live(u));
                 if !has_in {
                     state.scc_id.set(v as usize, v);
                     1

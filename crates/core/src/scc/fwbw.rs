@@ -26,10 +26,10 @@ use crate::scc::reach::ReachEngine;
 use crate::vgc::local_search_multi;
 use pasgal_collections::atomic_array::AtomicU32Array;
 use pasgal_collections::hashbag::HashBag;
-use pasgal_parlay::counters::Counters;
 use pasgal_graph::csr::Graph;
 use pasgal_graph::transform::transpose;
 use pasgal_graph::VertexId;
+use pasgal_parlay::counters::Counters;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
 

@@ -21,10 +21,10 @@ use crate::common::{AlgoStats, SccResult};
 use crate::scc::reach::{reach, ReachEngine};
 use pasgal_collections::atomic_array::AtomicU32Array;
 use pasgal_collections::bitvec::AtomicBitVec;
-use pasgal_parlay::counters::Counters;
 use pasgal_graph::csr::Graph;
 use pasgal_graph::transform::transpose;
 use pasgal_graph::VertexId;
+use pasgal_parlay::counters::Counters;
 use rayon::prelude::*;
 
 const UNLABELED: u32 = u32::MAX;
@@ -99,8 +99,22 @@ pub fn scc_multistep(g: &Graph) -> Result<SccResult, Unsupported> {
     if let Some(pivot) = pivot {
         let fwd = AtomicBitVec::new(n);
         let bwd = AtomicBitVec::new(n);
-        reach(g, &[pivot], &|v| live(v), &fwd, ReachEngine::BfsOrder, &counters);
-        reach(&gt, &[pivot], &|v| live(v), &bwd, ReachEngine::BfsOrder, &counters);
+        reach(
+            g,
+            &[pivot],
+            &|v| live(v),
+            &fwd,
+            ReachEngine::BfsOrder,
+            &counters,
+        );
+        reach(
+            &gt,
+            &[pivot],
+            &|v| live(v),
+            &bwd,
+            ReachEngine::BfsOrder,
+            &counters,
+        );
         (0..n).into_par_iter().with_min_len(2048).for_each(|v| {
             if fwd.get(v) && bwd.get(v) {
                 labels.set(v, pivot);
@@ -128,7 +142,9 @@ pub fn scc_multistep(g: &Graph) -> Result<SccResult, Unsupported> {
         // Color propagation: color[v] := max over {v} ∪ live in-neighbors,
         // iterated to fixpoint (forward propagation of max ids).
         let colors = AtomicU32Array::new(n, 0);
-        remaining.par_iter().for_each(|&v| colors.set(v as usize, v));
+        remaining
+            .par_iter()
+            .for_each(|&v| colors.set(v as usize, v));
         let mut dirty = true;
         while dirty {
             counters.add_round();

@@ -20,9 +20,9 @@ use crate::common::VgcConfig;
 use crate::vgc::local_search_multi;
 use pasgal_collections::bitvec::AtomicBitVec;
 use pasgal_collections::hashbag::HashBag;
-use pasgal_parlay::counters::Counters;
 use pasgal_graph::csr::Graph;
 use pasgal_graph::VertexId;
+use pasgal_parlay::counters::Counters;
 use rayon::prelude::*;
 
 /// Which traversal order a reachability search uses.

@@ -12,10 +12,10 @@ use super::INF;
 use crate::common::{AlgoStats, SsspResult};
 use pasgal_collections::atomic_array::AtomicU64Array;
 use pasgal_collections::bitvec::AtomicBitVec;
-use pasgal_parlay::counters::Counters;
-use pasgal_parlay::pack::filter_map_index;
 use pasgal_graph::csr::Graph;
 use pasgal_graph::VertexId;
+use pasgal_parlay::counters::Counters;
+use pasgal_parlay::pack::filter_map_index;
 use rayon::prelude::*;
 
 /// Parallel Bellman-Ford from `src`.

@@ -11,9 +11,9 @@
 use super::INF;
 use crate::common::{AlgoStats, SsspResult};
 use pasgal_collections::atomic_array::AtomicU64Array;
-use pasgal_parlay::counters::Counters;
 use pasgal_graph::csr::Graph;
 use pasgal_graph::VertexId;
+use pasgal_parlay::counters::Counters;
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 

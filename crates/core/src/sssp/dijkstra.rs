@@ -44,7 +44,7 @@ pub fn sssp_dijkstra(g: &Graph, src: VertexId) -> SsspResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pasgal_graph::builder::{from_weighted_edges, from_edges};
+    use pasgal_graph::builder::{from_edges, from_weighted_edges};
     use pasgal_graph::gen::basic::path;
 
     #[test]

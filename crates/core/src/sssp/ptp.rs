@@ -18,10 +18,10 @@ use crate::common::AlgoStats;
 use crate::vgc::local_search_weighted_multi;
 use pasgal_collections::atomic_array::AtomicU64Array;
 use pasgal_collections::hashbag::HashBag;
-use pasgal_parlay::counters::Counters;
 use pasgal_graph::csr::Graph;
 use pasgal_graph::transform::transpose;
 use pasgal_graph::VertexId;
+use pasgal_parlay::counters::Counters;
 use rayon::prelude::*;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;

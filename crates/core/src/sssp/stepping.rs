@@ -22,10 +22,10 @@ use crate::common::{AlgoStats, SsspResult, VgcConfig};
 use crate::vgc::local_search_weighted_multi;
 use pasgal_collections::atomic_array::AtomicU64Array;
 use pasgal_collections::hashbag::HashBag;
-use pasgal_parlay::counters::Counters;
-use pasgal_parlay::rng::SplitRng;
 use pasgal_graph::csr::Graph;
 use pasgal_graph::VertexId;
+use pasgal_parlay::counters::Counters;
+use pasgal_parlay::rng::SplitRng;
 use rayon::prelude::*;
 
 /// Tuning for ρ-stepping.
@@ -79,7 +79,8 @@ pub fn sssp_rho_stepping(g: &Graph, src: VertexId, cfg: &RhoConfig) -> SsspResul
             const SAMPLES: usize = 512;
             let mut sample: Vec<u64> = (0..SAMPLES)
                 .map(|i| {
-                    let idx = rng.range_at(step_no * SAMPLES as u64 + i as u64, frontier.len() as u64);
+                    let idx =
+                        rng.range_at(step_no * SAMPLES as u64 + i as u64, frontier.len() as u64);
                     dist.get(frontier[idx as usize] as usize)
                 })
                 .collect();

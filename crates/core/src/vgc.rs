@@ -136,8 +136,7 @@ pub fn local_search_fifo_multi(
     try_claim: &(impl Fn(VertexId, VertexId) -> bool + ?Sized),
     spill: &mut impl FnMut(VertexId),
 ) -> LocalSearchStats {
-    let mut queue: std::collections::VecDeque<VertexId> =
-        starts.iter().copied().collect();
+    let mut queue: std::collections::VecDeque<VertexId> = starts.iter().copied().collect();
     let mut edges: u64 = 0;
     let mut spilled: u64 = 0;
     while let Some(u) = queue.pop_front() {
@@ -177,8 +176,7 @@ pub fn local_search_weighted_multi(
     try_relax: &(impl Fn(VertexId, VertexId, u32) -> bool + ?Sized),
     spill: &mut impl FnMut(VertexId),
 ) -> LocalSearchStats {
-    let mut queue: std::collections::VecDeque<VertexId> =
-        starts.iter().copied().collect();
+    let mut queue: std::collections::VecDeque<VertexId> = starts.iter().copied().collect();
     let mut edges: u64 = 0;
     let mut spilled: u64 = 0;
     while let Some(u) = queue.pop_front() {

@@ -1,0 +1,208 @@
+//! A std-only stand-in for the subset of the `criterion` API that the
+//! PASGAL-rs bench harness uses, for building in environments with no
+//! access to crates.io.
+//!
+//! It is a real (if simple) benchmark runner: each `bench_function` does a
+//! short warmup, then takes `sample_size` wall-clock samples of the
+//! closure and reports the median and min to stdout. No statistics
+//! beyond that, no HTML reports, no saved baselines.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation; recorded and echoed in the report line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for `criterion_main!` compatibility; no CLI parsing.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n.max(2);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        run_bench(name, sample_size, None, f);
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the bench closure; `iter` times the workload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Run `f` once per sample (after one warmup call), recording
+    /// wall-clock time for each sample.
+    pub fn iter<T, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> T,
+    {
+        hint::black_box(f()); // warmup
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            hint::black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_bench<F>(name: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let min = b.samples[0];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median.as_nanos() > 0 => {
+            format!("  {:>12.1} Melem/s", n as f64 / median.as_secs_f64() / 1e6)
+        }
+        Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n)) if median.as_nanos() > 0 => {
+            format!("  {:>12.1} MB/s", n as f64 / median.as_secs_f64() / 1e6)
+        }
+        _ => String::new(),
+    };
+    println!("{name:<50} median {median:>12.2?}   min {min:>12.2?}{rate}");
+}
+
+/// Declare a benchmark group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0usize;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        // 1 warmup + 3 samples
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2).throughput(Throughput::Elements(10));
+        g.bench_function("x", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

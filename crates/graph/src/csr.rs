@@ -45,6 +45,23 @@ impl Graph {
         }
     }
 
+    /// Assemble from raw CSR arrays with no shape checks, even in debug
+    /// builds. For constructing deliberately malformed graphs to exercise
+    /// [`crate::validate`]; everything else should use [`Graph::from_csr`].
+    pub fn from_csr_unchecked(
+        offsets: Vec<usize>,
+        targets: Vec<VertexId>,
+        weights: Option<Vec<Weight>>,
+        symmetric: bool,
+    ) -> Self {
+        Self {
+            offsets,
+            targets,
+            weights,
+            symmetric,
+        }
+    }
+
     /// Graph with `n` vertices and no edges.
     pub fn empty(n: usize, symmetric: bool) -> Self {
         Self {

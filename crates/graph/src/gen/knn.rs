@@ -85,7 +85,9 @@ pub fn knn(n: usize, k: usize, seed: u64) -> Graph {
                 ring += 1;
             }
             best.truncate(k.min(best.len()));
-            best.into_iter().map(move |(_, v)| (u, v)).collect::<Vec<_>>()
+            best.into_iter()
+                .map(move |(_, v)| (u, v))
+                .collect::<Vec<_>>()
         })
         .collect();
 
@@ -133,8 +135,7 @@ mod tests {
                 })
                 .collect();
             ds.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
-            let want: std::collections::HashSet<u32> =
-                ds[..k].iter().map(|&(_, v)| v).collect();
+            let want: std::collections::HashSet<u32> = ds[..k].iter().map(|&(_, v)| v).collect();
             let got: std::collections::HashSet<u32> = g.neighbors(u).iter().copied().collect();
             // allow ties at the k-th distance: every returned neighbor must
             // be within the k-th best distance

@@ -152,10 +152,7 @@ mod tests {
         let max = *degs.last().unwrap();
         let median = degs[n / 2];
         // power-law-ish: hub degree far above median
-        assert!(
-            max > 8 * median.max(1),
-            "max {max} not ≫ median {median}"
-        );
+        assert!(max > 8 * median.max(1), "max {max} not ≫ median {median}");
     }
 
     #[test]

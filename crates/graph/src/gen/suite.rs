@@ -90,30 +90,110 @@ impl NamedGraph {
 /// The full suite, in the paper's Table 1 order.
 pub const SUITE: &[NamedGraph] = &[
     // --- Social ---
-    NamedGraph { name: "LJ", category: Category::Social, directed: true },
-    NamedGraph { name: "FB", category: Category::Social, directed: false },
-    NamedGraph { name: "OK", category: Category::Social, directed: false },
-    NamedGraph { name: "TW", category: Category::Social, directed: true },
-    NamedGraph { name: "FS", category: Category::Social, directed: false },
+    NamedGraph {
+        name: "LJ",
+        category: Category::Social,
+        directed: true,
+    },
+    NamedGraph {
+        name: "FB",
+        category: Category::Social,
+        directed: false,
+    },
+    NamedGraph {
+        name: "OK",
+        category: Category::Social,
+        directed: false,
+    },
+    NamedGraph {
+        name: "TW",
+        category: Category::Social,
+        directed: true,
+    },
+    NamedGraph {
+        name: "FS",
+        category: Category::Social,
+        directed: false,
+    },
     // --- Web ---
-    NamedGraph { name: "WK", category: Category::Web, directed: true },
-    NamedGraph { name: "SD", category: Category::Web, directed: true },
-    NamedGraph { name: "CW", category: Category::Web, directed: true },
+    NamedGraph {
+        name: "WK",
+        category: Category::Web,
+        directed: true,
+    },
+    NamedGraph {
+        name: "SD",
+        category: Category::Web,
+        directed: true,
+    },
+    NamedGraph {
+        name: "CW",
+        category: Category::Web,
+        directed: true,
+    },
     // --- Road ---
-    NamedGraph { name: "AF", category: Category::Road, directed: true },
-    NamedGraph { name: "NA", category: Category::Road, directed: true },
-    NamedGraph { name: "AS", category: Category::Road, directed: true },
-    NamedGraph { name: "EU", category: Category::Road, directed: true },
+    NamedGraph {
+        name: "AF",
+        category: Category::Road,
+        directed: true,
+    },
+    NamedGraph {
+        name: "NA",
+        category: Category::Road,
+        directed: true,
+    },
+    NamedGraph {
+        name: "AS",
+        category: Category::Road,
+        directed: true,
+    },
+    NamedGraph {
+        name: "EU",
+        category: Category::Road,
+        directed: true,
+    },
     // --- kNN ---
-    NamedGraph { name: "CH5", category: Category::Knn, directed: true },
-    NamedGraph { name: "GL5", category: Category::Knn, directed: true },
-    NamedGraph { name: "GL10", category: Category::Knn, directed: true },
-    NamedGraph { name: "COS5", category: Category::Knn, directed: true },
+    NamedGraph {
+        name: "CH5",
+        category: Category::Knn,
+        directed: true,
+    },
+    NamedGraph {
+        name: "GL5",
+        category: Category::Knn,
+        directed: true,
+    },
+    NamedGraph {
+        name: "GL10",
+        category: Category::Knn,
+        directed: true,
+    },
+    NamedGraph {
+        name: "COS5",
+        category: Category::Knn,
+        directed: true,
+    },
     // --- Synthetic ---
-    NamedGraph { name: "REC", category: Category::Synthetic, directed: true },
-    NamedGraph { name: "SREC", category: Category::Synthetic, directed: true },
-    NamedGraph { name: "TRCE", category: Category::Synthetic, directed: false },
-    NamedGraph { name: "BBL", category: Category::Synthetic, directed: false },
+    NamedGraph {
+        name: "REC",
+        category: Category::Synthetic,
+        directed: true,
+    },
+    NamedGraph {
+        name: "SREC",
+        category: Category::Synthetic,
+        directed: true,
+    },
+    NamedGraph {
+        name: "TRCE",
+        category: Category::Synthetic,
+        directed: false,
+    },
+    NamedGraph {
+        name: "BBL",
+        category: Category::Synthetic,
+        directed: false,
+    },
 ];
 
 /// Look up a suite entry by name.

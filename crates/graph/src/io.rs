@@ -28,10 +28,29 @@
 
 use crate::csr::Graph;
 use crate::{VertexId, Weight};
-use bytes::{Buf, BufMut};
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
+
+/// Little-endian cursor over a byte slice (replaces the `bytes` crate's
+/// `Buf` so the binary format needs only std).
+struct LeCursor<'a>(&'a [u8]);
+
+impl LeCursor<'_> {
+    fn remaining(&self) -> usize {
+        self.0.len()
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.0.split_at(8);
+        self.0 = rest;
+        u64::from_le_bytes(head.try_into().unwrap())
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.0.split_at(4);
+        self.0 = rest;
+        u32::from_le_bytes(head.try_into().unwrap())
+    }
+}
 
 /// Errors from graph IO.
 #[derive(Debug)]
@@ -106,9 +125,10 @@ pub fn read_adj(path: impl AsRef<Path>) -> Result<Graph, IoError> {
         let mut rest = String::new();
         r.read_to_string(&mut rest)?;
         for tok in rest.split_ascii_whitespace() {
-            tokens.push(tok.parse::<u64>().map_err(|_| {
-                IoError::Format(format!("non-numeric token {tok:?}"))
-            })?);
+            tokens.push(
+                tok.parse::<u64>()
+                    .map_err(|_| IoError::Format(format!("non-numeric token {tok:?}")))?,
+            );
         }
     }
     let weighted = match header.trim() {
@@ -121,7 +141,10 @@ pub fn read_adj(path: impl AsRef<Path>) -> Result<Graph, IoError> {
     let m = it.next().ok_or(IoError::Format("missing m".into()))? as usize;
     let mut offsets = Vec::with_capacity(n + 1);
     for _ in 0..n {
-        offsets.push(it.next().ok_or(IoError::Format("truncated offsets".into()))? as usize);
+        offsets.push(
+            it.next()
+                .ok_or(IoError::Format("truncated offsets".into()))? as usize,
+        );
     }
     offsets.push(m);
     if offsets.windows(2).any(|w| w[0] > w[1]) {
@@ -129,7 +152,9 @@ pub fn read_adj(path: impl AsRef<Path>) -> Result<Graph, IoError> {
     }
     let mut targets = Vec::with_capacity(m);
     for _ in 0..m {
-        let t = it.next().ok_or(IoError::Format("truncated targets".into()))?;
+        let t = it
+            .next()
+            .ok_or(IoError::Format("truncated targets".into()))?;
         if t as usize >= n {
             return format_err(format!("target {t} out of range"));
         }
@@ -138,7 +163,10 @@ pub fn read_adj(path: impl AsRef<Path>) -> Result<Graph, IoError> {
     let weights = if weighted {
         let mut ws = Vec::with_capacity(m);
         for _ in 0..m {
-            ws.push(it.next().ok_or(IoError::Format("truncated weights".into()))? as Weight);
+            ws.push(
+                it.next()
+                    .ok_or(IoError::Format("truncated weights".into()))? as Weight,
+            );
         }
         Some(ws)
     } else {
@@ -156,9 +184,9 @@ const FLAG_SYMMETRIC: u64 = 2;
 /// Write binary CSR.
 pub fn write_bin(g: &Graph, path: impl AsRef<Path>) -> Result<(), IoError> {
     let mut buf = Vec::with_capacity(32 + 8 * g.num_vertices() + 4 * g.num_edges());
-    buf.put_u64_le(BIN_MAGIC);
-    buf.put_u64_le(g.num_vertices() as u64);
-    buf.put_u64_le(g.num_edges() as u64);
+    buf.extend_from_slice(&BIN_MAGIC.to_le_bytes());
+    buf.extend_from_slice(&(g.num_vertices() as u64).to_le_bytes());
+    buf.extend_from_slice(&(g.num_edges() as u64).to_le_bytes());
     let mut flags = 0;
     if g.is_weighted() {
         flags |= FLAG_WEIGHTED;
@@ -166,16 +194,16 @@ pub fn write_bin(g: &Graph, path: impl AsRef<Path>) -> Result<(), IoError> {
     if g.is_symmetric() {
         flags |= FLAG_SYMMETRIC;
     }
-    buf.put_u64_le(flags);
+    buf.extend_from_slice(&flags.to_le_bytes());
     for &o in g.offsets() {
-        buf.put_u64_le(o as u64);
+        buf.extend_from_slice(&(o as u64).to_le_bytes());
     }
     for &t in g.targets() {
-        buf.put_u32_le(t);
+        buf.extend_from_slice(&t.to_le_bytes());
     }
     if let Some(ws) = g.weights() {
         for &w in ws {
-            buf.put_u32_le(w);
+            buf.extend_from_slice(&w.to_le_bytes());
         }
     }
     let mut f = BufWriter::new(File::create(path)?);
@@ -188,7 +216,7 @@ pub fn write_bin(g: &Graph, path: impl AsRef<Path>) -> Result<(), IoError> {
 pub fn read_bin(path: impl AsRef<Path>) -> Result<Graph, IoError> {
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;
-    let mut buf = &bytes[..];
+    let mut buf = LeCursor(&bytes[..]);
     if buf.remaining() < 32 {
         return format_err("truncated header");
     }
@@ -252,36 +280,51 @@ pub fn write_edge_list(g: &Graph, path: impl AsRef<Path>) -> Result<(), IoError>
     Ok(())
 }
 
-/// Read an edge-list text file; `n` is inferred as `max id + 1`. Lines
-/// starting with `#` or `%` are comments.
+/// Read an edge-list text file; `n` is inferred as `max id + 1`.
+///
+/// The format is deliberately liberal, since real-world edge lists (SNAP,
+/// DIMACS exports, Matrix Market headers) vary: blank lines are skipped,
+/// `#` starts a comment (whole-line or trailing after an edge), lines
+/// starting with `%` are comments, fields are separated by any ASCII
+/// whitespace (spaces or tabs), and leading whitespace and CRLF line
+/// endings are tolerated. Malformed lines are reported with their line
+/// number.
 pub fn read_edge_list(path: impl AsRef<Path>) -> Result<Graph, IoError> {
     let r = BufReader::new(File::open(path)?);
     let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
     let mut weights: Vec<Weight> = Vec::new();
     let mut any_weight = false;
-    for line in r.lines() {
+    for (idx, line) in r.lines().enumerate() {
+        let line_no = idx + 1;
         let line = line?;
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+        // strip a trailing `#` comment (also covers whole-line comments)
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() || line.starts_with('%') {
             continue;
         }
         let mut parts = line.split_ascii_whitespace();
         let u: VertexId = parts
             .next()
             .and_then(|s| s.parse().ok())
-            .ok_or_else(|| IoError::Format(format!("bad line {line:?}")))?;
+            .ok_or_else(|| IoError::Format(format!("line {line_no}: bad edge {line:?}")))?;
         let v: VertexId = parts
             .next()
             .and_then(|s| s.parse().ok())
-            .ok_or_else(|| IoError::Format(format!("bad line {line:?}")))?;
+            .ok_or_else(|| IoError::Format(format!("line {line_no}: bad edge {line:?}")))?;
         let w: Weight = match parts.next() {
             Some(s) => {
                 any_weight = true;
-                s.parse()
-                    .map_err(|_| IoError::Format(format!("bad weight in {line:?}")))?
+                s.parse().map_err(|_| {
+                    IoError::Format(format!("line {line_no}: bad weight in {line:?}"))
+                })?
             }
             None => 1,
         };
+        if parts.next().is_some() {
+            return Err(IoError::Format(format!(
+                "line {line_no}: too many fields in {line:?}"
+            )));
+        }
         edges.push((u, v));
         weights.push(w);
     }
@@ -400,6 +443,56 @@ mod tests {
         assert!(g.is_weighted());
         assert_eq!(g.weighted_neighbors(0).next(), Some((1, 9)));
         assert_eq!(g.num_vertices(), 3);
+    }
+
+    #[test]
+    fn edge_list_tolerates_messy_real_world_files() {
+        // SNAP-style header, CRLF endings, tabs, leading whitespace,
+        // blank lines, and a trailing inline comment.
+        let p = tmp("elmessy");
+        std::fs::write(
+            &p,
+            "# Directed graph (each unordered pair of nodes is saved once)\r\n\
+             # Nodes: 4 Edges: 3\r\n\
+             \r\n\
+             0\t1\r\n\
+             \t 1 2\r\n\
+             2 3   # trailing comment\r\n",
+        )
+        .unwrap();
+        let g = read_edge_list(&p).unwrap();
+        std::fs::remove_file(&p).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert!(!g.is_weighted());
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn edge_list_errors_name_the_line() {
+        let p = tmp("elbad");
+        std::fs::write(&p, "0 1\nnot an edge\n").unwrap();
+        let e = read_edge_list(&p);
+        std::fs::remove_file(&p).unwrap();
+        match e {
+            Err(IoError::Format(msg)) => assert!(msg.contains("line 2"), "{msg}"),
+            other => panic!("expected format error, got {other:?}"),
+        }
+
+        let p = tmp("elbadw");
+        std::fs::write(&p, "0 1 x\n").unwrap();
+        let e = read_edge_list(&p);
+        std::fs::remove_file(&p).unwrap();
+        assert!(matches!(e, Err(IoError::Format(_))));
+
+        let p = tmp("elextra");
+        std::fs::write(&p, "0 1 2 3\n").unwrap();
+        let e = read_edge_list(&p);
+        std::fs::remove_file(&p).unwrap();
+        match e {
+            Err(IoError::Format(msg)) => assert!(msg.contains("too many fields"), "{msg}"),
+            other => panic!("expected format error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -45,10 +45,7 @@ pub fn degree_stats(g: &Graph) -> DegreeStats {
             let d = g.degree(v);
             (d, d)
         })
-        .reduce(
-            || (usize::MAX, 0),
-            |a, b| (a.0.min(b.0), a.1.max(b.1)),
-        );
+        .reduce(|| (usize::MAX, 0), |a, b| (a.0.min(b.0), a.1.max(b.1)));
     DegreeStats {
         min,
         max,

@@ -143,34 +143,32 @@ pub fn validate(g: &Graph, opts: &ValidateOptions) -> Vec<Violation> {
     }
     let n = g.num_vertices();
     for i in 0..n {
-        if offsets[i] > offsets[i + 1] {
-            if !push(&mut out, Violation::NonMonotoneOffsets { at: i }) {
-                return out;
-            }
+        if offsets[i] > offsets[i + 1] && !push(&mut out, Violation::NonMonotoneOffsets { at: i }) {
+            return out;
         }
     }
-    if *offsets.last().unwrap() != g.targets().len() {
-        if !push(
+    if *offsets.last().unwrap() != g.targets().len()
+        && !push(
             &mut out,
             Violation::OffsetsTargetsMismatch {
                 last_offset: *offsets.last().unwrap(),
                 num_targets: g.targets().len(),
             },
-        ) {
-            return out;
-        }
+        )
+    {
+        return out;
     }
     if let Some(w) = g.weights() {
-        if w.len() != g.targets().len() {
-            if !push(
+        if w.len() != g.targets().len()
+            && !push(
                 &mut out,
                 Violation::WeightLengthMismatch {
                     weights: w.len(),
                     targets: g.targets().len(),
                 },
-            ) {
-                return out;
-            }
+            )
+        {
+            return out;
         }
     }
 
@@ -178,30 +176,55 @@ pub fn validate(g: &Graph, opts: &ValidateOptions) -> Vec<Violation> {
         let nbrs = g.neighbors(u);
         for (k, &v) in nbrs.iter().enumerate() {
             if (v as usize) >= n {
-                if !push(&mut out, Violation::TargetOutOfRange { source: u, target: v }) {
+                if !push(
+                    &mut out,
+                    Violation::TargetOutOfRange {
+                        source: u,
+                        target: v,
+                    },
+                ) {
                     return out;
                 }
                 continue;
             }
-            if k > 0 && nbrs[k - 1] > v {
-                if !push(&mut out, Violation::UnsortedNeighbors { vertex: u }) {
-                    return out;
-                }
+            if k > 0
+                && nbrs[k - 1] > v
+                && !push(&mut out, Violation::UnsortedNeighbors { vertex: u })
+            {
+                return out;
             }
-            if opts.forbid_duplicates && k > 0 && nbrs[k - 1] == v {
-                if !push(&mut out, Violation::DuplicateEdge { source: u, target: v }) {
-                    return out;
-                }
+            if opts.forbid_duplicates
+                && k > 0
+                && nbrs[k - 1] == v
+                && !push(
+                    &mut out,
+                    Violation::DuplicateEdge {
+                        source: u,
+                        target: v,
+                    },
+                )
+            {
+                return out;
             }
-            if opts.forbid_self_loops && v == u {
-                if !push(&mut out, Violation::SelfLoop { vertex: u }) {
-                    return out;
-                }
+            if opts.forbid_self_loops
+                && v == u
+                && !push(&mut out, Violation::SelfLoop { vertex: u })
+            {
+                return out;
             }
-            if opts.check_symmetry && g.is_symmetric() && (v as usize) < n && !g.has_edge(v, u) {
-                if !push(&mut out, Violation::MissingReverseEdge { source: u, target: v }) {
-                    return out;
-                }
+            if opts.check_symmetry
+                && g.is_symmetric()
+                && (v as usize) < n
+                && !g.has_edge(v, u)
+                && !push(
+                    &mut out,
+                    Violation::MissingReverseEdge {
+                        source: u,
+                        target: v,
+                    },
+                )
+            {
+                return out;
             }
         }
     }
@@ -233,11 +256,14 @@ mod tests {
 
     #[test]
     fn detects_out_of_range_target() {
-        let g = Graph::from_csr(vec![0, 1], vec![5], None, false);
+        let g = Graph::from_csr_unchecked(vec![0, 1], vec![5], None, false);
         let vs = validate(&g, &ValidateOptions::default());
         assert!(matches!(
             vs[0],
-            Violation::TargetOutOfRange { source: 0, target: 5 }
+            Violation::TargetOutOfRange {
+                source: 0,
+                target: 5
+            }
         ));
     }
 
@@ -245,21 +271,33 @@ mod tests {
     fn detects_unsorted_and_duplicate() {
         let g = Graph::from_csr(vec![0, 3, 3], vec![1, 0, 0], None, false);
         let vs = validate(&g, &ValidateOptions::default());
-        assert!(vs.iter().any(|v| matches!(v, Violation::UnsortedNeighbors { vertex: 0 })));
         assert!(vs
             .iter()
-            .any(|v| matches!(v, Violation::DuplicateEdge { source: 0, target: 0 })));
+            .any(|v| matches!(v, Violation::UnsortedNeighbors { vertex: 0 })));
+        assert!(vs.iter().any(|v| matches!(
+            v,
+            Violation::DuplicateEdge {
+                source: 0,
+                target: 0
+            }
+        )));
         // duplicate (0,0) is also a self loop
-        assert!(vs.iter().any(|v| matches!(v, Violation::SelfLoop { vertex: 0 })));
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::SelfLoop { vertex: 0 })));
     }
 
     #[test]
     fn detects_asymmetry_under_symmetric_flag() {
         let g = Graph::from_csr(vec![0, 1, 1], vec![1], None, true);
         let vs = validate(&g, &ValidateOptions::default());
-        assert!(vs
-            .iter()
-            .any(|v| matches!(v, Violation::MissingReverseEdge { source: 0, target: 1 })));
+        assert!(vs.iter().any(|v| matches!(
+            v,
+            Violation::MissingReverseEdge {
+                source: 0,
+                target: 1
+            }
+        )));
     }
 
     #[test]
@@ -292,7 +330,10 @@ mod tests {
         let cases: Vec<Violation> = vec![
             Violation::EmptyOffsets,
             Violation::NonMonotoneOffsets { at: 2 },
-            Violation::TargetOutOfRange { source: 1, target: 9 },
+            Violation::TargetOutOfRange {
+                source: 1,
+                target: 9,
+            },
             Violation::SelfLoop { vertex: 3 },
         ];
         for c in cases {

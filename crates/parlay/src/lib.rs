@@ -40,8 +40,8 @@
 
 pub mod counters;
 pub mod gran;
-pub mod histogram;
 pub mod hash;
+pub mod histogram;
 pub mod pack;
 pub mod reduce;
 pub mod rng;

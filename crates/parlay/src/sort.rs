@@ -162,7 +162,9 @@ mod tests {
 
     #[test]
     fn large_sorts_correctly() {
-        let xs: Vec<u32> = (0..150_000u32).map(|i| (i * 2654435761) % 256).collect();
+        let xs: Vec<u32> = (0..150_000u32)
+            .map(|i| i.wrapping_mul(2654435761) % 256)
+            .collect();
         let got = counting_sort_by_key(&xs, 256, |&x| x as usize);
         let mut want = xs.clone();
         want.sort_unstable();

@@ -1,0 +1,720 @@
+//! A std-only stand-in for the subset of the `rayon` API that PASGAL-rs
+//! uses, for building in environments with no access to crates.io.
+//!
+//! Unlike a purely sequential mock, parallel combinators really do fan out
+//! across OS threads (`std::thread::scope`), so speedup experiments and
+//! concurrency bugs remain observable. The differences from real rayon:
+//!
+//! * no work stealing — each combinator eagerly materializes its input,
+//!   splits it into `min(threads, len / min_len)` contiguous chunks, and
+//!   runs one scoped thread per chunk;
+//! * `ThreadPool::install` sets a process-global thread-count override for
+//!   the duration of the closure instead of entering a dedicated pool;
+//! * adapters are eager, so `.map(f).reduce(..)` is two passes.
+//!
+//! The shim keeps rayon's trait bounds (`Send` items, `Sync` closures) so
+//! code written against it stays compatible with the real crate.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0); // 0 = hardware default
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+}
+
+/// Number of worker threads parallel regions will use.
+pub fn current_num_threads() -> usize {
+    match NUM_THREADS.load(Ordering::Relaxed) {
+        0 => default_threads(),
+        n => n,
+    }
+}
+
+/// Error type for pool construction (construction never fails here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker count (0 = hardware default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Install as the global default.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        NUM_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Build a pool handle carrying the configured width.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                default_threads()
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// A configured "pool": a thread-count override, not a resident pool.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread count as the global width.
+    ///
+    /// The override is process-global while `op` runs (concurrent
+    /// `install`s race on width, which is acceptable for the experiment
+    /// harness this exists for).
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let prev = NUM_THREADS.swap(self.num_threads, Ordering::Relaxed);
+        let r = op();
+        NUM_THREADS.store(prev, Ordering::Relaxed);
+        r
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon-shim: joined task panicked");
+        (ra, rb)
+    })
+}
+
+// ------------------------------------------------------------------------
+// Parallel iterator
+// ------------------------------------------------------------------------
+
+/// Eager "parallel iterator": a materialized item list plus a grain hint.
+pub struct ParIter<T> {
+    items: Vec<T>,
+    min_len: usize,
+}
+
+/// Split `items` into at most `chunks` contiguous runs, preserving order.
+fn partition<T>(items: Vec<T>, chunks: usize) -> Vec<Vec<T>> {
+    let len = items.len();
+    let chunks = chunks.clamp(1, len.max(1));
+    let per = len.div_ceil(chunks);
+    let mut out = Vec::with_capacity(chunks);
+    let mut it = items.into_iter();
+    loop {
+        let part: Vec<T> = it.by_ref().take(per).collect();
+        if part.is_empty() {
+            break;
+        }
+        out.push(part);
+    }
+    out
+}
+
+impl<T: Send> ParIter<T> {
+    fn from_vec(items: Vec<T>) -> Self {
+        Self { items, min_len: 1 }
+    }
+
+    /// How many worker chunks this iterator should split into.
+    fn width(&self) -> usize {
+        let threads = current_num_threads().max(1);
+        let by_grain = self.items.len() / self.min_len.max(1);
+        threads.min(by_grain.max(1))
+    }
+
+    /// Map every item in parallel, preserving order.
+    fn run<U, F>(self, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let width = self.width();
+        if width <= 1 {
+            return self.items.into_iter().map(f).collect();
+        }
+        let parts = partition(self.items, width);
+        let f = &f;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|p| s.spawn(move || p.into_iter().map(f).collect::<Vec<U>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("rayon-shim: worker panicked"))
+                .collect()
+        })
+    }
+
+    // ---- rayon-flavored configuration -----------------------------------
+
+    /// Grain-size hint: at least `n` items per task.
+    pub fn with_min_len(mut self, n: usize) -> Self {
+        self.min_len = n.max(1);
+        self
+    }
+
+    /// Accepted for compatibility; chunking already bounds task count.
+    pub fn with_max_len(self, _n: usize) -> Self {
+        self
+    }
+
+    // ---- side-effecting drivers -----------------------------------------
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let width = self.width();
+        if width <= 1 {
+            self.items.into_iter().for_each(f);
+            return;
+        }
+        let parts = partition(self.items, width);
+        let f = &f;
+        std::thread::scope(|s| {
+            for p in parts {
+                s.spawn(move || p.into_iter().for_each(f));
+            }
+        });
+    }
+
+    // ---- adapters (eager, but parallel where there is work) -------------
+
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let min_len = self.min_len;
+        ParIter {
+            items: self.run(f),
+            min_len,
+        }
+    }
+
+    pub fn filter<F>(self, pred: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        let min_len = self.min_len;
+        let kept: Vec<Option<T>> = self.run(|x| if pred(&x) { Some(x) } else { None });
+        ParIter {
+            items: kept.into_iter().flatten().collect(),
+            min_len,
+        }
+    }
+
+    pub fn filter_map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> Option<U> + Sync,
+    {
+        let min_len = self.min_len;
+        let mapped = self.run(f);
+        ParIter {
+            items: mapped.into_iter().flatten().collect(),
+            min_len,
+        }
+    }
+
+    pub fn flat_map<U, I, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        I: IntoIterator<Item = U> + Send,
+        F: Fn(T) -> I + Sync,
+    {
+        let min_len = self.min_len;
+        let mapped = self.run(f);
+        ParIter {
+            items: mapped.into_iter().flatten().collect(),
+            min_len,
+        }
+    }
+
+    /// Like `flat_map`, but the produced iterators are consumed serially
+    /// within each chunk (rayon's `flat_map_iter`).
+    pub fn flat_map_iter<U, I, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Sync,
+    {
+        let min_len = self.min_len;
+        let mapped = self.run(|x| f(x).into_iter().collect::<Vec<U>>());
+        ParIter {
+            items: mapped.into_iter().flatten().collect(),
+            min_len,
+        }
+    }
+
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        let min_len = self.min_len;
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+            min_len,
+        }
+    }
+
+    pub fn chain(mut self, other: impl IntoParallelIterator<Item = T>) -> ParIter<T> {
+        self.items.extend(other.into_par_iter().items);
+        self
+    }
+
+    // ---- reductions ------------------------------------------------------
+
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T + Sync,
+        OP: Fn(T, T) -> T + Sync,
+    {
+        let width = self.width();
+        if width <= 1 {
+            return self.items.into_iter().fold(identity(), &op);
+        }
+        let parts = partition(self.items, width);
+        let (identity, op) = (&identity, &op);
+        let partials: Vec<T> = std::thread::scope(|s| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|p| s.spawn(move || p.into_iter().fold(identity(), op)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon-shim: worker panicked"))
+                .collect()
+        });
+        partials.into_iter().fold(identity(), op)
+    }
+
+    /// Per-chunk fold, as in rayon: yields one accumulator per chunk.
+    pub fn fold<Acc, ID, F>(self, identity: ID, fold_op: F) -> ParIter<Acc>
+    where
+        Acc: Send,
+        ID: Fn() -> Acc + Sync,
+        F: Fn(Acc, T) -> Acc + Sync,
+    {
+        let width = self.width();
+        let parts = partition(self.items, width);
+        let (identity, fold_op) = (&identity, &fold_op);
+        let accs: Vec<Acc> = std::thread::scope(|s| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|p| s.spawn(move || p.into_iter().fold(identity(), fold_op)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon-shim: worker panicked"))
+                .collect()
+        });
+        ParIter::from_vec(accs)
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T>,
+    {
+        self.items.into_iter().sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    pub fn min(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().min()
+    }
+
+    pub fn max(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().max()
+    }
+
+    pub fn min_by_key<K: Ord, F: Fn(&T) -> K>(self, f: F) -> Option<T> {
+        self.items.into_iter().min_by_key(f)
+    }
+
+    pub fn max_by_key<K: Ord, F: Fn(&T) -> K>(self, f: F) -> Option<T> {
+        self.items.into_iter().max_by_key(f)
+    }
+
+    pub fn any<F>(self, pred: F) -> bool
+    where
+        F: Fn(T) -> bool + Sync,
+    {
+        self.map(pred).items.into_iter().any(|b| b)
+    }
+
+    pub fn all<F>(self, pred: F) -> bool
+    where
+        F: Fn(T) -> bool + Sync,
+    {
+        self.map(pred).items.into_iter().all(|b| b)
+    }
+
+    pub fn find_any<F>(self, pred: F) -> Option<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        self.items.into_iter().find(|x| pred(x))
+    }
+
+    pub fn position_any<F>(self, pred: F) -> Option<usize>
+    where
+        F: Fn(T) -> bool + Sync,
+    {
+        self.items.into_iter().position(pred)
+    }
+
+    /// Split into (matching, non-matching), preserving order.
+    pub fn partition<A, B, F>(self, pred: F) -> (A, B)
+    where
+        A: Default + Extend<T> + Send,
+        B: Default + Extend<T> + Send,
+        F: Fn(&T) -> bool + Sync,
+    {
+        let flags: Vec<(bool, T)> = ParIter {
+            items: self.items,
+            min_len: self.min_len,
+        }
+        .run(|x| (pred(&x), x));
+        let mut a = A::default();
+        let mut b = B::default();
+        for (keep, x) in flags {
+            if keep {
+                a.extend(std::iter::once(x));
+            } else {
+                b.extend(std::iter::once(x));
+            }
+        }
+        (a, b)
+    }
+
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<T>,
+    {
+        self.items.into_iter().collect()
+    }
+
+    pub fn collect_into_vec(self, target: &mut Vec<T>) {
+        target.clear();
+        target.extend(self.items);
+    }
+}
+
+impl<T: Copy + Send + Sync> ParIter<&T> {
+    pub fn copied(self) -> ParIter<T> {
+        let min_len = self.min_len;
+        ParIter {
+            items: self.items.into_iter().copied().collect(),
+            min_len,
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync> ParIter<&T> {
+    pub fn cloned(self) -> ParIter<T> {
+        let min_len = self.min_len;
+        ParIter {
+            items: self.items.into_iter().cloned().collect(),
+            min_len,
+        }
+    }
+}
+
+impl<T> IntoIterator for ParIter<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+// ------------------------------------------------------------------------
+// Conversion traits (the prelude surface)
+// ------------------------------------------------------------------------
+
+/// Anything that can become a parallel iterator by value.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter::from_vec(self.into_iter().collect())
+    }
+}
+
+/// `.par_iter()` on collections, yielding shared references.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: Send + 'data;
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+where
+    &'data I: IntoIterator,
+    <&'data I as IntoIterator>::Item: Send,
+{
+    type Item = <&'data I as IntoIterator>::Item;
+    fn par_iter(&'data self) -> ParIter<Self::Item> {
+        ParIter::from_vec(<&'data I as IntoIterator>::into_iter(self).collect())
+    }
+}
+
+/// `.par_iter_mut()` on collections, yielding exclusive references.
+pub trait IntoParallelRefMutIterator<'data> {
+    type Item: Send + 'data;
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Item>;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
+where
+    &'data mut I: IntoIterator,
+    <&'data mut I as IntoIterator>::Item: Send,
+{
+    type Item = <&'data mut I as IntoIterator>::Item;
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Item> {
+        ParIter::from_vec(<&'data mut I as IntoIterator>::into_iter(self).collect())
+    }
+}
+
+/// Chunked views over slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+    fn par_windows(&self, window_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        ParIter::from_vec(self.chunks(chunk_size.max(1)).collect())
+    }
+    fn par_windows(&self, window_size: usize) -> ParIter<&[T]> {
+        ParIter::from_vec(self.windows(window_size.max(1)).collect())
+    }
+}
+
+/// Mutable chunked views and parallel sorts over slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync;
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter::from_vec(self.chunks_mut(chunk_size.max(1)).collect())
+    }
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+    {
+        self.sort_unstable_by(cmp);
+    }
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        self.sort_unstable_by_key(key);
+    }
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+}
+
+/// `.par_extend()` on collections.
+pub trait ParallelExtend<T: Send> {
+    fn par_extend<I>(&mut self, par_iter: I)
+    where
+        I: IntoParallelIterator<Item = T>;
+}
+
+impl<T: Send> ParallelExtend<T> for Vec<T> {
+    fn par_extend<I>(&mut self, par_iter: I)
+    where
+        I: IntoParallelIterator<Item = T>,
+    {
+        self.extend(par_iter.into_par_iter());
+    }
+}
+
+pub mod iter {
+    //! Mirror of `rayon::iter` re-exports.
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+        ParallelExtend, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+pub mod slice {
+    //! Mirror of `rayon::slice` re-exports.
+    pub use crate::{ParallelSlice, ParallelSliceMut};
+}
+
+pub mod prelude {
+    //! The trait bundle `use rayon::prelude::*` is expected to bring in.
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+        ParallelExtend, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn range_map_reduce() {
+        let s: u64 = (0u64..1000).into_par_iter().map(|x| x * 2).sum();
+        assert_eq!(s, 999 * 1000);
+        let m = (0u64..1000)
+            .into_par_iter()
+            .with_min_len(64)
+            .map(|x| x ^ 0x5555)
+            .reduce(|| 0, |a, b| a.max(b));
+        assert_eq!(m, (0u64..1000).map(|x| x ^ 0x5555).max().unwrap());
+    }
+
+    #[test]
+    fn for_each_runs_every_item_concurrently() {
+        let hits = AtomicUsize::new(0);
+        (0..10_000usize)
+            .into_par_iter()
+            .with_min_len(16)
+            .for_each(|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        assert_eq!(hits.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..5000usize).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(v, (1..=5000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut v = vec![1u32; 257];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn slice_ext_chunks_and_sort() {
+        let v: Vec<u32> = (0..100).rev().collect();
+        let chunk_sum: u32 = v.par_chunks(7).map(|c| c.iter().sum::<u32>()).sum();
+        assert_eq!(chunk_sum, (0..100).sum::<u32>());
+        let mut w = v.clone();
+        w.par_sort_unstable();
+        assert_eq!(w, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = crate::join(|| 40 + 2, || "ok");
+        assert_eq!((a, b), (42, "ok"));
+    }
+
+    #[test]
+    fn install_overrides_width() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        let inside = pool.install(crate::current_num_threads);
+        assert_eq!(inside, 3);
+    }
+
+    #[test]
+    fn filter_and_extend() {
+        let mut out: Vec<u32> = Vec::new();
+        out.par_extend((0u32..100).into_par_iter().filter_map(|x| {
+            if x % 2 == 0 {
+                Some(x)
+            } else {
+                None
+            }
+        }));
+        assert_eq!(out.len(), 50);
+    }
+}

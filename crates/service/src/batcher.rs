@@ -1,0 +1,212 @@
+//! Micro-batching via single-flight coalescing.
+//!
+//! When several queries need the same computation (same [`ComputeKey`] —
+//! e.g. many point-to-point queries from one source), exactly one of them
+//! becomes the **leader** and schedules the traversal; the rest become
+//! **followers** and wait on the leader's [`Flight`]. One BFS/SSSP then
+//! answers the whole batch, which is where the service's throughput under
+//! concurrent load comes from.
+//!
+//! Lock order is always `inflight` map → `Flight::state`, so joining and
+//! completing cannot deadlock.
+
+use crate::cache::{ComputeKey, ComputeValue};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// One in-flight computation that any number of queries may wait on.
+pub struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+struct FlightState {
+    /// Queries sharing this computation (leader included).
+    joiners: u64,
+    result: Option<Result<ComputeValue, String>>,
+}
+
+/// The flight did not complete within the caller's timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeout;
+
+impl Flight {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(FlightState {
+                joiners: 1,
+                result: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until the flight completes or `timeout` elapses.
+    /// `Err(WaitTimeout)` means the wait timed out; the computation keeps
+    /// running and later queries can still use its (cached) result.
+    pub fn wait(&self, timeout: Duration) -> Result<Result<ComputeValue, String>, WaitTimeout> {
+        let guard = self.state.lock().expect("flight lock poisoned");
+        let (guard, res) = self
+            .cv
+            .wait_timeout_while(guard, timeout, |st| st.result.is_none())
+            .expect("flight lock poisoned");
+        if res.timed_out() && guard.result.is_none() {
+            return Err(WaitTimeout);
+        }
+        Ok(guard
+            .result
+            .clone()
+            .expect("flight completed without result"))
+    }
+}
+
+/// Outcome of joining a key: leaders must compute and then call
+/// [`Batcher::complete`]; followers just wait on the flight.
+pub enum Join {
+    Leader(Arc<Flight>),
+    Follower(Arc<Flight>),
+}
+
+/// Registry of in-flight computations, keyed by [`ComputeKey`].
+#[derive(Default)]
+pub struct Batcher {
+    inflight: Mutex<HashMap<ComputeKey, Arc<Flight>>>,
+}
+
+impl Batcher {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Join the flight for `key`, creating it (as leader) if absent.
+    pub fn join(&self, key: ComputeKey) -> Join {
+        let mut map = self.inflight.lock().expect("batcher lock poisoned");
+        if let Some(flight) = map.get(&key) {
+            flight.state.lock().expect("flight lock poisoned").joiners += 1;
+            Join::Follower(Arc::clone(flight))
+        } else {
+            let flight = Arc::new(Flight::new());
+            map.insert(key, Arc::clone(&flight));
+            Join::Leader(flight)
+        }
+    }
+
+    /// Publish the leader's result, waking every follower. Returns the
+    /// batch size (how many queries shared the computation).
+    ///
+    /// Callers must insert the result into the cache *before* calling
+    /// this, so a query that misses the retiring flight finds the cache
+    /// entry instead of recomputing. `on_complete` runs with the batch
+    /// size while the flight is still locked — i.e. strictly before any
+    /// waiter observes the result — so bookkeeping (metrics) is visible
+    /// by the time a query returns.
+    pub fn complete(
+        &self,
+        key: &ComputeKey,
+        flight: &Arc<Flight>,
+        result: Result<ComputeValue, String>,
+        on_complete: impl FnOnce(u64),
+    ) -> u64 {
+        self.inflight
+            .lock()
+            .expect("batcher lock poisoned")
+            .remove(key);
+        let mut st = flight.state.lock().expect("flight lock poisoned");
+        let joiners = st.joiners;
+        st.result = Some(result);
+        on_complete(joiners);
+        drop(st);
+        flight.cv.notify_all();
+        joiners
+    }
+
+    /// Number of computations currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.lock().expect("batcher lock poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn key(src: u32) -> ComputeKey {
+        ComputeKey::Dists { generation: 0, src }
+    }
+
+    fn value() -> ComputeValue {
+        ComputeValue::Dists(Arc::new(vec![1, 2, 3]))
+    }
+
+    #[test]
+    fn leader_then_followers_share_one_result() {
+        let b = Arc::new(Batcher::new());
+        let leader = match b.join(key(7)) {
+            Join::Leader(f) => f,
+            Join::Follower(_) => panic!("first join must lead"),
+        };
+        let computations = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let b = Arc::clone(&b);
+            let computations = Arc::clone(&computations);
+            handles.push(std::thread::spawn(move || match b.join(key(7)) {
+                Join::Leader(_) => {
+                    computations.fetch_add(1, Ordering::SeqCst);
+                    panic!("only one leader expected");
+                }
+                Join::Follower(f) => match f.wait(Duration::from_secs(5)).unwrap().unwrap() {
+                    ComputeValue::Dists(d) => d.len(),
+                    _ => panic!("wrong value kind"),
+                },
+            }));
+        }
+        // wait until all four followers have joined, then complete
+        while leader.state.lock().unwrap().joiners < 5 {
+            std::thread::yield_now();
+        }
+        let batch = b.complete(&key(7), &leader, Ok(value()), |_| {});
+        assert_eq!(batch, 5);
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 3);
+        }
+        assert_eq!(b.in_flight(), 0);
+        assert_eq!(computations.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn wait_times_out_when_leader_stalls() {
+        let b = Batcher::new();
+        let _leader = b.join(key(1));
+        let f = match b.join(key(1)) {
+            Join::Follower(f) => f,
+            _ => panic!(),
+        };
+        assert!(f.wait(Duration::from_millis(10)).is_err());
+    }
+
+    #[test]
+    fn error_results_propagate() {
+        let b = Batcher::new();
+        let leader = match b.join(key(2)) {
+            Join::Leader(f) => f,
+            _ => panic!(),
+        };
+        b.complete(&key(2), &leader, Err("boom".into()), |_| {});
+        assert_eq!(
+            leader.wait(Duration::from_secs(1)).unwrap().unwrap_err(),
+            "boom"
+        );
+    }
+
+    #[test]
+    fn distinct_keys_fly_separately() {
+        let b = Batcher::new();
+        assert!(matches!(b.join(key(1)), Join::Leader(_)));
+        assert!(matches!(b.join(key(2)), Join::Leader(_)));
+        assert!(matches!(b.join(key(1)), Join::Follower(_)));
+        assert_eq!(b.in_flight(), 2);
+    }
+}

@@ -1,0 +1,147 @@
+//! The graph catalog: named, immutable, shared graphs.
+//!
+//! Graphs are loaded/registered **once** and shared across all worker
+//! threads behind `Arc`, which is what amortizes graph loading across the
+//! lifetime of the service. Every registration (including re-registration
+//! under an existing name) mints a fresh **generation** number; cached
+//! results embed the generation in their key, so re-registering a name
+//! implicitly invalidates every cached answer computed against the old
+//! graph.
+
+use pasgal_graph::csr::Graph;
+use pasgal_graph::transform::symmetrize;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A registered graph plus its identity and lazily-built undirected view.
+pub struct GraphEntry {
+    /// Catalog name.
+    pub name: String,
+    /// Unique id of this registration; changes on re-register.
+    pub generation: u64,
+    /// The graph as registered.
+    pub graph: Arc<Graph>,
+    /// Lazily-computed symmetrized view for algorithms that need an
+    /// undirected graph (k-core). Shared so the symmetrization also
+    /// happens once per registration, not once per query.
+    symmetrized: OnceLock<Arc<Graph>>,
+}
+
+impl GraphEntry {
+    /// The undirected view: the graph itself when already symmetric,
+    /// otherwise a symmetrized copy built on first use.
+    pub fn undirected(&self) -> Arc<Graph> {
+        if self.graph.is_symmetric() {
+            return Arc::clone(&self.graph);
+        }
+        Arc::clone(
+            self.symmetrized
+                .get_or_init(|| Arc::new(symmetrize(&self.graph))),
+        )
+    }
+}
+
+/// Thread-safe registry of named graphs.
+#[derive(Default)]
+pub struct Catalog {
+    graphs: RwLock<HashMap<String, Arc<GraphEntry>>>,
+    next_generation: AtomicU64,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a graph under `name`. Returns the new entry.
+    pub fn register(&self, name: &str, graph: Graph) -> Arc<GraphEntry> {
+        let generation = self.next_generation.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(GraphEntry {
+            name: name.to_string(),
+            generation,
+            graph: Arc::new(graph),
+            symmetrized: OnceLock::new(),
+        });
+        self.graphs
+            .write()
+            .expect("catalog lock poisoned")
+            .insert(name.to_string(), Arc::clone(&entry));
+        entry
+    }
+
+    /// Look up a graph by name.
+    pub fn get(&self, name: &str) -> Option<Arc<GraphEntry>> {
+        self.graphs
+            .read()
+            .expect("catalog lock poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Remove a graph; returns whether it existed.
+    pub fn unregister(&self, name: &str) -> bool {
+        self.graphs
+            .write()
+            .expect("catalog lock poisoned")
+            .remove(name)
+            .is_some()
+    }
+
+    /// Names and sizes of all registered graphs, sorted by name.
+    pub fn list(&self) -> Vec<(String, usize, usize)> {
+        let mut v: Vec<(String, usize, usize)> = self
+            .graphs
+            .read()
+            .expect("catalog lock poisoned")
+            .values()
+            .map(|e| (e.name.clone(), e.graph.num_vertices(), e.graph.num_edges()))
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasgal_graph::builder::from_edges;
+    use pasgal_graph::gen::basic::grid2d;
+
+    #[test]
+    fn register_get_list() {
+        let c = Catalog::new();
+        assert!(c.get("g").is_none());
+        c.register("g", grid2d(3, 3));
+        c.register("h", grid2d(2, 2));
+        let e = c.get("g").unwrap();
+        assert_eq!(e.graph.num_vertices(), 9);
+        let names: Vec<String> = c.list().into_iter().map(|(n, _, _)| n).collect();
+        assert_eq!(names, vec!["g", "h"]);
+        assert!(c.unregister("h"));
+        assert!(!c.unregister("h"));
+    }
+
+    #[test]
+    fn reregistration_changes_generation() {
+        let c = Catalog::new();
+        let a = c.register("g", grid2d(3, 3));
+        let b = c.register("g", grid2d(4, 4));
+        assert_ne!(a.generation, b.generation);
+        assert_eq!(c.get("g").unwrap().generation, b.generation);
+    }
+
+    #[test]
+    fn undirected_view_is_shared_and_symmetric() {
+        let c = Catalog::new();
+        let e = c.register("d", from_edges(3, &[(0, 1), (1, 2)]));
+        let s1 = e.undirected();
+        let s2 = e.undirected();
+        assert!(Arc::ptr_eq(&s1, &s2));
+        assert!(s1.is_symmetric());
+        assert!(s1.has_edge(1, 0));
+        // already-symmetric graphs are returned as-is
+        let e2 = c.register("u", grid2d(2, 2));
+        assert!(Arc::ptr_eq(&e2.undirected(), &e2.graph));
+    }
+}

@@ -1,0 +1,51 @@
+//! # pasgal-service
+//!
+//! A long-lived, concurrent graph query service on top of the PASGAL-rs
+//! algorithms ([`pasgal_core`]). The batch algorithms answer one question
+//! per process launch; this crate turns them into a server that loads
+//! graphs once and answers many questions cheaply:
+//!
+//! - **[`catalog`]** — named graphs registered once and shared across all
+//!   workers behind `Arc`; re-registering a name mints a new *generation*.
+//! - **[`query`]** — the typed query API ([`Query`]/[`Reply`]) with
+//!   structured errors ([`ServiceError`]) and its JSON wire mapping.
+//! - **[`batcher`]** — single-flight micro-batching: concurrent queries
+//!   needing the same traversal (e.g. many point-to-point queries from one
+//!   source) share a single computation.
+//! - **[`cache`]** — bounded LRU of per-source distance arrays plus
+//!   memoized whole-graph labelings, invalidated by generation.
+//! - **[`service`]** — admission control (bounded queue → `Overloaded`,
+//!   per-query timeout → `Timeout`) and the worker pool executing
+//!   traversals.
+//! - **[`metrics`]** — queries served, cache hit rate, batch-size and
+//!   latency histograms, exposed through the `metrics` query.
+//! - **[`server`]** — JSON-lines-over-TCP front end (`pasgal serve`),
+//!   scriptable with `nc`.
+//!
+//! ```
+//! use pasgal_service::{Query, Service, ServiceConfig};
+//! use pasgal_graph::gen::basic::grid2d;
+//!
+//! let svc = Service::new(ServiceConfig::default());
+//! svc.register("road", grid2d(6, 9));
+//! let reply = svc
+//!     .query(&Query::BfsDist { graph: "road".into(), src: 0, target: Some(53) })
+//!     .unwrap();
+//! assert_eq!(reply, pasgal_service::Reply::Dist { value: Some(13) });
+//! ```
+
+pub mod batcher;
+pub mod cache;
+pub mod catalog;
+pub mod json;
+pub mod metrics;
+pub mod query;
+pub mod server;
+pub mod service;
+
+pub use cache::{ComputeKey, ComputeValue};
+pub use catalog::{Catalog, GraphEntry};
+pub use metrics::MetricsSnapshot;
+pub use query::{Query, Reply, ServiceError};
+pub use server::Server;
+pub use service::{Service, ServiceConfig};

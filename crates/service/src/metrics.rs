@@ -1,0 +1,208 @@
+//! Service observability: lock-free counters and histograms.
+//!
+//! Everything is a relaxed atomic so the hot path never takes a lock for
+//! bookkeeping. Histograms use power-of-two buckets: bucket `i` counts
+//! observations in `[2^i, 2^(i+1))` (bucket 0 also holds zero).
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const LATENCY_BUCKETS: usize = 24; // up to ~2^23 µs ≈ 8.4 s, last bucket catches the rest
+const BATCH_BUCKETS: usize = 12; // batches up to 2^11 = 2048 queries
+
+fn bucket_of(value: u64, buckets: usize) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((63 - value.leading_zeros()) as usize).min(buckets - 1)
+    }
+}
+
+/// Live counters, shared by every worker and connection thread.
+#[derive(Default)]
+pub struct Metrics {
+    queries: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    computations: AtomicU64,
+    rejected_overload: AtomicU64,
+    timeouts: AtomicU64,
+    errors: AtomicU64,
+    latency_us: [AtomicU64; LATENCY_BUCKETS],
+    batch_size: [AtomicU64; BATCH_BUCKETS],
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn query(&self) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One computation finished, having served `batch` queries.
+    pub fn computation(&self, batch: u64) {
+        self.computations.fetch_add(1, Ordering::Relaxed);
+        self.batch_size[bucket_of(batch, BATCH_BUCKETS)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn rejected_overload(&self) {
+        self.rejected_overload.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn latency(&self, elapsed: std::time::Duration) {
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        self.latency_us[bucket_of(us, LATENCY_BUCKETS)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            queries: load(&self.queries),
+            cache_hits: load(&self.cache_hits),
+            cache_misses: load(&self.cache_misses),
+            computations: load(&self.computations),
+            rejected_overload: load(&self.rejected_overload),
+            timeouts: load(&self.timeouts),
+            errors: load(&self.errors),
+            latency_us: self.latency_us.iter().map(load).collect(),
+            batch_size: self.batch_size.iter().map(load).collect(),
+        }
+    }
+}
+
+/// Immutable copy of the counters, returned by the `metrics` query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub queries: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// Distinct traversals/labelings actually executed.
+    pub computations: u64,
+    pub rejected_overload: u64,
+    pub timeouts: u64,
+    pub errors: u64,
+    /// Power-of-two latency buckets in microseconds.
+    pub latency_us: Vec<u64>,
+    /// Power-of-two batch-size buckets (how many queries shared one
+    /// computation).
+    pub batch_size: Vec<u64>,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of cache lookups that hit, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Number of computations that served more than one query.
+    pub fn batches_of_many(&self) -> u64 {
+        self.batch_size.iter().skip(1).sum()
+    }
+
+    /// Encode as the wire object (histograms as `[lower_bound, count]`
+    /// pairs with empty buckets elided).
+    pub fn to_json(&self) -> Json {
+        let hist = |buckets: &[u64]| {
+            Json::Arr(
+                buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(i, &c)| {
+                        Json::Arr(vec![
+                            Json::from(if i == 0 { 0u64 } else { 1u64 << i }),
+                            Json::from(c),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("queries", Json::from(self.queries)),
+            ("cache_hits", Json::from(self.cache_hits)),
+            ("cache_misses", Json::from(self.cache_misses)),
+            ("cache_hit_rate", Json::from(self.cache_hit_rate())),
+            ("computations", Json::from(self.computations)),
+            ("rejected_overload", Json::from(self.rejected_overload)),
+            ("timeouts", Json::from(self.timeouts)),
+            ("errors", Json::from(self.errors)),
+            ("latency_us", hist(&self.latency_us)),
+            ("batch_size", hist(&self.batch_size)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn buckets_are_power_of_two() {
+        assert_eq!(bucket_of(0, 8), 0);
+        assert_eq!(bucket_of(1, 8), 0);
+        assert_eq!(bucket_of(2, 8), 1);
+        assert_eq!(bucket_of(3, 8), 1);
+        assert_eq!(bucket_of(4, 8), 2);
+        assert_eq!(bucket_of(1023, 8), 7); // clamped to last bucket
+        assert_eq!(bucket_of(u64::MAX, 8), 7);
+    }
+
+    #[test]
+    fn snapshot_reflects_counts() {
+        let m = Metrics::new();
+        m.query();
+        m.query();
+        m.cache_hit();
+        m.cache_miss();
+        m.computation(4);
+        m.latency(Duration::from_micros(10));
+        let s = m.snapshot();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.cache_hit_rate(), 0.5);
+        assert_eq!(s.computations, 1);
+        assert_eq!(s.batches_of_many(), 1);
+        assert_eq!(s.batch_size[2], 1); // 4 → bucket 2
+        assert_eq!(s.latency_us[3], 1); // 10 µs → bucket 3
+    }
+
+    #[test]
+    fn json_encoding_elides_empty_buckets() {
+        let m = Metrics::new();
+        m.computation(1);
+        m.computation(8);
+        let j = m.snapshot().to_json();
+        let hist = match j.get("batch_size").unwrap() {
+            Json::Arr(a) => a,
+            _ => panic!(),
+        };
+        assert_eq!(hist.len(), 2);
+        // bucket lower bounds 1 (i=0 shows 0) and 8
+        assert_eq!(hist[1], Json::Arr(vec![Json::Int(8), Json::Int(1)]));
+    }
+}

@@ -1,0 +1,359 @@
+//! The typed query API and its JSON wire mapping.
+//!
+//! A [`Query`] names a graph in the catalog and an algorithm question; a
+//! [`Reply`] is the answer. Point queries (`target`/`vertex` given) return
+//! a single value extracted from the shared per-graph or per-source
+//! result; summary queries return aggregate facts so multi-megabyte
+//! arrays never cross the wire.
+
+use crate::json::Json;
+use crate::metrics::MetricsSnapshot;
+
+/// A graph question the service can answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// Hop distance from `src` (BFS). With `target`: the distance to it;
+    /// without: reachability summary.
+    BfsDist {
+        graph: String,
+        src: u32,
+        target: Option<u32>,
+    },
+    /// Weighted shortest-path distance from `src` (SSSP).
+    SsspDist {
+        graph: String,
+        src: u32,
+        target: Option<u32>,
+    },
+    /// Point-to-point shortest-path distance `src → dst`. Served from the
+    /// shared per-source distance array, so concurrent PTP queries from
+    /// one source cost one traversal.
+    Ptp { graph: String, src: u32, dst: u32 },
+    /// Strongly connected component id of `vertex` (or the component
+    /// count when omitted).
+    SccId { graph: String, vertex: Option<u32> },
+    /// Connected component id of `vertex` (or the component count).
+    CcId { graph: String, vertex: Option<u32> },
+    /// Coreness of `vertex` (or the graph degeneracy).
+    KCore { graph: String, vertex: Option<u32> },
+    /// Structural statistics of a registered graph.
+    Stats { graph: String },
+    /// Service metrics snapshot.
+    Metrics,
+}
+
+impl Query {
+    /// The catalog name this query targets, if any.
+    pub fn graph(&self) -> Option<&str> {
+        match self {
+            Query::BfsDist { graph, .. }
+            | Query::SsspDist { graph, .. }
+            | Query::Ptp { graph, .. }
+            | Query::SccId { graph, .. }
+            | Query::CcId { graph, .. }
+            | Query::KCore { graph, .. }
+            | Query::Stats { graph } => Some(graph),
+            Query::Metrics => None,
+        }
+    }
+
+    /// Short op name (used in metrics and the wire protocol).
+    pub fn op(&self) -> &'static str {
+        match self {
+            Query::BfsDist { .. } => "bfs",
+            Query::SsspDist { .. } => "sssp",
+            Query::Ptp { .. } => "ptp",
+            Query::SccId { .. } => "scc",
+            Query::CcId { .. } => "cc",
+            Query::KCore { .. } => "kcore",
+            Query::Stats { .. } => "stats",
+            Query::Metrics => "metrics",
+        }
+    }
+}
+
+/// An answer to a [`Query`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// A single distance; `None` means unreachable.
+    Dist { value: Option<u64> },
+    /// Distance summary over all vertices reachable from the source.
+    DistSummary { reached: usize, max: u64 },
+    /// Component/label answer for one vertex.
+    Label {
+        vertex: u32,
+        label: u32,
+        components: usize,
+    },
+    /// Component count only.
+    LabelSummary { components: usize },
+    /// Coreness answer for one vertex.
+    Coreness {
+        vertex: u32,
+        coreness: u32,
+        degeneracy: u32,
+    },
+    /// Degeneracy only.
+    CorenessSummary { degeneracy: u32 },
+    /// Graph statistics.
+    Stats {
+        n: usize,
+        m: usize,
+        weighted: bool,
+        symmetric: bool,
+        min_degree: usize,
+        avg_degree: f64,
+        max_degree: usize,
+    },
+    /// Metrics snapshot.
+    Metrics(MetricsSnapshot),
+}
+
+/// Why a query was not answered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// No graph registered under that name.
+    UnknownGraph(String),
+    /// Malformed request (bad op, missing field, wrong type).
+    BadRequest(String),
+    /// A vertex id is outside `0..n`.
+    VertexOutOfRange { vertex: u32, n: usize },
+    /// The admission queue is full; retry later.
+    Overloaded,
+    /// The query waited longer than the configured timeout.
+    Timeout,
+    /// The computation itself failed.
+    Internal(String),
+}
+
+impl ServiceError {
+    /// Stable machine-readable kind for the wire protocol.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServiceError::UnknownGraph(_) => "unknown_graph",
+            ServiceError::BadRequest(_) => "bad_request",
+            ServiceError::VertexOutOfRange { .. } => "vertex_out_of_range",
+            ServiceError::Overloaded => "overloaded",
+            ServiceError::Timeout => "timeout",
+            ServiceError::Internal(_) => "internal",
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownGraph(g) => write!(f, "unknown graph {g:?}"),
+            ServiceError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServiceError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range (n = {n})")
+            }
+            ServiceError::Overloaded => write!(f, "service overloaded, retry later"),
+            ServiceError::Timeout => write!(f, "query timed out"),
+            ServiceError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+// ---------------------------------------------------------------- wire ---
+
+fn need_str(v: &Json, key: &str) -> Result<String, ServiceError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ServiceError::BadRequest(format!("missing string field {key:?}")))
+}
+
+fn need_u32(v: &Json, key: &str) -> Result<u32, ServiceError> {
+    v.get(key)
+        .and_then(Json::as_u32)
+        .ok_or_else(|| ServiceError::BadRequest(format!("missing vertex field {key:?}")))
+}
+
+fn opt_u32(v: &Json, key: &str) -> Result<Option<u32>, ServiceError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(x) => x
+            .as_u32()
+            .map(Some)
+            .ok_or_else(|| ServiceError::BadRequest(format!("field {key:?} must be a vertex id"))),
+    }
+}
+
+impl Query {
+    /// Decode a query from a parsed JSON request object.
+    pub fn from_json(v: &Json) -> Result<Query, ServiceError> {
+        let op = need_str(v, "op")?;
+        match op.as_str() {
+            "bfs" => Ok(Query::BfsDist {
+                graph: need_str(v, "graph")?,
+                src: need_u32(v, "src")?,
+                target: opt_u32(v, "target")?,
+            }),
+            "sssp" => Ok(Query::SsspDist {
+                graph: need_str(v, "graph")?,
+                src: need_u32(v, "src")?,
+                target: opt_u32(v, "target")?,
+            }),
+            "ptp" => Ok(Query::Ptp {
+                graph: need_str(v, "graph")?,
+                src: need_u32(v, "src")?,
+                dst: need_u32(v, "dst")?,
+            }),
+            "scc" => Ok(Query::SccId {
+                graph: need_str(v, "graph")?,
+                vertex: opt_u32(v, "vertex")?,
+            }),
+            "cc" => Ok(Query::CcId {
+                graph: need_str(v, "graph")?,
+                vertex: opt_u32(v, "vertex")?,
+            }),
+            "kcore" => Ok(Query::KCore {
+                graph: need_str(v, "graph")?,
+                vertex: opt_u32(v, "vertex")?,
+            }),
+            "stats" => Ok(Query::Stats {
+                graph: need_str(v, "graph")?,
+            }),
+            "metrics" => Ok(Query::Metrics),
+            other => Err(ServiceError::BadRequest(format!("unknown op {other:?}"))),
+        }
+    }
+}
+
+impl Reply {
+    /// Encode as the `{"ok":true,...}` wire object.
+    pub fn to_json(&self) -> Json {
+        let ok = ("ok", Json::Bool(true));
+        match self {
+            Reply::Dist { value } => {
+                Json::obj([ok, ("dist", value.map(Json::from).unwrap_or(Json::Null))])
+            }
+            Reply::DistSummary { reached, max } => Json::obj([
+                ok,
+                ("reached", Json::from(*reached)),
+                ("max_dist", Json::from(*max)),
+            ]),
+            Reply::Label {
+                vertex,
+                label,
+                components,
+            } => Json::obj([
+                ok,
+                ("vertex", Json::from(*vertex)),
+                ("label", Json::from(*label)),
+                ("components", Json::from(*components)),
+            ]),
+            Reply::LabelSummary { components } => {
+                Json::obj([ok, ("components", Json::from(*components))])
+            }
+            Reply::Coreness {
+                vertex,
+                coreness,
+                degeneracy,
+            } => Json::obj([
+                ok,
+                ("vertex", Json::from(*vertex)),
+                ("coreness", Json::from(*coreness)),
+                ("degeneracy", Json::from(*degeneracy)),
+            ]),
+            Reply::CorenessSummary { degeneracy } => {
+                Json::obj([ok, ("degeneracy", Json::from(*degeneracy))])
+            }
+            Reply::Stats {
+                n,
+                m,
+                weighted,
+                symmetric,
+                min_degree,
+                avg_degree,
+                max_degree,
+            } => Json::obj([
+                ok,
+                ("n", Json::from(*n)),
+                ("m", Json::from(*m)),
+                ("weighted", Json::Bool(*weighted)),
+                ("symmetric", Json::Bool(*symmetric)),
+                ("min_degree", Json::from(*min_degree)),
+                ("avg_degree", Json::from(*avg_degree)),
+                ("max_degree", Json::from(*max_degree)),
+            ]),
+            Reply::Metrics(snap) => snap.to_json(),
+        }
+    }
+}
+
+impl ServiceError {
+    /// Encode as the `{"ok":false,...}` wire object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("ok", Json::Bool(false)),
+            ("kind", Json::from(self.kind())),
+            ("error", Json::from(self.to_string())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn decodes_every_op() {
+        let q = Query::from_json(&parse(r#"{"op":"bfs","graph":"g","src":3,"target":9}"#).unwrap())
+            .unwrap();
+        assert_eq!(
+            q,
+            Query::BfsDist {
+                graph: "g".into(),
+                src: 3,
+                target: Some(9)
+            }
+        );
+        let q = Query::from_json(&parse(r#"{"op":"ptp","graph":"g","src":1,"dst":2}"#).unwrap())
+            .unwrap();
+        assert_eq!(q.op(), "ptp");
+        let q = Query::from_json(&parse(r#"{"op":"scc","graph":"g"}"#).unwrap()).unwrap();
+        assert_eq!(
+            q,
+            Query::SccId {
+                graph: "g".into(),
+                vertex: None
+            }
+        );
+        assert_eq!(
+            Query::from_json(&parse(r#"{"op":"metrics"}"#).unwrap()).unwrap(),
+            Query::Metrics
+        );
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            r#"{"graph":"g"}"#,
+            r#"{"op":"teleport","graph":"g"}"#,
+            r#"{"op":"bfs","graph":"g"}"#,
+            r#"{"op":"bfs","graph":"g","src":-1}"#,
+            r#"{"op":"ptp","graph":"g","src":1}"#,
+        ] {
+            let e = Query::from_json(&parse(bad).unwrap()).unwrap_err();
+            assert_eq!(e.kind(), "bad_request", "{bad}");
+        }
+    }
+
+    #[test]
+    fn reply_encoding_has_ok_flag() {
+        let r = Reply::Dist { value: Some(13) };
+        let j = r.to_json();
+        assert_eq!(j.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(j.get("dist").unwrap().as_u64(), Some(13));
+        let r = Reply::Dist { value: None };
+        assert_eq!(r.to_json().get("dist"), Some(&Json::Null));
+        let e = ServiceError::Overloaded.to_json();
+        assert_eq!(e.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(e.get("kind").unwrap().as_str(), Some("overloaded"));
+    }
+}

@@ -1,0 +1,263 @@
+//! JSON-lines-over-TCP front end.
+//!
+//! One request per line, one response per line, both JSON objects —
+//! trivially scriptable with `nc`. Each connection gets a thread (the
+//! heavy lifting happens in the service's bounded worker pool, so
+//! connection threads are cheap waiters). Beyond the query ops handled by
+//! [`Query`], the wire protocol adds catalog management:
+//!
+//! ```text
+//! {"op":"register","name":"road","path":"road.bin"}
+//! {"op":"unregister","name":"road"}
+//! {"op":"list"}
+//! ```
+
+use crate::json::{self, Json};
+use crate::query::{Query, ServiceError};
+use crate::service::Service;
+use pasgal_graph::io;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running server; dropping it (or calling [`Server::shutdown`]) stops
+/// the accept loop.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:7421"`, port 0 for ephemeral) and
+    /// start accepting connections against `service`.
+    pub fn spawn(service: Arc<Service>, addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("pasgal-accept".into())
+            .spawn(move || accept_loop(listener, service, flag))?;
+        Ok(Server {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept thread. Existing connections
+    /// finish their current line and then see EOF-like errors.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // poke the listener so the blocking accept() returns
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, service: Arc<Service>, shutdown: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let service = Arc::clone(&service);
+        let _ = std::thread::Builder::new()
+            .name("pasgal-conn".into())
+            .spawn(move || {
+                let _ = handle_connection(stream, &service);
+            });
+    }
+}
+
+fn handle_connection(stream: TcpStream, service: &Service) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(service, &line);
+        writer.write_all(response.to_string().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Process one request line; never panics, always returns a JSON object
+/// with an `ok` field.
+pub fn handle_line(service: &Service, line: &str) -> Json {
+    let request = match json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return ServiceError::BadRequest(format!("invalid JSON: {e}")).to_json(),
+    };
+    match request.get("op").and_then(Json::as_str) {
+        Some("register") => handle_register(service, &request),
+        Some("unregister") => {
+            let Some(name) = request.get("name").and_then(Json::as_str) else {
+                return ServiceError::BadRequest("missing string field \"name\"".into()).to_json();
+            };
+            if service.unregister(name) {
+                Json::obj([("ok", Json::Bool(true)), ("name", Json::from(name))])
+            } else {
+                ServiceError::UnknownGraph(name.to_string()).to_json()
+            }
+        }
+        Some("list") => {
+            let graphs = service
+                .catalog()
+                .list()
+                .into_iter()
+                .map(|(name, n, m)| {
+                    Json::obj([
+                        ("name", Json::from(name)),
+                        ("n", Json::from(n)),
+                        ("m", Json::from(m)),
+                    ])
+                })
+                .collect();
+            Json::obj([("ok", Json::Bool(true)), ("graphs", Json::Arr(graphs))])
+        }
+        _ => match Query::from_json(&request) {
+            Ok(q) => match service.query(&q) {
+                Ok(reply) => reply.to_json(),
+                Err(e) => e.to_json(),
+            },
+            Err(e) => e.to_json(),
+        },
+    }
+}
+
+fn handle_register(service: &Service, request: &Json) -> Json {
+    let (Some(name), Some(path)) = (
+        request.get("name").and_then(Json::as_str),
+        request.get("path").and_then(Json::as_str),
+    ) else {
+        return ServiceError::BadRequest("register needs \"name\" and \"path\"".into()).to_json();
+    };
+    let graph = match load_graph_by_ext(path) {
+        Ok(g) => g,
+        Err(e) => return ServiceError::BadRequest(e).to_json(),
+    };
+    let entry = service.register(name, graph);
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("name", Json::from(name)),
+        ("n", Json::from(entry.graph.num_vertices())),
+        ("m", Json::from(entry.graph.num_edges())),
+        ("generation", Json::from(entry.generation)),
+    ])
+}
+
+/// Load a graph file by extension: `.adj` (PBBS text), `.bin` (binary
+/// CSR), anything else as an edge list. Mirrors the CLI's convention.
+pub fn load_graph_by_ext(path: &str) -> Result<pasgal_graph::csr::Graph, String> {
+    let p = Path::new(path);
+    let ext = p.extension().and_then(|e| e.to_str()).unwrap_or("");
+    let res = match ext {
+        "adj" => io::read_adj(p),
+        "bin" => io::read_bin(p),
+        _ => io::read_edge_list(p),
+    };
+    res.map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use pasgal_graph::gen::basic::grid2d;
+
+    fn service_with_grid() -> Arc<Service> {
+        let svc = Arc::new(Service::new(ServiceConfig {
+            workers: 2,
+            queue_capacity: 8,
+            ..ServiceConfig::default()
+        }));
+        svc.register("g", grid2d(6, 9));
+        svc
+    }
+
+    #[test]
+    fn line_protocol_happy_path() {
+        let svc = service_with_grid();
+        let r = handle_line(&svc, r#"{"op":"bfs","graph":"g","src":0,"target":53}"#);
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(r.get("dist").unwrap().as_u64(), Some(13));
+        let r = handle_line(&svc, r#"{"op":"list"}"#);
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn line_protocol_errors() {
+        let svc = service_with_grid();
+        let r = handle_line(&svc, "this is not json");
+        assert_eq!(r.get("kind").unwrap().as_str(), Some("bad_request"));
+        let r = handle_line(&svc, r#"{"op":"bfs","graph":"missing","src":0}"#);
+        assert_eq!(r.get("kind").unwrap().as_str(), Some("unknown_graph"));
+        let r = handle_line(&svc, r#"{"op":"unregister","name":"missing"}"#);
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        let svc = service_with_grid();
+        let mut server = Server::spawn(Arc::clone(&svc), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        for (req, check) in [
+            (r#"{"op":"stats","graph":"g"}"#, "\"n\":54"),
+            (r#"{"op":"cc","graph":"g"}"#, "\"components\":1"),
+            (r#"{"op":"metrics"}"#, "\"queries\":"),
+        ] {
+            writer.write_all(req.as_bytes()).unwrap();
+            writer.write_all(b"\n").unwrap();
+            writer.flush().unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains(check), "{req} → {line}");
+            assert!(line.contains("\"ok\":true"), "{req} → {line}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn register_over_the_wire() {
+        let svc = Arc::new(Service::new(ServiceConfig::default()));
+        let path = std::env::temp_dir().join(format!("pasgal_srv_{}.bin", std::process::id()));
+        io::write_bin(&grid2d(4, 4), &path).unwrap();
+        let req = format!(
+            r#"{{"op":"register","name":"t","path":{:?}}}"#,
+            path.to_str().unwrap()
+        );
+        let r = handle_line(&svc, &req);
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r}");
+        assert_eq!(r.get("n").unwrap().as_u64(), Some(16));
+        let r = handle_line(&svc, r#"{"op":"kcore","graph":"t"}"#);
+        assert_eq!(r.get("degeneracy").unwrap().as_u64(), Some(2));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

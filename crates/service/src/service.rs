@@ -1,0 +1,610 @@
+//! The query executor: admission control, worker pool, and dispatch onto
+//! the `pasgal-core` algorithms.
+//!
+//! A query's life: check the [`ResultCache`] → on miss, join the
+//! [`Batcher`]'s flight for its [`ComputeKey`] → the flight leader submits
+//! one job to a **bounded** queue (full queue = [`ServiceError::Overloaded`],
+//! never unbounded memory growth) → a worker runs the traversal once,
+//! caches it, and wakes the whole batch → each waiter extracts its answer
+//! from the shared result. Waiters give up after the configured timeout
+//! ([`ServiceError::Timeout`]) but the computation still completes and
+//! populates the cache for later queries.
+
+use crate::batcher::{Batcher, Flight, Join};
+use crate::cache::{ComputeKey, ComputeValue, ResultCache};
+use crate::catalog::{Catalog, GraphEntry};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::query::{Query, Reply, ServiceError};
+use pasgal_core::bfs::vgc::bfs_vgc;
+use pasgal_core::cc::connectivity;
+use pasgal_core::common::{VgcConfig, UNREACHED};
+use pasgal_core::kcore::kcore_peel;
+use pasgal_core::scc::fwbw::scc_vgc;
+use pasgal_core::sssp::stepping::{sssp_rho_stepping, RhoConfig};
+use pasgal_graph::csr::Graph;
+use pasgal_graph::stats::degree_stats;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Error string used to propagate queue rejection to batched followers.
+const OVERLOADED: &str = "\u{1}overloaded";
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing traversals (each traversal is itself
+    /// parallel, so a few workers saturate a machine).
+    pub workers: usize,
+    /// Bounded admission queue depth; a full queue rejects new
+    /// computations with `Overloaded` instead of buffering without limit.
+    pub queue_capacity: usize,
+    /// How long a query waits for its computation before `Timeout`.
+    pub query_timeout: Duration,
+    /// Max cached per-source distance arrays (LRU evicted).
+    pub cache_capacity: usize,
+    /// VGC granularity (`τ`) used for all traversals.
+    pub tau: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .clamp(1, 8),
+            queue_capacity: 64,
+            query_timeout: Duration::from_secs(30),
+            cache_capacity: 128,
+            tau: 256,
+        }
+    }
+}
+
+struct Job {
+    key: ComputeKey,
+    entry: Arc<GraphEntry>,
+    flight: Arc<Flight>,
+}
+
+struct Inner {
+    catalog: Catalog,
+    cache: Mutex<ResultCache>,
+    batcher: Batcher,
+    metrics: Metrics,
+    config: ServiceConfig,
+}
+
+/// The concurrent graph query service. Cheap to share (`Arc<Service>`);
+/// [`Service::query`] may be called from any number of threads.
+pub struct Service {
+    inner: Arc<Inner>,
+    queue: SyncSender<Job>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Service {
+    pub fn new(config: ServiceConfig) -> Self {
+        let inner = Arc::new(Inner {
+            catalog: Catalog::new(),
+            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            batcher: Batcher::new(),
+            metrics: Metrics::new(),
+            config: config.clone(),
+        });
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("pasgal-worker-{i}"))
+                    .spawn(move || worker_loop(inner, rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self {
+            inner,
+            queue: tx,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Register (or replace) a graph. Replacement mints a new generation
+    /// and drops every cached result of the old one.
+    pub fn register(&self, name: &str, graph: Graph) -> Arc<GraphEntry> {
+        let old = self.inner.catalog.get(name).map(|e| e.generation);
+        let entry = self.inner.catalog.register(name, graph);
+        if let Some(generation) = old {
+            self.inner
+                .cache
+                .lock()
+                .expect("cache lock poisoned")
+                .invalidate_generation(generation);
+        }
+        entry
+    }
+
+    /// Remove a graph and its cached results.
+    pub fn unregister(&self, name: &str) -> bool {
+        let old = self.inner.catalog.get(name).map(|e| e.generation);
+        let existed = self.inner.catalog.unregister(name);
+        if let Some(generation) = old {
+            self.inner
+                .cache
+                .lock()
+                .expect("cache lock poisoned")
+                .invalidate_generation(generation);
+        }
+        existed
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.inner.catalog
+    }
+
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Answer one query (blocking, callable concurrently).
+    pub fn query(&self, q: &Query) -> Result<Reply, ServiceError> {
+        let start = Instant::now();
+        self.inner.metrics.query();
+        let out = self.dispatch(q);
+        self.inner.metrics.latency(start.elapsed());
+        if let Err(e) = &out {
+            match e {
+                ServiceError::Timeout => self.inner.metrics.timeout(),
+                ServiceError::Overloaded => {} // counted at rejection site
+                _ => self.inner.metrics.error(),
+            }
+        }
+        out
+    }
+
+    fn dispatch(&self, q: &Query) -> Result<Reply, ServiceError> {
+        match q {
+            Query::Metrics => Ok(Reply::Metrics(self.inner.metrics.snapshot())),
+            Query::Stats { graph } => {
+                let entry = self.lookup(graph)?;
+                let g = &entry.graph;
+                let d = degree_stats(g);
+                Ok(Reply::Stats {
+                    n: g.num_vertices(),
+                    m: g.num_edges(),
+                    weighted: g.is_weighted(),
+                    symmetric: g.is_symmetric(),
+                    min_degree: d.min,
+                    avg_degree: d.avg,
+                    max_degree: d.max,
+                })
+            }
+            Query::BfsDist { graph, src, target } => {
+                let entry = self.lookup(graph)?;
+                check_vertex(&entry, *src)?;
+                if let Some(t) = target {
+                    check_vertex(&entry, *t)?;
+                }
+                let key = ComputeKey::HopDists {
+                    generation: entry.generation,
+                    src: *src,
+                };
+                match self.obtain(key, &entry)? {
+                    ComputeValue::HopDists(dist) => Ok(hop_reply(&dist, *target)),
+                    _ => Err(ServiceError::Internal("wrong result kind".into())),
+                }
+            }
+            Query::SsspDist { graph, src, target } => {
+                let entry = self.lookup(graph)?;
+                check_vertex(&entry, *src)?;
+                if let Some(t) = target {
+                    check_vertex(&entry, *t)?;
+                }
+                let dist = self.sssp_dists(&entry, *src)?;
+                Ok(weight_reply(&dist, *target))
+            }
+            Query::Ptp { graph, src, dst } => {
+                let entry = self.lookup(graph)?;
+                check_vertex(&entry, *src)?;
+                check_vertex(&entry, *dst)?;
+                let dist = self.sssp_dists(&entry, *src)?;
+                Ok(weight_reply(&dist, Some(*dst)))
+            }
+            Query::SccId { graph, vertex } => {
+                let entry = self.lookup(graph)?;
+                self.label_reply(
+                    &entry,
+                    ComputeKey::SccLabels {
+                        generation: entry.generation,
+                    },
+                    *vertex,
+                )
+            }
+            Query::CcId { graph, vertex } => {
+                let entry = self.lookup(graph)?;
+                self.label_reply(
+                    &entry,
+                    ComputeKey::CcLabels {
+                        generation: entry.generation,
+                    },
+                    *vertex,
+                )
+            }
+            Query::KCore { graph, vertex } => {
+                let entry = self.lookup(graph)?;
+                if let Some(v) = vertex {
+                    check_vertex(&entry, *v)?;
+                }
+                let key = ComputeKey::Coreness {
+                    generation: entry.generation,
+                };
+                match self.obtain(key, &entry)? {
+                    ComputeValue::Coreness {
+                        coreness,
+                        degeneracy,
+                    } => Ok(match vertex {
+                        Some(v) => Reply::Coreness {
+                            vertex: *v,
+                            coreness: coreness[*v as usize],
+                            degeneracy,
+                        },
+                        None => Reply::CorenessSummary { degeneracy },
+                    }),
+                    _ => Err(ServiceError::Internal("wrong result kind".into())),
+                }
+            }
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Result<Arc<GraphEntry>, ServiceError> {
+        self.inner
+            .catalog
+            .get(name)
+            .ok_or_else(|| ServiceError::UnknownGraph(name.to_string()))
+    }
+
+    fn sssp_dists(&self, entry: &Arc<GraphEntry>, src: u32) -> Result<Arc<Vec<u64>>, ServiceError> {
+        let key = ComputeKey::Dists {
+            generation: entry.generation,
+            src,
+        };
+        match self.obtain(key, entry)? {
+            ComputeValue::Dists(d) => Ok(d),
+            _ => Err(ServiceError::Internal("wrong result kind".into())),
+        }
+    }
+
+    fn label_reply(
+        &self,
+        entry: &Arc<GraphEntry>,
+        key: ComputeKey,
+        vertex: Option<u32>,
+    ) -> Result<Reply, ServiceError> {
+        if let Some(v) = vertex {
+            check_vertex(entry, v)?;
+        }
+        match self.obtain(key, entry)? {
+            ComputeValue::Labels { labels, count } => Ok(match vertex {
+                Some(v) => Reply::Label {
+                    vertex: v,
+                    label: labels[v as usize],
+                    components: count,
+                },
+                None => Reply::LabelSummary { components: count },
+            }),
+            _ => Err(ServiceError::Internal("wrong result kind".into())),
+        }
+    }
+
+    /// Cache → single-flight → bounded queue → wait.
+    fn obtain(
+        &self,
+        key: ComputeKey,
+        entry: &Arc<GraphEntry>,
+    ) -> Result<ComputeValue, ServiceError> {
+        if let Some(v) = self
+            .inner
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .get(&key)
+        {
+            self.inner.metrics.cache_hit();
+            return Ok(v);
+        }
+        self.inner.metrics.cache_miss();
+        let flight = match self.inner.batcher.join(key) {
+            Join::Leader(flight) => {
+                let job = Job {
+                    key,
+                    entry: Arc::clone(entry),
+                    flight: Arc::clone(&flight),
+                };
+                match self.queue.try_send(job) {
+                    Ok(()) => flight,
+                    Err(TrySendError::Full(job)) => {
+                        self.inner.metrics.rejected_overload();
+                        self.inner.batcher.complete(
+                            &key,
+                            &job.flight,
+                            Err(OVERLOADED.into()),
+                            |_| {},
+                        );
+                        return Err(ServiceError::Overloaded);
+                    }
+                    Err(TrySendError::Disconnected(job)) => {
+                        self.inner.batcher.complete(
+                            &key,
+                            &job.flight,
+                            Err("shutting down".into()),
+                            |_| {},
+                        );
+                        return Err(ServiceError::Internal("service shutting down".into()));
+                    }
+                }
+            }
+            Join::Follower(flight) => flight,
+        };
+        match flight.wait(self.inner.config.query_timeout) {
+            Err(crate::batcher::WaitTimeout) => Err(ServiceError::Timeout),
+            Ok(Ok(v)) => Ok(v),
+            Ok(Err(msg)) if msg == OVERLOADED => {
+                self.inner.metrics.rejected_overload();
+                Err(ServiceError::Overloaded)
+            }
+            Ok(Err(msg)) => Err(ServiceError::Internal(msg)),
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        // Closing the queue ends every worker's recv loop; swap in a
+        // zero-capacity stand-in so `self.queue` can be dropped here.
+        let (dead, _) = std::sync::mpsc::sync_channel(1);
+        drop(std::mem::replace(&mut self.queue, dead));
+        for h in self
+            .workers
+            .lock()
+            .expect("workers lock poisoned")
+            .drain(..)
+        {
+            let _ = h.join();
+        }
+    }
+}
+
+fn check_vertex(entry: &Arc<GraphEntry>, v: u32) -> Result<(), ServiceError> {
+    let n = entry.graph.num_vertices();
+    if (v as usize) < n {
+        Ok(())
+    } else {
+        Err(ServiceError::VertexOutOfRange { vertex: v, n })
+    }
+}
+
+fn hop_reply(dist: &[u32], target: Option<u32>) -> Reply {
+    match target {
+        Some(t) => Reply::Dist {
+            value: match dist[t as usize] {
+                UNREACHED => None,
+                d => Some(d as u64),
+            },
+        },
+        None => {
+            let mut reached = 0usize;
+            let mut max = 0u64;
+            for &d in dist {
+                if d != UNREACHED {
+                    reached += 1;
+                    max = max.max(d as u64);
+                }
+            }
+            Reply::DistSummary { reached, max }
+        }
+    }
+}
+
+fn weight_reply(dist: &[u64], target: Option<u32>) -> Reply {
+    match target {
+        Some(t) => Reply::Dist {
+            value: match dist[t as usize] {
+                u64::MAX => None,
+                d => Some(d),
+            },
+        },
+        None => {
+            let mut reached = 0usize;
+            let mut max = 0u64;
+            for &d in dist {
+                if d != u64::MAX {
+                    reached += 1;
+                    max = max.max(d);
+                }
+            }
+            Reply::DistSummary { reached, max }
+        }
+    }
+}
+
+fn worker_loop(inner: Arc<Inner>, rx: Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        let job = {
+            let guard = rx.lock().expect("queue lock poisoned");
+            match guard.recv() {
+                Ok(job) => job,
+                Err(_) => return, // service dropped
+            }
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| compute(&inner, &job.key, &job.entry)))
+            .map_err(|payload| {
+                if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "computation panicked".to_string()
+                }
+            });
+        if let Ok(value) = &result {
+            inner
+                .cache
+                .lock()
+                .expect("cache lock poisoned")
+                .insert(job.key, value.clone());
+        }
+        inner
+            .batcher
+            .complete(&job.key, &job.flight, result, |batch| {
+                inner.metrics.computation(batch)
+            });
+    }
+}
+
+fn compute(inner: &Inner, key: &ComputeKey, entry: &GraphEntry) -> ComputeValue {
+    let vgc = VgcConfig::with_tau(inner.config.tau);
+    match *key {
+        ComputeKey::HopDists { src, .. } => {
+            ComputeValue::HopDists(Arc::new(bfs_vgc(&entry.graph, src, &vgc).dist))
+        }
+        ComputeKey::Dists { src, .. } => {
+            let cfg = RhoConfig {
+                vgc,
+                ..RhoConfig::default()
+            };
+            ComputeValue::Dists(Arc::new(sssp_rho_stepping(&entry.graph, src, &cfg).dist))
+        }
+        ComputeKey::SccLabels { .. } => {
+            let r = scc_vgc(&entry.graph, &vgc);
+            ComputeValue::Labels {
+                labels: Arc::new(r.labels),
+                count: r.num_sccs,
+            }
+        }
+        ComputeKey::CcLabels { .. } => {
+            let r = connectivity(&entry.graph);
+            ComputeValue::Labels {
+                labels: Arc::new(r.labels),
+                count: r.num_components,
+            }
+        }
+        ComputeKey::Coreness { .. } => {
+            let g = entry.undirected();
+            let r = kcore_peel(&g, inner.config.tau);
+            ComputeValue::Coreness {
+                coreness: Arc::new(r.coreness),
+                degeneracy: r.degeneracy,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasgal_graph::gen::basic::grid2d;
+
+    fn small_service() -> Service {
+        Service::new(ServiceConfig {
+            workers: 2,
+            queue_capacity: 16,
+            query_timeout: Duration::from_secs(10),
+            cache_capacity: 8,
+            tau: 64,
+        })
+    }
+
+    #[test]
+    fn answers_match_direct_bfs() {
+        let svc = small_service();
+        svc.register("g", grid2d(6, 9));
+        let direct = bfs_vgc(&grid2d(6, 9), 0, &VgcConfig::default()).dist;
+        for t in [0u32, 13, 53] {
+            let r = svc
+                .query(&Query::BfsDist {
+                    graph: "g".into(),
+                    src: 0,
+                    target: Some(t),
+                })
+                .unwrap();
+            assert_eq!(
+                r,
+                Reply::Dist {
+                    value: Some(direct[t as usize] as u64)
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_query_hits_cache() {
+        let svc = small_service();
+        svc.register("g", grid2d(5, 5));
+        let q = Query::BfsDist {
+            graph: "g".into(),
+            src: 0,
+            target: Some(24),
+        };
+        let a = svc.query(&q).unwrap();
+        let b = svc.query(&q).unwrap();
+        assert_eq!(a, b);
+        let m = svc.metrics();
+        assert_eq!(m.computations, 1);
+        assert!(m.cache_hits >= 1, "{m:?}");
+    }
+
+    #[test]
+    fn unknown_graph_and_bad_vertex() {
+        let svc = small_service();
+        assert!(matches!(
+            svc.query(&Query::Stats {
+                graph: "nope".into()
+            }),
+            Err(ServiceError::UnknownGraph(_))
+        ));
+        svc.register("g", grid2d(2, 2));
+        assert!(matches!(
+            svc.query(&Query::BfsDist {
+                graph: "g".into(),
+                src: 4,
+                target: None
+            }),
+            Err(ServiceError::VertexOutOfRange { vertex: 4, n: 4 })
+        ));
+    }
+
+    #[test]
+    fn stats_and_summary_replies() {
+        let svc = small_service();
+        svc.register("g", grid2d(3, 4));
+        match svc.query(&Query::Stats { graph: "g".into() }).unwrap() {
+            Reply::Stats {
+                n, m, symmetric, ..
+            } => {
+                assert_eq!(n, 12);
+                assert!(m > 0);
+                assert!(symmetric);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match svc
+            .query(&Query::BfsDist {
+                graph: "g".into(),
+                src: 0,
+                target: None,
+            })
+            .unwrap()
+        {
+            Reply::DistSummary { reached, max } => {
+                assert_eq!(reached, 12);
+                assert_eq!(max, 2 + 3); // grid corner-to-corner hops
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -69,9 +69,18 @@ fn main() {
     assert_eq!(uni.distance, rho.distance);
 
     println!("{:<28} {:>12} {:>10}", "engine", "time", "settled");
-    println!("{:<28} {:>12.2?} {:>10}", "early-exit dijkstra", t_uni, uni.settled);
-    println!("{:<28} {:>12.2?} {:>10}", "bidirectional dijkstra", t_bi, bi.settled);
-    println!("{:<28} {:>12.2?} {:>10}", "pruned rho-stepping (VGC)", t_rho, rho.settled);
+    println!(
+        "{:<28} {:>12.2?} {:>10}",
+        "early-exit dijkstra", t_uni, uni.settled
+    );
+    println!(
+        "{:<28} {:>12.2?} {:>10}",
+        "bidirectional dijkstra", t_bi, bi.settled
+    );
+    println!(
+        "{:<28} {:>12.2?} {:>10}",
+        "pruned rho-stepping (VGC)", t_rho, rho.settled
+    );
     println!(
         "shortest travel time: {:.1} minutes",
         uni.distance as f64 / 60.0

@@ -10,8 +10,8 @@ use pasgal_core::bcc::bcc_fast;
 use pasgal_core::bfs::{flat, seq, vgc};
 use pasgal_core::common::VgcConfig;
 use pasgal_core::scc::scc_vgc;
-use pasgal_core::sssp::stepping::RhoConfig;
 use pasgal_core::sssp::sssp_rho_stepping;
+use pasgal_core::sssp::stepping::RhoConfig;
 use pasgal_graph::gen::basic::{grid2d, grid2d_directed};
 use pasgal_graph::gen::with_random_weights;
 

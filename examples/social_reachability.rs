@@ -48,9 +48,18 @@ fn main() {
 
     println!("\n{:<26} {:>12} {:>8}", "BFS engine", "time", "rounds");
     println!("{:<26} {:>12.2?} {:>8}", "sequential queue", t_seq, 1);
-    println!("{:<26} {:>12.2?} {:>8}", "flat + dir-opt (GBBS)", t_flat, f.stats.rounds);
-    println!("{:<26} {:>12.2?} {:>8}", "flat + dir-opt (GAPBS)", t_gap, gp.stats.rounds);
-    println!("{:<26} {:>12.2?} {:>8}", "PASGAL VGC", t_vgc, v.stats.rounds);
+    println!(
+        "{:<26} {:>12.2?} {:>8}",
+        "flat + dir-opt (GBBS)", t_flat, f.stats.rounds
+    );
+    println!(
+        "{:<26} {:>12.2?} {:>8}",
+        "flat + dir-opt (GAPBS)", t_gap, gp.stats.rounds
+    );
+    println!(
+        "{:<26} {:>12.2?} {:>8}",
+        "PASGAL VGC", t_vgc, v.stats.rounds
+    );
 
     // histogram of separation degrees
     let mut hist = [0usize; 16];

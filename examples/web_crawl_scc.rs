@@ -40,7 +40,10 @@ fn main() {
     assert_eq!(ms.num_sccs, tarjan.num_sccs);
 
     println!("\n{:<28} {:>12} {:>10}", "engine", "time", "rounds");
-    println!("{:<28} {:>12.2?} {:>10}", "tarjan (sequential)", t_tarjan, 1);
+    println!(
+        "{:<28} {:>12.2?} {:>10}",
+        "tarjan (sequential)", t_tarjan, 1
+    );
     println!(
         "{:<28} {:>12.2?} {:>10}",
         "PASGAL vgc", t_vgc, vgc.stats.rounds
@@ -49,7 +52,10 @@ fn main() {
         "{:<28} {:>12.2?} {:>10}",
         "bfs-order reach (GBBS-ish)", t_bfs, bfs.stats.rounds
     );
-    println!("{:<28} {:>12.2?} {:>10}", "multistep", t_ms, ms.stats.rounds);
+    println!(
+        "{:<28} {:>12.2?} {:>10}",
+        "multistep", t_ms, ms.stats.rounds
+    );
 
     // Bow-tie analysis: size distribution of components.
     let mut sizes = std::collections::HashMap::<u32, usize>::new();

@@ -21,7 +21,11 @@ fn all_bcc_agree_on_the_symmetrized_suite() {
             ("tarjan-vishkin", bcc_tarjan_vishkin(&g)),
             ("bfs-based", bcc_bfs_based(&g)),
         ] {
-            assert_eq!(got.num_bccs, want.num_bccs, "{}: {} count", entry.name, name);
+            assert_eq!(
+                got.num_bccs, want.num_bccs,
+                "{}: {} count",
+                entry.name, name
+            );
             assert_eq!(
                 canonicalize_labels(&got.edge_labels),
                 want_canon,

@@ -22,10 +22,11 @@ fn results_identical_across_thread_counts() {
         let gw = with_random_weights(&gs, 5, 100);
 
         let base_bfs = with_threads(1, || bfs_vgc(&g, 0, &VgcConfig::default()).dist);
-        let base_scc = with_threads(1, || canonicalize_labels(&scc_vgc(&g, &VgcConfig::default()).labels));
+        let base_scc = with_threads(1, || {
+            canonicalize_labels(&scc_vgc(&g, &VgcConfig::default()).labels)
+        });
         let base_bcc = with_threads(1, || canonicalize_labels(&bcc_fast(&gs).edge_labels));
-        let base_sssp =
-            with_threads(1, || sssp_rho_stepping(&gw, 0, &RhoConfig::default()).dist);
+        let base_sssp = with_threads(1, || sssp_rho_stepping(&gw, 0, &RhoConfig::default()).dist);
         let base_core = with_threads(1, || kcore_peel(&gs, 128).coreness);
 
         for threads in [2, 4] {
@@ -35,9 +36,7 @@ fn results_identical_across_thread_counts() {
                 canonicalize_labels(&scc_vgc(&g, &VgcConfig::default()).labels)
             });
             assert_eq!(scc, base_scc, "{name}: scc @ {threads}");
-            let bcc = with_threads(threads, || {
-                canonicalize_labels(&bcc_fast(&gs).edge_labels)
-            });
+            let bcc = with_threads(threads, || canonicalize_labels(&bcc_fast(&gs).edge_labels));
             assert_eq!(bcc, base_bcc, "{name}: bcc @ {threads}");
             let sssp = with_threads(threads, || {
                 sssp_rho_stepping(&gw, 0, &RhoConfig::default()).dist

@@ -33,7 +33,11 @@ fn all_scc_agree_on_directed_suite() {
         );
 
         let ms = scc_multistep(&g).expect("within 32-bit limit");
-        assert_eq!(ms.num_sccs, want.num_sccs, "{}: multistep count", entry.name);
+        assert_eq!(
+            ms.num_sccs, want.num_sccs,
+            "{}: multistep count",
+            entry.name
+        );
         assert_eq!(
             canonicalize_labels(&ms.labels),
             want_canon,

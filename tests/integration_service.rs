@@ -1,0 +1,284 @@
+//! End-to-end tests of `pasgal-service`: an in-process service (and TCP
+//! server) is started, graphs are registered, and concurrent queries of
+//! several kinds are checked against direct `pasgal-core` calls.
+
+use pasgal_core::common::VgcConfig;
+use pasgal_graph::gen::basic::grid2d;
+use pasgal_service::{Query, Reply, Server, Service, ServiceConfig, ServiceError};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn test_config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 2,
+        queue_capacity: 32,
+        query_timeout: Duration::from_secs(30),
+        cache_capacity: 16,
+        tau: 64,
+    }
+}
+
+/// The acceptance scenario: register a graph, fire several query kinds
+/// concurrently, check every answer against a direct core call, and
+/// verify the metrics recorded at least one cache hit and at least one
+/// batch that served more than one query.
+#[test]
+fn concurrent_queries_match_direct_calls() {
+    let svc = Arc::new(Service::new(test_config()));
+    let n = 150 * 150; // big enough that a traversal outlives query arrival
+    let g = grid2d(150, 150);
+    svc.register("grid", g.clone());
+
+    let bfs = pasgal_core::bfs::vgc::bfs_vgc(&g, 0, &VgcConfig::default());
+    let sssp = pasgal_core::sssp::sssp_dijkstra(&g, 0);
+    let cc = pasgal_core::cc::connectivity(&g);
+    let scc = pasgal_core::scc::scc_tarjan(&g);
+    let kcore = pasgal_core::kcore::kcore_seq(&g);
+
+    // Many threads released together, four query kinds, every PTP/BFS
+    // sharing src 0 so the single-flight batcher has something to
+    // coalesce.
+    let barrier = Arc::new(Barrier::new(24));
+    let handles: Vec<_> = (0..24u32)
+        .map(|i| {
+            let svc = Arc::clone(&svc);
+            let barrier = Arc::clone(&barrier);
+            let target = ((i as usize * 937) % n) as u32;
+            std::thread::spawn(move || {
+                barrier.wait();
+                let queries: [(Query, &str); 4] = [
+                    (
+                        Query::BfsDist {
+                            graph: "grid".into(),
+                            src: 0,
+                            target: Some(target),
+                        },
+                        "bfs",
+                    ),
+                    (
+                        Query::Ptp {
+                            graph: "grid".into(),
+                            src: 0,
+                            dst: target,
+                        },
+                        "ptp",
+                    ),
+                    (
+                        Query::CcId {
+                            graph: "grid".into(),
+                            vertex: Some(target),
+                        },
+                        "cc",
+                    ),
+                    (
+                        Query::KCore {
+                            graph: "grid".into(),
+                            vertex: Some(target),
+                        },
+                        "kcore",
+                    ),
+                ];
+                queries.map(|(q, kind)| (kind, target, svc.query(&q).unwrap()))
+            })
+        })
+        .collect();
+
+    // Component *labels* are canonical to each algorithm run, so compare
+    // partition structure: the grid is connected, so every queried vertex
+    // must report the same label and the direct component count.
+    let mut cc_labels = Vec::new();
+    for h in handles {
+        for (kind, target, reply) in h.join().unwrap() {
+            match (kind, reply) {
+                ("bfs", Reply::Dist { value }) => {
+                    assert_eq!(
+                        value,
+                        Some(bfs.dist[target as usize] as u64),
+                        "bfs {target}"
+                    );
+                }
+                ("ptp", Reply::Dist { value }) => {
+                    assert_eq!(value, Some(sssp.dist[target as usize]), "ptp {target}");
+                }
+                (
+                    "cc",
+                    Reply::Label {
+                        label, components, ..
+                    },
+                ) => {
+                    assert_eq!(components, cc.num_components);
+                    cc_labels.push(label);
+                }
+                (
+                    "kcore",
+                    Reply::Coreness {
+                        coreness,
+                        degeneracy,
+                        ..
+                    },
+                ) => {
+                    assert_eq!(degeneracy, kcore.degeneracy);
+                    assert_eq!(coreness, kcore.coreness[target as usize]);
+                }
+                (kind, other) => panic!("{kind}: unexpected reply {other:?}"),
+            }
+        }
+    }
+    assert!(cc_labels.windows(2).all(|w| w[0] == w[1]));
+
+    // SCC too (grid is symmetric, so one strongly connected component).
+    match svc
+        .query(&Query::SccId {
+            graph: "grid".into(),
+            vertex: Some(7),
+        })
+        .unwrap()
+    {
+        Reply::Label { components, .. } => assert_eq!(components, scc.num_sccs),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Now that the burst has settled, a repeat query is a pure cache hit.
+    let again = svc
+        .query(&Query::Ptp {
+            graph: "grid".into(),
+            src: 0,
+            dst: 937,
+        })
+        .unwrap();
+    assert_eq!(
+        again,
+        Reply::Dist {
+            value: Some(sssp.dist[937])
+        }
+    );
+
+    let m = svc.metrics();
+    assert!(m.queries >= 98, "{m:?}");
+    assert!(m.cache_hits >= 1, "no cache hit recorded: {m:?}");
+    assert!(
+        m.batches_of_many() >= 1,
+        "no batch served more than one query: {m:?}"
+    );
+    // 96 distance/label lookups collapsed into very few traversals
+    assert!(m.computations < 96, "{m:?}");
+}
+
+/// Re-registering a name must invalidate cached results: a changed graph
+/// yields the new answer, never the cached old one.
+#[test]
+fn reregistration_invalidates_cache() {
+    let svc = Service::new(test_config());
+    svc.register("g", grid2d(1, 10)); // a path: 0 ↔ 1 ↔ … ↔ 9
+    let q = Query::BfsDist {
+        graph: "g".into(),
+        src: 0,
+        target: Some(9),
+    };
+    assert_eq!(svc.query(&q).unwrap(), Reply::Dist { value: Some(9) });
+    assert_eq!(svc.query(&q).unwrap(), Reply::Dist { value: Some(9) });
+    let hits_before = svc.metrics().cache_hits;
+    assert!(hits_before >= 1);
+
+    // Same name, different graph: 2×5 grid, dist(0→9) = 1 + 4 = 5.
+    svc.register("g", grid2d(2, 5));
+    assert_eq!(svc.query(&q).unwrap(), Reply::Dist { value: Some(5) });
+
+    // Unregistering makes the name unknown.
+    assert!(svc.unregister("g"));
+    assert!(matches!(svc.query(&q), Err(ServiceError::UnknownGraph(_))));
+}
+
+/// With a tiny queue and a single stalled-ish worker, a burst of distinct
+/// computations must be bounded: extras are rejected with `Overloaded`,
+/// not buffered without limit.
+#[test]
+fn overload_rejects_instead_of_buffering() {
+    let svc = Arc::new(Service::new(ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        query_timeout: Duration::from_secs(30),
+        cache_capacity: 64,
+        tau: 64,
+    }));
+    // big enough that one BFS takes a little while
+    svc.register("g", grid2d(400, 400));
+
+    let barrier = Arc::new(Barrier::new(64));
+    let handles: Vec<_> = (0..64u32)
+        .map(|src| {
+            let svc = Arc::clone(&svc);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                // distinct sources → distinct computations → queue pressure
+                svc.query(&Query::BfsDist {
+                    graph: "g".into(),
+                    src,
+                    target: Some(0),
+                })
+            })
+        })
+        .collect();
+    let mut rejected = 0;
+    let mut answered = 0;
+    for h in handles {
+        match h.join().unwrap() {
+            Ok(Reply::Dist { value: Some(_) }) => answered += 1,
+            Err(ServiceError::Overloaded) => rejected += 1,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(rejected + answered, 64);
+    assert!(
+        rejected >= 1,
+        "a 1-deep queue should have rejected some of 64 concurrent computations"
+    );
+    assert!(answered >= 1, "some queries must still get through");
+    let m = svc.metrics();
+    assert_eq!(m.rejected_overload, rejected);
+}
+
+/// Full stack over TCP: spawn the server, register via the wire protocol,
+/// query from several client threads, read metrics back as JSON.
+#[test]
+fn tcp_server_round_trip() {
+    let svc = Arc::new(Service::new(test_config()));
+    svc.register("grid", grid2d(6, 9));
+    let mut server = Server::spawn(Arc::clone(&svc), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    let ask = move |req: String| -> String {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writer.write_all(req.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line
+    };
+
+    let clients: Vec<_> = (0..8)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let r = ask(format!(
+                    r#"{{"op":"bfs","graph":"grid","src":0,"target":{}}}"#,
+                    13 + i % 2
+                ));
+                assert!(r.contains("\"ok\":true"), "{r}");
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    let m = ask(r#"{"op":"metrics"}"#.to_string());
+    assert!(m.contains("\"ok\":true"), "{m}");
+    assert!(m.contains("\"cache_hit_rate\":"), "{m}");
+    server.shutdown();
+}

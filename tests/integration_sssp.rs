@@ -3,9 +3,7 @@
 
 use pasgal_core::common::VgcConfig;
 use pasgal_core::sssp::stepping::RhoConfig;
-use pasgal_core::sssp::{
-    sssp_bellman_ford, sssp_delta_stepping, sssp_dijkstra, sssp_rho_stepping,
-};
+use pasgal_core::sssp::{sssp_bellman_ford, sssp_delta_stepping, sssp_dijkstra, sssp_rho_stepping};
 use pasgal_graph::gen::suite::{SuiteScale, SUITE};
 use pasgal_graph::gen::with_random_weights;
 

@@ -1,8 +1,11 @@
-//! Property-based tests: on arbitrary random graphs, every parallel
+//! Property-style tests: on arbitrary random graphs, every parallel
 //! algorithm must agree with its sequential oracle, and the substrate
 //! structures must obey their invariants.
-
-use proptest::prelude::*;
+//!
+//! The case generator is the repo's own deterministic counter-based RNG
+//! ([`SplitRng`]) rather than an external property-testing framework, so
+//! the suite builds offline; every failure message carries the case seed,
+//! which fully reproduces the input.
 
 use pasgal_core::bcc::{bcc_fast, bcc_hopcroft_tarjan, bcc_tarjan_vishkin};
 use pasgal_core::bfs::flat::{bfs_flat, DirOptConfig};
@@ -15,105 +18,151 @@ use pasgal_core::sssp::stepping::RhoConfig;
 use pasgal_core::sssp::{sssp_delta_stepping, sssp_dijkstra, sssp_rho_stepping};
 use pasgal_graph::builder::{from_edges, from_edges_symmetric, from_weighted_edges};
 use pasgal_graph::csr::Graph;
+use pasgal_parlay::rng::SplitRng;
 
-/// Strategy: a directed graph as (n, edge list).
-fn directed_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
-    (2..max_n).prop_flat_map(move |n| {
-        let edge = (0..n as u32, 0..n as u32);
-        (Just(n), proptest::collection::vec(edge, 0..max_m))
-    })
+const CASES: u64 = 48;
+
+/// A random directed graph: `n` in `2..max_n`, up to `max_m` edges.
+fn directed_graph(rng: SplitRng, max_n: usize, max_m: usize) -> (usize, Vec<(u32, u32)>) {
+    let n = 2 + rng.split(1).range_at(0, (max_n - 2) as u64) as usize;
+    let m = rng.split(2).range_at(0, max_m as u64) as usize;
+    let er = rng.split(3);
+    let edges = (0..m)
+        .map(|i| {
+            (
+                er.range_at(2 * i as u64, n as u64) as u32,
+                er.range_at(2 * i as u64 + 1, n as u64) as u32,
+            )
+        })
+        .collect();
+    (n, edges)
 }
 
 fn build_directed(n: usize, edges: &[(u32, u32)]) -> Graph {
     from_edges(n, edges)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Run `body` over `CASES` deterministic seeds, labeling failures.
+fn for_cases(name: &str, body: impl Fn(u64, SplitRng)) {
+    for case in 0..CASES {
+        let rng = SplitRng::new(0x9e37_79b9 ^ case);
+        // The case index reproduces the input exactly.
+        let _ = name;
+        body(case, rng);
+    }
+}
 
-    #[test]
-    fn bfs_vgc_matches_seq((n, edges) in directed_graph(60, 240), tau in 1usize..64) {
+#[test]
+fn bfs_vgc_matches_seq() {
+    for_cases("bfs_vgc", |case, rng| {
+        let (n, edges) = directed_graph(rng, 60, 240);
+        let tau = 1 + rng.split(9).range_at(0, 63) as usize;
         let g = build_directed(n, &edges);
         let want = bfs_seq(&g, 0).dist;
         let got = bfs_vgc(&g, 0, &VgcConfig::with_tau(tau));
-        prop_assert_eq!(got.dist, want);
-    }
+        assert_eq!(got.dist, want, "case {case}: tau={tau}");
+    });
+}
 
-    #[test]
-    fn bfs_flat_matches_seq((n, edges) in directed_graph(60, 240)) {
+#[test]
+fn bfs_flat_matches_seq() {
+    for_cases("bfs_flat", |case, rng| {
+        let (n, edges) = directed_graph(rng, 60, 240);
         let g = build_directed(n, &edges);
         let want = bfs_seq(&g, 0).dist;
         let got = bfs_flat(&g, 0, None, &DirOptConfig::default());
-        prop_assert_eq!(got.dist, want);
-    }
+        assert_eq!(got.dist, want, "case {case}");
+    });
+}
 
-    #[test]
-    fn scc_vgc_matches_tarjan((n, edges) in directed_graph(40, 160)) {
+#[test]
+fn scc_vgc_matches_tarjan() {
+    for_cases("scc_vgc", |case, rng| {
+        let (n, edges) = directed_graph(rng, 40, 160);
         let g = build_directed(n, &edges);
         let want = scc_tarjan(&g);
         let got = scc_vgc(&g, &VgcConfig::with_tau(8));
-        prop_assert_eq!(got.num_sccs, want.num_sccs);
-        prop_assert_eq!(
+        assert_eq!(got.num_sccs, want.num_sccs, "case {case}");
+        assert_eq!(
             canonicalize_labels(&got.labels),
-            canonicalize_labels(&want.labels)
+            canonicalize_labels(&want.labels),
+            "case {case}"
         );
-    }
+    });
+}
 
-    #[test]
-    fn scc_bgss_matches_tarjan((n, edges) in directed_graph(35, 140), tau in 1usize..128) {
-        use pasgal_core::scc::bgss::scc_bgss_vgc;
+#[test]
+fn scc_bgss_matches_tarjan() {
+    use pasgal_core::scc::bgss::scc_bgss_vgc;
+    for_cases("scc_bgss", |case, rng| {
+        let (n, edges) = directed_graph(rng, 35, 140);
+        let tau = 1 + rng.split(9).range_at(0, 127) as usize;
         let g = build_directed(n, &edges);
         let want = scc_tarjan(&g);
         let got = scc_bgss_vgc(&g, &VgcConfig::with_tau(tau));
-        prop_assert_eq!(got.num_sccs, want.num_sccs);
-        prop_assert_eq!(
+        assert_eq!(got.num_sccs, want.num_sccs, "case {case}: tau={tau}");
+        assert_eq!(
             canonicalize_labels(&got.labels),
-            canonicalize_labels(&want.labels)
+            canonicalize_labels(&want.labels),
+            "case {case}: tau={tau}"
         );
-    }
+    });
+}
 
-    #[test]
-    fn scc_multistep_matches_tarjan((n, edges) in directed_graph(40, 160)) {
+#[test]
+fn scc_multistep_matches_tarjan() {
+    for_cases("scc_multistep", |case, rng| {
+        let (n, edges) = directed_graph(rng, 40, 160);
         let g = build_directed(n, &edges);
         let want = scc_tarjan(&g);
         let got = scc_multistep(&g).unwrap();
-        prop_assert_eq!(got.num_sccs, want.num_sccs);
-        prop_assert_eq!(
+        assert_eq!(got.num_sccs, want.num_sccs, "case {case}");
+        assert_eq!(
             canonicalize_labels(&got.labels),
-            canonicalize_labels(&want.labels)
+            canonicalize_labels(&want.labels),
+            "case {case}"
         );
-    }
+    });
+}
 
-    #[test]
-    fn bcc_fast_matches_hopcroft_tarjan((n, edges) in directed_graph(40, 120)) {
+#[test]
+fn bcc_fast_matches_hopcroft_tarjan() {
+    for_cases("bcc_fast", |case, rng| {
+        let (n, edges) = directed_graph(rng, 40, 120);
         let g = from_edges_symmetric(n, &edges);
         let want = bcc_hopcroft_tarjan(&g);
         let got = bcc_fast(&g);
-        prop_assert_eq!(got.num_bccs, want.num_bccs);
-        prop_assert_eq!(
+        assert_eq!(got.num_bccs, want.num_bccs, "case {case}");
+        assert_eq!(
             canonicalize_labels(&got.edge_labels),
-            canonicalize_labels(&want.edge_labels)
+            canonicalize_labels(&want.edge_labels),
+            "case {case}"
         );
-    }
+    });
+}
 
-    #[test]
-    fn bcc_tv_matches_hopcroft_tarjan((n, edges) in directed_graph(30, 90)) {
+#[test]
+fn bcc_tv_matches_hopcroft_tarjan() {
+    for_cases("bcc_tv", |case, rng| {
+        let (n, edges) = directed_graph(rng, 30, 90);
         let g = from_edges_symmetric(n, &edges);
         let want = bcc_hopcroft_tarjan(&g);
         let got = bcc_tarjan_vishkin(&g);
-        prop_assert_eq!(got.num_bccs, want.num_bccs);
-        prop_assert_eq!(
+        assert_eq!(got.num_bccs, want.num_bccs, "case {case}");
+        assert_eq!(
             canonicalize_labels(&got.edge_labels),
-            canonicalize_labels(&want.edge_labels)
+            canonicalize_labels(&want.edge_labels),
+            "case {case}"
         );
-    }
+    });
+}
 
-    #[test]
-    fn sssp_implementations_match_dijkstra(
-        (n, edges) in directed_graph(40, 160),
-        weights_seed in 0u64..1000,
-        delta in 1u64..64,
-    ) {
+#[test]
+fn sssp_implementations_match_dijkstra() {
+    for_cases("sssp", |case, rng| {
+        let (n, edges) = directed_graph(rng, 40, 160);
+        let weights_seed = rng.split(9).u64_at(0) % 1000;
+        let delta = 1 + rng.split(10).u64_at(0) % 63;
         let ws: Vec<u32> = edges
             .iter()
             .enumerate()
@@ -121,42 +170,62 @@ proptest! {
             .collect();
         let g = from_weighted_edges(n, &edges, &ws);
         let want = sssp_dijkstra(&g, 0).dist;
-        prop_assert_eq!(&sssp_delta_stepping(&g, 0, delta).dist, &want);
-        let cfg = RhoConfig { rho: 8, vgc: VgcConfig::with_tau(16) };
-        prop_assert_eq!(&sssp_rho_stepping(&g, 0, &cfg).dist, &want);
-    }
+        assert_eq!(
+            sssp_delta_stepping(&g, 0, delta).dist,
+            want,
+            "case {case}: delta={delta}"
+        );
+        let cfg = RhoConfig {
+            rho: 8,
+            vgc: VgcConfig::with_tau(16),
+        };
+        assert_eq!(sssp_rho_stepping(&g, 0, &cfg).dist, want, "case {case}");
+    });
+}
 
-    #[test]
-    fn connectivity_labels_partition((n, edges) in directed_graph(50, 150)) {
+#[test]
+fn connectivity_labels_partition() {
+    for_cases("cc_partition", |case, rng| {
+        let (n, edges) = directed_graph(rng, 50, 150);
         let g = from_edges_symmetric(n, &edges);
         let cc = connectivity(&g);
         // labels must be idempotent representatives
         for (v, &l) in cc.labels.iter().enumerate() {
-            prop_assert!((l as usize) <= v);
-            prop_assert_eq!(cc.labels[l as usize], l);
+            assert!((l as usize) <= v, "case {case}");
+            assert_eq!(cc.labels[l as usize], l, "case {case}");
         }
         // endpoints of every edge share a label
         for (u, v) in g.edges() {
-            prop_assert_eq!(cc.labels[u as usize], cc.labels[v as usize]);
+            assert_eq!(cc.labels[u as usize], cc.labels[v as usize], "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn spanning_forest_is_spanning_and_acyclic((n, edges) in directed_graph(50, 150)) {
+#[test]
+fn spanning_forest_is_spanning_and_acyclic() {
+    for_cases("spanning_forest", |case, rng| {
+        let (n, edges) = directed_graph(rng, 50, 150);
         let g = from_edges_symmetric(n, &edges);
         let cc = connectivity(&g);
         let f = spanning_forest(&g);
-        prop_assert_eq!(f.edges.len(), n - cc.num_components);
+        assert_eq!(f.edges.len(), n - cc.num_components, "case {case}");
         // rebuilding a DSU from tree edges gives the same partition
         let uf = pasgal_collections::union_find::ConcurrentUnionFind::new(n);
         for &(a, b) in &f.edges {
-            prop_assert!(uf.unite(a, b), "cycle edge in forest");
+            assert!(uf.unite(a, b), "case {case}: cycle edge in forest");
         }
-        prop_assert_eq!(uf.labels(), cc.labels);
-    }
+        assert_eq!(uf.labels(), cc.labels, "case {case}");
+    });
+}
 
-    #[test]
-    fn hashbag_is_a_multiset(items in proptest::collection::vec(0u32..1000, 0..2000)) {
+#[test]
+fn hashbag_is_a_multiset() {
+    for_cases("hashbag", |case, rng| {
+        let len = rng.split(1).range_at(0, 2000) as usize;
+        let vals = rng.split(2);
+        let items: Vec<u32> = (0..len)
+            .map(|i| vals.range_at(i as u64, 1000) as u32)
+            .collect();
         let bag = pasgal_collections::hashbag::HashBag::new(items.len().max(1));
         for &x in &items {
             bag.insert(x);
@@ -165,42 +234,58 @@ proptest! {
         got.sort_unstable();
         let mut want = items.clone();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want, "case {case}");
+    });
+}
 
-    #[test]
-    fn scan_matches_sequential(xs in proptest::collection::vec(0u64..1000, 0..500)) {
+#[test]
+fn scan_matches_sequential() {
+    for_cases("scan", |case, rng| {
+        let len = rng.split(1).range_at(0, 500) as usize;
+        let vals = rng.split(2);
+        let xs: Vec<u64> = (0..len).map(|i| vals.u64_at(i as u64) % 1000).collect();
         let (got, total) = pasgal_parlay::scan::scan_exclusive(&xs);
         let mut acc = 0u64;
         for (i, &x) in xs.iter().enumerate() {
-            prop_assert_eq!(got[i], acc);
+            assert_eq!(got[i], acc, "case {case} at {i}");
             acc += x;
         }
-        prop_assert_eq!(total, acc);
-    }
+        assert_eq!(total, acc, "case {case}");
+    });
+}
 
-    #[test]
-    fn counting_sort_matches_std(xs in proptest::collection::vec(0u32..64, 0..1000)) {
+#[test]
+fn counting_sort_matches_std() {
+    for_cases("counting_sort", |case, rng| {
+        let len = rng.split(1).range_at(0, 1000) as usize;
+        let vals = rng.split(2);
+        let xs: Vec<u32> = (0..len)
+            .map(|i| vals.range_at(i as u64, 64) as u32)
+            .collect();
         let got = pasgal_parlay::sort::counting_sort_by_key(&xs, 64, |&x| x as usize);
         let mut want = xs.clone();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want, "case {case}");
+    });
+}
 
-    #[test]
-    fn kcore_peel_matches_bz((n, edges) in directed_graph(50, 200), tau in 1usize..512) {
+#[test]
+fn kcore_peel_matches_bz() {
+    for_cases("kcore", |case, rng| {
+        let (n, edges) = directed_graph(rng, 50, 200);
+        let tau = 1 + rng.split(9).range_at(0, 511) as usize;
         let g = from_edges_symmetric(n, &edges);
         let want = pasgal_core::kcore::kcore_seq(&g);
         let got = pasgal_core::kcore::kcore_peel(&g, tau);
-        prop_assert_eq!(got.coreness, want.coreness);
-    }
+        assert_eq!(got.coreness, want.coreness, "case {case}: tau={tau}");
+    });
+}
 
-    #[test]
-    fn io_roundtrips_arbitrary_graphs(
-        (n, edges) in directed_graph(40, 120),
-        weighted in proptest::bool::ANY,
-        case in 0u64..u64::MAX,
-    ) {
+#[test]
+fn io_roundtrips_arbitrary_graphs() {
+    for_cases("io_roundtrip", |case, rng| {
+        let (n, edges) = directed_graph(rng, 40, 120);
+        let weighted = rng.split(9).u64_at(0) % 2 == 0;
         let g = if weighted {
             let ws: Vec<u32> = edges
                 .iter()
@@ -221,29 +306,32 @@ proptest! {
         let b = pasgal_graph::io::read_bin(&p_bin).unwrap();
         let _ = std::fs::remove_file(&p_adj);
         let _ = std::fs::remove_file(&p_bin);
-        prop_assert_eq!(g.offsets(), a.offsets());
-        prop_assert_eq!(g.targets(), a.targets());
-        prop_assert_eq!(g.weights(), a.weights());
-        prop_assert_eq!(&g, &b);
-    }
+        assert_eq!(g.offsets(), a.offsets(), "case {case}");
+        assert_eq!(g.targets(), a.targets(), "case {case}");
+        assert_eq!(g.weights(), a.weights(), "case {case}");
+        assert_eq!(&g, &b, "case {case}");
+    });
+}
 
-    #[test]
-    fn euler_tour_invariants_hold((n, edges) in directed_graph(40, 120)) {
-        use pasgal_core::bcc::euler::{euler_tour, NO_PARENT};
+#[test]
+fn euler_tour_invariants_hold() {
+    use pasgal_core::bcc::euler::{euler_tour, NO_PARENT};
+    for_cases("euler_tour", |case, rng| {
+        let (n, edges) = directed_graph(rng, 40, 120);
         let g = from_edges_symmetric(n, &edges);
         let f = spanning_forest(&g);
         let t = euler_tour(n, &f.edges, &f.labels);
         for v in 0..n {
-            prop_assert!(t.first[v] < t.last[v]);
-            prop_assert!((t.last[v] as usize) < t.total_len);
+            assert!(t.first[v] < t.last[v], "case {case}");
+            assert!((t.last[v] as usize) < t.total_len, "case {case}");
             let p = t.parent[v];
             if p != NO_PARENT {
                 // child interval strictly nested in parent's
-                prop_assert!(t.first[p as usize] < t.first[v]);
-                prop_assert!(t.last[v] < t.last[p as usize]);
+                assert!(t.first[p as usize] < t.first[v], "case {case}");
+                assert!(t.last[v] < t.last[p as usize], "case {case}");
             } else {
                 // roots are their component's min id
-                prop_assert_eq!(f.labels[v], v as u32);
+                assert_eq!(f.labels[v], v as u32, "case {case}");
             }
         }
         // intervals nest or are disjoint (checked pairwise on a sample)
@@ -252,21 +340,22 @@ proptest! {
                 let nested = (t.first[v] <= t.first[w] && t.last[w] <= t.last[v])
                     || (t.first[w] <= t.first[v] && t.last[v] <= t.last[w]);
                 let disjoint = t.last[v] < t.first[w] || t.last[w] < t.first[v];
-                prop_assert!(nested || disjoint, "v={} w={}", v, w);
+                assert!(nested || disjoint, "case {case}: v={v} w={w}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn bfs_direction_optimized_matches_on_directed(
-        (n, edges) in directed_graph(50, 300),
-    ) {
-        use pasgal_core::bfs::vgc::bfs_vgc_dir;
-        use pasgal_graph::transform::transpose;
+#[test]
+fn bfs_direction_optimized_matches_on_directed() {
+    use pasgal_core::bfs::vgc::bfs_vgc_dir;
+    use pasgal_graph::transform::transpose;
+    for_cases("bfs_dir", |case, rng| {
+        let (n, edges) = directed_graph(rng, 50, 300);
         let g = build_directed(n, &edges);
         let t = transpose(&g);
         let want = bfs_seq(&g, 0).dist;
         let got = bfs_vgc_dir(&g, 0, Some(&t), &VgcConfig::with_tau(16));
-        prop_assert_eq!(got.dist, want);
-    }
+        assert_eq!(got.dist, want, "case {case}");
+    });
 }
