@@ -25,6 +25,8 @@
 //!   --scale tiny|small|full   for `gen` (default small)
 //!   --host H --port N         for `serve` (default 127.0.0.1:7421)
 //!   --workers N --queue N --timeout-ms N --cache N   service tuning
+//!   --drain-ms N      how long `serve` waits for in-flight work on
+//!                     SIGINT/SIGTERM before exiting (default 5000)
 //! ```
 //!
 //! Graph format is chosen by extension: `.adj` (PBBS text), `.bin`
@@ -129,6 +131,36 @@ pub fn load_graph(path: &str) -> Result<Graph, String> {
     res.map_err(|e| format!("cannot read {path}: {e}"))
 }
 
+/// Parse `--drain-ms`: how long a shutting-down server waits for
+/// in-flight queries after cancelling them (default 5 s). Zero is
+/// allowed and means "cancel and exit immediately".
+pub fn drain_option(cli: &Cli) -> Result<std::time::Duration, UsageError> {
+    let ms = cli.num("drain-ms", 5_000)?;
+    if ms > 600_000 {
+        return Err(UsageError(format!(
+            "--drain-ms {ms} is not a sane drain deadline"
+        )));
+    }
+    Ok(std::time::Duration::from_millis(ms))
+}
+
+/// The start-up banner for `pasgal serve`: bound address plus the
+/// registered-graph listing.
+pub fn serve_banner(service: &pasgal_service::Service, server: &pasgal_service::Server) -> String {
+    let listing = service
+        .catalog()
+        .list()
+        .into_iter()
+        .map(|(name, n, m)| format!("  {name}: n = {n}, m = {m}"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let mut out = format!("pasgal-service listening on {}", server.local_addr());
+    if !listing.is_empty() {
+        out.push_str(&format!("\nregistered graphs:\n{listing}"));
+    }
+    out
+}
+
 /// Build the query service for `pasgal serve`: parse the tuning options,
 /// register every positional graph file under its file stem, and bind the
 /// TCP server. Returns both so the caller controls their lifetime.
@@ -144,6 +176,7 @@ pub fn start_service(
     use pasgal_service::{Server, Service, ServiceConfig};
 
     threads_option(cli).map_err(|e| e.to_string())?;
+    drain_option(cli).map_err(|e| e.to_string())?;
     let defaults = ServiceConfig::default();
     let workers = cli
         .num("workers", defaults.workers as u64)
@@ -172,6 +205,7 @@ pub fn start_service(
         query_timeout: std::time::Duration::from_millis(timeout_ms),
         cache_capacity: cache.max(1),
         tau: tau.max(1),
+        ..ServiceConfig::default()
     };
     let service = std::sync::Arc::new(Service::new(config));
     for file in &cli.positional {
@@ -227,17 +261,7 @@ pub fn run(cli: &Cli) -> Result<String, String> {
         }
         "serve" => {
             let (service, server) = start_service(cli)?;
-            let listing = service
-                .catalog()
-                .list()
-                .into_iter()
-                .map(|(name, n, m)| format!("  {name}: n = {n}, m = {m}"))
-                .collect::<Vec<_>>()
-                .join("\n");
-            let mut out = format!("pasgal-service listening on {}", server.local_addr());
-            if !listing.is_empty() {
-                out.push_str(&format!("\nregistered graphs:\n{listing}"));
-            }
+            let out = serve_banner(&service, &server);
             // `run` is the testable core; main keeps the server alive.
             std::mem::forget(server);
             std::mem::forget(service);
@@ -584,5 +608,62 @@ mod tests {
         assert!(run(&cli(&["serve", "--queue", "0"])).is_err());
         assert!(run(&cli(&["serve", "/no/such/graph.bin", "--port", "0"])).is_err());
         assert!(run(&cli(&["serve", "--port", "99999999"])).is_err());
+        assert!(run(&cli(&["serve", "--drain-ms", "abc"])).is_err());
+        assert!(run(&cli(&["serve", "--drain-ms", "9999999999"])).is_err());
+    }
+
+    #[test]
+    fn drain_option_parses_with_default() {
+        use std::time::Duration;
+        assert_eq!(
+            drain_option(&cli(&["serve"])).unwrap(),
+            Duration::from_millis(5_000)
+        );
+        assert_eq!(
+            drain_option(&cli(&["serve", "--drain-ms", "0"])).unwrap(),
+            Duration::ZERO
+        );
+        assert_eq!(
+            drain_option(&cli(&["serve", "--drain-ms", "250"])).unwrap(),
+            Duration::from_millis(250)
+        );
+        assert!(drain_option(&cli(&["serve", "--drain-ms", "700000"])).is_err());
+    }
+
+    #[test]
+    fn serve_shutdown_with_deadline_via_cli_options() {
+        // The full path main() takes on SIGTERM, minus the signal itself:
+        // start, answer one query, then drain-shutdown within the deadline.
+        use std::io::{BufRead, BufReader, Write};
+        use std::time::Duration;
+
+        let c = cli(&[
+            "serve",
+            "--port",
+            "0",
+            "--workers",
+            "1",
+            "--drain-ms",
+            "2000",
+        ]);
+        let drain = drain_option(&c).unwrap();
+        let (service, mut server) = start_service(&c).unwrap();
+        let banner = serve_banner(&service, &server);
+        assert!(banner.contains("listening on"), "{banner}");
+
+        let stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writer.write_all(b"{\"op\":\"metrics\"}\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"ok\":true"), "{line}");
+
+        let t0 = std::time::Instant::now();
+        server.shutdown_with_deadline(drain);
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        // the drained connection is closed, not left hanging
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0);
     }
 }

@@ -214,6 +214,26 @@ macro_rules! define_hash_bag {
                 self.active.store(0, Ordering::Relaxed);
                 out
             }
+
+            /// Discard all elements without collecting them — the abort
+            /// path of a cancelled traversal, which only needs the bag
+            /// reusable (or droppable) without paying for an output
+            /// vector. Parallel over initialized chunks, like
+            /// [`Self::extract_and_clear`].
+            pub fn clear(&self) {
+                let hi = self.chunks.iter().take_while(|c| c.get().is_some()).count();
+                for c in 0..hi {
+                    if self.counts[c].load(Ordering::Relaxed) == 0 {
+                        continue;
+                    }
+                    let chunk = self.chunk(c);
+                    pasgal_parlay::gran::par_for(chunk.len(), 4096, |i| {
+                        chunk[i].store(Self::EMPTY, Ordering::Relaxed);
+                    });
+                    self.counts[c].store(0, Ordering::Relaxed);
+                }
+                self.active.store(0, Ordering::Relaxed);
+            }
         }
     };
 }
@@ -274,6 +294,32 @@ mod tests {
     #[test]
     fn empty_extract() {
         let bag = HashBag::new(10);
+        assert!(bag.extract_and_clear().is_empty());
+    }
+
+    #[test]
+    fn clear_discards_and_resets() {
+        let bag = HashBag::new(10_000);
+        par_for(5_000, 256, |i| bag.insert(i as u32));
+        assert_eq!(bag.len(), 5_000);
+        bag.clear();
+        assert!(bag.is_empty());
+        // the bag is fully reusable afterwards
+        bag.insert(42);
+        assert_eq!(bag.extract_and_clear(), vec![42]);
+        // clearing an empty (even untouched) bag is a no-op
+        bag.clear();
+        assert!(bag.is_empty());
+    }
+
+    #[test]
+    fn bag64_clear_discards() {
+        let bag = HashBag64::new(100);
+        for i in 0..50u64 {
+            bag.insert(i);
+        }
+        bag.clear();
+        assert!(bag.is_empty());
         assert!(bag.extract_and_clear().is_empty());
     }
 

@@ -26,7 +26,7 @@
 use super::euler::{euler_tour, EulerTour, NO_PARENT};
 use super::{edge_list_canonical, BccResult};
 use crate::cc::spanning_forest;
-use crate::common::AlgoStats;
+use crate::common::{AlgoStats, CancelToken, Cancelled};
 use pasgal_collections::union_find::ConcurrentUnionFind;
 use pasgal_graph::csr::Graph;
 use pasgal_parlay::counters::Counters;
@@ -149,27 +149,40 @@ pub(crate) fn read_edge_labels(
 
 /// FAST-BCC. Requires a symmetric graph.
 pub fn bcc_fast(g: &Graph) -> BccResult {
+    bcc_fast_cancel(g, &CancelToken::new()).expect("fresh token cannot cancel")
+}
+
+/// Cancellable [`bcc_fast`]: with no round loop to poll (the pipeline is
+/// five bounded phases), the token is checked at every phase boundary —
+/// each phase is a single `O(n + m)` sweep, so this is the same "within
+/// one round" granularity the frontier algorithms give.
+pub fn bcc_fast_cancel(g: &Graph, cancel: &CancelToken) -> Result<BccResult, Cancelled> {
     assert!(g.is_symmetric(), "BCC requires an undirected graph");
     let n = g.num_vertices();
     let counters = Counters::new();
 
+    cancel.checkpoint()?;
     counters.add_round();
     let forest = spanning_forest(g);
+    cancel.checkpoint()?;
     counters.add_round();
     let tour = euler_tour(n, &forest.edges, &forest.labels);
+    cancel.checkpoint()?;
     counters.add_round();
     let (low, high) = compute_low_high(g, &tour);
+    cancel.checkpoint()?;
     counters.add_round();
     let uf = ConcurrentUnionFind::new(n);
     cluster_unions(g, &tour, &low, &high, &uf, &counters);
+    cancel.checkpoint()?;
     counters.add_round();
     let (edge_labels, num_bccs) = read_edge_labels(g, &tour, &uf);
 
-    BccResult {
+    Ok(BccResult {
         edge_labels,
         num_bccs,
         stats: AlgoStats::from(counters.snapshot()),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -257,6 +270,16 @@ mod tests {
             let g = symmetrize(&random_directed(120, 180, seed));
             check(&g);
         }
+    }
+
+    #[test]
+    fn cancelled_token_aborts_with_err() {
+        let g = grid2d(30, 30);
+        let t = CancelToken::new();
+        t.cancel();
+        assert!(matches!(bcc_fast_cancel(&g, &t), Err(Cancelled)));
+        let ok = bcc_fast_cancel(&g, &CancelToken::new()).unwrap();
+        assert_eq!(ok.num_bccs, bcc_hopcroft_tarjan(&g).num_bccs);
     }
 
     #[test]

@@ -32,7 +32,7 @@
 //! are available, a round switches to a dense bottom-up step (Beamer
 //! direction optimization), exactly like the paper.
 
-use crate::common::{AlgoStats, BfsResult, VgcConfig, UNREACHED};
+use crate::common::{AlgoStats, BfsResult, CancelToken, Cancelled, VgcConfig, UNREACHED};
 use crate::vgc::local_search_fifo_multi;
 use pasgal_collections::atomic_array::AtomicU32Array;
 use pasgal_collections::bitvec::AtomicBitVec;
@@ -75,6 +75,30 @@ pub fn bfs_vgc_dir(
     incoming: Option<&Graph>,
     cfg: &VgcConfig,
 ) -> BfsResult {
+    bfs_vgc_dir_cancel(g, src, incoming, cfg, &CancelToken::new())
+        .expect("fresh token cannot cancel")
+}
+
+/// Cancellable [`bfs_vgc`]: stops within one round of `cancel` firing.
+pub fn bfs_vgc_cancel(
+    g: &Graph,
+    src: VertexId,
+    cfg: &VgcConfig,
+    cancel: &CancelToken,
+) -> Result<BfsResult, Cancelled> {
+    bfs_vgc_dir_cancel(g, src, None, cfg, cancel)
+}
+
+/// Cancellable [`bfs_vgc_dir`]. The token is polled once per round and
+/// once per frontier task; a fired token aborts the traversal and
+/// returns `Err(Cancelled)` without finishing the round's spills.
+pub fn bfs_vgc_dir_cancel(
+    g: &Graph,
+    src: VertexId,
+    incoming: Option<&Graph>,
+    cfg: &VgcConfig,
+    cancel: &CancelToken,
+) -> Result<BfsResult, Cancelled> {
     let n = g.num_vertices();
     let counters = Counters::new();
     let dist = AtomicU32Array::new(n, UNREACHED);
@@ -93,6 +117,12 @@ pub fn bfs_vgc_dir(
 
     // Round loop: pull the nearest nonempty bag until all are dry.
     while let Some(i) = bags.iter().position(|b| !b.is_empty()) {
+        if cancel.is_cancelled() {
+            for b in &bags {
+                b.clear();
+            }
+            return Err(Cancelled);
+        }
         let raw = bags[i].extract_and_clear();
         // Re-evaluate entries by their *current* distance (rule 1).
         let entries: Vec<(VertexId, u32)> = raw
@@ -168,6 +198,12 @@ pub fn bfs_vgc_dir(
         let seeds: Vec<VertexId> = window.iter().map(|&(v, _)| v).collect();
         let chunk = crate::vgc::frontier_chunk_len(seeds.len());
         seeds.par_chunks(chunk).for_each(|grp| {
+            // Unprocessed seeds are simply dropped mid-abort: the whole
+            // result is discarded on the Err path, so losing subtrees is
+            // fine here (unlike the never-drop rule for live runs).
+            if cancel.is_cancelled() {
+                return;
+            }
             counters.add_tasks(1);
             let mut spill = |v: VertexId| {
                 let d = dist.get(v as usize);
@@ -187,10 +223,10 @@ pub fn bfs_vgc_dir(
         });
     }
 
-    BfsResult {
+    Ok(BfsResult {
         dist: dist.to_vec(),
         stats: AlgoStats::from(counters.snapshot()),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -333,6 +369,30 @@ mod tests {
         assert_eq!(r.dist[3], UNREACHED);
         assert_eq!(r.dist[5], UNREACHED);
         assert_eq!(&r.dist[..3], &[0, 1, 2]);
+    }
+
+    #[test]
+    fn cancelled_token_aborts_with_err() {
+        let g = path_directed(5000);
+        let t = CancelToken::new();
+        t.cancel();
+        assert_eq!(
+            bfs_vgc_cancel(&g, 0, &VgcConfig::with_tau(4), &t),
+            Err(Cancelled)
+        );
+        // an unfired token changes nothing
+        let got = bfs_vgc_cancel(&g, 0, &VgcConfig::default(), &CancelToken::new()).unwrap();
+        assert_eq!(got.dist, bfs_seq(&g, 0).dist);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_mid_run() {
+        let g = path_directed(3000);
+        let t = CancelToken::at(std::time::Instant::now());
+        assert_eq!(
+            bfs_vgc_cancel(&g, 0, &VgcConfig::with_tau(1), &t),
+            Err(Cancelled)
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! `n - 1` edges win and they are acyclic by construction). No `Ω(D)`
 //! rounds anywhere — this is exactly why the paper's BCC avoids BFS.
 
-use crate::common::AlgoStats;
+use crate::common::{AlgoStats, CancelToken, Cancelled};
 use pasgal_collections::union_find::ConcurrentUnionFind;
 use pasgal_graph::csr::Graph;
 use pasgal_graph::VertexId;
@@ -37,27 +37,42 @@ pub struct SpanningForest {
 /// Parallel connected components via concurrent union-find. Treats the
 /// graph as undirected (every stored arc unites its endpoints).
 pub fn connectivity(g: &Graph) -> CcResult {
+    connectivity_cancel(g, &CancelToken::new()).expect("fresh token cannot cancel")
+}
+
+/// Cancellable [`connectivity`]: the single edge sweep polls the token
+/// per vertex task (a few hundred edges), so cancellation lands within
+/// one round by construction.
+pub fn connectivity_cancel(g: &Graph, cancel: &CancelToken) -> Result<CcResult, Cancelled> {
     let n = g.num_vertices();
     let counters = Counters::new();
     let uf = ConcurrentUnionFind::new(n);
-    (0..n as u32)
-        .into_par_iter()
-        .with_min_len(512)
-        .for_each(|u| {
+    // Explicit 512-vertex blocks so one token poll guards (and on abort,
+    // skips) a whole block rather than a single vertex.
+    const BLOCK: usize = 512;
+    (0..n.div_ceil(BLOCK)).into_par_iter().for_each(|b| {
+        if cancel.is_cancelled() {
+            return;
+        }
+        for u in (b * BLOCK) as u32..((b + 1) * BLOCK).min(n) as u32 {
             counters.add_tasks(1);
             for &v in g.neighbors(u) {
                 counters.add_edges(1);
                 uf.unite(u, v);
             }
-        });
+        }
+    });
+    if cancel.is_cancelled() {
+        return Err(Cancelled);
+    }
     counters.add_round();
     let labels = uf.labels();
     let num_components = uf.count_sets();
-    CcResult {
+    Ok(CcResult {
         labels,
         num_components,
         stats: AlgoStats::from(counters.snapshot()),
-    }
+    })
 }
 
 /// Parallel spanning forest: edges whose `unite` merged two components.
@@ -124,6 +139,16 @@ mod tests {
         let g = from_edges(3, &[(0, 1), (2, 1)]);
         let r = connectivity(&g);
         assert_eq!(r.num_components, 1);
+    }
+
+    #[test]
+    fn cancelled_token_aborts_with_err() {
+        let g = grid2d(50, 50);
+        let t = CancelToken::new();
+        t.cancel();
+        assert!(matches!(connectivity_cancel(&g, &t), Err(Cancelled)));
+        let ok = connectivity_cancel(&g, &CancelToken::new()).unwrap();
+        assert_eq!(ok.num_components, 1);
     }
 
     #[test]

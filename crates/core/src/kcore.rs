@@ -27,7 +27,7 @@
 //! assert_eq!(r.coreness, kcore_seq(&g).coreness);
 //! ```
 
-use crate::common::AlgoStats;
+use crate::common::{AlgoStats, CancelToken, Cancelled};
 use pasgal_collections::atomic_array::AtomicU32Array;
 use pasgal_collections::hashbag::HashBag;
 use pasgal_graph::csr::Graph;
@@ -112,6 +112,17 @@ pub fn kcore_seq(g: &Graph) -> KcoreResult {
 
 /// Parallel peeling k-core with VGC-style cascade processing.
 pub fn kcore_peel(g: &Graph, tau: usize) -> KcoreResult {
+    kcore_peel_cancel(g, tau, &CancelToken::new()).expect("fresh token cannot cancel")
+}
+
+/// Cancellable [`kcore_peel`]: the token is polled per level and per
+/// cascade round; a fired token drains the bag and returns
+/// `Err(Cancelled)` within one round.
+pub fn kcore_peel_cancel(
+    g: &Graph,
+    tau: usize,
+    cancel: &CancelToken,
+) -> Result<KcoreResult, Cancelled> {
     assert!(g.is_symmetric(), "k-core requires an undirected graph");
     let n = g.num_vertices();
     let counters = Counters::new();
@@ -132,6 +143,9 @@ pub fn kcore_peel(g: &Graph, tau: usize) -> KcoreResult {
         .map(|v| degree.get(v as usize))
         .min()
     {
+        if cancel.is_cancelled() {
+            return Err(Cancelled);
+        }
         k = k.max(next_k);
 
         // initial frontier for this k: every alive vertex with degree ≤ k,
@@ -142,6 +156,10 @@ pub fn kcore_peel(g: &Graph, tau: usize) -> KcoreResult {
         frontier.retain(|&v| coreness.cas(v as usize, u32::MAX, k));
 
         while !frontier.is_empty() {
+            if cancel.is_cancelled() {
+                bag.clear();
+                return Err(Cancelled);
+            }
             counters.add_round();
             counters.observe_frontier(frontier.len() as u64);
             let chunk = crate::vgc::frontier_chunk_len(frontier.len());
@@ -184,11 +202,11 @@ pub fn kcore_peel(g: &Graph, tau: usize) -> KcoreResult {
 
     let coreness = coreness.to_vec();
     let degeneracy = coreness.iter().copied().max().unwrap_or(0);
-    KcoreResult {
+    Ok(KcoreResult {
         coreness,
         degeneracy,
         stats: AlgoStats::from(counters.snapshot()),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -250,6 +268,16 @@ mod tests {
     #[test]
     fn parallel_matches_seq_on_power_law() {
         check(&rmat_undirected(RmatParams::social(8, 6, 3)));
+    }
+
+    #[test]
+    fn cancelled_token_aborts_with_err() {
+        let g = path(2000);
+        let t = CancelToken::new();
+        t.cancel();
+        assert!(matches!(kcore_peel_cancel(&g, 4, &t), Err(Cancelled)));
+        let ok = kcore_peel_cancel(&g, 64, &CancelToken::new()).unwrap();
+        assert_eq!(ok.coreness, kcore_seq(&g).coreness);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! (`mark[v] = partition id of the search that claimed v`), so a round
 //! over many subproblems costs O(live vertices), not O(n) per subproblem.
 
-use crate::common::{AlgoStats, SccResult, VgcConfig};
+use crate::common::{AlgoStats, CancelToken, Cancelled, SccResult, VgcConfig};
 use crate::scc::reach::ReachEngine;
 use crate::vgc::local_search_multi;
 use pasgal_collections::atomic_array::AtomicU32Array;
@@ -51,6 +51,7 @@ struct State<'g> {
     next_part: AtomicU32,
     counters: Counters,
     engine: ReachEngine,
+    cancel: CancelToken,
 }
 
 impl<'g> State<'g> {
@@ -87,6 +88,9 @@ impl<'g> State<'g> {
         match self.engine {
             ReachEngine::BfsOrder => {
                 while !frontier.is_empty() {
+                    if self.cancel.is_cancelled() {
+                        return;
+                    }
                     self.counters.add_round();
                     self.counters.observe_frontier(frontier.len() as u64);
                     frontier = frontier
@@ -108,6 +112,10 @@ impl<'g> State<'g> {
             ReachEngine::Vgc(cfg) => {
                 let bag = HashBag::new(self.g.num_vertices().max(1));
                 while !frontier.is_empty() {
+                    if self.cancel.is_cancelled() {
+                        bag.clear();
+                        return;
+                    }
                     self.counters.add_round();
                     self.counters.observe_frontier(frontier.len() as u64);
                     let chunk = crate::vgc::frontier_chunk_len(frontier.len());
@@ -131,6 +139,11 @@ impl<'g> State<'g> {
 
     /// Process one subproblem; returns up to three children.
     fn step(&self, sub: Subproblem) -> Vec<Subproblem> {
+        // A cancelled run abandons its subproblems (partial labels are
+        // discarded on the Err path of [`scc_fwbw_cancel`]).
+        if self.cancel.is_cancelled() {
+            return Vec::new();
+        }
         let p = sub.part;
         // Re-filter: parents may have labeled some of these (trim races are
         // benign — see below — but labels set in earlier rounds are final).
@@ -228,6 +241,18 @@ impl<'g> State<'g> {
 
 /// FW-BW SCC with an explicit engine and a precomputed transpose.
 pub fn scc_fwbw(g: &Graph, gt: &Graph, engine: ReachEngine) -> SccResult {
+    scc_fwbw_cancel(g, gt, engine, &CancelToken::new()).expect("fresh token cannot cancel")
+}
+
+/// Cancellable [`scc_fwbw`]: the token is polled at every decomposition
+/// round and every reachability round; a fired token abandons the
+/// remaining subproblems and returns `Err(Cancelled)`.
+pub fn scc_fwbw_cancel(
+    g: &Graph,
+    gt: &Graph,
+    engine: ReachEngine,
+    cancel: &CancelToken,
+) -> Result<SccResult, Cancelled> {
     let n = g.num_vertices();
     assert_eq!(gt.num_vertices(), n, "transpose size mismatch");
     let state = State {
@@ -240,6 +265,7 @@ pub fn scc_fwbw(g: &Graph, gt: &Graph, engine: ReachEngine) -> SccResult {
         next_part: AtomicU32::new(1),
         counters: Counters::new(),
         engine,
+        cancel: cancel.clone(),
     };
 
     let mut worklist = if n > 0 {
@@ -252,12 +278,20 @@ pub fn scc_fwbw(g: &Graph, gt: &Graph, engine: ReachEngine) -> SccResult {
     };
 
     while !worklist.is_empty() {
+        if cancel.is_cancelled() {
+            return Err(Cancelled);
+        }
         state.counters.add_round();
         worklist = worklist
             .into_par_iter()
             .with_min_len(1)
             .flat_map_iter(|sub| state.step(sub).into_iter())
             .collect();
+    }
+    // `step` bails without labeling once cancelled, so re-check before
+    // trusting an empty worklist to mean "fully labeled".
+    if cancel.is_cancelled() {
+        return Err(Cancelled);
     }
 
     let labels = state.labels.to_vec();
@@ -267,11 +301,11 @@ pub fn scc_fwbw(g: &Graph, gt: &Graph, engine: ReachEngine) -> SccResult {
         .enumerate()
         .filter(|&(v, &l)| l == v as u32)
         .count();
-    SccResult {
+    Ok(SccResult {
         labels,
         num_sccs,
         stats: AlgoStats::from(state.counters.snapshot()),
-    }
+    })
 }
 
 /// PASGAL SCC: trim + FW-BW with **VGC** reachability and hash bags
@@ -279,6 +313,16 @@ pub fn scc_fwbw(g: &Graph, gt: &Graph, engine: ReachEngine) -> SccResult {
 pub fn scc_vgc(g: &Graph, cfg: &VgcConfig) -> SccResult {
     let gt = transpose(g);
     scc_fwbw(g, &gt, ReachEngine::Vgc(*cfg))
+}
+
+/// Cancellable [`scc_vgc`].
+pub fn scc_vgc_cancel(
+    g: &Graph,
+    cfg: &VgcConfig,
+    cancel: &CancelToken,
+) -> Result<SccResult, Cancelled> {
+    let gt = transpose(g);
+    scc_fwbw_cancel(g, &gt, ReachEngine::Vgc(*cfg), cancel)
 }
 
 /// GBBS-style baseline: identical decomposition, but every reachability
@@ -389,6 +433,19 @@ mod tests {
             vgc.stats.rounds,
             bfs.stats.rounds
         );
+    }
+
+    #[test]
+    fn cancelled_token_aborts_with_err() {
+        let g = random_directed(300, 1200, 11);
+        let t = CancelToken::new();
+        t.cancel();
+        assert!(matches!(
+            scc_vgc_cancel(&g, &VgcConfig::default(), &t),
+            Err(Cancelled)
+        ));
+        let ok = scc_vgc_cancel(&g, &VgcConfig::default(), &CancelToken::new()).unwrap();
+        assert_eq!(ok.num_sccs, scc_tarjan(&g).num_sccs);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! `Ω(D)`-round baselines on large-diameter graphs.
 
 use super::INF;
-use crate::common::{AlgoStats, SsspResult, VgcConfig};
+use crate::common::{AlgoStats, CancelToken, Cancelled, SsspResult, VgcConfig};
 use crate::vgc::local_search_weighted_multi;
 use pasgal_collections::atomic_array::AtomicU64Array;
 use pasgal_collections::hashbag::HashBag;
@@ -52,6 +52,18 @@ impl Default for RhoConfig {
 
 /// ρ-stepping SSSP from `src`.
 pub fn sssp_rho_stepping(g: &Graph, src: VertexId, cfg: &RhoConfig) -> SsspResult {
+    sssp_rho_stepping_cancel(g, src, cfg, &CancelToken::new()).expect("fresh token cannot cancel")
+}
+
+/// Cancellable [`sssp_rho_stepping`]: the token is polled once per step
+/// and once per frontier task; a fired token drains the bag and returns
+/// `Err(Cancelled)` within one step.
+pub fn sssp_rho_stepping_cancel(
+    g: &Graph,
+    src: VertexId,
+    cfg: &RhoConfig,
+    cancel: &CancelToken,
+) -> Result<SsspResult, Cancelled> {
     let n = g.num_vertices();
     let m = g.num_edges();
     let counters = Counters::new();
@@ -67,6 +79,10 @@ pub fn sssp_rho_stepping(g: &Graph, src: VertexId, cfg: &RhoConfig) -> SsspResul
     let mut step_no: u64 = 0;
 
     while !frontier.is_empty() {
+        if cancel.is_cancelled() {
+            bag.clear();
+            return Err(Cancelled);
+        }
         counters.add_round();
         counters.observe_frontier(frontier.len() as u64);
         step_no += 1;
@@ -101,6 +117,11 @@ pub fn sssp_rho_stepping(g: &Graph, src: VertexId, cfg: &RhoConfig) -> SsspResul
         let tau = cfg.vgc.tau;
         let chunk = crate::vgc::frontier_chunk_len(near.len().max(1));
         near.par_chunks(chunk).for_each(|grp| {
+            // Skipped seeds are fine mid-abort: the Err path discards all
+            // partial distances anyway.
+            if cancel.is_cancelled() {
+                return;
+            }
             counters.add_tasks(1);
             let mut spill = |v: VertexId| bag.insert(v);
             let st = local_search_weighted_multi(
@@ -132,10 +153,10 @@ pub fn sssp_rho_stepping(g: &Graph, src: VertexId, cfg: &RhoConfig) -> SsspResul
         frontier = bag.extract_and_clear();
     }
 
-    SsspResult {
+    Ok(SsspResult {
         dist: dist.to_vec(),
         stats: AlgoStats::from(counters.snapshot()),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -215,6 +236,20 @@ mod tests {
             rs.stats.rounds,
             bf.stats.rounds
         );
+    }
+
+    #[test]
+    fn cancelled_token_aborts_with_err() {
+        let g = with_random_weights(&path(2000), 1, 10);
+        let t = CancelToken::new();
+        t.cancel();
+        assert!(matches!(
+            sssp_rho_stepping_cancel(&g, 0, &RhoConfig::default(), &t),
+            Err(Cancelled)
+        ));
+        let ok =
+            sssp_rho_stepping_cancel(&g, 0, &RhoConfig::default(), &CancelToken::new()).unwrap();
+        assert_eq!(ok.dist, sssp_dijkstra(&g, 0).dist);
     }
 
     #[test]

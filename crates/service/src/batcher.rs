@@ -7,23 +7,42 @@
 //! answers the whole batch, which is where the service's throughput under
 //! concurrent load comes from.
 //!
+//! Every flight owns a [`CancelToken`] that the executing worker polls.
+//! Waiters are tracked live: when the **last** live waiter gives up
+//! (timeout or its own cancellation) before a result exists, the flight is
+//! marked *abandoned* and its token fired, so the worker stops burning a
+//! core on an answer nobody wants. An abandoned flight is replaced by a
+//! fresh one on the next [`Batcher::join`] for its key.
+//!
 //! Lock order is always `inflight` map → `Flight::state`, so joining and
 //! completing cannot deadlock.
 
 use crate::cache::{ComputeKey, ComputeValue};
+use pasgal_core::common::CancelToken;
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// How often a blocked waiter rechecks its caller's cancel token. Bounds
+/// how stale a disconnect/shutdown signal can go unnoticed.
+const POLL_SLICE: Duration = Duration::from_millis(20);
 
 /// One in-flight computation that any number of queries may wait on.
 pub struct Flight {
     state: Mutex<FlightState>,
     cv: Condvar,
+    token: CancelToken,
 }
 
 struct FlightState {
-    /// Queries sharing this computation (leader included).
+    /// Queries that ever shared this computation (leader included); this
+    /// is the batch size reported to metrics.
     joiners: u64,
+    /// Waiters currently blocked in [`Flight::wait_cancellable`].
+    waiting: u64,
+    /// Set when the last live waiter departed without a result; the
+    /// flight token is fired at the same moment.
+    abandoned: bool,
     result: Option<Result<ComputeValue, String>>,
 }
 
@@ -31,33 +50,82 @@ struct FlightState {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WaitTimeout;
 
+/// Why a waiter gave up on a flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitAbort {
+    /// The caller's timeout elapsed first.
+    Timeout,
+    /// The caller's cancel token fired first (disconnect, shutdown).
+    Cancelled,
+}
+
 impl Flight {
     fn new() -> Self {
         Self {
             state: Mutex::new(FlightState {
                 joiners: 1,
+                waiting: 0,
+                abandoned: false,
                 result: None,
             }),
             cv: Condvar::new(),
+            token: CancelToken::new(),
         }
     }
 
-    /// Block until the flight completes or `timeout` elapses.
-    /// `Err(WaitTimeout)` means the wait timed out; the computation keeps
-    /// running and later queries can still use its (cached) result.
-    pub fn wait(&self, timeout: Duration) -> Result<Result<ComputeValue, String>, WaitTimeout> {
-        let guard = self.state.lock().expect("flight lock poisoned");
-        let (guard, res) = self
-            .cv
-            .wait_timeout_while(guard, timeout, |st| st.result.is_none())
-            .expect("flight lock poisoned");
-        if res.timed_out() && guard.result.is_none() {
-            return Err(WaitTimeout);
+    /// The token the executing worker polls; cancelled on abandonment or
+    /// service shutdown.
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// Block until the flight completes, `timeout` elapses, or `caller`
+    /// is cancelled. A departing waiter that leaves the flight with no
+    /// live waiters and no result abandons it (fires the flight token).
+    pub fn wait_cancellable(
+        &self,
+        timeout: Duration,
+        caller: &CancelToken,
+    ) -> Result<Result<ComputeValue, String>, WaitAbort> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock().expect("flight lock poisoned");
+        st.waiting += 1;
+        loop {
+            if let Some(r) = st.result.clone() {
+                st.waiting -= 1;
+                return Ok(r);
+            }
+            if caller.is_cancelled() {
+                return Err(self.depart(st, WaitAbort::Cancelled));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(self.depart(st, WaitAbort::Timeout));
+            }
+            // Sliced wait: the condvar wakes us on completion, the slice
+            // bound keeps caller-token checks fresh.
+            let slice = (deadline - now).min(POLL_SLICE);
+            let (guard, _) = self
+                .cv
+                .wait_timeout(st, slice)
+                .expect("flight lock poisoned");
+            st = guard;
         }
-        Ok(guard
-            .result
-            .clone()
-            .expect("flight completed without result"))
+    }
+
+    /// Compatibility wrapper: wait without a caller token.
+    pub fn wait(&self, timeout: Duration) -> Result<Result<ComputeValue, String>, WaitTimeout> {
+        self.wait_cancellable(timeout, &CancelToken::new())
+            .map_err(|_| WaitTimeout)
+    }
+
+    fn depart(&self, mut st: MutexGuard<'_, FlightState>, why: WaitAbort) -> WaitAbort {
+        st.waiting -= 1;
+        if st.waiting == 0 && st.result.is_none() {
+            st.abandoned = true;
+            self.token.cancel();
+        }
+        why
     }
 }
 
@@ -79,17 +147,22 @@ impl Batcher {
         Self::default()
     }
 
-    /// Join the flight for `key`, creating it (as leader) if absent.
+    /// Join the flight for `key`, creating it (as leader) if absent. An
+    /// abandoned flight with no result is dead — its worker is aborting —
+    /// so it is replaced by a fresh flight with a fresh leader.
     pub fn join(&self, key: ComputeKey) -> Join {
         let mut map = self.inflight.lock().expect("batcher lock poisoned");
         if let Some(flight) = map.get(&key) {
-            flight.state.lock().expect("flight lock poisoned").joiners += 1;
-            Join::Follower(Arc::clone(flight))
-        } else {
-            let flight = Arc::new(Flight::new());
-            map.insert(key, Arc::clone(&flight));
-            Join::Leader(flight)
+            let mut st = flight.state.lock().expect("flight lock poisoned");
+            if !st.abandoned || st.result.is_some() {
+                st.joiners += 1;
+                drop(st);
+                return Join::Follower(Arc::clone(flight));
+            }
         }
+        let flight = Arc::new(Flight::new());
+        map.insert(key, Arc::clone(&flight));
+        Join::Leader(flight)
     }
 
     /// Publish the leader's result, waking every follower. Returns the
@@ -101,6 +174,10 @@ impl Batcher {
     /// size while the flight is still locked — i.e. strictly before any
     /// waiter observes the result — so bookkeeping (metrics) is visible
     /// by the time a query returns.
+    ///
+    /// The map entry is removed only if it still points at *this* flight:
+    /// an abandoned flight may already have been replaced by a fresh one,
+    /// which must not be torn down by the old worker retiring.
     pub fn complete(
         &self,
         key: &ComputeKey,
@@ -108,10 +185,12 @@ impl Batcher {
         result: Result<ComputeValue, String>,
         on_complete: impl FnOnce(u64),
     ) -> u64 {
-        self.inflight
-            .lock()
-            .expect("batcher lock poisoned")
-            .remove(key);
+        {
+            let mut map = self.inflight.lock().expect("batcher lock poisoned");
+            if map.get(key).is_some_and(|f| Arc::ptr_eq(f, flight)) {
+                map.remove(key);
+            }
+        }
         let mut st = flight.state.lock().expect("flight lock poisoned");
         let joiners = st.joiners;
         st.result = Some(result);
@@ -119,6 +198,16 @@ impl Batcher {
         drop(st);
         flight.cv.notify_all();
         joiners
+    }
+
+    /// Fire every in-flight token (service shutdown): workers observe the
+    /// tokens, abort their traversals, and publish cancellation errors,
+    /// which unblocks every waiter within one poll slice.
+    pub fn cancel_all(&self) {
+        let map = self.inflight.lock().expect("batcher lock poisoned");
+        for flight in map.values() {
+            flight.token.cancel();
+        }
     }
 
     /// Number of computations currently in flight.
@@ -182,7 +271,7 @@ mod tests {
         let _leader = b.join(key(1));
         let f = match b.join(key(1)) {
             Join::Follower(f) => f,
-            _ => panic!(),
+            _ => panic!("second join must follow"),
         };
         assert!(f.wait(Duration::from_millis(10)).is_err());
     }
@@ -192,7 +281,7 @@ mod tests {
         let b = Batcher::new();
         let leader = match b.join(key(2)) {
             Join::Leader(f) => f,
-            _ => panic!(),
+            _ => panic!("first join must lead"),
         };
         b.complete(&key(2), &leader, Err("boom".into()), |_| {});
         assert_eq!(
@@ -208,5 +297,96 @@ mod tests {
         assert!(matches!(b.join(key(2)), Join::Leader(_)));
         assert!(matches!(b.join(key(1)), Join::Follower(_)));
         assert_eq!(b.in_flight(), 2);
+    }
+
+    /// Regression for the leader-timeout edge: a leader that gives up
+    /// waiting does NOT kill the flight while a follower is still live;
+    /// the follower must still receive the worker's result.
+    #[test]
+    fn leader_timeout_leaves_followers_served() {
+        let b = Arc::new(Batcher::new());
+        let leader = match b.join(key(9)) {
+            Join::Leader(f) => f,
+            _ => panic!("first join must lead"),
+        };
+        let follower = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || match b.join(key(9)) {
+                Join::Follower(f) => f.wait(Duration::from_secs(5)),
+                _ => panic!("second join must follow"),
+            })
+        };
+        // let the follower block in wait
+        while leader.state.lock().unwrap().waiting < 1 {
+            std::thread::yield_now();
+        }
+        // leader's own wait times out; flight must NOT be abandoned
+        assert!(matches!(
+            leader.wait_cancellable(Duration::from_millis(5), &CancelToken::new()),
+            Err(WaitAbort::Timeout)
+        ));
+        assert!(!leader.token().is_cancelled());
+        b.complete(&key(9), &leader, Ok(value()), |_| {});
+        assert!(follower.join().unwrap().unwrap().is_ok());
+    }
+
+    /// The last live waiter departing abandons the flight, fires its
+    /// token, and the next join for the key starts a fresh flight.
+    #[test]
+    fn last_waiter_abandons_and_rejoin_replaces() {
+        let b = Batcher::new();
+        let leader = match b.join(key(3)) {
+            Join::Leader(f) => f,
+            _ => panic!("first join must lead"),
+        };
+        assert!(matches!(
+            leader.wait_cancellable(Duration::from_millis(5), &CancelToken::new()),
+            Err(WaitAbort::Timeout)
+        ));
+        assert!(leader.token().is_cancelled());
+        // the abandoned flight is replaced, not followed
+        let fresh = match b.join(key(3)) {
+            Join::Leader(f) => f,
+            Join::Follower(_) => panic!("abandoned flight must be replaced"),
+        };
+        assert!(!fresh.token().is_cancelled());
+        // the old worker retiring must not tear down the fresh flight
+        b.complete(&key(3), &leader, Err("cancelled".into()), |_| {});
+        assert_eq!(b.in_flight(), 1);
+        b.complete(&key(3), &fresh, Ok(value()), |_| {});
+        assert_eq!(b.in_flight(), 0);
+    }
+
+    #[test]
+    fn caller_token_aborts_wait_quickly() {
+        let b = Batcher::new();
+        let leader = match b.join(key(4)) {
+            Join::Leader(f) => f,
+            _ => panic!("first join must lead"),
+        };
+        let caller = CancelToken::new();
+        caller.cancel();
+        let start = Instant::now();
+        assert!(matches!(
+            leader.wait_cancellable(Duration::from_secs(30), &caller),
+            Err(WaitAbort::Cancelled)
+        ));
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn cancel_all_fires_every_flight_token() {
+        let b = Batcher::new();
+        let f1 = match b.join(key(1)) {
+            Join::Leader(f) => f,
+            _ => panic!("first join must lead"),
+        };
+        let f2 = match b.join(key(2)) {
+            Join::Leader(f) => f,
+            _ => panic!("first join must lead"),
+        };
+        b.cancel_all();
+        assert!(f1.token().is_cancelled());
+        assert!(f2.token().is_cancelled());
     }
 }

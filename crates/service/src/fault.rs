@@ -1,0 +1,222 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! The service is supposed to degrade gracefully — workers survive
+//! panics, slow queries get cancelled, overload rejects instead of
+//! buffering. Those paths only stay honest if they can be exercised on
+//! demand, so this module provides seedable injection points that the
+//! chaos integration test drives:
+//!
+//! * **worker panic** — the computation panics inside the worker (the
+//!   worker must survive and publish an error to the flight);
+//! * **delay** — the worker stalls before computing (long enough that
+//!   waiters time out and cancellation must free the worker);
+//! * **forced cache miss** — a would-be cache hit is ignored (exercises
+//!   the batcher/queue path under hit-heavy workloads);
+//! * **forced queue full** — admission pretends the queue is full
+//!   (exercises `Overloaded` rejection and flight teardown).
+//!
+//! Injection is **compiled out** unless the `fault-injection` cargo
+//! feature is on: every `should_*` method starts with
+//! `cfg!(feature = "fault-injection")`, which const-folds to `false` in
+//! normal builds, so release binaries carry no fault branches. With the
+//! feature on, faults additionally require runtime opt-in via a nonzero
+//! period in [`FaultPlan`].
+//!
+//! Firing is counter-based, not clock- or rng-based at decision time:
+//! injection point `p` fires on its `i`-th arrival iff
+//! `i % period == offset(seed, p)`. Under a fixed seed the *number* of
+//! faults injected by a workload is a pure function of how many times
+//! each point is reached, regardless of thread interleaving — which is
+//! what lets the chaos test assert exact bookkeeping invariants.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Runtime fault configuration. All periods are "every Nth arrival";
+/// `0` disables that injection point. The default plan injects nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed mixed into each point's firing offset, so different seeds
+    /// hit different requests while keeping counts deterministic.
+    pub seed: u64,
+    /// Panic the computation on every Nth job a worker picks up.
+    pub worker_panic_every: u64,
+    /// Stall the worker for [`FaultPlan::delay`] on every Nth job.
+    pub delay_every: u64,
+    /// Additionally stall the first N jobs (deterministic targeting for
+    /// the worker-starvation tests, independent of `delay_every`).
+    pub delay_first: u64,
+    /// How long an injected stall lasts (bounded by cancellation: the
+    /// stall loop polls the flight's token).
+    pub delay: Duration,
+    /// Ignore the cache on every Nth lookup (forces recomputation).
+    pub cache_miss_every: u64,
+    /// Pretend the admission queue is full on every Nth submission.
+    pub queue_full_every: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            worker_panic_every: 0,
+            delay_every: 0,
+            delay_first: 0,
+            delay: Duration::from_millis(50),
+            cache_miss_every: 0,
+            queue_full_every: 0,
+        }
+    }
+}
+
+/// Injection point ids (indices into the per-point arrival counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Point {
+    WorkerPanic = 0,
+    Delay = 1,
+    CacheMiss = 2,
+    QueueFull = 3,
+}
+
+const POINTS: usize = 4;
+
+/// Live injector: a [`FaultPlan`] plus one arrival counter per point.
+/// Shared by every worker and query thread; all methods are lock-free.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    arrivals: [AtomicU64; POINTS],
+}
+
+impl FaultInjector {
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            arrivals: Default::default(),
+        }
+    }
+
+    /// An injector that never fires (the service default).
+    pub fn disabled() -> Self {
+        Self::new(FaultPlan::default())
+    }
+
+    /// Count an arrival at `point`; report whether it fires under period
+    /// `every`. Always `false` when the `fault-injection` feature is off
+    /// (the branch const-folds away) or `every` is zero.
+    fn fire(&self, point: Point, every: u64) -> bool {
+        if !cfg!(feature = "fault-injection") || every == 0 {
+            return false;
+        }
+        let i = self.arrivals[point as usize].fetch_add(1, Ordering::Relaxed);
+        // seed- and point-dependent phase, so e.g. panic and delay with
+        // the same period do not always hit the same request
+        let offset = self
+            .plan
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(point as u64 * 0x517c_c1b7_2722_0a95)
+            % every;
+        i % every == offset
+    }
+
+    /// Should the job a worker just picked up panic?
+    pub fn should_panic_worker(&self) -> bool {
+        self.fire(Point::WorkerPanic, self.plan.worker_panic_every)
+    }
+
+    /// Should the job stall (and for how long)? Combines `delay_first`
+    /// (this arrival is among the first N) with the periodic rule.
+    pub fn injected_delay(&self) -> Option<Duration> {
+        if !cfg!(feature = "fault-injection") {
+            return None;
+        }
+        let plan = &self.plan;
+        if plan.delay_first == 0 && plan.delay_every == 0 {
+            return None;
+        }
+        let i = self.arrivals[Point::Delay as usize].fetch_add(1, Ordering::Relaxed);
+        let first = i < plan.delay_first;
+        let periodic = plan.delay_every != 0 && {
+            let offset = plan.seed.wrapping_mul(0x2545_f491_4f6c_dd1d) % plan.delay_every;
+            i % plan.delay_every == offset
+        };
+        (first || periodic).then_some(plan.delay)
+    }
+
+    /// Should this cache lookup be treated as a miss?
+    pub fn should_force_cache_miss(&self) -> bool {
+        self.fire(Point::CacheMiss, self.plan.cache_miss_every)
+    }
+
+    /// Should this queue submission be rejected as if the queue were full?
+    pub fn should_force_queue_full(&self) -> bool {
+        self.fire(Point::QueueFull, self.plan.queue_full_every)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_fires() {
+        let inj = FaultInjector::disabled();
+        for _ in 0..100 {
+            assert!(!inj.should_panic_worker());
+            assert!(!inj.should_force_cache_miss());
+            assert!(!inj.should_force_queue_full());
+            assert!(inj.injected_delay().is_none());
+        }
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn periodic_firing_is_deterministic() {
+        let plan = FaultPlan {
+            seed: 42,
+            worker_panic_every: 10,
+            ..FaultPlan::default()
+        };
+        let fired: Vec<bool> = {
+            let inj = FaultInjector::new(plan.clone());
+            (0..100).map(|_| inj.should_panic_worker()).collect()
+        };
+        assert_eq!(fired.iter().filter(|&&f| f).count(), 10);
+        // same plan, same sequence
+        let inj = FaultInjector::new(plan);
+        let again: Vec<bool> = (0..100).map(|_| inj.should_panic_worker()).collect();
+        assert_eq!(fired, again);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn delay_first_targets_the_first_jobs() {
+        let inj = FaultInjector::new(FaultPlan {
+            delay_first: 2,
+            delay: Duration::from_millis(7),
+            ..FaultPlan::default()
+        });
+        assert_eq!(inj.injected_delay(), Some(Duration::from_millis(7)));
+        assert_eq!(inj.injected_delay(), Some(Duration::from_millis(7)));
+        assert_eq!(inj.injected_delay(), None);
+        assert_eq!(inj.injected_delay(), None);
+    }
+
+    #[cfg(not(feature = "fault-injection"))]
+    #[test]
+    fn feature_off_compiles_faults_out() {
+        // even an aggressive plan is inert without the cargo feature
+        let inj = FaultInjector::new(FaultPlan {
+            worker_panic_every: 1,
+            delay_first: u64::MAX,
+            cache_miss_every: 1,
+            queue_full_every: 1,
+            ..FaultPlan::default()
+        });
+        assert!(!inj.should_panic_worker());
+        assert!(!inj.should_force_cache_miss());
+        assert!(!inj.should_force_queue_full());
+        assert!(inj.injected_delay().is_none());
+    }
+}

@@ -180,11 +180,21 @@ impl fmt::Display for Json {
     }
 }
 
+/// Maximum container nesting the parser accepts. The parser recurses per
+/// nesting level, so without a bound a hostile line of `[[[[…` could
+/// overflow the connection thread's stack; 64 levels is far beyond any
+/// legitimate request (the protocol nests at most 2 deep).
+pub const MAX_DEPTH: usize = 64;
+
 /// Parse one JSON value from `input`, requiring it to consume the whole
 /// string (modulo surrounding whitespace).
 pub fn parse(input: &str) -> Result<Json, String> {
     let bytes = input.as_bytes();
-    let mut p = Parser { bytes, pos: 0 };
+    let mut p = Parser {
+        bytes,
+        pos: 0,
+        depth: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -197,9 +207,18 @@ pub fn parse(input: &str) -> Result<Json, String> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
+    fn descend(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} levels"));
+        }
+        Ok(())
+    }
+
     fn skip_ws(&mut self) {
         while let Some(&b) = self.bytes.get(self.pos) {
             if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
@@ -325,11 +344,13 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, String> {
+        self.descend()?;
         self.eat(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -340,6 +361,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
@@ -348,11 +370,13 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
+        self.descend()?;
         self.eat(b'{')?;
         let mut m = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(m));
         }
         loop {
@@ -368,6 +392,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(m));
                 }
                 _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
@@ -394,7 +419,7 @@ mod tests {
         let v = parse(r#"{"a":[1,2.5,null,true,"x\"y\n"],"b":{}}"#).unwrap();
         let a = match v.get("a").unwrap() {
             Json::Arr(a) => a,
-            _ => panic!(),
+            other => panic!("expected array, got {other:?}"),
         };
         assert_eq!(a[0], Json::Int(1));
         assert_eq!(a[1], Json::Float(2.5));
@@ -409,6 +434,29 @@ mod tests {
         assert!(parse("[1,]").is_err());
         assert!(parse("{\"a\":1} extra").is_err());
         assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn nesting_is_bounded() {
+        // comfortably nested input parses
+        let ok = format!("{}1{}", "[".repeat(10), "]".repeat(10));
+        assert!(parse(&ok).is_ok());
+        let ok = format!(
+            "{}{{}}{}",
+            "{\"a\":".repeat(MAX_DEPTH - 1),
+            "}".repeat(MAX_DEPTH - 1)
+        );
+        assert!(parse(&ok).is_ok());
+        // one past the cap is rejected, not a stack overflow
+        let deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        let err = parse(&deep).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        // unbalanced hostile prefix also bounded
+        assert!(parse(&"[".repeat(100_000)).is_err());
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //!   traversals.
 //! - **[`metrics`]** — queries served, cache hit rate, batch-size and
 //!   latency histograms, exposed through the `metrics` query.
+//! - **[`fault`]** — deterministic fault injection (worker panics,
+//!   stalls, forced cache misses, fake queue-full), compiled out unless
+//!   the `fault-injection` cargo feature is on; drives the chaos tests.
 //! - **[`server`]** — JSON-lines-over-TCP front end (`pasgal serve`),
 //!   scriptable with `nc`.
 //!
@@ -37,6 +40,7 @@
 pub mod batcher;
 pub mod cache;
 pub mod catalog;
+pub mod fault;
 pub mod json;
 pub mod metrics;
 pub mod query;
@@ -45,6 +49,7 @@ pub mod service;
 
 pub use cache::{ComputeKey, ComputeValue};
 pub use catalog::{Catalog, GraphEntry};
+pub use fault::{FaultInjector, FaultPlan};
 pub use metrics::MetricsSnapshot;
 pub use query::{Query, Reply, ServiceError};
 pub use server::Server;

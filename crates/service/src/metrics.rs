@@ -22,12 +22,16 @@ fn bucket_of(value: u64, buckets: usize) -> usize {
 #[derive(Default)]
 pub struct Metrics {
     queries: AtomicU64,
+    completed: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     computations: AtomicU64,
+    computations_cancelled: AtomicU64,
     rejected_overload: AtomicU64,
     timeouts: AtomicU64,
+    cancelled: AtomicU64,
     errors: AtomicU64,
+    workers_busy: AtomicU64,
     latency_us: [AtomicU64; LATENCY_BUCKETS],
     batch_size: [AtomicU64; BATCH_BUCKETS],
 }
@@ -67,6 +71,32 @@ impl Metrics {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One query answered successfully.
+    pub fn completed(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One query gave up because its cancel token fired (client
+    /// disconnect, shutdown) rather than by plain timeout.
+    pub fn cancelled(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One in-flight computation observed its token and aborted.
+    pub fn computation_cancelled(&self) {
+        self.computations_cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker picked up a job (gauge up).
+    pub fn worker_busy(&self) {
+        self.workers_busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker finished a job (gauge down).
+    pub fn worker_idle(&self) {
+        self.workers_busy.fetch_sub(1, Ordering::Relaxed);
+    }
+
     pub fn latency(&self, elapsed: std::time::Duration) {
         let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
         self.latency_us[bucket_of(us, LATENCY_BUCKETS)].fetch_add(1, Ordering::Relaxed);
@@ -77,12 +107,16 @@ impl Metrics {
         let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
         MetricsSnapshot {
             queries: load(&self.queries),
+            completed: load(&self.completed),
             cache_hits: load(&self.cache_hits),
             cache_misses: load(&self.cache_misses),
             computations: load(&self.computations),
+            computations_cancelled: load(&self.computations_cancelled),
             rejected_overload: load(&self.rejected_overload),
             timeouts: load(&self.timeouts),
+            cancelled: load(&self.cancelled),
             errors: load(&self.errors),
+            workers_busy: load(&self.workers_busy),
             latency_us: self.latency_us.iter().map(load).collect(),
             batch_size: self.batch_size.iter().map(load).collect(),
         }
@@ -93,13 +127,21 @@ impl Metrics {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     pub queries: u64,
+    /// Queries answered successfully.
+    pub completed: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
     /// Distinct traversals/labelings actually executed.
     pub computations: u64,
+    /// Traversals that observed their cancel token and aborted.
+    pub computations_cancelled: u64,
     pub rejected_overload: u64,
     pub timeouts: u64,
+    /// Queries abandoned because their cancel token fired.
+    pub cancelled: u64,
     pub errors: u64,
+    /// Workers currently executing a job (gauge, not a counter).
+    pub workers_busy: u64,
     /// Power-of-two latency buckets in microseconds.
     pub latency_us: Vec<u64>,
     /// Power-of-two batch-size buckets (how many queries shared one
@@ -123,6 +165,18 @@ impl MetricsSnapshot {
         self.batch_size.iter().skip(1).sum()
     }
 
+    /// Outcome conservation: every submitted query must land in exactly
+    /// one terminal bucket. The chaos test asserts this after hammering
+    /// the service with faults injected.
+    pub fn reconciles(&self) -> bool {
+        self.queries
+            == self.completed
+                + self.timeouts
+                + self.cancelled
+                + self.rejected_overload
+                + self.errors
+    }
+
     /// Encode as the wire object (histograms as `[lower_bound, count]`
     /// pairs with empty buckets elided).
     pub fn to_json(&self) -> Json {
@@ -144,13 +198,20 @@ impl MetricsSnapshot {
         Json::obj([
             ("ok", Json::Bool(true)),
             ("queries", Json::from(self.queries)),
+            ("completed", Json::from(self.completed)),
             ("cache_hits", Json::from(self.cache_hits)),
             ("cache_misses", Json::from(self.cache_misses)),
             ("cache_hit_rate", Json::from(self.cache_hit_rate())),
             ("computations", Json::from(self.computations)),
+            (
+                "computations_cancelled",
+                Json::from(self.computations_cancelled),
+            ),
             ("rejected_overload", Json::from(self.rejected_overload)),
             ("timeouts", Json::from(self.timeouts)),
+            ("cancelled", Json::from(self.cancelled)),
             ("errors", Json::from(self.errors)),
+            ("workers_busy", Json::from(self.workers_busy)),
             ("latency_us", hist(&self.latency_us)),
             ("batch_size", hist(&self.batch_size)),
         ])
@@ -192,6 +253,36 @@ mod tests {
     }
 
     #[test]
+    fn outcome_buckets_reconcile() {
+        let m = Metrics::new();
+        for _ in 0..5 {
+            m.query();
+        }
+        m.completed();
+        m.completed();
+        m.timeout();
+        m.cancelled();
+        m.rejected_overload();
+        assert!(m.snapshot().reconciles());
+        m.query(); // submitted but not yet resolved
+        assert!(!m.snapshot().reconciles());
+        m.error();
+        assert!(m.snapshot().reconciles());
+    }
+
+    #[test]
+    fn workers_busy_gauge_tracks_up_and_down() {
+        let m = Metrics::new();
+        m.worker_busy();
+        m.worker_busy();
+        assert_eq!(m.snapshot().workers_busy, 2);
+        m.worker_idle();
+        assert_eq!(m.snapshot().workers_busy, 1);
+        m.worker_idle();
+        assert_eq!(m.snapshot().workers_busy, 0);
+    }
+
+    #[test]
     fn json_encoding_elides_empty_buckets() {
         let m = Metrics::new();
         m.computation(1);
@@ -199,7 +290,7 @@ mod tests {
         let j = m.snapshot().to_json();
         let hist = match j.get("batch_size").unwrap() {
             Json::Arr(a) => a,
-            _ => panic!(),
+            other => panic!("expected array, got {other:?}"),
         };
         assert_eq!(hist.len(), 2);
         // bucket lower bounds 1 (i=0 shows 0) and 8

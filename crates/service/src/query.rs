@@ -122,6 +122,9 @@ pub enum ServiceError {
     Overloaded,
     /// The query waited longer than the configured timeout.
     Timeout,
+    /// The query's cancel token fired before an answer was ready
+    /// (client disconnect or service shutdown).
+    Cancelled,
     /// The computation itself failed.
     Internal(String),
 }
@@ -135,6 +138,7 @@ impl ServiceError {
             ServiceError::VertexOutOfRange { .. } => "vertex_out_of_range",
             ServiceError::Overloaded => "overloaded",
             ServiceError::Timeout => "timeout",
+            ServiceError::Cancelled => "cancelled",
             ServiceError::Internal(_) => "internal",
         }
     }
@@ -150,6 +154,7 @@ impl std::fmt::Display for ServiceError {
             }
             ServiceError::Overloaded => write!(f, "service overloaded, retry later"),
             ServiceError::Timeout => write!(f, "query timed out"),
+            ServiceError::Cancelled => write!(f, "query cancelled"),
             ServiceError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }

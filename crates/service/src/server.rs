@@ -11,24 +11,96 @@
 //! {"op":"unregister","name":"road"}
 //! {"op":"list"}
 //! ```
+//!
+//! # Robustness
+//!
+//! * Request lines are capped at [`MAX_LINE_BYTES`]; an oversized line
+//!   gets a `bad_request` response and the connection is closed (the rest
+//!   of the line cannot be framed).
+//! * Non-UTF-8 lines and malformed JSON get a `bad_request` response;
+//!   the connection stays usable.
+//! * Every connection owns a [`CancelToken`]. A small watcher thread
+//!   detects client disconnect (peer closed the socket while a query is
+//!   still computing) and fires the token, turning the in-flight query
+//!   into `cancelled` instead of letting it ride out its timeout.
+//! * [`Server::shutdown_with_deadline`] stops accepting, cancels every
+//!   connection and in-flight computation, and waits (bounded) for the
+//!   connection threads to flush their final responses and exit.
 
 use crate::json::{self, Json};
 use crate::query::{Query, ServiceError};
 use crate::service::Service;
+use pasgal_core::common::CancelToken;
 use pasgal_graph::io;
-use std::io::{BufRead, BufReader, Write};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Longest accepted request line, in bytes (newline included). The
+/// protocol's largest legitimate request is a `register` with a long
+/// path — well under a kilobyte — so 1 MiB is generous while still
+/// bounding per-connection memory against a client that never sends a
+/// newline.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// How often blocked reads and the disconnect watcher re-check their
+/// cancellation conditions.
+const IO_POLL: Duration = Duration::from_millis(50);
+
+/// Live connections: their cancel tokens, keyed by connection id.
+#[derive(Default)]
+struct Connections {
+    next_id: AtomicU64,
+    tokens: Mutex<HashMap<u64, CancelToken>>,
+}
+
+impl Connections {
+    fn register(&self) -> (u64, CancelToken) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let token = CancelToken::new();
+        self.tokens
+            .lock()
+            .expect("connections lock poisoned")
+            .insert(id, token.clone());
+        (id, token)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.tokens
+            .lock()
+            .expect("connections lock poisoned")
+            .remove(&id);
+    }
+
+    fn cancel_all(&self) {
+        for token in self
+            .tokens
+            .lock()
+            .expect("connections lock poisoned")
+            .values()
+        {
+            token.cancel();
+        }
+    }
+
+    fn active(&self) -> usize {
+        self.tokens.lock().expect("connections lock poisoned").len()
+    }
+}
 
 /// A running server; dropping it (or calling [`Server::shutdown`]) stops
-/// the accept loop.
+/// the accept loop and drains connections.
 pub struct Server {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    service: Arc<Service>,
+    connections: Arc<Connections>,
 }
 
 impl Server {
@@ -38,14 +110,19 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(Connections::default());
         let flag = Arc::clone(&shutdown);
+        let svc = Arc::clone(&service);
+        let conns = Arc::clone(&connections);
         let accept_thread = std::thread::Builder::new()
             .name("pasgal-accept".into())
-            .spawn(move || accept_loop(listener, service, flag))?;
+            .spawn(move || accept_loop(listener, svc, conns, flag))?;
         Ok(Server {
             addr,
             shutdown,
             accept_thread: Some(accept_thread),
+            service,
+            connections,
         })
     }
 
@@ -54,9 +131,16 @@ impl Server {
         self.addr
     }
 
-    /// Stop accepting and join the accept thread. Existing connections
-    /// finish their current line and then see EOF-like errors.
+    /// [`Server::shutdown_with_deadline`] with a 5-second drain.
     pub fn shutdown(&mut self) {
+        self.shutdown_with_deadline(Duration::from_secs(5));
+    }
+
+    /// Graceful shutdown: stop accepting, cancel every connection token
+    /// and in-flight computation (in-flight queries answer `cancelled`,
+    /// responses are flushed), then wait up to `drain` for connection
+    /// threads to exit. Idempotent.
+    pub fn shutdown_with_deadline(&mut self, drain: Duration) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
@@ -64,6 +148,14 @@ impl Server {
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
+        }
+        // cancel in-flight queries (waiters) and the traversals backing
+        // them (workers); connection threads flush and exit
+        self.connections.cancel_all();
+        self.service.cancel_inflight();
+        let deadline = Instant::now() + drain;
+        while self.connections.active() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
         }
     }
 }
@@ -74,40 +166,207 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: TcpListener, service: Arc<Service>, shutdown: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    service: Arc<Service>,
+    connections: Arc<Connections>,
+    shutdown: Arc<AtomicBool>,
+) {
     for stream in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             return;
         }
         let Ok(stream) = stream else { continue };
         let service = Arc::clone(&service);
+        let connections = Arc::clone(&connections);
+        let shutdown = Arc::clone(&shutdown);
         let _ = std::thread::Builder::new()
             .name("pasgal-conn".into())
             .spawn(move || {
-                let _ = handle_connection(stream, &service);
+                let (id, token) = connections.register();
+                // close the register/cancel_all race: a shutdown that ran
+                // between accept and register missed this token
+                if shutdown.load(Ordering::SeqCst) {
+                    token.cancel();
+                }
+                let done = Arc::new(AtomicBool::new(false));
+                let watcher = stream
+                    .try_clone()
+                    .ok()
+                    .and_then(|s| spawn_disconnect_watcher(s, token.clone(), Arc::clone(&done)));
+                let _ = handle_connection(stream, &service, &token);
+                done.store(true, Ordering::SeqCst);
+                if let Some(w) = watcher {
+                    let _ = w.join();
+                }
+                connections.deregister(id);
             });
     }
 }
 
-fn handle_connection(stream: TcpStream, service: &Service) -> std::io::Result<()> {
-    let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+/// Watch for the peer closing its end while the connection thread is busy
+/// inside a query: `peek` returning 0 means orderly shutdown from the
+/// client, at which point nobody will read the answer — fire the token.
+fn spawn_disconnect_watcher(
+    stream: TcpStream,
+    token: CancelToken,
+    done: Arc<AtomicBool>,
+) -> Option<JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name("pasgal-conn-watch".into())
+        .spawn(move || {
+            let _ = stream.set_read_timeout(Some(IO_POLL));
+            let mut byte = [0u8; 1];
+            while !done.load(Ordering::SeqCst) && !token.is_cancelled() {
+                match stream.peek(&mut byte) {
+                    Ok(0) => {
+                        // client closed its write side; abandon the query
+                        token.cancel();
+                        return;
+                    }
+                    // a request is pending; the connection thread reads it
+                    Ok(_) => std::thread::sleep(IO_POLL),
+                    Err(e)
+                        if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    }
+                    Err(_) => {
+                        token.cancel();
+                        return;
+                    }
+                }
+            }
+        })
+        .ok()
+}
+
+/// What one framing attempt produced.
+enum ReadOutcome {
+    /// A complete line sits in the buffer (newline stripped by caller).
+    Line,
+    /// Peer closed the connection.
+    Eof,
+    /// The line exceeded [`MAX_LINE_BYTES`] before a newline appeared.
+    Oversized,
+    /// The connection token fired while waiting for input.
+    Cancelled,
+}
+
+/// Read one newline-terminated line into `buf`, never retaining more
+/// than [`MAX_LINE_BYTES`] + 1 bytes, re-checking `token` on every read
+/// timeout. Requires the stream to have a read timeout set.
+fn read_line_capped(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    token: &CancelToken,
+) -> std::io::Result<ReadOutcome> {
+    buf.clear();
+    loop {
+        if token.is_cancelled() {
+            return Ok(ReadOutcome::Cancelled);
         }
-        let response = handle_line(service, &line);
-        writer.write_all(response.to_string().as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        let room = (MAX_LINE_BYTES + 1).saturating_sub(buf.len());
+        // `take` bounds this round; bytes already read stay in `buf`
+        // across timeout retries.
+        match (&mut *reader).take(room as u64).read_until(b'\n', buf) {
+            Ok(0) => return Ok(ReadOutcome::Eof),
+            Ok(_) => {
+                if buf.ends_with(b"\n") {
+                    return Ok(ReadOutcome::Line);
+                }
+                if buf.len() > MAX_LINE_BYTES {
+                    return Ok(ReadOutcome::Oversized);
+                }
+                // EOF mid-line: hand the partial line up (same behavior
+                // as `BufRead::lines` on a missing final newline)
+                return Ok(ReadOutcome::Line);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
     }
-    Ok(())
+}
+
+/// Read and discard until a newline, EOF, cancellation, or a 2-second
+/// bound — whichever comes first.
+fn drain_rest_of_line(reader: &mut BufReader<TcpStream>, token: &CancelToken) {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while Instant::now() < deadline && !token.is_cancelled() {
+        match reader.fill_buf() {
+            Ok([]) => return, // EOF
+            Ok(data) => {
+                let upto = match data.iter().position(|&b| b == b'\n') {
+                    Some(i) => {
+                        reader.consume(i + 1);
+                        return;
+                    }
+                    None => data.len(),
+                };
+                reader.consume(upto);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn write_response(writer: &mut TcpStream, response: &Json) -> std::io::Result<()> {
+    writer.write_all(response.to_string().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: &Service,
+    token: &CancelToken,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_POLL))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut buf = Vec::new();
+    loop {
+        match read_line_capped(&mut reader, &mut buf, token)? {
+            ReadOutcome::Eof | ReadOutcome::Cancelled => return Ok(()),
+            ReadOutcome::Oversized => {
+                let e = ServiceError::BadRequest(format!(
+                    "request line exceeds {MAX_LINE_BYTES} bytes"
+                ));
+                write_response(&mut writer, &e.to_json())?;
+                // consume the rest of the doomed line (bounded) so the
+                // close is orderly — an RST could destroy the queued
+                // response — then drop the connection
+                drain_rest_of_line(&mut reader, token);
+                return Ok(());
+            }
+            ReadOutcome::Line => {
+                let Ok(line) = std::str::from_utf8(&buf) else {
+                    let e = ServiceError::BadRequest("request line is not valid UTF-8".into());
+                    write_response(&mut writer, &e.to_json())?;
+                    continue;
+                };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let response = handle_line_with_token(service, line, token);
+                write_response(&mut writer, &response)?;
+            }
+        }
+    }
 }
 
 /// Process one request line; never panics, always returns a JSON object
-/// with an `ok` field.
+/// with an `ok` field. Queries run under a fresh token (no external
+/// cancellation).
 pub fn handle_line(service: &Service, line: &str) -> Json {
+    handle_line_with_token(service, line, &CancelToken::new())
+}
+
+/// [`handle_line`] under a caller-supplied cancel token (the server ties
+/// it to the client connection).
+pub fn handle_line_with_token(service: &Service, line: &str, token: &CancelToken) -> Json {
     let request = match json::parse(line) {
         Ok(v) => v,
         Err(e) => return ServiceError::BadRequest(format!("invalid JSON: {e}")).to_json(),
@@ -140,7 +399,7 @@ pub fn handle_line(service: &Service, line: &str) -> Json {
             Json::obj([("ok", Json::Bool(true)), ("graphs", Json::Arr(graphs))])
         }
         _ => match Query::from_json(&request) {
-            Ok(q) => match service.query(&q) {
+            Ok(q) => match service.query_with_token(&q, token) {
                 Ok(reply) => reply.to_json(),
                 Err(e) => e.to_json(),
             },
@@ -220,6 +479,36 @@ mod tests {
         assert_eq!(r.get("ok").unwrap().as_bool(), Some(false));
     }
 
+    /// Table-driven malformed frames: every one of these must produce a
+    /// single well-formed error object — never a panic, never silence.
+    #[test]
+    fn malformed_frames_get_one_error_each() {
+        let svc = service_with_grid();
+        let deep = format!("{}1{}", "[".repeat(500), "]".repeat(500));
+        let unbalanced = "[".repeat(100_000);
+        let cases: [(&str, &str); 10] = [
+            ("truncated object", r#"{"op":"bfs","graph":"g""#),
+            ("truncated string", r#"{"op":"bfs","graph":"g"#),
+            ("truncated escape", r#"{"op":"\u00"#),
+            ("bare word", "hello"),
+            ("wrong op type", r#"{"op":7}"#),
+            ("unknown op", r#"{"op":"teleport","graph":"g"}"#),
+            ("missing fields", r#"{"op":"bfs"}"#),
+            ("negative vertex", r#"{"op":"bfs","graph":"g","src":-3}"#),
+            ("deeply nested", deep.as_str()),
+            ("unbalanced nesting", unbalanced.as_str()),
+        ];
+        for (what, frame) in cases {
+            let r = handle_line(&svc, frame);
+            assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false), "{what}");
+            let kind = r.get("kind").and_then(Json::as_str);
+            assert_eq!(kind, Some("bad_request"), "{what}: {r}");
+        }
+        // the service still answers real queries afterwards
+        let r = handle_line(&svc, r#"{"op":"stats","graph":"g"}"#);
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+    }
+
     #[test]
     fn tcp_round_trip() {
         let svc = service_with_grid();
@@ -242,6 +531,83 @@ mod tests {
             assert!(line.contains("\"ok\":true"), "{req} → {line}");
         }
         server.shutdown();
+    }
+
+    #[test]
+    fn oversized_line_rejected_and_connection_closed() {
+        let svc = service_with_grid();
+        let mut server = Server::spawn(Arc::clone(&svc), "127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        // pour > MAX_LINE_BYTES without a newline
+        let chunk = vec![b'x'; 64 * 1024];
+        for _ in 0..(MAX_LINE_BYTES / chunk.len() + 2) {
+            if writer.write_all(&chunk).is_err() {
+                break; // server may close early; response still queued
+            }
+        }
+        let _ = writer.flush();
+        // half-close so the server's drain sees EOF and closes cleanly
+        let _ = writer.shutdown(std::net::Shutdown::Write);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("bad_request"), "{line}");
+        assert!(line.contains("exceeds"), "{line}");
+        // connection is closed afterwards
+        let mut rest = String::new();
+        let n = reader.read_line(&mut rest).unwrap_or(0);
+        assert_eq!(n, 0, "connection should be closed, got {rest:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn non_utf8_line_gets_bad_request() {
+        let svc = service_with_grid();
+        let mut server = Server::spawn(Arc::clone(&svc), "127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writer.write_all(&[0xff, 0xfe, 0x80, b'\n']).unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("bad_request"), "{line}");
+        assert!(line.contains("UTF-8"), "{line}");
+        // connection survives; a valid request still works
+        writer
+            .write_all(b"{\"op\":\"stats\",\"graph\":\"g\"}\n")
+            .unwrap();
+        writer.flush().unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"ok\":true"), "{line}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_with_deadline_drains_idle_connections() {
+        let svc = service_with_grid();
+        let mut server = Server::spawn(Arc::clone(&svc), "127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        // one round trip ensures the connection is registered server-side
+        writer
+            .write_all(b"{\"op\":\"stats\",\"graph\":\"g\"}\n")
+            .unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"ok\":true"), "{line}");
+        // now idle: no request in flight
+        let start = Instant::now();
+        server.shutdown_with_deadline(Duration::from_secs(5));
+        assert!(start.elapsed() < Duration::from_secs(5), "drain hung");
+        // the server closed our connection
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).unwrap_or(0), 0);
+        drop(stream);
     }
 
     #[test]

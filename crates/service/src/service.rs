@@ -7,20 +7,33 @@
 //! never unbounded memory growth) → a worker runs the traversal once,
 //! caches it, and wakes the whole batch → each waiter extracts its answer
 //! from the shared result. Waiters give up after the configured timeout
-//! ([`ServiceError::Timeout`]) but the computation still completes and
-//! populates the cache for later queries.
+//! ([`ServiceError::Timeout`]) but the computation keeps running — and
+//! populates the cache — *as long as anyone is still waiting on it*.
+//! When the **last** waiter gives up, the flight's [`CancelToken`] fires,
+//! the worker's traversal aborts within one round, and the worker is free
+//! for the next job instead of finishing an answer nobody wants.
+//!
+//! Every query carries a token ([`Service::query_with_token`]): the
+//! server cancels it on client disconnect or shutdown, turning the query
+//! into [`ServiceError::Cancelled`] within one poll slice.
+//!
+//! With the `fault-injection` cargo feature, a [`FaultInjector`] can
+//! deterministically panic workers, stall computations, force cache
+//! misses, and fake queue-full rejections — the chaos tests drive all of
+//! these to prove the bookkeeping above never loses a worker or a query.
 
-use crate::batcher::{Batcher, Flight, Join};
+use crate::batcher::{Batcher, Flight, Join, WaitAbort};
 use crate::cache::{ComputeKey, ComputeValue, ResultCache};
 use crate::catalog::{Catalog, GraphEntry};
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::query::{Query, Reply, ServiceError};
-use pasgal_core::bfs::vgc::bfs_vgc;
-use pasgal_core::cc::connectivity;
-use pasgal_core::common::{VgcConfig, UNREACHED};
-use pasgal_core::kcore::kcore_peel;
-use pasgal_core::scc::fwbw::scc_vgc;
-use pasgal_core::sssp::stepping::{sssp_rho_stepping, RhoConfig};
+use pasgal_core::bfs::vgc::bfs_vgc_cancel;
+use pasgal_core::cc::connectivity_cancel;
+use pasgal_core::common::{CancelToken, Cancelled, VgcConfig, UNREACHED};
+use pasgal_core::kcore::kcore_peel_cancel;
+use pasgal_core::scc::fwbw::scc_vgc_cancel;
+use pasgal_core::sssp::stepping::{sssp_rho_stepping_cancel, RhoConfig};
 use pasgal_graph::csr::Graph;
 use pasgal_graph::stats::degree_stats;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -31,6 +44,9 @@ use std::time::{Duration, Instant};
 
 /// Error string used to propagate queue rejection to batched followers.
 const OVERLOADED: &str = "\u{1}overloaded";
+/// Error string published by a worker whose traversal observed its
+/// flight token and aborted.
+const CANCELLED: &str = "\u{1}cancelled";
 
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
@@ -47,6 +63,9 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// VGC granularity (`τ`) used for all traversals.
     pub tau: usize,
+    /// Deterministic fault injection (inert unless the `fault-injection`
+    /// cargo feature is enabled AND a period is nonzero).
+    pub faults: FaultPlan,
 }
 
 impl Default for ServiceConfig {
@@ -60,6 +79,7 @@ impl Default for ServiceConfig {
             query_timeout: Duration::from_secs(30),
             cache_capacity: 128,
             tau: 256,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -75,6 +95,7 @@ struct Inner {
     cache: Mutex<ResultCache>,
     batcher: Batcher,
     metrics: Metrics,
+    faults: FaultInjector,
     config: ServiceConfig,
 }
 
@@ -93,6 +114,7 @@ impl Service {
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
             batcher: Batcher::new(),
             metrics: Metrics::new(),
+            faults: FaultInjector::new(config.faults.clone()),
             config: config.clone(),
         });
         let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
@@ -153,23 +175,50 @@ impl Service {
 
     /// Answer one query (blocking, callable concurrently).
     pub fn query(&self, q: &Query) -> Result<Reply, ServiceError> {
+        self.query_with_token(q, &CancelToken::new())
+    }
+
+    /// Answer one query under a caller-supplied [`CancelToken`] — the
+    /// server ties it to the client connection so a disconnect (or
+    /// shutdown) turns the query into [`ServiceError::Cancelled`] instead
+    /// of leaving it to ride out the full timeout.
+    ///
+    /// Every submitted query lands in exactly one terminal metrics bucket
+    /// (`completed`/`timeouts`/`cancelled`/`rejected_overload`/`errors`);
+    /// [`MetricsSnapshot::reconciles`](crate::metrics::MetricsSnapshot::reconciles)
+    /// checks the sum.
+    pub fn query_with_token(&self, q: &Query, cancel: &CancelToken) -> Result<Reply, ServiceError> {
         let start = Instant::now();
         self.inner.metrics.query();
-        let out = self.dispatch(q);
+        let out = self.dispatch(q, cancel);
         self.inner.metrics.latency(start.elapsed());
-        if let Err(e) = &out {
-            match e {
-                ServiceError::Timeout => self.inner.metrics.timeout(),
-                ServiceError::Overloaded => {} // counted at rejection site
-                _ => self.inner.metrics.error(),
-            }
+        match &out {
+            Ok(_) => self.inner.metrics.completed(),
+            Err(ServiceError::Timeout) => self.inner.metrics.timeout(),
+            Err(ServiceError::Cancelled) => self.inner.metrics.cancelled(),
+            Err(ServiceError::Overloaded) => {} // counted at rejection site
+            Err(_) => self.inner.metrics.error(),
         }
         out
     }
 
-    fn dispatch(&self, q: &Query) -> Result<Reply, ServiceError> {
+    /// Fire the token of every in-flight computation (shutdown drain):
+    /// workers abort their traversals and publish cancellation errors,
+    /// unblocking every waiting query within one poll slice.
+    pub fn cancel_inflight(&self) {
+        self.inner.batcher.cancel_all();
+    }
+
+    fn dispatch(&self, q: &Query, cancel: &CancelToken) -> Result<Reply, ServiceError> {
         match q {
-            Query::Metrics => Ok(Reply::Metrics(self.inner.metrics.snapshot())),
+            Query::Metrics => {
+                // The snapshot excludes the metrics query serving it
+                // (counted in `queries` but not yet in a terminal
+                // bucket), so at quiescence the reply reconciles.
+                let mut snap = self.inner.metrics.snapshot();
+                snap.queries = snap.queries.saturating_sub(1);
+                Ok(Reply::Metrics(snap))
+            }
             Query::Stats { graph } => {
                 let entry = self.lookup(graph)?;
                 let g = &entry.graph;
@@ -194,7 +243,7 @@ impl Service {
                     generation: entry.generation,
                     src: *src,
                 };
-                match self.obtain(key, &entry)? {
+                match self.obtain(key, &entry, cancel)? {
                     ComputeValue::HopDists(dist) => Ok(hop_reply(&dist, *target)),
                     _ => Err(ServiceError::Internal("wrong result kind".into())),
                 }
@@ -205,14 +254,14 @@ impl Service {
                 if let Some(t) = target {
                     check_vertex(&entry, *t)?;
                 }
-                let dist = self.sssp_dists(&entry, *src)?;
+                let dist = self.sssp_dists(&entry, *src, cancel)?;
                 Ok(weight_reply(&dist, *target))
             }
             Query::Ptp { graph, src, dst } => {
                 let entry = self.lookup(graph)?;
                 check_vertex(&entry, *src)?;
                 check_vertex(&entry, *dst)?;
-                let dist = self.sssp_dists(&entry, *src)?;
+                let dist = self.sssp_dists(&entry, *src, cancel)?;
                 Ok(weight_reply(&dist, Some(*dst)))
             }
             Query::SccId { graph, vertex } => {
@@ -223,6 +272,7 @@ impl Service {
                         generation: entry.generation,
                     },
                     *vertex,
+                    cancel,
                 )
             }
             Query::CcId { graph, vertex } => {
@@ -233,6 +283,7 @@ impl Service {
                         generation: entry.generation,
                     },
                     *vertex,
+                    cancel,
                 )
             }
             Query::KCore { graph, vertex } => {
@@ -243,7 +294,7 @@ impl Service {
                 let key = ComputeKey::Coreness {
                     generation: entry.generation,
                 };
-                match self.obtain(key, &entry)? {
+                match self.obtain(key, &entry, cancel)? {
                     ComputeValue::Coreness {
                         coreness,
                         degeneracy,
@@ -268,12 +319,17 @@ impl Service {
             .ok_or_else(|| ServiceError::UnknownGraph(name.to_string()))
     }
 
-    fn sssp_dists(&self, entry: &Arc<GraphEntry>, src: u32) -> Result<Arc<Vec<u64>>, ServiceError> {
+    fn sssp_dists(
+        &self,
+        entry: &Arc<GraphEntry>,
+        src: u32,
+        cancel: &CancelToken,
+    ) -> Result<Arc<Vec<u64>>, ServiceError> {
         let key = ComputeKey::Dists {
             generation: entry.generation,
             src,
         };
-        match self.obtain(key, entry)? {
+        match self.obtain(key, entry, cancel)? {
             ComputeValue::Dists(d) => Ok(d),
             _ => Err(ServiceError::Internal("wrong result kind".into())),
         }
@@ -284,11 +340,12 @@ impl Service {
         entry: &Arc<GraphEntry>,
         key: ComputeKey,
         vertex: Option<u32>,
+        cancel: &CancelToken,
     ) -> Result<Reply, ServiceError> {
         if let Some(v) = vertex {
             check_vertex(entry, v)?;
         }
-        match self.obtain(key, entry)? {
+        match self.obtain(key, entry, cancel)? {
             ComputeValue::Labels { labels, count } => Ok(match vertex {
                 Some(v) => Reply::Label {
                     vertex: v,
@@ -301,25 +358,39 @@ impl Service {
         }
     }
 
-    /// Cache → single-flight → bounded queue → wait.
+    /// Cache → single-flight → bounded queue → cancellable wait.
     fn obtain(
         &self,
         key: ComputeKey,
         entry: &Arc<GraphEntry>,
+        cancel: &CancelToken,
     ) -> Result<ComputeValue, ServiceError> {
-        if let Some(v) = self
-            .inner
-            .cache
-            .lock()
-            .expect("cache lock poisoned")
-            .get(&key)
-        {
-            self.inner.metrics.cache_hit();
-            return Ok(v);
+        // An already-dead query must not schedule (or join) a flight.
+        if cancel.is_cancelled() {
+            return Err(ServiceError::Cancelled);
+        }
+        if !self.inner.faults.should_force_cache_miss() {
+            if let Some(v) = self
+                .inner
+                .cache
+                .lock()
+                .expect("cache lock poisoned")
+                .get(&key)
+            {
+                self.inner.metrics.cache_hit();
+                return Ok(v);
+            }
         }
         self.inner.metrics.cache_miss();
         let flight = match self.inner.batcher.join(key) {
             Join::Leader(flight) => {
+                if self.inner.faults.should_force_queue_full() {
+                    self.inner.metrics.rejected_overload();
+                    self.inner
+                        .batcher
+                        .complete(&key, &flight, Err(OVERLOADED.into()), |_| {});
+                    return Err(ServiceError::Overloaded);
+                }
                 let job = Job {
                     key,
                     entry: Arc::clone(entry),
@@ -341,22 +412,24 @@ impl Service {
                         self.inner.batcher.complete(
                             &key,
                             &job.flight,
-                            Err("shutting down".into()),
+                            Err(CANCELLED.into()),
                             |_| {},
                         );
-                        return Err(ServiceError::Internal("service shutting down".into()));
+                        return Err(ServiceError::Cancelled);
                     }
                 }
             }
             Join::Follower(flight) => flight,
         };
-        match flight.wait(self.inner.config.query_timeout) {
-            Err(crate::batcher::WaitTimeout) => Err(ServiceError::Timeout),
+        match flight.wait_cancellable(self.inner.config.query_timeout, cancel) {
+            Err(WaitAbort::Timeout) => Err(ServiceError::Timeout),
+            Err(WaitAbort::Cancelled) => Err(ServiceError::Cancelled),
             Ok(Ok(v)) => Ok(v),
             Ok(Err(msg)) if msg == OVERLOADED => {
                 self.inner.metrics.rejected_overload();
                 Err(ServiceError::Overloaded)
             }
+            Ok(Err(msg)) if msg == CANCELLED => Err(ServiceError::Cancelled),
             Ok(Err(msg)) => Err(ServiceError::Internal(msg)),
         }
     }
@@ -364,6 +437,9 @@ impl Service {
 
 impl Drop for Service {
     fn drop(&mut self) {
+        // Abort in-flight traversals so workers notice the closed queue
+        // promptly instead of finishing answers nobody will read.
+        self.inner.batcher.cancel_all();
         // Closing the queue ends every worker's recv loop; swap in a
         // zero-capacity stand-in so `self.queue` can be dropped here.
         let (dead, _) = std::sync::mpsc::sync_channel(1);
@@ -441,16 +517,39 @@ fn worker_loop(inner: Arc<Inner>, rx: Arc<Mutex<Receiver<Job>>>) {
                 Err(_) => return, // service dropped
             }
         };
-        let result = catch_unwind(AssertUnwindSafe(|| compute(&inner, &job.key, &job.entry)))
-            .map_err(|payload| {
-                if let Some(s) = payload.downcast_ref::<&str>() {
-                    (*s).to_string()
-                } else if let Some(s) = payload.downcast_ref::<String>() {
-                    s.clone()
-                } else {
-                    "computation panicked".to_string()
-                }
-            });
+        inner.metrics.worker_busy();
+        let token = job.flight.token().clone();
+        if let Some(delay) = inner.faults.injected_delay() {
+            // An injected stall still honors cancellation: once every
+            // waiter gives up, the flight token frees this worker.
+            let until = Instant::now() + delay;
+            while Instant::now() < until && !token.is_cancelled() {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if inner.faults.should_panic_worker() {
+                panic!("injected worker panic");
+            }
+            compute(&inner, &job.key, &job.entry, &token)
+        }))
+        .map_err(|payload| {
+            if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "computation panicked".to_string()
+            }
+        });
+        let result: Result<ComputeValue, String> = match result {
+            Ok(Ok(value)) => Ok(value),
+            Ok(Err(Cancelled)) => {
+                inner.metrics.computation_cancelled();
+                Err(CANCELLED.to_string())
+            }
+            Err(msg) => Err(msg),
+        };
         if let Ok(value) = &result {
             inner
                 .cache
@@ -458,36 +557,50 @@ fn worker_loop(inner: Arc<Inner>, rx: Arc<Mutex<Receiver<Job>>>) {
                 .expect("cache lock poisoned")
                 .insert(job.key, value.clone());
         }
+        let was_cancelled = matches!(&result, Err(msg) if msg == CANCELLED);
+        // Drop the gauge before publishing, so by the time any waiter
+        // observes the result the worker already reads as free.
+        inner.metrics.worker_idle();
         inner
             .batcher
             .complete(&job.key, &job.flight, result, |batch| {
-                inner.metrics.computation(batch)
+                // a cancelled traversal did not produce a batch answer
+                if !was_cancelled {
+                    inner.metrics.computation(batch)
+                }
             });
     }
 }
 
-fn compute(inner: &Inner, key: &ComputeKey, entry: &GraphEntry) -> ComputeValue {
+fn compute(
+    inner: &Inner,
+    key: &ComputeKey,
+    entry: &GraphEntry,
+    cancel: &CancelToken,
+) -> Result<ComputeValue, Cancelled> {
     let vgc = VgcConfig::with_tau(inner.config.tau);
-    match *key {
-        ComputeKey::HopDists { src, .. } => {
-            ComputeValue::HopDists(Arc::new(bfs_vgc(&entry.graph, src, &vgc).dist))
-        }
+    Ok(match *key {
+        ComputeKey::HopDists { src, .. } => ComputeValue::HopDists(Arc::new(
+            bfs_vgc_cancel(&entry.graph, src, &vgc, cancel)?.dist,
+        )),
         ComputeKey::Dists { src, .. } => {
             let cfg = RhoConfig {
                 vgc,
                 ..RhoConfig::default()
             };
-            ComputeValue::Dists(Arc::new(sssp_rho_stepping(&entry.graph, src, &cfg).dist))
+            ComputeValue::Dists(Arc::new(
+                sssp_rho_stepping_cancel(&entry.graph, src, &cfg, cancel)?.dist,
+            ))
         }
         ComputeKey::SccLabels { .. } => {
-            let r = scc_vgc(&entry.graph, &vgc);
+            let r = scc_vgc_cancel(&entry.graph, &vgc, cancel)?;
             ComputeValue::Labels {
                 labels: Arc::new(r.labels),
                 count: r.num_sccs,
             }
         }
         ComputeKey::CcLabels { .. } => {
-            let r = connectivity(&entry.graph);
+            let r = connectivity_cancel(&entry.graph, cancel)?;
             ComputeValue::Labels {
                 labels: Arc::new(r.labels),
                 count: r.num_components,
@@ -495,18 +608,19 @@ fn compute(inner: &Inner, key: &ComputeKey, entry: &GraphEntry) -> ComputeValue 
         }
         ComputeKey::Coreness { .. } => {
             let g = entry.undirected();
-            let r = kcore_peel(&g, inner.config.tau);
+            let r = kcore_peel_cancel(&g, inner.config.tau, cancel)?;
             ComputeValue::Coreness {
                 coreness: Arc::new(r.coreness),
                 degeneracy: r.degeneracy,
             }
         }
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pasgal_core::bfs::vgc::bfs_vgc;
     use pasgal_graph::gen::basic::grid2d;
 
     fn small_service() -> Service {
@@ -516,6 +630,7 @@ mod tests {
             query_timeout: Duration::from_secs(10),
             cache_capacity: 8,
             tau: 64,
+            ..ServiceConfig::default()
         })
     }
 
@@ -606,5 +721,47 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn pre_cancelled_token_yields_cancelled_fast() {
+        let svc = small_service();
+        svc.register("g", grid2d(8, 8));
+        let t = pasgal_core::common::CancelToken::new();
+        t.cancel();
+        let start = Instant::now();
+        let out = svc.query_with_token(
+            &Query::BfsDist {
+                graph: "g".into(),
+                src: 0,
+                target: Some(1),
+            },
+            &t,
+        );
+        assert!(matches!(out, Err(ServiceError::Cancelled)), "{out:?}");
+        assert!(start.elapsed() < Duration::from_secs(5));
+        let m = svc.metrics();
+        assert_eq!(m.cancelled, 1);
+        assert!(m.reconciles(), "{m:?}");
+    }
+
+    #[test]
+    fn outcomes_land_in_terminal_buckets() {
+        let svc = small_service();
+        svc.register("g", grid2d(4, 4));
+        svc.query(&Query::Stats { graph: "g".into() }).unwrap();
+        svc.query(&Query::CcId {
+            graph: "g".into(),
+            vertex: Some(3),
+        })
+        .unwrap();
+        let _ = svc.query(&Query::Stats {
+            graph: "missing".into(),
+        });
+        let m = svc.metrics();
+        assert_eq!(m.completed, 2);
+        assert_eq!(m.errors, 1);
+        assert!(m.reconciles(), "{m:?}");
+        assert_eq!(m.workers_busy, 0, "workers idle between queries");
     }
 }

@@ -17,6 +17,7 @@ fn test_config() -> ServiceConfig {
         query_timeout: Duration::from_secs(30),
         cache_capacity: 16,
         tau: 64,
+        ..ServiceConfig::default()
     }
 }
 
@@ -202,6 +203,7 @@ fn overload_rejects_instead_of_buffering() {
         query_timeout: Duration::from_secs(30),
         cache_capacity: 64,
         tau: 64,
+        ..ServiceConfig::default()
     }));
     // big enough that one BFS takes a little while
     svc.register("g", grid2d(400, 400));
