@@ -104,9 +104,69 @@ fn bench_graph(c: &mut Criterion, name: &str) {
     grp.finish();
 }
 
+/// Observer-overhead guard: per-round observability must be free when off
+/// and near-free when on. Times the traversal that serves PTP queries
+/// (ρ-stepping SSSP) under a `NoopObserver` and a `TracingObserver`,
+/// interleaved so clock drift hits both equally, and asserts the traced
+/// median stays within 2% of the noop median (plus a small absolute slack
+/// so timer noise on sub-millisecond runs cannot fail the guard).
+fn observer_overhead(c: &mut Criterion) {
+    use pasgal_core::common::CancelToken;
+    use pasgal_core::engine::{NoopObserver, RoundObserver, TracingObserver};
+    use pasgal_core::sssp::stepping::sssp_rho_stepping_observed;
+    use std::time::{Duration, Instant};
+
+    let g = by_name("NA").unwrap().build(SuiteScale::Tiny);
+    let cfg = RhoConfig::default();
+    let token = CancelToken::new();
+    let time = |obs: &dyn RoundObserver| {
+        let t0 = Instant::now();
+        black_box(sssp_rho_stepping_observed(&g, 0, &cfg, &token, obs).unwrap());
+        t0.elapsed()
+    };
+
+    let noop = NoopObserver;
+    time(&noop); // warmup
+    const SAMPLES: usize = 31;
+    let mut noop_times = Vec::with_capacity(SAMPLES);
+    let mut traced_times = Vec::with_capacity(SAMPLES);
+    let mut rounds = 0;
+    for _ in 0..SAMPLES {
+        noop_times.push(time(&noop));
+        let tracer = TracingObserver::new();
+        traced_times.push(time(&tracer));
+        rounds = tracer.events().len();
+    }
+    noop_times.sort_unstable();
+    traced_times.sort_unstable();
+    let noop_med = noop_times[SAMPLES / 2];
+    let traced_med = traced_times[SAMPLES / 2];
+    println!(
+        "service_batching/observer_overhead                 noop {noop_med:>10.2?}   traced {traced_med:>10.2?}   ({rounds} rounds)"
+    );
+    let budget = noop_med.mul_f64(1.02) + Duration::from_micros(200);
+    assert!(
+        traced_med <= budget,
+        "TracingObserver overhead above 2%: noop median {noop_med:?}, traced median {traced_med:?}"
+    );
+
+    // Also report both paths through the normal criterion pipeline.
+    let mut grp = c.benchmark_group("service_batching/observer");
+    grp.sample_size(10);
+    grp.bench_function("rho_stepping_noop", |b| b.iter(|| time(&noop)));
+    grp.bench_function("rho_stepping_traced", |b| {
+        b.iter(|| {
+            let tracer = TracingObserver::new();
+            time(&tracer)
+        })
+    });
+    grp.finish();
+}
+
 fn benches(c: &mut Criterion) {
     bench_graph(c, "NA"); // road-like: deep traversals, worst case for per-query cost
     bench_graph(c, "OK"); // social-like: shallow but wide
+    observer_overhead(c);
 }
 
 criterion_group!(service_benches, benches);

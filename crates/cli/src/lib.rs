@@ -27,6 +27,9 @@
 //!   --workers N --queue N --timeout-ms N --cache N   service tuning
 //!   --drain-ms N      how long `serve` waits for in-flight work on
 //!                     SIGINT/SIGTERM before exiting (default 5000)
+//!   --trace-rounds    print one line per synchronization round (frontier
+//!                     size, edges traversed, elapsed time) before the
+//!                     summary; bfs/sssp/scc/bcc/cc/kcore, default --algo
 //! ```
 //!
 //! Graph format is chosen by extension: `.adj` (PBBS text), `.bin`
@@ -60,7 +63,11 @@ impl std::fmt::Display for UsageError {
 }
 impl std::error::Error for UsageError {}
 
-/// Parse raw arguments (excluding argv[0]).
+/// Options that are bare flags: their presence means "true" and no value
+/// is consumed from the argument stream.
+const FLAG_OPTIONS: &[&str] = &["trace-rounds"];
+
+/// Parse raw arguments (excluding `argv[0]`).
 pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
     let mut it = args.iter().peekable();
     let command = it
@@ -71,6 +78,10 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
     let mut options = HashMap::new();
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
+            if FLAG_OPTIONS.contains(&key) {
+                options.insert(key.to_string(), "true".to_string());
+                continue;
+            }
             let val = it
                 .next()
                 .ok_or_else(|| UsageError(format!("option --{key} needs a value")))?;
@@ -224,6 +235,21 @@ pub fn start_service(
     Ok((service, server))
 }
 
+/// Run a driver-backed algorithm under a `TracingObserver`, returning its
+/// result plus the rendered per-round trace (for `--trace-rounds`). The
+/// token is fresh, so the `Cancelled` branch is unreachable.
+fn traced<R>(
+    f: impl FnOnce(
+        &pasgal_core::common::CancelToken,
+        &dyn pasgal_core::engine::RoundObserver,
+    ) -> Result<R, pasgal_core::common::Cancelled>,
+) -> (R, String) {
+    let tracer = pasgal_core::engine::TracingObserver::new();
+    let r =
+        f(&pasgal_core::common::CancelToken::new(), &tracer).expect("fresh token cannot cancel");
+    (r, tracer.lines().join("\n"))
+}
+
 /// Run a parsed command against a loaded graph world. Returns the text to
 /// print. Separated from IO for testability.
 pub fn run(cli: &Cli) -> Result<String, String> {
@@ -287,6 +313,13 @@ pub fn run(cli: &Cli) -> Result<String, String> {
         return usage_err(&format!("--src {src} out of range (n = {n})"));
     }
     let algo = cli.opt("algo", "pasgal").to_string();
+    let trace = cli.options.contains_key("trace-rounds");
+    let mut trace_out = String::new();
+    let trace_unsupported = |a: &str| {
+        Err(format!(
+            "--trace-rounds needs a round-driver implementation; --algo {a} does not use one"
+        ))
+    };
 
     let out = match cli.command.as_str() {
         "validate" => {
@@ -320,13 +353,34 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             )
         }
         "bfs" => {
-            let r = match algo.as_str() {
-                "seq" => bfs::seq::bfs_seq(&g, src),
-                "flat" | "gbbs" => {
-                    bfs::flat::bfs_flat(&g, src, None, &bfs::flat::DirOptConfig::default())
+            let r = if trace {
+                let (r, t) = match algo.as_str() {
+                    "flat" | "gbbs" => traced(|tk, ob| {
+                        bfs::flat::bfs_flat_observed(
+                            &g,
+                            src,
+                            None,
+                            &bfs::flat::DirOptConfig::default(),
+                            tk,
+                            ob,
+                        )
+                    }),
+                    "pasgal" | "vgc" => {
+                        traced(|tk, ob| bfs::vgc::bfs_vgc_dir_observed(&g, src, None, &cfg, tk, ob))
+                    }
+                    other => return trace_unsupported(other),
+                };
+                trace_out = t;
+                r
+            } else {
+                match algo.as_str() {
+                    "seq" => bfs::seq::bfs_seq(&g, src),
+                    "flat" | "gbbs" => {
+                        bfs::flat::bfs_flat(&g, src, None, &bfs::flat::DirOptConfig::default())
+                    }
+                    "gap" | "gapbs" => bfs::gap::bfs_gap(&g, src, None),
+                    _ => bfs::vgc::bfs_vgc(&g, src, &cfg),
                 }
-                "gap" | "gapbs" => bfs::gap::bfs_gap(&g, src, None),
-                _ => bfs::vgc::bfs_vgc(&g, src, &cfg),
             };
             let reached = r.dist.iter().filter(|&&d| d != u32::MAX).count();
             let ecc = r.dist.iter().filter(|&&d| d != u32::MAX).max().unwrap();
@@ -336,15 +390,32 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             )
         }
         "sssp" => {
-            let r = match algo.as_str() {
-                "seq" | "dijkstra" => sssp::sssp_dijkstra(&g, src),
-                "delta" => sssp::sssp_delta_stepping(
-                    &g,
-                    src,
-                    cli.num("delta", 1024).map_err(|e| e.to_string())?,
-                ),
-                "bf" | "bellman-ford" => sssp::sssp_bellman_ford(&g, src),
-                _ => sssp::sssp_rho_stepping(&g, src, &sssp::stepping::RhoConfig::default()),
+            let r = if trace {
+                let (r, t) = match algo.as_str() {
+                    "pasgal" | "rho" => traced(|tk, ob| {
+                        sssp::stepping::sssp_rho_stepping_observed(
+                            &g,
+                            src,
+                            &sssp::stepping::RhoConfig::default(),
+                            tk,
+                            ob,
+                        )
+                    }),
+                    other => return trace_unsupported(other),
+                };
+                trace_out = t;
+                r
+            } else {
+                match algo.as_str() {
+                    "seq" | "dijkstra" => sssp::sssp_dijkstra(&g, src),
+                    "delta" => sssp::sssp_delta_stepping(
+                        &g,
+                        src,
+                        cli.num("delta", 1024).map_err(|e| e.to_string())?,
+                    ),
+                    "bf" | "bellman-ford" => sssp::sssp_bellman_ford(&g, src),
+                    _ => sssp::sssp_rho_stepping(&g, src, &sssp::stepping::RhoConfig::default()),
+                }
             };
             let reached = r.dist.iter().filter(|&&d| d != u64::MAX).count();
             let far = r.dist.iter().filter(|&&d| d != u64::MAX).max().unwrap();
@@ -354,23 +425,43 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             )
         }
         "scc" => {
-            let r = match algo.as_str() {
-                "seq" | "tarjan" => scc::scc_tarjan(&g),
-                "gbbs" | "bfs" => scc::scc_bfs_based(&g),
-                "bgss" => scc::scc_bgss_bfs(&g),
-                "bgss-vgc" => scc::scc_bgss_vgc(&g, &cfg),
-                "multistep" => scc::scc_multistep(&g).map_err(|e| e.to_string())?,
-                _ => scc::scc_vgc(&g, &cfg),
+            let r = if trace {
+                let (r, t) = match algo.as_str() {
+                    "pasgal" | "vgc" => {
+                        traced(|tk, ob| scc::fwbw::scc_vgc_observed(&g, &cfg, tk, ob))
+                    }
+                    other => return trace_unsupported(other),
+                };
+                trace_out = t;
+                r
+            } else {
+                match algo.as_str() {
+                    "seq" | "tarjan" => scc::scc_tarjan(&g),
+                    "gbbs" | "bfs" => scc::scc_bfs_based(&g),
+                    "bgss" => scc::scc_bgss_bfs(&g),
+                    "bgss-vgc" => scc::scc_bgss_vgc(&g, &cfg),
+                    "multistep" => scc::scc_multistep(&g).map_err(|e| e.to_string())?,
+                    _ => scc::scc_vgc(&g, &cfg),
+                }
             };
             format!("scc: {} components, rounds {}", r.num_sccs, r.stats.rounds)
         }
         "bcc" => {
             let gs = if g.is_symmetric() { g } else { symmetrize(&g) };
-            let r = match algo.as_str() {
-                "seq" | "hopcroft-tarjan" => bcc::bcc_hopcroft_tarjan(&gs),
-                "tv" | "tarjan-vishkin" => bcc::bcc_tarjan_vishkin(&gs),
-                "gbbs" | "bfs" => bcc::bcc_bfs_based(&gs),
-                _ => bcc::bcc_fast(&gs),
+            let r = if trace {
+                let (r, t) = match algo.as_str() {
+                    "pasgal" | "fast" => traced(|tk, ob| bcc::fast::bcc_fast_observed(&gs, tk, ob)),
+                    other => return trace_unsupported(other),
+                };
+                trace_out = t;
+                r
+            } else {
+                match algo.as_str() {
+                    "seq" | "hopcroft-tarjan" => bcc::bcc_hopcroft_tarjan(&gs),
+                    "tv" | "tarjan-vishkin" => bcc::bcc_tarjan_vishkin(&gs),
+                    "gbbs" | "bfs" => bcc::bcc_bfs_based(&gs),
+                    _ => bcc::bcc_fast(&gs),
+                }
             };
             let arts = bcc::articulation_points(&gs, &r.edge_labels)
                 .iter()
@@ -382,14 +473,31 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             )
         }
         "cc" => {
-            let r = cc::connectivity(&g);
+            let r = if trace {
+                let (r, t) = traced(|tk, ob| cc::connectivity_observed(&g, tk, ob));
+                trace_out = t;
+                r
+            } else {
+                cc::connectivity(&g)
+            };
             format!("cc: {} components", r.num_components)
         }
         "kcore" => {
             let gs = if g.is_symmetric() { g } else { symmetrize(&g) };
-            let r = match algo.as_str() {
-                "seq" | "bz" => kcore::kcore_seq(&gs),
-                _ => kcore::kcore_peel(&gs, tau),
+            let r = if trace {
+                let (r, t) = match algo.as_str() {
+                    "pasgal" | "peel" => {
+                        traced(|tk, ob| kcore::kcore_peel_observed(&gs, tau, tk, ob))
+                    }
+                    other => return trace_unsupported(other),
+                };
+                trace_out = t;
+                r
+            } else {
+                match algo.as_str() {
+                    "seq" | "bz" => kcore::kcore_seq(&gs),
+                    _ => kcore::kcore_peel(&gs, tau),
+                }
             };
             format!(
                 "kcore: degeneracy {}, rounds {}",
@@ -419,7 +527,11 @@ pub fn run(cli: &Cli) -> Result<String, String> {
         }
         _ => unreachable!("validated above"),
     };
-    Ok(out)
+    Ok(if trace_out.is_empty() {
+        out
+    } else {
+        format!("{trace_out}\n{out}")
+    })
 }
 
 #[cfg(test)]
@@ -491,6 +603,30 @@ mod tests {
         assert!(out.contains("max distance 13"), "{out}");
         let out = run(&cli(&["ptp", f, "--dst", "53"])).unwrap();
         assert!(out.contains("distance 13"), "{out}");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn trace_rounds_emits_per_round_lines() {
+        let p = write_fixture();
+        let f = p.to_str().unwrap();
+        for cmd in ["bfs", "sssp", "scc", "bcc", "cc", "kcore"] {
+            let out = run(&cli(&[cmd, f, "--trace-rounds"])).unwrap();
+            assert!(out.contains("round 1: frontier"), "{cmd}: {out}");
+        }
+        // the summary line is still present after the trace
+        let out = run(&cli(&["bfs", f, "--trace-rounds"])).unwrap();
+        assert!(out.contains("reached 54/54"), "{out}");
+        // flat BFS is driver-backed too: one trace line per level
+        let out = run(&cli(&["bfs", f, "--algo", "flat", "--trace-rounds"])).unwrap();
+        assert_eq!(
+            out.matches("round ").count(),
+            14,
+            "one line per BFS level (distance 0..=13) on a 6x9 grid: {out}"
+        );
+        // implementations that bypass the round driver are rejected
+        let e = run(&cli(&["bfs", f, "--algo", "seq", "--trace-rounds"])).unwrap_err();
+        assert!(e.contains("--trace-rounds"), "{e}");
         std::fs::remove_file(&p).unwrap();
     }
 

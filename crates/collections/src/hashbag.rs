@@ -192,8 +192,20 @@ macro_rules! define_hash_bag {
             /// bag. Runs in parallel over the initialized chunks; untouched
             /// chunk memory is never scanned.
             pub fn extract_and_clear(&self) -> Vec<$prim> {
-                let hi = self.chunks.iter().take_while(|c| c.get().is_some()).count();
                 let mut out = Vec::with_capacity(self.len());
+                self.extract_into(&mut out);
+                out
+            }
+
+            /// Drain into `out` (appending; order unspecified) and reset the
+            /// bag. This is the round engine's buffer-reuse path: one
+            /// frontier vector is recycled across rounds, so steady-state
+            /// rounds allocate nothing — neither here (the vector keeps its
+            /// capacity) nor in the bag (chunks stay allocated; see
+            /// [`Self::allocated_chunks`]).
+            pub fn extract_into(&self, out: &mut Vec<$prim>) {
+                let hi = self.allocated_chunks();
+                out.reserve(self.len());
                 for c in 0..hi {
                     if self.counts[c].load(Ordering::Relaxed) == 0 {
                         continue;
@@ -212,7 +224,14 @@ macro_rules! define_hash_bag {
                     self.counts[c].store(0, Ordering::Relaxed);
                 }
                 self.active.store(0, Ordering::Relaxed);
-                out
+            }
+
+            /// Number of chunks whose backing memory has been allocated.
+            /// Monotone over the bag's lifetime: draining or clearing resets
+            /// slots to [`Self::EMPTY`] but never frees chunk memory, so a
+            /// reused bag retains its capacity across rounds.
+            pub fn allocated_chunks(&self) -> usize {
+                self.chunks.iter().take_while(|c| c.get().is_some()).count()
             }
 
             /// Discard all elements without collecting them — the abort
@@ -221,7 +240,7 @@ macro_rules! define_hash_bag {
             /// vector. Parallel over initialized chunks, like
             /// [`Self::extract_and_clear`].
             pub fn clear(&self) {
-                let hi = self.chunks.iter().take_while(|c| c.get().is_some()).count();
+                let hi = self.allocated_chunks();
                 for c in 0..hi {
                     if self.counts[c].load(Ordering::Relaxed) == 0 {
                         continue;
@@ -365,6 +384,57 @@ mod tests {
             let got = bag.extract_and_clear();
             assert_eq!(got.len(), width as usize, "round {round}");
         }
+    }
+
+    #[test]
+    fn extract_into_appends_and_resets() {
+        let bag = HashBag::new(100);
+        bag.insert(1);
+        bag.insert(2);
+        let mut out = vec![9u32];
+        bag.extract_into(&mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 2, 9]);
+        assert!(bag.is_empty());
+    }
+
+    #[test]
+    fn reuse_retains_capacity_across_rounds() {
+        // The engine's round pattern: fill, drain into a recycled vector,
+        // repeat. Draining must never free chunk memory or shrink the
+        // recycled vector.
+        let bag = HashBag::new(50_000);
+        par_for(40_000, 256, |i| bag.insert(i as u32));
+        let warm_chunks = bag.allocated_chunks();
+        assert!(warm_chunks > 0);
+        let mut frontier = Vec::new();
+        bag.extract_into(&mut frontier);
+        assert_eq!(frontier.len(), 40_000);
+        assert_eq!(bag.allocated_chunks(), warm_chunks, "drain freed chunks");
+        let vec_cap = frontier.capacity();
+        for round in 0..5u32 {
+            par_for(40_000, 256, |i| bag.insert(i as u32));
+            let filled = bag.allocated_chunks();
+            assert!(filled >= warm_chunks, "round {round}: chunks were freed");
+            frontier.clear();
+            bag.extract_into(&mut frontier);
+            assert_eq!(frontier.len(), 40_000, "round {round}");
+            assert_eq!(
+                bag.allocated_chunks(),
+                filled,
+                "round {round}: drain freed chunks"
+            );
+            assert!(
+                frontier.capacity() >= vec_cap,
+                "round {round}: vector shrank"
+            );
+        }
+        // clear() (the abort path) also keeps chunk memory
+        par_for(1_000, 256, |i| bag.insert(i as u32));
+        let filled = bag.allocated_chunks();
+        bag.clear();
+        assert_eq!(bag.allocated_chunks(), filled);
+        assert!(bag.is_empty());
     }
 
     #[test]

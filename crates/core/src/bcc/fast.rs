@@ -26,7 +26,8 @@
 use super::euler::{euler_tour, EulerTour, NO_PARENT};
 use super::{edge_list_canonical, BccResult};
 use crate::cc::spanning_forest;
-use crate::common::{AlgoStats, CancelToken, Cancelled};
+use crate::common::{CancelToken, Cancelled};
+use crate::engine::{NoopObserver, RoundDriver, RoundObserver};
 use pasgal_collections::union_find::ConcurrentUnionFind;
 use pasgal_graph::csr::Graph;
 use pasgal_parlay::counters::Counters;
@@ -157,31 +158,39 @@ pub fn bcc_fast(g: &Graph) -> BccResult {
 /// each phase is a single `O(n + m)` sweep, so this is the same "within
 /// one round" granularity the frontier algorithms give.
 pub fn bcc_fast_cancel(g: &Graph, cancel: &CancelToken) -> Result<BccResult, Cancelled> {
+    bcc_fast_observed(g, cancel, &NoopObserver)
+}
+
+/// [`bcc_fast`] with per-round observation: each of the five pipeline
+/// phases is one round, so exactly five [`crate::engine::RoundEvent`]s
+/// are emitted on an uncancelled run.
+pub fn bcc_fast_observed(
+    g: &Graph,
+    cancel: &CancelToken,
+    observer: &dyn RoundObserver,
+) -> Result<BccResult, Cancelled> {
     assert!(g.is_symmetric(), "BCC requires an undirected graph");
     let n = g.num_vertices();
-    let counters = Counters::new();
+    let driver = RoundDriver::new(cancel, observer);
 
-    cancel.checkpoint()?;
-    counters.add_round();
-    let forest = spanning_forest(g);
-    cancel.checkpoint()?;
-    counters.add_round();
-    let tour = euler_tour(n, &forest.edges, &forest.labels);
-    cancel.checkpoint()?;
-    counters.add_round();
-    let (low, high) = compute_low_high(g, &tour);
-    cancel.checkpoint()?;
-    counters.add_round();
+    driver.check()?;
+    let forest = driver.round(n as u64, || spanning_forest(g));
+    driver.check()?;
+    let tour = driver.round(n as u64, || euler_tour(n, &forest.edges, &forest.labels));
+    driver.check()?;
+    let (low, high) = driver.round(n as u64, || compute_low_high(g, &tour));
+    driver.check()?;
     let uf = ConcurrentUnionFind::new(n);
-    cluster_unions(g, &tour, &low, &high, &uf, &counters);
-    cancel.checkpoint()?;
-    counters.add_round();
-    let (edge_labels, num_bccs) = read_edge_labels(g, &tour, &uf);
+    driver.round(n as u64, || {
+        cluster_unions(g, &tour, &low, &high, &uf, driver.counters())
+    });
+    driver.check()?;
+    let (edge_labels, num_bccs) = driver.round(n as u64, || read_edge_labels(g, &tour, &uf));
 
     Ok(BccResult {
         edge_labels,
         num_bccs,
-        stats: AlgoStats::from(counters.snapshot()),
+        stats: driver.finish(),
     })
 }
 

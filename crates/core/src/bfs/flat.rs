@@ -17,12 +17,12 @@
 //! for directed graphs (pass it explicitly) or the graph itself when
 //! symmetric.
 
-use crate::common::{AlgoStats, BfsResult, UNREACHED};
+use crate::common::{BfsResult, CancelToken, Cancelled, UNREACHED};
+use crate::engine::{NoopObserver, RoundDriver, RoundObserver};
 use pasgal_collections::atomic_array::AtomicU32Array;
 use pasgal_collections::bitvec::AtomicBitVec;
 use pasgal_graph::csr::Graph;
 use pasgal_graph::VertexId;
-use pasgal_parlay::counters::Counters;
 use pasgal_parlay::pack::{filter_map_index, pack_index};
 use rayon::prelude::*;
 
@@ -54,90 +54,106 @@ pub fn bfs_flat(
     incoming: Option<&Graph>,
     cfg: &DirOptConfig,
 ) -> BfsResult {
+    bfs_flat_observed(g, src, incoming, cfg, &CancelToken::new(), &NoopObserver)
+        .expect("fresh token cannot cancel")
+}
+
+/// [`bfs_flat`] with cancellation and per-round observation: one
+/// [`crate::engine::RoundEvent`] per hop level, so the trace directly
+/// exhibits the `Ω(D)` round count the paper attacks.
+pub fn bfs_flat_observed(
+    g: &Graph,
+    src: VertexId,
+    incoming: Option<&Graph>,
+    cfg: &DirOptConfig,
+    cancel: &CancelToken,
+    observer: &dyn RoundObserver,
+) -> Result<BfsResult, Cancelled> {
     let n = g.num_vertices();
     let m = g.num_edges();
-    let counters = Counters::new();
+    let driver = RoundDriver::new(cancel, observer);
     let dist = AtomicU32Array::new(n, UNREACHED);
     dist.set(src as usize, 0);
 
     let gin: Option<&Graph> = incoming.or(if g.is_symmetric() { Some(g) } else { None });
 
-    let mut frontier: Vec<VertexId> = vec![src];
     let mut level: u32 = 0;
     let mut dense_mode = false;
+    driver.drive(
+        Some((1, vec![src])),
+        |frontier: Vec<VertexId>| {
+            let counters = driver.counters();
+            let next_level = level + 1;
 
-    while !frontier.is_empty() {
-        counters.add_round();
-        counters.observe_frontier(frontier.len() as u64);
-        let next_level = level + 1;
+            // Beamer switch: estimate work on each side.
+            let mut next: Option<Vec<VertexId>> = None;
+            if let Some(gin) = gin {
+                let frontier_edges: u64 = frontier
+                    .par_iter()
+                    .with_min_len(2048)
+                    .map(|&u| g.degree(u) as u64)
+                    .sum();
+                if !dense_mode && frontier_edges > (m / cfg.alpha.max(1)) as u64 {
+                    dense_mode = true;
+                } else if dense_mode && frontier.len() < n / cfg.beta.max(1) {
+                    dense_mode = false;
+                }
 
-        // Beamer switch: estimate work on each side.
-        if let Some(gin) = gin {
-            let frontier_edges: u64 = frontier
-                .par_iter()
-                .with_min_len(2048)
-                .map(|&u| g.degree(u) as u64)
-                .sum();
-            if !dense_mode && frontier_edges > (m / cfg.alpha.max(1)) as u64 {
-                dense_mode = true;
-            } else if dense_mode && frontier.len() < n / cfg.beta.max(1) {
-                dense_mode = false;
-            }
-
-            if dense_mode {
-                // Bottom-up: mark frontier in a bitmap, scan undiscovered
-                // vertices' in-neighbors.
-                let in_frontier = AtomicBitVec::new(n);
-                frontier.par_iter().with_min_len(2048).for_each(|&u| {
-                    in_frontier.set(u as usize);
-                });
-                // Phase 1 claims (mutating), phase 2 packs with a pure
-                // predicate — filter_map_index evaluates its closure twice.
-                let claimed = AtomicBitVec::new(n);
-                pasgal_parlay::gran::par_for(n, 512, |v| {
-                    if dist.get(v) != UNREACHED {
-                        return;
-                    }
-                    for &u in gin.neighbors(v as u32) {
-                        counters.add_edges(1);
-                        if in_frontier.get(u as usize) {
-                            dist.set(v, next_level);
-                            claimed.set(v);
+                if dense_mode {
+                    // Bottom-up: mark frontier in a bitmap, scan undiscovered
+                    // vertices' in-neighbors.
+                    let in_frontier = AtomicBitVec::new(n);
+                    frontier.par_iter().with_min_len(2048).for_each(|&u| {
+                        in_frontier.set(u as usize);
+                    });
+                    // Phase 1 claims (mutating), phase 2 packs with a pure
+                    // predicate — filter_map_index evaluates its closure twice.
+                    let claimed = AtomicBitVec::new(n);
+                    pasgal_parlay::gran::par_for(n, 512, |v| {
+                        if dist.get(v) != UNREACHED {
                             return;
                         }
-                    }
-                });
-                let next = filter_map_index(n, |v| claimed.get(v).then_some(v as u32));
-                counters.add_tasks(frontier.len() as u64);
-                frontier = next;
-                level = next_level;
-                continue;
+                        for &u in gin.neighbors(v as u32) {
+                            counters.add_edges(1);
+                            if in_frontier.get(u as usize) {
+                                dist.set(v, next_level);
+                                claimed.set(v);
+                                return;
+                            }
+                        }
+                    });
+                    counters.add_tasks(frontier.len() as u64);
+                    next = Some(filter_map_index(n, |v| claimed.get(v).then_some(v as u32)));
+                }
             }
-        }
 
-        // Top-down sparse step.
-        let next: Vec<VertexId> = frontier
-            .par_iter()
-            .with_min_len(64)
-            .flat_map_iter(|&u| {
-                counters.add_tasks(1);
-                counters.add_edges(g.degree(u) as u64);
-                g.neighbors(u)
-                    .iter()
-                    .filter(|&&v| dist.cas(v as usize, UNREACHED, next_level))
-                    .copied()
-                    .collect::<Vec<_>>()
-                    .into_iter()
-            })
-            .collect();
-        frontier = next;
-        level = next_level;
-    }
+            // Top-down sparse step (unless the dense branch already ran).
+            let next = next.unwrap_or_else(|| {
+                frontier
+                    .par_iter()
+                    .with_min_len(64)
+                    .flat_map_iter(|&u| {
+                        counters.add_tasks(1);
+                        counters.add_edges(g.degree(u) as u64);
+                        g.neighbors(u)
+                            .iter()
+                            .filter(|&&v| dist.cas(v as usize, UNREACHED, next_level))
+                            .copied()
+                            .collect::<Vec<_>>()
+                            .into_iter()
+                    })
+                    .collect()
+            });
+            level = next_level;
+            (!next.is_empty()).then_some((next.len() as u64, next))
+        },
+        || (),
+    )?;
 
-    BfsResult {
+    Ok(BfsResult {
         dist: dist.to_vec(),
-        stats: AlgoStats::from(counters.snapshot()),
-    }
+        stats: driver.finish(),
+    })
 }
 
 /// All vertices at hop distance exactly `d` (utility for tests/benches).

@@ -8,10 +8,10 @@
 //! rounds anywhere — this is exactly why the paper's BCC avoids BFS.
 
 use crate::common::{AlgoStats, CancelToken, Cancelled};
+use crate::engine::{NoopObserver, RoundDriver, RoundObserver};
 use pasgal_collections::union_find::ConcurrentUnionFind;
 use pasgal_graph::csr::Graph;
 use pasgal_graph::VertexId;
-use pasgal_parlay::counters::Counters;
 use rayon::prelude::*;
 
 /// Connectivity output.
@@ -44,34 +44,44 @@ pub fn connectivity(g: &Graph) -> CcResult {
 /// per vertex task (a few hundred edges), so cancellation lands within
 /// one round by construction.
 pub fn connectivity_cancel(g: &Graph, cancel: &CancelToken) -> Result<CcResult, Cancelled> {
+    connectivity_observed(g, cancel, &NoopObserver)
+}
+
+/// [`connectivity`] with per-round observation: the whole edge sweep is
+/// one round, so exactly one [`crate::engine::RoundEvent`] is emitted.
+pub fn connectivity_observed(
+    g: &Graph,
+    cancel: &CancelToken,
+    observer: &dyn RoundObserver,
+) -> Result<CcResult, Cancelled> {
     let n = g.num_vertices();
-    let counters = Counters::new();
+    let driver = RoundDriver::new(cancel, observer);
     let uf = ConcurrentUnionFind::new(n);
     // Explicit 512-vertex blocks so one token poll guards (and on abort,
     // skips) a whole block rather than a single vertex.
     const BLOCK: usize = 512;
-    (0..n.div_ceil(BLOCK)).into_par_iter().for_each(|b| {
-        if cancel.is_cancelled() {
-            return;
-        }
-        for u in (b * BLOCK) as u32..((b + 1) * BLOCK).min(n) as u32 {
-            counters.add_tasks(1);
-            for &v in g.neighbors(u) {
-                counters.add_edges(1);
-                uf.unite(u, v);
+    driver.round(n as u64, || {
+        let counters = driver.counters();
+        (0..n.div_ceil(BLOCK)).into_par_iter().for_each(|b| {
+            if driver.cancelled() {
+                return;
             }
-        }
+            for u in (b * BLOCK) as u32..((b + 1) * BLOCK).min(n) as u32 {
+                counters.add_tasks(1);
+                for &v in g.neighbors(u) {
+                    counters.add_edges(1);
+                    uf.unite(u, v);
+                }
+            }
+        });
     });
-    if cancel.is_cancelled() {
-        return Err(Cancelled);
-    }
-    counters.add_round();
+    driver.check()?;
     let labels = uf.labels();
     let num_components = uf.count_sets();
     Ok(CcResult {
         labels,
         num_components,
-        stats: AlgoStats::from(counters.snapshot()),
+        stats: driver.finish(),
     })
 }
 

@@ -1,0 +1,426 @@
+//! The round engine: one canonical frontier-round driver shared by every
+//! algorithm in this crate.
+//!
+//! The paper's thesis is that the *round loop* — fork/join, frontier swap,
+//! synchronization — is the shared bottleneck of frontier-based graph
+//! algorithms on large-diameter inputs. This module owns that loop once,
+//! instead of each algorithm hand-rolling its own copy:
+//!
+//! * **Cancellation** is polled at round granularity by the driver
+//!   ([`RoundDriver::check`] / the loop combinators below) and at task
+//!   granularity inside round bodies via [`RoundDriver::cancelled`]. A
+//!   fired token aborts within one round and surfaces as
+//!   [`Cancelled`]; partial results are discarded by the caller.
+//! * **Counters** accumulate into the familiar [`AlgoStats`] — the driver
+//!   records one round + the frontier size per round; bodies add tasks and
+//!   edges through [`RoundDriver::counters`].
+//! * **Frontier buffers are recycled**: [`RoundDriver::drive_bag`] drains
+//!   the hash bag into one reused vector
+//!   ([`HashBag::extract_into`]), so steady-state rounds allocate
+//!   nothing.
+//! * **Observability** is pluggable: a [`RoundObserver`] receives one
+//!   [`RoundEvent`] per round. The default [`NoopObserver`] reports
+//!   `enabled() == false`, so uninstrumented runs skip even the clock
+//!   reads — observation is zero-cost unless requested.
+//!
+//! # Adding a new algorithm
+//!
+//! 1. Construct a `RoundDriver` from the caller's [`CancelToken`] and
+//!    observer.
+//! 2. Express the traversal as one of the loop shapes:
+//!    [`drive`](RoundDriver::drive) (the step function returns the next
+//!    frontier), [`drive_bag`](RoundDriver::drive_bag) (the next frontier
+//!    accumulates in a [`HashBag`]), or explicit
+//!    [`check`](RoundDriver::check) + [`round`](RoundDriver::round) pairs
+//!    for phase pipelines without a frontier (see `bcc::fast`).
+//! 3. Inside parallel round bodies, bail early on
+//!    [`cancelled`](RoundDriver::cancelled) and feed
+//!    [`counters`](RoundDriver::counters).
+//! 4. Finish with [`finish`](RoundDriver::finish) for the `AlgoStats`.
+//!
+//! Per-event `edges` is the delta of the global edge counter across the
+//! round: exact for algorithms whose rounds are sequential (BFS, SSSP,
+//! k-core, CC, BCC), approximate under SCC's concurrently-processed
+//! subproblems, where rounds of sibling searches overlap.
+
+use crate::common::{AlgoStats, CancelToken, Cancelled};
+use pasgal_collections::hashbag::HashBag;
+use pasgal_graph::VertexId;
+use pasgal_parlay::counters::Counters;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One observed synchronization round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundEvent {
+    /// 1-based round index (unique across the run, in issue order; rounds
+    /// of concurrent SCC subproblems interleave).
+    pub round: u64,
+    /// Size of the frontier processed this round.
+    pub frontier: u64,
+    /// Edges traversed during the round (global-counter delta; see the
+    /// module docs for the concurrency caveat).
+    pub edges: u64,
+    /// Wall-clock duration of the round body in nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+/// Receives one event per round. Implementations must be `Sync`: SCC
+/// emits events from concurrently-processed subproblems.
+pub trait RoundObserver: Sync {
+    /// Called once per round, after the round body completes.
+    fn on_round(&self, event: RoundEvent);
+
+    /// Whether events are wanted at all. When `false` the driver skips
+    /// event construction *and* the per-round clock/counter reads, so an
+    /// unobserved run pays nothing beyond the counters it always kept.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The zero-cost default observer: no events, no timing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopObserver;
+
+impl RoundObserver for NoopObserver {
+    fn on_round(&self, _event: RoundEvent) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Records every event; the test observer for round-level assertions.
+#[derive(Debug, Default)]
+pub struct RecordingObserver {
+    events: Mutex<Vec<RoundEvent>>,
+}
+
+impl RecordingObserver {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All events observed so far, in emission order.
+    pub fn events(&self) -> Vec<RoundEvent> {
+        self.events.lock().expect("observer lock poisoned").clone()
+    }
+
+    /// Number of rounds observed.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("observer lock poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of frontier sizes across all observed rounds.
+    pub fn frontier_sum(&self) -> u64 {
+        self.events().iter().map(|e| e.frontier).sum()
+    }
+}
+
+impl RoundObserver for RecordingObserver {
+    fn on_round(&self, event: RoundEvent) {
+        self.events
+            .lock()
+            .expect("observer lock poisoned")
+            .push(event);
+    }
+}
+
+/// Records rounds and renders them as human-readable log lines — the
+/// backing of the CLI's `--trace-rounds` and the bench's per-round
+/// timing capture.
+#[derive(Debug, Default)]
+pub struct TracingObserver {
+    inner: RecordingObserver,
+}
+
+impl TracingObserver {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded events (emission order).
+    pub fn events(&self) -> Vec<RoundEvent> {
+        self.inner.events()
+    }
+
+    /// One formatted line per observed round.
+    pub fn lines(&self) -> Vec<String> {
+        self.inner
+            .events()
+            .iter()
+            .map(|e| {
+                format!(
+                    "round {}: frontier {}, edges {}, {:.1} µs",
+                    e.round,
+                    e.frontier,
+                    e.edges,
+                    e.elapsed_ns as f64 / 1000.0
+                )
+            })
+            .collect()
+    }
+}
+
+impl RoundObserver for TracingObserver {
+    fn on_round(&self, event: RoundEvent) {
+        self.inner.on_round(event);
+    }
+}
+
+/// The canonical round-loop driver: owns cancellation polling, counter
+/// accumulation, frontier-buffer reuse, and per-round observation.
+pub struct RoundDriver<'a> {
+    counters: Counters,
+    cancel: CancelToken,
+    observer: &'a dyn RoundObserver,
+}
+
+impl<'a> RoundDriver<'a> {
+    pub fn new(cancel: &CancelToken, observer: &'a dyn RoundObserver) -> Self {
+        Self {
+            counters: Counters::new(),
+            cancel: cancel.clone(),
+            observer,
+        }
+    }
+
+    /// The shared counters; round bodies add tasks and edges here.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Round-granularity cancellation poll: `Err(Cancelled)` once fired.
+    #[inline]
+    pub fn check(&self) -> Result<(), Cancelled> {
+        self.cancel.checkpoint()
+    }
+
+    /// Task-granularity poll for use inside parallel round bodies, which
+    /// bail early rather than propagate (the driver's next round-boundary
+    /// poll turns the bail into `Err(Cancelled)`).
+    #[inline]
+    pub fn cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
+    }
+
+    /// Execute one observed round over a frontier of size `frontier`:
+    /// records the round + frontier size, runs `body`, and (when the
+    /// observer is enabled) emits a [`RoundEvent`] with the round's edge
+    /// delta and wall-clock time.
+    pub fn round<T>(&self, frontier: u64, body: impl FnOnce() -> T) -> T {
+        let round = self.counters.add_round();
+        self.counters.observe_frontier(frontier);
+        if !self.observer.enabled() {
+            return body();
+        }
+        let edges0 = self.counters.edges();
+        let start = Instant::now();
+        let out = body();
+        self.observer.on_round(RoundEvent {
+            round,
+            frontier,
+            edges: self.counters.edges().saturating_sub(edges0),
+            elapsed_ns: start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        });
+        out
+    }
+
+    /// Record a round boundary with no body of its own (e.g. the FW/BW
+    /// phase boundary in SCC decomposition).
+    pub fn mark_round(&self, frontier: u64) {
+        self.round(frontier, || ());
+    }
+
+    /// The generic round loop: each iteration polls the token, then runs
+    /// one observed round whose `step` consumes the current work and
+    /// returns the next `(frontier_size, work)` — `None` ends the loop.
+    ///
+    /// On cancellation `on_abort` runs (clean up shared buffers) and the
+    /// loop returns `Err(Cancelled)`. An empty work list is re-checked
+    /// before reporting success, so a step that bailed mid-round because
+    /// of a concurrent cancel can never masquerade as completion.
+    pub fn drive<W>(
+        &self,
+        mut work: Option<(u64, W)>,
+        mut step: impl FnMut(W) -> Option<(u64, W)>,
+        on_abort: impl Fn(),
+    ) -> Result<(), Cancelled> {
+        loop {
+            if self.cancelled() {
+                on_abort();
+                return Err(Cancelled);
+            }
+            match work {
+                None => return self.check(),
+                Some((frontier, w)) => work = self.round(frontier, || step(w)),
+            }
+        }
+    }
+
+    /// The hash-bag round loop: `body` processes the current frontier and
+    /// spills discoveries into `bag`; the driver drains the bag into the
+    /// *same* frontier vector each round (no per-round allocation, see
+    /// [`HashBag::extract_into`]). On cancellation the bag is cleared for
+    /// reuse and `Err(Cancelled)` is returned.
+    pub fn drive_bag(
+        &self,
+        bag: &HashBag,
+        seed: Vec<VertexId>,
+        mut body: impl FnMut(&[VertexId]),
+    ) -> Result<(), Cancelled> {
+        let mut frontier = seed;
+        loop {
+            if self.cancelled() {
+                bag.clear();
+                return Err(Cancelled);
+            }
+            if frontier.is_empty() {
+                return self.check();
+            }
+            self.round(frontier.len() as u64, || body(&frontier));
+            frontier.clear();
+            bag.extract_into(&mut frontier);
+        }
+    }
+
+    /// Snapshot the accumulated statistics.
+    pub fn finish(&self) -> AlgoStats {
+        AlgoStats::from(self.counters.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_observer_is_disabled() {
+        assert!(!NoopObserver.enabled());
+        let rec = RecordingObserver::new();
+        assert!(rec.enabled());
+    }
+
+    #[test]
+    fn round_records_counters_and_events() {
+        let cancel = CancelToken::new();
+        let rec = RecordingObserver::new();
+        let driver = RoundDriver::new(&cancel, &rec);
+        driver.round(5, || driver.counters().add_edges(12));
+        driver.round(3, || ());
+        let stats = driver.finish();
+        assert_eq!(stats.rounds, 2);
+        assert_eq!(stats.peak_frontier, 5);
+        let events = rec.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].round, 1);
+        assert_eq!(events[0].frontier, 5);
+        assert_eq!(events[0].edges, 12);
+        assert_eq!(events[1].round, 2);
+        assert_eq!(events[1].edges, 0);
+        assert_eq!(rec.frontier_sum(), 8);
+    }
+
+    #[test]
+    fn drive_runs_until_step_returns_none() {
+        let cancel = CancelToken::new();
+        let rec = RecordingObserver::new();
+        let driver = RoundDriver::new(&cancel, &rec);
+        // count down 4, 3, 2, 1
+        let r = driver.drive(Some((4, 4u64)), |w| (w > 1).then(|| (w - 1, w - 1)), || ());
+        assert_eq!(r, Ok(()));
+        assert_eq!(driver.finish().rounds, 4);
+        let fronts: Vec<u64> = rec.events().iter().map(|e| e.frontier).collect();
+        assert_eq!(fronts, vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn drive_aborts_on_cancel_and_runs_on_abort() {
+        let cancel = CancelToken::new();
+        let driver = RoundDriver::new(&cancel, &NoopObserver);
+        let aborted = std::sync::atomic::AtomicBool::new(false);
+        let r = driver.drive(
+            Some((1, 0u64)),
+            |w| {
+                cancel.cancel(); // fires mid-run; next boundary poll sees it
+                Some((1, w))
+            },
+            || aborted.store(true, std::sync::atomic::Ordering::Relaxed),
+        );
+        assert_eq!(r, Err(Cancelled));
+        assert!(aborted.load(std::sync::atomic::Ordering::Relaxed));
+        // exactly one round ran before the poll caught the cancel
+        assert_eq!(driver.finish().rounds, 1);
+    }
+
+    #[test]
+    fn drive_recheck_catches_cancel_after_last_round() {
+        let cancel = CancelToken::new();
+        let driver = RoundDriver::new(&cancel, &NoopObserver);
+        let r = driver.drive(
+            Some((1, 0u64)),
+            |_| {
+                cancel.cancel();
+                None // work exhausted, but the run was cancelled mid-step
+            },
+            || (),
+        );
+        assert_eq!(r, Err(Cancelled));
+    }
+
+    #[test]
+    fn drive_bag_recycles_one_frontier_buffer() {
+        let cancel = CancelToken::new();
+        let rec = RecordingObserver::new();
+        let driver = RoundDriver::new(&cancel, &rec);
+        let bag = HashBag::new(1000);
+        // each round re-inserts half the frontier: 8, 4, 2, 1
+        let r = driver.drive_bag(&bag, (0..8).collect(), |front| {
+            for &v in front.iter().take(front.len() / 2) {
+                bag.insert(v);
+            }
+        });
+        assert_eq!(r, Ok(()));
+        let fronts: Vec<u64> = rec.events().iter().map(|e| e.frontier).collect();
+        assert_eq!(fronts, vec![8, 4, 2, 1]);
+        assert!(bag.is_empty());
+    }
+
+    #[test]
+    fn drive_bag_clears_bag_on_abort() {
+        let cancel = CancelToken::new();
+        let driver = RoundDriver::new(&cancel, &NoopObserver);
+        let bag = HashBag::new(1000);
+        let r = driver.drive_bag(&bag, vec![1, 2, 3], |front| {
+            for &v in front {
+                bag.insert(v); // never shrinks — would loop forever...
+            }
+            cancel.cancel(); // ...but the cancel lands within one round
+        });
+        assert_eq!(r, Err(Cancelled));
+        assert!(bag.is_empty(), "abort path must leave the bag reusable");
+        assert_eq!(driver.finish().rounds, 1);
+    }
+
+    #[test]
+    fn tracing_observer_renders_one_line_per_round() {
+        let cancel = CancelToken::new();
+        let tracer = TracingObserver::new();
+        let driver = RoundDriver::new(&cancel, &tracer);
+        driver.round(7, || driver.counters().add_edges(3));
+        driver.mark_round(0);
+        let lines = tracer.lines();
+        assert_eq!(lines.len(), 2);
+        assert!(
+            lines[0].starts_with("round 1: frontier 7, edges 3"),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[1].starts_with("round 2: frontier 0"), "{}", lines[1]);
+    }
+}

@@ -28,11 +28,11 @@
 //! ```
 
 use crate::common::{AlgoStats, CancelToken, Cancelled};
+use crate::engine::{NoopObserver, RoundDriver, RoundObserver};
 use pasgal_collections::atomic_array::AtomicU32Array;
 use pasgal_collections::hashbag::HashBag;
 use pasgal_graph::csr::Graph;
 use pasgal_graph::VertexId;
-use pasgal_parlay::counters::Counters;
 use pasgal_parlay::pack::pack_index;
 use rayon::prelude::*;
 
@@ -123,9 +123,21 @@ pub fn kcore_peel_cancel(
     tau: usize,
     cancel: &CancelToken,
 ) -> Result<KcoreResult, Cancelled> {
+    kcore_peel_observed(g, tau, cancel, &NoopObserver)
+}
+
+/// [`kcore_peel`] with per-round observation: one
+/// [`crate::engine::RoundEvent`] per cascade round (level transitions do
+/// not emit events of their own).
+pub fn kcore_peel_observed(
+    g: &Graph,
+    tau: usize,
+    cancel: &CancelToken,
+    observer: &dyn RoundObserver,
+) -> Result<KcoreResult, Cancelled> {
     assert!(g.is_symmetric(), "k-core requires an undirected graph");
     let n = g.num_vertices();
-    let counters = Counters::new();
+    let driver = RoundDriver::new(cancel, observer);
     let degree = AtomicU32Array::new(n, 0);
     (0..n).into_par_iter().with_min_len(2048).for_each(|v| {
         degree.set(v, g.degree(v as u32) as u32);
@@ -143,9 +155,7 @@ pub fn kcore_peel_cancel(
         .map(|v| degree.get(v as usize))
         .min()
     {
-        if cancel.is_cancelled() {
-            return Err(Cancelled);
-        }
+        driver.check()?;
         k = k.max(next_k);
 
         // initial frontier for this k: every alive vertex with degree ≤ k,
@@ -155,16 +165,11 @@ pub fn kcore_peel_cancel(
             pack_index(n, |v| coreness.get(v) == u32::MAX && degree.get(v) <= k);
         frontier.retain(|&v| coreness.cas(v as usize, u32::MAX, k));
 
-        while !frontier.is_empty() {
-            if cancel.is_cancelled() {
-                bag.clear();
-                return Err(Cancelled);
-            }
-            counters.add_round();
-            counters.observe_frontier(frontier.len() as u64);
-            let chunk = crate::vgc::frontier_chunk_len(frontier.len());
-            let k_now = k;
-            frontier.par_chunks(chunk).for_each(|grp| {
+        let k_now = k;
+        driver.drive_bag(&bag, frontier, |front| {
+            let counters = driver.counters();
+            let chunk = crate::vgc::frontier_chunk_len(front.len());
+            front.par_chunks(chunk).for_each(|grp| {
                 counters.add_tasks(1);
                 // VGC: process the whole removal cascade locally up to the
                 // aggregate budget; overflow cascades spill to the bag.
@@ -196,8 +201,7 @@ pub fn kcore_peel_cancel(
             });
             // spilled vertices are already claimed; they re-enter as
             // cascade seeds (their neighbors still need decrementing)
-            frontier = bag.extract_and_clear();
-        }
+        })?;
     }
 
     let coreness = coreness.to_vec();
@@ -205,7 +209,7 @@ pub fn kcore_peel_cancel(
     Ok(KcoreResult {
         coreness,
         degeneracy,
-        stats: AlgoStats::from(counters.snapshot()),
+        stats: driver.finish(),
     })
 }
 
@@ -280,18 +284,6 @@ mod tests {
         assert_eq!(ok.coreness, kcore_seq(&g).coreness);
     }
 
-    #[test]
-    fn long_cascade_uses_few_rounds_with_big_tau() {
-        // a path is one removal cascade of length n
-        let g = path(3000);
-        let small = kcore_peel(&g, 2);
-        let big = kcore_peel(&g, 4096);
-        assert_eq!(small.coreness, big.coreness);
-        assert!(
-            big.stats.rounds * 10 < small.stats.rounds.max(10),
-            "big-τ rounds {} vs small-τ rounds {}",
-            big.stats.rounds,
-            small.stats.rounds
-        );
-    }
+    // The big-τ-beats-small-τ round-count assertion lives in the
+    // round-invariant suite: tests/round_invariants.rs.
 }

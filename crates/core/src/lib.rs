@@ -8,9 +8,9 @@
 //! | Problem | PASGAL (this paper) | Parallel baselines | Sequential baseline |
 //! |---------|--------------------|--------------------|---------------------|
 //! | BFS  | [`bfs::vgc`] (VGC + hash bags + multi-frontier + direction opt) | [`bfs::flat`] (GBBS-style), [`bfs::gap`] (GAPBS-style) | [`bfs::seq`] (queue) |
-//! | SCC  | [`scc::vgc`] (trim + FW-BW with VGC reachability) | [`scc::bfs_based`] (GBBS-style BFS reachability), [`scc::multistep`] | [`scc::tarjan`] |
+//! | SCC  | [`scc::scc_vgc`] (trim + FW-BW with VGC reachability) | [`scc::scc_bfs_based`] (GBBS-style BFS reachability), [`scc::multistep`] | [`scc::tarjan`] |
 //! | BCC  | [`bcc::fast`] (FAST-BCC) | [`bcc::tarjan_vishkin`], [`bcc::bfs_based`] (GBBS-style) | [`bcc::hopcroft_tarjan`] |
-//! | SSSP | [`sssp::rho_stepping`] (stepping framework + VGC) | [`sssp::delta_stepping`], [`sssp::bellman_ford`] | [`sssp::dijkstra`] |
+//! | SSSP | [`sssp::stepping`] (ρ-stepping framework + VGC) | [`sssp::delta`] (Δ-stepping), [`sssp::bellman_ford`] | [`sssp::dijkstra`] |
 //!
 //! Two of the paper's announced future extensions are also provided:
 //! [`kcore`] (parallel peeling with VGC cascades) and [`sssp::ptp`]
@@ -42,6 +42,7 @@ pub mod bcc;
 pub mod bfs;
 pub mod cc;
 pub mod common;
+pub mod engine;
 pub mod kcore;
 pub mod scc;
 pub mod sssp;

@@ -18,13 +18,13 @@
 //! `Ω(D)`-round baselines on large-diameter graphs.
 
 use super::INF;
-use crate::common::{AlgoStats, CancelToken, Cancelled, SsspResult, VgcConfig};
+use crate::common::{CancelToken, Cancelled, SsspResult, VgcConfig};
+use crate::engine::{NoopObserver, RoundDriver, RoundObserver};
 use crate::vgc::local_search_weighted_multi;
 use pasgal_collections::atomic_array::AtomicU64Array;
 use pasgal_collections::hashbag::HashBag;
 use pasgal_graph::csr::Graph;
 use pasgal_graph::VertexId;
-use pasgal_parlay::counters::Counters;
 use pasgal_parlay::rng::SplitRng;
 use rayon::prelude::*;
 
@@ -64,9 +64,21 @@ pub fn sssp_rho_stepping_cancel(
     cfg: &RhoConfig,
     cancel: &CancelToken,
 ) -> Result<SsspResult, Cancelled> {
+    sssp_rho_stepping_observed(g, src, cfg, cancel, &NoopObserver)
+}
+
+/// [`sssp_rho_stepping`] with per-round observation: one
+/// [`crate::engine::RoundEvent`] per step of the stepping framework.
+pub fn sssp_rho_stepping_observed(
+    g: &Graph,
+    src: VertexId,
+    cfg: &RhoConfig,
+    cancel: &CancelToken,
+    observer: &dyn RoundObserver,
+) -> Result<SsspResult, Cancelled> {
     let n = g.num_vertices();
     let m = g.num_edges();
-    let counters = Counters::new();
+    let driver = RoundDriver::new(cancel, observer);
     let dist = AtomicU64Array::new(n, INF);
     dist.set(src as usize, 0);
 
@@ -75,16 +87,9 @@ pub fn sssp_rho_stepping_cancel(
     let bag = HashBag::new(2 * m + n + 16);
     let rng = SplitRng::new(0x9d0);
 
-    let mut frontier: Vec<VertexId> = vec![src];
     let mut step_no: u64 = 0;
-
-    while !frontier.is_empty() {
-        if cancel.is_cancelled() {
-            bag.clear();
-            return Err(Cancelled);
-        }
-        counters.add_round();
-        counters.observe_frontier(frontier.len() as u64);
+    driver.drive_bag(&bag, vec![src], |frontier| {
+        let counters = driver.counters();
         step_no += 1;
 
         // Threshold: the ~ρ-th smallest tentative distance, estimated from
@@ -107,7 +112,8 @@ pub fn sssp_rho_stepping_cancel(
 
         // Partition: process near vertices, defer the rest.
         let (near, far): (Vec<VertexId>, Vec<VertexId>) = frontier
-            .into_par_iter()
+            .par_iter()
+            .copied()
             .with_min_len(512)
             .partition(|&v| dist.get(v as usize) <= theta);
         for &v in &far {
@@ -119,7 +125,7 @@ pub fn sssp_rho_stepping_cancel(
         near.par_chunks(chunk).for_each(|grp| {
             // Skipped seeds are fine mid-abort: the Err path discards all
             // partial distances anyway.
-            if cancel.is_cancelled() {
+            if driver.cancelled() {
                 return;
             }
             counters.add_tasks(1);
@@ -149,13 +155,11 @@ pub fn sssp_rho_stepping_cancel(
             );
             counters.add_edges(st.edges);
         });
-
-        frontier = bag.extract_and_clear();
-    }
+    })?;
 
     Ok(SsspResult {
         dist: dist.to_vec(),
-        stats: AlgoStats::from(counters.snapshot()),
+        stats: driver.finish(),
     })
 }
 
@@ -224,19 +228,8 @@ mod tests {
         assert_eq!(r.dist, (0..60).map(|i| i as u64).collect::<Vec<_>>());
     }
 
-    #[test]
-    fn fewer_rounds_than_bellman_ford_on_long_path() {
-        let g = with_random_weights(&path(3000), 1, 10);
-        let bf = crate::sssp::bellman_ford::sssp_bellman_ford(&g, 0);
-        let rs = sssp_rho_stepping(&g, 0, &RhoConfig::default());
-        assert_eq!(bf.dist, rs.dist);
-        assert!(
-            rs.stats.rounds * 20 < bf.stats.rounds,
-            "rho {} vs bf {}",
-            rs.stats.rounds,
-            bf.stats.rounds
-        );
-    }
+    // The ρ-stepping-beats-Bellman-Ford round-count assertion lives in the
+    // round-invariant suite: tests/round_invariants.rs.
 
     #[test]
     fn cancelled_token_aborts_with_err() {

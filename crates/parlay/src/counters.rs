@@ -28,9 +28,12 @@ impl Counters {
         Self::default()
     }
 
-    /// Record one global synchronization round (one frontier step).
-    pub fn add_round(&self) {
-        self.rounds.fetch_add(1, Ordering::Relaxed);
+    /// Record one global synchronization round (one frontier step) and
+    /// return its 1-based index. The index is unique even when rounds are
+    /// recorded concurrently (e.g. parallel SCC subproblems), which lets
+    /// per-round observers tag events unambiguously.
+    pub fn add_round(&self) -> u64 {
+        self.rounds.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Record `n` spawned parallel tasks.
@@ -107,8 +110,8 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let c = Counters::new();
-        c.add_round();
-        c.add_round();
+        assert_eq!(c.add_round(), 1);
+        assert_eq!(c.add_round(), 2);
         c.add_tasks(5);
         c.add_edges(100);
         c.observe_frontier(7);

@@ -226,7 +226,10 @@ mod tests {
     }
 
     fn value() -> ComputeValue {
-        ComputeValue::Dists(Arc::new(vec![1, 2, 3]))
+        ComputeValue::Dists {
+            dist: Arc::new(vec![1, 2, 3]),
+            rounds: 1,
+        }
     }
 
     #[test]
@@ -247,7 +250,7 @@ mod tests {
                     panic!("only one leader expected");
                 }
                 Join::Follower(f) => match f.wait(Duration::from_secs(5)).unwrap().unwrap() {
-                    ComputeValue::Dists(d) => d.len(),
+                    ComputeValue::Dists { dist, .. } => dist.len(),
                     _ => panic!("wrong value kind"),
                 },
             }));

@@ -51,20 +51,39 @@ impl ComputeKey {
 }
 
 /// A shareable computation result. `Arc`-wrapped so cache hits and
-/// batched waiters alias one allocation.
+/// batched waiters alias one allocation. Every variant carries the round
+/// count of the run that produced it (`AlgoStats.rounds`), so queries
+/// served from cache still report the rounds the answer originally cost.
 #[derive(Debug, Clone)]
 pub enum ComputeValue {
     /// BFS hop distances (`u32::MAX` = unreached).
-    HopDists(Arc<Vec<u32>>),
+    HopDists { dist: Arc<Vec<u32>>, rounds: u64 },
     /// SSSP distances (`u64::MAX` = unreached).
-    Dists(Arc<Vec<u64>>),
+    Dists { dist: Arc<Vec<u64>>, rounds: u64 },
     /// Component labels plus component count (SCC or CC).
-    Labels { labels: Arc<Vec<u32>>, count: usize },
+    Labels {
+        labels: Arc<Vec<u32>>,
+        count: usize,
+        rounds: u64,
+    },
     /// Per-vertex coreness plus the graph degeneracy.
     Coreness {
         coreness: Arc<Vec<u32>>,
         degeneracy: u32,
+        rounds: u64,
     },
+}
+
+impl ComputeValue {
+    /// Synchronization rounds of the run that produced this value.
+    pub fn rounds(&self) -> u64 {
+        match *self {
+            ComputeValue::HopDists { rounds, .. }
+            | ComputeValue::Dists { rounds, .. }
+            | ComputeValue::Labels { rounds, .. }
+            | ComputeValue::Coreness { rounds, .. } => rounds,
+        }
+    }
 }
 
 struct Slot {
@@ -154,7 +173,10 @@ mod tests {
     use super::*;
 
     fn dist_val(n: usize) -> ComputeValue {
-        ComputeValue::Dists(Arc::new(vec![0; n]))
+        ComputeValue::Dists {
+            dist: Arc::new(vec![0; n]),
+            rounds: 1,
+        }
     }
 
     #[test]
@@ -178,6 +200,7 @@ mod tests {
             ComputeValue::Labels {
                 labels: Arc::new(vec![0]),
                 count: 1,
+                rounds: 1,
             },
         );
         c.insert(
@@ -185,6 +208,7 @@ mod tests {
             ComputeValue::Labels {
                 labels: Arc::new(vec![0]),
                 count: 1,
+                rounds: 1,
             },
         );
         c.insert(
@@ -220,6 +244,7 @@ mod tests {
             ComputeValue::Coreness {
                 coreness: Arc::new(vec![0]),
                 degeneracy: 0,
+                rounds: 1,
             },
         );
         c.invalidate_generation(1);

@@ -9,6 +9,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 const LATENCY_BUCKETS: usize = 24; // up to ~2^23 µs ≈ 8.4 s, last bucket catches the rest
 const BATCH_BUCKETS: usize = 12; // batches up to 2^11 = 2048 queries
+const ROUNDS_BUCKETS: usize = 16; // round counts up to 2^15 = 32768 per answer
 
 fn bucket_of(value: u64, buckets: usize) -> usize {
     if value == 0 {
@@ -34,6 +35,7 @@ pub struct Metrics {
     workers_busy: AtomicU64,
     latency_us: [AtomicU64; LATENCY_BUCKETS],
     batch_size: [AtomicU64; BATCH_BUCKETS],
+    rounds: [AtomicU64; ROUNDS_BUCKETS],
 }
 
 impl Metrics {
@@ -102,6 +104,13 @@ impl Metrics {
         self.latency_us[bucket_of(us, LATENCY_BUCKETS)].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One query answered whose underlying traversal took `rounds`
+    /// synchronization rounds (`AlgoStats.rounds`; cache hits report the
+    /// rounds of the run that originally produced the answer).
+    pub fn rounds(&self, rounds: u64) {
+        self.rounds[bucket_of(rounds, ROUNDS_BUCKETS)].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Consistent-enough point-in-time copy of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
@@ -119,6 +128,7 @@ impl Metrics {
             workers_busy: load(&self.workers_busy),
             latency_us: self.latency_us.iter().map(load).collect(),
             batch_size: self.batch_size.iter().map(load).collect(),
+            rounds: self.rounds.iter().map(load).collect(),
         }
     }
 }
@@ -147,6 +157,9 @@ pub struct MetricsSnapshot {
     /// Power-of-two batch-size buckets (how many queries shared one
     /// computation).
     pub batch_size: Vec<u64>,
+    /// Power-of-two buckets of per-query round counts
+    /// (`AlgoStats.rounds` of the traversal behind each answer).
+    pub rounds: Vec<u64>,
 }
 
 impl MetricsSnapshot {
@@ -163,6 +176,34 @@ impl MetricsSnapshot {
     /// Number of computations that served more than one query.
     pub fn batches_of_many(&self) -> u64 {
         self.batch_size.iter().skip(1).sum()
+    }
+
+    /// Quantile over the rounds histogram: the lower bound of the bucket
+    /// containing the `q`-th fraction of observations (0 when empty).
+    fn rounds_quantile(&self, q: f64) -> u64 {
+        let total: u64 = self.rounds.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64 * q).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.rounds.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        1u64 << (self.rounds.len() - 1)
+    }
+
+    /// Median per-query round count (bucket lower bound).
+    pub fn rounds_p50(&self) -> u64 {
+        self.rounds_quantile(0.50)
+    }
+
+    /// 99th-percentile per-query round count (bucket lower bound).
+    pub fn rounds_p99(&self) -> u64 {
+        self.rounds_quantile(0.99)
     }
 
     /// Outcome conservation: every submitted query must land in exactly
@@ -214,6 +255,9 @@ impl MetricsSnapshot {
             ("workers_busy", Json::from(self.workers_busy)),
             ("latency_us", hist(&self.latency_us)),
             ("batch_size", hist(&self.batch_size)),
+            ("rounds", hist(&self.rounds)),
+            ("rounds_p50", Json::from(self.rounds_p50())),
+            ("rounds_p99", Json::from(self.rounds_p99())),
         ])
     }
 }
@@ -280,6 +324,26 @@ mod tests {
         assert_eq!(m.snapshot().workers_busy, 1);
         m.worker_idle();
         assert_eq!(m.snapshot().workers_busy, 0);
+    }
+
+    #[test]
+    fn rounds_histogram_and_quantiles() {
+        let m = Metrics::new();
+        let s = m.snapshot();
+        assert_eq!(s.rounds_p50(), 0); // empty histogram
+        assert_eq!(s.rounds_p99(), 0);
+        for _ in 0..98 {
+            m.rounds(4); // bucket 2
+        }
+        m.rounds(1); // bucket 0
+        m.rounds(1000); // bucket 9
+        let s = m.snapshot();
+        assert_eq!(s.rounds[2], 98);
+        assert_eq!(s.rounds_p50(), 4);
+        assert_eq!(s.rounds_p99(), 4);
+        let j = s.to_json();
+        assert_eq!(j.get("rounds_p50"), Some(&Json::Int(4)));
+        assert!(j.get("rounds").is_some());
     }
 
     #[test]

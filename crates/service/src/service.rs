@@ -244,7 +244,7 @@ impl Service {
                     src: *src,
                 };
                 match self.obtain(key, &entry, cancel)? {
-                    ComputeValue::HopDists(dist) => Ok(hop_reply(&dist, *target)),
+                    ComputeValue::HopDists { dist, .. } => Ok(hop_reply(&dist, *target)),
                     _ => Err(ServiceError::Internal("wrong result kind".into())),
                 }
             }
@@ -298,6 +298,7 @@ impl Service {
                     ComputeValue::Coreness {
                         coreness,
                         degeneracy,
+                        ..
                     } => Ok(match vertex {
                         Some(v) => Reply::Coreness {
                             vertex: *v,
@@ -330,7 +331,7 @@ impl Service {
             src,
         };
         match self.obtain(key, entry, cancel)? {
-            ComputeValue::Dists(d) => Ok(d),
+            ComputeValue::Dists { dist, .. } => Ok(dist),
             _ => Err(ServiceError::Internal("wrong result kind".into())),
         }
     }
@@ -346,7 +347,7 @@ impl Service {
             check_vertex(entry, v)?;
         }
         match self.obtain(key, entry, cancel)? {
-            ComputeValue::Labels { labels, count } => Ok(match vertex {
+            ComputeValue::Labels { labels, count, .. } => Ok(match vertex {
                 Some(v) => Reply::Label {
                     vertex: v,
                     label: labels[v as usize],
@@ -378,6 +379,7 @@ impl Service {
                 .get(&key)
             {
                 self.inner.metrics.cache_hit();
+                self.inner.metrics.rounds(v.rounds());
                 return Ok(v);
             }
         }
@@ -424,7 +426,10 @@ impl Service {
         match flight.wait_cancellable(self.inner.config.query_timeout, cancel) {
             Err(WaitAbort::Timeout) => Err(ServiceError::Timeout),
             Err(WaitAbort::Cancelled) => Err(ServiceError::Cancelled),
-            Ok(Ok(v)) => Ok(v),
+            Ok(Ok(v)) => {
+                self.inner.metrics.rounds(v.rounds());
+                Ok(v)
+            }
             Ok(Err(msg)) if msg == OVERLOADED => {
                 self.inner.metrics.rejected_overload();
                 Err(ServiceError::Overloaded)
@@ -580,23 +585,30 @@ fn compute(
 ) -> Result<ComputeValue, Cancelled> {
     let vgc = VgcConfig::with_tau(inner.config.tau);
     Ok(match *key {
-        ComputeKey::HopDists { src, .. } => ComputeValue::HopDists(Arc::new(
-            bfs_vgc_cancel(&entry.graph, src, &vgc, cancel)?.dist,
-        )),
+        ComputeKey::HopDists { src, .. } => {
+            let r = bfs_vgc_cancel(&entry.graph, src, &vgc, cancel)?;
+            ComputeValue::HopDists {
+                dist: Arc::new(r.dist),
+                rounds: r.stats.rounds,
+            }
+        }
         ComputeKey::Dists { src, .. } => {
             let cfg = RhoConfig {
                 vgc,
                 ..RhoConfig::default()
             };
-            ComputeValue::Dists(Arc::new(
-                sssp_rho_stepping_cancel(&entry.graph, src, &cfg, cancel)?.dist,
-            ))
+            let r = sssp_rho_stepping_cancel(&entry.graph, src, &cfg, cancel)?;
+            ComputeValue::Dists {
+                dist: Arc::new(r.dist),
+                rounds: r.stats.rounds,
+            }
         }
         ComputeKey::SccLabels { .. } => {
             let r = scc_vgc_cancel(&entry.graph, &vgc, cancel)?;
             ComputeValue::Labels {
                 labels: Arc::new(r.labels),
                 count: r.num_sccs,
+                rounds: r.stats.rounds,
             }
         }
         ComputeKey::CcLabels { .. } => {
@@ -604,6 +616,7 @@ fn compute(
             ComputeValue::Labels {
                 labels: Arc::new(r.labels),
                 count: r.num_components,
+                rounds: r.stats.rounds,
             }
         }
         ComputeKey::Coreness { .. } => {
@@ -612,6 +625,7 @@ fn compute(
             ComputeValue::Coreness {
                 coreness: Arc::new(r.coreness),
                 degeneracy: r.degeneracy,
+                rounds: r.stats.rounds,
             }
         }
     })

@@ -1,0 +1,272 @@
+//! Round-invariant suite: structural assertions on the engine's per-round
+//! event stream (`RecordingObserver`), replacing eyeballed aggregate
+//! statistics. Also home to the cross-algorithm round-count comparisons
+//! (VGC vs. flat BFS, ρ-stepping vs. Bellman-Ford, big-τ vs. small-τ
+//! peeling) formerly scattered across the unit-test modules.
+
+use pasgal_core::bcc::fast::bcc_fast_observed;
+use pasgal_core::bfs::flat::{bfs_flat, bfs_flat_observed, DirOptConfig};
+use pasgal_core::bfs::vgc::{bfs_vgc, bfs_vgc_dir_observed};
+use pasgal_core::cc::connectivity_observed;
+use pasgal_core::common::{CancelToken, Cancelled, VgcConfig, UNREACHED};
+use pasgal_core::engine::{RecordingObserver, RoundEvent, RoundObserver};
+use pasgal_core::kcore::{kcore_peel, kcore_peel_observed};
+use pasgal_core::scc::fwbw::{scc_bfs_based, scc_vgc, scc_vgc_observed};
+use pasgal_core::sssp::stepping::{sssp_rho_stepping, sssp_rho_stepping_observed, RhoConfig};
+use pasgal_graph::gen::basic::{grid2d, grid2d_directed, path, path_directed};
+use pasgal_graph::gen::knn::knn;
+use pasgal_graph::gen::with_random_weights;
+use pasgal_graph::transform::symmetrize;
+
+// ---------------------------------------------------------------------------
+// One event per recorded round, for every algorithm.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_algorithm_emits_one_event_per_round() {
+    let fresh = CancelToken::new;
+
+    let g = grid2d(12, 17);
+    let rec = RecordingObserver::new();
+    let r = bfs_flat_observed(&g, 0, None, &DirOptConfig::default(), &fresh(), &rec).unwrap();
+    assert_eq!(rec.len() as u64, r.stats.rounds, "bfs flat");
+
+    let rec = RecordingObserver::new();
+    let r = bfs_vgc_dir_observed(&g, 0, None, &VgcConfig::default(), &fresh(), &rec).unwrap();
+    assert_eq!(rec.len() as u64, r.stats.rounds, "bfs vgc");
+
+    let gd = grid2d_directed(8, 25, 0.5, 3);
+    let rec = RecordingObserver::new();
+    let r = scc_vgc_observed(&gd, &VgcConfig::default(), &fresh(), &rec).unwrap();
+    assert_eq!(rec.len() as u64, r.stats.rounds, "scc");
+
+    let rec = RecordingObserver::new();
+    let r = connectivity_observed(&g, &fresh(), &rec).unwrap();
+    assert_eq!(rec.len() as u64, r.stats.rounds, "cc");
+    assert_eq!(rec.len(), 1, "cc is a single sweep");
+
+    let gw = with_random_weights(&g, 2, 100);
+    let rec = RecordingObserver::new();
+    let r = sssp_rho_stepping_observed(&gw, 0, &RhoConfig::default(), &fresh(), &rec).unwrap();
+    assert_eq!(rec.len() as u64, r.stats.rounds, "sssp");
+
+    let rec = RecordingObserver::new();
+    let r = kcore_peel_observed(&g, 64, &fresh(), &rec).unwrap();
+    assert_eq!(rec.len() as u64, r.stats.rounds, "kcore");
+
+    let rec = RecordingObserver::new();
+    let r = bcc_fast_observed(&g, &fresh(), &rec).unwrap();
+    assert_eq!(rec.len() as u64, r.stats.rounds, "bcc");
+    assert_eq!(rec.len(), 5, "bcc is five bounded phases");
+}
+
+#[test]
+fn sequential_rounds_carry_consecutive_indices() {
+    let g = path(100);
+    let rec = RecordingObserver::new();
+    bfs_flat_observed(
+        &g,
+        0,
+        None,
+        &DirOptConfig::default(),
+        &CancelToken::new(),
+        &rec,
+    )
+    .unwrap();
+    let events = rec.events();
+    for (i, e) in events.iter().enumerate() {
+        assert_eq!(e.round, i as u64 + 1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sum(frontier sizes) == vertices visited, for strict-BFS traversal
+// (every vertex enters the frontier exactly once).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn flat_bfs_frontier_sizes_sum_to_vertices_visited() {
+    for g in [grid2d(9, 31), path(200), symmetrize(&knn(400, 4, 11))] {
+        let rec = RecordingObserver::new();
+        let r = bfs_flat_observed(
+            &g,
+            0,
+            None,
+            &DirOptConfig::default(),
+            &CancelToken::new(),
+            &rec,
+        )
+        .unwrap();
+        let visited = r.dist.iter().filter(|&&d| d != UNREACHED).count() as u64;
+        assert_eq!(rec.frontier_sum(), visited);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rounds monotone in diameter for plain BFS.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn flat_bfs_rounds_monotone_in_diameter() {
+    let rounds = |n: usize| {
+        bfs_flat(&path(n), 0, None, &DirOptConfig::default())
+            .stats
+            .rounds
+    };
+    let (r100, r200, r400) = (rounds(100), rounds(200), rounds(400));
+    assert_eq!(r100, 100); // one round per level on a path
+    assert!(r100 < r200 && r200 < r400, "{r100} {r200} {r400}");
+}
+
+// ---------------------------------------------------------------------------
+// VGC rounds ≤ plain rounds across generator families.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn vgc_rounds_never_exceed_flat_on_generator_families() {
+    let cases = [
+        ("path", path(1500)),
+        ("grid", grid2d(10, 120)),
+        ("knn", symmetrize(&knn(2000, 3, 7))),
+    ];
+    for (name, g) in &cases {
+        let flat = bfs_flat(g, 0, None, &DirOptConfig::default());
+        let vgc = bfs_vgc(g, 0, &VgcConfig::default());
+        assert_eq!(flat.dist, vgc.dist, "{name}: distances");
+        assert!(
+            vgc.stats.rounds <= flat.stats.rounds,
+            "{name}: vgc {} > flat {}",
+            vgc.stats.rounds,
+            flat.stats.rounds
+        );
+    }
+}
+
+#[test]
+fn vgc_far_fewer_rounds_than_flat_bfs_on_chain() {
+    let g = path_directed(4000);
+    let flat_rounds = bfs_flat(&g, 0, None, &DirOptConfig::default()).stats.rounds;
+    let vgc_rounds = bfs_vgc(&g, 0, &VgcConfig::with_tau(512)).stats.rounds;
+    assert_eq!(flat_rounds, 4000);
+    assert!(
+        vgc_rounds * 20 < flat_rounds,
+        "VGC rounds {vgc_rounds} not ≪ flat rounds {flat_rounds}"
+    );
+}
+
+#[test]
+fn vgc_fewer_rounds_than_flat_on_narrow_grid() {
+    // wide-and-narrow grid: the case where exact-distance bucketing
+    // degenerated to one round per level
+    let g = grid2d_directed(20, 192, 0.55, 302);
+    let flat = bfs_flat(&g, 0, None, &DirOptConfig::default());
+    let vgc = bfs_vgc(&g, 0, &VgcConfig::default());
+    assert_eq!(flat.dist, vgc.dist);
+    assert!(
+        vgc.stats.rounds < flat.stats.rounds / 2,
+        "vgc {} vs flat {}",
+        vgc.stats.rounds,
+        flat.stats.rounds
+    );
+}
+
+#[test]
+fn scc_vgc_fewer_rounds_than_bfs_on_directed_grid() {
+    let g = grid2d_directed(5, 400, 0.6, 4);
+    let bfs = scc_bfs_based(&g);
+    let vgc = scc_vgc(&g, &VgcConfig::default());
+    assert!(
+        vgc.stats.rounds < bfs.stats.rounds / 4,
+        "vgc {} vs bfs {}",
+        vgc.stats.rounds,
+        bfs.stats.rounds
+    );
+}
+
+#[test]
+fn rho_stepping_fewer_rounds_than_bellman_ford_on_long_path() {
+    let g = with_random_weights(&path(3000), 1, 10);
+    let bf = pasgal_core::sssp::bellman_ford::sssp_bellman_ford(&g, 0);
+    let rs = sssp_rho_stepping(&g, 0, &RhoConfig::default());
+    assert_eq!(bf.dist, rs.dist);
+    assert!(
+        rs.stats.rounds * 20 < bf.stats.rounds,
+        "rho {} vs bf {}",
+        rs.stats.rounds,
+        bf.stats.rounds
+    );
+}
+
+#[test]
+fn kcore_long_cascade_uses_few_rounds_with_big_tau() {
+    // a path is one removal cascade of length n
+    let g = path(3000);
+    let small = kcore_peel(&g, 2);
+    let big = kcore_peel(&g, 4096);
+    assert_eq!(small.coreness, big.coreness);
+    assert!(
+        big.stats.rounds * 10 < small.stats.rounds.max(10),
+        "big-τ rounds {} vs small-τ rounds {}",
+        big.stats.rounds,
+        small.stats.rounds
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Cancelled runs stop within one round of cancel().
+// ---------------------------------------------------------------------------
+
+/// Observer that fires a token after `k` rounds: the driver must then
+/// abort before completing another round, so at most `k + 1` events are
+/// ever recorded (the in-flight round may still finish).
+struct CancellingObserver {
+    inner: RecordingObserver,
+    fire_after: usize,
+    token: CancelToken,
+}
+
+impl RoundObserver for CancellingObserver {
+    fn on_round(&self, event: RoundEvent) {
+        self.inner.on_round(event);
+        if self.inner.len() >= self.fire_after {
+            self.token.cancel();
+        }
+    }
+}
+
+#[test]
+fn cancelled_runs_stop_within_one_round() {
+    let token = CancelToken::new();
+    let obs = CancellingObserver {
+        inner: RecordingObserver::new(),
+        fire_after: 3,
+        token: token.clone(),
+    };
+    let g = path(500); // 500 rounds if left alone
+    let r = bfs_flat_observed(&g, 0, None, &DirOptConfig::default(), &token, &obs);
+    assert_eq!(r.unwrap_err(), Cancelled);
+    assert!(
+        obs.inner.len() <= 4,
+        "ran {} rounds past a cancel fired at round 3",
+        obs.inner.len()
+    );
+
+    let token = CancelToken::new();
+    let obs = CancellingObserver {
+        inner: RecordingObserver::new(),
+        fire_after: 2,
+        token: token.clone(),
+    };
+    let gw = with_random_weights(&path(2000), 1, 10);
+    let cfg = RhoConfig {
+        rho: 4,
+        vgc: VgcConfig::with_tau(4),
+    };
+    let r = sssp_rho_stepping_observed(&gw, 0, &cfg, &token, &obs);
+    assert_eq!(r.unwrap_err(), Cancelled);
+    assert!(
+        obs.inner.len() <= 3,
+        "ran {} rounds past a cancel fired at round 2",
+        obs.inner.len()
+    );
+}
