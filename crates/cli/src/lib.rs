@@ -25,6 +25,9 @@
 //!   --scale tiny|small|full   for `gen` (default small)
 //!   --host H --port N         for `serve` (default 127.0.0.1:7421)
 //!   --workers N --queue N --timeout-ms N --cache N   service tuning
+//!   --max-retries N           retry budget for transient failures
+//!   --breaker-threshold N     failures that open a key's breaker
+//!   --breaker-cooldown-ms N   open-breaker cool-down before probing
 //!   --drain-ms N      how long `serve` waits for in-flight work on
 //!                     SIGINT/SIGTERM before exiting (default 5000)
 //!   --trace-rounds    print one line per synchronization round (frontier
@@ -65,7 +68,58 @@ impl std::error::Error for UsageError {}
 
 /// Options that are bare flags: their presence means "true" and no value
 /// is consumed from the argument stream.
-const FLAG_OPTIONS: &[&str] = &["trace-rounds"];
+const FLAG_OPTIONS: &[&str] = &["trace-rounds", "help"];
+
+/// Every `pasgal serve` tuning flag with its help line. This table is
+/// both the `serve --help` output and the strict allowlist: a serve
+/// option not listed here is a [`UsageError`], never silently ignored.
+pub const SERVE_FLAGS: &[(&str, &str)] = &[
+    ("host H", "bind address (default 127.0.0.1)"),
+    ("port N", "TCP port (default 7421; 0 picks an ephemeral port)"),
+    ("workers N", "worker threads executing traversals (default: cores, capped at 8)"),
+    ("queue N", "bounded admission queue depth; full queue rejects with overloaded (default 64)"),
+    ("timeout-ms N", "per-attempt query timeout in milliseconds (default 30000)"),
+    ("cache N", "result-cache capacity in entries, LRU evicted (default 128)"),
+    ("tau N", "VGC granularity τ for all traversals (default 256)"),
+    ("threads N", "rayon threads inside each traversal (default: all cores)"),
+    ("max-retries N", "retry budget for transient failures: panics, injected faults, overload (default 2; 0 disables retry)"),
+    ("breaker-threshold N", "consecutive flight failures that open a key's circuit breaker (default 5; 0 disables breakers)"),
+    ("breaker-cooldown-ms N", "how long an open breaker waits before admitting a half-open probe (default 1000)"),
+    ("drain-ms N", "shutdown drain deadline for in-flight work on SIGINT/SIGTERM (default 5000)"),
+    ("trace-rounds", "print one line per synchronization round (query commands; accepted by serve for symmetry, no per-round output server-side)"),
+    ("help", "print this flag listing and exit"),
+];
+
+/// Render `pasgal serve --help`.
+pub fn serve_help() -> String {
+    let mut out = String::from(
+        "usage: pasgal serve [graph-files...] [options]\n\n\
+         Start the JSON-lines-over-TCP query service; each positional\n\
+         graph file is registered under its file stem.\n\noptions:\n",
+    );
+    let width = SERVE_FLAGS.iter().map(|(f, _)| f.len()).max().unwrap_or(0);
+    for (flag, what) in SERVE_FLAGS {
+        out.push_str(&format!("  --{flag:<width$}  {what}\n"));
+    }
+    out
+}
+
+/// Strict option validation for `serve`: every `--key` must appear in
+/// [`SERVE_FLAGS`]. A typo like `--breaker-treshold` errors instead of
+/// silently running with defaults.
+pub fn validate_serve_options(cli: &Cli) -> Result<(), UsageError> {
+    for key in cli.options.keys() {
+        let known = SERVE_FLAGS
+            .iter()
+            .any(|(flag, _)| flag.split_whitespace().next() == Some(key.as_str()));
+        if !known {
+            return Err(UsageError(format!(
+                "unknown serve option --{key} (see pasgal serve --help)"
+            )));
+        }
+    }
+    Ok(())
+}
 
 /// Parse raw arguments (excluding `argv[0]`).
 pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
@@ -186,6 +240,7 @@ pub fn start_service(
 > {
     use pasgal_service::{Server, Service, ServiceConfig};
 
+    validate_serve_options(cli).map_err(|e| e.to_string())?;
     threads_option(cli).map_err(|e| e.to_string())?;
     drain_option(cli).map_err(|e| e.to_string())?;
     let defaults = ServiceConfig::default();
@@ -210,12 +265,42 @@ pub fn start_service(
     if queue == 0 {
         return Err("--queue must be at least 1".into());
     }
+    let mut resilience = defaults.resilience.clone();
+    let max_retries = cli
+        .num("max-retries", resilience.max_retries as u64)
+        .map_err(|e| e.to_string())?;
+    if max_retries > 100 {
+        return Err(format!(
+            "--max-retries {max_retries} is not a sane retry budget"
+        ));
+    }
+    resilience.max_retries = max_retries as u32;
+    let threshold = cli
+        .num("breaker-threshold", resilience.breaker_threshold as u64)
+        .map_err(|e| e.to_string())?;
+    if threshold > 1_000_000 {
+        return Err(format!("--breaker-threshold {threshold} is not sane"));
+    }
+    resilience.breaker_threshold = threshold as u32;
+    let cooldown_ms = cli
+        .num(
+            "breaker-cooldown-ms",
+            resilience.breaker_cooldown.as_millis() as u64,
+        )
+        .map_err(|e| e.to_string())?;
+    if cooldown_ms > 600_000 {
+        return Err(format!(
+            "--breaker-cooldown-ms {cooldown_ms} is not a sane cool-down"
+        ));
+    }
+    resilience.breaker_cooldown = std::time::Duration::from_millis(cooldown_ms);
     let config = ServiceConfig {
         workers,
         queue_capacity: queue,
         query_timeout: std::time::Duration::from_millis(timeout_ms),
         cache_capacity: cache.max(1),
         tau: tau.max(1),
+        resilience,
         ..ServiceConfig::default()
     };
     let service = std::sync::Arc::new(Service::new(config));
@@ -286,6 +371,9 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             ));
         }
         "serve" => {
+            if cli.options.contains_key("help") {
+                return Ok(serve_help());
+            }
             let (service, server) = start_service(cli)?;
             let out = serve_banner(&service, &server);
             // `run` is the testable core; main keeps the server alive.
@@ -746,6 +834,80 @@ mod tests {
         assert!(run(&cli(&["serve", "--port", "99999999"])).is_err());
         assert!(run(&cli(&["serve", "--drain-ms", "abc"])).is_err());
         assert!(run(&cli(&["serve", "--drain-ms", "9999999999"])).is_err());
+        assert!(run(&cli(&["serve", "--max-retries", "abc"])).is_err());
+        assert!(run(&cli(&["serve", "--max-retries", "101"])).is_err());
+        assert!(run(&cli(&["serve", "--breaker-threshold", "nope"])).is_err());
+        assert!(run(&cli(&["serve", "--breaker-cooldown-ms", "9999999"])).is_err());
+    }
+
+    #[test]
+    fn serve_rejects_unknown_flags_instead_of_ignoring_them() {
+        // a typo'd tuning flag must not silently run with defaults
+        let err = run(&cli(&["serve", "--breaker-treshold", "3"])).unwrap_err();
+        assert!(err.contains("unknown serve option"), "{err}");
+        assert!(err.contains("breaker-treshold"), "{err}");
+        let err = run(&cli(&["serve", "--cache-size", "9"])).unwrap_err();
+        assert!(err.contains("unknown serve option"), "{err}");
+        // validate_serve_options itself reports UsageError
+        assert!(validate_serve_options(&cli(&["serve", "--frobnicate", "1"])).is_err());
+    }
+
+    #[test]
+    fn serve_help_lists_every_tuning_flag() {
+        let help = run(&cli(&["serve", "--help"])).unwrap();
+        // every allowlisted flag appears in the help text, and the help
+        // text mentions no flag outside the allowlist (no drift)
+        for (flag, _) in SERVE_FLAGS {
+            let name = flag.split_whitespace().next().unwrap();
+            assert!(
+                help.contains(&format!("--{name}")),
+                "missing --{name}:\n{help}"
+            );
+        }
+        for known in ["--drain-ms", "--trace-rounds", "--max-retries"] {
+            assert!(help.contains(known), "missing {known}:\n{help}");
+        }
+        for line in help.lines() {
+            if let Some(rest) = line.trim_start().strip_prefix("--") {
+                let name = rest.split_whitespace().next().unwrap();
+                assert!(
+                    SERVE_FLAGS
+                        .iter()
+                        .any(|(f, _)| f.split_whitespace().next() == Some(name)),
+                    "help drift: --{name} not in SERVE_FLAGS"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serve_accepts_resilience_flags_and_answers_health() {
+        use std::io::{BufRead, BufReader, Write};
+
+        let (_service, mut server) = start_service(&cli(&[
+            "serve",
+            "--port",
+            "0",
+            "--workers",
+            "1",
+            "--max-retries",
+            "0",
+            "--breaker-threshold",
+            "2",
+            "--breaker-cooldown-ms",
+            "50",
+        ]))
+        .unwrap();
+        let stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writer.write_all(b"{\"op\":\"health\"}\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"ready\":true"), "{line}");
+        assert!(line.contains("\"workers\":1"), "{line}");
+        server.shutdown();
     }
 
     #[test]

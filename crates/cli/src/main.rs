@@ -33,6 +33,10 @@ fn install_signal_handlers() {
 
 /// `pasgal serve`: run until SIGINT/SIGTERM, then drain and exit 0.
 fn serve(cli: &pasgal_cli::Cli) -> Result<(), String> {
+    if cli.options.contains_key("help") {
+        println!("{}", pasgal_cli::serve_help());
+        return Ok(());
+    }
     let drain = pasgal_cli::drain_option(cli).map_err(|e| e.to_string())?;
     let (service, mut server) = pasgal_cli::start_service(cli)?;
     println!("{}", pasgal_cli::serve_banner(&service, &server));
@@ -55,7 +59,10 @@ fn main() {
                        --threads N --scale tiny|small|full\n\
              serve:    --host H --port N --workers N --queue N\n\
                        --timeout-ms N --cache N --drain-ms N\n\
-                       (graphs register by stem; SIGINT/SIGTERM drains)\n\
+                       --max-retries N --breaker-threshold N\n\
+                       --breaker-cooldown-ms N\n\
+                       (graphs register by stem; SIGINT/SIGTERM drains;\n\
+                       `pasgal serve --help` details every flag)\n\
              formats:  .adj (PBBS text), .bin (binary CSR), else edge list\n\
              examples: pasgal gen NA road.bin && pasgal bfs road.bin --src 0\n\
                        pasgal serve road.bin --port 7421"

@@ -85,6 +85,54 @@ pub fn connectivity_observed(
     })
 }
 
+/// Sequential connectivity (path-halving union-find) — the reference
+/// baseline, and what the service's degraded mode runs when the parallel
+/// path is misbehaving. Produces the same smallest-member labeling as
+/// [`connectivity`].
+pub fn connectivity_seq(g: &Graph) -> CcResult {
+    let n = g.num_vertices();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut v: u32) -> u32 {
+        while parent[v as usize] != v {
+            parent[v as usize] = parent[parent[v as usize] as usize]; // halve
+            v = parent[v as usize];
+        }
+        v
+    }
+    let mut edges = 0u64;
+    for u in 0..n as u32 {
+        for &v in g.neighbors(u) {
+            edges += 1;
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru != rv {
+                // union by smaller root id keeps labels canonical for free
+                let (lo, hi) = (ru.min(rv), ru.max(rv));
+                parent[hi as usize] = lo;
+            }
+        }
+    }
+    let mut num_components = 0usize;
+    let labels: Vec<u32> = (0..n as u32)
+        .map(|v| {
+            let r = find(&mut parent, v);
+            if r == v {
+                num_components += 1;
+            }
+            r
+        })
+        .collect();
+    CcResult {
+        labels,
+        num_components,
+        stats: AlgoStats {
+            rounds: 1,
+            tasks: 1,
+            edges_traversed: edges,
+            peak_frontier: 1,
+        },
+    }
+}
+
 /// Parallel spanning forest: edges whose `unite` merged two components.
 ///
 /// Returns each tree edge once (as the `(u, v)` orientation that won the
@@ -159,6 +207,23 @@ mod tests {
         assert!(matches!(connectivity_cancel(&g, &t), Err(Cancelled)));
         let ok = connectivity_cancel(&g, &CancelToken::new()).unwrap();
         assert_eq!(ok.num_components, 1);
+    }
+
+    #[test]
+    fn sequential_matches_parallel_labels_exactly() {
+        for g in [
+            grid2d(6, 7),
+            from_edges_symmetric(7, &[(0, 1), (1, 2), (3, 4), (5, 6)]),
+            from_edges(3, &[(0, 1), (2, 1)]),
+            Graph::empty(4, true),
+            clique(9),
+        ] {
+            let seq = connectivity_seq(&g);
+            let par = connectivity(&g);
+            // both name components by smallest member: bit-for-bit equal
+            assert_eq!(seq.labels, par.labels);
+            assert_eq!(seq.num_components, par.num_components);
+        }
     }
 
     #[test]

@@ -7,6 +7,10 @@
 //! answers the whole batch, which is where the service's throughput under
 //! concurrent load comes from.
 //!
+//! A flight terminates in a typed [`FlightOutcome`] — value, overload,
+//! cancellation, or failure — shared with the service so that retry and
+//! circuit-breaker classification is a `match`, not a string comparison.
+//!
 //! Every flight owns a [`CancelToken`] that the executing worker polls.
 //! Waiters are tracked live: when the **last** live waiter gives up
 //! (timeout or its own cancellation) before a result exists, the flight is
@@ -27,6 +31,41 @@ use std::time::{Duration, Instant};
 /// how stale a disconnect/shutdown signal can go unnoticed.
 const POLL_SLICE: Duration = Duration::from_millis(20);
 
+/// Terminal outcome of a flight, published by whoever completes it and
+/// observed by every waiter. Typed (rather than stringly encoded) so the
+/// service's retry and breaker classification cannot drift on a typo.
+#[derive(Debug, Clone)]
+pub enum FlightOutcome {
+    /// The computation finished and produced a shareable value.
+    Value(ComputeValue),
+    /// The leader could not enqueue the job: the admission queue was
+    /// full. Transient — a retry may find room.
+    Overloaded,
+    /// The flight's computation was cancelled (abandonment, client
+    /// disconnect, or service shutdown) before producing a value.
+    Cancelled,
+    /// The computation itself failed (worker panic, injected fault); the
+    /// message is preserved for the error reply. Transient from the
+    /// caller's perspective — a retry starts a fresh flight.
+    Failed(String),
+}
+
+impl FlightOutcome {
+    /// Whether a fresh attempt could plausibly succeed where this one did
+    /// not: overload drains and panics are per-flight, but a cancellation
+    /// means nobody wants the answer any more.
+    pub fn retryable(&self) -> bool {
+        matches!(self, FlightOutcome::Overloaded | FlightOutcome::Failed(_))
+    }
+
+    /// Whether this outcome is evidence that the *key* is poisoned (feeds
+    /// the per-key circuit breaker). Overload is service-wide pressure and
+    /// cancellation is caller-side, so only failures count.
+    pub fn is_failure(&self) -> bool {
+        matches!(self, FlightOutcome::Failed(_))
+    }
+}
+
 /// One in-flight computation that any number of queries may wait on.
 pub struct Flight {
     state: Mutex<FlightState>,
@@ -43,7 +82,7 @@ struct FlightState {
     /// Set when the last live waiter departed without a result; the
     /// flight token is fired at the same moment.
     abandoned: bool,
-    result: Option<Result<ComputeValue, String>>,
+    result: Option<FlightOutcome>,
 }
 
 /// The flight did not complete within the caller's timeout.
@@ -86,7 +125,7 @@ impl Flight {
         &self,
         timeout: Duration,
         caller: &CancelToken,
-    ) -> Result<Result<ComputeValue, String>, WaitAbort> {
+    ) -> Result<FlightOutcome, WaitAbort> {
         let deadline = Instant::now() + timeout;
         let mut st = self.state.lock().expect("flight lock poisoned");
         st.waiting += 1;
@@ -114,7 +153,7 @@ impl Flight {
     }
 
     /// Compatibility wrapper: wait without a caller token.
-    pub fn wait(&self, timeout: Duration) -> Result<Result<ComputeValue, String>, WaitTimeout> {
+    pub fn wait(&self, timeout: Duration) -> Result<FlightOutcome, WaitTimeout> {
         self.wait_cancellable(timeout, &CancelToken::new())
             .map_err(|_| WaitTimeout)
     }
@@ -165,15 +204,15 @@ impl Batcher {
         Join::Leader(flight)
     }
 
-    /// Publish the leader's result, waking every follower. Returns the
-    /// batch size (how many queries shared the computation).
+    /// Publish the flight's terminal outcome, waking every follower.
+    /// Returns the batch size (how many queries shared the computation).
     ///
-    /// Callers must insert the result into the cache *before* calling
-    /// this, so a query that misses the retiring flight finds the cache
-    /// entry instead of recomputing. `on_complete` runs with the batch
-    /// size while the flight is still locked — i.e. strictly before any
-    /// waiter observes the result — so bookkeeping (metrics) is visible
-    /// by the time a query returns.
+    /// Callers must insert a `Value` outcome into the cache *before*
+    /// calling this, so a query that misses the retiring flight finds the
+    /// cache entry instead of recomputing. `on_complete` runs with the
+    /// batch size while the flight is still locked — i.e. strictly before
+    /// any waiter observes the result — so bookkeeping (metrics) is
+    /// visible by the time a query returns.
     ///
     /// The map entry is removed only if it still points at *this* flight:
     /// an abandoned flight may already have been replaced by a fresh one,
@@ -182,7 +221,7 @@ impl Batcher {
         &self,
         key: &ComputeKey,
         flight: &Arc<Flight>,
-        result: Result<ComputeValue, String>,
+        outcome: FlightOutcome,
         on_complete: impl FnOnce(u64),
     ) -> u64 {
         {
@@ -193,7 +232,7 @@ impl Batcher {
         }
         let mut st = flight.state.lock().expect("flight lock poisoned");
         let joiners = st.joiners;
-        st.result = Some(result);
+        st.result = Some(outcome);
         on_complete(joiners);
         drop(st);
         flight.cv.notify_all();
@@ -201,7 +240,7 @@ impl Batcher {
     }
 
     /// Fire every in-flight token (service shutdown): workers observe the
-    /// tokens, abort their traversals, and publish cancellation errors,
+    /// tokens, abort their traversals, and publish cancellation outcomes,
     /// which unblocks every waiter within one poll slice.
     pub fn cancel_all(&self) {
         let map = self.inflight.lock().expect("batcher lock poisoned");
@@ -249,9 +288,9 @@ mod tests {
                     computations.fetch_add(1, Ordering::SeqCst);
                     panic!("only one leader expected");
                 }
-                Join::Follower(f) => match f.wait(Duration::from_secs(5)).unwrap().unwrap() {
-                    ComputeValue::Dists { dist, .. } => dist.len(),
-                    _ => panic!("wrong value kind"),
+                Join::Follower(f) => match f.wait(Duration::from_secs(5)).unwrap() {
+                    FlightOutcome::Value(ComputeValue::Dists { dist, .. }) => dist.len(),
+                    other => panic!("wrong outcome {other:?}"),
                 },
             }));
         }
@@ -259,7 +298,7 @@ mod tests {
         while leader.state.lock().unwrap().joiners < 5 {
             std::thread::yield_now();
         }
-        let batch = b.complete(&key(7), &leader, Ok(value()), |_| {});
+        let batch = b.complete(&key(7), &leader, FlightOutcome::Value(value()), |_| {});
         assert_eq!(batch, 5);
         for h in handles {
             assert_eq!(h.join().unwrap(), 3);
@@ -280,17 +319,33 @@ mod tests {
     }
 
     #[test]
-    fn error_results_propagate() {
+    fn failure_outcomes_propagate() {
         let b = Batcher::new();
         let leader = match b.join(key(2)) {
             Join::Leader(f) => f,
             _ => panic!("first join must lead"),
         };
-        b.complete(&key(2), &leader, Err("boom".into()), |_| {});
-        assert_eq!(
-            leader.wait(Duration::from_secs(1)).unwrap().unwrap_err(),
-            "boom"
+        b.complete(
+            &key(2),
+            &leader,
+            FlightOutcome::Failed("boom".into()),
+            |_| {},
         );
+        match leader.wait(Duration::from_secs(1)).unwrap() {
+            FlightOutcome::Failed(msg) => assert_eq!(msg, "boom"),
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn outcome_classification() {
+        assert!(FlightOutcome::Overloaded.retryable());
+        assert!(FlightOutcome::Failed("x".into()).retryable());
+        assert!(!FlightOutcome::Cancelled.retryable());
+        assert!(!FlightOutcome::Value(value()).retryable());
+        assert!(FlightOutcome::Failed("x".into()).is_failure());
+        assert!(!FlightOutcome::Overloaded.is_failure());
+        assert!(!FlightOutcome::Cancelled.is_failure());
     }
 
     #[test]
@@ -329,8 +384,11 @@ mod tests {
             Err(WaitAbort::Timeout)
         ));
         assert!(!leader.token().is_cancelled());
-        b.complete(&key(9), &leader, Ok(value()), |_| {});
-        assert!(follower.join().unwrap().unwrap().is_ok());
+        b.complete(&key(9), &leader, FlightOutcome::Value(value()), |_| {});
+        assert!(matches!(
+            follower.join().unwrap(),
+            Ok(FlightOutcome::Value(_))
+        ));
     }
 
     /// The last live waiter departing abandons the flight, fires its
@@ -354,9 +412,9 @@ mod tests {
         };
         assert!(!fresh.token().is_cancelled());
         // the old worker retiring must not tear down the fresh flight
-        b.complete(&key(3), &leader, Err("cancelled".into()), |_| {});
+        b.complete(&key(3), &leader, FlightOutcome::Cancelled, |_| {});
         assert_eq!(b.in_flight(), 1);
-        b.complete(&key(3), &fresh, Ok(value()), |_| {});
+        b.complete(&key(3), &fresh, FlightOutcome::Value(value()), |_| {});
         assert_eq!(b.in_flight(), 0);
     }
 

@@ -48,6 +48,31 @@ impl ComputeKey {
     pub fn is_distance(&self) -> bool {
         matches!(self, ComputeKey::HopDists { .. } | ComputeKey::Dists { .. })
     }
+
+    /// The same key re-targeted at a different graph generation. Retries
+    /// use this to follow a re-registered graph instead of computing
+    /// against the stale generation they started with.
+    pub fn with_generation(self, generation: u64) -> Self {
+        match self {
+            ComputeKey::HopDists { src, .. } => ComputeKey::HopDists { generation, src },
+            ComputeKey::Dists { src, .. } => ComputeKey::Dists { generation, src },
+            ComputeKey::SccLabels { .. } => ComputeKey::SccLabels { generation },
+            ComputeKey::CcLabels { .. } => ComputeKey::CcLabels { generation },
+            ComputeKey::Coreness { .. } => ComputeKey::Coreness { generation },
+        }
+    }
+
+    /// Stable human-readable identity, used by the `health` query to name
+    /// breakers: `op@generation[:src]`.
+    pub fn describe(&self) -> String {
+        match *self {
+            ComputeKey::HopDists { generation, src } => format!("bfs@{generation}:{src}"),
+            ComputeKey::Dists { generation, src } => format!("sssp@{generation}:{src}"),
+            ComputeKey::SccLabels { generation } => format!("scc@{generation}"),
+            ComputeKey::CcLabels { generation } => format!("cc@{generation}"),
+            ComputeKey::Coreness { generation } => format!("kcore@{generation}"),
+        }
+    }
 }
 
 /// A shareable computation result. `Arc`-wrapped so cache hits and

@@ -41,6 +41,14 @@ pub struct FaultPlan {
     pub seed: u64,
     /// Panic the computation on every Nth job a worker picks up.
     pub worker_panic_every: u64,
+    /// Burst mode: panic every job whose arrival index falls in
+    /// `[panic_burst_start, panic_burst_start + panic_burst_len)`.
+    /// Seed-independent by design — breaker-trip tests need "the first
+    /// `len` jobs all fail" to hold under any CI seed, which the modular
+    /// `every`-rule cannot promise.
+    pub panic_burst_start: u64,
+    /// Length of the panic burst window (`0` disables burst mode).
+    pub panic_burst_len: u64,
     /// Stall the worker for [`FaultPlan::delay`] on every Nth job.
     pub delay_every: u64,
     /// Additionally stall the first N jobs (deterministic targeting for
@@ -60,11 +68,25 @@ impl Default for FaultPlan {
         Self {
             seed: 0,
             worker_panic_every: 0,
+            panic_burst_start: 0,
+            panic_burst_len: 0,
             delay_every: 0,
             delay_first: 0,
             delay: Duration::from_millis(50),
             cache_miss_every: 0,
             queue_full_every: 0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that panics exactly the jobs with arrival index in
+    /// `[start, start + len)` and nothing else.
+    pub fn worker_panic_burst(start: u64, len: u64) -> Self {
+        Self {
+            panic_burst_start: start,
+            panic_burst_len: len,
+            ..Self::default()
         }
     }
 }
@@ -120,9 +142,30 @@ impl FaultInjector {
         i % every == offset
     }
 
-    /// Should the job a worker just picked up panic?
+    /// Should the job a worker just picked up panic? Combines the
+    /// seed-independent burst window (arrival index in
+    /// `[burst_start, burst_start + burst_len)`) with the periodic rule,
+    /// sharing one arrival counter so the two compose predictably.
     pub fn should_panic_worker(&self) -> bool {
-        self.fire(Point::WorkerPanic, self.plan.worker_panic_every)
+        if !cfg!(feature = "fault-injection") {
+            return false;
+        }
+        let plan = &self.plan;
+        if plan.panic_burst_len == 0 && plan.worker_panic_every == 0 {
+            return false;
+        }
+        let i = self.arrivals[Point::WorkerPanic as usize].fetch_add(1, Ordering::Relaxed);
+        let burst =
+            i >= plan.panic_burst_start && i - plan.panic_burst_start < plan.panic_burst_len;
+        let periodic = plan.worker_panic_every != 0 && {
+            let offset = plan
+                .seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(Point::WorkerPanic as u64 * 0x517c_c1b7_2722_0a95)
+                % plan.worker_panic_every;
+            i % plan.worker_panic_every == offset
+        };
+        burst || periodic
     }
 
     /// Should the job stall (and for how long)? Combines `delay_first`
@@ -201,6 +244,33 @@ mod tests {
         assert_eq!(inj.injected_delay(), Some(Duration::from_millis(7)));
         assert_eq!(inj.injected_delay(), None);
         assert_eq!(inj.injected_delay(), None);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn panic_burst_fires_exactly_the_window() {
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 12345, // seed must not matter for burst firing
+            ..FaultPlan::worker_panic_burst(2, 3)
+        });
+        let fired: Vec<bool> = (0..8).map(|_| inj.should_panic_worker()).collect();
+        assert_eq!(
+            fired,
+            vec![false, false, true, true, true, false, false, false]
+        );
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn burst_and_periodic_share_one_arrival_counter() {
+        let inj = FaultInjector::new(FaultPlan {
+            worker_panic_every: 4,
+            seed: 0, // offset = 0 → fires on arrivals 0, 4, 8, ...
+            ..FaultPlan::worker_panic_burst(1, 2)
+        });
+        let fired: Vec<bool> = (0..6).map(|_| inj.should_panic_worker()).collect();
+        // periodic hits 0 and 4; burst hits 1 and 2
+        assert_eq!(fired, vec![true, true, true, false, true, false]);
     }
 
     #[cfg(not(feature = "fault-injection"))]

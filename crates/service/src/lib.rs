@@ -19,6 +19,9 @@
 //!   traversals.
 //! - **[`metrics`]** — queries served, cache hit rate, batch-size and
 //!   latency histograms, exposed through the `metrics` query.
+//! - **[`resilience`]** — bounded retry with decorrelated-jitter backoff,
+//!   per-key circuit breakers, and the degraded-mode policy that sheds
+//!   poisoned keys onto a sequential fallback lane.
 //! - **[`fault`]** — deterministic fault injection (worker panics,
 //!   stalls, forced cache misses, fake queue-full), compiled out unless
 //!   the `fault-injection` cargo feature is on; drives the chaos tests.
@@ -44,13 +47,16 @@ pub mod fault;
 pub mod json;
 pub mod metrics;
 pub mod query;
+pub mod resilience;
 pub mod server;
 pub mod service;
 
+pub use batcher::FlightOutcome;
 pub use cache::{ComputeKey, ComputeValue};
 pub use catalog::{Catalog, GraphEntry};
 pub use fault::{FaultInjector, FaultPlan};
 pub use metrics::MetricsSnapshot;
-pub use query::{Query, Reply, ServiceError};
+pub use query::{Answer, Query, QueryMode, Reply, ServiceError};
+pub use resilience::ResilienceConfig;
 pub use server::Server;
 pub use service::{Service, ServiceConfig};

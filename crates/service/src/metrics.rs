@@ -32,6 +32,10 @@ pub struct Metrics {
     timeouts: AtomicU64,
     cancelled: AtomicU64,
     errors: AtomicU64,
+    degraded: AtomicU64,
+    retries: AtomicU64,
+    breaker_open_total: AtomicU64,
+    breaker_closed_total: AtomicU64,
     workers_busy: AtomicU64,
     latency_us: [AtomicU64; LATENCY_BUCKETS],
     batch_size: [AtomicU64; BATCH_BUCKETS],
@@ -89,6 +93,28 @@ impl Metrics {
         self.computations_cancelled.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One query answered by the sequential fallback lane (terminal
+    /// bucket, disjoint from `completed`).
+    pub fn degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One retry attempt issued (a query re-entered the batcher after a
+    /// retryable failure).
+    pub fn retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A circuit breaker transitioned to open.
+    pub fn breaker_opened(&self) {
+        self.breaker_open_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A circuit breaker recovered (half-open probe succeeded).
+    pub fn breaker_closed(&self) {
+        self.breaker_closed_total.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A worker picked up a job (gauge up).
     pub fn worker_busy(&self) {
         self.workers_busy.fetch_add(1, Ordering::Relaxed);
@@ -125,6 +151,10 @@ impl Metrics {
             timeouts: load(&self.timeouts),
             cancelled: load(&self.cancelled),
             errors: load(&self.errors),
+            degraded: load(&self.degraded),
+            retries: load(&self.retries),
+            breaker_open_total: load(&self.breaker_open_total),
+            breaker_closed_total: load(&self.breaker_closed_total),
             workers_busy: load(&self.workers_busy),
             latency_us: self.latency_us.iter().map(load).collect(),
             batch_size: self.batch_size.iter().map(load).collect(),
@@ -150,6 +180,16 @@ pub struct MetricsSnapshot {
     /// Queries abandoned because their cancel token fired.
     pub cancelled: u64,
     pub errors: u64,
+    /// Queries answered by the sequential fallback lane (open breaker or
+    /// explicit `"mode":"degraded"`). Disjoint from `completed`.
+    pub degraded: u64,
+    /// Retry attempts issued (not a terminal bucket: a query that retries
+    /// twice then completes counts 2 here and 1 in `completed`).
+    pub retries: u64,
+    /// Circuit-breaker open transitions since startup.
+    pub breaker_open_total: u64,
+    /// Circuit-breaker recoveries (successful half-open probes).
+    pub breaker_closed_total: u64,
     /// Workers currently executing a job (gauge, not a counter).
     pub workers_busy: u64,
     /// Power-of-two latency buckets in microseconds.
@@ -207,8 +247,11 @@ impl MetricsSnapshot {
     }
 
     /// Outcome conservation: every submitted query must land in exactly
-    /// one terminal bucket. The chaos test asserts this after hammering
-    /// the service with faults injected.
+    /// one terminal bucket. The chaos and resilience suites assert this
+    /// after hammering the service with faults injected. `retries` and
+    /// the breaker counters are deliberately absent: retries are
+    /// intermediate attempts, not outcomes, and breaker transitions are
+    /// per-key events, not per-query ones.
     pub fn reconciles(&self) -> bool {
         self.queries
             == self.completed
@@ -216,6 +259,7 @@ impl MetricsSnapshot {
                 + self.cancelled
                 + self.rejected_overload
                 + self.errors
+                + self.degraded
     }
 
     /// Encode as the wire object (histograms as `[lower_bound, count]`
@@ -252,6 +296,13 @@ impl MetricsSnapshot {
             ("timeouts", Json::from(self.timeouts)),
             ("cancelled", Json::from(self.cancelled)),
             ("errors", Json::from(self.errors)),
+            ("degraded", Json::from(self.degraded)),
+            ("retries", Json::from(self.retries)),
+            ("breaker_open_total", Json::from(self.breaker_open_total)),
+            (
+                "breaker_closed_total",
+                Json::from(self.breaker_closed_total),
+            ),
             ("workers_busy", Json::from(self.workers_busy)),
             ("latency_us", hist(&self.latency_us)),
             ("batch_size", hist(&self.batch_size)),
@@ -312,6 +363,21 @@ mod tests {
         assert!(!m.snapshot().reconciles());
         m.error();
         assert!(m.snapshot().reconciles());
+        // degraded is its own terminal bucket; retries/breaker counters
+        // must not perturb reconciliation
+        m.query();
+        m.retry();
+        m.retry();
+        m.breaker_opened();
+        m.breaker_closed();
+        assert!(!m.snapshot().reconciles());
+        m.degraded();
+        let s = m.snapshot();
+        assert!(s.reconciles());
+        assert_eq!(s.degraded, 1);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.breaker_open_total, 1);
+        assert_eq!(s.breaker_closed_total, 1);
     }
 
     #[test]

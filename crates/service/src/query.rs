@@ -40,6 +40,8 @@ pub enum Query {
     Stats { graph: String },
     /// Service metrics snapshot.
     Metrics,
+    /// Service readiness and resilience state (breakers, worker gauge).
+    Health,
 }
 
 impl Query {
@@ -53,7 +55,7 @@ impl Query {
             | Query::CcId { graph, .. }
             | Query::KCore { graph, .. }
             | Query::Stats { graph } => Some(graph),
-            Query::Metrics => None,
+            Query::Metrics | Query::Health => None,
         }
     }
 
@@ -68,7 +70,71 @@ impl Query {
             Query::KCore { .. } => "kcore",
             Query::Stats { .. } => "stats",
             Query::Metrics => "metrics",
+            Query::Health => "health",
         }
+    }
+}
+
+/// How the caller wants the query served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryMode {
+    /// Parallel path: batcher, cache, workers (the default).
+    #[default]
+    Normal,
+    /// Force the sequential fallback lane (the same path an open breaker
+    /// sheds to). The answer is correct but marked `degraded: true` and
+    /// never enters the primary cache.
+    Degraded,
+}
+
+impl QueryMode {
+    /// Decode the optional `"mode"` field of a request object.
+    pub fn from_json(v: &Json) -> Result<QueryMode, ServiceError> {
+        match v.get("mode") {
+            None | Some(Json::Null) => Ok(QueryMode::Normal),
+            Some(Json::Str(s)) if s == "normal" => Ok(QueryMode::Normal),
+            Some(Json::Str(s)) if s == "degraded" => Ok(QueryMode::Degraded),
+            Some(other) => Err(ServiceError::BadRequest(format!(
+                "mode must be \"normal\" or \"degraded\", got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// A [`Reply`] plus how it was produced. `degraded` is part of the wire
+/// contract: callers must be able to tell a sequential-fallback answer
+/// from a primary one (it skipped the cache and the parallel path).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Answer {
+    pub reply: Reply,
+    pub degraded: bool,
+}
+
+impl Answer {
+    pub fn primary(reply: Reply) -> Self {
+        Self {
+            reply,
+            degraded: false,
+        }
+    }
+
+    pub fn degraded(reply: Reply) -> Self {
+        Self {
+            reply,
+            degraded: true,
+        }
+    }
+
+    /// Encode as the wire object: the reply's encoding, plus
+    /// `"degraded":true` when the fallback lane answered.
+    pub fn to_json(&self) -> Json {
+        let mut j = self.reply.to_json();
+        if self.degraded {
+            if let Json::Obj(map) = &mut j {
+                map.insert("degraded".to_string(), Json::Bool(true));
+            }
+        }
+        j
     }
 }
 
@@ -107,6 +173,20 @@ pub enum Reply {
     },
     /// Metrics snapshot.
     Metrics(MetricsSnapshot),
+    /// Service health: readiness plus resilience state.
+    Health {
+        /// `false` once shutdown has begun.
+        ready: bool,
+        /// Configured parallel worker count.
+        workers: usize,
+        /// Workers currently executing a job (includes the fallback lane).
+        workers_busy: u64,
+        /// Graphs currently registered in the catalog.
+        graphs: usize,
+        /// Non-closed breakers as `(key description, state)` pairs,
+        /// sorted by key.
+        breakers: Vec<(String, String)>,
+    },
 }
 
 /// Why a query was not answered.
@@ -223,6 +303,7 @@ impl Query {
                 graph: need_str(v, "graph")?,
             }),
             "metrics" => Ok(Query::Metrics),
+            "health" => Ok(Query::Health),
             other => Err(ServiceError::BadRequest(format!("unknown op {other:?}"))),
         }
     }
@@ -286,6 +367,33 @@ impl Reply {
                 ("max_degree", Json::from(*max_degree)),
             ]),
             Reply::Metrics(snap) => snap.to_json(),
+            Reply::Health {
+                ready,
+                workers,
+                workers_busy,
+                graphs,
+                breakers,
+            } => Json::obj([
+                ok,
+                ("ready", Json::Bool(*ready)),
+                ("workers", Json::from(*workers)),
+                ("workers_busy", Json::from(*workers_busy)),
+                ("graphs", Json::from(*graphs)),
+                (
+                    "breakers",
+                    Json::Arr(
+                        breakers
+                            .iter()
+                            .map(|(key, state)| {
+                                Json::obj([
+                                    ("key", Json::from(key.as_str())),
+                                    ("state", Json::from(state.as_str())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
         }
     }
 }
@@ -333,6 +441,55 @@ mod tests {
             Query::from_json(&parse(r#"{"op":"metrics"}"#).unwrap()).unwrap(),
             Query::Metrics
         );
+        assert_eq!(
+            Query::from_json(&parse(r#"{"op":"health"}"#).unwrap()).unwrap(),
+            Query::Health
+        );
+    }
+
+    #[test]
+    fn mode_field_parses_and_rejects_garbage() {
+        let m = QueryMode::from_json(&parse(r#"{"op":"bfs"}"#).unwrap()).unwrap();
+        assert_eq!(m, QueryMode::Normal);
+        let m = QueryMode::from_json(&parse(r#"{"mode":"normal"}"#).unwrap()).unwrap();
+        assert_eq!(m, QueryMode::Normal);
+        let m = QueryMode::from_json(&parse(r#"{"mode":"degraded"}"#).unwrap()).unwrap();
+        assert_eq!(m, QueryMode::Degraded);
+        for bad in [r#"{"mode":"turbo"}"#, r#"{"mode":3}"#] {
+            let e = QueryMode::from_json(&parse(bad).unwrap()).unwrap_err();
+            assert_eq!(e.kind(), "bad_request", "{bad}");
+        }
+    }
+
+    #[test]
+    fn answer_encoding_marks_degraded_only_when_degraded() {
+        let primary = Answer::primary(Reply::Dist { value: Some(7) });
+        assert_eq!(primary.to_json().get("degraded"), None);
+        let degraded = Answer::degraded(Reply::Dist { value: Some(7) });
+        let j = degraded.to_json();
+        assert_eq!(j.get("degraded").unwrap().as_bool(), Some(true));
+        assert_eq!(j.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(j.get("dist").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn health_reply_encodes_breakers() {
+        let r = Reply::Health {
+            ready: true,
+            workers: 4,
+            workers_busy: 1,
+            graphs: 2,
+            breakers: vec![("bfs@0:3".into(), "open".into())],
+        };
+        let j = r.to_json();
+        assert_eq!(j.get("ready").unwrap().as_bool(), Some(true));
+        assert_eq!(j.get("workers").unwrap().as_u64(), Some(4));
+        let breakers = match j.get("breakers").unwrap() {
+            Json::Arr(a) => a,
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(breakers.len(), 1);
+        assert_eq!(breakers[0].get("state").unwrap().as_str(), Some("open"));
     }
 
     #[test]

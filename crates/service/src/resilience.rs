@@ -1,0 +1,439 @@
+//! The resilience layer: bounded retry with decorrelated-jitter backoff
+//! and per-[`ComputeKey`] circuit breakers.
+//!
+//! PASGAL's own pitch is that the *parallel* traversal is not always the
+//! one you want — the repo ships sequential references precisely because
+//! adversarial inputs exist. The service leans on that: transient
+//! failures (a worker panic, an injected fault, a momentarily full queue)
+//! are **retried** with backoff, and a key that keeps failing has its
+//! breaker **opened** so further queries stop burning parallel workers
+//! and are **degraded** to the sequential baseline instead (see
+//! `service.rs` for the fallback lane).
+//!
+//! # Breaker state machine
+//!
+//! ```text
+//!            K consecutive flight failures
+//!   Closed ──────────────────────────────► Open ──── cooldown elapses
+//!     ▲                                      ▲              │
+//!     │ probe flight succeeds                │ probe fails  ▼
+//!     └───────────────────────────────── HalfOpen (one probe in flight)
+//! ```
+//!
+//! * **Closed** — queries flow normally; each failed flight increments a
+//!   consecutive-failure count, any successful flight resets it.
+//! * **Open** — queries are shed to the degraded lane immediately (no
+//!   queueing, no worker burn) until the cool-down elapses.
+//! * **HalfOpen** — exactly one query is admitted as a *probe*; its
+//!   flight's outcome decides: success closes the breaker, failure
+//!   re-opens it for another cool-down. Every other query keeps
+//!   degrading while the probe is in flight. A probe whose flight is
+//!   cancelled (no evidence either way) releases the latch so the next
+//!   query probes again.
+//!
+//! Failures are recorded **per flight**, not per waiter — a batch of 50
+//! queries riding one panicked flight is one failure, not 50 — so the
+//! threshold K genuinely means "K consecutive broken computations".
+
+use crate::cache::ComputeKey;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Tuning for retry and circuit breaking; part of
+/// [`ServiceConfig`](crate::service::ServiceConfig).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// Additional attempts after the first failed one (`0` = never
+    /// retry). Retries re-enter the batcher, so concurrent queries ride
+    /// the retried flight instead of duplicating work.
+    pub max_retries: u32,
+    /// Lower bound of the decorrelated-jitter backoff between attempts.
+    pub backoff_base: Duration,
+    /// Upper bound the backoff never exceeds.
+    pub backoff_cap: Duration,
+    /// Consecutive flight failures that trip a key's breaker open
+    /// (`0` disables circuit breaking entirely).
+    pub breaker_threshold: u32,
+    /// How long an open breaker sheds load before admitting a half-open
+    /// probe.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(100),
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_secs(1),
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// No retries, no breakers — the pre-resilience service behavior
+    /// (used by tests that pin down exact failure counts).
+    pub fn disabled() -> Self {
+        Self {
+            max_retries: 0,
+            breaker_threshold: 0,
+            ..Self::default()
+        }
+    }
+}
+
+/// Decorrelated-jitter backoff (`sleep = min(cap, uniform(base, prev·3))`),
+/// one instance per retrying query. The jitter decorrelates retry storms:
+/// a batch of queries that failed together does not hammer the queue
+/// again in lockstep.
+#[derive(Debug)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+    rng: u64,
+}
+
+impl Backoff {
+    /// `seed` only decorrelates concurrent retriers; any value is fine.
+    pub fn new(config: &ResilienceConfig, seed: u64) -> Self {
+        Self {
+            base: config.backoff_base.max(Duration::from_micros(1)),
+            cap: config.backoff_cap.max(config.backoff_base),
+            prev: config.backoff_base,
+            rng: seed | 1,
+        }
+    }
+
+    /// The next sleep, in `[base, cap]`, drawn from `[base, prev·3]`.
+    pub fn next_delay(&mut self) -> Duration {
+        // xorshift64* — cheap, no external crates, quality irrelevant here
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let base = self.base.as_micros() as u64;
+        let hi = (self.prev.as_micros() as u64)
+            .saturating_mul(3)
+            .max(base + 1);
+        let pick = base + self.rng.wrapping_mul(0x2545_f491_4f6c_dd1d) % (hi - base);
+        let next = Duration::from_micros(pick).min(self.cap);
+        self.prev = next;
+        next
+    }
+}
+
+/// What the breaker says about admitting a query for its key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Run the computation normally.
+    Proceed,
+    /// Run it as the half-open probe: its flight outcome decides whether
+    /// the breaker closes or re-opens.
+    Probe,
+    /// The breaker is open: shed to the degraded lane, do not queue.
+    Degrade,
+}
+
+/// Printable breaker states (for the `health` query and tests).
+pub const STATE_CLOSED: &str = "closed";
+pub const STATE_OPEN: &str = "open";
+pub const STATE_HALF_OPEN: &str = "half_open";
+
+#[derive(Debug, Clone, Copy)]
+enum BreakerState {
+    Closed { failures: u32 },
+    Open { until: Instant },
+    HalfOpen { probing: bool },
+}
+
+/// All per-key breakers, lazily materialized: a key with no recorded
+/// failures has no entry and reads as closed. Entries are pruned when a
+/// breaker fully closes and when a graph generation is invalidated, so
+/// the map stays proportional to the set of *misbehaving* keys.
+pub struct BreakerRegistry {
+    threshold: u32,
+    cooldown: Duration,
+    states: Mutex<HashMap<ComputeKey, BreakerState>>,
+}
+
+impl BreakerRegistry {
+    pub fn new(config: &ResilienceConfig) -> Self {
+        Self {
+            threshold: config.breaker_threshold,
+            cooldown: config.breaker_cooldown,
+            states: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Whether circuit breaking is active at all.
+    pub fn enabled(&self) -> bool {
+        self.threshold > 0
+    }
+
+    /// Gate one query: closed keys proceed, open keys degrade, and an
+    /// open key whose cool-down elapsed admits exactly one probe.
+    pub fn admit(&self, key: &ComputeKey) -> Admission {
+        if !self.enabled() {
+            return Admission::Proceed;
+        }
+        let mut map = self.states.lock().expect("breaker lock poisoned");
+        match map.get_mut(key) {
+            None | Some(BreakerState::Closed { .. }) => Admission::Proceed,
+            Some(state @ BreakerState::Open { .. }) => {
+                let BreakerState::Open { until } = *state else {
+                    unreachable!()
+                };
+                if Instant::now() >= until {
+                    *state = BreakerState::HalfOpen { probing: true };
+                    Admission::Probe
+                } else {
+                    Admission::Degrade
+                }
+            }
+            Some(BreakerState::HalfOpen { probing }) => {
+                if *probing {
+                    Admission::Degrade
+                } else {
+                    *probing = true;
+                    Admission::Probe
+                }
+            }
+        }
+    }
+
+    /// Record one successful flight for `key`. Returns `true` when this
+    /// closed a previously open/half-open breaker (a recovery).
+    pub fn on_success(&self, key: &ComputeKey) -> bool {
+        if !self.enabled() {
+            return false;
+        }
+        let mut map = self.states.lock().expect("breaker lock poisoned");
+        // fully-closed keys carry no entry at all
+        match map.remove(key) {
+            Some(BreakerState::Open { .. }) | Some(BreakerState::HalfOpen { .. }) => true,
+            Some(BreakerState::Closed { .. }) | None => false,
+        }
+    }
+
+    /// Record one failed flight for `key`. Returns `true` when this
+    /// transitioned the breaker to open (threshold reached, or a failed
+    /// half-open probe).
+    pub fn on_failure(&self, key: &ComputeKey) -> bool {
+        if !self.enabled() {
+            return false;
+        }
+        let mut map = self.states.lock().expect("breaker lock poisoned");
+        let state = map
+            .entry(*key)
+            .or_insert(BreakerState::Closed { failures: 0 });
+        match state {
+            BreakerState::Closed { failures } => {
+                *failures += 1;
+                if *failures >= self.threshold {
+                    *state = BreakerState::Open {
+                        until: Instant::now() + self.cooldown,
+                    };
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen { .. } => {
+                *state = BreakerState::Open {
+                    until: Instant::now() + self.cooldown,
+                };
+                true
+            }
+            // a straggler flight admitted before the trip finished late;
+            // the breaker is already open, don't extend the cool-down
+            BreakerState::Open { .. } => false,
+        }
+    }
+
+    /// A flight ended without evidence either way (cancelled). Releases a
+    /// half-open probe latch so the next query can probe again.
+    pub fn on_inconclusive(&self, key: &ComputeKey) {
+        if !self.enabled() {
+            return;
+        }
+        let mut map = self.states.lock().expect("breaker lock poisoned");
+        if let Some(BreakerState::HalfOpen { probing }) = map.get_mut(key) {
+            *probing = false;
+        }
+    }
+
+    /// Drop breaker state for every key of `generation` (graph
+    /// re-registered or removed: the evidence no longer applies).
+    pub fn invalidate_generation(&self, generation: u64) {
+        let mut map = self.states.lock().expect("breaker lock poisoned");
+        map.retain(|k, _| k.generation() != generation);
+    }
+
+    /// Printable state of every non-closed breaker, for the `health`
+    /// query: `(key description, state)` pairs, sorted for determinism.
+    pub fn snapshot(&self) -> Vec<(String, &'static str)> {
+        let map = self.states.lock().expect("breaker lock poisoned");
+        let mut out: Vec<(String, &'static str)> = map
+            .iter()
+            .filter_map(|(k, s)| {
+                let name = match s {
+                    // closed-but-counting keys are healthy; health only
+                    // surfaces keys that are shedding or probing
+                    BreakerState::Closed { .. } => return None,
+                    BreakerState::Open { .. } => STATE_OPEN,
+                    BreakerState::HalfOpen { .. } => STATE_HALF_OPEN,
+                };
+                Some((k.describe(), name))
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// State of one key (tests): closed keys may have no entry.
+    pub fn state_of(&self, key: &ComputeKey) -> &'static str {
+        let map = self.states.lock().expect("breaker lock poisoned");
+        match map.get(key) {
+            None | Some(BreakerState::Closed { .. }) => STATE_CLOSED,
+            Some(BreakerState::Open { .. }) => STATE_OPEN,
+            Some(BreakerState::HalfOpen { .. }) => STATE_HALF_OPEN,
+        }
+    }
+
+    /// Number of breakers currently open or half-open.
+    pub fn open_count(&self) -> usize {
+        let map = self.states.lock().expect("breaker lock poisoned");
+        map.values()
+            .filter(|s| !matches!(s, BreakerState::Closed { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(src: u32) -> ComputeKey {
+        ComputeKey::HopDists { generation: 0, src }
+    }
+
+    fn registry(threshold: u32, cooldown_ms: u64) -> BreakerRegistry {
+        BreakerRegistry::new(&ResilienceConfig {
+            breaker_threshold: threshold,
+            breaker_cooldown: Duration::from_millis(cooldown_ms),
+            ..ResilienceConfig::default()
+        })
+    }
+
+    #[test]
+    fn trips_after_exactly_threshold_failures() {
+        let r = registry(3, 10_000);
+        assert!(!r.on_failure(&key(1)));
+        assert!(!r.on_failure(&key(1)));
+        assert_eq!(r.state_of(&key(1)), STATE_CLOSED);
+        assert!(r.on_failure(&key(1)), "third failure must trip");
+        assert_eq!(r.state_of(&key(1)), STATE_OPEN);
+        assert_eq!(r.admit(&key(1)), Admission::Degrade);
+        // other keys are unaffected
+        assert_eq!(r.admit(&key(2)), Admission::Proceed);
+        assert_eq!(r.open_count(), 1);
+    }
+
+    #[test]
+    fn success_resets_consecutive_count() {
+        let r = registry(2, 10_000);
+        assert!(!r.on_failure(&key(1)));
+        assert!(
+            !r.on_success(&key(1)),
+            "closing a closed breaker is not a recovery"
+        );
+        assert!(!r.on_failure(&key(1)), "count restarted after success");
+        assert!(r.on_failure(&key(1)));
+    }
+
+    #[test]
+    fn half_open_admits_one_probe_then_closes_on_success() {
+        let r = registry(1, 20);
+        assert!(r.on_failure(&key(1)));
+        assert_eq!(r.admit(&key(1)), Admission::Degrade);
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(r.admit(&key(1)), Admission::Probe);
+        // the probe is in flight: everyone else keeps degrading
+        assert_eq!(r.admit(&key(1)), Admission::Degrade);
+        assert_eq!(r.state_of(&key(1)), STATE_HALF_OPEN);
+        assert!(r.on_success(&key(1)), "probe success is a recovery");
+        assert_eq!(r.admit(&key(1)), Admission::Proceed);
+        assert_eq!(r.open_count(), 0);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let r = registry(1, 10);
+        assert!(r.on_failure(&key(1)));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(r.admit(&key(1)), Admission::Probe);
+        assert!(r.on_failure(&key(1)), "failed probe re-opens");
+        assert_eq!(r.state_of(&key(1)), STATE_OPEN);
+    }
+
+    #[test]
+    fn cancelled_probe_releases_latch() {
+        let r = registry(1, 10);
+        assert!(r.on_failure(&key(1)));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(r.admit(&key(1)), Admission::Probe);
+        r.on_inconclusive(&key(1));
+        assert_eq!(r.admit(&key(1)), Admission::Probe, "latch released");
+    }
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let r = registry(0, 10);
+        for _ in 0..100 {
+            assert!(!r.on_failure(&key(1)));
+        }
+        assert_eq!(r.admit(&key(1)), Admission::Proceed);
+        assert_eq!(r.open_count(), 0);
+    }
+
+    #[test]
+    fn generation_invalidation_drops_state() {
+        let r = registry(1, 10_000);
+        assert!(r.on_failure(&key(1)));
+        assert_eq!(r.state_of(&key(1)), STATE_OPEN);
+        r.invalidate_generation(0);
+        assert_eq!(r.state_of(&key(1)), STATE_CLOSED);
+        assert_eq!(r.admit(&key(1)), Admission::Proceed);
+    }
+
+    #[test]
+    fn snapshot_lists_non_closed_breakers() {
+        let r = registry(1, 10_000);
+        assert!(r.on_failure(&key(3)));
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].1, STATE_OPEN);
+        assert!(snap[0].0.contains("bfs"), "{snap:?}");
+    }
+
+    #[test]
+    fn backoff_stays_within_bounds_and_grows() {
+        let cfg = ResilienceConfig {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(80),
+            ..ResilienceConfig::default()
+        };
+        let mut b = Backoff::new(&cfg, 42);
+        let mut prev_max = Duration::ZERO;
+        for _ in 0..20 {
+            let d = b.next_delay();
+            assert!(d >= cfg.backoff_base, "{d:?}");
+            assert!(d <= cfg.backoff_cap, "{d:?}");
+            prev_max = prev_max.max(d);
+        }
+        // decorrelated jitter explores the range, it doesn't sit at base
+        assert!(prev_max > cfg.backoff_base);
+    }
+}

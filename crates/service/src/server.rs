@@ -28,7 +28,7 @@
 //!   connection threads to flush their final responses and exit.
 
 use crate::json::{self, Json};
-use crate::query::{Query, ServiceError};
+use crate::query::{Query, QueryMode, ServiceError};
 use crate::service::Service;
 use pasgal_core::common::CancelToken;
 use pasgal_graph::io;
@@ -398,14 +398,22 @@ pub fn handle_line_with_token(service: &Service, line: &str, token: &CancelToken
                 .collect();
             Json::obj([("ok", Json::Bool(true)), ("graphs", Json::Arr(graphs))])
         }
-        _ => match Query::from_json(&request) {
-            Ok(q) => match service.query_with_token(&q, token) {
-                Ok(reply) => reply.to_json(),
+        _ => match parse_query_and_mode(&request) {
+            Ok((q, mode)) => match service.query_full(&q, token, mode) {
+                Ok(answer) => answer.to_json(),
                 Err(e) => e.to_json(),
             },
             Err(e) => e.to_json(),
         },
     }
+}
+
+/// Decode a query plus its optional `"mode"` field (`"normal"` default,
+/// `"degraded"` forces the sequential fallback lane).
+fn parse_query_and_mode(request: &Json) -> Result<(Query, QueryMode), ServiceError> {
+    let q = Query::from_json(request)?;
+    let mode = QueryMode::from_json(request)?;
+    Ok((q, mode))
 }
 
 fn handle_register(service: &Service, request: &Json) -> Json {
@@ -466,6 +474,27 @@ mod tests {
         assert_eq!(r.get("dist").unwrap().as_u64(), Some(13));
         let r = handle_line(&svc, r#"{"op":"list"}"#);
         assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn degraded_mode_and_health_over_the_wire() {
+        let svc = service_with_grid();
+        let normal = handle_line(&svc, r#"{"op":"bfs","graph":"g","src":0,"target":53}"#);
+        assert_eq!(normal.get("dist").unwrap().as_u64(), Some(13));
+        assert!(normal.get("degraded").is_none(), "{normal}");
+        let deg = handle_line(
+            &svc,
+            r#"{"op":"bfs","graph":"g","src":0,"target":53,"mode":"degraded"}"#,
+        );
+        assert_eq!(deg.get("dist").unwrap().as_u64(), Some(13));
+        assert_eq!(deg.get("degraded").and_then(Json::as_bool), Some(true));
+        let bad = handle_line(&svc, r#"{"op":"bfs","graph":"g","src":0,"mode":"turbo"}"#);
+        assert_eq!(bad.get("kind").and_then(Json::as_str), Some("bad_request"));
+        let health = handle_line(&svc, r#"{"op":"health"}"#);
+        assert_eq!(health.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(health.get("ready").and_then(Json::as_bool), Some(true));
+        assert!(health.get("workers").is_some(), "{health}");
+        assert!(health.get("breakers").is_some(), "{health}");
     }
 
     #[test]

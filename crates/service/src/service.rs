@@ -1,52 +1,70 @@
-//! The query executor: admission control, worker pool, and dispatch onto
-//! the `pasgal-core` algorithms.
+//! The query executor: admission control, worker pool, resilience, and
+//! dispatch onto the `pasgal-core` algorithms.
 //!
-//! A query's life: check the [`ResultCache`] → on miss, join the
-//! [`Batcher`]'s flight for its [`ComputeKey`] → the flight leader submits
-//! one job to a **bounded** queue (full queue = [`ServiceError::Overloaded`],
-//! never unbounded memory growth) → a worker runs the traversal once,
-//! caches it, and wakes the whole batch → each waiter extracts its answer
-//! from the shared result. Waiters give up after the configured timeout
+//! A query's life: check the [`ResultCache`] → consult the per-key
+//! circuit breaker → on miss, join the [`Batcher`]'s flight for its
+//! [`ComputeKey`] → the flight leader submits one job to a **bounded**
+//! queue (full queue = [`FlightOutcome::Overloaded`], never unbounded
+//! memory growth) → a worker runs the traversal once, caches it, and
+//! wakes the whole batch → each waiter extracts its answer from the
+//! shared result. Waiters give up after the configured timeout
 //! ([`ServiceError::Timeout`]) but the computation keeps running — and
 //! populates the cache — *as long as anyone is still waiting on it*.
 //! When the **last** waiter gives up, the flight's [`CancelToken`] fires,
 //! the worker's traversal aborts within one round, and the worker is free
 //! for the next job instead of finishing an answer nobody wants.
 //!
+//! # Resilience (see `resilience.rs`)
+//!
+//! Retryable outcomes (worker panic, injected fault, transient overload)
+//! are retried up to [`ResilienceConfig::max_retries`] times with
+//! decorrelated-jitter backoff; each retry **re-enters the batcher**, so
+//! concurrent queries ride the retried flight instead of duplicating
+//! work. A key whose flights keep failing trips its circuit breaker and
+//! sheds to the **degraded lane**: a dedicated fallback worker running
+//! the *sequential* core algorithms (`bfs_seq`, Dijkstra, Tarjan,
+//! sequential union-find, Batagelj–Zaveršnik) behind its own
+//! single-flight batcher and bounded queue. Degraded answers are marked
+//! `degraded: true`, are correct (bit-for-bit equal to the parallel
+//! answer — SCC labels are canonicalized on both paths), and never enter
+//! the primary cache. Callers can force the lane with `"mode":"degraded"`.
+//!
 //! Every query carries a token ([`Service::query_with_token`]): the
 //! server cancels it on client disconnect or shutdown, turning the query
 //! into [`ServiceError::Cancelled`] within one poll slice.
 //!
 //! With the `fault-injection` cargo feature, a [`FaultInjector`] can
-//! deterministically panic workers, stall computations, force cache
-//! misses, and fake queue-full rejections — the chaos tests drive all of
-//! these to prove the bookkeeping above never loses a worker or a query.
+//! deterministically panic workers (periodically or in a burst window),
+//! stall computations, force cache misses, and fake queue-full
+//! rejections — the chaos tests drive all of these to prove the
+//! bookkeeping above never loses a worker or a query. The fallback lane
+//! is deliberately exempt from injection: it is the path of last resort.
 
-use crate::batcher::{Batcher, Flight, Join, WaitAbort};
+use crate::batcher::{Batcher, Flight, FlightOutcome, Join, WaitAbort};
 use crate::cache::{ComputeKey, ComputeValue, ResultCache};
 use crate::catalog::{Catalog, GraphEntry};
 use crate::fault::{FaultInjector, FaultPlan};
 use crate::metrics::{Metrics, MetricsSnapshot};
-use crate::query::{Query, Reply, ServiceError};
+use crate::query::{Answer, Query, QueryMode, Reply, ServiceError};
+use crate::resilience::{Admission, Backoff, BreakerRegistry, ResilienceConfig};
+use pasgal_core::bfs::seq::bfs_seq;
 use pasgal_core::bfs::vgc::bfs_vgc_cancel;
-use pasgal_core::cc::connectivity_cancel;
-use pasgal_core::common::{CancelToken, Cancelled, VgcConfig, UNREACHED};
-use pasgal_core::kcore::kcore_peel_cancel;
+use pasgal_core::cc::{connectivity_cancel, connectivity_seq};
+use pasgal_core::common::{canonicalize_labels, CancelToken, Cancelled, VgcConfig, UNREACHED};
+use pasgal_core::kcore::{kcore_peel_cancel, kcore_seq};
 use pasgal_core::scc::fwbw::scc_vgc_cancel;
+use pasgal_core::scc::tarjan::scc_tarjan;
+use pasgal_core::sssp::dijkstra::sssp_dijkstra;
 use pasgal_core::sssp::stepping::{sssp_rho_stepping_cancel, RhoConfig};
 use pasgal_graph::csr::Graph;
 use pasgal_graph::stats::degree_stats;
+use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-
-/// Error string used to propagate queue rejection to batched followers.
-const OVERLOADED: &str = "\u{1}overloaded";
-/// Error string published by a worker whose traversal observed its
-/// flight token and aborted.
-const CANCELLED: &str = "\u{1}cancelled";
 
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
@@ -56,13 +74,17 @@ pub struct ServiceConfig {
     pub workers: usize,
     /// Bounded admission queue depth; a full queue rejects new
     /// computations with `Overloaded` instead of buffering without limit.
+    /// Also bounds the degraded lane's queue.
     pub queue_capacity: usize,
-    /// How long a query waits for its computation before `Timeout`.
+    /// How long a query waits for its computation before `Timeout`
+    /// (per attempt: retries wait anew).
     pub query_timeout: Duration,
     /// Max cached per-source distance arrays (LRU evicted).
     pub cache_capacity: usize,
     /// VGC granularity (`τ`) used for all traversals.
     pub tau: usize,
+    /// Retry and circuit-breaker tuning.
+    pub resilience: ResilienceConfig,
     /// Deterministic fault injection (inert unless the `fault-injection`
     /// cargo feature is enabled AND a period is nonzero).
     pub faults: FaultPlan,
@@ -79,6 +101,7 @@ impl Default for ServiceConfig {
             query_timeout: Duration::from_secs(30),
             cache_capacity: 128,
             tau: 256,
+            resilience: ResilienceConfig::default(),
             faults: FaultPlan::default(),
         }
     }
@@ -94,8 +117,15 @@ struct Inner {
     catalog: Catalog,
     cache: Mutex<ResultCache>,
     batcher: Batcher,
+    /// Single-flight registry of the degraded lane, separate from the
+    /// primary one so a degraded flight never masks (or is masked by) a
+    /// parallel flight for the same key.
+    degraded_batcher: Batcher,
+    breakers: BreakerRegistry,
     metrics: Metrics,
     faults: FaultInjector,
+    /// Cleared when shutdown drain begins; reported by `health`.
+    ready: AtomicBool,
     config: ServiceConfig,
 }
 
@@ -104,6 +134,8 @@ struct Inner {
 pub struct Service {
     inner: Arc<Inner>,
     queue: SyncSender<Job>,
+    /// Bounded queue of the degraded lane's single fallback worker.
+    fallback_queue: SyncSender<Job>,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -113,13 +145,16 @@ impl Service {
             catalog: Catalog::new(),
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
             batcher: Batcher::new(),
+            degraded_batcher: Batcher::new(),
+            breakers: BreakerRegistry::new(&config.resilience),
             metrics: Metrics::new(),
             faults: FaultInjector::new(config.faults.clone()),
+            ready: AtomicBool::new(true),
             config: config.clone(),
         });
         let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
         let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..config.workers.max(1))
+        let mut workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
             .map(|i| {
                 let inner = Arc::clone(&inner);
                 let rx = Arc::clone(&rx);
@@ -129,40 +164,52 @@ impl Service {
                     .expect("spawn worker thread")
             })
             .collect();
+        let (fb_tx, fb_rx) = std::sync::mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
+        {
+            let inner = Arc::clone(&inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name("pasgal-fallback".into())
+                    .spawn(move || fallback_worker_loop(inner, fb_rx))
+                    .expect("spawn fallback worker thread"),
+            );
+        }
         Self {
             inner,
             queue: tx,
+            fallback_queue: fb_tx,
             workers: Mutex::new(workers),
         }
     }
 
     /// Register (or replace) a graph. Replacement mints a new generation
-    /// and drops every cached result of the old one.
+    /// and drops every cached result — and every breaker — of the old one.
     pub fn register(&self, name: &str, graph: Graph) -> Arc<GraphEntry> {
         let old = self.inner.catalog.get(name).map(|e| e.generation);
         let entry = self.inner.catalog.register(name, graph);
         if let Some(generation) = old {
-            self.inner
-                .cache
-                .lock()
-                .expect("cache lock poisoned")
-                .invalidate_generation(generation);
+            self.invalidate(generation);
         }
         entry
     }
 
-    /// Remove a graph and its cached results.
+    /// Remove a graph and its cached results and breaker state.
     pub fn unregister(&self, name: &str) -> bool {
         let old = self.inner.catalog.get(name).map(|e| e.generation);
         let existed = self.inner.catalog.unregister(name);
         if let Some(generation) = old {
-            self.inner
-                .cache
-                .lock()
-                .expect("cache lock poisoned")
-                .invalidate_generation(generation);
+            self.invalidate(generation);
         }
         existed
+    }
+
+    fn invalidate(&self, generation: u64) {
+        self.inner
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .invalidate_generation(generation);
+        self.inner.breakers.invalidate_generation(generation);
     }
 
     pub fn catalog(&self) -> &Catalog {
@@ -173,43 +220,79 @@ impl Service {
         self.inner.metrics.snapshot()
     }
 
-    /// Answer one query (blocking, callable concurrently).
-    pub fn query(&self, q: &Query) -> Result<Reply, ServiceError> {
-        self.query_with_token(q, &CancelToken::new())
+    /// Non-closed breakers as `(key description, state)` pairs (tests,
+    /// diagnostics; the `health` query reports the same).
+    pub fn breaker_states(&self) -> Vec<(String, &'static str)> {
+        self.inner.breakers.snapshot()
     }
 
-    /// Answer one query under a caller-supplied [`CancelToken`] — the
-    /// server ties it to the client connection so a disconnect (or
-    /// shutdown) turns the query into [`ServiceError::Cancelled`] instead
-    /// of leaving it to ride out the full timeout.
+    /// Live primary-cache entries (distance arrays + labelings).
+    pub fn cache_entries(&self) -> usize {
+        self.inner.cache.lock().expect("cache lock poisoned").len()
+    }
+
+    /// Answer one query (blocking, callable concurrently).
+    pub fn query(&self, q: &Query) -> Result<Reply, ServiceError> {
+        self.query_full(q, &CancelToken::new(), QueryMode::Normal)
+            .map(|a| a.reply)
+    }
+
+    /// Answer one query under a caller-supplied [`CancelToken`].
+    pub fn query_with_token(&self, q: &Query, cancel: &CancelToken) -> Result<Reply, ServiceError> {
+        self.query_full(q, cancel, QueryMode::Normal)
+            .map(|a| a.reply)
+    }
+
+    /// Answer one query under a caller-supplied [`CancelToken`] and
+    /// [`QueryMode`] — the server ties the token to the client connection
+    /// so a disconnect (or shutdown) turns the query into
+    /// [`ServiceError::Cancelled`] instead of leaving it to ride out the
+    /// full timeout, and passes `"mode":"degraded"` through as
+    /// [`QueryMode::Degraded`].
     ///
     /// Every submitted query lands in exactly one terminal metrics bucket
-    /// (`completed`/`timeouts`/`cancelled`/`rejected_overload`/`errors`);
+    /// (`completed`/`timeouts`/`cancelled`/`rejected_overload`/`errors`/
+    /// `degraded`);
     /// [`MetricsSnapshot::reconciles`](crate::metrics::MetricsSnapshot::reconciles)
-    /// checks the sum.
-    pub fn query_with_token(&self, q: &Query, cancel: &CancelToken) -> Result<Reply, ServiceError> {
+    /// checks the sum. Overload is counted here — once per query, however
+    /// many attempts it made — not at the rejection site.
+    pub fn query_full(
+        &self,
+        q: &Query,
+        cancel: &CancelToken,
+        mode: QueryMode,
+    ) -> Result<Answer, ServiceError> {
         let start = Instant::now();
         self.inner.metrics.query();
-        let out = self.dispatch(q, cancel);
+        let out = self.dispatch(q, cancel, mode);
         self.inner.metrics.latency(start.elapsed());
         match &out {
+            Ok(a) if a.degraded => self.inner.metrics.degraded(),
             Ok(_) => self.inner.metrics.completed(),
             Err(ServiceError::Timeout) => self.inner.metrics.timeout(),
             Err(ServiceError::Cancelled) => self.inner.metrics.cancelled(),
-            Err(ServiceError::Overloaded) => {} // counted at rejection site
+            Err(ServiceError::Overloaded) => self.inner.metrics.rejected_overload(),
             Err(_) => self.inner.metrics.error(),
         }
         out
     }
 
     /// Fire the token of every in-flight computation (shutdown drain):
-    /// workers abort their traversals and publish cancellation errors,
-    /// unblocking every waiting query within one poll slice.
+    /// workers abort their traversals and publish cancellation outcomes,
+    /// unblocking every waiting query within one poll slice. Also marks
+    /// the service not ready (reported by `health`).
     pub fn cancel_inflight(&self) {
+        self.inner.ready.store(false, Ordering::SeqCst);
         self.inner.batcher.cancel_all();
+        self.inner.degraded_batcher.cancel_all();
     }
 
-    fn dispatch(&self, q: &Query, cancel: &CancelToken) -> Result<Reply, ServiceError> {
+    fn dispatch(
+        &self,
+        q: &Query,
+        cancel: &CancelToken,
+        mode: QueryMode,
+    ) -> Result<Answer, ServiceError> {
         match q {
             Query::Metrics => {
                 // The snapshot excludes the metrics query serving it
@@ -217,13 +300,29 @@ impl Service {
                 // bucket), so at quiescence the reply reconciles.
                 let mut snap = self.inner.metrics.snapshot();
                 snap.queries = snap.queries.saturating_sub(1);
-                Ok(Reply::Metrics(snap))
+                Ok(Answer::primary(Reply::Metrics(snap)))
+            }
+            Query::Health => {
+                let snap = self.inner.metrics.snapshot();
+                Ok(Answer::primary(Reply::Health {
+                    ready: self.inner.ready.load(Ordering::SeqCst),
+                    workers: self.inner.config.workers.max(1),
+                    workers_busy: snap.workers_busy,
+                    graphs: self.inner.catalog.list().len(),
+                    breakers: self
+                        .inner
+                        .breakers
+                        .snapshot()
+                        .into_iter()
+                        .map(|(k, s)| (k, s.to_string()))
+                        .collect(),
+                }))
             }
             Query::Stats { graph } => {
                 let entry = self.lookup(graph)?;
                 let g = &entry.graph;
                 let d = degree_stats(g);
-                Ok(Reply::Stats {
+                Ok(Answer::primary(Reply::Stats {
                     n: g.num_vertices(),
                     m: g.num_edges(),
                     weighted: g.is_weighted(),
@@ -231,7 +330,7 @@ impl Service {
                     min_degree: d.min,
                     avg_degree: d.avg,
                     max_degree: d.max,
-                })
+                }))
             }
             Query::BfsDist { graph, src, target } => {
                 let entry = self.lookup(graph)?;
@@ -243,8 +342,11 @@ impl Service {
                     generation: entry.generation,
                     src: *src,
                 };
-                match self.obtain(key, &entry, cancel)? {
-                    ComputeValue::HopDists { dist, .. } => Ok(hop_reply(&dist, *target)),
+                match self.obtain(key, &entry, cancel, mode)? {
+                    (ComputeValue::HopDists { dist, .. }, degraded) => Ok(Answer {
+                        reply: hop_reply(&dist, *target),
+                        degraded,
+                    }),
                     _ => Err(ServiceError::Internal("wrong result kind".into())),
                 }
             }
@@ -254,15 +356,21 @@ impl Service {
                 if let Some(t) = target {
                     check_vertex(&entry, *t)?;
                 }
-                let dist = self.sssp_dists(&entry, *src, cancel)?;
-                Ok(weight_reply(&dist, *target))
+                let (dist, degraded) = self.sssp_dists(&entry, *src, cancel, mode)?;
+                Ok(Answer {
+                    reply: weight_reply(&dist, *target),
+                    degraded,
+                })
             }
             Query::Ptp { graph, src, dst } => {
                 let entry = self.lookup(graph)?;
                 check_vertex(&entry, *src)?;
                 check_vertex(&entry, *dst)?;
-                let dist = self.sssp_dists(&entry, *src, cancel)?;
-                Ok(weight_reply(&dist, Some(*dst)))
+                let (dist, degraded) = self.sssp_dists(&entry, *src, cancel, mode)?;
+                Ok(Answer {
+                    reply: weight_reply(&dist, Some(*dst)),
+                    degraded,
+                })
             }
             Query::SccId { graph, vertex } => {
                 let entry = self.lookup(graph)?;
@@ -273,6 +381,7 @@ impl Service {
                     },
                     *vertex,
                     cancel,
+                    mode,
                 )
             }
             Query::CcId { graph, vertex } => {
@@ -284,6 +393,7 @@ impl Service {
                     },
                     *vertex,
                     cancel,
+                    mode,
                 )
             }
             Query::KCore { graph, vertex } => {
@@ -294,18 +404,24 @@ impl Service {
                 let key = ComputeKey::Coreness {
                     generation: entry.generation,
                 };
-                match self.obtain(key, &entry, cancel)? {
-                    ComputeValue::Coreness {
-                        coreness,
-                        degeneracy,
-                        ..
-                    } => Ok(match vertex {
-                        Some(v) => Reply::Coreness {
-                            vertex: *v,
-                            coreness: coreness[*v as usize],
+                match self.obtain(key, &entry, cancel, mode)? {
+                    (
+                        ComputeValue::Coreness {
+                            coreness,
                             degeneracy,
+                            ..
                         },
-                        None => Reply::CorenessSummary { degeneracy },
+                        degraded,
+                    ) => Ok(Answer {
+                        reply: match vertex {
+                            Some(v) => Reply::Coreness {
+                                vertex: *v,
+                                coreness: coreness[*v as usize],
+                                degeneracy,
+                            },
+                            None => Reply::CorenessSummary { degeneracy },
+                        },
+                        degraded,
                     }),
                     _ => Err(ServiceError::Internal("wrong result kind".into())),
                 }
@@ -325,13 +441,14 @@ impl Service {
         entry: &Arc<GraphEntry>,
         src: u32,
         cancel: &CancelToken,
-    ) -> Result<Arc<Vec<u64>>, ServiceError> {
+        mode: QueryMode,
+    ) -> Result<(Arc<Vec<u64>>, bool), ServiceError> {
         let key = ComputeKey::Dists {
             generation: entry.generation,
             src,
         };
-        match self.obtain(key, entry, cancel)? {
-            ComputeValue::Dists { dist, .. } => Ok(dist),
+        match self.obtain(key, entry, cancel, mode)? {
+            (ComputeValue::Dists { dist, .. }, degraded) => Ok((dist, degraded)),
             _ => Err(ServiceError::Internal("wrong result kind".into())),
         }
     }
@@ -342,56 +459,124 @@ impl Service {
         key: ComputeKey,
         vertex: Option<u32>,
         cancel: &CancelToken,
-    ) -> Result<Reply, ServiceError> {
+        mode: QueryMode,
+    ) -> Result<Answer, ServiceError> {
         if let Some(v) = vertex {
             check_vertex(entry, v)?;
         }
-        match self.obtain(key, entry, cancel)? {
-            ComputeValue::Labels { labels, count, .. } => Ok(match vertex {
-                Some(v) => Reply::Label {
-                    vertex: v,
-                    label: labels[v as usize],
-                    components: count,
+        match self.obtain(key, entry, cancel, mode)? {
+            (ComputeValue::Labels { labels, count, .. }, degraded) => Ok(Answer {
+                reply: match vertex {
+                    Some(v) => Reply::Label {
+                        vertex: v,
+                        label: labels[v as usize],
+                        components: count,
+                    },
+                    None => Reply::LabelSummary { components: count },
                 },
-                None => Reply::LabelSummary { components: count },
+                degraded,
             }),
             _ => Err(ServiceError::Internal("wrong result kind".into())),
         }
     }
 
-    /// Cache → single-flight → bounded queue → cancellable wait.
+    /// Cache → breaker → single-flight → bounded queue → cancellable
+    /// wait, with bounded retry around the whole chain. Returns the value
+    /// plus whether the degraded lane produced it.
     fn obtain(
         &self,
         key: ComputeKey,
         entry: &Arc<GraphEntry>,
         cancel: &CancelToken,
-    ) -> Result<ComputeValue, ServiceError> {
+        mode: QueryMode,
+    ) -> Result<(ComputeValue, bool), ServiceError> {
         // An already-dead query must not schedule (or join) a flight.
         if cancel.is_cancelled() {
             return Err(ServiceError::Cancelled);
         }
-        if !self.inner.faults.should_force_cache_miss() {
-            if let Some(v) = self
-                .inner
-                .cache
-                .lock()
-                .expect("cache lock poisoned")
-                .get(&key)
-            {
-                self.inner.metrics.cache_hit();
-                self.inner.metrics.rounds(v.rounds());
-                return Ok(v);
+        if mode == QueryMode::Degraded {
+            return self.obtain_degraded(key, entry, cancel).map(|v| (v, true));
+        }
+        let resilience = &self.inner.config.resilience;
+        let mut key = key;
+        let mut entry = Arc::clone(entry);
+        let mut retries_left = resilience.max_retries;
+        let mut backoff = Backoff::new(resilience, seed_for(&key));
+        loop {
+            if cancel.is_cancelled() {
+                return Err(ServiceError::Cancelled);
+            }
+            // Cache before breaker: a hit is a hit even for a poisoned
+            // key, and a successful probe's result serves later queries
+            // from here without consulting the breaker again.
+            if !self.inner.faults.should_force_cache_miss() {
+                if let Some(v) = self
+                    .inner
+                    .cache
+                    .lock()
+                    .expect("cache lock poisoned")
+                    .get(&key)
+                {
+                    self.inner.metrics.cache_hit();
+                    self.inner.metrics.rounds(v.rounds());
+                    return Ok((v, false));
+                }
+            }
+            self.inner.metrics.cache_miss();
+            if self.inner.breakers.admit(&key) == Admission::Degrade {
+                let v = self.obtain_degraded(key, &entry, cancel)?;
+                return Ok((v, true));
+            }
+            // Probe admission needs no special handling here: the probed
+            // flight's outcome drives the breaker from the worker side.
+            match self.attempt(key, &entry, cancel) {
+                Err(WaitAbort::Timeout) => return Err(ServiceError::Timeout),
+                Err(WaitAbort::Cancelled) => return Err(ServiceError::Cancelled),
+                Ok(FlightOutcome::Value(v)) => {
+                    self.inner.metrics.rounds(v.rounds());
+                    return Ok((v, false));
+                }
+                Ok(FlightOutcome::Cancelled) => return Err(ServiceError::Cancelled),
+                Ok(outcome) => {
+                    debug_assert!(outcome.retryable());
+                    if retries_left == 0 {
+                        return Err(match outcome {
+                            FlightOutcome::Overloaded => ServiceError::Overloaded,
+                            FlightOutcome::Failed(msg) => ServiceError::Internal(msg),
+                            _ => unreachable!("non-retryable outcomes returned above"),
+                        });
+                    }
+                    retries_left -= 1;
+                    self.inner.metrics.retry();
+                    if !sleep_cancellable(backoff.next_delay(), cancel) {
+                        return Err(ServiceError::Cancelled);
+                    }
+                    // The graph may have been re-registered during the
+                    // backoff; follow the name to the live generation so
+                    // the retry neither computes against a dropped graph
+                    // nor caches under a stale key.
+                    let fresh = self.lookup(&entry.name)?;
+                    if fresh.generation != key.generation() {
+                        key = key.with_generation(fresh.generation);
+                    }
+                    entry = fresh;
+                }
             }
         }
-        self.inner.metrics.cache_miss();
+    }
+
+    /// One pass through batcher + queue + wait; the typed outcome is what
+    /// retry classification runs on.
+    fn attempt(
+        &self,
+        key: ComputeKey,
+        entry: &Arc<GraphEntry>,
+        cancel: &CancelToken,
+    ) -> Result<FlightOutcome, WaitAbort> {
         let flight = match self.inner.batcher.join(key) {
             Join::Leader(flight) => {
                 if self.inner.faults.should_force_queue_full() {
-                    self.inner.metrics.rejected_overload();
-                    self.inner
-                        .batcher
-                        .complete(&key, &flight, Err(OVERLOADED.into()), |_| {});
-                    return Err(ServiceError::Overloaded);
+                    return Ok(self.reject_leader(&key, &flight, FlightOutcome::Overloaded));
                 }
                 let job = Job {
                     key,
@@ -401,20 +586,70 @@ impl Service {
                 match self.queue.try_send(job) {
                     Ok(()) => flight,
                     Err(TrySendError::Full(job)) => {
-                        self.inner.metrics.rejected_overload();
-                        self.inner.batcher.complete(
+                        return Ok(self.reject_leader(
                             &key,
                             &job.flight,
-                            Err(OVERLOADED.into()),
+                            FlightOutcome::Overloaded,
+                        ));
+                    }
+                    Err(TrySendError::Disconnected(job)) => {
+                        return Ok(self.reject_leader(&key, &job.flight, FlightOutcome::Cancelled));
+                    }
+                }
+            }
+            Join::Follower(flight) => flight,
+        };
+        flight.wait_cancellable(self.inner.config.query_timeout, cancel)
+    }
+
+    /// Tear down a flight whose job never reached a worker. No breaker
+    /// evidence either way — but a half-open probe latch must be released
+    /// or the key would degrade forever.
+    fn reject_leader(
+        &self,
+        key: &ComputeKey,
+        flight: &Arc<Flight>,
+        outcome: FlightOutcome,
+    ) -> FlightOutcome {
+        self.inner.breakers.on_inconclusive(key);
+        self.inner
+            .batcher
+            .complete(key, flight, outcome.clone(), |_| {});
+        outcome
+    }
+
+    /// The degraded lane: sequential algorithm on the fallback worker,
+    /// its own batcher, no primary-cache writes, no retries (it is the
+    /// path of last resort), no fault injection.
+    fn obtain_degraded(
+        &self,
+        key: ComputeKey,
+        entry: &Arc<GraphEntry>,
+        cancel: &CancelToken,
+    ) -> Result<ComputeValue, ServiceError> {
+        let flight = match self.inner.degraded_batcher.join(key) {
+            Join::Leader(flight) => {
+                let job = Job {
+                    key,
+                    entry: Arc::clone(entry),
+                    flight: Arc::clone(&flight),
+                };
+                match self.fallback_queue.try_send(job) {
+                    Ok(()) => flight,
+                    Err(TrySendError::Full(job)) => {
+                        self.inner.degraded_batcher.complete(
+                            &key,
+                            &job.flight,
+                            FlightOutcome::Overloaded,
                             |_| {},
                         );
                         return Err(ServiceError::Overloaded);
                     }
                     Err(TrySendError::Disconnected(job)) => {
-                        self.inner.batcher.complete(
+                        self.inner.degraded_batcher.complete(
                             &key,
                             &job.flight,
-                            Err(CANCELLED.into()),
+                            FlightOutcome::Cancelled,
                             |_| {},
                         );
                         return Err(ServiceError::Cancelled);
@@ -426,16 +661,13 @@ impl Service {
         match flight.wait_cancellable(self.inner.config.query_timeout, cancel) {
             Err(WaitAbort::Timeout) => Err(ServiceError::Timeout),
             Err(WaitAbort::Cancelled) => Err(ServiceError::Cancelled),
-            Ok(Ok(v)) => {
+            Ok(FlightOutcome::Value(v)) => {
                 self.inner.metrics.rounds(v.rounds());
                 Ok(v)
             }
-            Ok(Err(msg)) if msg == OVERLOADED => {
-                self.inner.metrics.rejected_overload();
-                Err(ServiceError::Overloaded)
-            }
-            Ok(Err(msg)) if msg == CANCELLED => Err(ServiceError::Cancelled),
-            Ok(Err(msg)) => Err(ServiceError::Internal(msg)),
+            Ok(FlightOutcome::Overloaded) => Err(ServiceError::Overloaded),
+            Ok(FlightOutcome::Cancelled) => Err(ServiceError::Cancelled),
+            Ok(FlightOutcome::Failed(msg)) => Err(ServiceError::Internal(msg)),
         }
     }
 }
@@ -445,10 +677,13 @@ impl Drop for Service {
         // Abort in-flight traversals so workers notice the closed queue
         // promptly instead of finishing answers nobody will read.
         self.inner.batcher.cancel_all();
-        // Closing the queue ends every worker's recv loop; swap in a
-        // zero-capacity stand-in so `self.queue` can be dropped here.
+        self.inner.degraded_batcher.cancel_all();
+        // Closing the queues ends every worker's recv loop; swap in
+        // zero-capacity stand-ins so the senders can be dropped here.
         let (dead, _) = std::sync::mpsc::sync_channel(1);
         drop(std::mem::replace(&mut self.queue, dead));
+        let (dead, _) = std::sync::mpsc::sync_channel(1);
+        drop(std::mem::replace(&mut self.fallback_queue, dead));
         for h in self
             .workers
             .lock()
@@ -457,6 +692,30 @@ impl Drop for Service {
         {
             let _ = h.join();
         }
+    }
+}
+
+/// Jitter seed for a query's backoff: key-dependent so concurrent
+/// retriers of different keys decorrelate even within one millisecond.
+fn seed_for(key: &ComputeKey) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    std::thread::current().id().hash(&mut h);
+    h.finish()
+}
+
+/// Sleep `delay` in small slices, returning `false` if `cancel` fired.
+fn sleep_cancellable(delay: Duration, cancel: &CancelToken) -> bool {
+    let deadline = Instant::now() + delay;
+    loop {
+        if cancel.is_cancelled() {
+            return false;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return true;
+        }
+        std::thread::sleep((deadline - now).min(Duration::from_millis(5)));
     }
 }
 
@@ -513,6 +772,16 @@ fn weight_reply(dist: &[u64], target: Option<u32>) -> Reply {
     }
 }
 
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "computation panicked".to_string()
+    }
+}
+
 fn worker_loop(inner: Arc<Inner>, rx: Arc<Mutex<Receiver<Job>>>) {
     loop {
         let job = {
@@ -538,41 +807,71 @@ fn worker_loop(inner: Arc<Inner>, rx: Arc<Mutex<Receiver<Job>>>) {
             }
             compute(&inner, &job.key, &job.entry, &token)
         }))
-        .map_err(|payload| {
-            if let Some(s) = payload.downcast_ref::<&str>() {
-                (*s).to_string()
-            } else if let Some(s) = payload.downcast_ref::<String>() {
-                s.clone()
-            } else {
-                "computation panicked".to_string()
-            }
-        });
-        let result: Result<ComputeValue, String> = match result {
-            Ok(Ok(value)) => Ok(value),
+        .map_err(panic_message);
+        let outcome: FlightOutcome = match result {
+            Ok(Ok(value)) => FlightOutcome::Value(value),
             Ok(Err(Cancelled)) => {
                 inner.metrics.computation_cancelled();
-                Err(CANCELLED.to_string())
+                FlightOutcome::Cancelled
             }
-            Err(msg) => Err(msg),
+            Err(msg) => FlightOutcome::Failed(msg),
         };
-        if let Ok(value) = &result {
+        if let FlightOutcome::Value(value) = &outcome {
             inner
                 .cache
                 .lock()
                 .expect("cache lock poisoned")
                 .insert(job.key, value.clone());
         }
-        let was_cancelled = matches!(&result, Err(msg) if msg == CANCELLED);
+        // Breaker evidence is per *flight*, not per waiter: a batch of
+        // 50 queries riding one panicked flight is one failure.
+        match &outcome {
+            FlightOutcome::Value(_) => {
+                if inner.breakers.on_success(&job.key) {
+                    inner.metrics.breaker_closed();
+                }
+            }
+            FlightOutcome::Failed(_) => {
+                if inner.breakers.on_failure(&job.key) {
+                    inner.metrics.breaker_opened();
+                }
+            }
+            FlightOutcome::Cancelled => inner.breakers.on_inconclusive(&job.key),
+            FlightOutcome::Overloaded => {}
+        }
+        let was_cancelled = matches!(outcome, FlightOutcome::Cancelled);
         // Drop the gauge before publishing, so by the time any waiter
         // observes the result the worker already reads as free.
         inner.metrics.worker_idle();
         inner
             .batcher
-            .complete(&job.key, &job.flight, result, |batch| {
+            .complete(&job.key, &job.flight, outcome, |batch| {
                 // a cancelled traversal did not produce a batch answer
                 if !was_cancelled {
                     inner.metrics.computation(batch)
                 }
+            });
+    }
+}
+
+/// The degraded lane's worker: sequential algorithms, no fault injection
+/// (the lane must stay dependable while the parallel path is being
+/// chaos-tested), no breaker bookkeeping, no primary-cache writes.
+fn fallback_worker_loop(inner: Arc<Inner>, rx: Receiver<Job>) {
+    while let Ok(job) = rx.recv() {
+        inner.metrics.worker_busy();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            compute_sequential(&job.key, &job.entry)
+        }));
+        let outcome = match result {
+            Ok(value) => FlightOutcome::Value(value),
+            Err(payload) => FlightOutcome::Failed(panic_message(payload)),
+        };
+        inner.metrics.worker_idle();
+        inner
+            .degraded_batcher
+            .complete(&job.key, &job.flight, outcome, |batch| {
+                inner.metrics.computation(batch)
             });
     }
 }
@@ -605,8 +904,10 @@ fn compute(
         }
         ComputeKey::SccLabels { .. } => {
             let r = scc_vgc_cancel(&entry.graph, &vgc, cancel)?;
+            // canonical (smallest-member) labels, so degraded Tarjan
+            // answers are bit-for-bit equal to parallel FW-BW ones
             ComputeValue::Labels {
-                labels: Arc::new(r.labels),
+                labels: Arc::new(canonicalize_labels(&r.labels)),
                 count: r.num_sccs,
                 rounds: r.stats.rounds,
             }
@@ -629,6 +930,54 @@ fn compute(
             }
         }
     })
+}
+
+/// Sequential counterpart of [`compute`] — the degraded lane's engine.
+/// Answers must match the parallel path bit-for-bit: distances are unique
+/// by definition, CC labels are smallest-member on both sides, and SCC
+/// labels are canonicalized on both sides.
+fn compute_sequential(key: &ComputeKey, entry: &GraphEntry) -> ComputeValue {
+    match *key {
+        ComputeKey::HopDists { src, .. } => {
+            let r = bfs_seq(&entry.graph, src);
+            ComputeValue::HopDists {
+                dist: Arc::new(r.dist),
+                rounds: r.stats.rounds,
+            }
+        }
+        ComputeKey::Dists { src, .. } => {
+            let r = sssp_dijkstra(&entry.graph, src);
+            ComputeValue::Dists {
+                dist: Arc::new(r.dist),
+                rounds: r.stats.rounds,
+            }
+        }
+        ComputeKey::SccLabels { .. } => {
+            let r = scc_tarjan(&entry.graph);
+            ComputeValue::Labels {
+                labels: Arc::new(canonicalize_labels(&r.labels)),
+                count: r.num_sccs,
+                rounds: r.stats.rounds,
+            }
+        }
+        ComputeKey::CcLabels { .. } => {
+            let r = connectivity_seq(&entry.graph);
+            ComputeValue::Labels {
+                labels: Arc::new(r.labels),
+                count: r.num_components,
+                rounds: r.stats.rounds,
+            }
+        }
+        ComputeKey::Coreness { .. } => {
+            let g = entry.undirected();
+            let r = kcore_seq(&g);
+            ComputeValue::Coreness {
+                coreness: Arc::new(r.coreness),
+                degeneracy: r.degeneracy,
+                rounds: r.stats.rounds,
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -777,5 +1126,107 @@ mod tests {
         assert_eq!(m.errors, 1);
         assert!(m.reconciles(), "{m:?}");
         assert_eq!(m.workers_busy, 0, "workers idle between queries");
+    }
+
+    #[test]
+    fn explicit_degraded_mode_skips_primary_cache() {
+        let svc = small_service();
+        svc.register("g", grid2d(5, 5));
+        let q = Query::BfsDist {
+            graph: "g".into(),
+            src: 0,
+            target: Some(24),
+        };
+        let a = svc
+            .query_full(&q, &CancelToken::new(), QueryMode::Degraded)
+            .unwrap();
+        assert!(a.degraded);
+        assert_eq!(a.reply, Reply::Dist { value: Some(8) });
+        assert_eq!(svc.cache_entries(), 0, "degraded results must not cache");
+        let m = svc.metrics();
+        assert_eq!(m.degraded, 1);
+        assert_eq!(m.completed, 0);
+        assert!(m.reconciles(), "{m:?}");
+        // the same query in normal mode computes (no cache poisoning)
+        let b = svc
+            .query_full(&q, &CancelToken::new(), QueryMode::Normal)
+            .unwrap();
+        assert!(!b.degraded);
+        assert_eq!(b.reply, a.reply);
+        assert_eq!(svc.cache_entries(), 1);
+    }
+
+    #[test]
+    fn degraded_answers_match_normal_on_every_algorithm() {
+        let svc = small_service();
+        svc.register("g", grid2d(6, 7));
+        let queries = [
+            Query::BfsDist {
+                graph: "g".into(),
+                src: 3,
+                target: None,
+            },
+            Query::SsspDist {
+                graph: "g".into(),
+                src: 3,
+                target: Some(40),
+            },
+            Query::Ptp {
+                graph: "g".into(),
+                src: 0,
+                dst: 41,
+            },
+            Query::SccId {
+                graph: "g".into(),
+                vertex: Some(11),
+            },
+            Query::CcId {
+                graph: "g".into(),
+                vertex: Some(11),
+            },
+            Query::KCore {
+                graph: "g".into(),
+                vertex: Some(11),
+            },
+        ];
+        for q in &queries {
+            let normal = svc
+                .query_full(q, &CancelToken::new(), QueryMode::Normal)
+                .unwrap();
+            let degraded = svc
+                .query_full(q, &CancelToken::new(), QueryMode::Degraded)
+                .unwrap();
+            assert!(!normal.degraded);
+            assert!(degraded.degraded);
+            assert_eq!(normal.reply, degraded.reply, "{q:?}");
+        }
+        assert!(svc.metrics().reconciles());
+    }
+
+    #[test]
+    fn health_reports_ready_and_breakers() {
+        let svc = small_service();
+        svc.register("g", grid2d(3, 3));
+        match svc.query(&Query::Health).unwrap() {
+            Reply::Health {
+                ready,
+                workers,
+                workers_busy,
+                graphs,
+                breakers,
+            } => {
+                assert!(ready);
+                assert_eq!(workers, 2);
+                assert_eq!(workers_busy, 0);
+                assert_eq!(graphs, 1);
+                assert!(breakers.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        svc.cancel_inflight();
+        match svc.query(&Query::Health).unwrap() {
+            Reply::Health { ready, .. } => assert!(!ready, "drain clears readiness"),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

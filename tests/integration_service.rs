@@ -243,6 +243,120 @@ fn overload_rejects_instead_of_buffering() {
     assert_eq!(m.rejected_overload, rejected);
 }
 
+/// The degraded-mode contract: on a directed graph with several SCCs, a
+/// weighted-ish tail, and unreachable vertices, forcing the sequential
+/// fallback lane must reproduce the parallel reply bit-for-bit for every
+/// algorithm and every vertex — only the `degraded` marker differs.
+#[test]
+fn degraded_answers_bit_for_bit_on_a_directed_graph() {
+    use pasgal_core::common::CancelToken;
+    use pasgal_service::QueryMode;
+
+    let svc = Service::new(test_config());
+    // two 3-cycles bridged one-way, a 2-cycle, and a dangling tail
+    let edges = [
+        (0, 1),
+        (1, 2),
+        (2, 0),
+        (2, 3),
+        (3, 4),
+        (4, 5),
+        (5, 3),
+        (5, 6),
+        (6, 7),
+        (7, 6),
+        (7, 8),
+    ];
+    svc.register("d", pasgal_graph::builder::from_edges(10, &edges));
+
+    let n = 10u32;
+    let mut queries = Vec::new();
+    for v in 0..n {
+        queries.push(Query::SccId {
+            graph: "d".into(),
+            vertex: Some(v),
+        });
+        queries.push(Query::CcId {
+            graph: "d".into(),
+            vertex: Some(v),
+        });
+        queries.push(Query::BfsDist {
+            graph: "d".into(),
+            src: 0,
+            target: Some(v),
+        });
+        queries.push(Query::Ptp {
+            graph: "d".into(),
+            src: 0,
+            dst: v,
+        });
+        queries.push(Query::KCore {
+            graph: "d".into(),
+            vertex: Some(v),
+        });
+    }
+    queries.push(Query::SsspDist {
+        graph: "d".into(),
+        src: 2,
+        target: None,
+    });
+    for q in &queries {
+        let normal = svc
+            .query_full(q, &CancelToken::new(), QueryMode::Normal)
+            .unwrap();
+        let degraded = svc
+            .query_full(q, &CancelToken::new(), QueryMode::Degraded)
+            .unwrap();
+        assert!(!normal.degraded, "{q:?}");
+        assert!(degraded.degraded, "{q:?}");
+        assert_eq!(normal.reply, degraded.reply, "{q:?}");
+    }
+    let m = svc.metrics();
+    assert_eq!(m.degraded as usize, queries.len());
+    assert!(m.reconciles(), "{m:?}");
+}
+
+/// The `health` query end to end: in-process and over the wire, before
+/// and after a shutdown drain.
+#[test]
+fn health_reports_readiness_and_goes_unready_on_drain() {
+    let svc = Arc::new(Service::new(test_config()));
+    svc.register("grid", grid2d(4, 4));
+    match svc.query(&Query::Health).unwrap() {
+        Reply::Health {
+            ready,
+            workers,
+            graphs,
+            breakers,
+            ..
+        } => {
+            assert!(ready);
+            assert_eq!(workers, 2);
+            assert_eq!(graphs, 1);
+            assert!(breakers.is_empty());
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    let mut server = Server::spawn(Arc::clone(&svc), "127.0.0.1:0").unwrap();
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"{\"op\":\"health\"}\n").unwrap();
+    writer.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"ready\":true"), "{line}");
+    assert!(line.contains("\"workers_busy\":0"), "{line}");
+    server.shutdown();
+
+    // drain cleared readiness; queries still answer
+    match svc.query(&Query::Health).unwrap() {
+        Reply::Health { ready, .. } => assert!(!ready),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
 /// Full stack over TCP: spawn the server, register via the wire protocol,
 /// query from several client threads, read metrics back as JSON.
 #[test]
