@@ -1,0 +1,312 @@
+//! Hot-path perf gate: cold vs warm traversal cost on a resident graph.
+//!
+//! Quick-mode benchmark behind the zero-allocation hot path (DESIGN.md
+//! §13): for BFS, SSSP and SCC on three graph classes (mesh grid,
+//! road-like k-NN, power-law R-MAT) it measures
+//!
+//! * **cold** runs — the pre-existing one-shot public API: fresh
+//!   traversal state per invocation, result buffers handed out per call,
+//!   SCC re-deriving its transpose per call (exactly what `scc_vgc` has
+//!   always done);
+//! * **warm** runs — the resident-graph hot path this PR adds: one
+//!   recycled [`TraversalWorkspace`], results read in place, the SCC
+//!   transpose resident next to the graph; measured after two priming
+//!   runs;
+//!
+//! reporting ns/run and allocations/run for each, asserting warm and
+//! cold results are bit-identical, and writing `BENCH_HOTPATH.json` at
+//! the repo root. Graphs are deliberately small: per-invocation overhead
+//! is precisely the cost that dominates small inputs and repeated
+//! queries, which is the regime the workspace exists for (on huge one-off
+//! inputs, traversal work drowns setup and neither path cares). The
+//! whole measured region runs on **one thread** (the allocation counter
+//! is process-global, and scoped worker threads would re-create their
+//! thread-local scratch per call), so the counts are exact and
+//! deterministic.
+//!
+//! Invariants enforced:
+//! * warm runs perform **zero** allocations — always checked, and the
+//!   only check under `--gate` (it is deterministic, so CI can rely on
+//!   it);
+//! * per graph class, total warm ns ≤ 0.8× total cold ns on ≥ 2 of the
+//!   3 classes — checked when generating the report (not under `--gate`:
+//!   timing on shared CI runners is noise).
+
+use pasgal_bench::hotpath::{allocations, counted, CountingAlloc};
+use pasgal_core::bfs::vgc::{bfs_vgc, bfs_vgc_dir_observed_in};
+use pasgal_core::common::{CancelToken, VgcConfig};
+use pasgal_core::engine::NoopObserver;
+use pasgal_core::scc::fwbw::{scc_fwbw_observed_in, scc_vgc};
+use pasgal_core::scc::reach::ReachEngine;
+use pasgal_core::sssp::stepping::{sssp_rho_stepping, sssp_rho_stepping_observed_in, RhoConfig};
+use pasgal_core::workspace::TraversalWorkspace;
+use pasgal_graph::gen::basic::{grid2d, grid2d_directed};
+use pasgal_graph::gen::knn::knn;
+use pasgal_graph::gen::rmat::{rmat_directed, rmat_undirected, RmatParams};
+use pasgal_graph::gen::with_random_weights;
+use pasgal_graph::transform::transpose;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const RUNS: usize = 9;
+const WARMUPS: usize = 2;
+
+struct Entry {
+    algo: &'static str,
+    graph: &'static str,
+    n: usize,
+    m: usize,
+    cold_ns: u64,
+    warm_ns: u64,
+    cold_allocs: u64,
+    warm_allocs: u64,
+}
+
+/// Measure one algorithm on one graph: best-of-`RUNS` ns and allocs for
+/// the cold closure (fresh state inside the counted region) and the warm
+/// closure (recycled state), checking both return the same checksum.
+fn bench(
+    algo: &'static str,
+    graph: &'static str,
+    n: usize,
+    m: usize,
+    mut cold: impl FnMut() -> u64,
+    mut warm: impl FnMut() -> u64,
+) -> Entry {
+    let (mut cold_ns, mut cold_allocs) = (u64::MAX, u64::MAX);
+    let mut cold_sum = 0u64;
+    for i in 0..RUNS {
+        let (a, ns, sum) = counted(&mut cold);
+        cold_ns = cold_ns.min(ns);
+        cold_allocs = cold_allocs.min(a);
+        if i == 0 {
+            cold_sum = sum;
+        } else {
+            assert_eq!(sum, cold_sum, "{algo}/{graph}: cold runs disagree");
+        }
+    }
+
+    for _ in 0..WARMUPS {
+        warm();
+    }
+    let (mut warm_ns, mut warm_allocs) = (u64::MAX, u64::MAX);
+    for _ in 0..RUNS {
+        let (a, ns, sum) = counted(&mut warm);
+        warm_ns = warm_ns.min(ns);
+        warm_allocs = warm_allocs.min(a);
+        assert_eq!(
+            sum, cold_sum,
+            "{algo}/{graph}: warm result differs from cold"
+        );
+    }
+
+    let e = Entry {
+        algo,
+        graph,
+        n,
+        m,
+        cold_ns,
+        warm_ns,
+        cold_allocs,
+        warm_allocs,
+    };
+    println!(
+        "{:>4} {:<5} n={:<6} m={:<7} cold {:>8} ns / {:>4} allocs   warm {:>8} ns / {:>3} allocs   ratio {:.2}",
+        e.algo,
+        e.graph,
+        e.n,
+        e.m,
+        e.cold_ns,
+        e.cold_allocs,
+        e.warm_ns,
+        e.warm_allocs,
+        e.warm_ns as f64 / e.cold_ns as f64
+    );
+    e
+}
+
+const MIX: u64 = 0x9e37_79b9_7f4a_7c15;
+
+fn checksum_u32(vals: impl Iterator<Item = u32>) -> u64 {
+    vals.fold(0u64, |h, v| h.wrapping_mul(MIX).wrapping_add(v as u64))
+}
+
+fn checksum_u64(vals: impl Iterator<Item = u64>) -> u64 {
+    vals.fold(0u64, |h, v| h.wrapping_mul(MIX).wrapping_add(v))
+}
+
+fn main() {
+    let gate = std::env::args().any(|a| a == "--gate");
+
+    // The allocation counter is process-global: confine the measured
+    // region to this thread so traversal allocations are counted exactly.
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build_global()
+        .expect("rayon pool already initialized");
+
+    // Resident state, built outside every counted region: the graphs, the
+    // SCC transposes, the cancel token (constructing one allocates an
+    // Arc) and the warm path's single workspace.
+    let grid_u = grid2d(24, 32);
+    let knn_u = knn(1_000, 6, 7);
+    let rmat_u = rmat_undirected(RmatParams::social(10, 8, 5));
+    let grid_w = with_random_weights(&grid_u, 3, 1 << 10);
+    let knn_w = with_random_weights(&knn_u, 4, 1 << 10);
+    let rmat_w = with_random_weights(&rmat_u, 5, 1 << 10);
+    let grid_d = grid2d_directed(24, 32, 0.3, 9);
+    let rmat_d = rmat_directed(RmatParams::social(10, 8, 11));
+    let grid_dt = transpose(&grid_d);
+    let knn_t = transpose(&knn_u);
+    let rmat_dt = transpose(&rmat_d);
+    let token = CancelToken::new();
+    let vgc = VgcConfig::adaptive();
+    let sssp_cfg = RhoConfig {
+        vgc: VgcConfig {
+            adaptive: true,
+            ..RhoConfig::default().vgc
+        },
+        ..RhoConfig::default()
+    };
+    let scc_engine = ReachEngine::Vgc(vgc);
+    let mut ws = TraversalWorkspace::new();
+
+    let mut entries: Vec<Entry> = Vec::new();
+
+    for (name, g) in [("grid", &grid_u), ("knn", &knn_u), ("rmat", &rmat_u)] {
+        let (n, m) = (g.num_vertices(), g.num_edges());
+        entries.push(bench(
+            "bfs",
+            name,
+            n,
+            m,
+            || checksum_u32(bfs_vgc(g, 0, &vgc).dist.iter().copied()),
+            || {
+                bfs_vgc_dir_observed_in(g, 0, None, &vgc, &token, &NoopObserver, &mut ws)
+                    .expect("token never fires");
+                checksum_u32((0..n).map(|v| ws.hop_dist().get(v)))
+            },
+        ));
+    }
+
+    for (name, g) in [("grid", &grid_w), ("knn", &knn_w), ("rmat", &rmat_w)] {
+        let (n, m) = (g.num_vertices(), g.num_edges());
+        entries.push(bench(
+            "sssp",
+            name,
+            n,
+            m,
+            || checksum_u64(sssp_rho_stepping(g, 0, &sssp_cfg).dist.iter().copied()),
+            || {
+                sssp_rho_stepping_observed_in(g, 0, &sssp_cfg, &token, &NoopObserver, &mut ws)
+                    .expect("token never fires");
+                checksum_u64((0..n).map(|v| ws.weighted_dist().get(v)))
+            },
+        ));
+    }
+
+    for (name, g, gt) in [
+        ("grid", &grid_d, &grid_dt),
+        ("knn", &knn_u, &knn_t),
+        ("rmat", &rmat_d, &rmat_dt),
+    ] {
+        let (n, m) = (g.num_vertices(), g.num_edges());
+        entries.push(bench(
+            "scc",
+            name,
+            n,
+            m,
+            || {
+                let r = scc_vgc(g, &vgc);
+                checksum_u32(r.labels.iter().copied()).wrapping_add(r.num_sccs as u64)
+            },
+            || {
+                scc_fwbw_observed_in(g, gt, scc_engine, &token, &NoopObserver, &mut ws)
+                    .expect("token never fires");
+                checksum_u32((0..n).map(|v| ws.scc_labels().get(v)))
+                    .wrapping_add(ws.scc_num_sccs() as u64)
+            },
+        ));
+    }
+
+    // ---- invariants -------------------------------------------------
+    let leaky: Vec<String> = entries
+        .iter()
+        .filter(|e| e.warm_allocs > 0)
+        .map(|e| format!("{}/{} ({} allocs)", e.algo, e.graph, e.warm_allocs))
+        .collect();
+    // Per graph class: total warm ns across the three algorithms must be
+    // ≤ 0.8× total cold ns, on at least two of the three classes.
+    let mut class_ratios: Vec<(&str, f64)> = Vec::new();
+    for class in ["grid", "knn", "rmat"] {
+        let cold: u64 = entries
+            .iter()
+            .filter(|e| e.graph == class)
+            .map(|e| e.cold_ns)
+            .sum();
+        let warm: u64 = entries
+            .iter()
+            .filter(|e| e.graph == class)
+            .map(|e| e.warm_ns)
+            .sum();
+        class_ratios.push((class, warm as f64 / cold as f64));
+    }
+    let classes_ok = class_ratios.iter().filter(|(_, r)| *r <= 0.8).count();
+    for (class, r) in &class_ratios {
+        println!("class {class}: warm/cold = {r:.2}");
+    }
+
+    write_report(&entries, &class_ratios, leaky.is_empty(), classes_ok);
+    println!("report written to BENCH_HOTPATH.json");
+
+    if !leaky.is_empty() {
+        eprintln!("FAIL: warm runs allocated: {}", leaky.join(", "));
+        std::process::exit(1);
+    }
+    if !gate && classes_ok < 2 {
+        eprintln!("FAIL: warm ≤ 0.8×cold on only {classes_ok}/3 graph classes");
+        std::process::exit(1);
+    }
+    println!(
+        "hot path OK: 0 warm allocations, warm ≤ 0.8×cold on {classes_ok}/3 classes \
+         ({} total allocs this process)",
+        allocations()
+    );
+}
+
+fn write_report(entries: &[Entry], class_ratios: &[(&str, f64)], zero: bool, classes_ok: usize) {
+    use std::fmt::Write as _;
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"bench\": \"hotpath-quick\",\n");
+    j.push_str("  \"threads\": 1,\n");
+    let _ = writeln!(j, "  \"runs_per_point\": {RUNS},");
+    let _ = writeln!(j, "  \"warmups\": {WARMUPS},");
+    j.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"algo\": \"{}\", \"graph\": \"{}\", \"n\": {}, \"m\": {}, \
+             \"cold_ns\": {}, \"warm_ns\": {}, \"cold_allocs\": {}, \"warm_allocs\": {}}}",
+            e.algo, e.graph, e.n, e.m, e.cold_ns, e.warm_ns, e.cold_allocs, e.warm_allocs
+        );
+        j.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"class_warm_over_cold\": {");
+    for (i, (class, r)) in class_ratios.iter().enumerate() {
+        let _ = write!(
+            j,
+            "{}\"{}\": {:.4}",
+            if i > 0 { ", " } else { "" },
+            class,
+            r
+        );
+    }
+    j.push_str("},\n");
+    let _ = writeln!(j, "  \"warm_allocations_zero\": {zero},");
+    let _ = writeln!(j, "  \"classes_meeting_speedup\": {classes_ok}");
+    j.push_str("}\n");
+    std::fs::write("BENCH_HOTPATH.json", j).expect("write BENCH_HOTPATH.json");
+}

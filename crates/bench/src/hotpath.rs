@@ -1,0 +1,86 @@
+//! Allocation accounting for the zero-allocation hot-path gate.
+//!
+//! [`CountingAlloc`] wraps the system allocator and counts every
+//! *acquisition* (alloc, zeroed alloc, realloc) in a process-global
+//! counter; frees are not counted (returning memory is fine on a hot
+//! path, taking it is what the gate forbids). The `hotpath` binary
+//! installs it as `#[global_allocator]` and diffs [`allocations`] around
+//! each traversal, which is exact when the measured region runs
+//! single-threaded — exactly how the perf gate runs, so a warm-run count
+//! of zero really means the traversal never touched the allocator.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static TRACE: AtomicBool = AtomicBool::new(false);
+
+/// While enabled, every counted allocation prints a backtrace to stderr —
+/// the tool for hunting down a nonzero warm-run count. The hook's own
+/// allocations are guarded against recursion (and not counted twice, as
+/// the flag is dropped while printing).
+pub fn set_trace(on: bool) {
+    TRACE.store(on, Ordering::Relaxed);
+}
+
+fn trace_hit(layout: Layout) {
+    // Drop the flag while capturing: backtrace/eprintln allocate.
+    TRACE.store(false, Ordering::Relaxed);
+    eprintln!(
+        "[hotpath] allocation of {} bytes at:\n{}",
+        layout.size(),
+        std::backtrace::Backtrace::force_capture()
+    );
+    TRACE.store(true, Ordering::Relaxed);
+}
+
+/// System allocator wrapper counting every allocation acquisition.
+pub struct CountingAlloc;
+
+// SAFETY: defers every operation to `System`; the counter has no effect
+// on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if TRACE.load(Ordering::Relaxed) {
+            trace_hit(layout);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if TRACE.load(Ordering::Relaxed) {
+            trace_hit(layout);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if TRACE.load(Ordering::Relaxed) {
+            trace_hit(layout);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+/// Total allocation acquisitions since process start (monotone; diff two
+/// readings to count a region).
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Run `f`, returning `(allocations, nanoseconds, result)` for the call.
+/// Exact only while no other thread allocates concurrently.
+pub fn counted<R>(f: impl FnOnce() -> R) -> (u64, u64, R) {
+    let a0 = allocations();
+    let t0 = std::time::Instant::now();
+    let r = f();
+    let ns = t0.elapsed().as_nanos() as u64;
+    (allocations() - a0, ns, r)
+}

@@ -17,12 +17,14 @@
 //! | `ablation_hashbag` | hash bag vs flat-vector frontiers |
 //! | `ablation_sssp` | Δ and (ρ, τ) parameter sweeps |
 //! | `all_experiments` | run everything, emit a combined report |
+//! | `hotpath` | zero-allocation hot-path gate — warm vs cold ns/run and allocs/run, emits `BENCH_HOTPATH.json` (not a paper artifact; see DESIGN.md §13) |
 //!
 //! The library part holds the shared machinery: wall-clock measurement
 //! with warmup, geometric means, fixed-width table rendering, and the
 //! suite/scale selection shared by all binaries.
 
 pub mod experiments;
+pub mod hotpath;
 pub mod report;
 pub mod runner;
 

@@ -120,6 +120,41 @@ macro_rules! atomic_array {
                     data: v.into_iter().map(<$atomic>::new).collect(),
                 }
             }
+
+            /// Move the buffer out as a plain vector — no copy: atomics
+            /// have the same layout and bit validity as their primitive,
+            /// so the allocation is transmuted in place. This is how a
+            /// workspace hands a result (distances, labels) to a caller
+            /// that wants to own it, replacing the old `to_vec()` copy.
+            pub fn into_vec(self) -> Vec<$prim> {
+                let mut data = std::mem::ManuallyDrop::new(self.data);
+                let (ptr, len, cap) = (data.as_mut_ptr(), data.len(), data.capacity());
+                // SAFETY: $atomic and $prim have identical size, alignment
+                // and bit validity; the original Vec is forgotten so the
+                // allocation is owned exactly once.
+                unsafe { Vec::from_raw_parts(ptr as *mut $prim, len, cap) }
+            }
+
+            /// Resize to exactly `n` slots, all set to `init`, keeping the
+            /// existing heap allocation: shrinking truncates without
+            /// freeing; growing allocates only past the high-water mark.
+            /// The pooled-workspace reset: a recycled array re-prepared
+            /// for a graph of any size allocates nothing at steady state.
+            pub fn reset(&mut self, n: usize, init: $prim) {
+                self.data.truncate(n);
+                self.fill(init);
+                if self.data.len() < n {
+                    self.data.resize_with(n, || <$atomic>::new(init));
+                }
+            }
+        }
+
+        impl Default for $name {
+            /// An empty array — the unallocated state a pooled workspace
+            /// starts from (and is left in after a buffer is moved out).
+            fn default() -> Self {
+                Self { data: Vec::new() }
+            }
         }
     };
 }
@@ -194,5 +229,37 @@ mod tests {
         assert!(v.iter().all(|&x| x == 3));
         let b = AtomicU32Array::from_vec(v);
         assert_eq!(b.get(999), 3);
+    }
+
+    #[test]
+    fn into_vec_moves_without_copy() {
+        let a = AtomicU32Array::new(100, 7);
+        a.set(42, 99);
+        let v = a.into_vec();
+        assert_eq!(v.len(), 100);
+        assert_eq!(v[42], 99);
+        assert!(v
+            .iter()
+            .enumerate()
+            .all(|(i, &x)| x == if i == 42 { 99 } else { 7 }));
+        let b = AtomicU64Array::new(10, u64::MAX);
+        assert_eq!(b.into_vec(), vec![u64::MAX; 10]);
+    }
+
+    #[test]
+    fn reset_resizes_and_refills_keeping_capacity() {
+        let mut a = AtomicU32Array::new(1000, 1);
+        a.reset(500, 2);
+        assert_eq!(a.len(), 500);
+        assert!((0..500).all(|i| a.get(i) == 2));
+        a.reset(800, 3);
+        assert_eq!(a.len(), 800);
+        assert!((0..800).all(|i| a.get(i) == 3));
+        // growing past the high-water mark also works
+        a.reset(2000, 4);
+        assert_eq!(a.len(), 2000);
+        assert!((0..2000).all(|i| a.get(i) == 4));
+        let d = AtomicU32Array::default();
+        assert!(d.is_empty());
     }
 }

@@ -1,0 +1,253 @@
+//! Epoch-stamped visited marks: a concurrent "visited set" whose reset is
+//! O(1), not O(n).
+//!
+//! A traversal that owns a plain mark array must clear all `n` slots
+//! before every run — exactly the per-invocation O(n) setup cost the
+//! pooled-workspace design eliminates. [`EpochMarks`] instead stamps each
+//! claimed slot with the current *epoch* (a `u32` drawn from a monotone
+//! allocator): starting a new run just reserves fresh stamps, so every
+//! mark left by an earlier run is stale by construction and never
+//! compares equal to a live stamp. The only O(n) clear happens when the
+//! 32-bit stamp space wraps — once per ~4 billion reservations.
+//!
+//! Two usage modes share the machinery:
+//!
+//! * **single-epoch visited set** — [`EpochMarks::advance`] per run, then
+//!   [`try_claim`](EpochMarks::try_claim) with that one stamp;
+//! * **multi-stamp scoped marks** — [`EpochMarks::begin`] reserves a
+//!   whole range of stamps up front. The FW–BW SCC uses this: partition
+//!   ids double as stamps, each reachability search claims with its
+//!   partition's id, and a run reserving `3n + 4` stamps can never
+//!   collide with a previous run's marks.
+//!
+//! ```
+//! use pasgal_collections::epoch::EpochMarks;
+//!
+//! let mut marks = EpochMarks::new();
+//! let run1 = marks.advance(4);
+//! assert!(marks.try_claim(2, run1));
+//! assert!(!marks.try_claim(2, run1)); // already claimed this run
+//! let run2 = marks.advance(4);        // O(1) "reset"
+//! assert!(marks.try_claim(2, run2));  // stale mark from run1 is invisible
+//! ```
+
+use pasgal_parlay::gran::par_for;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Concurrent stamped mark array (see module docs).
+pub struct EpochMarks {
+    marks: Vec<AtomicU32>,
+    /// Next unissued stamp; stamps `>= next_stamp` have never been
+    /// written to any slot, stamps `< next_stamp` may be stale.
+    next_stamp: u32,
+}
+
+impl Default for EpochMarks {
+    /// Same as [`EpochMarks::new`] (the stamp allocator must start at 1,
+    /// so this cannot be derived).
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EpochMarks {
+    /// The never-issued stamp new slots carry.
+    pub const UNSTAMPED: u32 = 0;
+
+    /// An empty mark array (no allocation until first use).
+    pub fn new() -> Self {
+        Self {
+            marks: Vec::new(),
+            next_stamp: 1,
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// Whether no slots exist yet.
+    pub fn is_empty(&self) -> bool {
+        self.marks.is_empty()
+    }
+
+    /// Grow to at least `n` slots and reserve `count` fresh stamps;
+    /// returns the first reserved stamp. Amortized O(1) plus growth: the
+    /// full O(len) clear runs only when the `u32` stamp space would wrap.
+    pub fn begin(&mut self, n: usize, count: u32) -> u32 {
+        if self.marks.len() < n {
+            self.marks
+                .resize_with(n, || AtomicU32::new(Self::UNSTAMPED));
+        }
+        // Clamp so `1 + count` can never overflow after a wraparound
+        // reset; a saturated reservation just wraps (and clears) every
+        // call — degenerate but correct.
+        let count = count.clamp(1, u32::MAX - 1);
+        if self.next_stamp.checked_add(count).is_none() {
+            // Wraparound: every slot could hold a stamp that a re-issued
+            // id would collide with, so pay the one full clear.
+            let marks = &self.marks;
+            par_for(marks.len(), 4096, |i| {
+                marks[i].store(Self::UNSTAMPED, Ordering::Relaxed);
+            });
+            self.next_stamp = 1;
+        }
+        let first = self.next_stamp;
+        self.next_stamp += count;
+        first
+    }
+
+    /// [`begin`](Self::begin) reserving a single stamp — the plain
+    /// visited-set reset.
+    pub fn advance(&mut self, n: usize) -> u32 {
+        self.begin(n, 1)
+    }
+
+    /// Atomically claim slot `v` for `stamp`: returns `true` iff this
+    /// call changed the slot to `stamp` (stale marks are overwritten).
+    /// `stamp` must come from [`begin`](Self::begin)/[`advance`](Self::advance).
+    #[inline]
+    pub fn try_claim(&self, v: usize, stamp: u32) -> bool {
+        debug_assert_ne!(stamp, Self::UNSTAMPED);
+        let slot = &self.marks[v];
+        loop {
+            let cur = slot.load(Ordering::Relaxed);
+            if cur == stamp {
+                return false;
+            }
+            if slot
+                .compare_exchange_weak(cur, stamp, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return true;
+            }
+        }
+    }
+
+    /// Whether slot `v` currently carries `stamp`.
+    #[inline]
+    pub fn has(&self, v: usize, stamp: u32) -> bool {
+        self.marks[v].load(Ordering::Relaxed) == stamp
+    }
+
+    /// The next stamp [`begin`](Self::begin) would issue.
+    pub fn next_stamp(&self) -> u32 {
+        self.next_stamp
+    }
+
+    /// Force the stamp allocator — exists so tests can park the allocator
+    /// just below `u32::MAX` and exercise the wraparound clear without
+    /// four billion warm-up runs.
+    pub fn set_next_stamp(&mut self, stamp: u32) {
+        self.next_stamp = stamp.max(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_is_per_stamp_exclusive() {
+        let mut m = EpochMarks::new();
+        let s = m.advance(8);
+        assert!(m.try_claim(3, s));
+        assert!(!m.try_claim(3, s));
+        assert!(m.has(3, s));
+        assert!(!m.has(4, s));
+    }
+
+    #[test]
+    fn advance_is_an_o1_reset() {
+        let mut m = EpochMarks::new();
+        let s1 = m.advance(4);
+        for v in 0..4 {
+            assert!(m.try_claim(v, s1));
+        }
+        let s2 = m.advance(4);
+        assert_ne!(s1, s2);
+        // all marks from s1 are stale: claimable again under s2
+        for v in 0..4 {
+            assert!(!m.has(v, s2));
+            assert!(m.try_claim(v, s2));
+        }
+    }
+
+    #[test]
+    fn begin_reserves_disjoint_stamp_ranges() {
+        let mut m = EpochMarks::new();
+        let a = m.begin(2, 10);
+        let b = m.begin(2, 5);
+        assert_eq!(b, a + 10);
+        // distinct stamps in one reservation are independent claims
+        assert!(m.try_claim(0, a));
+        assert!(m.try_claim(0, a + 1)); // overwrites — scoped-mark semantics
+        assert!(m.has(0, a + 1));
+        assert!(!m.has(0, a));
+    }
+
+    #[test]
+    fn grows_without_losing_marks() {
+        let mut m = EpochMarks::new();
+        let s = m.advance(2);
+        assert!(m.try_claim(1, s));
+        let s2 = m.begin(10, 1); // grow mid-life
+        assert_eq!(m.len(), 10);
+        assert!(!m.has(9, s2));
+        assert!(m.try_claim(9, s2));
+    }
+
+    #[test]
+    fn wraparound_clears_and_stays_correct() {
+        let mut m = EpochMarks::new();
+        let s = m.advance(4);
+        assert!(m.try_claim(0, s));
+        // park the allocator so the next reservation must wrap
+        m.set_next_stamp(u32::MAX - 1);
+        let s2 = m.begin(4, 10);
+        assert_eq!(s2, 1, "wrap resets the allocator to 1");
+        // all old marks were cleared: nothing is stamped
+        for v in 0..4 {
+            assert!(!m.has(v, s2));
+            assert!(m.try_claim(v, s2));
+        }
+        // and a pre-wrap stamp equal to a post-wrap one cannot linger:
+        // slot 0's old mark was cleared, only the fresh claim remains
+        assert!(m.has(0, s2));
+    }
+
+    #[test]
+    fn wraparound_boundary_without_headroom() {
+        let mut m = EpochMarks::new();
+        m.set_next_stamp(u32::MAX - 2);
+        let a = m.begin(1, 2); // fits exactly: MAX-2 + 2 = MAX, no wrap
+        assert_eq!(a, u32::MAX - 2);
+        let b = m.begin(1, 1); // next_stamp = MAX, +1 overflows -> wrap
+        assert_eq!(b, 1);
+    }
+
+    #[test]
+    fn saturated_count_wraps_every_call_but_stays_correct() {
+        let mut m = EpochMarks::new();
+        let a = m.begin(2, u32::MAX);
+        assert!(m.try_claim(0, a));
+        let b = m.begin(2, u32::MAX); // wraps again, clearing all marks
+        assert_eq!(b, 1);
+        assert!(!m.has(0, b));
+        assert!(m.try_claim(0, b));
+    }
+
+    #[test]
+    fn concurrent_claims_grant_exactly_one_winner() {
+        let mut m = EpochMarks::new();
+        let s = m.advance(1);
+        let wins = std::sync::atomic::AtomicUsize::new(0);
+        par_for(1000, 8, |_| {
+            if m.try_claim(0, s) {
+                wins.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(wins.load(Ordering::Relaxed), 1);
+    }
+}

@@ -43,7 +43,7 @@
 //! ```
 
 use pasgal_parlay::hash::hash64;
-use pasgal_parlay::pack::filter_map_index;
+use pasgal_parlay::pack::filter_map_index_into;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -211,19 +211,44 @@ macro_rules! define_hash_bag {
                         continue;
                     }
                     let chunk = self.chunk(c);
-                    // Pure read pass (filter_map_index evaluates its closure
-                    // twice per index), then a separate parallel clear pass.
-                    let part = filter_map_index(chunk.len(), |i| {
-                        let v = chunk[i].load(Ordering::Relaxed);
-                        (v != Self::EMPTY).then_some(v)
-                    });
+                    // Pure read pass packing live slots straight into `out`
+                    // (filter_map_index_into evaluates its closure twice per
+                    // index), then a separate parallel clear pass.
+                    filter_map_index_into(
+                        chunk.len(),
+                        |i| {
+                            let v = chunk[i].load(Ordering::Relaxed);
+                            (v != Self::EMPTY).then_some(v)
+                        },
+                        out,
+                    );
                     pasgal_parlay::gran::par_for(chunk.len(), 4096, |i| {
                         chunk[i].store(Self::EMPTY, Ordering::Relaxed);
                     });
-                    out.extend_from_slice(&part);
                     self.counts[c].store(0, Ordering::Relaxed);
                 }
                 self.active.store(0, Ordering::Relaxed);
+            }
+
+            /// Grow the chunk table so the bag can absorb at least
+            /// `capacity` insertions without saturating. Grow-only and
+            /// cheap: only the `OnceLock` metadata is extended (a few
+            /// entries — chunk memory itself stays lazy), and a bag already
+            /// big enough is untouched. This is how a pooled workspace
+            /// re-sizes a recycled bag for a new resident graph without
+            /// rebuilding it.
+            pub fn reserve(&mut self, capacity: usize) {
+                let mut total = 0usize;
+                let mut nchunks = 0usize;
+                while total * LOAD_NUM / LOAD_DEN < capacity.max(1) {
+                    total += self.chunk0 << nchunks;
+                    nchunks += 1;
+                }
+                nchunks += 2;
+                while self.chunks.len() < nchunks {
+                    self.chunks.push(OnceLock::new());
+                    self.counts.push(AtomicUsize::new(0));
+                }
             }
 
             /// Number of chunks whose backing memory has been allocated.
@@ -252,6 +277,14 @@ macro_rules! define_hash_bag {
                     self.counts[c].store(0, Ordering::Relaxed);
                 }
                 self.active.store(0, Ordering::Relaxed);
+            }
+        }
+
+        impl Default for $name {
+            /// A minimal bag (capacity grows via [`Self::reserve`]); the
+            /// unallocated state a pooled workspace starts from.
+            fn default() -> Self {
+                Self::new(0)
             }
         }
     };
@@ -435,6 +468,34 @@ mod tests {
         bag.clear();
         assert_eq!(bag.allocated_chunks(), filled);
         assert!(bag.is_empty());
+    }
+
+    #[test]
+    fn reserve_grows_a_small_bag() {
+        let mut bag = HashBag::new(16);
+        let before = bag.chunks.len();
+        bag.reserve(500_000);
+        assert!(bag.chunks.len() > before);
+        assert_eq!(bag.counts.len(), bag.chunks.len());
+        // and the grown bag absorbs the reserved volume
+        par_for(500_000, 512, |i| bag.insert(i as u32));
+        assert_eq!(bag.len(), 500_000);
+        // reserve is grow-only: asking for less changes nothing
+        let grown = bag.chunks.len();
+        bag.reserve(10);
+        assert_eq!(bag.chunks.len(), grown);
+    }
+
+    #[test]
+    fn reserve_preserves_contents() {
+        let mut bag = HashBag::new(8);
+        for x in 0..5u32 {
+            bag.insert(x);
+        }
+        bag.reserve(100_000);
+        let mut got = bag.extract_and_clear();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

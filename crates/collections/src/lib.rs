@@ -15,9 +15,13 @@
 //! * [`union_find::ConcurrentUnionFind`] — lock-free union-find with
 //!   CAS hooking + path splitting, used by connectivity, spanning forest,
 //!   FAST-BCC and Tarjan-Vishkin.
+//! * [`epoch::EpochMarks`] — epoch-stamped visited marks whose per-run
+//!   reset is O(1): pooled traversal workspaces use them so repeated runs
+//!   on a resident graph skip the O(n) clear entirely.
 
 pub mod atomic_array;
 pub mod bitvec;
+pub mod epoch;
 pub mod hashbag;
 pub mod u64set;
 pub mod union_find;

@@ -29,6 +29,13 @@ pub struct ConcurrentUnionFind {
     parent: Vec<AtomicU32>,
 }
 
+impl Default for ConcurrentUnionFind {
+    /// An empty structure; grow with [`Self::reset`].
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
 impl ConcurrentUnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
@@ -97,6 +104,25 @@ impl ConcurrentUnionFind {
                 return true;
             }
             // raced: someone re-parented `hi`; retry from the new roots
+        }
+    }
+
+    /// Reset to `n` singleton sets, keeping the heap allocation where
+    /// possible: shrinking truncates, re-init is a parallel store, and
+    /// only growth past the high-water mark allocates. The pooled
+    /// workspace recycles one union-find across connectivity runs.
+    pub fn reset(&mut self, n: usize) {
+        debug_assert!(n <= u32::MAX as usize);
+        self.parent.truncate(n);
+        let live = self.parent.len();
+        {
+            let parent = &self.parent;
+            par_for(live, 4096, |i| {
+                parent[i].store(i as u32, Ordering::Relaxed);
+            });
+        }
+        for i in live..n {
+            self.parent.push(AtomicU32::new(i as u32));
         }
     }
 
@@ -230,6 +256,23 @@ mod tests {
         // concurrent version may pick different reps mid-run, but labels()
         // canonicalizes to min-id, and the oracle's union rule does too.
         assert_eq!(uf.labels(), want);
+    }
+
+    #[test]
+    fn reset_restores_singletons_at_any_size() {
+        let mut uf = ConcurrentUnionFind::new(100);
+        uf.unite(0, 99);
+        uf.unite(5, 50);
+        uf.reset(100);
+        assert_eq!(uf.count_sets(), 100);
+        assert!(!uf.same(0, 99));
+        uf.reset(40); // shrink
+        assert_eq!(uf.len(), 40);
+        assert_eq!(uf.count_sets(), 40);
+        uf.reset(200); // grow past high-water mark
+        assert_eq!(uf.len(), 200);
+        assert_eq!(uf.count_sets(), 200);
+        assert_eq!(uf.find(199), 199);
     }
 
     #[test]

@@ -31,19 +31,27 @@
 //! When the pending set is a large fraction of the graph and in-neighbors
 //! are available, a round switches to a dense bottom-up step (Beamer
 //! direction optimization), exactly like the paper.
+//!
+//! The hot path is **allocation-free at steady state**: all transient
+//! state (the distance array, the 32 bags, the drain/window/seed scratch)
+//! lives in a [`TraversalWorkspace`] recycled across runs via the `*_in`
+//! entry point; round entries are packed `(dist << 32) | v` words packed
+//! into recycled vectors, and a dense round feeds discovered vertices
+//! straight into bag 0 (each has a unique `write_min` winner) instead of
+//! materializing a bit-vector plus a pack pass.
 
-use crate::common::{BfsResult, CancelToken, Cancelled, VgcConfig, UNREACHED};
+use crate::common::{AlgoStats, BfsResult, CancelToken, Cancelled, VgcConfig, UNREACHED};
 use crate::engine::{NoopObserver, RoundDriver, RoundObserver};
-use crate::vgc::local_search_fifo_multi;
+use crate::vgc::{frontier_chunk_len, local_search_fifo_multi, TauController};
+use crate::workspace::TraversalWorkspace;
 use pasgal_collections::atomic_array::AtomicU32Array;
-use pasgal_collections::bitvec::AtomicBitVec;
 use pasgal_collections::hashbag::HashBag;
 use pasgal_graph::csr::Graph;
 use pasgal_graph::VertexId;
 use pasgal_parlay::counters::Counters;
-use pasgal_parlay::gran::par_for;
-use pasgal_parlay::pack::filter_map_index;
-use rayon::prelude::*;
+use pasgal_parlay::gran::{par_blocks, par_for, par_slices};
+use pasgal_parlay::pack::{filter_map_index_into, par_map_into};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of geometric frontier bags: bag `i` covers offsets
 /// `[2^i, 2^{i+1})` from the wavefront; the last bag catches everything
@@ -59,6 +67,16 @@ fn bucket_of(offset: u32) -> usize {
     // floor(log2(max(offset, 1))), clamped to the last bag
     let off = offset.max(1);
     ((31 - off.leading_zeros()) as usize).min(NUM_BAGS - 1)
+}
+
+#[inline]
+fn pack(v: VertexId, d: u32) -> u64 {
+    ((d as u64) << 32) | v as u64
+}
+
+#[inline]
+fn unpack(e: u64) -> (VertexId, u32) {
+    (e as u32, (e >> 32) as u32)
 }
 
 /// PASGAL BFS from `src` (sparse VGC rounds only; direction optimization
@@ -113,68 +131,96 @@ pub fn bfs_vgc_dir_observed(
     cancel: &CancelToken,
     observer: &dyn RoundObserver,
 ) -> Result<BfsResult, Cancelled> {
+    let mut ws = TraversalWorkspace::new();
+    let stats = bfs_vgc_dir_observed_in(g, src, incoming, cfg, cancel, observer, &mut ws)?;
+    Ok(BfsResult {
+        dist: ws.take_hop_dist(),
+        stats,
+    })
+}
+
+/// [`bfs_vgc_dir_observed`] running entirely inside a recycled
+/// [`TraversalWorkspace`]: the hop-distance result is left in the
+/// workspace (read it with [`TraversalWorkspace::hop_dist`] or move it
+/// out with [`TraversalWorkspace::take_hop_dist`]) and a warm run
+/// performs no heap allocation. All workspace state is re-prepared at
+/// entry, so a workspace abandoned by a cancelled or panicked run is
+/// safe to reuse.
+pub fn bfs_vgc_dir_observed_in(
+    g: &Graph,
+    src: VertexId,
+    incoming: Option<&Graph>,
+    cfg: &VgcConfig,
+    cancel: &CancelToken,
+    observer: &dyn RoundObserver,
+    ws: &mut TraversalWorkspace,
+) -> Result<AlgoStats, Cancelled> {
     let n = g.num_vertices();
     let driver = RoundDriver::new(cancel, observer);
-    let dist = AtomicU32Array::new(n, UNREACHED);
+
+    // --- prepare the workspace (all allocation-free at steady state) ---
+    ws.hop_dist.reset(n, UNREACHED);
+    if ws.bags.is_empty() {
+        ws.bags = (0..NUM_BAGS).map(|_| HashBag::new(0)).collect();
+    }
+    for b in &mut ws.bags {
+        // Metadata-only: chunk storage is demand-allocated and persists
+        // across runs, so reserving the never-panic bound (spills per
+        // round are bounded by successful relaxations, < 2n + slack)
+        // costs nothing until a round actually needs the room.
+        b.reserve(2 * n + 16);
+        if !b.is_empty() {
+            b.clear(); // only a panicked run leaves entries behind
+        }
+    }
+    ws.raw.clear();
+    ws.entries.clear();
+    ws.window.clear();
+    ws.seeds.clear();
+
+    let TraversalWorkspace {
+        hop_dist,
+        bags,
+        raw,
+        entries,
+        window,
+        seeds,
+        ..
+    } = ws;
+    let dist: &AtomicU32Array = hop_dist;
+    let bags: &[HashBag] = bags;
+
     dist.set(src as usize, 0);
     let gin: Option<&Graph> = incoming.or(if g.is_symmetric() { Some(g) } else { None });
-
-    // Spills per round are bounded by successful relaxations; chunks are
-    // lazy, so generous sizing costs nothing until used.
-    let bags: Vec<HashBag> = (0..NUM_BAGS).map(|_| HashBag::new(2 * n + 16)).collect();
 
     // Bootstrap: treat the source as a pending entry of bag 0.
     bags[0].insert(src);
 
-    type Pending = Vec<(VertexId, u32)>;
+    let mut ctl = TauController::new(*cfg);
+    let counters = driver.counters();
 
-    // Pull the nearest nonempty bag and shape one round's work: re-evaluate
-    // entries by their *current* distance (rule 1), defer those outside the
-    // window `[d_min, d_min + 2^i)` back into the bags (bucketed relative
-    // to the wavefront estimate `d_min` — heuristic, rule 2), and hand the
-    // in-window entries to the driver.
-    let next = || -> Option<(u64, (u32, Pending))> {
-        while let Some(i) = bags.iter().position(|b| !b.is_empty()) {
-            let raw = bags[i].extract_and_clear();
-            let entries: Pending = raw
-                .into_par_iter()
-                .with_min_len(2048)
-                .map(|v| (v, dist.get(v as usize)))
-                .collect();
-            debug_assert!(entries.iter().all(|&(_, d)| d != UNREACHED));
-            let Some(d_min) = entries.par_iter().map(|&(_, d)| d).min() else {
-                continue;
-            };
-            // Processing window: the nearest 2^i distances of this bag.
-            let width = 1u32 << i.min(30);
-            let hi = d_min.saturating_add(width);
-            let (window, defer): (Pending, Pending) = entries
-                .into_par_iter()
-                .with_min_len(2048)
-                .partition(|&(_, d)| d < hi);
-            for &(v, d) in &defer {
-                bags[bucket_of(d.saturating_sub(d_min))].insert(v);
+    loop {
+        if driver.cancelled() {
+            for b in bags {
+                b.clear();
             }
-            if window.is_empty() {
-                continue;
-            }
-            return Some((window.len() as u64, (d_min, window)));
+            return Err(Cancelled);
         }
-        None
-    };
+        let Some(d_min) = next_window(bags, dist, raw, entries, window) else {
+            driver.check()?;
+            break;
+        };
+        let processed = window.len();
+        let tau = ctl.current();
+        let edges0 = counters.edges();
 
-    driver.drive(
-        next(),
-        |(d_min, window): (u32, Pending)| {
-            let counters = driver.counters();
-
+        driver.round(processed as u64, || {
             // Dense bottom-up round (direction optimization): expands the
             // exact level `d_min` collectively; other window entries are
             // deferred back (they are not expanded by the sweep).
             if let Some(gin) = gin {
-                if window.len() > n / DENSE_DIVISOR {
+                if processed > n / DENSE_DIVISOR {
                     let next_level = d_min + 1;
-                    let claimed_bits = AtomicBitVec::new(n);
                     let scanned = Counters::new();
                     par_for(n, 512, |v| {
                         if dist.get(v) <= next_level {
@@ -184,36 +230,38 @@ pub fn bfs_vgc_dir_observed(
                             scanned.add_edges(1);
                             if dist.get(u as usize) == d_min {
                                 if dist.write_min(v, next_level) {
-                                    claimed_bits.set(v);
+                                    // exactly one task wins the write_min
+                                    // for v this round, so inserting here
+                                    // adds no duplicates — no bit-vector
+                                    // or pack pass needed
+                                    bags[0].insert(v as u32);
                                 }
                                 return;
                             }
                         }
                     });
-                    let claimed = filter_map_index(n, |v| claimed_bits.get(v).then_some(v as u32));
-                    counters.add_tasks(window.len() as u64);
+                    counters.add_tasks(processed as u64);
                     counters.add_edges(scanned.edges());
-                    for v in claimed {
-                        bags[0].insert(v); // offset 1 from the new wavefront
-                    }
-                    for (v, d) in window {
+                    par_for(window.len(), 2048, |j| {
+                        let (v, d) = unpack(window[j]);
                         if d != d_min {
                             bags[bucket_of(d.saturating_sub(d_min))].insert(v);
                         }
-                    }
-                    return next();
+                    });
+                    return;
                 }
             }
 
             // Sparse VGC round: one multi-seed local search per frontier
             // chunk, with budget τ per seed.
-            let tau = cfg.tau;
-            let seeds: Vec<VertexId> = window.iter().map(|&(v, _)| v).collect();
-            let chunk = crate::vgc::frontier_chunk_len(seeds.len());
-            seeds.par_chunks(chunk).for_each(|grp| {
-                // Unprocessed seeds are simply dropped mid-abort: the whole
-                // result is discarded on the Err path, so losing subtrees is
-                // fine here (unlike the never-drop rule for live runs).
+            seeds.clear();
+            par_map_into(window.len(), |j| unpack(window[j]).0, seeds);
+            let chunk = frontier_chunk_len(seeds.len());
+            par_slices(seeds, chunk, |grp| {
+                // Unprocessed seeds are simply dropped mid-abort: the
+                // whole result is discarded on the Err path, so losing
+                // subtrees is fine here (unlike the never-drop rule for
+                // live runs).
                 if driver.cancelled() {
                     return;
                 }
@@ -234,19 +282,88 @@ pub fn bfs_vgc_dir_observed(
                 );
                 counters.add_edges(stats.edges);
             });
-            next()
-        },
-        || {
-            for b in &bags {
-                b.clear();
-            }
-        },
-    )?;
+        });
+        ctl.observe(processed, counters.edges().saturating_sub(edges0));
+    }
 
-    Ok(BfsResult {
-        dist: dist.to_vec(),
-        stats: driver.finish(),
-    })
+    Ok(driver.finish())
+}
+
+/// Pull the nearest nonempty bag and shape one round's work into
+/// `window` (packed `(dist << 32) | v` words): re-evaluate the drained
+/// entries by their *current* distance (rule 1), defer those outside the
+/// window `[d_min, d_min + 2^i)` back into the bags (bucketed relative
+/// to the wavefront estimate `d_min` — heuristic, rule 2), and keep the
+/// in-window entries. Returns `d_min`, or `None` once every bag is dry.
+/// All scratch comes from the workspace, so this allocates nothing at
+/// steady state.
+fn next_window(
+    bags: &[HashBag],
+    dist: &AtomicU32Array,
+    raw: &mut Vec<VertexId>,
+    entries: &mut Vec<u64>,
+    window: &mut Vec<u64>,
+) -> Option<u32> {
+    while let Some(i) = bags.iter().position(|b| !b.is_empty()) {
+        raw.clear();
+        bags[i].extract_into(raw);
+        entries.clear();
+        {
+            let raw: &[VertexId] = raw;
+            par_map_into(
+                raw.len(),
+                |j| {
+                    let v = raw[j];
+                    pack(v, dist.get(v as usize))
+                },
+                entries,
+            );
+        }
+        if entries.is_empty() {
+            continue;
+        }
+        debug_assert!(entries.iter().all(|&e| unpack(e).1 != UNREACHED));
+        // The distance lives in the high bits, so the minimum entry's
+        // high half is the minimum distance.
+        let min_entry = AtomicU64::new(u64::MAX);
+        {
+            let entries: &[u64] = entries;
+            par_blocks(entries.len(), 4096, |lo, hi| {
+                let mut m = u64::MAX;
+                for &e in &entries[lo..hi] {
+                    m = m.min(e);
+                }
+                min_entry.fetch_min(m, Ordering::Relaxed);
+            });
+        }
+        let d_min = (min_entry.load(Ordering::Relaxed) >> 32) as u32;
+        // Processing window: the nearest 2^i distances of this bag.
+        let width = 1u32 << i.min(30);
+        let hi_d = d_min.saturating_add(width);
+        window.clear();
+        {
+            let entries: &[u64] = entries;
+            filter_map_index_into(
+                entries.len(),
+                |j| {
+                    let e = entries[j];
+                    (unpack(e).1 < hi_d).then_some(e)
+                },
+                window,
+            );
+            par_for(entries.len(), 2048, |j| {
+                let (v, d) = unpack(entries[j]);
+                if d >= hi_d {
+                    bags[bucket_of(d.saturating_sub(d_min))].insert(v);
+                }
+            });
+        }
+        if window.is_empty() {
+            continue;
+        }
+        return Some(d_min);
+    }
+    None
 }
 
 #[cfg(test)]
@@ -391,5 +508,63 @@ mod tests {
         let g = Graph::empty(1, false);
         let r = bfs_vgc(&g, 0, &VgcConfig::default());
         assert_eq!(r.dist, vec![0]);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_runs() {
+        let g = grid2d(12, 17);
+        let mut ws = TraversalWorkspace::new();
+        for src in [0u32, 5, 100, 0, 203] {
+            let want = bfs_seq(&g, src).dist;
+            let token = CancelToken::new();
+            bfs_vgc_dir_observed_in(
+                &g,
+                src,
+                None,
+                &VgcConfig::default(),
+                &token,
+                &NoopObserver,
+                &mut ws,
+            )
+            .unwrap();
+            let got: Vec<u32> = (0..g.num_vertices())
+                .map(|v| ws.hop_dist().get(v))
+                .collect();
+            assert_eq!(got, want, "src {src}");
+        }
+        // a workspace abandoned by a cancelled run stays reusable
+        let fired = CancelToken::new();
+        fired.cancel();
+        assert!(bfs_vgc_dir_observed_in(
+            &g,
+            0,
+            None,
+            &VgcConfig::default(),
+            &fired,
+            &NoopObserver,
+            &mut ws
+        )
+        .is_err());
+        let token = CancelToken::new();
+        bfs_vgc_dir_observed_in(
+            &g,
+            3,
+            None,
+            &VgcConfig::default(),
+            &token,
+            &NoopObserver,
+            &mut ws,
+        )
+        .unwrap();
+        assert_eq!(ws.take_hop_dist(), bfs_seq(&g, 3).dist);
+    }
+
+    #[test]
+    fn adaptive_tau_matches_seq() {
+        let cfg = VgcConfig::adaptive();
+        check(&path_directed(5000), 0, &cfg);
+        check(&grid2d(12, 17), 5, &cfg);
+        check(&rmat_undirected(RmatParams::social(10, 8, 21)), 0, &cfg);
+        check(&bubbles(40, 6, 2), 0, &cfg);
     }
 }

@@ -9,9 +9,11 @@
 
 use crate::common::{AlgoStats, CancelToken, Cancelled};
 use crate::engine::{NoopObserver, RoundDriver, RoundObserver};
+use crate::workspace::TraversalWorkspace;
 use pasgal_collections::union_find::ConcurrentUnionFind;
 use pasgal_graph::csr::Graph;
 use pasgal_graph::VertexId;
+use pasgal_parlay::gran::par_blocks;
 use rayon::prelude::*;
 
 /// Connectivity output.
@@ -54,19 +56,34 @@ pub fn connectivity_observed(
     cancel: &CancelToken,
     observer: &dyn RoundObserver,
 ) -> Result<CcResult, Cancelled> {
+    let mut ws = TraversalWorkspace::new();
+    connectivity_observed_in(g, cancel, observer, &mut ws)
+}
+
+/// [`connectivity_observed`] with the union-find recycled through a
+/// [`TraversalWorkspace`]. The label array is the *result* — it is always
+/// freshly allocated and handed to the caller — but the O(n) union-find
+/// scratch is pooled, so a warm run allocates only its output. State is
+/// re-prepared at entry, so an abandoned workspace is safe to reuse.
+pub fn connectivity_observed_in(
+    g: &Graph,
+    cancel: &CancelToken,
+    observer: &dyn RoundObserver,
+    ws: &mut TraversalWorkspace,
+) -> Result<CcResult, Cancelled> {
     let n = g.num_vertices();
     let driver = RoundDriver::new(cancel, observer);
-    let uf = ConcurrentUnionFind::new(n);
+    ws.uf.reset(n);
+    let uf: &ConcurrentUnionFind = &ws.uf;
     // Explicit 512-vertex blocks so one token poll guards (and on abort,
     // skips) a whole block rather than a single vertex.
-    const BLOCK: usize = 512;
     driver.round(n as u64, || {
         let counters = driver.counters();
-        (0..n.div_ceil(BLOCK)).into_par_iter().for_each(|b| {
+        par_blocks(n, 512, |lo, hi| {
             if driver.cancelled() {
                 return;
             }
-            for u in (b * BLOCK) as u32..((b + 1) * BLOCK).min(n) as u32 {
+            for u in lo as u32..hi as u32 {
                 counters.add_tasks(1);
                 for &v in g.neighbors(u) {
                     counters.add_edges(1);
@@ -223,6 +240,22 @@ mod tests {
             // both name components by smallest member: bit-for-bit equal
             assert_eq!(seq.labels, par.labels);
             assert_eq!(seq.num_components, par.num_components);
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_runs() {
+        use crate::engine::NoopObserver;
+        let graphs = [grid2d(6, 7), from_edges_symmetric(7, &[(0, 1), (3, 4)])];
+        let mut ws = TraversalWorkspace::new();
+        for _ in 0..3 {
+            for g in &graphs {
+                let want = connectivity(g);
+                let token = CancelToken::new();
+                let got = connectivity_observed_in(g, &token, &NoopObserver, &mut ws).unwrap();
+                assert_eq!(got.labels, want.labels);
+                assert_eq!(got.num_components, want.num_components);
+            }
         }
     }
 

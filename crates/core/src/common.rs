@@ -185,18 +185,39 @@ pub struct VgcConfig {
     /// Minimum edge traversals per local-search task before it hands the
     /// rest of its discoveries to the shared frontier (the paper's `τ`).
     pub tau: usize,
+    /// When set, `tau` is only the starting point: a per-run controller
+    /// (see `pasgal_core::vgc::TauController`) retunes the budget between
+    /// rounds from the observed frontier size and edges-per-round.
+    /// Correctness is `τ`-independent, so adaptation never changes
+    /// results — only round counts and task granularity.
+    pub adaptive: bool,
 }
 
 impl Default for VgcConfig {
     fn default() -> Self {
-        Self { tau: 512 }
+        Self {
+            tau: 512,
+            adaptive: false,
+        }
     }
 }
 
 impl VgcConfig {
-    /// Config with a specific `τ`.
+    /// Config with a specific fixed `τ`.
     pub fn with_tau(tau: usize) -> Self {
-        Self { tau: tau.max(1) }
+        Self {
+            tau: tau.max(1),
+            adaptive: false,
+        }
+    }
+
+    /// Self-tuning config: start from the default `τ` and let the
+    /// controller adapt it per round.
+    pub fn adaptive() -> Self {
+        Self {
+            tau: 512,
+            adaptive: true,
+        }
     }
 }
 

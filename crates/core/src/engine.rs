@@ -272,20 +272,35 @@ impl<'a> RoundDriver<'a> {
         &self,
         bag: &HashBag,
         seed: Vec<VertexId>,
-        mut body: impl FnMut(&[VertexId]),
+        body: impl FnMut(&[VertexId]),
     ) -> Result<(), Cancelled> {
         let mut frontier = seed;
+        self.drive_bag_in(bag, &mut frontier, body)
+    }
+
+    /// [`drive_bag`](Self::drive_bag) with a caller-owned frontier buffer:
+    /// the caller preloads the seed into `frontier` and keeps the buffer
+    /// afterwards, so a pooled workspace reuses one vector across *runs*,
+    /// not just across rounds. The buffer is left cleared (or cleared on
+    /// abort), ready for the next run.
+    pub fn drive_bag_in(
+        &self,
+        bag: &HashBag,
+        frontier: &mut Vec<VertexId>,
+        mut body: impl FnMut(&[VertexId]),
+    ) -> Result<(), Cancelled> {
         loop {
             if self.cancelled() {
                 bag.clear();
+                frontier.clear();
                 return Err(Cancelled);
             }
             if frontier.is_empty() {
                 return self.check();
             }
-            self.round(frontier.len() as u64, || body(&frontier));
+            self.round(frontier.len() as u64, || body(frontier.as_slice()));
             frontier.clear();
-            bag.extract_into(&mut frontier);
+            bag.extract_into(frontier);
         }
     }
 

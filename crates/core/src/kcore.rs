@@ -29,12 +29,13 @@
 
 use crate::common::{AlgoStats, CancelToken, Cancelled};
 use crate::engine::{NoopObserver, RoundDriver, RoundObserver};
-use pasgal_collections::atomic_array::AtomicU32Array;
-use pasgal_collections::hashbag::HashBag;
+use crate::vgc::with_fifo_scratch;
+use crate::workspace::TraversalWorkspace;
 use pasgal_graph::csr::Graph;
 use pasgal_graph::VertexId;
-use pasgal_parlay::pack::pack_index;
-use rayon::prelude::*;
+use pasgal_parlay::gran::{par_blocks, par_for, par_slices};
+use pasgal_parlay::pack::filter_map_index_into;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// k-core output.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -135,68 +136,130 @@ pub fn kcore_peel_observed(
     cancel: &CancelToken,
     observer: &dyn RoundObserver,
 ) -> Result<KcoreResult, Cancelled> {
+    let mut ws = TraversalWorkspace::new();
+    let stats = kcore_peel_observed_in(g, tau, cancel, observer, &mut ws)?;
+    let coreness = ws.take_coreness();
+    let degeneracy = coreness.iter().copied().max().unwrap_or(0);
+    Ok(KcoreResult {
+        coreness,
+        degeneracy,
+        stats,
+    })
+}
+
+/// [`kcore_peel_observed`] running entirely inside a recycled
+/// [`TraversalWorkspace`]: the coreness result is left in the workspace
+/// (read with [`TraversalWorkspace::coreness`], move out with
+/// [`TraversalWorkspace::take_coreness`]) and a warm run performs no heap
+/// allocation — the degree array, frontier vector, per-task cascade
+/// queues and the bag are all recycled. State is re-prepared at entry, so
+/// an abandoned workspace is safe to reuse.
+pub fn kcore_peel_observed_in(
+    g: &Graph,
+    tau: usize,
+    cancel: &CancelToken,
+    observer: &dyn RoundObserver,
+    ws: &mut TraversalWorkspace,
+) -> Result<AlgoStats, Cancelled> {
     assert!(g.is_symmetric(), "k-core requires an undirected graph");
     let n = g.num_vertices();
     let driver = RoundDriver::new(cancel, observer);
-    let degree = AtomicU32Array::new(n, 0);
-    (0..n).into_par_iter().with_min_len(2048).for_each(|v| {
-        degree.set(v, g.degree(v as u32) as u32);
-    });
-    let coreness = AtomicU32Array::new(n, u32::MAX); // MAX = alive
-    let bag = HashBag::new(2 * n + 16);
+    ws.degree.reset(n, 0);
+    ws.coreness.reset(n, u32::MAX); // MAX = alive
+                                    // One claimed re-insertion per spilled cascade seed; 2n + 16 is the
+                                    // same never-exceeded bound the BFS bags use (metadata-only, chunks
+                                    // allocate lazily and persist across runs).
+    ws.bag.reserve(2 * n + 16);
+    if !ws.bag.is_empty() {
+        ws.bag.clear(); // only a panicked run leaves entries behind
+    }
+    ws.frontier.clear();
+
+    let TraversalWorkspace {
+        degree,
+        coreness,
+        bag,
+        frontier,
+        ..
+    } = ws;
+    {
+        let degree = &*degree;
+        par_for(n, 2048, |v| {
+            degree.set(v, g.degree(v as u32) as u32);
+        });
+    }
     let mut k = 0u32;
 
     // Level loop: advance k to the smallest remaining degree (skipping
     // empty levels) until everything is peeled.
-    while let Some(next_k) = (0..n as u32)
-        .into_par_iter()
-        .with_min_len(2048)
-        .filter(|&v| coreness.get(v as usize) == u32::MAX)
-        .map(|v| degree.get(v as usize))
-        .min()
-    {
+    loop {
+        // min over alive vertices, u32::MAX = nothing left to peel
+        let level_min = AtomicU32::new(u32::MAX);
+        par_blocks(n, 2048, |lo, hi| {
+            let mut local = u32::MAX;
+            for v in lo..hi {
+                if coreness.get(v) == u32::MAX {
+                    local = local.min(degree.get(v));
+                }
+            }
+            level_min.fetch_min(local, Ordering::Relaxed);
+        });
+        let next_k = level_min.load(Ordering::Relaxed);
+        if next_k == u32::MAX {
+            break;
+        }
         driver.check()?;
         k = k.max(next_k);
 
         // initial frontier for this k: every alive vertex with degree ≤ k,
-        // claimed by CAS (peel order within a level is irrelevant to
-        // coreness values)
-        let mut frontier: Vec<VertexId> =
-            pack_index(n, |v| coreness.get(v) == u32::MAX && degree.get(v) <= k);
+        // packed into the recycled scratch and claimed by CAS (peel order
+        // within a level is irrelevant to coreness values)
+        frontier.clear();
+        filter_map_index_into(
+            n,
+            |v| (coreness.get(v) == u32::MAX && degree.get(v) <= k).then_some(v as VertexId),
+            frontier,
+        );
         frontier.retain(|&v| coreness.cas(v as usize, u32::MAX, k));
 
         let k_now = k;
-        driver.drive_bag(&bag, frontier, |front| {
+        driver.drive_bag_in(bag, frontier, |front| {
             let counters = driver.counters();
             let chunk = crate::vgc::frontier_chunk_len(front.len());
-            front.par_chunks(chunk).for_each(|grp| {
+            par_slices(front, chunk, |grp| {
                 counters.add_tasks(1);
                 // VGC: process the whole removal cascade locally up to the
                 // aggregate budget; overflow cascades spill to the bag.
-                let mut queue: std::collections::VecDeque<VertexId> = grp.iter().copied().collect();
-                let budget = (tau * grp.len()) as u64;
-                let mut edges = 0u64;
-                while let Some(u) = queue.pop_front() {
-                    if edges >= budget {
-                        bag.insert(u);
-                        continue;
-                    }
-                    for &w in g.neighbors(u) {
-                        edges += 1;
-                        if coreness.get(w as usize) != u32::MAX {
+                // The queue is recycled thread-local scratch.
+                let edges = with_fifo_scratch(|queue| {
+                    queue.extend(grp.iter().copied());
+                    let budget = (tau * grp.len()) as u64;
+                    let mut edges = 0u64;
+                    while let Some(u) = queue.pop_front() {
+                        if edges >= budget {
+                            bag.insert(u);
                             continue;
                         }
-                        // decrement = wrapping add of -1; post-claim
-                        // stragglers may drive the (now irrelevant) value
-                        // past zero, which the claimed-check above makes
-                        // harmless
-                        let old = degree.fetch_add(w as usize, u32::MAX);
-                        if old != 0 && old - 1 <= k_now && coreness.cas(w as usize, u32::MAX, k_now)
-                        {
-                            queue.push_back(w);
+                        for &w in g.neighbors(u) {
+                            edges += 1;
+                            if coreness.get(w as usize) != u32::MAX {
+                                continue;
+                            }
+                            // decrement = wrapping add of -1; post-claim
+                            // stragglers may drive the (now irrelevant)
+                            // value past zero, which the claimed-check
+                            // above makes harmless
+                            let old = degree.fetch_add(w as usize, u32::MAX);
+                            if old != 0
+                                && old - 1 <= k_now
+                                && coreness.cas(w as usize, u32::MAX, k_now)
+                            {
+                                queue.push_back(w);
+                            }
                         }
                     }
-                }
+                    edges
+                });
                 counters.add_edges(edges);
             });
             // spilled vertices are already claimed; they re-enter as
@@ -204,13 +267,7 @@ pub fn kcore_peel_observed(
         })?;
     }
 
-    let coreness = coreness.to_vec();
-    let degeneracy = coreness.iter().copied().max().unwrap_or(0);
-    Ok(KcoreResult {
-        coreness,
-        degeneracy,
-        stats: driver.finish(),
-    })
+    Ok(driver.finish())
 }
 
 #[cfg(test)]
@@ -282,6 +339,27 @@ mod tests {
         assert!(matches!(kcore_peel_cancel(&g, 4, &t), Err(Cancelled)));
         let ok = kcore_peel_cancel(&g, 64, &CancelToken::new()).unwrap();
         assert_eq!(ok.coreness, kcore_seq(&g).coreness);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_runs() {
+        use crate::engine::NoopObserver;
+        let graphs = [
+            rmat_undirected(RmatParams::social(8, 6, 3)),
+            symmetrize(&random_directed(150, 500, 1)),
+        ];
+        let mut ws = TraversalWorkspace::new();
+        for _ in 0..3 {
+            for g in &graphs {
+                let want = kcore_seq(g);
+                let token = CancelToken::new();
+                kcore_peel_observed_in(g, 64, &token, &NoopObserver, &mut ws).unwrap();
+                let got: Vec<u32> = (0..g.num_vertices())
+                    .map(|v| ws.coreness().get(v))
+                    .collect();
+                assert_eq!(got, want.coreness);
+            }
+        }
     }
 
     // The big-τ-beats-small-τ round-count assertion lives in the

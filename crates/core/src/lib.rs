@@ -26,6 +26,11 @@
 //! (rounds, tasks, edge traversals, peak frontier) so the experiment harness
 //! can demonstrate the mechanism at any core count.
 //!
+//! Repeated runs on a resident graph go through [`workspace`]: the `*_in`
+//! entry points reuse one pooled [`workspace::TraversalWorkspace`] so a
+//! warm run allocates nothing, and [`common::VgcConfig::adaptive`] lets a
+//! per-run controller retune `τ` from observed frontier behavior.
+//!
 //! ```
 //! use pasgal_graph::gen::basic::grid2d;
 //! use pasgal_core::{bfs, common::VgcConfig};
@@ -47,3 +52,4 @@ pub mod kcore;
 pub mod scc;
 pub mod sssp;
 pub mod vgc;
+pub mod workspace;

@@ -17,73 +17,74 @@
 //!   (Wang et al.'s algorithm, which PASGAL adopts), collapsing rounds and
 //!   fattening frontiers.
 //!
-//! Per-search visited sets are *scoped marks* in two shared `u32` arrays
-//! (`mark[v] = partition id of the search that claimed v`), so a round
-//! over many subproblems costs O(live vertices), not O(n) per subproblem.
+//! Per-search visited sets are *scoped marks* in two shared
+//! [`EpochMarks`] arrays (`mark[v] = partition id of the search that
+//! claimed v`), so a round over many subproblems costs O(live vertices),
+//! not O(n) per subproblem — and because partition ids are drawn from the
+//! marks' epoch allocator, a *run* on a recycled workspace reuses the
+//! mark arrays without clearing them: ids of this run can never collide
+//! with stale marks from earlier runs (each run reserves a fresh range of
+//! `3n + 4` ids, enough for one initial partition plus three per split,
+//! and every splitting step labels at least the pivot's SCC, bounding
+//! splits by `n`).
+//!
+//! All transient state — subproblem worklists, their vertex lists, the
+//! per-search frontier bags and vectors — is pooled in a
+//! [`TraversalWorkspace`], making warm VGC runs allocation-free.
 
-use crate::common::{CancelToken, Cancelled, SccResult, VgcConfig};
+use crate::common::{AlgoStats, CancelToken, Cancelled, SccResult, VgcConfig};
 use crate::engine::{NoopObserver, RoundDriver, RoundObserver};
 use crate::scc::reach::ReachEngine;
-use crate::vgc::local_search_multi;
+use crate::vgc::{frontier_chunk_len, local_search_multi};
+use crate::workspace::{BagPool, BufPool, TraversalWorkspace};
 use pasgal_collections::atomic_array::AtomicU32Array;
-use pasgal_collections::hashbag::HashBag;
+use pasgal_collections::epoch::EpochMarks;
 use pasgal_graph::csr::Graph;
 use pasgal_graph::transform::transpose;
 use pasgal_graph::VertexId;
+use pasgal_parlay::gran::{par_for, par_for_each_mut, par_slices};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
 
 const UNLABELED: u32 = u32::MAX;
 
-/// One pending FW-BW subproblem: the live vertices of one partition.
-struct Subproblem {
-    part: u32,
-    vertices: Vec<VertexId>,
-}
+/// One pending FW-BW subproblem: `(partition id, live vertices)`. The
+/// vertex lists are recycled through the workspace's buffer pool.
+type Subproblem = (u32, Vec<VertexId>);
 
 struct State<'g> {
     g: &'g Graph,
     gt: &'g Graph,
-    labels: AtomicU32Array,
-    part: AtomicU32Array,
-    fwd_mark: AtomicU32Array,
-    bwd_mark: AtomicU32Array,
+    labels: &'g AtomicU32Array,
+    part: &'g AtomicU32Array,
+    fwd_mark: &'g EpochMarks,
+    bwd_mark: &'g EpochMarks,
     next_part: AtomicU32,
     engine: ReachEngine,
     driver: RoundDriver<'g>,
+    vert_pool: &'g BufPool,
+    bag_pool: &'g BagPool,
+    frontier_pool: &'g BufPool,
 }
 
-impl<'g> State<'g> {
+impl State<'_> {
     fn live(&self, v: VertexId) -> bool {
         self.labels.get(v as usize) == UNLABELED
     }
 
-    /// Scoped test-and-set: claim `v` for the search of partition `p`.
-    /// Stale marks from ancestor partitions are overwritten; returns true
-    /// iff this call set the mark to `p`.
-    fn claim(mark: &AtomicU32Array, v: VertexId, p: u32) -> bool {
-        loop {
-            let cur = mark.get(v as usize);
-            if cur == p {
-                return false;
-            }
-            if mark.cas(v as usize, cur, p) {
-                return true;
-            }
-        }
-    }
-
     /// Reachability from `pivot` over `dir` (the graph or its transpose),
-    /// claiming into `mark`, restricted to live vertices of partition `p`.
-    fn search(&self, dir: &Graph, pivot: VertexId, mark: &AtomicU32Array, p: u32) {
+    /// claiming into `mark` with the partition id `p` as the stamp,
+    /// restricted to live vertices of partition `p`. Stale marks from
+    /// ancestor partitions (or earlier runs) are overwritten by the
+    /// epoch-stamped claim.
+    fn search(&self, dir: &Graph, pivot: VertexId, mark: &EpochMarks, p: u32) {
         let try_claim = |v: VertexId| -> bool {
-            self.part.get(v as usize) == p && self.live(v) && Self::claim(mark, v, p)
+            self.part.get(v as usize) == p && self.live(v) && mark.try_claim(v as usize, p)
         };
-        let frontier: Vec<VertexId> = if Self::claim(mark, pivot, p) {
-            vec![pivot]
-        } else {
+        if !mark.try_claim(pivot as usize, p) {
             return;
-        };
+        }
         // A cancelled search just stops claiming (the driver's abort
         // result is dropped): the decomposition loop's own round poll
         // turns the bail into `Err(Cancelled)`.
@@ -91,7 +92,7 @@ impl<'g> State<'g> {
             ReachEngine::BfsOrder => {
                 let counters = self.driver.counters();
                 let _ = self.driver.drive(
-                    Some((frontier.len() as u64, frontier)),
+                    Some((1, vec![pivot])),
                     |front: Vec<VertexId>| {
                         let next: Vec<VertexId> = front
                             .par_iter()
@@ -114,10 +115,12 @@ impl<'g> State<'g> {
             }
             ReachEngine::Vgc(cfg) => {
                 let counters = self.driver.counters();
-                let bag = HashBag::new(self.g.num_vertices().max(1));
-                let _ = self.driver.drive_bag(&bag, frontier, |front| {
-                    let chunk = crate::vgc::frontier_chunk_len(front.len());
-                    front.par_chunks(chunk).for_each(|grp| {
+                let bag = self.bag_pool.get(self.g.num_vertices().max(1));
+                let mut frontier = self.frontier_pool.get();
+                frontier.push(pivot);
+                let _ = self.driver.drive_bag_in(&bag, &mut frontier, |front| {
+                    let chunk = frontier_chunk_len(front.len());
+                    par_slices(front, chunk, |grp| {
                         counters.add_tasks(1);
                         let mut spill = |v: VertexId| bag.insert(v);
                         let st = local_search_multi(
@@ -130,61 +133,62 @@ impl<'g> State<'g> {
                         counters.add_edges(st.edges);
                     });
                 });
+                // drive_bag_in leaves both empty, on success and abort
+                self.frontier_pool.put(frontier);
+                self.bag_pool.put(bag);
             }
         }
     }
 
-    /// Process one subproblem; returns up to three children.
-    fn step(&self, sub: Subproblem) -> Vec<Subproblem> {
-        let p = sub.part;
+    /// Process one subproblem; pushes up to three children onto `out` and
+    /// recycles every vertex list through the pool.
+    fn step(&self, p: u32, mut verts: Vec<VertexId>, out: &Mutex<Vec<Subproblem>>) {
         // Re-filter: parents may have labeled some of these (trim races are
         // benign — see below — but labels set in earlier rounds are final).
-        let verts: Vec<VertexId> = sub
-            .vertices
-            .into_par_iter()
-            .with_min_len(512)
-            .filter(|&v| self.live(v))
-            .collect();
-        if verts.is_empty() {
-            return Vec::new();
-        }
-        if verts.len() == 1 {
-            self.labels.set(verts[0] as usize, verts[0]);
-            return Vec::new();
+        // retain keeps the buffer's capacity for the pool.
+        verts.retain(|&v| self.live(v));
+        if verts.len() <= 1 {
+            if let Some(&v) = verts.first() {
+                self.labels.set(v as usize, v);
+            }
+            self.vert_pool.put(verts);
+            return;
         }
 
         // Trim: label vertices with no live in- or out-neighbor inside this
         // partition as singleton SCCs. Races with concurrent trims only
         // *delay* a trim (conservative), never produce a wrong one, because
         // a neighbor observed dead was legitimately a singleton.
-        verts.par_iter().with_min_len(256).for_each(|&v| {
-            let in_part_live =
-                |u: VertexId| u != v && self.part.get(u as usize) == p && self.live(u);
-            let has_out = self.g.neighbors(v).iter().any(|&u| in_part_live(u));
-            let has_in = has_out && self.gt.neighbors(v).iter().any(|&u| in_part_live(u));
-            if !has_in {
-                // no live in- or out-neighbor in this partition ⇒ nothing
-                // can both reach and be reached by v here ⇒ singleton SCC
+        {
+            let verts: &[VertexId] = &verts;
+            par_for(verts.len(), 256, |i| {
+                let v = verts[i];
+                let in_part_live =
+                    |u: VertexId| u != v && self.part.get(u as usize) == p && self.live(u);
+                let has_out = self.g.neighbors(v).iter().any(|&u| in_part_live(u));
+                let has_in = has_out && self.gt.neighbors(v).iter().any(|&u| in_part_live(u));
+                if !has_in {
+                    // no live in- or out-neighbor in this partition ⇒
+                    // nothing can both reach and be reached by v here ⇒
+                    // singleton SCC
+                    self.labels.set(v as usize, v);
+                }
+            });
+        }
+        verts.retain(|&v| self.live(v));
+        if verts.len() <= 1 {
+            if let Some(&v) = verts.first() {
                 self.labels.set(v as usize, v);
             }
-        });
-        let live: Vec<VertexId> = verts
-            .into_par_iter()
-            .with_min_len(512)
-            .filter(|&v| self.live(v))
-            .collect();
-        if live.is_empty() {
-            return Vec::new();
-        }
-        if live.len() == 1 {
-            self.labels.set(live[0] as usize, live[0]);
-            return Vec::new();
+            self.vert_pool.put(verts);
+            return;
         }
 
         // Pivot: max in×out degree (a cheap heuristic for hitting the
-        // largest SCC, as in Multistep).
-        let pivot = live
-            .par_iter()
+        // largest SCC, as in Multistep); ties break to the smallest id,
+        // matching `max` over `(key, Reverse(v))`.
+        let pivot = verts
+            .iter()
             .map(|&v| {
                 let key = (self.g.degree(v) as u64 + 1) * (self.gt.degree(v) as u64 + 1);
                 (key, std::cmp::Reverse(v))
@@ -193,20 +197,20 @@ impl<'g> State<'g> {
             .map(|(_, std::cmp::Reverse(v))| v)
             .expect("nonempty");
 
-        self.driver.mark_round(live.len() as u64); // the FW/BW phase boundary
-        self.search(self.g, pivot, &self.fwd_mark, p);
-        self.search(self.gt, pivot, &self.bwd_mark, p);
+        self.driver.mark_round(verts.len() as u64); // the FW/BW phase boundary
+        self.search(self.g, pivot, self.fwd_mark, p);
+        self.search(self.gt, pivot, self.bwd_mark, p);
 
         // Split into SCC / fwd-only / bwd-only / rest.
         let p_fwd = self.next_part.fetch_add(3, Ordering::Relaxed);
         let p_bwd = p_fwd + 1;
         let p_rest = p_fwd + 2;
-        let mut fwd_set = Vec::new();
-        let mut bwd_set = Vec::new();
-        let mut rest_set = Vec::new();
-        for &v in &live {
-            let in_f = self.fwd_mark.get(v as usize) == p;
-            let in_b = self.bwd_mark.get(v as usize) == p;
+        let mut fwd_set = self.vert_pool.get();
+        let mut bwd_set = self.vert_pool.get();
+        let mut rest_set = self.vert_pool.get();
+        for &v in &verts {
+            let in_f = self.fwd_mark.has(v as usize, p);
+            let in_b = self.bwd_mark.has(v as usize, p);
             match (in_f, in_b) {
                 (true, true) => self.labels.set(v as usize, pivot),
                 (true, false) => {
@@ -223,11 +227,15 @@ impl<'g> State<'g> {
                 }
             }
         }
-        [(p_fwd, fwd_set), (p_bwd, bwd_set), (p_rest, rest_set)]
-            .into_iter()
-            .filter(|(_, vs)| !vs.is_empty())
-            .map(|(part, vertices)| Subproblem { part, vertices })
-            .collect()
+        self.vert_pool.put(verts);
+        let mut out = out.lock().expect("scc worklist lock poisoned");
+        for (np, set) in [(p_fwd, fwd_set), (p_bwd, bwd_set), (p_rest, rest_set)] {
+            if set.is_empty() {
+                self.vert_pool.put(set);
+            } else {
+                out.push((np, set));
+            }
+        }
     }
 }
 
@@ -252,62 +260,132 @@ pub fn scc_fwbw_cancel(
 /// sources — decomposition rounds, FW/BW phase boundaries, and the
 /// reachability searches' own rounds — and subproblems run concurrently,
 /// so per-event edge counts are approximate (see [`crate::engine`]).
-pub fn scc_fwbw_observed<'a>(
-    g: &'a Graph,
-    gt: &'a Graph,
+pub fn scc_fwbw_observed(
+    g: &Graph,
+    gt: &Graph,
     engine: ReachEngine,
     cancel: &CancelToken,
-    observer: &'a dyn RoundObserver,
+    observer: &dyn RoundObserver,
 ) -> Result<SccResult, Cancelled> {
+    let mut ws = TraversalWorkspace::new();
+    let stats = scc_fwbw_observed_in(g, gt, engine, cancel, observer, &mut ws)?;
+    let num_sccs = ws.scc_num_sccs();
+    Ok(SccResult {
+        labels: ws.take_scc_labels(),
+        num_sccs,
+        stats,
+    })
+}
+
+/// [`scc_fwbw_observed`] running entirely inside a recycled
+/// [`TraversalWorkspace`]: the label result is left in the workspace
+/// (read with [`TraversalWorkspace::scc_labels`] /
+/// [`TraversalWorkspace::scc_num_sccs`], move out with
+/// [`TraversalWorkspace::take_scc_labels`]) and a warm VGC run performs
+/// no heap allocation. State is re-prepared at entry, so an abandoned
+/// workspace is safe to reuse.
+pub fn scc_fwbw_observed_in(
+    g: &Graph,
+    gt: &Graph,
+    engine: ReachEngine,
+    cancel: &CancelToken,
+    observer: &dyn RoundObserver,
+    ws: &mut TraversalWorkspace,
+) -> Result<AlgoStats, Cancelled> {
     let n = g.num_vertices();
     assert_eq!(gt.num_vertices(), n, "transpose size mismatch");
+
+    // One run consumes at most 3n + 4 partition ids (see module docs);
+    // reserving them from the epoch allocators makes the mark arrays
+    // reusable without clearing. A saturated cast only means the
+    // allocator wraps (and clears) every run — degenerate but correct.
+    let budget = u32::try_from(3 * n + 4).unwrap_or(u32::MAX);
+    let base = ws.fwd_marks.begin(n, budget);
+    let base_b = ws.bwd_marks.begin(n, budget);
+    let base = if base == base_b {
+        base
+    } else {
+        // Defensive resync: the allocators advance in lockstep here, so
+        // they can only diverge if a caller mixed mark arrays across
+        // workspaces; realign and re-reserve.
+        let hi = base.max(base_b);
+        ws.fwd_marks.set_next_stamp(hi);
+        ws.bwd_marks.set_next_stamp(hi);
+        let a = ws.fwd_marks.begin(n, budget);
+        let b = ws.bwd_marks.begin(n, budget);
+        debug_assert_eq!(a, b);
+        a
+    };
+    ws.scc_labels.reset(n, UNLABELED);
+    ws.scc_part.reset(n, base);
+    ws.subs_cur.clear();
+    ws.subs_next.clear();
+
+    let TraversalWorkspace {
+        scc_labels,
+        scc_part,
+        fwd_marks,
+        bwd_marks,
+        subs_cur,
+        subs_next,
+        vert_pool,
+        bag_pool,
+        frontier_pool,
+        ..
+    } = ws;
+
     let state = State {
         g,
         gt,
-        labels: AtomicU32Array::new(n, UNLABELED),
-        part: AtomicU32Array::new(n, 0),
-        fwd_mark: AtomicU32Array::new(n, UNLABELED),
-        bwd_mark: AtomicU32Array::new(n, UNLABELED),
-        next_part: AtomicU32::new(1),
+        labels: scc_labels,
+        part: scc_part,
+        fwd_mark: fwd_marks,
+        bwd_mark: bwd_marks,
+        next_part: AtomicU32::new(base + 1),
         engine,
         driver: RoundDriver::new(cancel, observer),
+        vert_pool,
+        bag_pool,
+        frontier_pool,
     };
 
-    let init = (n > 0).then(|| {
-        let worklist = vec![Subproblem {
-            part: 0,
-            vertices: (0..n as u32).collect(),
-        }];
-        (worklist.len() as u64, worklist)
-    });
-    // The driver's empty-worklist re-check replaces the old trailing
-    // `is_cancelled()` poll: `step` bails without labeling once cancelled,
-    // so an empty worklist must not be trusted to mean "fully labeled".
-    state.driver.drive(
-        init,
-        |worklist: Vec<Subproblem>| {
-            let next: Vec<Subproblem> = worklist
-                .into_par_iter()
-                .with_min_len(1)
-                .flat_map_iter(|sub| state.step(sub).into_iter())
-                .collect();
-            (!next.is_empty()).then_some((next.len() as u64, next))
-        },
-        || (),
-    )?;
+    if n > 0 {
+        let mut init = state.vert_pool.get_at_least(n);
+        init.extend(0..n as u32);
+        subs_cur.push((base, init));
+    }
 
-    let labels = state.labels.to_vec();
-    debug_assert!(labels.iter().all(|&l| l != UNLABELED));
-    let num_sccs = labels
-        .iter()
-        .enumerate()
-        .filter(|&(v, &l)| l == v as u32)
-        .count();
-    Ok(SccResult {
-        labels,
-        num_sccs,
-        stats: state.driver.finish(),
-    })
+    // The decomposition loop. The per-round empty re-check mirrors
+    // `RoundDriver::drive`: `step` bails without labeling once cancelled,
+    // so an empty worklist must not be trusted to mean "fully labeled".
+    loop {
+        if state.driver.cancelled() {
+            for (_, v) in subs_cur.drain(..).chain(subs_next.drain(..)) {
+                state.vert_pool.put(v);
+            }
+            return Err(Cancelled);
+        }
+        if subs_cur.is_empty() {
+            state.driver.check()?;
+            break;
+        }
+        state.driver.round(subs_cur.len() as u64, || {
+            let out = Mutex::new(std::mem::take(subs_next));
+            par_for_each_mut(subs_cur, |sub| {
+                let verts = std::mem::take(&mut sub.1);
+                state.step(sub.0, verts, &out);
+            });
+            *subs_next = out.into_inner().expect("scc worklist lock poisoned");
+        });
+        // subs_cur now holds only consumed husks (empty, allocation-free
+        // vectors); swap so the children become current and the husk
+        // vector is recycled as the next round's output list.
+        std::mem::swap(subs_cur, subs_next);
+        subs_next.clear();
+    }
+
+    debug_assert!((0..n).all(|v| state.labels.get(v) != UNLABELED));
+    Ok(state.driver.finish())
 }
 
 /// PASGAL SCC: trim + FW-BW with **VGC** reachability and hash bags
@@ -336,6 +414,21 @@ pub fn scc_vgc_observed(
 ) -> Result<SccResult, Cancelled> {
     let gt = transpose(g);
     scc_fwbw_observed(g, &gt, ReachEngine::Vgc(*cfg), cancel, observer)
+}
+
+/// [`scc_vgc_observed`] in a recycled workspace. The transpose is still
+/// computed per call — callers holding a resident graph should transpose
+/// once and use [`scc_fwbw_observed_in`] directly to keep the warm path
+/// allocation-free.
+pub fn scc_vgc_observed_in(
+    g: &Graph,
+    cfg: &VgcConfig,
+    cancel: &CancelToken,
+    observer: &dyn RoundObserver,
+    ws: &mut TraversalWorkspace,
+) -> Result<AlgoStats, Cancelled> {
+    let gt = transpose(g);
+    scc_fwbw_observed_in(g, &gt, ReachEngine::Vgc(*cfg), cancel, observer, ws)
 }
 
 /// GBBS-style baseline: identical decomposition, but every reachability
@@ -458,5 +551,57 @@ mod tests {
         // the label must be a member of the component
         assert!(r.labels.iter().all(|&l| (l as usize) < 4));
         assert!(r.labels.iter().all(|&l| l == r.labels[0]));
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_runs() {
+        let g = rmat_directed(RmatParams::social(9, 8, 17));
+        let gt = transpose(&g);
+        let want = canonicalize_labels(&scc_tarjan(&g).labels);
+        let mut ws = TraversalWorkspace::new();
+        for round in 0..4 {
+            let token = CancelToken::new();
+            scc_fwbw_observed_in(
+                &g,
+                &gt,
+                ReachEngine::Vgc(VgcConfig::default()),
+                &token,
+                &NoopObserver,
+                &mut ws,
+            )
+            .unwrap();
+            let labels: Vec<u32> = (0..g.num_vertices())
+                .map(|v| ws.scc_labels().get(v))
+                .collect();
+            assert_eq!(canonicalize_labels(&labels), want, "round {round}");
+            assert_eq!(ws.scc_num_sccs(), scc_tarjan(&g).num_sccs);
+        }
+    }
+
+    #[test]
+    fn stamp_wraparound_mid_life_stays_correct() {
+        // Park the epoch allocators just below u32::MAX so the next run
+        // must take the wraparound clear, then verify results.
+        let g = random_directed(200, 600, 2);
+        let gt = transpose(&g);
+        let want = canonicalize_labels(&scc_tarjan(&g).labels);
+        let mut ws = TraversalWorkspace::new();
+        for round in 0..3 {
+            ws.force_scc_stamp_wraparound();
+            let token = CancelToken::new();
+            scc_fwbw_observed_in(
+                &g,
+                &gt,
+                ReachEngine::Vgc(VgcConfig::default()),
+                &token,
+                &NoopObserver,
+                &mut ws,
+            )
+            .unwrap();
+            let labels: Vec<u32> = (0..g.num_vertices())
+                .map(|v| ws.scc_labels().get(v))
+                .collect();
+            assert_eq!(canonicalize_labels(&labels), want, "round {round}");
+        }
     }
 }

@@ -18,15 +18,17 @@
 //! `Ω(D)`-round baselines on large-diameter graphs.
 
 use super::INF;
-use crate::common::{CancelToken, Cancelled, SsspResult, VgcConfig};
+use crate::common::{AlgoStats, CancelToken, Cancelled, SsspResult, VgcConfig};
 use crate::engine::{NoopObserver, RoundDriver, RoundObserver};
-use crate::vgc::local_search_weighted_multi;
+use crate::vgc::{frontier_chunk_len, local_search_weighted_multi};
+use crate::workspace::TraversalWorkspace;
 use pasgal_collections::atomic_array::AtomicU64Array;
 use pasgal_collections::hashbag::HashBag;
 use pasgal_graph::csr::Graph;
 use pasgal_graph::VertexId;
+use pasgal_parlay::gran::{par_for, par_slices};
+use pasgal_parlay::pack::filter_map_index_into;
 use pasgal_parlay::rng::SplitRng;
-use rayon::prelude::*;
 
 /// Tuning for ρ-stepping.
 #[derive(Debug, Clone, Copy)]
@@ -76,19 +78,62 @@ pub fn sssp_rho_stepping_observed(
     cancel: &CancelToken,
     observer: &dyn RoundObserver,
 ) -> Result<SsspResult, Cancelled> {
+    let mut ws = TraversalWorkspace::new();
+    let stats = sssp_rho_stepping_observed_in(g, src, cfg, cancel, observer, &mut ws)?;
+    Ok(SsspResult {
+        dist: ws.take_weighted_dist(),
+        stats,
+    })
+}
+
+/// [`sssp_rho_stepping_observed`] running entirely inside a recycled
+/// [`TraversalWorkspace`]: the distance result is left in the workspace
+/// (read with [`TraversalWorkspace::weighted_dist`], move out with
+/// [`TraversalWorkspace::take_weighted_dist`]) and a warm run performs no
+/// heap allocation — the frontier, sample and near-partition buffers are
+/// all recycled, and the bag keeps its chunks. State is re-prepared at
+/// entry, so an abandoned workspace is safe to reuse.
+pub fn sssp_rho_stepping_observed_in(
+    g: &Graph,
+    src: VertexId,
+    cfg: &RhoConfig,
+    cancel: &CancelToken,
+    observer: &dyn RoundObserver,
+    ws: &mut TraversalWorkspace,
+) -> Result<AlgoStats, Cancelled> {
     let n = g.num_vertices();
     let m = g.num_edges();
     let driver = RoundDriver::new(cancel, observer);
-    let dist = AtomicU64Array::new(n, INF);
-    dist.set(src as usize, 0);
 
+    ws.wdist.reset(n, INF);
     // Re-insertions are one per successful relaxation, bounded per step by
-    // the edges relaxed; size the bag generously (chunks allocate lazily).
-    let bag = HashBag::new(2 * m + n + 16);
+    // the edges relaxed; reserve the full bound — metadata-only, chunks
+    // allocate lazily and persist across runs.
+    ws.bag.reserve(2 * m + n + 16);
+    if !ws.bag.is_empty() {
+        ws.bag.clear(); // only a panicked run leaves entries behind
+    }
+    ws.frontier.clear();
+    ws.samples.clear();
+    ws.near.clear();
+
+    let TraversalWorkspace {
+        wdist,
+        bag,
+        frontier,
+        samples,
+        near,
+        ..
+    } = ws;
+    let dist: &AtomicU64Array = wdist;
+    let bag: &HashBag = bag;
+
+    dist.set(src as usize, 0);
     let rng = SplitRng::new(0x9d0);
 
     let mut step_no: u64 = 0;
-    driver.drive_bag(&bag, vec![src], |frontier| {
+    frontier.push(src);
+    driver.drive_bag_in(bag, frontier, |frontier| {
         let counters = driver.counters();
         step_no += 1;
 
@@ -98,31 +143,37 @@ pub fn sssp_rho_stepping_observed(
             u64::MAX
         } else {
             const SAMPLES: usize = 512;
-            let mut sample: Vec<u64> = (0..SAMPLES)
-                .map(|i| {
-                    let idx =
-                        rng.range_at(step_no * SAMPLES as u64 + i as u64, frontier.len() as u64);
-                    dist.get(frontier[idx as usize] as usize)
-                })
-                .collect();
-            sample.sort_unstable();
+            samples.clear();
+            samples.extend((0..SAMPLES).map(|i| {
+                let idx = rng.range_at(step_no * SAMPLES as u64 + i as u64, frontier.len() as u64);
+                dist.get(frontier[idx as usize] as usize)
+            }));
+            samples.sort_unstable();
             let q = (SAMPLES * cfg.rho / frontier.len()).clamp(1, SAMPLES - 1);
-            sample[q]
+            samples[q]
         };
 
-        // Partition: process near vertices, defer the rest.
-        let (near, far): (Vec<VertexId>, Vec<VertexId>) = frontier
-            .par_iter()
-            .copied()
-            .with_min_len(512)
-            .partition(|&v| dist.get(v as usize) <= theta);
-        for &v in &far {
-            bag.insert(v);
-        }
+        // Partition: pack the near vertices into the recycled scratch,
+        // re-insert the rest for a later step.
+        near.clear();
+        filter_map_index_into(
+            frontier.len(),
+            |j| {
+                let v = frontier[j];
+                (dist.get(v as usize) <= theta).then_some(v)
+            },
+            near,
+        );
+        par_for(frontier.len(), 512, |j| {
+            let v = frontier[j];
+            if dist.get(v as usize) > theta {
+                bag.insert(v);
+            }
+        });
 
         let tau = cfg.vgc.tau;
-        let chunk = crate::vgc::frontier_chunk_len(near.len().max(1));
-        near.par_chunks(chunk).for_each(|grp| {
+        let chunk = frontier_chunk_len(near.len().max(1));
+        par_slices(near, chunk, |grp| {
             // Skipped seeds are fine mid-abort: the Err path discards all
             // partial distances anyway.
             if driver.cancelled() {
@@ -157,10 +208,7 @@ pub fn sssp_rho_stepping_observed(
         });
     })?;
 
-    Ok(SsspResult {
-        dist: dist.to_vec(),
-        stats: driver.finish(),
-    })
+    Ok(driver.finish())
 }
 
 #[cfg(test)]
@@ -243,6 +291,24 @@ mod tests {
         let ok =
             sssp_rho_stepping_cancel(&g, 0, &RhoConfig::default(), &CancelToken::new()).unwrap();
         assert_eq!(ok.dist, sssp_dijkstra(&g, 0).dist);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_runs() {
+        use crate::engine::NoopObserver;
+        let g = with_random_weights(&grid2d(10, 14), 2, 100);
+        let mut ws = TraversalWorkspace::new();
+        let cfg = RhoConfig::default();
+        for src in [0u32, 5, 77, 0] {
+            let want = sssp_dijkstra(&g, src).dist;
+            let token = CancelToken::new();
+            sssp_rho_stepping_observed_in(&g, src, &cfg, &token, &NoopObserver, &mut ws).unwrap();
+            let got: Vec<u64> = (0..g.num_vertices())
+                .map(|v| ws.weighted_dist().get(v))
+                .collect();
+            assert_eq!(got, want, "src {src}");
+        }
+        assert_eq!(ws.take_weighted_dist(), sssp_dijkstra(&g, 0).dist);
     }
 
     #[test]

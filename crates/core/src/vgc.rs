@@ -35,8 +35,11 @@
 //! assert_eq!(spilled.len(), 1);
 //! ```
 
+use crate::common::VgcConfig;
 use pasgal_graph::csr::Graph;
 use pasgal_graph::VertexId;
+use std::cell::RefCell;
+use std::collections::VecDeque;
 
 /// Split a frontier into about `4 × workers` chunks (one multi-seed local
 /// search per chunk). Returns the chunk length. The factor 4 gives the
@@ -45,6 +48,88 @@ use pasgal_graph::VertexId;
 pub fn frontier_chunk_len(frontier_len: usize) -> usize {
     let workers = rayon::current_num_threads().max(1);
     frontier_len.div_ceil(4 * workers).max(1)
+}
+
+thread_local! {
+    // Per-thread traversal scratch. Local searches run in the innermost
+    // loops of every VGC algorithm; allocating a fresh stack/queue per
+    // task would be the last per-run allocation on an otherwise pooled
+    // warm path. take/replace (rather than a held borrow) keeps a
+    // reentrant call merely slower, never a panic.
+    static LIFO_SCRATCH: RefCell<Vec<VertexId>> = const { RefCell::new(Vec::new()) };
+    static FIFO_SCRATCH: RefCell<VecDeque<VertexId>> = const { RefCell::new(VecDeque::new()) };
+}
+
+/// Run `f` with this thread's recycled FIFO queue (cleared). For
+/// traversal loops that need a scratch queue outside the `local_search*`
+/// helpers — e.g. k-core's removal cascades — so they share the pooled
+/// per-thread buffer instead of allocating one per task.
+pub fn with_fifo_scratch<R>(f: impl FnOnce(&mut VecDeque<VertexId>) -> R) -> R {
+    FIFO_SCRATCH.with(|cell| {
+        let mut q = cell.take();
+        q.clear();
+        let r = f(&mut q);
+        cell.replace(q);
+        r
+    })
+}
+
+/// Per-run `τ` budget controller.
+///
+/// With `cfg.adaptive` unset this is a constant. With it set, the driver
+/// feeds the controller each round's frontier size and edge count and the
+/// budget self-tunes between rounds:
+///
+/// * tasks are saturating their budget (`edges/frontier ≥ τ`) while the
+///   frontier is still too thin to occupy the machine → double `τ`
+///   (deeper local searches, fewer rounds), capped at 65 536;
+/// * the frontier is fat enough that horizontal parallelism alone
+///   saturates the machine → halve `τ` (shallow searches waste less work
+///   on redundant claims), floored at 16.
+///
+/// Correctness of every VGC algorithm is `τ`-independent, so the
+/// controller only moves round counts and task granularity, never
+/// results.
+#[derive(Debug, Clone, Copy)]
+pub struct TauController {
+    tau: usize,
+    adaptive: bool,
+}
+
+impl TauController {
+    /// Upper bound for an adapted `τ`.
+    pub const TAU_MAX: usize = 65_536;
+    /// Lower bound for an adapted `τ`.
+    pub const TAU_MIN: usize = 16;
+
+    /// Controller seeded from a config.
+    pub fn new(cfg: VgcConfig) -> Self {
+        Self {
+            tau: cfg.tau.max(1),
+            adaptive: cfg.adaptive,
+        }
+    }
+
+    /// The budget to use for the next round.
+    #[inline]
+    pub fn current(&self) -> usize {
+        self.tau
+    }
+
+    /// Feed one finished round: `frontier` seeds expanded, `edges`
+    /// traversals performed. No-op unless adaptive.
+    pub fn observe(&mut self, frontier: usize, edges: u64) {
+        if !self.adaptive || frontier == 0 {
+            return;
+        }
+        let workers = rayon::current_num_threads().max(1);
+        let per_seed = (edges / frontier as u64) as usize;
+        if per_seed >= self.tau && frontier < 64 * workers {
+            self.tau = (self.tau * 2).min(Self::TAU_MAX);
+        } else if frontier > 512 * workers {
+            self.tau = (self.tau / 2).max(Self::TAU_MIN);
+        }
+    }
 }
 
 /// Outcome of [`local_search`].
@@ -91,25 +176,30 @@ pub fn local_search_multi(
     try_claim: &(impl Fn(VertexId, VertexId) -> bool + ?Sized),
     spill: &mut impl FnMut(VertexId),
 ) -> LocalSearchStats {
-    let mut stack: Vec<VertexId> = starts.to_vec();
-    let mut edges: u64 = 0;
-    let mut spilled: u64 = 0;
-    while let Some(u) = stack.pop() {
-        if edges >= tau as u64 {
-            // budget exhausted: everything still on the stack is handed to
-            // the shared frontier
-            spill(u);
-            spilled += 1;
-            continue;
-        }
-        for &v in g.neighbors(u) {
-            edges += 1;
-            if try_claim(u, v) {
-                stack.push(v);
+    LIFO_SCRATCH.with(|cell| {
+        let mut stack = cell.take();
+        stack.clear();
+        stack.extend_from_slice(starts);
+        let mut edges: u64 = 0;
+        let mut spilled: u64 = 0;
+        while let Some(u) = stack.pop() {
+            if edges >= tau as u64 {
+                // budget exhausted: everything still on the stack is handed
+                // to the shared frontier
+                spill(u);
+                spilled += 1;
+                continue;
+            }
+            for &v in g.neighbors(u) {
+                edges += 1;
+                if try_claim(u, v) {
+                    stack.push(v);
+                }
             }
         }
-    }
-    LocalSearchStats { edges, spilled }
+        cell.replace(stack);
+        LocalSearchStats { edges, spilled }
+    })
 }
 
 /// FIFO variant of [`local_search`]: expands claimed vertices in
@@ -136,23 +226,25 @@ pub fn local_search_fifo_multi(
     try_claim: &(impl Fn(VertexId, VertexId) -> bool + ?Sized),
     spill: &mut impl FnMut(VertexId),
 ) -> LocalSearchStats {
-    let mut queue: std::collections::VecDeque<VertexId> = starts.iter().copied().collect();
-    let mut edges: u64 = 0;
-    let mut spilled: u64 = 0;
-    while let Some(u) = queue.pop_front() {
-        if edges >= tau as u64 {
-            spill(u);
-            spilled += 1;
-            continue;
-        }
-        for &v in g.neighbors(u) {
-            edges += 1;
-            if try_claim(u, v) {
-                queue.push_back(v);
+    with_fifo_scratch(|queue| {
+        queue.extend(starts.iter().copied());
+        let mut edges: u64 = 0;
+        let mut spilled: u64 = 0;
+        while let Some(u) = queue.pop_front() {
+            if edges >= tau as u64 {
+                spill(u);
+                spilled += 1;
+                continue;
+            }
+            for &v in g.neighbors(u) {
+                edges += 1;
+                if try_claim(u, v) {
+                    queue.push_back(v);
+                }
             }
         }
-    }
-    LocalSearchStats { edges, spilled }
+        LocalSearchStats { edges, spilled }
+    })
 }
 
 /// Weighted variant: `try_relax(u, v, w)` sees the edge weight.
@@ -176,23 +268,25 @@ pub fn local_search_weighted_multi(
     try_relax: &(impl Fn(VertexId, VertexId, u32) -> bool + ?Sized),
     spill: &mut impl FnMut(VertexId),
 ) -> LocalSearchStats {
-    let mut queue: std::collections::VecDeque<VertexId> = starts.iter().copied().collect();
-    let mut edges: u64 = 0;
-    let mut spilled: u64 = 0;
-    while let Some(u) = queue.pop_front() {
-        if edges >= tau as u64 {
-            spill(u);
-            spilled += 1;
-            continue;
-        }
-        for (v, w) in g.weighted_neighbors(u) {
-            edges += 1;
-            if try_relax(u, v, w) {
-                queue.push_back(v);
+    with_fifo_scratch(|queue| {
+        queue.extend(starts.iter().copied());
+        let mut edges: u64 = 0;
+        let mut spilled: u64 = 0;
+        while let Some(u) = queue.pop_front() {
+            if edges >= tau as u64 {
+                spill(u);
+                spilled += 1;
+                continue;
+            }
+            for (v, w) in g.weighted_neighbors(u) {
+                edges += 1;
+                if try_relax(u, v, w) {
+                    queue.push_back(v);
+                }
             }
         }
-    }
-    LocalSearchStats { edges, spilled }
+        LocalSearchStats { edges, spilled }
+    })
 }
 
 #[cfg(test)]
@@ -263,6 +357,59 @@ mod tests {
             &mut |v| spills.push(v),
         );
         assert_eq!(seen.into_inner(), vec![(0, 1, 5), (1, 2, 7)]);
+    }
+
+    #[test]
+    fn fifo_scratch_is_cleared_between_uses() {
+        with_fifo_scratch(|q| {
+            q.push_back(1);
+            q.push_back(2);
+        });
+        with_fifo_scratch(|q| assert!(q.is_empty()));
+    }
+
+    #[test]
+    fn tau_controller_fixed_never_moves() {
+        let mut c = TauController::new(VgcConfig::with_tau(512));
+        c.observe(1, 1_000_000);
+        c.observe(100_000_000, 1);
+        assert_eq!(c.current(), 512);
+    }
+
+    #[test]
+    fn tau_controller_grows_on_thin_saturated_frontier() {
+        let mut c = TauController::new(VgcConfig::adaptive());
+        let t0 = c.current();
+        // one seed, traversing far more than τ edges: budget saturated,
+        // frontier thin → deepen
+        c.observe(1, (t0 as u64) * 10);
+        assert_eq!(c.current(), t0 * 2);
+        // growth is capped
+        for _ in 0..40 {
+            let t = c.current() as u64;
+            c.observe(1, t * 10);
+        }
+        assert_eq!(c.current(), TauController::TAU_MAX);
+    }
+
+    #[test]
+    fn tau_controller_shrinks_on_fat_frontier() {
+        let mut c = TauController::new(VgcConfig::adaptive());
+        let t0 = c.current();
+        c.observe(100_000_000, 1);
+        assert_eq!(c.current(), t0 / 2);
+        for _ in 0..40 {
+            c.observe(100_000_000, 1);
+        }
+        assert_eq!(c.current(), TauController::TAU_MIN);
+    }
+
+    #[test]
+    fn tau_controller_ignores_empty_rounds() {
+        let mut c = TauController::new(VgcConfig::adaptive());
+        let t0 = c.current();
+        c.observe(0, 0);
+        assert_eq!(c.current(), t0);
     }
 
     #[test]

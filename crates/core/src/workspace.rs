@@ -1,0 +1,375 @@
+//! Pooled traversal workspaces: the zero-allocation warm path.
+//!
+//! Every traversal in this crate needs the same kind of transient state —
+//! a distance/label array sized to the graph, hash bags for the growing
+//! frontier, a handful of scratch vectors. Allocating (and zeroing) that
+//! state per call is invisible on a one-shot run but dominates repeated
+//! runs on a resident graph: the service answers thousands of queries per
+//! second against the same CSR, and a `vec![MAX; n]` per query is pure
+//! overhead.
+//!
+//! A [`TraversalWorkspace`] owns all of it, recycled across runs:
+//!
+//! * distance/label arrays are [`reset`](pasgal_collections::atomic_array)
+//!   in place, keeping their heap allocation;
+//! * hash bags keep their lazily-allocated chunks;
+//!   [`reserve`](pasgal_collections::hashbag::HashBag::reserve) only grows
+//!   metadata;
+//! * visited marks are epoch-stamped
+//!   ([`EpochMarks`]), so "reset" is bumping a counter, not an O(n) clear;
+//! * scratch vectors are `clear()`ed, never dropped.
+//!
+//! At steady state a warm run performs **zero** heap allocations (the
+//! `bench` crate's `hotpath` binary counts them with an instrumented
+//! global allocator and the CI perf-smoke job fails on regression), with
+//! one deliberate exception: a caller that wants to *own* a result moves
+//! the buffer out via [`take_hop_dist`](TraversalWorkspace::take_hop_dist)
+//! & friends, and the next run re-grows that one array.
+//!
+//! The `*_in` algorithm entry points (`bfs_vgc_dir_observed_in`,
+//! `sssp_rho_stepping_observed_in`, `scc_vgc_observed_in`,
+//! `connectivity_observed_in`, `kcore_peel_observed_in`) leave results in
+//! the workspace; the original allocating APIs are thin wrappers over a
+//! fresh workspace and are bit-identical to their pre-workspace versions.
+//!
+//! [`WorkspacePool`] shares workspaces between service workers: acquire
+//! returns an RAII guard that returns the workspace on drop, including
+//! drops during panic unwinding (every `*_in` entry point re-prepares its
+//! state up front, so a workspace abandoned mid-run is safe to reuse).
+
+use pasgal_collections::atomic_array::{AtomicU32Array, AtomicU64Array};
+use pasgal_collections::epoch::EpochMarks;
+use pasgal_collections::hashbag::HashBag;
+use pasgal_collections::union_find::ConcurrentUnionFind;
+use pasgal_graph::VertexId;
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex;
+
+/// A pool of `Vec<u32>` buffers for structures whose element count varies
+/// per round (SCC subproblem vertex lists). `get` pops a recycled buffer
+/// (or starts empty), `put` clears and shelves it; capacity is never
+/// discarded, so steady-state rounds allocate only past the high-water
+/// mark.
+#[derive(Default)]
+pub(crate) struct BufPool(Mutex<Vec<Vec<u32>>>);
+
+impl BufPool {
+    pub(crate) fn get(&self) -> Vec<u32> {
+        self.0
+            .lock()
+            .expect("buf pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// `get`, but preferring a recycled buffer that already has `cap`
+    /// capacity (growing one only when none qualifies). Plain LIFO `get`
+    /// is wrong for a caller with a *known large* demand: the big buffer
+    /// it grew last run may sit buried mid-pool, and popping whatever is
+    /// on top re-grows a small one every single run.
+    pub(crate) fn get_at_least(&self, cap: usize) -> Vec<u32> {
+        let mut free = self.0.lock().expect("buf pool poisoned");
+        if let Some(i) = free.iter().position(|b| b.capacity() >= cap) {
+            return free.swap_remove(i);
+        }
+        let mut buf = free.pop().unwrap_or_default();
+        drop(free);
+        buf.reserve(cap);
+        buf
+    }
+
+    pub(crate) fn put(&self, mut buf: Vec<u32>) {
+        buf.clear();
+        self.0.lock().expect("buf pool poisoned").push(buf);
+    }
+}
+
+/// A pool of [`HashBag`]s for concurrently-running searches (SCC runs one
+/// reachability search per live subproblem, in parallel). Returned bags
+/// keep their allocated chunks; `get` only grows metadata to fit `n`.
+#[derive(Default)]
+pub(crate) struct BagPool(Mutex<Vec<HashBag>>);
+
+impl BagPool {
+    pub(crate) fn get(&self, capacity: usize) -> HashBag {
+        let mut bag = self
+            .0
+            .lock()
+            .expect("bag pool poisoned")
+            .pop()
+            .unwrap_or_else(|| HashBag::new(0));
+        bag.reserve(capacity);
+        bag
+    }
+
+    pub(crate) fn put(&self, bag: HashBag) {
+        debug_assert!(bag.is_empty(), "bags must be drained before pooling");
+        self.0.lock().expect("bag pool poisoned").push(bag);
+    }
+}
+
+/// Recycled state for every traversal in this crate (see module docs).
+///
+/// One workspace serves one run at a time (`&mut` entry points enforce
+/// this); distinct queries of *different* algorithms happily share one
+/// workspace sequentially — that is the service's per-worker usage.
+#[derive(Default)]
+pub struct TraversalWorkspace {
+    // --- BFS (bfs::vgc) ---
+    /// Hop distances; the BFS result buffer.
+    pub(crate) hop_dist: AtomicU32Array,
+    /// Geometric multi-frontier bags (created once, chunks persist).
+    pub(crate) bags: Vec<HashBag>,
+    /// Bag-drain scratch: vertices extracted from the nearest bag.
+    pub(crate) raw: Vec<VertexId>,
+    /// Round scratch: packed `(dist << 32) | vertex` entries.
+    pub(crate) entries: Vec<u64>,
+    /// Round scratch: the in-window subset of `entries`.
+    pub(crate) window: Vec<u64>,
+    /// Round scratch: seed vertices handed to local searches.
+    pub(crate) seeds: Vec<VertexId>,
+    // --- SSSP (sssp::stepping) ---
+    /// Weighted distances; the SSSP result buffer.
+    pub(crate) wdist: AtomicU64Array,
+    /// The single shared frontier bag (SSSP, k-core cascades).
+    pub(crate) bag: HashBag,
+    /// Frontier buffer recycled across rounds *and* runs.
+    pub(crate) frontier: Vec<VertexId>,
+    /// Distance-sample scratch for the ρ-stepping threshold.
+    pub(crate) samples: Vec<u64>,
+    /// Near-partition scratch (`dist < threshold`) per round.
+    pub(crate) near: Vec<VertexId>,
+    // --- SCC (scc::fwbw) ---
+    /// SCC labels; the SCC result buffer.
+    pub(crate) scc_labels: AtomicU32Array,
+    /// Partition ids per vertex (epoch-ranged per run).
+    pub(crate) scc_part: AtomicU32Array,
+    /// Forward-reachability marks, stamped by partition id.
+    pub(crate) fwd_marks: EpochMarks,
+    /// Backward-reachability marks, stamped by partition id.
+    pub(crate) bwd_marks: EpochMarks,
+    /// Live subproblems this round: `(partition id, vertices)`.
+    pub(crate) subs_cur: Vec<(u32, Vec<u32>)>,
+    /// Subproblems produced for the next round.
+    pub(crate) subs_next: Vec<(u32, Vec<u32>)>,
+    /// Recycled vertex-list buffers for subproblem splitting.
+    pub(crate) vert_pool: BufPool,
+    /// Recycled frontier bags for concurrent reachability searches.
+    pub(crate) bag_pool: BagPool,
+    /// Recycled frontier vectors for concurrent reachability searches.
+    pub(crate) frontier_pool: BufPool,
+    // --- CC (cc) ---
+    /// Union-find recycled across connectivity runs.
+    pub(crate) uf: ConcurrentUnionFind,
+    // --- k-core (kcore) ---
+    /// Remaining-degree scratch.
+    pub(crate) degree: AtomicU32Array,
+    /// Coreness values; the k-core result buffer.
+    pub(crate) coreness: AtomicU32Array,
+}
+
+impl TraversalWorkspace {
+    /// An empty workspace; buffers grow on first use and persist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Move the BFS hop-distance result out (no copy; the workspace's
+    /// array is left empty and re-grows on the next BFS).
+    ///
+    /// Call after a successful `bfs_vgc_dir_observed_in`.
+    pub fn take_hop_dist(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.hop_dist).into_vec()
+    }
+
+    /// Borrow the BFS hop distances in place (the allocation-free way to
+    /// read a result that does not need to outlive the workspace).
+    pub fn hop_dist(&self) -> &AtomicU32Array {
+        &self.hop_dist
+    }
+
+    /// Move the SSSP distance result out (no copy).
+    ///
+    /// Call after a successful `sssp_rho_stepping_observed_in`.
+    pub fn take_weighted_dist(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.wdist).into_vec()
+    }
+
+    /// Borrow the SSSP distances in place.
+    pub fn weighted_dist(&self) -> &AtomicU64Array {
+        &self.wdist
+    }
+
+    /// Move the SCC label result out (no copy).
+    ///
+    /// Call after a successful `scc_vgc_observed_in` /
+    /// `scc_fwbw_observed_in`.
+    pub fn take_scc_labels(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.scc_labels).into_vec()
+    }
+
+    /// Borrow the SCC labels in place.
+    pub fn scc_labels(&self) -> &AtomicU32Array {
+        &self.scc_labels
+    }
+
+    /// Count the SCCs in the resident label array (labels name the
+    /// component's pivot vertex, so `labels[v] == v` exactly once per
+    /// component).
+    pub fn scc_num_sccs(&self) -> usize {
+        let n = self.scc_labels.len();
+        (0..n)
+            .filter(|&v| self.scc_labels.get(v) == v as u32)
+            .count()
+    }
+
+    /// Move the k-core coreness result out (no copy).
+    ///
+    /// Call after a successful `kcore_peel_observed_in`.
+    pub fn take_coreness(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.coreness).into_vec()
+    }
+
+    /// Borrow the coreness values in place.
+    pub fn coreness(&self) -> &AtomicU32Array {
+        &self.coreness
+    }
+
+    /// Test hook: park the SCC mark allocators just below the `u32`
+    /// wraparound point, so a test can exercise the full-clear path
+    /// without four billion warm-up runs.
+    pub fn force_scc_stamp_wraparound(&mut self) {
+        self.fwd_marks.set_next_stamp(u32::MAX - 1);
+        self.bwd_marks.set_next_stamp(u32::MAX - 1);
+    }
+}
+
+/// A shared pool of [`TraversalWorkspace`]s, one per concurrent query.
+///
+/// [`acquire`](Self::acquire) hands out an RAII guard; dropping the guard
+/// (normally or during unwinding) returns the workspace. The pool grows
+/// to the peak number of concurrent holders and never shrinks — exactly
+/// the service's worker count at steady state.
+#[derive(Default)]
+pub struct WorkspacePool {
+    free: Mutex<Vec<TraversalWorkspace>>,
+}
+
+impl WorkspacePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take a recycled workspace (or create one if all are in use).
+    pub fn acquire(&self) -> PooledWorkspace<'_> {
+        let ws = self
+            .free
+            .lock()
+            .expect("workspace pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        PooledWorkspace {
+            ws: Some(ws),
+            pool: self,
+        }
+    }
+
+    /// Number of idle workspaces currently shelved.
+    pub fn idle(&self) -> usize {
+        self.free.lock().expect("workspace pool poisoned").len()
+    }
+}
+
+/// RAII guard for a pooled workspace (see [`WorkspacePool::acquire`]).
+pub struct PooledWorkspace<'a> {
+    ws: Option<TraversalWorkspace>,
+    pool: &'a WorkspacePool,
+}
+
+impl Deref for PooledWorkspace<'_> {
+    type Target = TraversalWorkspace;
+
+    fn deref(&self) -> &TraversalWorkspace {
+        self.ws.as_ref().expect("workspace present until drop")
+    }
+}
+
+impl DerefMut for PooledWorkspace<'_> {
+    fn deref_mut(&mut self) -> &mut TraversalWorkspace {
+        self.ws.as_mut().expect("workspace present until drop")
+    }
+}
+
+impl Drop for PooledWorkspace<'_> {
+    fn drop(&mut self) {
+        if let Some(ws) = self.ws.take() {
+            self.pool
+                .free
+                .lock()
+                .expect("workspace pool poisoned")
+                .push(ws);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_recycles_on_drop() {
+        let pool = WorkspacePool::new();
+        assert_eq!(pool.idle(), 0);
+        {
+            let mut a = pool.acquire();
+            let _b = pool.acquire(); // concurrent holder forces growth
+            a.raw.push(7);
+            assert_eq!(pool.idle(), 0);
+        }
+        assert_eq!(pool.idle(), 2);
+        // the recycled workspace keeps its buffers (cleared by algorithms,
+        // not by the pool)
+        let a = pool.acquire();
+        let b = pool.acquire();
+        assert_eq!(a.raw.len() + b.raw.len(), 1);
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn pool_returns_workspace_during_unwind() {
+        let pool = WorkspacePool::new();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ws = pool.acquire();
+            panic!("query body panicked");
+        }));
+        assert!(r.is_err());
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn buf_pool_keeps_capacity() {
+        let pool = BufPool::default();
+        let mut b = pool.get();
+        b.extend(0..1000u32);
+        let cap = b.capacity();
+        pool.put(b);
+        let b2 = pool.get();
+        assert!(b2.is_empty());
+        assert_eq!(b2.capacity(), cap);
+    }
+
+    #[test]
+    fn bag_pool_recycles_and_reserves() {
+        let pool = BagPool::default();
+        let bag = pool.get(10_000);
+        bag.insert(1);
+        bag.insert(2);
+        let mut drained = Vec::new();
+        bag.extract_into(&mut drained);
+        assert_eq!(drained.len(), 2);
+        pool.put(bag);
+        let bag2 = pool.get(100);
+        assert!(bag2.is_empty());
+    }
+}

@@ -9,14 +9,21 @@
 //!
 //! These helpers exist so every hot loop in the library shares one notion of
 //! grain size and one instrumentation path.
+//!
+//! The loops here are **allocation-free**: work is handed out through an
+//! atomic block cursor over scoped threads, with no index vectors or
+//! per-task boxes materialized. Under a single-thread pool (or when the
+//! range fits in one grain) they degenerate to a plain sequential loop —
+//! this is what lets the warm-path bench (`BENCH_HOTPATH.json`) demand
+//! zero allocations per traversal.
 
 use crate::counters::Counters;
-use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Default sequential base-case size for blocked loops.
 ///
-/// ParlayLib uses roughly 2048 for cheap loop bodies; rayon's adaptive
-/// splitting makes the exact value less critical, but graph kernels with
+/// ParlayLib uses roughly 2048 for cheap loop bodies; the dynamic block
+/// cursor makes the exact value less critical, but graph kernels with
 /// very cheap bodies benefit from an explicit grain.
 pub const DEFAULT_GRAIN: usize = 2048;
 
@@ -35,7 +42,12 @@ pub fn par_for(n: usize, grain: usize, f: impl Fn(usize) + Sync + Send) {
         }
         return;
     }
-    (0..n).into_par_iter().with_min_len(grain).for_each(f);
+    let block = adaptive_block_size(n, grain);
+    par_blocks(n, block, |lo, hi| {
+        for i in lo..hi {
+            f(i);
+        }
+    });
 }
 
 /// Parallel loop over `0..n` with the default grain.
@@ -48,21 +60,83 @@ pub fn par_for_default(n: usize, f: impl Fn(usize) + Sync + Send) {
 ///
 /// This is the shape used by scan/pack two-pass algorithms: a first pass
 /// computes per-block summaries, a scan combines them, a second pass
-/// finishes each block with its offset.
+/// finishes each block with its offset. Block boundaries are always
+/// `b*block .. min((b+1)*block, n)` regardless of scheduling, so callers
+/// may index side tables by `lo / block`.
 pub fn par_blocks(n: usize, block: usize, f: impl Fn(usize, usize) + Sync) {
     if n == 0 {
         return;
     }
     let block = block.max(1);
     let nblocks = n.div_ceil(block);
-    if nblocks == 1 {
-        f(0, n);
+    let workers = rayon::current_num_threads().max(1).min(nblocks);
+    if workers <= 1 {
+        for b in 0..nblocks {
+            let lo = b * block;
+            f(lo, (lo + block).min(n));
+        }
         return;
     }
-    (0..nblocks).into_par_iter().for_each(|b| {
+    // Dynamic scheduling: threads race on a block cursor, so a straggler
+    // block never serializes the tail the way a static split would.
+    let cursor = AtomicUsize::new(0);
+    let run = || loop {
+        let b = cursor.fetch_add(1, Ordering::Relaxed);
+        if b >= nblocks {
+            break;
+        }
         let lo = b * block;
-        let hi = (lo + block).min(n);
-        f(lo, hi);
+        f(lo, (lo + block).min(n));
+    };
+    std::thread::scope(|s| {
+        for _ in 1..workers {
+            s.spawn(run);
+        }
+        run();
+    });
+}
+
+/// Parallel loop over consecutive sub-slices of `data` of length at most
+/// `chunk` — the allocation-free replacement for `par_chunks().for_each()`
+/// on frontier hot paths.
+pub fn par_slices<T: Sync>(data: &[T], chunk: usize, f: impl Fn(&[T]) + Sync) {
+    par_blocks(data.len(), chunk, |lo, hi| f(&data[lo..hi]));
+}
+
+/// Parallel `for_each` over `&mut` elements: each element is handed to
+/// exactly one task. Used where items must be consumed in place (e.g. a
+/// worklist of owned subproblems) without collecting into a new vector.
+pub fn par_for_each_mut<T: Send>(items: &mut [T], f: impl Fn(&mut T) + Sync) {
+    let n = items.len();
+    let workers = rayon::current_num_threads().max(1).min(n);
+    if workers <= 1 {
+        for it in items.iter_mut() {
+            f(it);
+        }
+        return;
+    }
+    struct SendPtr<T>(*mut T);
+    unsafe impl<T: Send> Sync for SendPtr<T> {}
+    let ptr = SendPtr(items.as_mut_ptr());
+    let cursor = AtomicUsize::new(0);
+    let run = || {
+        let ptr = &ptr;
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            // SAFETY: the cursor hands out each index exactly once, so no
+            // two tasks alias the same element; the scope outlives all
+            // borrows of `items`.
+            unsafe { f(&mut *ptr.0.add(i)) };
+        }
+    };
+    std::thread::scope(|s| {
+        for _ in 1..workers {
+            s.spawn(run);
+        }
+        run();
     });
 }
 
@@ -129,6 +203,7 @@ mod tests {
         let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
         par_blocks(n, 64, |lo, hi| {
             assert!(lo < hi && hi <= n);
+            assert_eq!(lo % 64, 0, "block boundaries must stay aligned");
             for h in &hits[lo..hi] {
                 h.fetch_add(1, Ordering::Relaxed);
             }
@@ -144,6 +219,35 @@ mod tests {
             calls.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn par_slices_cover_in_order_pieces() {
+        let data: Vec<u32> = (0..1000).collect();
+        let seen = AtomicUsize::new(0);
+        par_slices(&data, 64, |s| {
+            assert!(!s.is_empty() && s.len() <= 64);
+            // each slice is a consecutive run
+            assert!(s.windows(2).all(|w| w[1] == w[0] + 1));
+            seen.fetch_add(s.len(), Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn par_for_each_mut_touches_each_element_once() {
+        let mut items: Vec<usize> = vec![0; 5000];
+        par_for_each_mut(&mut items, |x| *x += 1);
+        assert!(items.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn par_for_each_mut_empty_and_single() {
+        let mut empty: Vec<u32> = vec![];
+        par_for_each_mut(&mut empty, |_| panic!("must not be called"));
+        let mut one = vec![7u32];
+        par_for_each_mut(&mut one, |x| *x *= 6);
+        assert_eq!(one, vec![42]);
     }
 
     #[test]

@@ -5,12 +5,15 @@
 //! behind sparse `edge_map` (compact the next frontier) and hash-bag
 //! extraction.
 
-use crate::gran::{adaptive_block_size, num_blocks, par_blocks};
-use crate::scan::scan_exclusive;
-use crate::unsafe_slice::SyncUnsafeSlice;
+use crate::gran::{adaptive_block_size, num_blocks, par_blocks, par_for};
 
 /// Sequential threshold below which packing runs in one pass.
 const SEQ_PACK_THRESHOLD: usize = 1 << 13;
+
+/// Cap on the number of pack blocks, so per-block counts and offsets fit
+/// in fixed stack arrays and the pack itself never heap-allocates (the
+/// zero-allocation warm path depends on this).
+const MAX_PACK_BLOCKS: usize = 256;
 
 /// Keep the elements of `xs` satisfying `pred`, preserving order.
 pub fn filter<T: Copy + Send + Sync>(xs: &[T], pred: impl Fn(&T) -> bool + Sync) -> Vec<T> {
@@ -31,34 +34,68 @@ where
     T: Copy + Send + Sync,
     F: Fn(usize) -> Option<T> + Sync,
 {
+    let mut out = Vec::new();
+    filter_map_index_into(n, f, &mut out);
+    out
+}
+
+/// [`filter_map_index`] appending into a caller-provided (recycled)
+/// vector. Allocates only when `out` must grow past its capacity: the
+/// per-block counts and offsets live in fixed stack arrays, and survivors
+/// are written directly into `out`'s spare capacity. This is the
+/// steady-state-allocation-free pack behind hash-bag extraction and
+/// frontier windowing.
+///
+/// Same purity contract as [`filter_map_index`]: `f` is evaluated twice
+/// per index.
+pub fn filter_map_index_into<T, F>(n: usize, f: F, out: &mut Vec<T>)
+where
+    T: Copy + Send + Sync,
+    F: Fn(usize) -> Option<T> + Sync,
+{
     if n == 0 {
-        return Vec::new();
+        return;
     }
     if n <= SEQ_PACK_THRESHOLD {
-        return (0..n).filter_map(f).collect();
+        out.extend((0..n).filter_map(f));
+        return;
     }
 
-    let block = adaptive_block_size(n, 1024);
+    let mut block = adaptive_block_size(n, 1024);
+    if num_blocks(n, block) > MAX_PACK_BLOCKS {
+        block = n.div_ceil(MAX_PACK_BLOCKS);
+    }
     let nb = num_blocks(n, block);
+    debug_assert!(nb <= MAX_PACK_BLOCKS);
 
-    // Pass 1: survivors per block.
-    let mut counts = vec![0usize; nb];
+    // Pass 1: survivors per block, counted into a stack array.
+    let mut counts = [0usize; MAX_PACK_BLOCKS];
     {
-        let counts_s = SyncUnsafeSlice::new(&mut counts);
+        struct StackCounts(*mut usize);
+        unsafe impl Sync for StackCounts {}
+        let counts_ptr = StackCounts(counts.as_mut_ptr());
+        let counts_ptr = &counts_ptr;
         par_blocks(n, block, |lo, hi| {
             let c = (lo..hi).filter(|&i| f(i).is_some()).count();
-            // SAFETY: one task per block index.
-            unsafe { counts_s.write(lo / block, c) };
+            // SAFETY: one task per block index, nb <= MAX_PACK_BLOCKS.
+            unsafe { counts_ptr.0.add(lo / block).write(c) };
         });
     }
-    let (offsets, total) = scan_exclusive(&counts);
+    // Exclusive scan in place (nb is tiny — sequential).
+    let mut total = 0usize;
+    for c in counts.iter_mut().take(nb) {
+        let v = *c;
+        *c = total;
+        total += v;
+    }
 
-    // Pass 2: write survivors at block offsets.
-    let mut out: Vec<T> = Vec::with_capacity(total);
+    // Pass 2: write survivors at block offsets, into spare capacity.
+    let base = out.len();
+    out.reserve(total);
     {
-        let spare = out.spare_capacity_mut();
-        let out_ptr = SpareSlice(spare.as_mut_ptr() as *mut T, total);
-        let offsets = &offsets;
+        // SAFETY: capacity >= base + total after the reserve.
+        let out_ptr = SpareSlice(unsafe { out.as_mut_ptr().add(base) }, total);
+        let offsets = &counts;
         par_blocks(n, block, |lo, hi| {
             let mut at = offsets[lo / block];
             for i in lo..hi {
@@ -71,9 +108,30 @@ where
             }
         });
     }
-    // SAFETY: exactly `total` slots were initialized by pass 2.
-    unsafe { out.set_len(total) };
-    out
+    // SAFETY: exactly `total` slots past `base` were initialized by pass 2.
+    unsafe { out.set_len(base + total) };
+}
+
+/// Parallel map of `f` over `0..n`, appending the `n` results (in index
+/// order) into `out`. Allocates only when `out` must grow.
+pub fn par_map_into<T, F>(n: usize, f: F, out: &mut Vec<T>)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync + Send,
+{
+    let base = out.len();
+    out.reserve(n);
+    {
+        // SAFETY: capacity >= base + n after the reserve.
+        let out_ptr = SpareSlice(unsafe { out.as_mut_ptr().add(base) }, n);
+        let out_ptr = &out_ptr;
+        par_for(n, 2048, |i| {
+            // SAFETY: one writer per index, i < n.
+            unsafe { out_ptr.write(i, f(i)) };
+        });
+    }
+    // SAFETY: all n slots past `base` were initialized.
+    unsafe { out.set_len(base + n) };
 }
 
 /// Raw spare-capacity writer shared across tasks.
@@ -140,6 +198,50 @@ mod tests {
         assert_eq!(got[0], 0);
         assert_eq!(got[1], 20);
         assert_eq!(got[24_999], 499_980);
+    }
+
+    #[test]
+    fn filter_map_index_into_appends_without_clearing() {
+        let mut out = vec![999u32];
+        filter_map_index_into(50_000, |i| (i % 5 == 0).then_some(i as u32), &mut out);
+        assert_eq!(out.len(), 1 + 10_000);
+        assert_eq!(out[0], 999);
+        assert_eq!(out[1], 0);
+        assert_eq!(out[2], 5);
+        assert_eq!(out[10_000], 49_995);
+    }
+
+    #[test]
+    fn filter_map_index_into_recycled_buffer_matches_fresh() {
+        let mut out = Vec::new();
+        for round in 0..3usize {
+            out.clear();
+            filter_map_index_into(
+                100_000,
+                |i| (i % (round + 2) == 0).then_some(i as u64),
+                &mut out,
+            );
+            let want: Vec<u64> = (0..100_000u64)
+                .filter(|i| i % (round as u64 + 2) == 0)
+                .collect();
+            assert_eq!(out, want, "round {round}");
+        }
+    }
+
+    #[test]
+    fn par_map_into_preserves_index_order() {
+        let mut out = vec![7u64];
+        par_map_into(100_000, |i| (i as u64) * 3, &mut out);
+        assert_eq!(out.len(), 100_001);
+        assert_eq!(out[0], 7);
+        assert!(out[1..].iter().enumerate().all(|(i, &v)| v == i as u64 * 3));
+    }
+
+    #[test]
+    fn par_map_into_empty() {
+        let mut out: Vec<u32> = vec![];
+        par_map_into(0, |_| 0, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

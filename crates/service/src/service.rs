@@ -48,14 +48,16 @@ use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::query::{Answer, Query, QueryMode, Reply, ServiceError};
 use crate::resilience::{Admission, Backoff, BreakerRegistry, ResilienceConfig};
 use pasgal_core::bfs::seq::bfs_seq;
-use pasgal_core::bfs::vgc::bfs_vgc_cancel;
-use pasgal_core::cc::{connectivity_cancel, connectivity_seq};
+use pasgal_core::bfs::vgc::bfs_vgc_dir_observed_in;
+use pasgal_core::cc::{connectivity_observed_in, connectivity_seq};
 use pasgal_core::common::{canonicalize_labels, CancelToken, Cancelled, VgcConfig, UNREACHED};
-use pasgal_core::kcore::{kcore_peel_cancel, kcore_seq};
-use pasgal_core::scc::fwbw::scc_vgc_cancel;
+use pasgal_core::engine::NoopObserver;
+use pasgal_core::kcore::{kcore_peel_observed_in, kcore_seq};
+use pasgal_core::scc::fwbw::scc_vgc_observed_in;
 use pasgal_core::scc::tarjan::scc_tarjan;
 use pasgal_core::sssp::dijkstra::sssp_dijkstra;
-use pasgal_core::sssp::stepping::{sssp_rho_stepping_cancel, RhoConfig};
+use pasgal_core::sssp::stepping::{sssp_rho_stepping_observed_in, RhoConfig};
+use pasgal_core::workspace::{TraversalWorkspace, WorkspacePool};
 use pasgal_graph::csr::Graph;
 use pasgal_graph::stats::degree_stats;
 use std::hash::{Hash, Hasher};
@@ -83,6 +85,10 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// VGC granularity (`τ`) used for all traversals.
     pub tau: usize,
+    /// Let the τ controller retune granularity per round (starting from
+    /// `tau`) instead of holding it fixed. Affects scheduling only —
+    /// answers are τ-independent, so this never changes results.
+    pub adaptive_tau: bool,
     /// Retry and circuit-breaker tuning.
     pub resilience: ResilienceConfig,
     /// Deterministic fault injection (inert unless the `fault-injection`
@@ -101,6 +107,7 @@ impl Default for ServiceConfig {
             query_timeout: Duration::from_secs(30),
             cache_capacity: 128,
             tau: 256,
+            adaptive_tau: true,
             resilience: ResilienceConfig::default(),
             faults: FaultPlan::default(),
         }
@@ -126,6 +133,9 @@ struct Inner {
     faults: FaultInjector,
     /// Cleared when shutdown drain begins; reported by `health`.
     ready: AtomicBool,
+    /// Recycled traversal workspaces — one in flight per busy worker, so
+    /// a warm worker runs its traversal without touching the allocator.
+    workspaces: WorkspacePool,
     config: ServiceConfig,
 }
 
@@ -150,6 +160,7 @@ impl Service {
             metrics: Metrics::new(),
             faults: FaultInjector::new(config.faults.clone()),
             ready: AtomicBool::new(true),
+            workspaces: WorkspacePool::new(),
             config: config.clone(),
         });
         let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
@@ -801,13 +812,19 @@ fn worker_loop(inner: Arc<Inner>, rx: Arc<Mutex<Receiver<Job>>>) {
                 std::thread::sleep(Duration::from_millis(2));
             }
         }
+        // Acquired *outside* catch_unwind: on a panic the guard is still
+        // owned here, so its Drop shelves the workspace back in the pool
+        // (every `*_observed_in` re-prepares state at entry, making a
+        // panic-abandoned workspace safe to reuse).
+        let mut ws = inner.workspaces.acquire();
         let result = catch_unwind(AssertUnwindSafe(|| {
             if inner.faults.should_panic_worker() {
                 panic!("injected worker panic");
             }
-            compute(&inner, &job.key, &job.entry, &token)
+            compute(&inner, &job.key, &job.entry, &token, &mut ws)
         }))
         .map_err(panic_message);
+        drop(ws);
         let outcome: FlightOutcome = match result {
             Ok(Ok(value)) => FlightOutcome::Value(value),
             Ok(Err(Cancelled)) => {
@@ -881,14 +898,22 @@ fn compute(
     key: &ComputeKey,
     entry: &GraphEntry,
     cancel: &CancelToken,
+    ws: &mut TraversalWorkspace,
 ) -> Result<ComputeValue, Cancelled> {
-    let vgc = VgcConfig::with_tau(inner.config.tau);
+    let vgc = VgcConfig {
+        tau: inner.config.tau,
+        adaptive: inner.config.adaptive_tau,
+    };
+    // All traversals run inside the recycled workspace; only the result
+    // buffers are moved out (into the `Arc` the cache shares), never
+    // copied.
     Ok(match *key {
         ComputeKey::HopDists { src, .. } => {
-            let r = bfs_vgc_cancel(&entry.graph, src, &vgc, cancel)?;
+            let stats =
+                bfs_vgc_dir_observed_in(&entry.graph, src, None, &vgc, cancel, &NoopObserver, ws)?;
             ComputeValue::HopDists {
-                dist: Arc::new(r.dist),
-                rounds: r.stats.rounds,
+                dist: Arc::new(ws.take_hop_dist()),
+                rounds: stats.rounds,
             }
         }
         ComputeKey::Dists { src, .. } => {
@@ -896,24 +921,26 @@ fn compute(
                 vgc,
                 ..RhoConfig::default()
             };
-            let r = sssp_rho_stepping_cancel(&entry.graph, src, &cfg, cancel)?;
+            let stats =
+                sssp_rho_stepping_observed_in(&entry.graph, src, &cfg, cancel, &NoopObserver, ws)?;
             ComputeValue::Dists {
-                dist: Arc::new(r.dist),
-                rounds: r.stats.rounds,
+                dist: Arc::new(ws.take_weighted_dist()),
+                rounds: stats.rounds,
             }
         }
         ComputeKey::SccLabels { .. } => {
-            let r = scc_vgc_cancel(&entry.graph, &vgc, cancel)?;
+            let stats = scc_vgc_observed_in(&entry.graph, &vgc, cancel, &NoopObserver, ws)?;
+            let count = ws.scc_num_sccs();
             // canonical (smallest-member) labels, so degraded Tarjan
             // answers are bit-for-bit equal to parallel FW-BW ones
             ComputeValue::Labels {
-                labels: Arc::new(canonicalize_labels(&r.labels)),
-                count: r.num_sccs,
-                rounds: r.stats.rounds,
+                labels: Arc::new(canonicalize_labels(&ws.take_scc_labels())),
+                count,
+                rounds: stats.rounds,
             }
         }
         ComputeKey::CcLabels { .. } => {
-            let r = connectivity_cancel(&entry.graph, cancel)?;
+            let r = connectivity_observed_in(&entry.graph, cancel, &NoopObserver, ws)?;
             ComputeValue::Labels {
                 labels: Arc::new(r.labels),
                 count: r.num_components,
@@ -922,11 +949,13 @@ fn compute(
         }
         ComputeKey::Coreness { .. } => {
             let g = entry.undirected();
-            let r = kcore_peel_cancel(&g, inner.config.tau, cancel)?;
+            let stats = kcore_peel_observed_in(&g, inner.config.tau, cancel, &NoopObserver, ws)?;
+            let coreness = ws.take_coreness();
+            let degeneracy = coreness.iter().copied().max().unwrap_or(0);
             ComputeValue::Coreness {
-                coreness: Arc::new(r.coreness),
-                degeneracy: r.degeneracy,
-                rounds: r.stats.rounds,
+                coreness: Arc::new(coreness),
+                degeneracy,
+                rounds: stats.rounds,
             }
         }
     })

@@ -1,0 +1,173 @@
+//! Workspace recycling invariants (the zero-allocation hot path must be
+//! invisible in the answers):
+//!
+//! * one [`TraversalWorkspace`] driven through 100 mixed queries is
+//!   bit-identical to fresh-workspace runs — no cross-run contamination
+//!   through recycled distance arrays, bags, union-find, or epoch marks;
+//! * epoch-stamped visited marks stay correct across `u32` stamp
+//!   wraparound (the O(frontier) reset path must fall back to a full
+//!   clear exactly when stamps would collide);
+//! * the adaptive-τ controller changes scheduling only: adaptive BFS
+//!   matches `bfs_seq` on every suite generator.
+
+use pasgal_core::bfs::seq::bfs_seq;
+use pasgal_core::bfs::vgc::{bfs_vgc, bfs_vgc_dir_observed_in};
+use pasgal_core::cc::{connectivity, connectivity_observed_in};
+use pasgal_core::common::{canonicalize_labels, CancelToken, VgcConfig};
+use pasgal_core::engine::NoopObserver;
+use pasgal_core::kcore::{kcore_peel, kcore_peel_observed_in};
+use pasgal_core::scc::fwbw::{scc_fwbw_observed_in, scc_vgc};
+use pasgal_core::scc::reach::ReachEngine;
+use pasgal_core::sssp::stepping::{sssp_rho_stepping, sssp_rho_stepping_observed_in, RhoConfig};
+use pasgal_core::workspace::TraversalWorkspace;
+use pasgal_graph::csr::Graph;
+use pasgal_graph::gen::suite::{by_name, SuiteScale, SUITE};
+use pasgal_graph::gen::with_random_weights;
+use pasgal_graph::transform::transpose;
+
+/// Fresh-run reference answers for every query the mixed loop issues.
+struct Reference {
+    bfs: Vec<Vec<u32>>,
+    sssp: Vec<u64>,
+    scc: Vec<u32>,
+    cc: Vec<u32>,
+    core: Vec<u32>,
+}
+
+fn reference(g: &Graph, gs: &Graph, gw: &Graph, sources: &[u32]) -> Reference {
+    let cfg = VgcConfig::default();
+    Reference {
+        bfs: sources.iter().map(|&s| bfs_vgc(g, s, &cfg).dist).collect(),
+        sssp: sssp_rho_stepping(gw, 0, &RhoConfig::default()).dist,
+        scc: canonicalize_labels(&scc_vgc(g, &cfg).labels),
+        cc: canonicalize_labels(&connectivity(gs).labels),
+        core: kcore_peel(gs, 128).coreness,
+    }
+}
+
+/// 100 queries of five different kinds interleaved through ONE workspace:
+/// every answer must be bit-identical to the fresh-run reference. A stale
+/// distance, a bag entry left over from k-core, or an epoch mark surviving
+/// into the next SCC would all surface as a mismatch here.
+#[test]
+fn hundred_mixed_queries_bit_identical() {
+    let entry = by_name("LJ").unwrap();
+    let g = entry.build(SuiteScale::Tiny);
+    let gs = entry.build_symmetric(SuiteScale::Tiny);
+    let gw = with_random_weights(&gs, 5, 100);
+    let gt = transpose(&g);
+    let sources = [0u32, (g.num_vertices() / 2) as u32];
+    let want = reference(&g, &gs, &gw, &sources);
+
+    let cancel = CancelToken::new();
+    let vgc = VgcConfig::default();
+    let mut ws = TraversalWorkspace::new();
+    for i in 0..100 {
+        match i % 5 {
+            0 => {
+                let src = sources[(i / 5) % sources.len()];
+                bfs_vgc_dir_observed_in(&g, src, None, &vgc, &cancel, &NoopObserver, &mut ws)
+                    .unwrap();
+                let got = ws.take_hop_dist();
+                assert_eq!(got, want.bfs[(i / 5) % sources.len()], "bfs, query {i}");
+            }
+            1 => {
+                sssp_rho_stepping_observed_in(
+                    &gw,
+                    0,
+                    &RhoConfig::default(),
+                    &cancel,
+                    &NoopObserver,
+                    &mut ws,
+                )
+                .unwrap();
+                assert_eq!(ws.take_weighted_dist(), want.sssp, "sssp, query {i}");
+            }
+            2 => {
+                scc_fwbw_observed_in(
+                    &g,
+                    &gt,
+                    ReachEngine::Vgc(vgc),
+                    &cancel,
+                    &NoopObserver,
+                    &mut ws,
+                )
+                .unwrap();
+                let got = canonicalize_labels(&ws.take_scc_labels());
+                assert_eq!(got, want.scc, "scc, query {i}");
+            }
+            3 => {
+                let res = connectivity_observed_in(&gs, &cancel, &NoopObserver, &mut ws).unwrap();
+                assert_eq!(canonicalize_labels(&res.labels), want.cc, "cc, query {i}");
+            }
+            _ => {
+                kcore_peel_observed_in(&gs, 128, &cancel, &NoopObserver, &mut ws).unwrap();
+                assert_eq!(ws.take_coreness(), want.core, "kcore, query {i}");
+            }
+        }
+    }
+}
+
+/// The SCC epoch allocator burns ~3·n stamps per run, so a long-lived
+/// workspace eventually wraps the `u32` stamp space. Forcing the
+/// allocator to the brink before every run exercises the wraparound
+/// path (full clear + restart at stamp 1) — answers must not change.
+#[test]
+fn epoch_wraparound_resets_visited_marks() {
+    let entry = by_name("SD").unwrap();
+    let g = entry.build(SuiteScale::Tiny);
+    let gt = transpose(&g);
+    let vgc = VgcConfig::default();
+    let want = canonicalize_labels(&scc_vgc(&g, &vgc).labels);
+
+    let cancel = CancelToken::new();
+    let mut ws = TraversalWorkspace::new();
+    for round in 0..4 {
+        ws.force_scc_stamp_wraparound();
+        scc_fwbw_observed_in(
+            &g,
+            &gt,
+            ReachEngine::Vgc(vgc),
+            &cancel,
+            &NoopObserver,
+            &mut ws,
+        )
+        .unwrap();
+        let got = canonicalize_labels(&ws.take_scc_labels());
+        assert_eq!(got, want, "post-wraparound round {round}");
+    }
+}
+
+/// τ adaptation may only reshape rounds, never distances: adaptive BFS
+/// through one recycled workspace must match `bfs_seq` on every suite
+/// generator, directed and symmetrized.
+#[test]
+fn adaptive_tau_bfs_matches_seq_on_all_generators() {
+    let cancel = CancelToken::new();
+    let adaptive = VgcConfig::adaptive();
+    let mut ws = TraversalWorkspace::new();
+    for entry in SUITE {
+        for g in [
+            entry.build(SuiteScale::Tiny),
+            entry.build_symmetric(SuiteScale::Tiny),
+        ] {
+            for src in [0u32, (g.num_vertices() / 3) as u32] {
+                let want = bfs_seq(&g, src).dist;
+                let got = bfs_vgc(&g, src, &adaptive).dist;
+                assert_eq!(
+                    got, want,
+                    "{}: one-shot adaptive bfs from {src}",
+                    entry.name
+                );
+                bfs_vgc_dir_observed_in(&g, src, None, &adaptive, &cancel, &NoopObserver, &mut ws)
+                    .unwrap();
+                assert_eq!(
+                    ws.take_hop_dist(),
+                    want,
+                    "{}: workspace adaptive bfs from {src}",
+                    entry.name
+                );
+            }
+        }
+    }
+}
