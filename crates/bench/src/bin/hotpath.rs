@@ -13,6 +13,17 @@
 //!   transpose resident next to the graph; measured after two priming
 //!   runs;
 //!
+//! The multi-source engine (DESIGN.md §14) is measured the same way:
+//! **cold** is the one-shot [`multi_bfs`] (fresh workspace, result vector
+//! handed out), **warm** is [`multi_bfs_observed_in`] into the recycled
+//! workspace with the columns read in place — the path a resident
+//! [`DistanceOracle`](pasgal_core::multi::DistanceOracle) construction
+//! takes — so the zero-allocation invariant covers warm oracle builds
+//! too. A separate throughput section times one 64-source flight against
+//! 64 independent warm BFS runs over the same sources (bit-identical
+//! columns asserted) and writes `BENCH_MULTI.json`; the flight must be
+//! ≥ 4× faster on at least one graph class when generating the report.
+//!
 //! reporting ns/run and allocations/run for each, asserting warm and
 //! cold results are bit-identical, and writing `BENCH_HOTPATH.json` at
 //! the repo root. Graphs are deliberately small: per-invocation overhead
@@ -36,6 +47,7 @@ use pasgal_bench::hotpath::{allocations, counted, CountingAlloc};
 use pasgal_core::bfs::vgc::{bfs_vgc, bfs_vgc_dir_observed_in};
 use pasgal_core::common::{CancelToken, VgcConfig};
 use pasgal_core::engine::NoopObserver;
+use pasgal_core::multi::{multi_bfs, multi_bfs_observed_in};
 use pasgal_core::scc::fwbw::{scc_fwbw_observed_in, scc_vgc};
 use pasgal_core::scc::reach::ReachEngine;
 use pasgal_core::sssp::stepping::{sssp_rho_stepping, sssp_rho_stepping_observed_in, RhoConfig};
@@ -230,24 +242,103 @@ fn main() {
         ));
     }
 
+    // Multi-source flights: cold is the one-shot API, warm is the
+    // in-place engine a resident oracle construction runs on. 64 seats
+    // fill exactly one mask word per vertex.
+    const K: usize = 64;
+    for (name, g) in [("grid", &grid_u), ("knn", &knn_u), ("rmat", &rmat_u)] {
+        let (n, m) = (g.num_vertices(), g.num_edges());
+        let sources: Vec<u32> = (0..K).map(|i| (i * n / K) as u32).collect();
+        entries.push(bench(
+            "multi",
+            name,
+            n,
+            m,
+            || checksum_u32(multi_bfs(g, &sources).dist.iter().copied()),
+            || {
+                multi_bfs_observed_in(g, &sources, &token, &NoopObserver, &mut ws)
+                    .expect("token never fires");
+                checksum_u32((0..K * n).map(|i| ws.multi_dist().get(i)))
+            },
+        ));
+    }
+
+    // ---- multi-source flight vs K independent BFS runs --------------
+    // Both sides run warm (recycled workspace, results read in place) so
+    // the comparison isolates the bit-parallel propagation itself, and
+    // both fold the same per-source checksum so divergent columns fail
+    // loudly.
+    let mut speedups: Vec<(&str, u64, u64, f64)> = Vec::new();
+    for (name, g) in [("grid", &grid_u), ("knn", &knn_u), ("rmat", &rmat_u)] {
+        let n = g.num_vertices();
+        let sources: Vec<u32> = (0..K).map(|i| (i * n / K) as u32).collect();
+        for _ in 0..WARMUPS {
+            multi_bfs_observed_in(g, &sources, &token, &NoopObserver, &mut ws)
+                .expect("token never fires");
+            bfs_vgc_dir_observed_in(g, 0, None, &vgc, &token, &NoopObserver, &mut ws)
+                .expect("token never fires");
+        }
+        let mut indep_ns = u64::MAX;
+        let mut indep_sum = 0u64;
+        for run in 0..RUNS {
+            let t0 = std::time::Instant::now();
+            let mut sum = 0u64;
+            for &s in &sources {
+                bfs_vgc_dir_observed_in(g, s, None, &vgc, &token, &NoopObserver, &mut ws)
+                    .expect("token never fires");
+                sum = (0..n).fold(sum, |h, v| {
+                    h.wrapping_mul(MIX)
+                        .wrapping_add(ws.hop_dist().get(v) as u64)
+                });
+            }
+            indep_ns = indep_ns.min(t0.elapsed().as_nanos() as u64);
+            if run == 0 {
+                indep_sum = sum;
+            } else {
+                assert_eq!(sum, indep_sum, "multi/{name}: independent runs disagree");
+            }
+        }
+        let mut multi_ns = u64::MAX;
+        for _ in 0..RUNS {
+            let t0 = std::time::Instant::now();
+            multi_bfs_observed_in(g, &sources, &token, &NoopObserver, &mut ws)
+                .expect("token never fires");
+            let sum = checksum_u32((0..K * n).map(|i| ws.multi_dist().get(i)));
+            multi_ns = multi_ns.min(t0.elapsed().as_nanos() as u64);
+            assert_eq!(
+                sum, indep_sum,
+                "multi/{name}: flight columns differ from independent BFS runs"
+            );
+        }
+        let speedup = indep_ns as f64 / multi_ns as f64;
+        println!(
+            "multi {name}: {K} independent runs {indep_ns} ns, one flight {multi_ns} ns → {speedup:.1}×"
+        );
+        speedups.push((name, indep_ns, multi_ns, speedup));
+    }
+    let best_speedup = speedups.iter().map(|(_, _, _, s)| *s).fold(0.0, f64::max);
+
     // ---- invariants -------------------------------------------------
     let leaky: Vec<String> = entries
         .iter()
         .filter(|e| e.warm_allocs > 0)
         .map(|e| format!("{}/{} ({} allocs)", e.algo, e.graph, e.warm_allocs))
         .collect();
-    // Per graph class: total warm ns across the three algorithms must be
-    // ≤ 0.8× total cold ns, on at least two of the three classes.
+    // Per graph class: total warm ns across the three one-shot algorithms
+    // must be ≤ 0.8× total cold ns, on at least two of the three classes.
+    // Multi-source flights are excluded: their cost is the flight itself,
+    // not per-call setup, so warm ≈ cold there by construction (the win
+    // they are measured on is flight-vs-independent throughput below).
     let mut class_ratios: Vec<(&str, f64)> = Vec::new();
     for class in ["grid", "knn", "rmat"] {
         let cold: u64 = entries
             .iter()
-            .filter(|e| e.graph == class)
+            .filter(|e| e.graph == class && e.algo != "multi")
             .map(|e| e.cold_ns)
             .sum();
         let warm: u64 = entries
             .iter()
-            .filter(|e| e.graph == class)
+            .filter(|e| e.graph == class && e.algo != "multi")
             .map(|e| e.warm_ns)
             .sum();
         class_ratios.push((class, warm as f64 / cold as f64));
@@ -259,6 +350,8 @@ fn main() {
 
     write_report(&entries, &class_ratios, leaky.is_empty(), classes_ok);
     println!("report written to BENCH_HOTPATH.json");
+    write_multi_report(&speedups, K);
+    println!("report written to BENCH_MULTI.json");
 
     if !leaky.is_empty() {
         eprintln!("FAIL: warm runs allocated: {}", leaky.join(", "));
@@ -266,6 +359,10 @@ fn main() {
     }
     if !gate && classes_ok < 2 {
         eprintln!("FAIL: warm ≤ 0.8×cold on only {classes_ok}/3 graph classes");
+        std::process::exit(1);
+    }
+    if !gate && best_speedup < 4.0 {
+        eprintln!("FAIL: best multi-source speedup {best_speedup:.2}× is below the 4× target");
         std::process::exit(1);
     }
     println!(
@@ -309,4 +406,30 @@ fn write_report(entries: &[Entry], class_ratios: &[(&str, f64)], zero: bool, cla
     let _ = writeln!(j, "  \"classes_meeting_speedup\": {classes_ok}");
     j.push_str("}\n");
     std::fs::write("BENCH_HOTPATH.json", j).expect("write BENCH_HOTPATH.json");
+}
+
+/// One 64-source flight vs 64 independent warm BFS runs, per graph class.
+fn write_multi_report(speedups: &[(&str, u64, u64, f64)], k: usize) {
+    use std::fmt::Write as _;
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"bench\": \"multi-source-throughput\",\n");
+    j.push_str("  \"threads\": 1,\n");
+    let _ = writeln!(j, "  \"sources_per_flight\": {k},");
+    let _ = writeln!(j, "  \"runs_per_point\": {RUNS},");
+    j.push_str("  \"entries\": [\n");
+    for (i, (graph, indep_ns, multi_ns, speedup)) in speedups.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"graph\": \"{graph}\", \"independent_ns\": {indep_ns}, \
+             \"flight_ns\": {multi_ns}, \"multi_speedup\": {speedup:.4}}}"
+        );
+        j.push_str(if i + 1 < speedups.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ],\n");
+    let best = speedups.iter().map(|(_, _, _, s)| *s).fold(0.0, f64::max);
+    let _ = writeln!(j, "  \"best_multi_speedup\": {best:.4},");
+    let _ = writeln!(j, "  \"speedup_target_met\": {}", best >= 4.0);
+    j.push_str("}\n");
+    std::fs::write("BENCH_MULTI.json", j).expect("write BENCH_MULTI.json");
 }

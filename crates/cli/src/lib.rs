@@ -12,6 +12,8 @@
 //!   cc         connected components
 //!   kcore      coreness of every vertex
 //!   ptp        point-to-point distance --src → --dst
+//!   oracle     bit-parallel multi-source BFS: one flight over --sources
+//!              (default: just --src) answers hop queries by lookup
 //!   stats      graph statistics (the Table-1 row)
 //!   gen        generate a suite graph: pasgal gen <NAME> <out-file>
 //!   serve      start the query service: pasgal serve [graph-files...]
@@ -20,6 +22,8 @@
 //!   --algo <name>     implementation to use (default: the PASGAL one;
 //!                     see --help output per command for alternatives)
 //!   --src N --dst N   source/target vertex
+//!   --sources a,b,c   distinct source vertices for `oracle` (≤ 128;
+//!                     --src is added if missing; default: just --src)
 //!   --tau N           VGC budget (default 512)
 //!   --threads N       rayon worker threads (default: all; must be ≥ 1)
 //!   --scale tiny|small|full   for `gen` (default small)
@@ -85,6 +89,8 @@ pub const SERVE_FLAGS: &[(&str, &str)] = &[
     ("max-retries N", "retry budget for transient failures: panics, injected faults, overload (default 2; 0 disables retry)"),
     ("breaker-threshold N", "consecutive flight failures that open a key's circuit breaker (default 5; 0 disables breakers)"),
     ("breaker-cooldown-ms N", "how long an open breaker waits before admitting a half-open probe (default 1000)"),
+    ("oracle-resident N", "graphs with ≤ N vertices promote a resident all-pairs distance oracle into the cache (default 128; 0 disables)"),
+    ("oracle-sources N", "seats per multi-source oracle flight (default 64, max 128)"),
     ("drain-ms N", "shutdown drain deadline for in-flight work on SIGINT/SIGTERM (default 5000)"),
     ("trace-rounds", "print one line per synchronization round (query commands; accepted by serve for symmetry, no per-round output server-side)"),
     ("help", "print this flag listing and exit"),
@@ -294,6 +300,18 @@ pub fn start_service(
         ));
     }
     resilience.breaker_cooldown = std::time::Duration::from_millis(cooldown_ms);
+    let oracle_resident_max = cli
+        .num("oracle-resident", defaults.oracle_resident_max as u64)
+        .map_err(|e| e.to_string())? as usize;
+    let oracle_max_sources = cli
+        .num("oracle-sources", defaults.oracle_max_sources as u64)
+        .map_err(|e| e.to_string())? as usize;
+    if oracle_max_sources == 0 || oracle_max_sources > pasgal_core::multi::MAX_SOURCES {
+        return Err(format!(
+            "--oracle-sources must be 1..={} (got {oracle_max_sources})",
+            pasgal_core::multi::MAX_SOURCES
+        ));
+    }
     let config = ServiceConfig {
         workers,
         queue_capacity: queue,
@@ -301,6 +319,8 @@ pub fn start_service(
         cache_capacity: cache.max(1),
         tau: tau.max(1),
         resilience,
+        oracle_resident_max,
+        oracle_max_sources,
         ..ServiceConfig::default()
     };
     let service = std::sync::Arc::new(Service::new(config));
@@ -381,7 +401,8 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             std::mem::forget(service);
             return Ok(out);
         }
-        "stats" | "bfs" | "sssp" | "scc" | "bcc" | "cc" | "kcore" | "ptp" | "validate" => {}
+        "stats" | "bfs" | "sssp" | "scc" | "bcc" | "cc" | "kcore" | "ptp" | "oracle"
+        | "validate" => {}
         other => return usage_err(&format!("unknown command {other:?}")),
     }
 
@@ -613,6 +634,75 @@ pub fn run(cli: &Cli) -> Result<String, String> {
                 )
             }
         }
+        "oracle" => {
+            use pasgal_core::multi::{DistanceOracle, MAX_SOURCES};
+            let mut sources: Vec<u32> = match cli.options.get("sources") {
+                Some(list) => {
+                    let mut v = Vec::new();
+                    for part in list.split(',').filter(|p| !p.is_empty()) {
+                        let s: u32 = part
+                            .parse()
+                            .map_err(|_| format!("--sources: {part:?} is not a vertex id"))?;
+                        if (s as usize) >= n {
+                            return usage_err(&format!(
+                                "--sources: vertex {s} out of range (n = {n})"
+                            ));
+                        }
+                        if !v.contains(&s) {
+                            v.push(s);
+                        }
+                    }
+                    v
+                }
+                None => vec![src],
+            };
+            if !sources.contains(&src) {
+                sources.push(src);
+            }
+            if sources.len() > MAX_SOURCES {
+                return usage_err(&format!(
+                    "--sources: at most {MAX_SOURCES} sources per flight (got {})",
+                    sources.len()
+                ));
+            }
+            let (oracle, stats) = DistanceOracle::build(&g, &sources);
+            let flight = format!(
+                "oracle: {} sources in one flight, rounds {}, resident {} bytes",
+                oracle.num_sources(),
+                stats.rounds,
+                oracle.resident_bytes()
+            );
+            match cli.options.get("dst") {
+                Some(_) => {
+                    let dst = cli.num("dst", 0).map_err(|e| e.to_string())? as u32;
+                    if (dst as usize) >= n {
+                        return usage_err(&format!("--dst {dst} out of range (n = {n})"));
+                    }
+                    match oracle.dist(src, dst) {
+                        Some(d) if d != pasgal_core::common::UNREACHED => {
+                            format!("{flight}\noracle {src} → {dst}: distance {d}")
+                        }
+                        _ => format!("{flight}\noracle {src} → {dst}: unreachable"),
+                    }
+                }
+                None => {
+                    let col = oracle.column(src).expect("src is always a seated source");
+                    let reached = col
+                        .iter()
+                        .filter(|&&d| d != pasgal_core::common::UNREACHED)
+                        .count();
+                    let ecc = col
+                        .iter()
+                        .filter(|&&d| d != pasgal_core::common::UNREACHED)
+                        .max()
+                        .copied()
+                        .unwrap_or(0);
+                    format!(
+                        "{flight}\noracle from {src}: reached {reached}/{n}, eccentricity {ecc}"
+                    )
+                }
+            }
+        }
         _ => unreachable!("validated above"),
     };
     Ok(if trace_out.is_empty() {
@@ -691,6 +781,50 @@ mod tests {
         assert!(out.contains("max distance 13"), "{out}");
         let out = run(&cli(&["ptp", f, "--dst", "53"])).unwrap();
         assert!(out.contains("distance 13"), "{out}");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn run_oracle_lookup_and_column_summary() {
+        let p = write_fixture();
+        let f = p.to_str().unwrap();
+        // point lookup: corner-to-corner on the 6x9 grid is 5 + 8 hops
+        let out = run(&cli(&["oracle", f, "--src", "0", "--dst", "53"])).unwrap();
+        assert!(out.contains("oracle 0 → 53: distance 13"), "{out}");
+        assert!(out.contains("1 sources in one flight"), "{out}");
+        // multi-seat flight: --src rides along even when missing from the list
+        let out = run(&cli(&[
+            "oracle",
+            f,
+            "--src",
+            "2",
+            "--sources",
+            "0,5,53",
+            "--dst",
+            "53",
+        ]))
+        .unwrap();
+        assert!(out.contains("4 sources in one flight"), "{out}");
+        assert!(out.contains("oracle 2 → 53: distance"), "{out}");
+        // column summary without --dst matches the bfs command's numbers
+        let out = run(&cli(&["oracle", f])).unwrap();
+        assert!(out.contains("reached 54/54"), "{out}");
+        assert!(out.contains("eccentricity 13"), "{out}");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn run_oracle_rejects_bad_sources() {
+        let p = write_fixture();
+        let f = p.to_str().unwrap();
+        let e = run(&cli(&["oracle", f, "--sources", "0,999"])).unwrap_err();
+        assert!(e.contains("out of range"), "{e}");
+        let e = run(&cli(&["oracle", f, "--sources", "0,x"])).unwrap_err();
+        assert!(e.contains("not a vertex id"), "{e}");
+        let many: Vec<String> = (0..54).map(|i| i.to_string()).collect();
+        // 54 distinct sources fit (MAX_SOURCES = 128); no error expected
+        let out = run(&cli(&["oracle", f, "--sources", &many.join(",")])).unwrap();
+        assert!(out.contains("54 sources in one flight"), "{out}");
         std::fs::remove_file(&p).unwrap();
     }
 
@@ -838,6 +972,9 @@ mod tests {
         assert!(run(&cli(&["serve", "--max-retries", "101"])).is_err());
         assert!(run(&cli(&["serve", "--breaker-threshold", "nope"])).is_err());
         assert!(run(&cli(&["serve", "--breaker-cooldown-ms", "9999999"])).is_err());
+        assert!(run(&cli(&["serve", "--oracle-sources", "0"])).is_err());
+        assert!(run(&cli(&["serve", "--oracle-sources", "129"])).is_err());
+        assert!(run(&cli(&["serve", "--oracle-resident", "abc"])).is_err());
     }
 
     #[test]
@@ -896,6 +1033,10 @@ mod tests {
             "2",
             "--breaker-cooldown-ms",
             "50",
+            "--oracle-resident",
+            "64",
+            "--oracle-sources",
+            "32",
         ]))
         .unwrap();
         let stream = std::net::TcpStream::connect(server.local_addr()).unwrap();

@@ -100,6 +100,24 @@ macro_rules! atomic_array {
                 self.data[i].fetch_add(v, Ordering::Relaxed)
             }
 
+            /// Atomic bitwise OR; returns the previous value. The
+            /// mask-word primitive of the bit-parallel multi-source BFS:
+            /// `v & !fetch_or(i, v)` is exactly the set of bits this call
+            /// set first, so concurrent writers agree on a unique winner
+            /// per bit without a CAS loop.
+            #[inline]
+            pub fn fetch_or(&self, i: usize, v: $prim) -> $prim {
+                self.data[i].fetch_or(v, Ordering::Relaxed)
+            }
+
+            /// Atomic bitwise AND; returns the previous value. Pairs with
+            /// [`fetch_or`](Self::fetch_or) to clear individual bits of a
+            /// packed mask word under concurrency.
+            #[inline]
+            pub fn fetch_and(&self, i: usize, v: $prim) -> $prim {
+                self.data[i].fetch_and(v, Ordering::Relaxed)
+            }
+
             /// Parallel fill.
             pub fn fill(&self, v: $prim) {
                 par_for(self.data.len(), 4096, |i| self.set(i, v));
@@ -210,6 +228,20 @@ mod tests {
         assert!(a.cas(0, 0, 1));
         assert!(!a.cas(0, 0, 2));
         assert_eq!(a.get(0), 1);
+    }
+
+    #[test]
+    fn fetch_or_has_one_winner_per_bit() {
+        let a = AtomicU64Array::new(1, 0);
+        let winners = std::sync::atomic::AtomicUsize::new(0);
+        par_for(1000, 8, |i| {
+            let bit = 1u64 << (i % 64);
+            if bit & !a.fetch_or(0, bit) != 0 {
+                winners.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(a.get(0), u64::MAX);
+        assert_eq!(winners.load(Ordering::Relaxed), 64);
     }
 
     #[test]

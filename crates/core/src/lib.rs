@@ -49,6 +49,7 @@ pub mod cc;
 pub mod common;
 pub mod engine;
 pub mod kcore;
+pub mod multi;
 pub mod scc;
 pub mod sssp;
 pub mod vgc;

@@ -166,6 +166,21 @@ pub struct TraversalWorkspace {
     pub(crate) degree: AtomicU32Array,
     /// Coreness values; the k-core result buffer.
     pub(crate) coreness: AtomicU32Array,
+    // --- multi-source BFS (multi) ---
+    /// Per-vertex seen masks (`words_per_vertex` words per vertex): bit
+    /// `c` set means source column `c` has reached the vertex.
+    pub(crate) multi_seen: AtomicU64Array,
+    /// Masks activated this round (the bit-parallel frontier payload).
+    pub(crate) multi_cur: AtomicU64Array,
+    /// Masks discovered this round, promoted into `multi_cur`/`multi_seen`
+    /// at the next round boundary.
+    pub(crate) multi_next: AtomicU64Array,
+    /// Per-source hop-distance columns, column-major (`k * n`); the
+    /// multi-source result buffer.
+    pub(crate) multi_dist: AtomicU32Array,
+    /// One bit per vertex (packed): "already inserted into the next
+    /// frontier this round" — the exact-once bag-insertion claim.
+    pub(crate) multi_claim: AtomicU64Array,
 }
 
 impl TraversalWorkspace {
@@ -233,6 +248,21 @@ impl TraversalWorkspace {
     /// Borrow the coreness values in place.
     pub fn coreness(&self) -> &AtomicU32Array {
         &self.coreness
+    }
+
+    /// Move the multi-source distance columns out (no copy; column-major
+    /// `k * n`, see [`crate::multi`]). The workspace's array is left
+    /// empty and re-grows on the next multi-source run.
+    ///
+    /// Call after a successful `multi_bfs_observed_in`.
+    pub fn take_multi_dist(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.multi_dist).into_vec()
+    }
+
+    /// Borrow the multi-source distance columns in place (column-major
+    /// `k * n`) — the allocation-free way to read a flight's result.
+    pub fn multi_dist(&self) -> &AtomicU32Array {
+        &self.multi_dist
     }
 
     /// Test hook: park the SCC mark allocators just below the `u32`

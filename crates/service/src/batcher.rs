@@ -255,6 +255,186 @@ impl Batcher {
     }
 }
 
+// ------------------------------------------------- multi-source flights ---
+
+/// An open multi-source BFS batch: the collector behind the `oracle`
+/// query family. Where a [`Flight`] coalesces queries for the *same*
+/// key, an `OracleBatch` coalesces queries for *distinct* sources on one
+/// graph generation — they accumulate into a single source list and are
+/// answered by one bit-parallel traversal
+/// ([`pasgal_core::multi::multi_bfs`]-family), up to the word-width cap.
+pub struct OracleBatch {
+    generation: u64,
+    state: Mutex<OracleBatchState>,
+    flight: Arc<Flight>,
+}
+
+struct OracleBatchState {
+    /// Distinct sources collected so far (the leader's first).
+    sources: Vec<u32>,
+    /// Set by the worker when it picks the batch up; no further sources
+    /// may board after that.
+    sealed: bool,
+}
+
+impl OracleBatch {
+    fn new(generation: u64, src: u32) -> Self {
+        Self {
+            generation,
+            state: Mutex::new(OracleBatchState {
+                sources: vec![src],
+                sealed: false,
+            }),
+            flight: Arc::new(Flight::new()),
+        }
+    }
+
+    /// The graph generation every source of this batch targets.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The shared flight every boarded query waits on.
+    pub fn flight(&self) -> &Arc<Flight> {
+        &self.flight
+    }
+
+    /// Board `src` onto the open batch: a duplicate source rides along
+    /// for free; a new one takes a seat if the batch is still open and
+    /// under `cap` seats. Fails once sealed, full, or abandoned. Lock
+    /// order is batch state → flight state, matching module convention
+    /// (outer structure → `Flight::state`).
+    fn try_add(&self, src: u32, cap: usize) -> bool {
+        let mut st = self.state.lock().expect("oracle batch lock poisoned");
+        if st.sealed {
+            return false;
+        }
+        let dup = st.sources.contains(&src);
+        if !dup && st.sources.len() >= cap {
+            return false;
+        }
+        let mut fst = self.flight.state.lock().expect("flight lock poisoned");
+        if fst.abandoned && fst.result.is_none() {
+            return false;
+        }
+        fst.joiners += 1;
+        drop(fst);
+        if !dup {
+            st.sources.push(src);
+        }
+        true
+    }
+}
+
+/// Outcome of boarding a generation's open batch: the leader enqueues
+/// the batch as a job; followers just wait on its flight.
+pub enum OracleJoin {
+    Leader(Arc<OracleBatch>),
+    Follower(Arc<OracleBatch>),
+}
+
+/// Registry of open multi-source batches, one per graph generation.
+///
+/// Lifecycle: the first query for a generation becomes the **leader**,
+/// opens a batch, and enqueues it; queries arriving while the job sits in
+/// the admission queue board as **followers**, each adding its (distinct)
+/// source. The worker picking the job up calls [`seal`](Self::seal) —
+/// closing boarding and snapshotting the source list — runs one
+/// multi-source traversal, caches every column, and publishes the shared
+/// [`DistanceOracle`] via [`complete`](Self::complete). Queueing delay is
+/// thus *recycled* into batching opportunity: the longer the queue, the
+/// fatter the flight, at zero added latency.
+///
+/// [`DistanceOracle`]: pasgal_core::multi::DistanceOracle
+pub struct OracleBatcher {
+    open: Mutex<HashMap<u64, Arc<OracleBatch>>>,
+    max_sources: usize,
+}
+
+impl OracleBatcher {
+    /// `max_sources` caps seats per batch (clamped to the engine's
+    /// [`MAX_SOURCES`](pasgal_core::multi::MAX_SOURCES) word-width limit).
+    pub fn new(max_sources: usize) -> Self {
+        Self {
+            open: Mutex::new(HashMap::new()),
+            max_sources: max_sources.clamp(1, pasgal_core::multi::MAX_SOURCES),
+        }
+    }
+
+    /// Board the open batch for `generation`, opening a fresh one (as
+    /// leader) if there is none, or if the open batch is sealed, full, or
+    /// abandoned.
+    pub fn join(&self, generation: u64, src: u32) -> OracleJoin {
+        let mut map = self.open.lock().expect("oracle batcher lock poisoned");
+        if let Some(batch) = map.get(&generation) {
+            if batch.try_add(src, self.max_sources) {
+                return OracleJoin::Follower(Arc::clone(batch));
+            }
+        }
+        let batch = Arc::new(OracleBatch::new(generation, src));
+        map.insert(generation, Arc::clone(&batch));
+        OracleJoin::Leader(batch)
+    }
+
+    /// Worker-side: close boarding and snapshot the source list to
+    /// compute. Also retires the batch from the open map (guarded by
+    /// pointer identity — a replaced batch must not tear down its
+    /// successor), so the next join opens a fresh one.
+    pub fn seal(&self, batch: &Arc<OracleBatch>) -> Vec<u32> {
+        self.retire(batch);
+        let mut st = batch.state.lock().expect("oracle batch lock poisoned");
+        st.sealed = true;
+        st.sources.clone()
+    }
+
+    /// Publish the batch's terminal outcome, waking every waiter; same
+    /// contract as [`Batcher::complete`] (cache before completing;
+    /// `on_complete` runs under the flight lock with the batch size).
+    /// Also retires the batch, since a rejected leader completes without
+    /// ever sealing.
+    pub fn complete(
+        &self,
+        batch: &Arc<OracleBatch>,
+        outcome: FlightOutcome,
+        on_complete: impl FnOnce(u64),
+    ) -> u64 {
+        self.retire(batch);
+        let mut st = batch.flight.state.lock().expect("flight lock poisoned");
+        let joiners = st.joiners;
+        st.result = Some(outcome);
+        on_complete(joiners);
+        drop(st);
+        batch.flight.cv.notify_all();
+        joiners
+    }
+
+    fn retire(&self, batch: &Arc<OracleBatch>) {
+        let mut map = self.open.lock().expect("oracle batcher lock poisoned");
+        if map
+            .get(&batch.generation)
+            .is_some_and(|b| Arc::ptr_eq(b, batch))
+        {
+            map.remove(&batch.generation);
+        }
+    }
+
+    /// Fire every open batch's flight token (service shutdown).
+    pub fn cancel_all(&self) {
+        let map = self.open.lock().expect("oracle batcher lock poisoned");
+        for batch in map.values() {
+            batch.flight.token.cancel();
+        }
+    }
+
+    /// Number of batches currently boarding or queued.
+    pub fn open_batches(&self) -> usize {
+        self.open
+            .lock()
+            .expect("oracle batcher lock poisoned")
+            .len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,6 +613,103 @@ mod tests {
             Err(WaitAbort::Cancelled)
         ));
         assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn oracle_batch_collects_distinct_sources_until_sealed() {
+        let b = OracleBatcher::new(64);
+        let leader = match b.join(5, 10) {
+            OracleJoin::Leader(batch) => batch,
+            OracleJoin::Follower(_) => panic!("first join must lead"),
+        };
+        assert!(matches!(b.join(5, 11), OracleJoin::Follower(_)));
+        assert!(matches!(b.join(5, 10), OracleJoin::Follower(_))); // dup rides
+        assert_eq!(b.open_batches(), 1);
+        // a different generation opens its own batch
+        assert!(matches!(b.join(6, 10), OracleJoin::Leader(_)));
+        let sources = b.seal(&leader);
+        assert_eq!(sources, vec![10, 11]); // dup collapsed
+                                           // sealed: the next join for generation 5 opens a fresh batch
+        let fresh = match b.join(5, 12) {
+            OracleJoin::Leader(batch) => batch,
+            OracleJoin::Follower(_) => panic!("sealed batch must be replaced"),
+        };
+        assert!(!Arc::ptr_eq(&fresh, &leader));
+        // three boarded queries shared the sealed flight
+        let batch_size = b.complete(&leader, FlightOutcome::Cancelled, |_| {});
+        assert_eq!(batch_size, 3);
+    }
+
+    #[test]
+    fn oracle_batch_full_batch_overflows_to_a_fresh_one() {
+        let b = OracleBatcher::new(2);
+        let first = match b.join(0, 1) {
+            OracleJoin::Leader(batch) => batch,
+            _ => panic!("first join must lead"),
+        };
+        assert!(matches!(b.join(0, 2), OracleJoin::Follower(_)));
+        // seat 3 does not fit; a duplicate of a seated source still rides
+        assert!(matches!(b.join(0, 1), OracleJoin::Follower(_)));
+        let second = match b.join(0, 3) {
+            OracleJoin::Leader(batch) => batch,
+            OracleJoin::Follower(_) => panic!("full batch must overflow"),
+        };
+        assert_eq!(b.seal(&first), vec![1, 2]);
+        assert_eq!(b.seal(&second), vec![3]);
+        // retiring the displaced first batch must not tear down the second
+        b.complete(&first, FlightOutcome::Cancelled, |_| {});
+        b.complete(&second, FlightOutcome::Cancelled, |_| {});
+        assert_eq!(b.open_batches(), 0);
+    }
+
+    #[test]
+    fn oracle_batch_waiters_share_the_flight_outcome() {
+        let b = Arc::new(OracleBatcher::new(64));
+        let leader = match b.join(1, 0) {
+            OracleJoin::Leader(batch) => batch,
+            _ => panic!("first join must lead"),
+        };
+        let waiter = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || match b.join(1, 7) {
+                OracleJoin::Follower(batch) => batch.flight().wait(Duration::from_secs(5)),
+                OracleJoin::Leader(_) => panic!("second join must follow"),
+            })
+        };
+        while leader.flight().state.lock().unwrap().waiting < 1 {
+            std::thread::yield_now();
+        }
+        let sources = b.seal(&leader);
+        assert_eq!(sources, vec![0, 7]);
+        b.complete(&leader, FlightOutcome::Value(value()), |_| {});
+        assert!(matches!(
+            waiter.join().unwrap(),
+            Ok(FlightOutcome::Value(_))
+        ));
+    }
+
+    #[test]
+    fn abandoned_oracle_batch_is_replaced_on_next_join() {
+        let b = OracleBatcher::new(64);
+        let leader = match b.join(2, 4) {
+            OracleJoin::Leader(batch) => batch,
+            _ => panic!("first join must lead"),
+        };
+        // the only waiter departs resultless → flight abandoned
+        assert!(matches!(
+            leader
+                .flight()
+                .wait_cancellable(Duration::from_millis(5), &CancelToken::new()),
+            Err(WaitAbort::Timeout)
+        ));
+        assert!(leader.flight().token().is_cancelled());
+        let fresh = match b.join(2, 4) {
+            OracleJoin::Leader(batch) => batch,
+            OracleJoin::Follower(_) => panic!("abandoned batch must be replaced"),
+        };
+        assert!(!fresh.flight().token().is_cancelled());
+        b.cancel_all();
+        assert!(fresh.flight().token().is_cancelled());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! coreness) are at most three per registration, so they are memoized
 //! without a bound and only dropped on invalidation.
 
+use pasgal_core::multi::DistanceOracle;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -29,6 +30,14 @@ pub enum ComputeKey {
     CcLabels { generation: u64 },
     /// Coreness of every vertex.
     Coreness { generation: u64 },
+    /// One column of a multi-source BFS flight: hop distances from `src`,
+    /// held as a shared [`DistanceOracle`] so every source of the flight
+    /// aliases the same column block.
+    OracleColumn { generation: u64, src: u32 },
+    /// Resident all-pairs distance oracle for a small graph (every vertex
+    /// is a source). One entry answers every PTP/SSSP-unit-weight query
+    /// on the graph by lookup.
+    OracleAllPairs { generation: u64 },
 }
 
 impl ComputeKey {
@@ -39,14 +48,24 @@ impl ComputeKey {
             | ComputeKey::Dists { generation, .. }
             | ComputeKey::SccLabels { generation }
             | ComputeKey::CcLabels { generation }
-            | ComputeKey::Coreness { generation } => generation,
+            | ComputeKey::Coreness { generation }
+            | ComputeKey::OracleColumn { generation, .. }
+            | ComputeKey::OracleAllPairs { generation } => generation,
         }
     }
 
-    /// Whether this is a per-source distance result (LRU-bounded) as
-    /// opposed to a whole-graph labeling (memoized).
+    /// Whether this is a distance result (LRU-bounded) as opposed to a
+    /// whole-graph labeling (memoized). Oracles count as distances: an
+    /// all-pairs oracle is promoted into the same LRU, occupying one slot,
+    /// so a cold graph's oracle ages out like any other distance array.
     pub fn is_distance(&self) -> bool {
-        matches!(self, ComputeKey::HopDists { .. } | ComputeKey::Dists { .. })
+        matches!(
+            self,
+            ComputeKey::HopDists { .. }
+                | ComputeKey::Dists { .. }
+                | ComputeKey::OracleColumn { .. }
+                | ComputeKey::OracleAllPairs { .. }
+        )
     }
 
     /// The same key re-targeted at a different graph generation. Retries
@@ -59,6 +78,8 @@ impl ComputeKey {
             ComputeKey::SccLabels { .. } => ComputeKey::SccLabels { generation },
             ComputeKey::CcLabels { .. } => ComputeKey::CcLabels { generation },
             ComputeKey::Coreness { .. } => ComputeKey::Coreness { generation },
+            ComputeKey::OracleColumn { src, .. } => ComputeKey::OracleColumn { generation, src },
+            ComputeKey::OracleAllPairs { .. } => ComputeKey::OracleAllPairs { generation },
         }
     }
 
@@ -71,6 +92,8 @@ impl ComputeKey {
             ComputeKey::SccLabels { generation } => format!("scc@{generation}"),
             ComputeKey::CcLabels { generation } => format!("cc@{generation}"),
             ComputeKey::Coreness { generation } => format!("kcore@{generation}"),
+            ComputeKey::OracleColumn { generation, src } => format!("oracle@{generation}:{src}"),
+            ComputeKey::OracleAllPairs { generation } => format!("oracle@{generation}:*"),
         }
     }
 }
@@ -97,6 +120,13 @@ pub enum ComputeValue {
         degeneracy: u32,
         rounds: u64,
     },
+    /// Distance oracle from one multi-source flight. Stored under every
+    /// `OracleColumn` key of the flight (and under `OracleAllPairs` for
+    /// resident small graphs), so all sources alias one column block.
+    Oracle {
+        oracle: Arc<DistanceOracle>,
+        rounds: u64,
+    },
 }
 
 impl ComputeValue {
@@ -106,7 +136,8 @@ impl ComputeValue {
             ComputeValue::HopDists { rounds, .. }
             | ComputeValue::Dists { rounds, .. }
             | ComputeValue::Labels { rounds, .. }
-            | ComputeValue::Coreness { rounds, .. } => rounds,
+            | ComputeValue::Coreness { rounds, .. }
+            | ComputeValue::Oracle { rounds, .. } => rounds,
         }
     }
 }
@@ -245,6 +276,35 @@ mod tests {
         );
         assert_eq!(c.len(), 3);
         assert!(c.get(&ComputeKey::SccLabels { generation: 0 }).is_some());
+    }
+
+    #[test]
+    fn oracle_keys_share_the_distance_lru_and_generation_purge() {
+        let oracle_val = || ComputeValue::Oracle {
+            oracle: Arc::new(DistanceOracle::from_columns(
+                2,
+                vec![0],
+                Arc::new(vec![0, 1]),
+            )),
+            rounds: 1,
+        };
+        let mut c = ResultCache::new(2);
+        let col = |src| ComputeKey::OracleColumn { generation: 3, src };
+        let all = ComputeKey::OracleAllPairs { generation: 3 };
+        assert!(col(0).is_distance() && all.is_distance());
+        assert_eq!(all.with_generation(4).generation(), 4);
+        assert_eq!(col(7).with_generation(4), col(7).with_generation(4));
+        assert_eq!(col(7).describe(), "oracle@3:7");
+        assert_eq!(all.describe(), "oracle@3:*");
+        c.insert(col(0), oracle_val());
+        c.insert(all, oracle_val());
+        assert!(c.get(&all).is_some()); // bump so col(0) is the LRU
+        c.insert(col(1), oracle_val());
+        assert!(c.get(&col(0)).is_none()); // evicted by capacity 2
+        assert!(c.get(&all).is_some());
+        c.invalidate_generation(3);
+        assert!(c.get(&all).is_none());
+        assert!(c.get(&col(1)).is_none());
     }
 
     #[test]

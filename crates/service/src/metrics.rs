@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 const LATENCY_BUCKETS: usize = 24; // up to ~2^23 µs ≈ 8.4 s, last bucket catches the rest
 const BATCH_BUCKETS: usize = 12; // batches up to 2^11 = 2048 queries
 const ROUNDS_BUCKETS: usize = 16; // round counts up to 2^15 = 32768 per answer
+const SOURCES_BUCKETS: usize = 8; // sources per multi-source flight, ≤ 2^7 = 128
 
 fn bucket_of(value: u64, buckets: usize) -> usize {
     if value == 0 {
@@ -37,9 +38,12 @@ pub struct Metrics {
     breaker_open_total: AtomicU64,
     breaker_closed_total: AtomicU64,
     workers_busy: AtomicU64,
+    oracle_hits: AtomicU64,
+    multi_source_flights: AtomicU64,
     latency_us: [AtomicU64; LATENCY_BUCKETS],
     batch_size: [AtomicU64; BATCH_BUCKETS],
     rounds: [AtomicU64; ROUNDS_BUCKETS],
+    sources_per_flight: [AtomicU64; SOURCES_BUCKETS],
 }
 
 impl Metrics {
@@ -125,6 +129,21 @@ impl Metrics {
         self.workers_busy.fetch_sub(1, Ordering::Relaxed);
     }
 
+    /// One oracle query answered from a resident distance oracle (a
+    /// lookup, no traversal). Not a terminal bucket — the query still
+    /// lands in `completed`/`degraded` like any other.
+    pub fn oracle_hit(&self) {
+        self.oracle_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One multi-source flight executed, advancing `sources` BFS sources
+    /// in a single bit-parallel traversal.
+    pub fn multi_source_flight(&self, sources: u64) {
+        self.multi_source_flights.fetch_add(1, Ordering::Relaxed);
+        self.sources_per_flight[bucket_of(sources, SOURCES_BUCKETS)]
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn latency(&self, elapsed: std::time::Duration) {
         let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
         self.latency_us[bucket_of(us, LATENCY_BUCKETS)].fetch_add(1, Ordering::Relaxed);
@@ -156,9 +175,12 @@ impl Metrics {
             breaker_open_total: load(&self.breaker_open_total),
             breaker_closed_total: load(&self.breaker_closed_total),
             workers_busy: load(&self.workers_busy),
+            oracle_hits: load(&self.oracle_hits),
+            multi_source_flights: load(&self.multi_source_flights),
             latency_us: self.latency_us.iter().map(load).collect(),
             batch_size: self.batch_size.iter().map(load).collect(),
             rounds: self.rounds.iter().map(load).collect(),
+            sources_per_flight: self.sources_per_flight.iter().map(load).collect(),
         }
     }
 }
@@ -192,6 +214,12 @@ pub struct MetricsSnapshot {
     pub breaker_closed_total: u64,
     /// Workers currently executing a job (gauge, not a counter).
     pub workers_busy: u64,
+    /// Oracle queries answered by lookup in a resident distance oracle.
+    /// Not terminal — such queries also count in `completed`/`degraded`.
+    pub oracle_hits: u64,
+    /// Multi-source BFS flights executed (each serves up to 128 sources
+    /// in one bit-parallel traversal).
+    pub multi_source_flights: u64,
     /// Power-of-two latency buckets in microseconds.
     pub latency_us: Vec<u64>,
     /// Power-of-two batch-size buckets (how many queries shared one
@@ -200,6 +228,8 @@ pub struct MetricsSnapshot {
     /// Power-of-two buckets of per-query round counts
     /// (`AlgoStats.rounds` of the traversal behind each answer).
     pub rounds: Vec<u64>,
+    /// Power-of-two buckets of sources per multi-source flight.
+    pub sources_per_flight: Vec<u64>,
 }
 
 impl MetricsSnapshot {
@@ -304,9 +334,15 @@ impl MetricsSnapshot {
                 Json::from(self.breaker_closed_total),
             ),
             ("workers_busy", Json::from(self.workers_busy)),
+            ("oracle_hits", Json::from(self.oracle_hits)),
+            (
+                "multi_source_flights",
+                Json::from(self.multi_source_flights),
+            ),
             ("latency_us", hist(&self.latency_us)),
             ("batch_size", hist(&self.batch_size)),
             ("rounds", hist(&self.rounds)),
+            ("sources_per_flight", hist(&self.sources_per_flight)),
             ("rounds_p50", Json::from(self.rounds_p50())),
             ("rounds_p99", Json::from(self.rounds_p99())),
         ])
@@ -410,6 +446,26 @@ mod tests {
         let j = s.to_json();
         assert_eq!(j.get("rounds_p50"), Some(&Json::Int(4)));
         assert!(j.get("rounds").is_some());
+    }
+
+    #[test]
+    fn oracle_counters_do_not_perturb_reconciliation() {
+        let m = Metrics::new();
+        m.query();
+        m.oracle_hit();
+        m.multi_source_flight(64);
+        m.multi_source_flight(1);
+        m.completed();
+        let s = m.snapshot();
+        assert!(s.reconciles());
+        assert_eq!(s.oracle_hits, 1);
+        assert_eq!(s.multi_source_flights, 2);
+        assert_eq!(s.sources_per_flight[6], 1); // 64 → bucket 6
+        assert_eq!(s.sources_per_flight[0], 1);
+        let j = s.to_json();
+        assert_eq!(j.get("multi_source_flights"), Some(&Json::Int(2)));
+        assert_eq!(j.get("oracle_hits"), Some(&Json::Int(1)));
+        assert!(j.get("sources_per_flight").is_some());
     }
 
     #[test]

@@ -29,6 +29,18 @@ pub enum Query {
     /// shared per-source distance array, so concurrent PTP queries from
     /// one source cost one traversal.
     Ptp { graph: String, src: u32, dst: u32 },
+    /// Hop distance served by a resident [`DistanceOracle`]: with `dst`
+    /// it is a point-to-point lookup, without it a reachability summary
+    /// from `src`. Distinct sources coalesce into one bit-parallel
+    /// multi-source BFS flight, so 64 oracle queries cost roughly one
+    /// traversal instead of 64.
+    ///
+    /// [`DistanceOracle`]: pasgal_core::multi::DistanceOracle
+    Oracle {
+        graph: String,
+        src: u32,
+        dst: Option<u32>,
+    },
     /// Strongly connected component id of `vertex` (or the component
     /// count when omitted).
     SccId { graph: String, vertex: Option<u32> },
@@ -51,6 +63,7 @@ impl Query {
             Query::BfsDist { graph, .. }
             | Query::SsspDist { graph, .. }
             | Query::Ptp { graph, .. }
+            | Query::Oracle { graph, .. }
             | Query::SccId { graph, .. }
             | Query::CcId { graph, .. }
             | Query::KCore { graph, .. }
@@ -65,6 +78,7 @@ impl Query {
             Query::BfsDist { .. } => "bfs",
             Query::SsspDist { .. } => "sssp",
             Query::Ptp { .. } => "ptp",
+            Query::Oracle { .. } => "oracle",
             Query::SccId { .. } => "scc",
             Query::CcId { .. } => "cc",
             Query::KCore { .. } => "kcore",
@@ -287,6 +301,11 @@ impl Query {
                 src: need_u32(v, "src")?,
                 dst: need_u32(v, "dst")?,
             }),
+            "oracle" => Ok(Query::Oracle {
+                graph: need_str(v, "graph")?,
+                src: need_u32(v, "src")?,
+                dst: opt_u32(v, "dst")?,
+            }),
             "scc" => Ok(Query::SccId {
                 graph: need_str(v, "graph")?,
                 vertex: opt_u32(v, "vertex")?,
@@ -429,6 +448,28 @@ mod tests {
         let q = Query::from_json(&parse(r#"{"op":"ptp","graph":"g","src":1,"dst":2}"#).unwrap())
             .unwrap();
         assert_eq!(q.op(), "ptp");
+        let q = Query::from_json(&parse(r#"{"op":"oracle","graph":"g","src":5,"dst":8}"#).unwrap())
+            .unwrap();
+        assert_eq!(
+            q,
+            Query::Oracle {
+                graph: "g".into(),
+                src: 5,
+                dst: Some(8)
+            }
+        );
+        assert_eq!(q.op(), "oracle");
+        assert_eq!(q.graph(), Some("g"));
+        let q =
+            Query::from_json(&parse(r#"{"op":"oracle","graph":"g","src":5}"#).unwrap()).unwrap();
+        assert_eq!(
+            q,
+            Query::Oracle {
+                graph: "g".into(),
+                src: 5,
+                dst: None
+            }
+        );
         let q = Query::from_json(&parse(r#"{"op":"scc","graph":"g"}"#).unwrap()).unwrap();
         assert_eq!(
             q,
@@ -500,6 +541,8 @@ mod tests {
             r#"{"op":"bfs","graph":"g"}"#,
             r#"{"op":"bfs","graph":"g","src":-1}"#,
             r#"{"op":"ptp","graph":"g","src":1}"#,
+            r#"{"op":"oracle","graph":"g"}"#,
+            r#"{"op":"oracle","graph":"g","src":1,"dst":"x"}"#,
         ] {
             let e = Query::from_json(&parse(bad).unwrap()).unwrap_err();
             assert_eq!(e.kind(), "bad_request", "{bad}");

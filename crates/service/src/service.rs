@@ -40,7 +40,9 @@
 //! bookkeeping above never loses a worker or a query. The fallback lane
 //! is deliberately exempt from injection: it is the path of last resort.
 
-use crate::batcher::{Batcher, Flight, FlightOutcome, Join, WaitAbort};
+use crate::batcher::{
+    Batcher, Flight, FlightOutcome, Join, OracleBatch, OracleBatcher, OracleJoin, WaitAbort,
+};
 use crate::cache::{ComputeKey, ComputeValue, ResultCache};
 use crate::catalog::{Catalog, GraphEntry};
 use crate::fault::{FaultInjector, FaultPlan};
@@ -53,6 +55,7 @@ use pasgal_core::cc::{connectivity_observed_in, connectivity_seq};
 use pasgal_core::common::{canonicalize_labels, CancelToken, Cancelled, VgcConfig, UNREACHED};
 use pasgal_core::engine::NoopObserver;
 use pasgal_core::kcore::{kcore_peel_observed_in, kcore_seq};
+use pasgal_core::multi::{multi_bfs_observed_in, DistanceOracle, MAX_SOURCES};
 use pasgal_core::scc::fwbw::scc_vgc_observed_in;
 use pasgal_core::scc::tarjan::scc_tarjan;
 use pasgal_core::sssp::dijkstra::sssp_dijkstra;
@@ -89,6 +92,15 @@ pub struct ServiceConfig {
     /// `tau`) instead of holding it fixed. Affects scheduling only —
     /// answers are τ-independent, so this never changes results.
     pub adaptive_tau: bool,
+    /// Graphs with at most this many vertices answer `oracle` queries
+    /// from a resident **all-pairs** distance oracle (one LRU slot per
+    /// graph, built by a single multi-source flight). Clamped to the
+    /// engine's 128-source word-width limit; `0` disables residency so
+    /// every oracle query takes the per-column flight path.
+    pub oracle_resident_max: usize,
+    /// Seats per multi-source flight: how many distinct sources one
+    /// bit-parallel traversal advances (clamped to `1..=128`).
+    pub oracle_max_sources: usize,
     /// Retry and circuit-breaker tuning.
     pub resilience: ResilienceConfig,
     /// Deterministic fault injection (inert unless the `fault-injection`
@@ -108,6 +120,8 @@ impl Default for ServiceConfig {
             cache_capacity: 128,
             tau: 256,
             adaptive_tau: true,
+            oracle_resident_max: 128,
+            oracle_max_sources: 64,
             resilience: ResilienceConfig::default(),
             faults: FaultPlan::default(),
         }
@@ -120,6 +134,18 @@ struct Job {
     flight: Arc<Flight>,
 }
 
+/// What the primary queue carries: a keyed single-flight job, or a
+/// multi-source oracle batch (still boarding until the worker seals it).
+/// The fallback lane carries plain [`Job`]s only — a degraded oracle
+/// query is a per-column job like any other.
+enum Work {
+    Single(Job),
+    Oracle {
+        batch: Arc<OracleBatch>,
+        entry: Arc<GraphEntry>,
+    },
+}
+
 struct Inner {
     catalog: Catalog,
     cache: Mutex<ResultCache>,
@@ -128,6 +154,9 @@ struct Inner {
     /// primary one so a degraded flight never masks (or is masked by) a
     /// parallel flight for the same key.
     degraded_batcher: Batcher,
+    /// Collector of multi-source oracle batches (one open batch per graph
+    /// generation); distinct sources board until a worker seals the batch.
+    oracle_batcher: OracleBatcher,
     breakers: BreakerRegistry,
     metrics: Metrics,
     faults: FaultInjector,
@@ -143,7 +172,7 @@ struct Inner {
 /// [`Service::query`] may be called from any number of threads.
 pub struct Service {
     inner: Arc<Inner>,
-    queue: SyncSender<Job>,
+    queue: SyncSender<Work>,
     /// Bounded queue of the degraded lane's single fallback worker.
     fallback_queue: SyncSender<Job>,
     workers: Mutex<Vec<JoinHandle<()>>>,
@@ -156,6 +185,7 @@ impl Service {
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
             batcher: Batcher::new(),
             degraded_batcher: Batcher::new(),
+            oracle_batcher: OracleBatcher::new(config.oracle_max_sources),
             breakers: BreakerRegistry::new(&config.resilience),
             metrics: Metrics::new(),
             faults: FaultInjector::new(config.faults.clone()),
@@ -163,7 +193,7 @@ impl Service {
             workspaces: WorkspacePool::new(),
             config: config.clone(),
         });
-        let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Work>(config.queue_capacity.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let mut workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
             .map(|i| {
@@ -296,6 +326,7 @@ impl Service {
         self.inner.ready.store(false, Ordering::SeqCst);
         self.inner.batcher.cancel_all();
         self.inner.degraded_batcher.cancel_all();
+        self.inner.oracle_batcher.cancel_all();
     }
 
     fn dispatch(
@@ -377,11 +408,48 @@ impl Service {
                 let entry = self.lookup(graph)?;
                 check_vertex(&entry, *src)?;
                 check_vertex(&entry, *dst)?;
-                let (dist, degraded) = self.sssp_dists(&entry, *src, cancel, mode)?;
+                // On a symmetric graph d(s,t) = d(t,s), so both directions
+                // canonicalize to one key: `s→t` and `t→s` coalesce into
+                // one flight and one cached distance array.
+                let (src, dst) = canonical_pair(&entry, *src, Some(*dst));
+                let dst = dst.expect("ptp always has a target");
+                let (dist, degraded) = self.sssp_dists(&entry, src, cancel, mode)?;
                 Ok(Answer {
-                    reply: weight_reply(&dist, Some(*dst)),
+                    reply: weight_reply(&dist, Some(dst)),
                     degraded,
                 })
+            }
+            Query::Oracle { graph, src, dst } => {
+                let entry = self.lookup(graph)?;
+                check_vertex(&entry, *src)?;
+                if let Some(d) = dst {
+                    check_vertex(&entry, *d)?;
+                }
+                let (src, dst) = canonical_pair(&entry, *src, *dst);
+                // Small graphs get a resident all-pairs oracle: every
+                // query on the graph shares ONE key, so the existing
+                // single-flight/retry/breaker/degraded machinery serves
+                // maximal coalescing for free. Larger graphs take the
+                // per-column path where distinct sources board one
+                // multi-source flight.
+                let n = entry.graph.num_vertices();
+                let key = if n <= self.inner.config.oracle_resident_max.min(MAX_SOURCES) {
+                    ComputeKey::OracleAllPairs {
+                        generation: entry.generation,
+                    }
+                } else {
+                    ComputeKey::OracleColumn {
+                        generation: entry.generation,
+                        src,
+                    }
+                };
+                match self.obtain(key, &entry, cancel, mode)? {
+                    (ComputeValue::Oracle { oracle, .. }, degraded) => Ok(Answer {
+                        reply: oracle_reply(&oracle, src, dst)?,
+                        degraded,
+                    }),
+                    _ => Err(ServiceError::Internal("wrong result kind".into())),
+                }
             }
             Query::SccId { graph, vertex } => {
                 let entry = self.lookup(graph)?;
@@ -508,6 +576,15 @@ impl Service {
         if mode == QueryMode::Degraded {
             return self.obtain_degraded(key, entry, cancel).map(|v| (v, true));
         }
+        // Oracle columns fly through the multi-source collector instead of
+        // the keyed batcher; everything around the attempt (cache, breaker,
+        // retry, degraded shedding) is shared.
+        let attempt: fn(&Self, ComputeKey, &Arc<GraphEntry>, &CancelToken) -> _ =
+            if matches!(key, ComputeKey::OracleColumn { .. }) {
+                Self::attempt_oracle
+            } else {
+                Self::attempt
+            };
         let resilience = &self.inner.config.resilience;
         let mut key = key;
         let mut entry = Arc::clone(entry);
@@ -529,6 +606,10 @@ impl Service {
                     .get(&key)
                 {
                     self.inner.metrics.cache_hit();
+                    if matches!(v, ComputeValue::Oracle { .. }) {
+                        // answered by lookup in a resident oracle
+                        self.inner.metrics.oracle_hit();
+                    }
                     self.inner.metrics.rounds(v.rounds());
                     return Ok((v, false));
                 }
@@ -540,7 +621,7 @@ impl Service {
             }
             // Probe admission needs no special handling here: the probed
             // flight's outcome drives the breaker from the worker side.
-            match self.attempt(key, &entry, cancel) {
+            match attempt(self, key, &entry, cancel) {
                 Err(WaitAbort::Timeout) => return Err(ServiceError::Timeout),
                 Err(WaitAbort::Cancelled) => return Err(ServiceError::Cancelled),
                 Ok(FlightOutcome::Value(v)) => {
@@ -589,26 +670,69 @@ impl Service {
                 if self.inner.faults.should_force_queue_full() {
                     return Ok(self.reject_leader(&key, &flight, FlightOutcome::Overloaded));
                 }
-                let job = Job {
+                let job = Work::Single(Job {
                     key,
                     entry: Arc::clone(entry),
                     flight: Arc::clone(&flight),
-                };
+                });
                 match self.queue.try_send(job) {
                     Ok(()) => flight,
-                    Err(TrySendError::Full(job)) => {
-                        return Ok(self.reject_leader(
-                            &key,
-                            &job.flight,
-                            FlightOutcome::Overloaded,
-                        ));
-                    }
-                    Err(TrySendError::Disconnected(job)) => {
-                        return Ok(self.reject_leader(&key, &job.flight, FlightOutcome::Cancelled));
+                    Err(e) => {
+                        let (outcome, work) = match e {
+                            TrySendError::Full(w) => (FlightOutcome::Overloaded, w),
+                            TrySendError::Disconnected(w) => (FlightOutcome::Cancelled, w),
+                        };
+                        let Work::Single(job) = work else {
+                            unreachable!("single job returned as sent")
+                        };
+                        return Ok(self.reject_leader(&key, &job.flight, outcome));
                     }
                 }
             }
             Join::Follower(flight) => flight,
+        };
+        flight.wait_cancellable(self.inner.config.query_timeout, cancel)
+    }
+
+    /// One pass through the multi-source collector + queue + wait: the
+    /// oracle-column counterpart of [`attempt`](Self::attempt). A leader
+    /// opens (and enqueues) the generation's batch; followers board it —
+    /// each adding its distinct source — and everyone waits on the shared
+    /// flight for the one bit-parallel traversal that answers them all.
+    fn attempt_oracle(
+        &self,
+        key: ComputeKey,
+        entry: &Arc<GraphEntry>,
+        cancel: &CancelToken,
+    ) -> Result<FlightOutcome, WaitAbort> {
+        let ComputeKey::OracleColumn { generation, src } = key else {
+            unreachable!("attempt_oracle is only selected for oracle-column keys")
+        };
+        let flight = match self.inner.oracle_batcher.join(generation, src) {
+            OracleJoin::Leader(batch) => {
+                let flight = Arc::clone(batch.flight());
+                if self.inner.faults.should_force_queue_full() {
+                    return Ok(self.reject_oracle_leader(&key, &batch, FlightOutcome::Overloaded));
+                }
+                let work = Work::Oracle {
+                    batch,
+                    entry: Arc::clone(entry),
+                };
+                match self.queue.try_send(work) {
+                    Ok(()) => flight,
+                    Err(e) => {
+                        let (outcome, work) = match e {
+                            TrySendError::Full(w) => (FlightOutcome::Overloaded, w),
+                            TrySendError::Disconnected(w) => (FlightOutcome::Cancelled, w),
+                        };
+                        let Work::Oracle { batch, .. } = work else {
+                            unreachable!("oracle batch returned as sent")
+                        };
+                        return Ok(self.reject_oracle_leader(&key, &batch, outcome));
+                    }
+                }
+            }
+            OracleJoin::Follower(batch) => Arc::clone(batch.flight()),
         };
         flight.wait_cancellable(self.inner.config.query_timeout, cancel)
     }
@@ -626,6 +750,21 @@ impl Service {
         self.inner
             .batcher
             .complete(key, flight, outcome.clone(), |_| {});
+        outcome
+    }
+
+    /// [`reject_leader`](Self::reject_leader) for an oracle batch whose
+    /// job never reached a worker.
+    fn reject_oracle_leader(
+        &self,
+        key: &ComputeKey,
+        batch: &Arc<OracleBatch>,
+        outcome: FlightOutcome,
+    ) -> FlightOutcome {
+        self.inner.breakers.on_inconclusive(key);
+        self.inner
+            .oracle_batcher
+            .complete(batch, outcome.clone(), |_| {});
         outcome
     }
 
@@ -689,6 +828,7 @@ impl Drop for Service {
         // promptly instead of finishing answers nobody will read.
         self.inner.batcher.cancel_all();
         self.inner.degraded_batcher.cancel_all();
+        self.inner.oracle_batcher.cancel_all();
         // Closing the queues ends every worker's recv loop; swap in
         // zero-capacity stand-ins so the senders can be dropped here.
         let (dead, _) = std::sync::mpsc::sync_channel(1);
@@ -737,6 +877,30 @@ fn check_vertex(entry: &Arc<GraphEntry>, v: u32) -> Result<(), ServiceError> {
     } else {
         Err(ServiceError::VertexOutOfRange { vertex: v, n })
     }
+}
+
+/// Fold a (source, optional target) pair to canonical order on symmetric
+/// graphs, where `d(s,t) = d(t,s)`: both directions then share one
+/// compute key, one cache entry, and one flight. Directed graphs pass
+/// through unchanged.
+fn canonical_pair(entry: &GraphEntry, src: u32, dst: Option<u32>) -> (u32, Option<u32>) {
+    match dst {
+        Some(d) if entry.graph.is_symmetric() && d < src => (d, Some(src)),
+        _ => (src, dst),
+    }
+}
+
+/// Answer an oracle query by lookup: the PTP distance when `dst` is
+/// given, the reachability summary of `src`'s column otherwise.
+fn oracle_reply(
+    oracle: &DistanceOracle,
+    src: u32,
+    dst: Option<u32>,
+) -> Result<Reply, ServiceError> {
+    let col = oracle
+        .column(src)
+        .ok_or_else(|| ServiceError::Internal(format!("oracle missing column for source {src}")))?;
+    Ok(hop_reply(col, dst))
 }
 
 fn hop_reply(dist: &[u32], target: Option<u32>) -> Reply {
@@ -793,82 +957,166 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-fn worker_loop(inner: Arc<Inner>, rx: Arc<Mutex<Receiver<Job>>>) {
+fn worker_loop(inner: Arc<Inner>, rx: Arc<Mutex<Receiver<Work>>>) {
     loop {
-        let job = {
+        let work = {
             let guard = rx.lock().expect("queue lock poisoned");
             match guard.recv() {
-                Ok(job) => job,
+                Ok(work) => work,
                 Err(_) => return, // service dropped
             }
         };
-        inner.metrics.worker_busy();
-        let token = job.flight.token().clone();
-        if let Some(delay) = inner.faults.injected_delay() {
-            // An injected stall still honors cancellation: once every
-            // waiter gives up, the flight token frees this worker.
-            let until = Instant::now() + delay;
-            while Instant::now() < until && !token.is_cancelled() {
-                std::thread::sleep(Duration::from_millis(2));
+        match work {
+            Work::Single(job) => run_single(&inner, job),
+            Work::Oracle { batch, entry } => run_oracle_flight(&inner, &batch, &entry),
+        }
+    }
+}
+
+fn run_single(inner: &Inner, job: Job) {
+    inner.metrics.worker_busy();
+    let token = job.flight.token().clone();
+    if let Some(delay) = inner.faults.injected_delay() {
+        // An injected stall still honors cancellation: once every
+        // waiter gives up, the flight token frees this worker.
+        let until = Instant::now() + delay;
+        while Instant::now() < until && !token.is_cancelled() {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    // Acquired *outside* catch_unwind: on a panic the guard is still
+    // owned here, so its Drop shelves the workspace back in the pool
+    // (every `*_observed_in` re-prepares state at entry, making a
+    // panic-abandoned workspace safe to reuse).
+    let mut ws = inner.workspaces.acquire();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if inner.faults.should_panic_worker() {
+            panic!("injected worker panic");
+        }
+        compute(inner, &job.key, &job.entry, &token, &mut ws)
+    }))
+    .map_err(panic_message);
+    drop(ws);
+    let outcome: FlightOutcome = match result {
+        Ok(Ok(value)) => FlightOutcome::Value(value),
+        Ok(Err(Cancelled)) => {
+            inner.metrics.computation_cancelled();
+            FlightOutcome::Cancelled
+        }
+        Err(msg) => FlightOutcome::Failed(msg),
+    };
+    if let FlightOutcome::Value(value) = &outcome {
+        inner
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .insert(job.key, value.clone());
+    }
+    // Breaker evidence is per *flight*, not per waiter: a batch of
+    // 50 queries riding one panicked flight is one failure.
+    match &outcome {
+        FlightOutcome::Value(_) => {
+            if inner.breakers.on_success(&job.key) {
+                inner.metrics.breaker_closed();
             }
         }
-        // Acquired *outside* catch_unwind: on a panic the guard is still
-        // owned here, so its Drop shelves the workspace back in the pool
-        // (every `*_observed_in` re-prepares state at entry, making a
-        // panic-abandoned workspace safe to reuse).
-        let mut ws = inner.workspaces.acquire();
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            if inner.faults.should_panic_worker() {
-                panic!("injected worker panic");
+        FlightOutcome::Failed(_) => {
+            if inner.breakers.on_failure(&job.key) {
+                inner.metrics.breaker_opened();
             }
-            compute(&inner, &job.key, &job.entry, &token, &mut ws)
-        }))
-        .map_err(panic_message);
-        drop(ws);
-        let outcome: FlightOutcome = match result {
-            Ok(Ok(value)) => FlightOutcome::Value(value),
-            Ok(Err(Cancelled)) => {
-                inner.metrics.computation_cancelled();
-                FlightOutcome::Cancelled
-            }
-            Err(msg) => FlightOutcome::Failed(msg),
-        };
-        if let FlightOutcome::Value(value) = &outcome {
-            inner
-                .cache
-                .lock()
-                .expect("cache lock poisoned")
-                .insert(job.key, value.clone());
         }
-        // Breaker evidence is per *flight*, not per waiter: a batch of
-        // 50 queries riding one panicked flight is one failure.
+        FlightOutcome::Cancelled => inner.breakers.on_inconclusive(&job.key),
+        FlightOutcome::Overloaded => {}
+    }
+    let was_cancelled = matches!(outcome, FlightOutcome::Cancelled);
+    // Drop the gauge before publishing, so by the time any waiter
+    // observes the result the worker already reads as free.
+    inner.metrics.worker_idle();
+    inner
+        .batcher
+        .complete(&job.key, &job.flight, outcome, |batch| {
+            // a cancelled traversal did not produce a batch answer
+            if !was_cancelled {
+                inner.metrics.computation(batch)
+            }
+        });
+}
+
+/// Execute one multi-source oracle batch: seal it (sources that boarded
+/// while the job queued are in; later arrivals open a fresh batch), run
+/// a single bit-parallel traversal over all seats, cache one
+/// `OracleColumn` entry per source — all aliasing the shared
+/// [`DistanceOracle`] — and wake the whole batch.
+fn run_oracle_flight(inner: &Inner, batch: &Arc<OracleBatch>, entry: &Arc<GraphEntry>) {
+    inner.metrics.worker_busy();
+    let token = batch.flight().token().clone();
+    if let Some(delay) = inner.faults.injected_delay() {
+        let until = Instant::now() + delay;
+        while Instant::now() < until && !token.is_cancelled() {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    let sources = inner.oracle_batcher.seal(batch);
+    inner.metrics.multi_source_flight(sources.len() as u64);
+    let generation = batch.generation();
+    let mut ws = inner.workspaces.acquire();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if inner.faults.should_panic_worker() {
+            panic!("injected worker panic");
+        }
+        let stats = multi_bfs_observed_in(&entry.graph, &sources, &token, &NoopObserver, &mut ws)?;
+        let oracle = DistanceOracle::from_columns(
+            entry.graph.num_vertices(),
+            sources.clone(),
+            Arc::new(ws.take_multi_dist()),
+        );
+        Ok(ComputeValue::Oracle {
+            oracle: Arc::new(oracle),
+            rounds: stats.rounds,
+        })
+    }))
+    .map_err(panic_message);
+    drop(ws);
+    let outcome: FlightOutcome = match result {
+        Ok(Ok(value)) => FlightOutcome::Value(value),
+        Ok(Err(Cancelled)) => {
+            inner.metrics.computation_cancelled();
+            FlightOutcome::Cancelled
+        }
+        Err(msg) => FlightOutcome::Failed(msg),
+    };
+    if let FlightOutcome::Value(value) = &outcome {
+        let mut cache = inner.cache.lock().expect("cache lock poisoned");
+        for &src in &sources {
+            cache.insert(ComputeKey::OracleColumn { generation, src }, value.clone());
+        }
+    }
+    // Per-flight breaker evidence, recorded on every boarded column key:
+    // each source's breaker sees its own flight history.
+    for &src in &sources {
+        let key = ComputeKey::OracleColumn { generation, src };
         match &outcome {
             FlightOutcome::Value(_) => {
-                if inner.breakers.on_success(&job.key) {
+                if inner.breakers.on_success(&key) {
                     inner.metrics.breaker_closed();
                 }
             }
             FlightOutcome::Failed(_) => {
-                if inner.breakers.on_failure(&job.key) {
+                if inner.breakers.on_failure(&key) {
                     inner.metrics.breaker_opened();
                 }
             }
-            FlightOutcome::Cancelled => inner.breakers.on_inconclusive(&job.key),
+            FlightOutcome::Cancelled => inner.breakers.on_inconclusive(&key),
             FlightOutcome::Overloaded => {}
         }
-        let was_cancelled = matches!(outcome, FlightOutcome::Cancelled);
-        // Drop the gauge before publishing, so by the time any waiter
-        // observes the result the worker already reads as free.
-        inner.metrics.worker_idle();
-        inner
-            .batcher
-            .complete(&job.key, &job.flight, outcome, |batch| {
-                // a cancelled traversal did not produce a batch answer
-                if !was_cancelled {
-                    inner.metrics.computation(batch)
-                }
-            });
     }
+    let was_cancelled = matches!(outcome, FlightOutcome::Cancelled);
+    inner.metrics.worker_idle();
+    inner.oracle_batcher.complete(batch, outcome, |batch_size| {
+        if !was_cancelled {
+            inner.metrics.computation(batch_size)
+        }
+    });
 }
 
 /// The degraded lane's worker: sequential algorithms, no fault injection
@@ -947,6 +1195,33 @@ fn compute(
                 rounds: r.stats.rounds,
             }
         }
+        ComputeKey::OracleColumn { src, .. } => {
+            // Normally served by `run_oracle_flight`; reachable here only
+            // if a column key is ever enqueued as a single job. One
+            // single-seat flight keeps the answer identical either way.
+            let stats = multi_bfs_observed_in(&entry.graph, &[src], cancel, &NoopObserver, ws)?;
+            ComputeValue::Oracle {
+                oracle: Arc::new(DistanceOracle::from_columns(
+                    entry.graph.num_vertices(),
+                    vec![src],
+                    Arc::new(ws.take_multi_dist()),
+                )),
+                rounds: stats.rounds,
+            }
+        }
+        ComputeKey::OracleAllPairs { .. } => {
+            let n = entry.graph.num_vertices();
+            let sources: Vec<u32> = (0..n as u32).collect();
+            let stats = multi_bfs_observed_in(&entry.graph, &sources, cancel, &NoopObserver, ws)?;
+            ComputeValue::Oracle {
+                oracle: Arc::new(DistanceOracle::from_columns(
+                    n,
+                    sources,
+                    Arc::new(ws.take_multi_dist()),
+                )),
+                rounds: stats.rounds,
+            }
+        }
         ComputeKey::Coreness { .. } => {
             let g = entry.undirected();
             let stats = kcore_peel_observed_in(&g, inner.config.tau, cancel, &NoopObserver, ws)?;
@@ -995,6 +1270,37 @@ fn compute_sequential(key: &ComputeKey, entry: &GraphEntry) -> ComputeValue {
                 labels: Arc::new(r.labels),
                 count: r.num_components,
                 rounds: r.stats.rounds,
+            }
+        }
+        ComputeKey::OracleColumn { src, .. } => {
+            // One sequential BFS column; `multi_bfs` columns are
+            // bit-identical to `bfs_seq`, so the degraded answer matches.
+            let r = bfs_seq(&entry.graph, src);
+            ComputeValue::Oracle {
+                oracle: Arc::new(DistanceOracle::from_columns(
+                    entry.graph.num_vertices(),
+                    vec![src],
+                    Arc::new(r.dist),
+                )),
+                rounds: r.stats.rounds,
+            }
+        }
+        ComputeKey::OracleAllPairs { .. } => {
+            let n = entry.graph.num_vertices();
+            let mut dist = Vec::with_capacity(n * n);
+            let mut rounds = 0u64;
+            for src in 0..n as u32 {
+                let r = bfs_seq(&entry.graph, src);
+                rounds = rounds.max(r.stats.rounds);
+                dist.extend_from_slice(&r.dist);
+            }
+            ComputeValue::Oracle {
+                oracle: Arc::new(DistanceOracle::from_columns(
+                    n,
+                    (0..n as u32).collect(),
+                    Arc::new(dist),
+                )),
+                rounds,
             }
         }
         ComputeKey::Coreness { .. } => {
@@ -1230,6 +1536,148 @@ mod tests {
             assert_eq!(normal.reply, degraded.reply, "{q:?}");
         }
         assert!(svc.metrics().reconciles());
+    }
+
+    #[test]
+    fn oracle_answers_from_resident_all_pairs_oracle() {
+        let svc = small_service();
+        svc.register("g", grid2d(6, 9)); // n = 54 ≤ resident max
+        let direct = bfs_seq(&grid2d(6, 9), 7).dist;
+        let q = Query::Oracle {
+            graph: "g".into(),
+            src: 7,
+            dst: Some(40),
+        };
+        let a = svc.query(&q).unwrap();
+        assert_eq!(
+            a,
+            Reply::Dist {
+                value: Some(direct[40] as u64)
+            }
+        );
+        // any other (src, dst) on the graph is now a pure cache lookup
+        let b = svc
+            .query(&Query::Oracle {
+                graph: "g".into(),
+                src: 33,
+                dst: None,
+            })
+            .unwrap();
+        let col = bfs_seq(&grid2d(6, 9), 33).dist;
+        assert_eq!(
+            b,
+            Reply::DistSummary {
+                reached: 54,
+                max: col.iter().map(|&d| d as u64).max().unwrap()
+            }
+        );
+        let m = svc.metrics();
+        assert_eq!(m.computations, 1, "one flight answers every source");
+        assert!(m.oracle_hits >= 1, "{m:?}");
+        assert!(m.reconciles(), "{m:?}");
+    }
+
+    #[test]
+    fn oracle_column_path_serves_large_graphs() {
+        let svc = Service::new(ServiceConfig {
+            workers: 2,
+            queue_capacity: 16,
+            query_timeout: Duration::from_secs(10),
+            cache_capacity: 8,
+            tau: 64,
+            oracle_resident_max: 0, // force the per-column flight path
+            ..ServiceConfig::default()
+        });
+        svc.register("g", grid2d(6, 9));
+        let direct = bfs_seq(&grid2d(6, 9), 3).dist;
+        let q = Query::Oracle {
+            graph: "g".into(),
+            src: 3,
+            dst: Some(50),
+        };
+        let a = svc.query(&q).unwrap();
+        assert_eq!(
+            a,
+            Reply::Dist {
+                value: Some(direct[50] as u64)
+            }
+        );
+        // repeat hits the cached column; a distinct source takes a flight
+        svc.query(&q).unwrap();
+        svc.query(&Query::Oracle {
+            graph: "g".into(),
+            src: 9,
+            dst: None,
+        })
+        .unwrap();
+        let m = svc.metrics();
+        assert!(m.multi_source_flights >= 1, "{m:?}");
+        assert!(m.oracle_hits >= 1, "{m:?}");
+        assert!(m.reconciles(), "{m:?}");
+        assert_eq!(svc.inner.oracle_batcher.open_batches(), 0);
+    }
+
+    #[test]
+    fn degraded_oracle_matches_normal_and_skips_cache() {
+        let svc = small_service();
+        svc.register("g", grid2d(5, 7));
+        for dst in [None, Some(20)] {
+            let q = Query::Oracle {
+                graph: "g".into(),
+                src: 2,
+                dst,
+            };
+            let degraded = svc
+                .query_full(&q, &CancelToken::new(), QueryMode::Degraded)
+                .unwrap();
+            assert!(degraded.degraded);
+            let normal = svc
+                .query_full(&q, &CancelToken::new(), QueryMode::Normal)
+                .unwrap();
+            assert!(!normal.degraded);
+            assert_eq!(normal.reply, degraded.reply, "{q:?}");
+        }
+        assert!(svc.metrics().reconciles());
+    }
+
+    #[test]
+    fn symmetric_ptp_directions_share_one_computation() {
+        let svc = small_service();
+        svc.register("g", grid2d(4, 6)); // grids are symmetric
+        let forward = svc
+            .query(&Query::Ptp {
+                graph: "g".into(),
+                src: 2,
+                dst: 21,
+            })
+            .unwrap();
+        let backward = svc
+            .query(&Query::Ptp {
+                graph: "g".into(),
+                src: 21,
+                dst: 2,
+            })
+            .unwrap();
+        assert_eq!(forward, backward);
+        let m = svc.metrics();
+        assert_eq!(m.computations, 1, "s→t and t→s must share one key");
+        assert!(m.cache_hits >= 1, "{m:?}");
+        // oracle queries canonicalize the same way
+        let f = svc
+            .query(&Query::Oracle {
+                graph: "g".into(),
+                src: 0,
+                dst: Some(23),
+            })
+            .unwrap();
+        let b = svc
+            .query(&Query::Oracle {
+                graph: "g".into(),
+                src: 23,
+                dst: Some(0),
+            })
+            .unwrap();
+        assert_eq!(f, b);
     }
 
     #[test]

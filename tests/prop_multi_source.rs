@@ -1,0 +1,148 @@
+//! Property tests for the bit-parallel multi-source BFS engine: a flight
+//! over k sources must be **bit-identical** to k independent sequential
+//! BFS runs — one column per source, in seating order — on every suite
+//! generator and on arbitrary random graphs, and the engine must stay
+//! correct when its workspace is recycled through a [`WorkspacePool`]
+//! across flights of different widths and graphs (stale seen-mask and
+//! claim words from a wider previous flight must never leak).
+
+use pasgal_core::bfs::seq::bfs_seq;
+use pasgal_core::common::{CancelToken, UNREACHED};
+use pasgal_core::engine::NoopObserver;
+use pasgal_core::multi::{multi_bfs, multi_bfs_observed_in, DistanceOracle, MAX_SOURCES};
+use pasgal_core::workspace::WorkspacePool;
+use pasgal_graph::builder::from_edges;
+use pasgal_graph::csr::Graph;
+use pasgal_graph::gen::suite::{SuiteScale, SUITE};
+use pasgal_parlay::rng::SplitRng;
+
+/// Evenly spread `k` distinct sources over `n` vertices.
+fn spread_sources(n: usize, k: usize) -> Vec<u32> {
+    let k = k.min(n);
+    (0..k).map(|i| (i * n / k) as u32).collect()
+}
+
+/// Assert every column of a flight equals its sequential oracle.
+fn assert_columns_match_seq(g: &Graph, sources: &[u32], dist: &[u32], label: &str) {
+    let n = g.num_vertices();
+    assert_eq!(dist.len(), sources.len() * n, "{label}: column count");
+    for (c, &s) in sources.iter().enumerate() {
+        let want = bfs_seq(g, s).dist;
+        assert_eq!(
+            &dist[c * n..(c + 1) * n],
+            want.as_slice(),
+            "{label}: column {c} (source {s}) differs from bfs_seq"
+        );
+    }
+}
+
+/// A 64-source flight is bit-identical to 64 independent sequential BFS
+/// runs on every generator in the paper's suite.
+#[test]
+fn suite_flights_match_independent_seq_runs() {
+    for entry in SUITE {
+        let g = entry.build(SuiteScale::Tiny);
+        let n = g.num_vertices();
+        assert!(n > 0, "{}: empty tiny graph", entry.name);
+        let sources = spread_sources(n, 64);
+        let r = multi_bfs(&g, &sources);
+        assert_columns_match_seq(&g, &sources, &r.dist, entry.name);
+    }
+}
+
+/// Same property on arbitrary random directed graphs with arbitrary
+/// flight widths (1..=MAX_SOURCES), exercising both one- and two-word
+/// source masks.
+#[test]
+fn random_flights_match_independent_seq_runs() {
+    for case in 0..32u64 {
+        let rng = SplitRng::new(0x5eed_0001 ^ case);
+        let n = 2 + rng.split(1).range_at(0, 70) as usize;
+        let m = rng.split(2).range_at(0, 300) as usize;
+        let er = rng.split(3);
+        let edges: Vec<(u32, u32)> = (0..m)
+            .map(|i| {
+                (
+                    er.range_at(2 * i as u64, n as u64) as u32,
+                    er.range_at(2 * i as u64 + 1, n as u64) as u32,
+                )
+            })
+            .collect();
+        let g = from_edges(n, &edges);
+        let k = 1 + rng.split(4).range_at(0, MAX_SOURCES as u64) as usize;
+        let sources = spread_sources(n, k);
+        let r = multi_bfs(&g, &sources);
+        assert_columns_match_seq(&g, &sources, &r.dist, &format!("case {case} (k={k})"));
+        // The oracle view over the same columns answers point lookups.
+        let (oracle, _) = DistanceOracle::build(&g, &sources);
+        for &s in &sources {
+            assert!(oracle.covers(s), "case {case}: source {s} not covered");
+            assert_eq!(
+                oracle.dist(s, s),
+                Some(0),
+                "case {case}: self-distance of {s}"
+            );
+        }
+    }
+}
+
+/// Workspace recycling: run flights of widths that cross the 64-bit word
+/// boundary in both directions (1 → 64 → 65 → 128 → 3) on graphs of
+/// different sizes, all through one [`WorkspacePool`] slot. A stale seen
+/// bit, claim bit or distance from a wider or larger previous run would
+/// corrupt a later column; every flight must stay bit-identical to its
+/// sequential oracle.
+#[test]
+fn seen_mask_reuse_wraps_through_the_workspace_pool() {
+    let pool = WorkspacePool::new();
+    let token = CancelToken::new();
+    let grid = pasgal_graph::gen::basic::grid2d(9, 16); // n = 144
+    let rng = SplitRng::new(0xfeed_beef);
+    let n2 = 30usize;
+    let edges: Vec<(u32, u32)> = (0..120)
+        .map(|i| {
+            (
+                rng.range_at(2 * i as u64, n2 as u64) as u32,
+                rng.range_at(2 * i as u64 + 1, n2 as u64) as u32,
+            )
+        })
+        .collect();
+    let sparse = from_edges(n2, &edges);
+
+    for (round, (g, k)) in [
+        (&grid, 1usize),
+        (&grid, 64),
+        (&sparse, 65.min(n2)),
+        (&grid, 128),
+        (&sparse, 3),
+        (&grid, 64),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let n = g.num_vertices();
+        let sources = spread_sources(n, *k);
+        let mut ws = pool.acquire();
+        multi_bfs_observed_in(g, &sources, &token, &NoopObserver, &mut ws)
+            .expect("fresh token cannot cancel");
+        let kn = sources.len() * n;
+        let dist: Vec<u32> = (0..kn).map(|i| ws.multi_dist().get(i)).collect();
+        drop(ws); // return to the pool before the next, differently-sized flight
+        assert_columns_match_seq(g, &sources, &dist, &format!("round {round} (k={k})"));
+        assert_eq!(
+            pool.idle(),
+            1,
+            "round {round}: workspace went back to the pool"
+        );
+    }
+
+    // Unreached stays unreached even after a run that filled every slot.
+    let lonely = from_edges(5, &[(0, 1)]);
+    let mut ws = pool.acquire();
+    multi_bfs_observed_in(&lonely, &[4], &token, &NoopObserver, &mut ws)
+        .expect("fresh token cannot cancel");
+    assert_eq!(ws.multi_dist().get(4), 0);
+    for v in 0..4 {
+        assert_eq!(ws.multi_dist().get(v), UNREACHED, "vertex {v}");
+    }
+}
