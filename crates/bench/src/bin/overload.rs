@@ -1,0 +1,342 @@
+//! Overload bench and gate: a closed-loop adversarial storm against the
+//! query service with end-to-end deadlines, cost-aware admission, and
+//! brownout control engaged (DESIGN.md §15).
+//!
+//! Sixteen closed-loop clients (each issues its next query the moment
+//! the previous one returns) hammer a 2-worker, 4-slot-queue service
+//! with a mixed workload — BFS, SSSP, PTP, oracle lookups, SCC, k-core,
+//! CC — over many distinct sources, so flights are real traversals, not
+//! cache hits. Every third query carries a 2–50 ms deadline, tight
+//! enough against millisecond flights that admission sheds some
+//! (`shed`), the round loop aborts others (`deadline_exceeded`), and
+//! the bounded queue rejects a few more (`overloaded`).
+//!
+//! Reported (BENCH_OVERLOAD.json at the repo root): p50/p99 latency
+//! overall and for served queries, terminal-bucket counts, and the
+//! worst overshoot of a successful deadline-carrying query past its
+//! deadline.
+//!
+//! Invariants — deterministic, so `--gate` relies on them in CI:
+//! * one response per request: every issued query returns exactly one
+//!   `Result`, and the `queries` metric equals the issued count;
+//! * extended identity: `queries == completed + degraded + timeouts +
+//!   cancelled + rejected_overload + errors + deadline_exceeded + shed`;
+//! * oracle identity: `oracle_queries == oracle_served +
+//!   oracle_unserved` — no oracle request is dropped under pressure;
+//! * correctness before load-shedding: every served answer is
+//!   bit-identical to the sequential lane's answer for the same query
+//!   (brownout may reroute or refuse, but never change a value);
+//! * served deadline-carrying queries finish within deadline + 1 s of
+//!   grace (the waiter wakes at the deadline; the grace absorbs
+//!   scheduler jitter on shared runners, not a broken abort path).
+//!
+//! Without `--gate` the run additionally requires that the storm
+//! actually exercised the pressure paths (some shed, deadline-exceeded,
+//! or overload outcome occurred) — load-dependent, so not gated in CI.
+
+use pasgal_core::common::CancelToken;
+use pasgal_graph::gen::basic::grid2d;
+use pasgal_service::{Query, QueryMode, Reply, Service, ServiceConfig, ServiceError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SIDE: usize = 96; // 96×96 grid: flights are real but bounded
+const CLIENTS: u32 = 16;
+const PER_CLIENT: u32 = 64; // 1024 queries total
+const GRACE: Duration = Duration::from_secs(1);
+
+/// The `i`-th query of the adversarial mix: flight-bearing ops over a
+/// wide source rotation (cache misses dominate), oracle family included.
+fn mixed_query(i: u32) -> Query {
+    let n = (SIDE * SIDE) as u32;
+    let src = (i * 131) % 64; // 64 distinct sources → mostly fresh flights
+    let v = (i * 977) % n;
+    match i % 8 {
+        0 | 1 => Query::BfsDist {
+            graph: "g".into(),
+            src,
+            target: Some(v),
+        },
+        2 => Query::SsspDist {
+            graph: "g".into(),
+            src,
+            target: Some(v),
+        },
+        3 => Query::Ptp {
+            graph: "g".into(),
+            src,
+            dst: v,
+        },
+        4 => Query::Oracle {
+            graph: "g".into(),
+            src: src % 16,
+            dst: Some(v),
+        },
+        5 => Query::SccId {
+            graph: "g".into(),
+            vertex: Some(v),
+        },
+        6 => Query::KCore {
+            graph: "g".into(),
+            vertex: Some(v),
+        },
+        _ => Query::CcId {
+            graph: "g".into(),
+            vertex: Some(v),
+        },
+    }
+}
+
+/// The deadline the `i`-th query carries, if any: every third query,
+/// rotating through tight budgets.
+fn deadline_for(i: u32) -> Option<Duration> {
+    i.is_multiple_of(3)
+        .then(|| Duration::from_millis([2, 10, 50][(i % 9 / 3) as usize]))
+}
+
+struct Sample {
+    latency_ns: u64,
+    deadline: Option<Duration>,
+    outcome: u8, // 0 ok, 1 deadline, 2 shed, 3 overload, 4 timeout, 5 other err
+    served_degraded: bool,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let gate = std::env::args().any(|a| a == "--gate");
+
+    let svc = Arc::new(Service::new(ServiceConfig {
+        workers: 2,
+        queue_capacity: 4,
+        query_timeout: Duration::from_secs(2),
+        cache_capacity: 16,
+        tau: 256,
+        memory_budget: Some(64 * 1024 * 1024),
+        ..ServiceConfig::default()
+    }));
+    svc.register("g", grid2d(SIDE, SIDE));
+
+    // Sequential reference answers, computed on the degraded lane before
+    // the storm: the correctness bar every served answer must meet.
+    let expected: Vec<Option<Reply>> = (0..CLIENTS * PER_CLIENT)
+        .map(|i| {
+            svc.query_full(&mixed_query(i), &CancelToken::new(), QueryMode::Degraded)
+                .ok()
+                .map(|a| a.reply)
+        })
+        .collect();
+    let expected = Arc::new(expected);
+    let baseline = svc.metrics();
+    assert_eq!(
+        baseline.queries,
+        (CLIENTS * PER_CLIENT) as u64,
+        "reference pass issues one query per storm query"
+    );
+
+    // ---- the closed-loop storm -------------------------------------
+    let t_storm = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let svc = Arc::clone(&svc);
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                let mut samples = Vec::with_capacity(PER_CLIENT as usize);
+                for j in 0..PER_CLIENT {
+                    let id = c * PER_CLIENT + j;
+                    let q = mixed_query(id);
+                    let deadline = deadline_for(id);
+                    let token = match deadline {
+                        Some(d) => CancelToken::with_deadline(d),
+                        None => CancelToken::new(),
+                    };
+                    let t0 = Instant::now();
+                    let r = svc.query_full(&q, &token, QueryMode::Normal);
+                    let latency_ns = t0.elapsed().as_nanos() as u64;
+                    let (outcome, served_degraded) = match &r {
+                        Ok(a) => {
+                            // brownout sheds before touching correctness:
+                            // a served answer is bit-identical to the
+                            // sequential lane's
+                            if let Some(want) = &expected[id as usize] {
+                                assert_eq!(
+                                    &a.reply, want,
+                                    "query {id} answer diverged from sequential"
+                                );
+                            }
+                            (0u8, a.degraded)
+                        }
+                        Err(ServiceError::DeadlineExceeded) => (1, false),
+                        Err(ServiceError::Shed) => (2, false),
+                        Err(ServiceError::Overloaded) => (3, false),
+                        Err(ServiceError::Timeout) => (4, false),
+                        Err(_) => (5, false),
+                    };
+                    samples.push(Sample {
+                        latency_ns,
+                        deadline,
+                        outcome,
+                        served_degraded,
+                    });
+                }
+                samples
+            })
+        })
+        .collect();
+    let samples: Vec<Sample> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread panicked"))
+        .collect();
+    let storm_ns = t_storm.elapsed().as_nanos() as u64;
+
+    // ---- invariants -------------------------------------------------
+    let issued = (CLIENTS * PER_CLIENT) as u64;
+    assert_eq!(samples.len() as u64, issued, "one response per request");
+    let m = svc.metrics();
+    assert_eq!(
+        m.queries,
+        baseline.queries + issued,
+        "queries metric must count every storm request exactly once"
+    );
+    assert!(m.reconciles(), "extended identity must hold: {m:?}");
+    assert!(m.oracle_reconciles(), "oracle identity must hold: {m:?}");
+
+    let mut worst_overshoot_ns = 0u64;
+    for s in &samples {
+        if let (0, Some(d)) = (s.outcome, s.deadline) {
+            let budget_ns = (d + GRACE).as_nanos() as u64;
+            assert!(
+                s.latency_ns <= budget_ns,
+                "served deadline query took {} ns against a {:?} deadline",
+                s.latency_ns,
+                d
+            );
+            worst_overshoot_ns =
+                worst_overshoot_ns.max(s.latency_ns.saturating_sub(d.as_nanos() as u64));
+        }
+    }
+
+    let count = |o: u8| samples.iter().filter(|s| s.outcome == o).count() as u64;
+    let served = count(0);
+    let served_degraded = samples.iter().filter(|s| s.served_degraded).count() as u64;
+    let (deadline_missed, shed, overloaded) = (count(1), count(2), count(3));
+    let (timeouts, other) = (count(4), count(5));
+    let pressure_outcomes = deadline_missed + shed + overloaded + timeouts;
+    if !gate && pressure_outcomes == 0 {
+        eprintln!("FAIL: the storm never exercised a pressure path (no shed/deadline/overload)");
+        std::process::exit(1);
+    }
+
+    let mut all: Vec<u64> = samples.iter().map(|s| s.latency_ns).collect();
+    all.sort_unstable();
+    let mut ok_lat: Vec<u64> = samples
+        .iter()
+        .filter(|s| s.outcome == 0)
+        .map(|s| s.latency_ns)
+        .collect();
+    ok_lat.sort_unstable();
+
+    println!(
+        "overload: {issued} queries from {CLIENTS} closed-loop clients in {:.1} ms",
+        storm_ns as f64 / 1e6
+    );
+    println!(
+        "  served {served} ({served_degraded} degraded)  deadline_exceeded {deadline_missed}  \
+         shed {shed}  overloaded {overloaded}  timeouts {timeouts}  other {other}"
+    );
+    println!(
+        "  latency p50/p99: all {}/{} µs, served {}/{} µs; worst served overshoot {} µs",
+        percentile(&all, 0.50) / 1_000,
+        percentile(&all, 0.99) / 1_000,
+        percentile(&ok_lat, 0.50) / 1_000,
+        percentile(&ok_lat, 0.99) / 1_000,
+        worst_overshoot_ns / 1_000
+    );
+    println!("  brownout gauge at end: {}", m.brownout_state);
+
+    write_report(
+        issued,
+        served,
+        served_degraded,
+        deadline_missed,
+        shed,
+        overloaded,
+        timeouts,
+        other,
+        &all,
+        &ok_lat,
+        worst_overshoot_ns,
+        storm_ns,
+        &m,
+    );
+    println!("report written to BENCH_OVERLOAD.json");
+    println!("overload OK: identities hold, served answers match sequential");
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_report(
+    issued: u64,
+    served: u64,
+    served_degraded: u64,
+    deadline_missed: u64,
+    shed: u64,
+    overloaded: u64,
+    timeouts: u64,
+    other: u64,
+    all: &[u64],
+    ok_lat: &[u64],
+    worst_overshoot_ns: u64,
+    storm_ns: u64,
+    m: &pasgal_service::MetricsSnapshot,
+) {
+    use std::fmt::Write as _;
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"bench\": \"overload-storm\",\n");
+    let _ = writeln!(j, "  \"clients\": {CLIENTS},");
+    let _ = writeln!(j, "  \"per_client\": {PER_CLIENT},");
+    let _ = writeln!(j, "  \"issued\": {issued},");
+    let _ = writeln!(j, "  \"storm_ns\": {storm_ns},");
+    j.push_str("  \"outcomes\": {");
+    let _ = write!(
+        j,
+        "\"served\": {served}, \"served_degraded\": {served_degraded}, \
+         \"deadline_exceeded\": {deadline_missed}, \"shed\": {shed}, \
+         \"overloaded\": {overloaded}, \"timeouts\": {timeouts}, \"other\": {other}"
+    );
+    j.push_str("},\n");
+    let _ = writeln!(
+        j,
+        "  \"latency_ns\": {{\"p50\": {}, \"p99\": {}, \"served_p50\": {}, \"served_p99\": {}}},",
+        percentile(all, 0.50),
+        percentile(all, 0.99),
+        percentile(ok_lat, 0.50),
+        percentile(ok_lat, 0.99)
+    );
+    let _ = writeln!(j, "  \"worst_served_overshoot_ns\": {worst_overshoot_ns},");
+    let _ = writeln!(j, "  \"metrics_reconcile\": {},", m.reconciles());
+    let _ = writeln!(j, "  \"oracle_reconcile\": {},", m.oracle_reconciles());
+    let _ = writeln!(j, "  \"brownout_state\": {},", m.brownout_state);
+    let _ = writeln!(
+        j,
+        "  \"service_buckets\": {{\"completed\": {}, \"degraded\": {}, \"timeouts\": {}, \
+         \"cancelled\": {}, \"rejected_overload\": {}, \"errors\": {}, \
+         \"deadline_exceeded\": {}, \"shed\": {}}}",
+        m.completed,
+        m.degraded,
+        m.timeouts,
+        m.cancelled,
+        m.rejected_overload,
+        m.errors,
+        m.deadline_exceeded,
+        m.shed
+    );
+    j.push_str("}\n");
+    std::fs::write("BENCH_OVERLOAD.json", j).expect("write BENCH_OVERLOAD.json");
+}

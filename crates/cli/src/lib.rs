@@ -32,6 +32,8 @@
 //!   --max-retries N           retry budget for transient failures
 //!   --breaker-threshold N     failures that open a key's breaker
 //!   --breaker-cooldown-ms N   open-breaker cool-down before probing
+//!   --default-deadline-ms N   deadline for queries without their own
+//!   --memory-budget-mb N      brownout memory budget for resident data
 //!   --drain-ms N      how long `serve` waits for in-flight work on
 //!                     SIGINT/SIGTERM before exiting (default 5000)
 //!   --trace-rounds    print one line per synchronization round (frontier
@@ -91,6 +93,8 @@ pub const SERVE_FLAGS: &[(&str, &str)] = &[
     ("breaker-cooldown-ms N", "how long an open breaker waits before admitting a half-open probe (default 1000)"),
     ("oracle-resident N", "graphs with ≤ N vertices promote a resident all-pairs distance oracle into the cache (default 128; 0 disables)"),
     ("oracle-sources N", "seats per multi-source oracle flight (default 64, max 128)"),
+    ("default-deadline-ms N", "end-to-end deadline applied to queries that carry no deadline_ms of their own (default: none)"),
+    ("memory-budget-mb N", "resident-memory budget feeding the brownout controller; pressure above it sheds oracle promotion and flight width (default: none)"),
     ("drain-ms N", "shutdown drain deadline for in-flight work on SIGINT/SIGTERM (default 5000)"),
     ("trace-rounds", "print one line per synchronization round (query commands; accepted by serve for symmetry, no per-round output server-side)"),
     ("help", "print this flag listing and exit"),
@@ -312,6 +316,23 @@ pub fn start_service(
             pasgal_core::multi::MAX_SOURCES
         ));
     }
+    let default_deadline_ms = cli
+        .num("default-deadline-ms", 0)
+        .map_err(|e| e.to_string())?;
+    if cli.options.contains_key("default-deadline-ms")
+        && !(1..=86_400_000).contains(&default_deadline_ms)
+    {
+        return Err(format!(
+            "--default-deadline-ms must be 1..=86400000 (got {default_deadline_ms})"
+        ));
+    }
+    let memory_budget_mb = cli.num("memory-budget-mb", 0).map_err(|e| e.to_string())?;
+    if cli.options.contains_key("memory-budget-mb") && !(1..=1_048_576).contains(&memory_budget_mb)
+    {
+        return Err(format!(
+            "--memory-budget-mb must be 1..=1048576 (got {memory_budget_mb})"
+        ));
+    }
     let config = ServiceConfig {
         workers,
         queue_capacity: queue,
@@ -321,6 +342,9 @@ pub fn start_service(
         resilience,
         oracle_resident_max,
         oracle_max_sources,
+        default_deadline: (default_deadline_ms > 0)
+            .then(|| std::time::Duration::from_millis(default_deadline_ms)),
+        memory_budget: (memory_budget_mb > 0).then_some(memory_budget_mb * 1024 * 1024),
         ..ServiceConfig::default()
     };
     let service = std::sync::Arc::new(Service::new(config));
@@ -975,6 +999,118 @@ mod tests {
         assert!(run(&cli(&["serve", "--oracle-sources", "0"])).is_err());
         assert!(run(&cli(&["serve", "--oracle-sources", "129"])).is_err());
         assert!(run(&cli(&["serve", "--oracle-resident", "abc"])).is_err());
+        assert!(run(&cli(&["serve", "--default-deadline-ms", "0"])).is_err());
+        assert!(run(&cli(&["serve", "--default-deadline-ms", "abc"])).is_err());
+        assert!(run(&cli(&["serve", "--default-deadline-ms", "99999999999"])).is_err());
+        assert!(run(&cli(&["serve", "--memory-budget-mb", "0"])).is_err());
+        assert!(run(&cli(&["serve", "--memory-budget-mb", "abc"])).is_err());
+        assert!(run(&cli(&["serve", "--memory-budget-mb", "9999999"])).is_err());
+    }
+
+    /// Every flag `start_service` parses must appear in [`SERVE_FLAGS`],
+    /// and every listed flag must be accepted with a sane value: the
+    /// allowlist and the parser cannot drift apart in either direction.
+    #[test]
+    fn serve_flags_match_what_start_service_parses() {
+        // Keep in sync with the cli.num/cli.opt calls in start_service
+        // (plus the bare flags serve accepts for symmetry).
+        let parsed = [
+            "host",
+            "port",
+            "workers",
+            "queue",
+            "timeout-ms",
+            "cache",
+            "tau",
+            "threads",
+            "max-retries",
+            "breaker-threshold",
+            "breaker-cooldown-ms",
+            "oracle-resident",
+            "oracle-sources",
+            "default-deadline-ms",
+            "memory-budget-mb",
+            "drain-ms",
+            "trace-rounds",
+            "help",
+        ];
+        for name in parsed {
+            assert!(
+                SERVE_FLAGS
+                    .iter()
+                    .any(|(f, _)| f.split_whitespace().next() == Some(name)),
+                "start_service parses --{name} but SERVE_FLAGS does not list it"
+            );
+        }
+        for (flag, _) in SERVE_FLAGS {
+            let name = flag.split_whitespace().next().unwrap();
+            assert!(
+                parsed.contains(&name),
+                "SERVE_FLAGS lists --{name} but start_service never reads it"
+            );
+        }
+        // And the whole allowlist is accepted at once with sane values.
+        let (_svc, mut server) = start_service(&cli(&[
+            "serve",
+            "--host",
+            "127.0.0.1",
+            "--port",
+            "0",
+            "--workers",
+            "1",
+            "--queue",
+            "4",
+            "--timeout-ms",
+            "10000",
+            "--cache",
+            "16",
+            "--tau",
+            "128",
+            "--max-retries",
+            "1",
+            "--breaker-threshold",
+            "3",
+            "--breaker-cooldown-ms",
+            "100",
+            "--oracle-resident",
+            "64",
+            "--oracle-sources",
+            "16",
+            "--default-deadline-ms",
+            "60000",
+            "--memory-budget-mb",
+            "64",
+            "--drain-ms",
+            "1000",
+            "--trace-rounds",
+        ]))
+        .unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn serve_default_deadline_flag_reaches_the_service() {
+        // A 60 s default deadline is roomy: queries still succeed, which
+        // proves the flag parses and the service accepts the config.
+        let (service, mut server) = start_service(&cli(&[
+            "serve",
+            "--port",
+            "0",
+            "--workers",
+            "1",
+            "--default-deadline-ms",
+            "60000",
+            "--memory-budget-mb",
+            "512",
+        ]))
+        .unwrap();
+        service.register("g", pasgal_graph::gen::basic::grid2d(6, 9));
+        let r = pasgal_service::server::handle_line(
+            &service,
+            r#"{"op":"bfs","graph":"g","src":0,"target":53}"#,
+        );
+        assert!(r.to_string().contains("\"dist\":13"), "{r}");
+        server.shutdown();
     }
 
     #[test]

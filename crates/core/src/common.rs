@@ -3,8 +3,8 @@
 
 use pasgal_parlay::counters::CounterSnapshot;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Hop distance type for BFS (`u32::MAX` = unreached).
@@ -60,10 +60,29 @@ impl fmt::Display for Cancelled {
 
 impl std::error::Error for Cancelled {}
 
+/// Callback invoked when a token is cancelled explicitly. Must not block
+/// and must not acquire any lock that could be held across a call to
+/// [`CancelToken::cancel`] on this token.
+pub type CancelWaker = Arc<dyn Fn() + Send + Sync>;
+
 struct TokenInner {
     flag: AtomicBool,
     deadline: Option<Instant>,
     parent: Option<CancelToken>,
+    wakers: Mutex<Vec<(u64, CancelWaker)>>,
+    next_waker: AtomicU64,
+}
+
+impl TokenInner {
+    fn fresh(deadline: Option<Instant>, parent: Option<CancelToken>) -> Self {
+        Self {
+            flag: AtomicBool::new(false),
+            deadline,
+            parent,
+            wakers: Mutex::new(Vec::new()),
+            next_waker: AtomicU64::new(0),
+        }
+    }
 }
 
 /// Shared cooperative-cancellation handle.
@@ -102,11 +121,7 @@ impl CancelToken {
     /// A token that never fires unless [`cancel`](Self::cancel) is called.
     pub fn new() -> Self {
         Self {
-            inner: Arc::new(TokenInner {
-                flag: AtomicBool::new(false),
-                deadline: None,
-                parent: None,
-            }),
+            inner: Arc::new(TokenInner::fresh(None, None)),
         }
     }
 
@@ -119,11 +134,7 @@ impl CancelToken {
     /// A token that fires at `deadline`.
     pub fn at(deadline: Instant) -> Self {
         Self {
-            inner: Arc::new(TokenInner {
-                flag: AtomicBool::new(false),
-                deadline: Some(deadline),
-                parent: None,
-            }),
+            inner: Arc::new(TokenInner::fresh(Some(deadline), None)),
         }
     }
 
@@ -132,18 +143,24 @@ impl CancelToken {
     /// Cancelling the child never affects the parent.
     pub fn child(&self, deadline: Option<Instant>) -> Self {
         Self {
-            inner: Arc::new(TokenInner {
-                flag: AtomicBool::new(false),
-                deadline,
-                parent: Some(self.clone()),
-            }),
+            inner: Arc::new(TokenInner::fresh(deadline, Some(self.clone()))),
         }
     }
 
-    /// Request cancellation. Idempotent; wakes nothing by itself —
-    /// computations notice at their next poll.
+    /// Request cancellation. Idempotent. Computations notice at their next
+    /// poll; waiters that registered a waker (see
+    /// [`register_waker`](Self::register_waker)) are notified immediately.
     pub fn cancel(&self) {
         self.inner.flag.store(true, Ordering::Relaxed);
+        // Drain under the lock, invoke outside it: a waker may itself try
+        // to register/unregister on this token.
+        let fired: Vec<CancelWaker> = {
+            let mut wakers = self.inner.wakers.lock().expect("waker lock poisoned");
+            wakers.drain(..).map(|(_, w)| w).collect()
+        };
+        for w in fired {
+            w();
+        }
     }
 
     /// Has this token (or its deadline, or any ancestor) fired?
@@ -176,6 +193,94 @@ impl CancelToken {
     /// The deadline carried by this token itself (not inherited ones).
     pub fn deadline(&self) -> Option<Instant> {
         self.inner.deadline
+    }
+
+    /// Was [`cancel`](Self::cancel) called explicitly on this token or any
+    /// ancestor? Deadlines do not count — use this together with
+    /// [`deadline_expired`](Self::deadline_expired) to distinguish a caller
+    /// abort from a blown time budget.
+    pub fn cancel_requested(&self) -> bool {
+        if self.inner.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        match &self.inner.parent {
+            Some(p) => p.cancel_requested(),
+            None => false,
+        }
+    }
+
+    /// Has a deadline on this token or any ancestor passed? Explicit
+    /// cancels do not count.
+    pub fn deadline_expired(&self) -> bool {
+        if let Some(d) = self.inner.deadline {
+            if Instant::now() >= d {
+                return true;
+            }
+        }
+        match &self.inner.parent {
+            Some(p) => p.deadline_expired(),
+            None => false,
+        }
+    }
+
+    /// The earliest deadline anywhere in this token's ancestry, if any.
+    /// This is the absolute time budget a waiter should sleep toward.
+    pub fn earliest_deadline(&self) -> Option<Instant> {
+        let inherited = self
+            .inner
+            .parent
+            .as_ref()
+            .and_then(|p| p.earliest_deadline());
+        match (self.inner.deadline, inherited) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (d, None) => d,
+            (None, d) => d,
+        }
+    }
+
+    /// Register a callback fired by an explicit [`cancel`](Self::cancel) on
+    /// this token or any ancestor. Deadlines never invoke wakers — a waiter
+    /// bounds its sleep with [`earliest_deadline`](Self::earliest_deadline)
+    /// instead. Returns a guard that unregisters on drop. If the token was
+    /// already cancelled, the waker fires immediately (the caller must
+    /// still re-check its predicate after registering — registration is
+    /// not a fence).
+    pub fn register_waker(&self, waker: CancelWaker) -> WakerRegistration {
+        let mut slots = Vec::new();
+        let mut cur = Some(self.clone());
+        let mut already = false;
+        while let Some(tok) = cur {
+            if tok.inner.flag.load(Ordering::Relaxed) {
+                already = true;
+            }
+            let id = tok.inner.next_waker.fetch_add(1, Ordering::Relaxed);
+            tok.inner
+                .wakers
+                .lock()
+                .expect("waker lock poisoned")
+                .push((id, Arc::clone(&waker)));
+            cur = tok.inner.parent.clone();
+            slots.push((tok, id));
+        }
+        if already {
+            waker();
+        }
+        WakerRegistration { slots }
+    }
+}
+
+/// Guard returned by [`CancelToken::register_waker`]; dropping it removes
+/// the waker from every token it was attached to.
+pub struct WakerRegistration {
+    slots: Vec<(CancelToken, u64)>,
+}
+
+impl Drop for WakerRegistration {
+    fn drop(&mut self) {
+        for (tok, id) in self.slots.drain(..) {
+            let mut wakers = tok.inner.wakers.lock().expect("waker lock poisoned");
+            wakers.retain(|(wid, _)| *wid != id);
+        }
     }
 }
 
@@ -338,6 +443,96 @@ mod tests {
         child.cancel();
         assert!(child.is_cancelled());
         assert!(!parent.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_requested_vs_deadline_expired() {
+        // Deadline passing: expired, but not requested.
+        let t = CancelToken::at(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        assert!(t.deadline_expired());
+        assert!(!t.cancel_requested());
+
+        // Explicit cancel: requested, not expired.
+        let t = CancelToken::new();
+        t.cancel();
+        assert!(t.cancel_requested());
+        assert!(!t.deadline_expired());
+
+        // Both propagate through children.
+        let parent = CancelToken::at(Instant::now() - Duration::from_millis(1));
+        let child = parent.child(None);
+        assert!(child.deadline_expired());
+        assert!(!child.cancel_requested());
+        let parent = CancelToken::new();
+        let child = parent.child(Some(Instant::now() + Duration::from_secs(60)));
+        parent.cancel();
+        assert!(child.cancel_requested());
+        assert!(!child.deadline_expired());
+    }
+
+    #[test]
+    fn earliest_deadline_takes_chain_minimum() {
+        assert_eq!(CancelToken::new().earliest_deadline(), None);
+        let near = Instant::now() + Duration::from_millis(10);
+        let far = Instant::now() + Duration::from_secs(60);
+        let parent = CancelToken::at(near);
+        let child = parent.child(Some(far));
+        assert_eq!(child.earliest_deadline(), Some(near));
+        let parent = CancelToken::at(far);
+        let child = parent.child(Some(near));
+        assert_eq!(child.earliest_deadline(), Some(near));
+        // Child's own accessor still reports only its own deadline.
+        assert_eq!(child.deadline(), Some(near));
+    }
+
+    #[test]
+    fn waker_fires_on_explicit_cancel_only() {
+        use std::sync::atomic::AtomicUsize;
+        let hits = Arc::new(AtomicUsize::new(0));
+        let parent = CancelToken::new();
+        let child = parent.child(Some(Instant::now() - Duration::from_millis(1)));
+        let h = Arc::clone(&hits);
+        let reg = child.register_waker(Arc::new(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        // Deadline already expired, but no explicit cancel: no waker call.
+        assert!(child.is_cancelled());
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+        // A cancel anywhere in the ancestry fires it.
+        parent.cancel();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        // Cancel drained the registration: a second cancel is a no-op.
+        parent.cancel();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        drop(reg);
+    }
+
+    #[test]
+    fn waker_registration_unregisters_on_drop() {
+        use std::sync::atomic::AtomicUsize;
+        let hits = Arc::new(AtomicUsize::new(0));
+        let t = CancelToken::new();
+        let h = Arc::clone(&hits);
+        let reg = t.register_waker(Arc::new(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        drop(reg);
+        t.cancel();
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn waker_on_already_cancelled_token_fires_immediately() {
+        use std::sync::atomic::AtomicUsize;
+        let hits = Arc::new(AtomicUsize::new(0));
+        let t = CancelToken::new();
+        t.cancel();
+        let h = Arc::clone(&hits);
+        let _reg = t.register_waker(Arc::new(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
     }
 
     #[test]

@@ -43,6 +43,7 @@ use pasgal_collections::hashbag::HashBag;
 use pasgal_collections::union_find::ConcurrentUnionFind;
 use pasgal_graph::VertexId;
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// A pool of `Vec<u32>` buffers for structures whose element count varies
@@ -272,6 +273,38 @@ impl TraversalWorkspace {
         self.fwd_marks.set_next_stamp(u32::MAX - 1);
         self.bwd_marks.set_next_stamp(u32::MAX - 1);
     }
+
+    /// Heap bytes held resident by this workspace's recycled buffers.
+    ///
+    /// A *lower bound*: the dominant arrays (distances, labels, masks,
+    /// marks, union-find, scratch vectors) are counted exactly; hash-bag
+    /// chunks are not (they expose no byte accessor) and neither is
+    /// per-subproblem pool content beyond vector capacity. Used by the
+    /// service's brownout controller to compare the workspace pool
+    /// against `--memory-budget-mb`.
+    pub fn resident_bytes(&self) -> usize {
+        let u32s = self.hop_dist.len()
+            + self.scc_labels.len()
+            + self.scc_part.len()
+            + self.fwd_marks.len()
+            + self.bwd_marks.len()
+            + self.degree.len()
+            + self.coreness.len()
+            + self.multi_dist.len()
+            + self.uf.len();
+        let u64s = self.wdist.len()
+            + self.multi_seen.len()
+            + self.multi_cur.len()
+            + self.multi_next.len()
+            + self.multi_claim.len();
+        let vertex_scratch = self.raw.capacity()
+            + self.seeds.capacity()
+            + self.frontier.capacity()
+            + self.near.capacity();
+        let packed_scratch =
+            self.entries.capacity() + self.window.capacity() + self.samples.capacity();
+        u32s * 4 + u64s * 8 + vertex_scratch * std::mem::size_of::<VertexId>() + packed_scratch * 8
+    }
 }
 
 /// A shared pool of [`TraversalWorkspace`]s, one per concurrent query.
@@ -283,6 +316,11 @@ impl TraversalWorkspace {
 #[derive(Default)]
 pub struct WorkspacePool {
     free: Mutex<Vec<TraversalWorkspace>>,
+    /// Workspaces currently checked out (guards not yet dropped).
+    outstanding: AtomicUsize,
+    /// Largest `resident_bytes` seen on any workspace returned to the
+    /// pool — the per-workspace estimate for checked-out ones.
+    peak_ws_bytes: AtomicUsize,
 }
 
 impl WorkspacePool {
@@ -299,6 +337,7 @@ impl WorkspacePool {
             .expect("workspace pool poisoned")
             .pop()
             .unwrap_or_default();
+        self.outstanding.fetch_add(1, Ordering::Relaxed);
         PooledWorkspace {
             ws: Some(ws),
             pool: self,
@@ -308,6 +347,21 @@ impl WorkspacePool {
     /// Number of idle workspaces currently shelved.
     pub fn idle(&self) -> usize {
         self.free.lock().expect("workspace pool poisoned").len()
+    }
+
+    /// Estimated heap bytes held by the whole pool: idle workspaces are
+    /// measured exactly; each checked-out workspace is charged the peak
+    /// per-workspace footprint seen so far (a workspace mid-run is at
+    /// least as large as when it was last returned).
+    pub fn resident_bytes(&self) -> usize {
+        let idle: usize = self
+            .free
+            .lock()
+            .expect("workspace pool poisoned")
+            .iter()
+            .map(TraversalWorkspace::resident_bytes)
+            .sum();
+        idle + self.outstanding.load(Ordering::Relaxed) * self.peak_ws_bytes.load(Ordering::Relaxed)
     }
 }
 
@@ -334,6 +388,10 @@ impl DerefMut for PooledWorkspace<'_> {
 impl Drop for PooledWorkspace<'_> {
     fn drop(&mut self) {
         if let Some(ws) = self.ws.take() {
+            self.pool
+                .peak_ws_bytes
+                .fetch_max(ws.resident_bytes(), Ordering::Relaxed);
+            self.pool.outstanding.fetch_sub(1, Ordering::Relaxed);
             self.pool
                 .free
                 .lock()
@@ -375,6 +433,24 @@ mod tests {
         }));
         assert!(r.is_err());
         assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn resident_bytes_tracks_buffers_and_outstanding() {
+        let pool = WorkspacePool::new();
+        assert_eq!(pool.resident_bytes(), 0);
+        {
+            let mut ws = pool.acquire();
+            ws.raw.reserve_exact(1024);
+            // checked out with no returned peak yet: still estimated 0
+            assert_eq!(pool.resident_bytes(), 0);
+            assert!(ws.resident_bytes() >= 1024 * std::mem::size_of::<VertexId>());
+        }
+        // returned: measured exactly, and the peak now covers future holders
+        let idle_bytes = pool.resident_bytes();
+        assert!(idle_bytes >= 1024 * std::mem::size_of::<VertexId>());
+        let _held = pool.acquire();
+        assert_eq!(pool.resident_bytes(), idle_bytes);
     }
 
     #[test]

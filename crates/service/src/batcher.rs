@@ -24,12 +24,9 @@
 use crate::cache::{ComputeKey, ComputeValue};
 use pasgal_core::common::CancelToken;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
-
-/// How often a blocked waiter rechecks its caller's cancel token. Bounds
-/// how stale a disconnect/shutdown signal can go unnoticed.
-const POLL_SLICE: Duration = Duration::from_millis(20);
 
 /// Terminal outcome of a flight, published by whoever completes it and
 /// observed by every waiter. Typed (rather than stringly encoded) so the
@@ -44,6 +41,16 @@ pub enum FlightOutcome {
     /// The flight's computation was cancelled (abandonment, client
     /// disconnect, or service shutdown) before producing a value.
     Cancelled,
+    /// The flight's deadline (the latest deadline among its joiners)
+    /// expired before the computation finished; the worker aborted within
+    /// one round. Not retryable — a fresh attempt cannot beat a deadline
+    /// that has already passed — and not a key-poisoning failure either:
+    /// it feeds the breaker as inconclusive evidence, like cancellation.
+    DeadlineExceeded,
+    /// Cost-aware admission refused the leader before queueing: the
+    /// estimated queue debt made the request's deadline infeasible. Not
+    /// retryable — re-entering the same queue meets the same debt.
+    Shed,
     /// The computation itself failed (worker panic, injected fault); the
     /// message is preserved for the error reply. Transient from the
     /// caller's perspective — a retry starts a fresh flight.
@@ -53,14 +60,16 @@ pub enum FlightOutcome {
 impl FlightOutcome {
     /// Whether a fresh attempt could plausibly succeed where this one did
     /// not: overload drains and panics are per-flight, but a cancellation
-    /// means nobody wants the answer any more.
+    /// means nobody wants the answer any more, and a blown or infeasible
+    /// deadline stays blown on retry.
     pub fn retryable(&self) -> bool {
         matches!(self, FlightOutcome::Overloaded | FlightOutcome::Failed(_))
     }
 
     /// Whether this outcome is evidence that the *key* is poisoned (feeds
-    /// the per-key circuit breaker). Overload is service-wide pressure and
-    /// cancellation is caller-side, so only failures count.
+    /// the per-key circuit breaker). Overload is service-wide pressure,
+    /// cancellation is caller-side, and deadline expiry/shedding is
+    /// time-budget pressure, so only failures count.
     pub fn is_failure(&self) -> bool {
         matches!(self, FlightOutcome::Failed(_))
     }
@@ -68,9 +77,15 @@ impl FlightOutcome {
 
 /// One in-flight computation that any number of queries may wait on.
 pub struct Flight {
+    /// State + condvar live behind an `Arc` so a caller-token waker can
+    /// capture them without borrowing the flight.
+    shared: Arc<FlightShared>,
+    token: CancelToken,
+}
+
+struct FlightShared {
     state: Mutex<FlightState>,
     cv: Condvar,
-    token: CancelToken,
 }
 
 struct FlightState {
@@ -82,7 +97,33 @@ struct FlightState {
     /// Set when the last live waiter departed without a result; the
     /// flight token is fired at the same moment.
     abandoned: bool,
+    /// The latest deadline among all joiners — the point past which *no*
+    /// waiter still wants the answer. `None` once any joiner is
+    /// unbounded (served best-effort under the server timeout only).
+    deadline: Option<Instant>,
+    /// A joiner without a deadline boarded: the flight must not be
+    /// deadline-aborted on other joiners' budgets.
+    unbounded: bool,
     result: Option<FlightOutcome>,
+}
+
+impl FlightState {
+    /// Fold one joiner's deadline into the flight's: the flight deadline
+    /// is the *max* over joiners (aborting earlier would strand a waiter
+    /// whose budget had room), and one unbounded joiner clears it.
+    fn note_deadline(&mut self, deadline: Option<Instant>) {
+        match deadline {
+            None => {
+                self.unbounded = true;
+                self.deadline = None;
+            }
+            Some(d) => {
+                if !self.unbounded {
+                    self.deadline = Some(self.deadline.map_or(d, |cur| cur.max(d)));
+                }
+            }
+        }
+    }
 }
 
 /// The flight did not complete within the caller's timeout.
@@ -94,20 +135,27 @@ pub struct WaitTimeout;
 pub enum WaitAbort {
     /// The caller's timeout elapsed first.
     Timeout,
-    /// The caller's cancel token fired first (disconnect, shutdown).
+    /// The caller's cancel token was cancelled explicitly (disconnect,
+    /// shutdown).
     Cancelled,
+    /// The caller's end-to-end deadline expired while waiting.
+    DeadlineExceeded,
 }
 
 impl Flight {
-    fn new() -> Self {
+    fn new(deadline: Option<Instant>) -> Self {
         Self {
-            state: Mutex::new(FlightState {
-                joiners: 1,
-                waiting: 0,
-                abandoned: false,
-                result: None,
+            shared: Arc::new(FlightShared {
+                state: Mutex::new(FlightState {
+                    joiners: 1,
+                    waiting: 0,
+                    abandoned: false,
+                    deadline,
+                    unbounded: deadline.is_none(),
+                    result: None,
+                }),
+                cv: Condvar::new(),
             }),
-            cv: Condvar::new(),
             token: CancelToken::new(),
         }
     }
@@ -118,16 +166,48 @@ impl Flight {
         &self.token
     }
 
+    /// The flight's stamped deadline: the latest deadline among joiners,
+    /// `None` if any joiner is unbounded. Workers read this at pickup and
+    /// derive a deadline-bearing child of the flight token from it, so
+    /// the traversal aborts within one round of expiry. Joins after
+    /// pickup still extend the stamp, but a running worker honors the
+    /// value it read.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.shared
+            .state
+            .lock()
+            .expect("flight lock poisoned")
+            .deadline
+    }
+
     /// Block until the flight completes, `timeout` elapses, or `caller`
-    /// is cancelled. A departing waiter that leaves the flight with no
-    /// live waiters and no result abandons it (fires the flight token).
+    /// is cancelled (explicitly or by deadline). A departing waiter that
+    /// leaves the flight with no live waiters and no result abandons it
+    /// (fires the flight token).
+    ///
+    /// The wait is a true condvar sleep bounded by
+    /// `min(timeout, caller deadline)`: completion notifies the condvar,
+    /// an explicit caller cancel fires a registered waker, and deadline
+    /// expiry is the wait bound itself — no polling slice, no idle burn.
     pub fn wait_cancellable(
         &self,
         timeout: Duration,
         caller: &CancelToken,
     ) -> Result<FlightOutcome, WaitAbort> {
         let deadline = Instant::now() + timeout;
-        let mut st = self.state.lock().expect("flight lock poisoned");
+        // The waker takes the state lock before notifying: a waiter is
+        // either holding it (it will re-check the token before sleeping)
+        // or parked in wait_timeout (the notify lands). No missed wakeup.
+        let shared = Arc::clone(&self.shared);
+        let _waker = caller.register_waker(Arc::new(move || {
+            let _guard = shared.state.lock().expect("flight lock poisoned");
+            shared.cv.notify_all();
+        }));
+        let wake_by = match caller.earliest_deadline() {
+            Some(d) => d.min(deadline),
+            None => deadline,
+        };
+        let mut st = self.shared.state.lock().expect("flight lock poisoned");
         st.waiting += 1;
         loop {
             if let Some(r) = st.result.clone() {
@@ -135,18 +215,23 @@ impl Flight {
                 return Ok(r);
             }
             if caller.is_cancelled() {
-                return Err(self.depart(st, WaitAbort::Cancelled));
+                // Explicit cancel wins the classification; otherwise the
+                // only way the token fired is a deadline in its chain.
+                let why = if caller.cancel_requested() {
+                    WaitAbort::Cancelled
+                } else {
+                    WaitAbort::DeadlineExceeded
+                };
+                return Err(self.depart(st, why));
             }
             let now = Instant::now();
             if now >= deadline {
                 return Err(self.depart(st, WaitAbort::Timeout));
             }
-            // Sliced wait: the condvar wakes us on completion, the slice
-            // bound keeps caller-token checks fresh.
-            let slice = (deadline - now).min(POLL_SLICE);
             let (guard, _) = self
+                .shared
                 .cv
-                .wait_timeout(st, slice)
+                .wait_timeout(st, wake_by.saturating_duration_since(now))
                 .expect("flight lock poisoned");
             st = guard;
         }
@@ -186,20 +271,30 @@ impl Batcher {
         Self::default()
     }
 
-    /// Join the flight for `key`, creating it (as leader) if absent. An
-    /// abandoned flight with no result is dead — its worker is aborting —
-    /// so it is replaced by a fresh flight with a fresh leader.
+    /// Join the flight for `key` without a deadline (the joiner rides
+    /// best-effort under the server timeout).
     pub fn join(&self, key: ComputeKey) -> Join {
+        self.join_with_deadline(key, None)
+    }
+
+    /// Join the flight for `key`, creating it (as leader) if absent, and
+    /// stamp the joiner's end-to-end `deadline` onto the flight (the
+    /// flight keeps the *latest* joiner deadline; one deadline-less
+    /// joiner makes it unbounded). An abandoned flight with no result is
+    /// dead — its worker is aborting — so it is replaced by a fresh
+    /// flight with a fresh leader.
+    pub fn join_with_deadline(&self, key: ComputeKey, deadline: Option<Instant>) -> Join {
         let mut map = self.inflight.lock().expect("batcher lock poisoned");
         if let Some(flight) = map.get(&key) {
-            let mut st = flight.state.lock().expect("flight lock poisoned");
+            let mut st = flight.shared.state.lock().expect("flight lock poisoned");
             if !st.abandoned || st.result.is_some() {
                 st.joiners += 1;
+                st.note_deadline(deadline);
                 drop(st);
                 return Join::Follower(Arc::clone(flight));
             }
         }
-        let flight = Arc::new(Flight::new());
+        let flight = Arc::new(Flight::new(deadline));
         map.insert(key, Arc::clone(&flight));
         Join::Leader(flight)
     }
@@ -230,18 +325,18 @@ impl Batcher {
                 map.remove(key);
             }
         }
-        let mut st = flight.state.lock().expect("flight lock poisoned");
+        let mut st = flight.shared.state.lock().expect("flight lock poisoned");
         let joiners = st.joiners;
         st.result = Some(outcome);
         on_complete(joiners);
         drop(st);
-        flight.cv.notify_all();
+        flight.shared.cv.notify_all();
         joiners
     }
 
     /// Fire every in-flight token (service shutdown): workers observe the
     /// tokens, abort their traversals, and publish cancellation outcomes,
-    /// which unblocks every waiter within one poll slice.
+    /// whose completion notifies every waiter's condvar.
     pub fn cancel_all(&self) {
         let map = self.inflight.lock().expect("batcher lock poisoned");
         for flight in map.values() {
@@ -278,14 +373,14 @@ struct OracleBatchState {
 }
 
 impl OracleBatch {
-    fn new(generation: u64, src: u32) -> Self {
+    fn new(generation: u64, src: u32, deadline: Option<Instant>) -> Self {
         Self {
             generation,
             state: Mutex::new(OracleBatchState {
                 sources: vec![src],
                 sealed: false,
             }),
-            flight: Arc::new(Flight::new()),
+            flight: Arc::new(Flight::new(deadline)),
         }
     }
 
@@ -304,7 +399,7 @@ impl OracleBatch {
     /// under `cap` seats. Fails once sealed, full, or abandoned. Lock
     /// order is batch state → flight state, matching module convention
     /// (outer structure → `Flight::state`).
-    fn try_add(&self, src: u32, cap: usize) -> bool {
+    fn try_add(&self, src: u32, cap: usize, deadline: Option<Instant>) -> bool {
         let mut st = self.state.lock().expect("oracle batch lock poisoned");
         if st.sealed {
             return false;
@@ -313,11 +408,17 @@ impl OracleBatch {
         if !dup && st.sources.len() >= cap {
             return false;
         }
-        let mut fst = self.flight.state.lock().expect("flight lock poisoned");
+        let mut fst = self
+            .flight
+            .shared
+            .state
+            .lock()
+            .expect("flight lock poisoned");
         if fst.abandoned && fst.result.is_none() {
             return false;
         }
         fst.joiners += 1;
+        fst.note_deadline(deadline);
         drop(fst);
         if !dup {
             st.sources.push(src);
@@ -349,29 +450,60 @@ pub enum OracleJoin {
 pub struct OracleBatcher {
     open: Mutex<HashMap<u64, Arc<OracleBatch>>>,
     max_sources: usize,
+    /// Live seat limit ≤ `max_sources`, lowered by the brownout
+    /// controller under pressure (narrower flights finish sooner and
+    /// hold less mask memory) and restored on recovery.
+    width_cap: AtomicUsize,
 }
 
 impl OracleBatcher {
     /// `max_sources` caps seats per batch (clamped to the engine's
     /// [`MAX_SOURCES`](pasgal_core::multi::MAX_SOURCES) word-width limit).
     pub fn new(max_sources: usize) -> Self {
+        let max_sources = max_sources.clamp(1, pasgal_core::multi::MAX_SOURCES);
         Self {
             open: Mutex::new(HashMap::new()),
-            max_sources: max_sources.clamp(1, pasgal_core::multi::MAX_SOURCES),
+            max_sources,
+            width_cap: AtomicUsize::new(max_sources),
         }
+    }
+
+    /// Lower (or restore) the live seat limit; clamped to
+    /// `[1, max_sources]`. Already-boarded batches keep their seats —
+    /// the cap applies to future boarding.
+    pub fn set_width_cap(&self, cap: usize) {
+        self.width_cap
+            .store(cap.clamp(1, self.max_sources), Ordering::Relaxed);
+    }
+
+    /// The current live seat limit.
+    pub fn width_cap(&self) -> usize {
+        self.width_cap.load(Ordering::Relaxed)
+    }
+
+    /// Board the open batch for `generation` without a deadline.
+    pub fn join(&self, generation: u64, src: u32) -> OracleJoin {
+        self.join_with_deadline(generation, src, None)
     }
 
     /// Board the open batch for `generation`, opening a fresh one (as
     /// leader) if there is none, or if the open batch is sealed, full, or
-    /// abandoned.
-    pub fn join(&self, generation: u64, src: u32) -> OracleJoin {
+    /// abandoned. The joiner's `deadline` is stamped onto the batch
+    /// flight exactly like [`Batcher::join_with_deadline`].
+    pub fn join_with_deadline(
+        &self,
+        generation: u64,
+        src: u32,
+        deadline: Option<Instant>,
+    ) -> OracleJoin {
+        let cap = self.width_cap();
         let mut map = self.open.lock().expect("oracle batcher lock poisoned");
         if let Some(batch) = map.get(&generation) {
-            if batch.try_add(src, self.max_sources) {
+            if batch.try_add(src, cap, deadline) {
                 return OracleJoin::Follower(Arc::clone(batch));
             }
         }
-        let batch = Arc::new(OracleBatch::new(generation, src));
+        let batch = Arc::new(OracleBatch::new(generation, src, deadline));
         map.insert(generation, Arc::clone(&batch));
         OracleJoin::Leader(batch)
     }
@@ -399,12 +531,17 @@ impl OracleBatcher {
         on_complete: impl FnOnce(u64),
     ) -> u64 {
         self.retire(batch);
-        let mut st = batch.flight.state.lock().expect("flight lock poisoned");
+        let mut st = batch
+            .flight
+            .shared
+            .state
+            .lock()
+            .expect("flight lock poisoned");
         let joiners = st.joiners;
         st.result = Some(outcome);
         on_complete(joiners);
         drop(st);
-        batch.flight.cv.notify_all();
+        batch.flight.shared.cv.notify_all();
         joiners
     }
 
@@ -475,7 +612,7 @@ mod tests {
             }));
         }
         // wait until all four followers have joined, then complete
-        while leader.state.lock().unwrap().joiners < 5 {
+        while leader.shared.state.lock().unwrap().joiners < 5 {
             std::thread::yield_now();
         }
         let batch = b.complete(&key(7), &leader, FlightOutcome::Value(value()), |_| {});
@@ -555,7 +692,7 @@ mod tests {
             })
         };
         // let the follower block in wait
-        while leader.state.lock().unwrap().waiting < 1 {
+        while leader.shared.state.lock().unwrap().waiting < 1 {
             std::thread::yield_now();
         }
         // leader's own wait times out; flight must NOT be abandoned
@@ -613,6 +750,131 @@ mod tests {
             Err(WaitAbort::Cancelled)
         ));
         assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    /// A cancel arriving while the waiter is parked must wake it via the
+    /// registered waker — there is no polling slice any more, so a missed
+    /// wakeup would sleep the full 30 s timeout.
+    #[test]
+    fn mid_wait_cancel_wakes_parked_waiter() {
+        let b = Arc::new(Batcher::new());
+        let leader = match b.join(key(5)) {
+            Join::Leader(f) => f,
+            _ => panic!("first join must lead"),
+        };
+        let caller = CancelToken::new();
+        let waiter = {
+            let caller = caller.clone();
+            let leader = Arc::clone(&leader);
+            std::thread::spawn(move || leader.wait_cancellable(Duration::from_secs(30), &caller))
+        };
+        while leader.shared.state.lock().unwrap().waiting < 1 {
+            std::thread::yield_now();
+        }
+        let start = Instant::now();
+        caller.cancel();
+        assert!(matches!(waiter.join().unwrap(), Err(WaitAbort::Cancelled)));
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    /// A caller whose token carries only a deadline is classified as
+    /// DeadlineExceeded, not Cancelled; an explicit cancel wins even when
+    /// a deadline has also expired.
+    #[test]
+    fn deadline_wait_classification() {
+        let b = Batcher::new();
+        let leader = match b.join(key(6)) {
+            Join::Leader(f) => f,
+            _ => panic!("first join must lead"),
+        };
+        let caller = CancelToken::at(Instant::now() + Duration::from_millis(20));
+        let start = Instant::now();
+        assert!(matches!(
+            leader.wait_cancellable(Duration::from_secs(30), &caller),
+            Err(WaitAbort::DeadlineExceeded)
+        ));
+        // woke at the deadline, not the 30 s timeout
+        assert!(start.elapsed() < Duration::from_secs(5));
+
+        let fresh = match b.join(key(6)) {
+            Join::Leader(f) => f,
+            _ => panic!("abandoned flight must be replaced"),
+        };
+        let caller = CancelToken::at(Instant::now() - Duration::from_millis(1));
+        caller.cancel();
+        assert!(matches!(
+            fresh.wait_cancellable(Duration::from_secs(30), &caller),
+            Err(WaitAbort::Cancelled)
+        ));
+    }
+
+    /// Joiner deadlines fold into the flight stamp: max over joiners,
+    /// cleared permanently by any unbounded joiner.
+    #[test]
+    fn flight_deadline_is_max_over_joiners_until_unbounded() {
+        let b = Batcher::new();
+        let near = Instant::now() + Duration::from_millis(50);
+        let far = Instant::now() + Duration::from_secs(50);
+        let leader = match b.join_with_deadline(key(8), Some(near)) {
+            Join::Leader(f) => f,
+            _ => panic!("first join must lead"),
+        };
+        assert_eq!(leader.deadline(), Some(near));
+        // a later joiner extends the stamp
+        assert!(matches!(
+            b.join_with_deadline(key(8), Some(far)),
+            Join::Follower(_)
+        ));
+        assert_eq!(leader.deadline(), Some(far));
+        // an earlier joiner does not shrink it
+        assert!(matches!(
+            b.join_with_deadline(key(8), Some(near)),
+            Join::Follower(_)
+        ));
+        assert_eq!(leader.deadline(), Some(far));
+        // a deadline-less joiner clears it for good
+        assert!(matches!(b.join(key(8)), Join::Follower(_)));
+        assert_eq!(leader.deadline(), None);
+        assert!(matches!(
+            b.join_with_deadline(key(8), Some(near)),
+            Join::Follower(_)
+        ));
+        assert_eq!(leader.deadline(), None);
+        b.complete(&key(8), &leader, FlightOutcome::Cancelled, |_| {});
+    }
+
+    #[test]
+    fn oracle_batch_deadline_stamping_and_width_cap() {
+        let b = OracleBatcher::new(64);
+        let near = Instant::now() + Duration::from_millis(50);
+        let far = Instant::now() + Duration::from_secs(50);
+        let leader = match b.join_with_deadline(3, 1, Some(near)) {
+            OracleJoin::Leader(batch) => batch,
+            _ => panic!("first join must lead"),
+        };
+        assert_eq!(leader.flight().deadline(), Some(near));
+        assert!(matches!(
+            b.join_with_deadline(3, 2, Some(far)),
+            OracleJoin::Follower(_)
+        ));
+        assert_eq!(leader.flight().deadline(), Some(far));
+        // brownout narrows future boarding to 2 seats: the third distinct
+        // source overflows to a fresh batch
+        b.set_width_cap(2);
+        assert!(matches!(b.join(3, 9), OracleJoin::Leader(_)));
+        assert_eq!(b.width_cap(), 2);
+        // restore (clamped to max_sources)
+        b.set_width_cap(usize::MAX);
+        assert_eq!(b.width_cap(), 64);
+        b.complete(&leader, FlightOutcome::Cancelled, |_| {});
+    }
+
+    #[test]
+    fn deadline_and_shed_outcomes_are_not_retryable() {
+        assert!(!FlightOutcome::DeadlineExceeded.retryable());
+        assert!(!FlightOutcome::DeadlineExceeded.is_failure());
+        assert!(!FlightOutcome::Shed.retryable());
+        assert!(!FlightOutcome::Shed.is_failure());
     }
 
     #[test]
@@ -676,7 +938,7 @@ mod tests {
                 OracleJoin::Leader(_) => panic!("second join must follow"),
             })
         };
-        while leader.flight().state.lock().unwrap().waiting < 1 {
+        while leader.flight().shared.state.lock().unwrap().waiting < 1 {
             std::thread::yield_now();
         }
         let sources = b.seal(&leader);

@@ -1,0 +1,211 @@
+//! Brownout control: degrade *features* before degrading *correctness*.
+//!
+//! A small hysteretic state machine driven by two pressure signals —
+//! queue debt (from the [`CostModel`](crate::cost::CostModel) ledger,
+//! normalized by the saturation ceiling) and workspace-pool memory
+//! (normalized by `--memory-budget-mb`). The effective load is the max of
+//! the two; states and effects:
+//!
+//! * **Normal** — everything on: all-pairs oracle promotion, full-width
+//!   multi-source flights.
+//! * **Pressured** (load ≥ 0.60) — stop *promoting* resident all-pairs
+//!   oracles (already-cached ones keep serving) and cap multi-source
+//!   flight width to half, shrinking both mask memory and per-flight
+//!   service time.
+//! * **Brownout** (load ≥ 0.90) — additionally route eligible queries
+//!   straight to the degraded sequential lane and pause oracle batching
+//!   entirely. Answers stay bit-identical (the sequential algorithms are
+//!   exact); only latency and batching throughput are sacrificed.
+//!
+//! Recovery is hysteretic — Brownout exits below 0.70, Pressured below
+//! 0.40 — so the controller cannot flap when load hovers at a threshold.
+//! Transitions are monotone per evaluation step (one level up or down at
+//! a time is not required — a storm can jump Normal→Brownout — but exits
+//! always pass through Pressured, giving shed work time to drain).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::Duration;
+
+/// Load fraction at which Pressured engages.
+const PRESSURED_ENTER: f64 = 0.60;
+/// Load fraction at which Brownout engages.
+const BROWNOUT_ENTER: f64 = 0.90;
+/// Brownout exits (to Pressured) below this fraction.
+const BROWNOUT_EXIT: f64 = 0.70;
+/// Pressured exits (to Normal) below this fraction.
+const PRESSURED_EXIT: f64 = 0.40;
+
+/// The controller's current posture, ordered by severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pressure {
+    /// All features on.
+    Normal = 0,
+    /// No new all-pairs oracle promotion; halved flight width.
+    Pressured = 1,
+    /// Eligible queries rerouted to the sequential lane; oracle batching
+    /// paused.
+    Brownout = 2,
+}
+
+impl Pressure {
+    fn from_u8(v: u8) -> Self {
+        match v {
+            2 => Pressure::Brownout,
+            1 => Pressure::Pressured,
+            _ => Pressure::Normal,
+        }
+    }
+
+    /// Gauge encoding for metrics: 0/1/2.
+    pub fn as_gauge(self) -> u64 {
+        self as u64
+    }
+}
+
+/// Hysteretic Normal→Pressured→Brownout state machine (see module docs).
+pub struct BrownoutController {
+    state: AtomicU8,
+    /// Memory budget in bytes; `None` disables the memory signal.
+    memory_budget: Option<u64>,
+}
+
+impl BrownoutController {
+    pub fn new(memory_budget: Option<u64>) -> Self {
+        Self {
+            state: AtomicU8::new(Pressure::Normal as u8),
+            memory_budget,
+        }
+    }
+
+    /// Current posture (cheap: one relaxed load — callers on the query
+    /// path use this, not `evaluate`).
+    pub fn state(&self) -> Pressure {
+        Pressure::from_u8(self.state.load(Ordering::Relaxed))
+    }
+
+    /// The configured memory budget, if any.
+    pub fn memory_budget(&self) -> Option<u64> {
+        self.memory_budget
+    }
+
+    /// Combined load fraction: max of debt/ceiling and memory/budget.
+    pub fn load(&self, debt: Duration, ceiling: Duration, resident_bytes: u64) -> f64 {
+        let debt_load = if ceiling.is_zero() {
+            0.0
+        } else {
+            debt.as_secs_f64() / ceiling.as_secs_f64()
+        };
+        let mem_load = match self.memory_budget {
+            Some(budget) if budget > 0 => resident_bytes as f64 / budget as f64,
+            _ => 0.0,
+        };
+        debt_load.max(mem_load)
+    }
+
+    /// Re-evaluate from current signals and return the (possibly new)
+    /// posture. Races between concurrent evaluators are benign: both read
+    /// fresh signals and the store is idempotent for equal inputs.
+    pub fn evaluate(&self, debt: Duration, ceiling: Duration, resident_bytes: u64) -> Pressure {
+        let load = self.load(debt, ceiling, resident_bytes);
+        let cur = self.state();
+        let next = match cur {
+            Pressure::Normal => {
+                if load >= BROWNOUT_ENTER {
+                    Pressure::Brownout
+                } else if load >= PRESSURED_ENTER {
+                    Pressure::Pressured
+                } else {
+                    Pressure::Normal
+                }
+            }
+            Pressure::Pressured => {
+                if load >= BROWNOUT_ENTER {
+                    Pressure::Brownout
+                } else if load < PRESSURED_EXIT {
+                    Pressure::Normal
+                } else {
+                    Pressure::Pressured
+                }
+            }
+            Pressure::Brownout => {
+                if load < BROWNOUT_EXIT {
+                    Pressure::Pressured
+                } else {
+                    Pressure::Brownout
+                }
+            }
+        };
+        if next != cur {
+            self.state.store(next as u8, Ordering::Relaxed);
+        }
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CEIL: Duration = Duration::from_secs(100);
+
+    fn debt(frac: f64) -> Duration {
+        Duration::from_secs_f64(100.0 * frac)
+    }
+
+    #[test]
+    fn escalates_at_thresholds() {
+        let c = BrownoutController::new(None);
+        assert_eq!(c.evaluate(debt(0.1), CEIL, 0), Pressure::Normal);
+        assert_eq!(c.evaluate(debt(0.65), CEIL, 0), Pressure::Pressured);
+        assert_eq!(c.evaluate(debt(0.95), CEIL, 0), Pressure::Brownout);
+        // a storm can jump straight to Brownout
+        let c = BrownoutController::new(None);
+        assert_eq!(c.evaluate(debt(0.95), CEIL, 0), Pressure::Brownout);
+    }
+
+    #[test]
+    fn recovery_is_hysteretic() {
+        let c = BrownoutController::new(None);
+        c.evaluate(debt(0.95), CEIL, 0);
+        // load back under the *enter* threshold but above the exit one:
+        // still browned out
+        assert_eq!(c.evaluate(debt(0.80), CEIL, 0), Pressure::Brownout);
+        // below 0.70: step down to Pressured, never straight to Normal
+        assert_eq!(c.evaluate(debt(0.50), CEIL, 0), Pressure::Pressured);
+        // between exit thresholds: hold
+        assert_eq!(c.evaluate(debt(0.45), CEIL, 0), Pressure::Pressured);
+        // below 0.40: fully recovered
+        assert_eq!(c.evaluate(debt(0.10), CEIL, 0), Pressure::Normal);
+    }
+
+    #[test]
+    fn memory_signal_is_max_combined() {
+        let budget = 1_000_000u64;
+        let c = BrownoutController::new(Some(budget));
+        // low debt, high memory → memory drives the posture
+        assert_eq!(c.evaluate(debt(0.1), CEIL, 950_000), Pressure::Brownout);
+        assert_eq!(c.evaluate(debt(0.1), CEIL, 100_000), Pressure::Pressured);
+        assert_eq!(c.evaluate(debt(0.1), CEIL, 0), Pressure::Normal);
+        // no budget configured → memory signal off entirely
+        let c = BrownoutController::new(None);
+        assert_eq!(c.evaluate(debt(0.0), CEIL, u64::MAX), Pressure::Normal);
+    }
+
+    #[test]
+    fn gauge_encoding_matches_states() {
+        assert_eq!(Pressure::Normal.as_gauge(), 0);
+        assert_eq!(Pressure::Pressured.as_gauge(), 1);
+        assert_eq!(Pressure::Brownout.as_gauge(), 2);
+        assert!(Pressure::Normal < Pressure::Pressured);
+        assert!(Pressure::Pressured < Pressure::Brownout);
+    }
+
+    #[test]
+    fn zero_ceiling_reads_as_no_debt_pressure() {
+        let c = BrownoutController::new(None);
+        assert_eq!(
+            c.evaluate(Duration::from_secs(5), Duration::ZERO, 0),
+            Pressure::Normal
+        );
+    }
+}

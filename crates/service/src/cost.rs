@@ -1,0 +1,380 @@
+//! Cost-aware admission: estimate a flight's runtime before queueing it,
+//! keep a ledger of the work already queued ("debt"), and refuse leaders
+//! whose deadline the debt has already made infeasible.
+//!
+//! The blind bounded queue admits by *count*: 64 cheap point-to-point
+//! lookups and 64 full SCC labelings on a road network look identical to
+//! it, though their service times differ by orders of magnitude. The
+//! [`CostModel`] instead prices each flight from what the service already
+//! knows — graph size, algorithm class, and the rounds_p50/p99 history the
+//! metrics track — and admission becomes a time-feasibility check:
+//!
+//! > would this request's deadline survive the work queued ahead of it?
+//!
+//! If not, it is shed **now**, at nanosecond cost, instead of timing out
+//! after occupying a queue slot a served query could have used. Shedding
+//! is newest-first by construction: the arriving leader is the one
+//! refused, while older admitted (still in-deadline) flights keep their
+//! seats and complete. Deadline-less requests are only shed once debt
+//! exceeds a saturation ceiling (`query_timeout × workers` — beyond that
+//! even the server timeout cannot be met).
+//!
+//! Estimates self-correct: every settled flight folds `actual/estimated`
+//! into an EWMA calibration factor, so a machine twice as slow as the
+//! static constants doubles its estimates within a few dozen flights.
+
+use crate::cache::ComputeKey;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Static per-edge nanosecond price before calibration. Deliberately in
+/// the right order of magnitude for a cache-resident CSR traversal; the
+/// EWMA factor absorbs machine variance.
+const NS_PER_EDGE: u64 = 4;
+/// Per-round overhead (one global fork/join + barrier), the term that
+/// makes large-diameter graphs expensive even with few edges.
+const NS_PER_ROUND: u64 = 20_000;
+/// Floor so a zero-size estimate still charges queue occupancy.
+const MIN_ESTIMATE_NS: u64 = 10_000;
+/// EWMA weight denominator: each settle moves calibration by 1/8 of the
+/// observed ratio.
+const EWMA_SHIFT: u32 = 3;
+/// Calibration bounds in 1/1024 fixed point: ×1/16 … ×64.
+const SCALE_MIN: u64 = 64;
+const SCALE_MAX: u64 = 65_536;
+const SCALE_ONE: u64 = 1024;
+
+/// Algorithm class of a flight, the coarse multiplier on edge work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostClass {
+    /// Unweighted BFS (hop distances): one pass over reached edges.
+    Bfs,
+    /// Weighted SSSP: re-relaxations make it a few passes.
+    Sssp,
+    /// SCC: forward + backward reachability per subproblem wave.
+    Scc,
+    /// Connectivity: near-linear union-find.
+    Cc,
+    /// k-core peeling: degree cascades, a couple of passes.
+    KCore,
+    /// One seat on a multi-source flight: bit-parallel, so the per-seat
+    /// marginal cost is a fraction of a full BFS.
+    OracleColumn,
+    /// All-pairs resident oracle: every vertex is a source (the `n` is
+    /// folded in by the caller via `sources`).
+    OracleAllPairs { sources: u64 },
+}
+
+impl CostClass {
+    /// Classify a compute key.
+    pub fn of(key: &ComputeKey) -> Self {
+        match key {
+            ComputeKey::HopDists { .. } => CostClass::Bfs,
+            ComputeKey::Dists { .. } => CostClass::Sssp,
+            ComputeKey::SccLabels { .. } => CostClass::Scc,
+            ComputeKey::CcLabels { .. } => CostClass::Cc,
+            ComputeKey::Coreness { .. } => CostClass::KCore,
+            ComputeKey::OracleColumn { .. } => CostClass::OracleColumn,
+            // The caller substitutes the real source count (graph n);
+            // default to the engine cap as a conservative stand-in.
+            ComputeKey::OracleAllPairs { .. } => CostClass::OracleAllPairs {
+                sources: pasgal_core::multi::MAX_SOURCES as u64,
+            },
+        }
+    }
+
+    /// Edge-work multiplier in 1/4 units (4 = 1.0×).
+    fn edge_factor_q4(self) -> u64 {
+        match self {
+            CostClass::Bfs => 4,
+            CostClass::Sssp => 12, // relaxation revisits
+            CostClass::Scc => 8,   // fwd + bwd sweeps
+            CostClass::Cc => 4,
+            CostClass::KCore => 8,        // peel cascades
+            CostClass::OracleColumn => 2, // bit-parallel seat, ~half a BFS
+            CostClass::OracleAllPairs { sources } => 4 * sources.max(1),
+        }
+    }
+}
+
+/// Admission verdict for one leader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitDecision {
+    /// Enqueue; the caller must [`charge`](CostModel::charge) the estimate.
+    Admit,
+    /// Refuse before queueing: the deadline (or the saturation ceiling)
+    /// is infeasible given current debt.
+    Shed,
+}
+
+/// Flight-cost estimator plus the queue-debt ledger (see module docs).
+/// All state is atomic; admission is lock-free.
+pub struct CostModel {
+    workers: u64,
+    /// Estimated nanoseconds of admitted-but-unsettled work.
+    debt_ns: AtomicU64,
+    /// EWMA of observed/estimated in 1/1024 fixed point.
+    scale_q10: AtomicU64,
+}
+
+impl CostModel {
+    /// `workers` is the degree of queue drain parallelism (the service's
+    /// worker count): expected wait ≈ debt / workers.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1) as u64,
+            debt_ns: AtomicU64::new(0),
+            scale_q10: AtomicU64::new(SCALE_ONE),
+        }
+    }
+
+    /// Estimate one flight's runtime from graph size (`n` vertices, `m`
+    /// directed edges), algorithm class, and the rounds history quantiles
+    /// the metrics already track (pass 0s when no history exists).
+    pub fn estimate(
+        &self,
+        class: CostClass,
+        n: usize,
+        m: usize,
+        rounds_p50: u64,
+        rounds_p99: u64,
+    ) -> Duration {
+        let size = (n as u64).saturating_add(m as u64);
+        let edge_ns = size
+            .saturating_mul(class.edge_factor_q4())
+            .saturating_mul(NS_PER_EDGE)
+            / 4;
+        // Round overhead: lean pessimistic — an adversarial (large-
+        // diameter) graph is exactly where deadlines get blown.
+        let rounds = rounds_p50.max((rounds_p50 + rounds_p99).div_ceil(2)).max(1);
+        let round_ns = rounds.saturating_mul(NS_PER_ROUND);
+        let scaled = edge_ns
+            .saturating_add(round_ns)
+            .saturating_mul(self.scale_q10.load(Ordering::Relaxed))
+            / SCALE_ONE;
+        Duration::from_nanos(scaled.max(MIN_ESTIMATE_NS))
+    }
+
+    /// Decide admission for a leader with estimated cost `est`, an
+    /// optional end-to-end time `budget` (deadline minus now), and the
+    /// saturation `ceiling` (typically `query_timeout × workers`).
+    pub fn admit(
+        &self,
+        est: Duration,
+        budget: Option<Duration>,
+        ceiling: Duration,
+    ) -> AdmitDecision {
+        let debt = self.debt();
+        if debt > ceiling {
+            return AdmitDecision::Shed;
+        }
+        if let Some(budget) = budget {
+            // Expected wait: queued work drains across all workers.
+            let wait = debt / (self.workers as u32);
+            if wait + est > budget {
+                return AdmitDecision::Shed;
+            }
+        }
+        AdmitDecision::Admit
+    }
+
+    /// Record an admitted flight's estimate in the debt ledger. Pair with
+    /// exactly one [`settle`](Self::settle). Callers must charge *before*
+    /// the job becomes visible to a worker: the worker settles on
+    /// completion, and a settle racing ahead of its charge would leak the
+    /// estimate into the ledger permanently.
+    pub fn charge(&self, est: Duration) {
+        self.debt_ns.fetch_add(
+            est.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Retire an admitted flight: remove its estimate from the ledger and
+    /// fold `actual/est` into calibration. Call on every completion path
+    /// (value, fault, cancel, deadline) — debt must never leak. A zero
+    /// `actual` is treated as a pure refund (a job that never ran, e.g. a
+    /// failed enqueue) and carries no calibration evidence.
+    pub fn settle(&self, est: Duration, actual: Duration) {
+        let est_ns = est.as_nanos().min(u64::MAX as u128) as u64;
+        // Saturating decrement via CAS: a stray double-settle must not
+        // wrap the ledger to 2^64 and wedge admission shut.
+        let mut cur = self.debt_ns.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(est_ns);
+            match self.debt_ns.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let actual_ns = actual.as_nanos().min(u64::MAX as u128) as u64;
+        if est_ns > 0 && actual_ns > 0 {
+            let ratio_q10 = actual_ns
+                .saturating_mul(SCALE_ONE)
+                .checked_div(est_ns)
+                .unwrap_or(SCALE_ONE)
+                .clamp(SCALE_MIN, SCALE_MAX);
+            // Relaxed read-modify-write is fine: calibration is advisory.
+            let old = self.scale_q10.load(Ordering::Relaxed);
+            let new = (old - (old >> EWMA_SHIFT)) + (ratio_q10 >> EWMA_SHIFT);
+            self.scale_q10
+                .store(new.clamp(SCALE_MIN, SCALE_MAX), Ordering::Relaxed);
+        }
+    }
+
+    /// Current queue debt: estimated runtime of admitted, unsettled work.
+    pub fn debt(&self) -> Duration {
+        Duration::from_nanos(self.debt_ns.load(Ordering::Relaxed))
+    }
+
+    /// Current calibration factor (1.0 = static constants trusted as-is).
+    pub fn calibration(&self) -> f64 {
+        self.scale_q10.load(Ordering::Relaxed) as f64 / SCALE_ONE as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::new(4)
+    }
+
+    #[test]
+    fn estimates_order_algorithm_classes() {
+        let m = model();
+        let bfs = m.estimate(CostClass::Bfs, 1000, 10_000, 4, 8);
+        let sssp = m.estimate(CostClass::Sssp, 1000, 10_000, 4, 8);
+        let allpairs = m.estimate(
+            CostClass::OracleAllPairs { sources: 128 },
+            1000,
+            10_000,
+            4,
+            8,
+        );
+        assert!(sssp > bfs, "sssp {sssp:?} must cost more than bfs {bfs:?}");
+        assert!(allpairs > sssp);
+        // per-seat oracle column is cheaper than a full BFS
+        let col = m.estimate(CostClass::OracleColumn, 1000, 10_000, 4, 8);
+        assert!(col < bfs);
+    }
+
+    #[test]
+    fn rounds_history_raises_estimates() {
+        let m = model();
+        let flat = m.estimate(CostClass::Bfs, 100, 100, 1, 1);
+        let deep = m.estimate(CostClass::Bfs, 100, 100, 2048, 16_384);
+        assert!(deep > flat, "1000× round history must show up in cost");
+    }
+
+    #[test]
+    fn admit_shed_deadline_infeasible() {
+        let m = model();
+        let est = Duration::from_millis(10);
+        let ceiling = Duration::from_secs(120);
+        // empty ledger: a roomy budget admits
+        assert_eq!(
+            m.admit(est, Some(Duration::from_secs(1)), ceiling),
+            AdmitDecision::Admit
+        );
+        // budget smaller than the flight's own cost: shed immediately
+        assert_eq!(
+            m.admit(est, Some(Duration::from_millis(1)), ceiling),
+            AdmitDecision::Shed
+        );
+        // pile on debt until wait alone blows a 1 s budget (4 workers →
+        // need > 4 s of debt)
+        m.charge(Duration::from_secs(8));
+        assert_eq!(
+            m.admit(est, Some(Duration::from_secs(1)), ceiling),
+            AdmitDecision::Shed
+        );
+        // deadline-less requests still ride below the ceiling
+        assert_eq!(m.admit(est, None, ceiling), AdmitDecision::Admit);
+        // …but not above it
+        m.charge(Duration::from_secs(200));
+        assert_eq!(m.admit(est, None, ceiling), AdmitDecision::Shed);
+    }
+
+    #[test]
+    fn settle_retires_debt_and_never_wraps() {
+        let m = model();
+        m.charge(Duration::from_secs(1));
+        assert_eq!(m.debt(), Duration::from_secs(1));
+        m.settle(Duration::from_secs(1), Duration::from_secs(1));
+        assert_eq!(m.debt(), Duration::ZERO);
+        // double settle: saturates at zero instead of wrapping
+        m.settle(Duration::from_secs(1), Duration::from_secs(1));
+        assert_eq!(m.debt(), Duration::ZERO);
+    }
+
+    #[test]
+    fn calibration_tracks_observed_ratio() {
+        let m = model();
+        assert!((m.calibration() - 1.0).abs() < 1e-9);
+        // consistently 4× slower than estimated → factor climbs toward 4
+        let est = Duration::from_millis(10);
+        for _ in 0..64 {
+            m.charge(est);
+            m.settle(est, Duration::from_millis(40));
+        }
+        assert!(m.calibration() > 2.0, "got {}", m.calibration());
+        // and estimates grow with it
+        let before = CostModel::new(4).estimate(CostClass::Bfs, 1000, 1000, 1, 1);
+        let after = m.estimate(CostClass::Bfs, 1000, 1000, 1, 1);
+        assert!(after > before);
+        // consistently fast again → factor falls back below 1
+        for _ in 0..128 {
+            m.charge(est);
+            m.settle(est, Duration::from_micros(10));
+        }
+        assert!(m.calibration() < 1.0, "got {}", m.calibration());
+    }
+
+    #[test]
+    fn cost_class_covers_every_key() {
+        assert_eq!(
+            CostClass::of(&ComputeKey::HopDists {
+                generation: 0,
+                src: 1
+            }),
+            CostClass::Bfs
+        );
+        assert_eq!(
+            CostClass::of(&ComputeKey::Dists {
+                generation: 0,
+                src: 1
+            }),
+            CostClass::Sssp
+        );
+        assert_eq!(
+            CostClass::of(&ComputeKey::SccLabels { generation: 0 }),
+            CostClass::Scc
+        );
+        assert_eq!(
+            CostClass::of(&ComputeKey::CcLabels { generation: 0 }),
+            CostClass::Cc
+        );
+        assert_eq!(
+            CostClass::of(&ComputeKey::Coreness { generation: 0 }),
+            CostClass::KCore
+        );
+        assert_eq!(
+            CostClass::of(&ComputeKey::OracleColumn {
+                generation: 0,
+                src: 1
+            }),
+            CostClass::OracleColumn
+        );
+        assert!(matches!(
+            CostClass::of(&ComputeKey::OracleAllPairs { generation: 0 }),
+            CostClass::OracleAllPairs { .. }
+        ));
+    }
+}

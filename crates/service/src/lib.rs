@@ -22,6 +22,13 @@
 //! - **[`resilience`]** — bounded retry with decorrelated-jitter backoff,
 //!   per-key circuit breakers, and the degraded-mode policy that sheds
 //!   poisoned keys onto a sequential fallback lane.
+//! - **[`cost`]** — flight-cost estimation and the queue-debt ledger
+//!   behind cost-aware admission: requests whose deadline is infeasible
+//!   are shed before queueing instead of timing out inside it.
+//! - **[`brownout`]** — the hysteretic Normal→Pressured→Brownout
+//!   controller that sheds oracle promotion, flight width, and finally
+//!   parallel execution under queue-debt or memory pressure, without
+//!   ever changing answers.
 //! - **[`fault`]** — deterministic fault injection (worker panics,
 //!   stalls, forced cache misses, fake queue-full), compiled out unless
 //!   the `fault-injection` cargo feature is on; drives the chaos tests.
@@ -41,8 +48,10 @@
 //! ```
 
 pub mod batcher;
+pub mod brownout;
 pub mod cache;
 pub mod catalog;
+pub mod cost;
 pub mod fault;
 pub mod json;
 pub mod metrics;
@@ -52,8 +61,10 @@ pub mod server;
 pub mod service;
 
 pub use batcher::FlightOutcome;
+pub use brownout::{BrownoutController, Pressure};
 pub use cache::{ComputeKey, ComputeValue};
 pub use catalog::{Catalog, GraphEntry};
+pub use cost::{AdmitDecision, CostClass, CostModel};
 pub use fault::{FaultInjector, FaultPlan};
 pub use metrics::MetricsSnapshot;
 pub use query::{Answer, Query, QueryMode, Reply, ServiceError};

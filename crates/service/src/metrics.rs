@@ -37,9 +37,15 @@ pub struct Metrics {
     retries: AtomicU64,
     breaker_open_total: AtomicU64,
     breaker_closed_total: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    shed: AtomicU64,
     workers_busy: AtomicU64,
     oracle_hits: AtomicU64,
+    oracle_queries: AtomicU64,
+    oracle_served: AtomicU64,
+    oracle_unserved: AtomicU64,
     multi_source_flights: AtomicU64,
+    brownout_state: AtomicU64,
     latency_us: [AtomicU64; LATENCY_BUCKETS],
     batch_size: [AtomicU64; BATCH_BUCKETS],
     rounds: [AtomicU64; ROUNDS_BUCKETS],
@@ -119,6 +125,45 @@ impl Metrics {
         self.breaker_closed_total.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One query whose deadline expired before an answer was ready
+    /// (terminal bucket, distinct from `timeouts` — the server-side
+    /// `query_timeout` — and from `cancelled` — explicit aborts).
+    pub fn deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One query shed by cost-aware admission: the estimated queue debt
+    /// made its deadline infeasible, so it was rejected before queueing
+    /// (terminal bucket; reported as `overloaded` on the wire).
+    pub fn shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current brownout state as a gauge: 0 = normal, 1 = pressured,
+    /// 2 = brownout.
+    pub fn set_brownout_state(&self, state: u64) {
+        self.brownout_state.store(state, Ordering::Relaxed);
+    }
+
+    /// One `oracle` query entered the service (paired with exactly one of
+    /// [`oracle_served`](Self::oracle_served) /
+    /// [`oracle_unserved`](Self::oracle_unserved)).
+    pub fn oracle_query(&self) {
+        self.oracle_queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One `oracle` query produced an answer (primary or degraded lane).
+    pub fn oracle_served(&self) {
+        self.oracle_served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One `oracle` query ended in an error outcome (timeout, shed,
+    /// cancel, fault…). Together with `oracle_served` this accounts for
+    /// every oracle query — nothing is silently dropped.
+    pub fn oracle_unserved(&self) {
+        self.oracle_unserved.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A worker picked up a job (gauge up).
     pub fn worker_busy(&self) {
         self.workers_busy.fetch_add(1, Ordering::Relaxed);
@@ -174,9 +219,15 @@ impl Metrics {
             retries: load(&self.retries),
             breaker_open_total: load(&self.breaker_open_total),
             breaker_closed_total: load(&self.breaker_closed_total),
+            deadline_exceeded: load(&self.deadline_exceeded),
+            shed: load(&self.shed),
             workers_busy: load(&self.workers_busy),
             oracle_hits: load(&self.oracle_hits),
+            oracle_queries: load(&self.oracle_queries),
+            oracle_served: load(&self.oracle_served),
+            oracle_unserved: load(&self.oracle_unserved),
             multi_source_flights: load(&self.multi_source_flights),
+            brownout_state: load(&self.brownout_state),
             latency_us: self.latency_us.iter().map(load).collect(),
             batch_size: self.batch_size.iter().map(load).collect(),
             rounds: self.rounds.iter().map(load).collect(),
@@ -212,14 +263,31 @@ pub struct MetricsSnapshot {
     pub breaker_open_total: u64,
     /// Circuit-breaker recoveries (successful half-open probes).
     pub breaker_closed_total: u64,
+    /// Queries whose deadline expired before an answer was ready.
+    /// Terminal bucket, disjoint from `timeouts` (server-side budget)
+    /// and `cancelled` (explicit aborts).
+    pub deadline_exceeded: u64,
+    /// Queries rejected by cost-aware admission (estimated queue debt
+    /// made the deadline infeasible). Terminal bucket; `overloaded` on
+    /// the wire, kept separate from `rejected_overload` (queue full).
+    pub shed: u64,
     /// Workers currently executing a job (gauge, not a counter).
     pub workers_busy: u64,
     /// Oracle queries answered by lookup in a resident distance oracle.
     /// Not terminal — such queries also count in `completed`/`degraded`.
     pub oracle_hits: u64,
+    /// `oracle` queries submitted. Subject to its own conservation
+    /// identity: `oracle_queries == oracle_served + oracle_unserved`.
+    pub oracle_queries: u64,
+    /// `oracle` queries that produced an answer (primary or degraded).
+    pub oracle_served: u64,
+    /// `oracle` queries that ended in an error outcome.
+    pub oracle_unserved: u64,
     /// Multi-source BFS flights executed (each serves up to 128 sources
     /// in one bit-parallel traversal).
     pub multi_source_flights: u64,
+    /// Brownout state gauge: 0 = normal, 1 = pressured, 2 = brownout.
+    pub brownout_state: u64,
     /// Power-of-two latency buckets in microseconds.
     pub latency_us: Vec<u64>,
     /// Power-of-two batch-size buckets (how many queries shared one
@@ -290,6 +358,16 @@ impl MetricsSnapshot {
                 + self.rejected_overload
                 + self.errors
                 + self.degraded
+                + self.deadline_exceeded
+                + self.shed
+    }
+
+    /// Oracle conservation: every submitted `oracle` query ends either
+    /// served (an answer went out, primary or degraded) or unserved (a
+    /// typed error went out) — none vanish inside the batching machinery.
+    /// The chaos suites assert this alongside [`reconciles`](Self::reconciles).
+    pub fn oracle_reconciles(&self) -> bool {
+        self.oracle_queries == self.oracle_served + self.oracle_unserved
     }
 
     /// Encode as the wire object (histograms as `[lower_bound, count]`
@@ -333,12 +411,18 @@ impl MetricsSnapshot {
                 "breaker_closed_total",
                 Json::from(self.breaker_closed_total),
             ),
+            ("deadline_exceeded", Json::from(self.deadline_exceeded)),
+            ("shed", Json::from(self.shed)),
             ("workers_busy", Json::from(self.workers_busy)),
             ("oracle_hits", Json::from(self.oracle_hits)),
+            ("oracle_queries", Json::from(self.oracle_queries)),
+            ("oracle_served", Json::from(self.oracle_served)),
+            ("oracle_unserved", Json::from(self.oracle_unserved)),
             (
                 "multi_source_flights",
                 Json::from(self.multi_source_flights),
             ),
+            ("brownout_state", Json::from(self.brownout_state)),
             ("latency_us", hist(&self.latency_us)),
             ("batch_size", hist(&self.batch_size)),
             ("rounds", hist(&self.rounds)),
@@ -414,6 +498,60 @@ mod tests {
         assert_eq!(s.retries, 2);
         assert_eq!(s.breaker_open_total, 1);
         assert_eq!(s.breaker_closed_total, 1);
+    }
+
+    #[test]
+    fn deadline_and_shed_are_terminal_buckets() {
+        let m = Metrics::new();
+        m.query();
+        m.query();
+        assert!(!m.snapshot().reconciles());
+        m.deadline_exceeded();
+        assert!(!m.snapshot().reconciles());
+        m.shed();
+        let s = m.snapshot();
+        assert!(s.reconciles());
+        assert_eq!(s.deadline_exceeded, 1);
+        assert_eq!(s.shed, 1);
+        let j = s.to_json();
+        assert_eq!(j.get("deadline_exceeded"), Some(&Json::Int(1)));
+        assert_eq!(j.get("shed"), Some(&Json::Int(1)));
+    }
+
+    #[test]
+    fn oracle_identity_reconciles_independently() {
+        let m = Metrics::new();
+        assert!(m.snapshot().oracle_reconciles()); // vacuously
+        m.query();
+        m.oracle_query();
+        assert!(!m.snapshot().oracle_reconciles());
+        m.oracle_served();
+        m.completed();
+        assert!(m.snapshot().oracle_reconciles());
+        m.query();
+        m.oracle_query();
+        m.oracle_unserved();
+        m.deadline_exceeded();
+        let s = m.snapshot();
+        assert!(s.oracle_reconciles());
+        assert!(s.reconciles());
+        assert_eq!(s.oracle_queries, 2);
+        assert_eq!(s.oracle_served, 1);
+        assert_eq!(s.oracle_unserved, 1);
+        let j = s.to_json();
+        assert_eq!(j.get("oracle_queries"), Some(&Json::Int(2)));
+        assert_eq!(j.get("oracle_unserved"), Some(&Json::Int(1)));
+    }
+
+    #[test]
+    fn brownout_state_gauge() {
+        let m = Metrics::new();
+        assert_eq!(m.snapshot().brownout_state, 0);
+        m.set_brownout_state(2);
+        assert_eq!(m.snapshot().brownout_state, 2);
+        m.set_brownout_state(1);
+        let j = m.snapshot().to_json();
+        assert_eq!(j.get("brownout_state"), Some(&Json::Int(1)));
     }
 
     #[test]

@@ -153,6 +153,11 @@ impl Answer {
 }
 
 /// An answer to a [`Query`].
+///
+/// Replies are transient per-query values serialized straight to the
+/// wire, never stored in bulk, so the large `Metrics` variant is fine
+/// unboxed.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Reply {
     /// A single distance; `None` means unreachable.
@@ -214,8 +219,17 @@ pub enum ServiceError {
     VertexOutOfRange { vertex: u32, n: usize },
     /// The admission queue is full; retry later.
     Overloaded,
+    /// Cost-aware admission refused the query: the estimated queue debt
+    /// made its deadline infeasible, so it was rejected before queueing.
+    /// Reported as `overloaded` on the wire (clients treat both the
+    /// same); kept distinct internally so metrics can count `shed`
+    /// separately from queue-full rejections.
+    Shed,
     /// The query waited longer than the configured timeout.
     Timeout,
+    /// The query's end-to-end deadline (`deadline_ms` or the serve-wide
+    /// default) expired before an answer was ready.
+    DeadlineExceeded,
     /// The query's cancel token fired before an answer was ready
     /// (client disconnect or service shutdown).
     Cancelled,
@@ -230,8 +244,9 @@ impl ServiceError {
             ServiceError::UnknownGraph(_) => "unknown_graph",
             ServiceError::BadRequest(_) => "bad_request",
             ServiceError::VertexOutOfRange { .. } => "vertex_out_of_range",
-            ServiceError::Overloaded => "overloaded",
+            ServiceError::Overloaded | ServiceError::Shed => "overloaded",
             ServiceError::Timeout => "timeout",
+            ServiceError::DeadlineExceeded => "deadline_exceeded",
             ServiceError::Cancelled => "cancelled",
             ServiceError::Internal(_) => "internal",
         }
@@ -247,7 +262,14 @@ impl std::fmt::Display for ServiceError {
                 write!(f, "vertex {vertex} out of range (n = {n})")
             }
             ServiceError::Overloaded => write!(f, "service overloaded, retry later"),
+            ServiceError::Shed => write!(
+                f,
+                "shed under overload: queued work exceeds the request deadline"
+            ),
             ServiceError::Timeout => write!(f, "query timed out"),
+            ServiceError::DeadlineExceeded => {
+                write!(f, "deadline exceeded before an answer was ready")
+            }
             ServiceError::Cancelled => write!(f, "query cancelled"),
             ServiceError::Internal(m) => write!(f, "internal error: {m}"),
         }
@@ -278,6 +300,22 @@ fn opt_u32(v: &Json, key: &str) -> Result<Option<u32>, ServiceError> {
             .as_u32()
             .map(Some)
             .ok_or_else(|| ServiceError::BadRequest(format!("field {key:?} must be a vertex id"))),
+    }
+}
+
+/// Decode the optional `"deadline_ms"` field of a request object: the
+/// end-to-end time budget, in milliseconds from receipt. Absent or null
+/// means "no per-request deadline" (the serve-wide default, if any,
+/// applies); zero and non-integers are rejected.
+pub fn deadline_from_json(v: &Json) -> Result<Option<std::time::Duration>, ServiceError> {
+    match v.get("deadline_ms") {
+        None | Some(Json::Null) => Ok(None),
+        Some(x) => match x.as_u64() {
+            Some(ms) if ms > 0 => Ok(Some(std::time::Duration::from_millis(ms))),
+            _ => Err(ServiceError::BadRequest(
+                "deadline_ms must be a positive integer of milliseconds".into(),
+            )),
+        },
     }
 }
 
@@ -547,6 +585,48 @@ mod tests {
             let e = Query::from_json(&parse(bad).unwrap()).unwrap_err();
             assert_eq!(e.kind(), "bad_request", "{bad}");
         }
+    }
+
+    #[test]
+    fn deadline_ms_parses_and_rejects_garbage() {
+        assert_eq!(
+            deadline_from_json(&parse(r#"{"op":"bfs"}"#).unwrap()).unwrap(),
+            None
+        );
+        assert_eq!(
+            deadline_from_json(&parse(r#"{"deadline_ms":null}"#).unwrap()).unwrap(),
+            None
+        );
+        assert_eq!(
+            deadline_from_json(&parse(r#"{"deadline_ms":250}"#).unwrap()).unwrap(),
+            Some(std::time::Duration::from_millis(250))
+        );
+        for bad in [
+            r#"{"deadline_ms":0}"#,
+            r#"{"deadline_ms":-5}"#,
+            r#"{"deadline_ms":"soon"}"#,
+            r#"{"deadline_ms":1.5}"#,
+        ] {
+            let e = deadline_from_json(&parse(bad).unwrap()).unwrap_err();
+            assert_eq!(e.kind(), "bad_request", "{bad}");
+        }
+    }
+
+    #[test]
+    fn overload_family_kinds_are_wire_stable() {
+        // Shed is deliberately reported as "overloaded": clients handle
+        // both identically (back off / retry elsewhere).
+        assert_eq!(ServiceError::Shed.kind(), "overloaded");
+        assert_eq!(ServiceError::Overloaded.kind(), "overloaded");
+        assert_eq!(ServiceError::DeadlineExceeded.kind(), "deadline_exceeded");
+        let j = ServiceError::DeadlineExceeded.to_json();
+        assert_eq!(j.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(j.get("kind").unwrap().as_str(), Some("deadline_exceeded"));
+        // distinct human-readable messages keep the two diagnosable
+        assert_ne!(
+            ServiceError::Shed.to_string(),
+            ServiceError::Overloaded.to_string()
+        );
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //!   connection threads to flush their final responses and exit.
 
 use crate::json::{self, Json};
-use crate::query::{Query, QueryMode, ServiceError};
+use crate::query::{deadline_from_json, Query, QueryMode, ServiceError};
 use crate::service::Service;
 use pasgal_core::common::CancelToken;
 use pasgal_graph::io;
@@ -399,21 +399,35 @@ pub fn handle_line_with_token(service: &Service, line: &str, token: &CancelToken
             Json::obj([("ok", Json::Bool(true)), ("graphs", Json::Arr(graphs))])
         }
         _ => match parse_query_and_mode(&request) {
-            Ok((q, mode)) => match service.query_full(&q, token, mode) {
-                Ok(answer) => answer.to_json(),
-                Err(e) => e.to_json(),
-            },
+            Ok((q, mode, deadline)) => {
+                let bounded;
+                let token = match deadline {
+                    Some(d) => {
+                        bounded = token.child(Some(Instant::now() + d));
+                        &bounded
+                    }
+                    None => token,
+                };
+                match service.query_full(&q, token, mode) {
+                    Ok(answer) => answer.to_json(),
+                    Err(e) => e.to_json(),
+                }
+            }
             Err(e) => e.to_json(),
         },
     }
 }
 
 /// Decode a query plus its optional `"mode"` field (`"normal"` default,
-/// `"degraded"` forces the sequential fallback lane).
-fn parse_query_and_mode(request: &Json) -> Result<(Query, QueryMode), ServiceError> {
+/// `"degraded"` forces the sequential fallback lane) and its optional
+/// `"deadline_ms"` end-to-end budget.
+fn parse_query_and_mode(
+    request: &Json,
+) -> Result<(Query, QueryMode, Option<Duration>), ServiceError> {
     let q = Query::from_json(request)?;
     let mode = QueryMode::from_json(request)?;
-    Ok((q, mode))
+    let deadline = deadline_from_json(request)?;
+    Ok((q, mode, deadline))
 }
 
 fn handle_register(service: &Service, request: &Json) -> Json {
@@ -506,6 +520,54 @@ mod tests {
         assert_eq!(r.get("kind").unwrap().as_str(), Some("unknown_graph"));
         let r = handle_line(&svc, r#"{"op":"unregister","name":"missing"}"#);
         assert_eq!(r.get("ok").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn deadline_ms_over_the_wire() {
+        let svc = service_with_grid();
+        // A roomy deadline changes nothing: the query is answered normally.
+        let r = handle_line(
+            &svc,
+            r#"{"op":"bfs","graph":"g","src":0,"target":53,"deadline_ms":60000}"#,
+        );
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+        assert_eq!(r.get("dist").and_then(Json::as_u64), Some(13));
+        // Zero, negative, and non-integer deadlines are rejected at parse
+        // time, before any work is queued.
+        for frame in [
+            r#"{"op":"bfs","graph":"g","src":0,"deadline_ms":0}"#,
+            r#"{"op":"bfs","graph":"g","src":0,"deadline_ms":-5}"#,
+            r#"{"op":"bfs","graph":"g","src":0,"deadline_ms":"soon"}"#,
+        ] {
+            let r = handle_line(&svc, frame);
+            assert_eq!(
+                r.get("kind").and_then(Json::as_str),
+                Some("bad_request"),
+                "{frame}: {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn expired_deadline_maps_to_deadline_exceeded_kind() {
+        let svc = service_with_grid();
+        // A connection token whose deadline has already passed: the service
+        // must refuse with the typed deadline outcome, not a timeout or a
+        // generic error — and a per-request deadline_ms cannot extend it
+        // (the effective deadline is the earliest in the chain).
+        let expired = CancelToken::with_deadline(Duration::ZERO);
+        for frame in [
+            r#"{"op":"bfs","graph":"g","src":0,"target":53}"#,
+            r#"{"op":"bfs","graph":"g","src":0,"target":53,"deadline_ms":60000}"#,
+        ] {
+            let r = handle_line_with_token(&svc, frame, &expired);
+            assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false), "{r}");
+            assert_eq!(
+                r.get("kind").and_then(Json::as_str),
+                Some("deadline_exceeded"),
+                "{frame}: {r}"
+            );
+        }
     }
 
     /// Table-driven malformed frames: every one of these must produce a

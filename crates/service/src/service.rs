@@ -43,8 +43,10 @@
 use crate::batcher::{
     Batcher, Flight, FlightOutcome, Join, OracleBatch, OracleBatcher, OracleJoin, WaitAbort,
 };
+use crate::brownout::{BrownoutController, Pressure};
 use crate::cache::{ComputeKey, ComputeValue, ResultCache};
 use crate::catalog::{Catalog, GraphEntry};
+use crate::cost::{AdmitDecision, CostClass, CostModel};
 use crate::fault::{FaultInjector, FaultPlan};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::query::{Answer, Query, QueryMode, Reply, ServiceError};
@@ -106,6 +108,13 @@ pub struct ServiceConfig {
     /// Deterministic fault injection (inert unless the `fault-injection`
     /// cargo feature is enabled AND a period is nonzero).
     pub faults: FaultPlan,
+    /// End-to-end deadline applied to requests that do not carry their
+    /// own `deadline_ms`; `None` leaves such requests bounded only by
+    /// `query_timeout`.
+    pub default_deadline: Option<Duration>,
+    /// Workspace-pool memory budget in bytes driving the brownout
+    /// controller's memory signal; `None` disables it.
+    pub memory_budget: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -124,6 +133,8 @@ impl Default for ServiceConfig {
             oracle_max_sources: 64,
             resilience: ResilienceConfig::default(),
             faults: FaultPlan::default(),
+            default_deadline: None,
+            memory_budget: None,
         }
     }
 }
@@ -132,6 +143,9 @@ struct Job {
     key: ComputeKey,
     entry: Arc<GraphEntry>,
     flight: Arc<Flight>,
+    /// Admission estimate charged to the debt ledger; the worker settles
+    /// exactly this amount on every completion path.
+    cost: Duration,
 }
 
 /// What the primary queue carries: a keyed single-flight job, or a
@@ -143,6 +157,7 @@ enum Work {
     Oracle {
         batch: Arc<OracleBatch>,
         entry: Arc<GraphEntry>,
+        cost: Duration,
     },
 }
 
@@ -159,6 +174,12 @@ struct Inner {
     oracle_batcher: OracleBatcher,
     breakers: BreakerRegistry,
     metrics: Metrics,
+    /// Flight-cost estimator and queue-debt ledger behind cost-aware
+    /// admission.
+    cost: CostModel,
+    /// Normal→Pressured→Brownout posture from queue debt and workspace
+    /// memory; re-evaluated once per query.
+    brownout: BrownoutController,
     faults: FaultInjector,
     /// Cleared when shutdown drain begins; reported by `health`.
     ready: AtomicBool,
@@ -188,6 +209,8 @@ impl Service {
             oracle_batcher: OracleBatcher::new(config.oracle_max_sources),
             breakers: BreakerRegistry::new(&config.resilience),
             metrics: Metrics::new(),
+            cost: CostModel::new(config.workers.max(1)),
+            brownout: BrownoutController::new(config.memory_budget),
             faults: FaultInjector::new(config.faults.clone()),
             ready: AtomicBool::new(true),
             workspaces: WorkspacePool::new(),
@@ -293,10 +316,18 @@ impl Service {
     ///
     /// Every submitted query lands in exactly one terminal metrics bucket
     /// (`completed`/`timeouts`/`cancelled`/`rejected_overload`/`errors`/
-    /// `degraded`);
+    /// `degraded`/`deadline_exceeded`/`shed`);
     /// [`MetricsSnapshot::reconciles`](crate::metrics::MetricsSnapshot::reconciles)
-    /// checks the sum. Overload is counted here — once per query, however
-    /// many attempts it made — not at the rejection site.
+    /// checks the sum, and `oracle` queries additionally feed the
+    /// served/unserved identity
+    /// ([`MetricsSnapshot::oracle_reconciles`](crate::metrics::MetricsSnapshot::oracle_reconciles)).
+    /// Overload is counted here — once per query, however many attempts
+    /// it made — not at the rejection site.
+    ///
+    /// A caller token without a deadline inherits the configured
+    /// `default_deadline` (if any) via a child token, so every downstream
+    /// layer — admission, flight wait, the traversal's round loop — sees
+    /// one uniform deadline mechanism.
     pub fn query_full(
         &self,
         q: &Query,
@@ -305,6 +336,19 @@ impl Service {
     ) -> Result<Answer, ServiceError> {
         let start = Instant::now();
         self.inner.metrics.query();
+        let is_oracle = matches!(q, Query::Oracle { .. });
+        if is_oracle {
+            self.inner.metrics.oracle_query();
+        }
+        let bounded;
+        let cancel = match self.inner.config.default_deadline {
+            Some(d) if cancel.earliest_deadline().is_none() => {
+                bounded = cancel.child(Some(Instant::now() + d));
+                &bounded
+            }
+            _ => cancel,
+        };
+        self.reassess_pressure();
         let out = self.dispatch(q, cancel, mode);
         self.inner.metrics.latency(start.elapsed());
         match &out {
@@ -313,9 +357,82 @@ impl Service {
             Err(ServiceError::Timeout) => self.inner.metrics.timeout(),
             Err(ServiceError::Cancelled) => self.inner.metrics.cancelled(),
             Err(ServiceError::Overloaded) => self.inner.metrics.rejected_overload(),
+            Err(ServiceError::DeadlineExceeded) => self.inner.metrics.deadline_exceeded(),
+            Err(ServiceError::Shed) => self.inner.metrics.shed(),
             Err(_) => self.inner.metrics.error(),
         }
+        if is_oracle {
+            match &out {
+                Ok(_) => self.inner.metrics.oracle_served(),
+                Err(_) => self.inner.metrics.oracle_unserved(),
+            }
+        }
         out
+    }
+
+    /// Re-evaluate the brownout posture from current queue debt and
+    /// workspace memory, publish the gauge, and apply the width effect:
+    /// Pressured and Brownout halve the seats future oracle boarding may
+    /// take (already-boarded batches keep theirs).
+    fn reassess_pressure(&self) {
+        let inner = &self.inner;
+        let state = inner.brownout.evaluate(
+            inner.cost.debt(),
+            self.ceiling(),
+            inner.workspaces.resident_bytes() as u64,
+        );
+        inner.metrics.set_brownout_state(state.as_gauge());
+        let full = inner.config.oracle_max_sources.clamp(1, MAX_SOURCES);
+        inner.oracle_batcher.set_width_cap(match state {
+            Pressure::Normal => full,
+            Pressure::Pressured | Pressure::Brownout => full.div_ceil(2),
+        });
+    }
+
+    /// Saturation ceiling for the debt ledger: past `query_timeout` per
+    /// worker of queued work, even deadline-less requests cannot be served
+    /// within the server's own budget.
+    fn ceiling(&self) -> Duration {
+        self.inner.config.query_timeout * self.inner.config.workers.clamp(1, 4096) as u32
+    }
+
+    /// Current brownout posture (tests, benches, diagnostics).
+    pub fn pressure(&self) -> Pressure {
+        self.inner.brownout.state()
+    }
+
+    /// Current queue debt: estimated runtime of admitted, unsettled work.
+    pub fn queue_debt(&self) -> Duration {
+        self.inner.cost.debt()
+    }
+
+    /// Price one flight: algorithm class from its key (all-pairs priced
+    /// at the graph's real source count), graph size, and the observed
+    /// rounds history.
+    fn estimate_cost(&self, key: &ComputeKey, entry: &GraphEntry) -> Duration {
+        let class = match key {
+            ComputeKey::OracleAllPairs { .. } => CostClass::OracleAllPairs {
+                sources: entry.graph.num_vertices() as u64,
+            },
+            _ => CostClass::of(key),
+        };
+        let snap = self.inner.metrics.snapshot();
+        self.inner.cost.estimate(
+            class,
+            entry.graph.num_vertices(),
+            entry.graph.num_edges(),
+            snap.rounds_p50(),
+            snap.rounds_p99(),
+        )
+    }
+
+    fn cache_has(&self, key: &ComputeKey) -> bool {
+        self.inner
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .get(key)
+            .is_some()
     }
 
     /// Fire the token of every in-flight computation (shutdown drain):
@@ -431,12 +548,20 @@ impl Service {
                 // single-flight/retry/breaker/degraded machinery serves
                 // maximal coalescing for free. Larger graphs take the
                 // per-column path where distinct sources board one
-                // multi-source flight.
+                // multi-source flight. Under pressure, *new* all-pairs
+                // promotion stops (it is the most memory- and time-hungry
+                // flight the service runs) but an oracle already in cache
+                // keeps serving through its key.
                 let n = entry.graph.num_vertices();
-                let key = if n <= self.inner.config.oracle_resident_max.min(MAX_SOURCES) {
-                    ComputeKey::OracleAllPairs {
-                        generation: entry.generation,
-                    }
+                let all_pairs = ComputeKey::OracleAllPairs {
+                    generation: entry.generation,
+                };
+                let resident = n <= self.inner.config.oracle_resident_max.min(MAX_SOURCES);
+                let key = if resident
+                    && (self.inner.brownout.state() == Pressure::Normal
+                        || self.cache_has(&all_pairs))
+                {
+                    all_pairs
                 } else {
                     ComputeKey::OracleColumn {
                         generation: entry.generation,
@@ -571,7 +696,7 @@ impl Service {
     ) -> Result<(ComputeValue, bool), ServiceError> {
         // An already-dead query must not schedule (or join) a flight.
         if cancel.is_cancelled() {
-            return Err(ServiceError::Cancelled);
+            return Err(cancel_kind(cancel));
         }
         if mode == QueryMode::Degraded {
             return self.obtain_degraded(key, entry, cancel).map(|v| (v, true));
@@ -592,7 +717,7 @@ impl Service {
         let mut backoff = Backoff::new(resilience, seed_for(&key));
         loop {
             if cancel.is_cancelled() {
-                return Err(ServiceError::Cancelled);
+                return Err(cancel_kind(cancel));
             }
             // Cache before breaker: a hit is a hit even for a poisoned
             // key, and a successful probe's result serves later queries
@@ -615,7 +740,14 @@ impl Service {
                 }
             }
             self.inner.metrics.cache_miss();
-            if self.inner.breakers.admit(&key) == Admission::Degrade {
+            // Brownout reroutes eligible keys (the oracle family and plain
+            // BFS — queries the sequential lane answers bit-identically at
+            // tolerable cost) straight to the fallback worker, shedding
+            // parallel-lane load without touching correctness. Breaker
+            // degradation composes with it unchanged.
+            let browned_out =
+                self.inner.brownout.state() == Pressure::Brownout && brownout_eligible(&key);
+            if browned_out || self.inner.breakers.admit(&key) == Admission::Degrade {
                 let v = self.obtain_degraded(key, &entry, cancel)?;
                 return Ok((v, true));
             }
@@ -624,11 +756,14 @@ impl Service {
             match attempt(self, key, &entry, cancel) {
                 Err(WaitAbort::Timeout) => return Err(ServiceError::Timeout),
                 Err(WaitAbort::Cancelled) => return Err(ServiceError::Cancelled),
+                Err(WaitAbort::DeadlineExceeded) => return Err(ServiceError::DeadlineExceeded),
                 Ok(FlightOutcome::Value(v)) => {
                     self.inner.metrics.rounds(v.rounds());
                     return Ok((v, false));
                 }
                 Ok(FlightOutcome::Cancelled) => return Err(ServiceError::Cancelled),
+                Ok(FlightOutcome::DeadlineExceeded) => return Err(ServiceError::DeadlineExceeded),
+                Ok(FlightOutcome::Shed) => return Err(ServiceError::Shed),
                 Ok(outcome) => {
                     debug_assert!(outcome.retryable());
                     if retries_left == 0 {
@@ -658,26 +793,44 @@ impl Service {
     }
 
     /// One pass through batcher + queue + wait; the typed outcome is what
-    /// retry classification runs on.
+    /// retry classification runs on. The joiner's end-to-end deadline is
+    /// stamped onto the flight, and the leader faces cost-aware admission
+    /// before the queue: if the estimated debt ahead of it already makes
+    /// its deadline (or the saturation ceiling) infeasible, the flight is
+    /// shed now — newest-first by construction — instead of timing out
+    /// inside the queue.
     fn attempt(
         &self,
         key: ComputeKey,
         entry: &Arc<GraphEntry>,
         cancel: &CancelToken,
     ) -> Result<FlightOutcome, WaitAbort> {
-        let flight = match self.inner.batcher.join(key) {
+        let deadline = cancel.earliest_deadline();
+        let flight = match self.inner.batcher.join_with_deadline(key, deadline) {
             Join::Leader(flight) => {
                 if self.inner.faults.should_force_queue_full() {
                     return Ok(self.reject_leader(&key, &flight, FlightOutcome::Overloaded));
+                }
+                let est = self.estimate_cost(&key, entry);
+                let budget = deadline.map(|d| d.saturating_duration_since(Instant::now()));
+                if self.inner.cost.admit(est, budget, self.ceiling()) == AdmitDecision::Shed {
+                    return Ok(self.reject_leader(&key, &flight, FlightOutcome::Shed));
                 }
                 let job = Work::Single(Job {
                     key,
                     entry: Arc::clone(entry),
                     flight: Arc::clone(&flight),
+                    cost: est,
                 });
+                // Charge strictly before the job becomes visible to a
+                // worker: the worker's settle must never race ahead of
+                // the charge, or the estimate leaks into the ledger.
+                self.inner.cost.charge(est);
                 match self.queue.try_send(job) {
                     Ok(()) => flight,
                     Err(e) => {
+                        // refund: the job never reached a worker
+                        self.inner.cost.settle(est, Duration::ZERO);
                         let (outcome, work) = match e {
                             TrySendError::Full(w) => (FlightOutcome::Overloaded, w),
                             TrySendError::Disconnected(w) => (FlightOutcome::Cancelled, w),
@@ -708,19 +861,33 @@ impl Service {
         let ComputeKey::OracleColumn { generation, src } = key else {
             unreachable!("attempt_oracle is only selected for oracle-column keys")
         };
-        let flight = match self.inner.oracle_batcher.join(generation, src) {
+        let deadline = cancel.earliest_deadline();
+        let flight = match self
+            .inner
+            .oracle_batcher
+            .join_with_deadline(generation, src, deadline)
+        {
             OracleJoin::Leader(batch) => {
                 let flight = Arc::clone(batch.flight());
                 if self.inner.faults.should_force_queue_full() {
                     return Ok(self.reject_oracle_leader(&key, &batch, FlightOutcome::Overloaded));
                 }
+                let est = self.estimate_cost(&key, entry);
+                let budget = deadline.map(|d| d.saturating_duration_since(Instant::now()));
+                if self.inner.cost.admit(est, budget, self.ceiling()) == AdmitDecision::Shed {
+                    return Ok(self.reject_oracle_leader(&key, &batch, FlightOutcome::Shed));
+                }
                 let work = Work::Oracle {
                     batch,
                     entry: Arc::clone(entry),
+                    cost: est,
                 };
+                // Charge before send (see `attempt` for the race).
+                self.inner.cost.charge(est);
                 match self.queue.try_send(work) {
                     Ok(()) => flight,
                     Err(e) => {
+                        self.inner.cost.settle(est, Duration::ZERO);
                         let (outcome, work) = match e {
                             TrySendError::Full(w) => (FlightOutcome::Overloaded, w),
                             TrySendError::Disconnected(w) => (FlightOutcome::Cancelled, w),
@@ -783,6 +950,9 @@ impl Service {
                     key,
                     entry: Arc::clone(entry),
                     flight: Arc::clone(&flight),
+                    // the fallback lane bypasses cost admission, so there
+                    // is no charge to settle
+                    cost: Duration::ZERO,
                 };
                 match self.fallback_queue.try_send(job) {
                     Ok(()) => flight,
@@ -811,15 +981,44 @@ impl Service {
         match flight.wait_cancellable(self.inner.config.query_timeout, cancel) {
             Err(WaitAbort::Timeout) => Err(ServiceError::Timeout),
             Err(WaitAbort::Cancelled) => Err(ServiceError::Cancelled),
+            Err(WaitAbort::DeadlineExceeded) => Err(ServiceError::DeadlineExceeded),
             Ok(FlightOutcome::Value(v)) => {
                 self.inner.metrics.rounds(v.rounds());
                 Ok(v)
             }
             Ok(FlightOutcome::Overloaded) => Err(ServiceError::Overloaded),
             Ok(FlightOutcome::Cancelled) => Err(ServiceError::Cancelled),
+            Ok(FlightOutcome::DeadlineExceeded) => Err(ServiceError::DeadlineExceeded),
+            Ok(FlightOutcome::Shed) => Err(ServiceError::Shed),
             Ok(FlightOutcome::Failed(msg)) => Err(ServiceError::Internal(msg)),
         }
     }
+}
+
+/// Classify a fired caller token: an explicit cancel (disconnect,
+/// shutdown) wins; otherwise the only way it fired is a deadline in its
+/// chain.
+fn cancel_kind(cancel: &CancelToken) -> ServiceError {
+    if cancel.cancel_requested() {
+        ServiceError::Cancelled
+    } else {
+        ServiceError::DeadlineExceeded
+    }
+}
+
+/// Keys the brownout controller may reroute to the sequential lane: the
+/// oracle family (pausing oracle batching and promotion entirely) and
+/// plain BFS — work the fallback lane answers bit-identically at
+/// tolerable sequential cost. Weighted SSSP, SCC, CC, and k-core stay on
+/// the parallel lane: their sequential costs are the ones brownout exists
+/// to avoid paying blind.
+fn brownout_eligible(key: &ComputeKey) -> bool {
+    matches!(
+        key,
+        ComputeKey::OracleColumn { .. }
+            | ComputeKey::OracleAllPairs { .. }
+            | ComputeKey::HopDists { .. }
+    )
 }
 
 impl Drop for Service {
@@ -968,14 +1167,21 @@ fn worker_loop(inner: Arc<Inner>, rx: Arc<Mutex<Receiver<Work>>>) {
         };
         match work {
             Work::Single(job) => run_single(&inner, job),
-            Work::Oracle { batch, entry } => run_oracle_flight(&inner, &batch, &entry),
+            Work::Oracle { batch, entry, cost } => run_oracle_flight(&inner, &batch, &entry, cost),
         }
     }
 }
 
 fn run_single(inner: &Inner, job: Job) {
     inner.metrics.worker_busy();
-    let token = job.flight.token().clone();
+    let started = Instant::now();
+    // The work token is a deadline-bearing child of the flight token,
+    // stamped with the flight's deadline as read at pickup: the traversal
+    // polls it per round, so a blown deadline aborts the computation
+    // within one frontier round — the same mechanism abandonment uses.
+    // Joins arriving after pickup may extend the stamp, but the running
+    // worker honors the value it read.
+    let token = job.flight.token().child(job.flight.deadline());
     if let Some(delay) = inner.faults.injected_delay() {
         // An injected stall still honors cancellation: once every
         // waiter gives up, the flight token frees this worker.
@@ -1001,7 +1207,13 @@ fn run_single(inner: &Inner, job: Job) {
         Ok(Ok(value)) => FlightOutcome::Value(value),
         Ok(Err(Cancelled)) => {
             inner.metrics.computation_cancelled();
-            FlightOutcome::Cancelled
+            // Explicit cancel (abandonment, shutdown) wins; otherwise the
+            // work token fired on the flight deadline.
+            if token.cancel_requested() {
+                FlightOutcome::Cancelled
+            } else {
+                FlightOutcome::DeadlineExceeded
+            }
         }
         Err(msg) => FlightOutcome::Failed(msg),
     };
@@ -1013,7 +1225,9 @@ fn run_single(inner: &Inner, job: Job) {
             .insert(job.key, value.clone());
     }
     // Breaker evidence is per *flight*, not per waiter: a batch of
-    // 50 queries riding one panicked flight is one failure.
+    // 50 queries riding one panicked flight is one failure. A blown
+    // deadline is time-budget pressure, not key poison — inconclusive,
+    // like cancellation.
     match &outcome {
         FlightOutcome::Value(_) => {
             if inner.breakers.on_success(&job.key) {
@@ -1025,18 +1239,26 @@ fn run_single(inner: &Inner, job: Job) {
                 inner.metrics.breaker_opened();
             }
         }
-        FlightOutcome::Cancelled => inner.breakers.on_inconclusive(&job.key),
-        FlightOutcome::Overloaded => {}
+        FlightOutcome::Cancelled | FlightOutcome::DeadlineExceeded => {
+            inner.breakers.on_inconclusive(&job.key)
+        }
+        FlightOutcome::Overloaded | FlightOutcome::Shed => {}
     }
-    let was_cancelled = matches!(outcome, FlightOutcome::Cancelled);
+    // Every picked-up job settles its admission charge exactly once —
+    // value, fault, cancel, or deadline — so debt cannot leak.
+    inner.cost.settle(job.cost, started.elapsed());
+    let no_answer = matches!(
+        outcome,
+        FlightOutcome::Cancelled | FlightOutcome::DeadlineExceeded
+    );
     // Drop the gauge before publishing, so by the time any waiter
     // observes the result the worker already reads as free.
     inner.metrics.worker_idle();
     inner
         .batcher
         .complete(&job.key, &job.flight, outcome, |batch| {
-            // a cancelled traversal did not produce a batch answer
-            if !was_cancelled {
+            // an aborted traversal did not produce a batch answer
+            if !no_answer {
                 inner.metrics.computation(batch)
             }
         });
@@ -1047,9 +1269,16 @@ fn run_single(inner: &Inner, job: Job) {
 /// a single bit-parallel traversal over all seats, cache one
 /// `OracleColumn` entry per source — all aliasing the shared
 /// [`DistanceOracle`] — and wake the whole batch.
-fn run_oracle_flight(inner: &Inner, batch: &Arc<OracleBatch>, entry: &Arc<GraphEntry>) {
+fn run_oracle_flight(
+    inner: &Inner,
+    batch: &Arc<OracleBatch>,
+    entry: &Arc<GraphEntry>,
+    cost: Duration,
+) {
     inner.metrics.worker_busy();
-    let token = batch.flight().token().clone();
+    let started = Instant::now();
+    // Deadline-bearing child of the flight token, as in `run_single`.
+    let token = batch.flight().token().child(batch.flight().deadline());
     if let Some(delay) = inner.faults.injected_delay() {
         let until = Instant::now() + delay;
         while Instant::now() < until && !token.is_cancelled() {
@@ -1081,7 +1310,11 @@ fn run_oracle_flight(inner: &Inner, batch: &Arc<OracleBatch>, entry: &Arc<GraphE
         Ok(Ok(value)) => FlightOutcome::Value(value),
         Ok(Err(Cancelled)) => {
             inner.metrics.computation_cancelled();
-            FlightOutcome::Cancelled
+            if token.cancel_requested() {
+                FlightOutcome::Cancelled
+            } else {
+                FlightOutcome::DeadlineExceeded
+            }
         }
         Err(msg) => FlightOutcome::Failed(msg),
     };
@@ -1106,14 +1339,20 @@ fn run_oracle_flight(inner: &Inner, batch: &Arc<OracleBatch>, entry: &Arc<GraphE
                     inner.metrics.breaker_opened();
                 }
             }
-            FlightOutcome::Cancelled => inner.breakers.on_inconclusive(&key),
-            FlightOutcome::Overloaded => {}
+            FlightOutcome::Cancelled | FlightOutcome::DeadlineExceeded => {
+                inner.breakers.on_inconclusive(&key)
+            }
+            FlightOutcome::Overloaded | FlightOutcome::Shed => {}
         }
     }
-    let was_cancelled = matches!(outcome, FlightOutcome::Cancelled);
+    inner.cost.settle(cost, started.elapsed());
+    let no_answer = matches!(
+        outcome,
+        FlightOutcome::Cancelled | FlightOutcome::DeadlineExceeded
+    );
     inner.metrics.worker_idle();
     inner.oracle_batcher.complete(batch, outcome, |batch_size| {
-        if !was_cancelled {
+        if !no_answer {
             inner.metrics.computation(batch_size)
         }
     });
@@ -1678,6 +1917,247 @@ mod tests {
             })
             .unwrap();
         assert_eq!(f, b);
+    }
+
+    #[test]
+    fn expired_deadline_token_classifies_as_deadline_exceeded() {
+        let svc = small_service();
+        svc.register("g", grid2d(8, 8));
+        let t = CancelToken::at(Instant::now() - Duration::from_millis(1));
+        let out = svc.query_full(
+            &Query::BfsDist {
+                graph: "g".into(),
+                src: 0,
+                target: Some(1),
+            },
+            &t,
+            QueryMode::Normal,
+        );
+        assert!(
+            matches!(out, Err(ServiceError::DeadlineExceeded)),
+            "{out:?}"
+        );
+        let m = svc.metrics();
+        assert_eq!(m.deadline_exceeded, 1);
+        assert_eq!(m.cancelled, 0, "deadline is not an explicit cancel");
+        assert!(m.reconciles(), "{m:?}");
+    }
+
+    #[test]
+    fn default_deadline_bounds_unbounded_queries() {
+        let svc = Service::new(ServiceConfig {
+            workers: 2,
+            queue_capacity: 16,
+            query_timeout: Duration::from_secs(10),
+            tau: 64,
+            default_deadline: Some(Duration::from_nanos(1)),
+            ..ServiceConfig::default()
+        });
+        svc.register("g", grid2d(8, 8));
+        // no caller deadline: the configured default applies and expires
+        // before the query can be admitted
+        let out = svc.query(&Query::BfsDist {
+            graph: "g".into(),
+            src: 0,
+            target: Some(1),
+        });
+        assert!(
+            matches!(out, Err(ServiceError::DeadlineExceeded)),
+            "{out:?}"
+        );
+        // a caller-supplied (roomy) deadline overrides the default
+        let t = CancelToken::with_deadline(Duration::from_secs(30));
+        let out = svc.query_with_token(
+            &Query::BfsDist {
+                graph: "g".into(),
+                src: 0,
+                target: Some(1),
+            },
+            &t,
+        );
+        assert!(out.is_ok(), "{out:?}");
+        assert!(svc.metrics().reconciles());
+    }
+
+    #[test]
+    fn infeasible_deadline_is_shed_at_admission() {
+        let svc = small_service();
+        svc.register("g", grid2d(8, 8));
+        // 8 s of queued debt across 2 workers → ~4 s expected wait; a
+        // 50 ms budget is infeasible, but load (8/20) stays under the
+        // Pressured threshold so the query reaches cost admission.
+        svc.inner.cost.charge(Duration::from_secs(8));
+        let t = CancelToken::with_deadline(Duration::from_millis(50));
+        let out = svc.query_with_token(
+            &Query::SsspDist {
+                graph: "g".into(),
+                src: 0,
+                target: Some(1),
+            },
+            &t,
+        );
+        assert!(matches!(out, Err(ServiceError::Shed)), "{out:?}");
+        let m = svc.metrics();
+        assert_eq!(m.shed, 1);
+        assert_eq!(m.rejected_overload, 0, "shed is its own bucket");
+        assert!(m.reconciles(), "{m:?}");
+        assert_eq!(
+            svc.queue_debt(),
+            Duration::from_secs(8),
+            "a shed leader never charged the ledger"
+        );
+        svc.inner
+            .cost
+            .settle(Duration::from_secs(8), Duration::ZERO);
+    }
+
+    #[test]
+    fn brownout_reroutes_eligible_work_and_recovers_hysteretically() {
+        let svc = small_service();
+        svc.register("g", grid2d(6, 9));
+        // ceiling = 10 s × 2 workers = 20 s; 30 s of debt → load 1.5
+        svc.inner.cost.charge(Duration::from_secs(30));
+        let q = Query::BfsDist {
+            graph: "g".into(),
+            src: 0,
+            target: Some(53),
+        };
+        let a = svc
+            .query_full(&q, &CancelToken::new(), QueryMode::Normal)
+            .unwrap();
+        assert_eq!(svc.pressure(), Pressure::Brownout);
+        assert!(a.degraded, "brownout must shed BFS to the sequential lane");
+        assert_eq!(a.reply, Reply::Dist { value: Some(13) });
+        assert_eq!(
+            svc.inner.oracle_batcher.width_cap(),
+            32,
+            "pressure halves oracle flight width"
+        );
+        // drain the debt: recovery steps down through Pressured
+        svc.inner
+            .cost
+            .settle(Duration::from_secs(30), Duration::ZERO);
+        let b = svc
+            .query_full(&q, &CancelToken::new(), QueryMode::Normal)
+            .unwrap();
+        assert_eq!(svc.pressure(), Pressure::Pressured);
+        assert!(
+            !b.degraded,
+            "Pressured keeps eligible work on the parallel lane"
+        );
+        assert_eq!(
+            svc.inner.oracle_batcher.width_cap(),
+            32,
+            "width stays capped"
+        );
+        let c = svc
+            .query_full(&q, &CancelToken::new(), QueryMode::Normal)
+            .unwrap();
+        assert_eq!(svc.pressure(), Pressure::Normal);
+        assert!(!c.degraded);
+        assert_eq!(b.reply, a.reply);
+        assert_eq!(c.reply, a.reply);
+        assert_eq!(svc.inner.oracle_batcher.width_cap(), 64);
+        let m = svc.metrics();
+        assert_eq!(m.degraded, 1);
+        assert!(m.reconciles(), "{m:?}");
+    }
+
+    #[test]
+    fn pressured_stops_all_pairs_promotion_but_serves_cached_oracles() {
+        let svc = small_service();
+        svc.register("g", grid2d(6, 9)); // n = 54 ≤ resident max
+                                         // Pressured: load 0.65 (13 s of 20 s ceiling)
+        svc.inner.cost.charge(Duration::from_secs(13));
+        svc.query(&Query::Oracle {
+            graph: "g".into(),
+            src: 7,
+            dst: Some(40),
+        })
+        .unwrap();
+        let m = svc.metrics();
+        assert_eq!(svc.pressure(), Pressure::Pressured);
+        assert_eq!(
+            m.multi_source_flights, 1,
+            "pressured oracle queries take the per-column path"
+        );
+        svc.inner
+            .cost
+            .settle(Duration::from_secs(13), Duration::ZERO);
+        // back to Normal (two steps), then promotion resumes
+        svc.query(&Query::Stats { graph: "g".into() }).unwrap();
+        svc.query(&Query::Oracle {
+            graph: "g".into(),
+            src: 9,
+            dst: None,
+        })
+        .unwrap();
+        assert_eq!(svc.pressure(), Pressure::Normal);
+        let m = svc.metrics();
+        assert!(m.oracle_reconciles(), "{m:?}");
+        assert_eq!(m.oracle_queries, 2);
+        assert_eq!(m.oracle_served, 2);
+        assert!(m.reconciles(), "{m:?}");
+    }
+
+    #[test]
+    fn oracle_identity_counts_errors_as_unserved() {
+        let svc = small_service();
+        svc.register("g", grid2d(3, 3));
+        svc.query(&Query::Oracle {
+            graph: "g".into(),
+            src: 0,
+            dst: Some(8),
+        })
+        .unwrap();
+        let out = svc.query(&Query::Oracle {
+            graph: "g".into(),
+            src: 99,
+            dst: None,
+        });
+        assert!(matches!(out, Err(ServiceError::VertexOutOfRange { .. })));
+        let m = svc.metrics();
+        assert_eq!(m.oracle_queries, 2);
+        assert_eq!(m.oracle_served, 1);
+        assert_eq!(m.oracle_unserved, 1);
+        assert!(m.oracle_reconciles(), "{m:?}");
+        assert!(m.reconciles(), "{m:?}");
+    }
+
+    #[test]
+    fn deadline_settles_debt_and_frees_worker() {
+        let svc = small_service();
+        svc.register("g", grid2d(64, 64));
+        let t = CancelToken::with_deadline(Duration::from_micros(200));
+        let out = svc.query_with_token(
+            &Query::BfsDist {
+                graph: "g".into(),
+                src: 0,
+                target: None,
+            },
+            &t,
+        );
+        // A fast machine may beat even this deadline, and admission may
+        // find the remaining budget already below the estimate and shed;
+        // the invariant under test is conservation, not the race's winner.
+        assert!(
+            matches!(
+                out,
+                Ok(_) | Err(ServiceError::DeadlineExceeded) | Err(ServiceError::Shed)
+            ),
+            "{out:?}"
+        );
+        // the worker either never received the job (shed/expired before
+        // admission) or settled its charge on abort — debt must not leak
+        let settle_by = Instant::now() + Duration::from_secs(5);
+        while (svc.queue_debt() > Duration::ZERO || svc.metrics().workers_busy > 0)
+            && Instant::now() < settle_by
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(svc.queue_debt(), Duration::ZERO);
+        assert_eq!(svc.metrics().workers_busy, 0);
+        assert!(svc.metrics().reconciles());
     }
 
     #[test]

@@ -48,6 +48,7 @@ fn chaos_config(faults: FaultPlan, workers: usize, timeout: Duration) -> Service
         // own suite in resilience_service.rs)
         resilience: ResilienceConfig::disabled(),
         faults,
+        ..ServiceConfig::default()
     }
 }
 

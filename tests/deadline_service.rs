@@ -1,0 +1,360 @@
+//! Chaos tests for end-to-end deadlines (DESIGN.md §15): hammer the
+//! service with mixed queries — a slice of them carrying tight
+//! deadlines — while fault injection stalls workers for 10 s, panics
+//! computations, voids the cache, and fakes queue overload. Then assert
+//! the deadline contract:
+//!
+//! * **deadlines are honored promptly** — every query that carries a
+//!   deadline returns (with an answer or a typed error) within a small
+//!   grace window of its deadline, never after the 10 s injected stall;
+//!   the waiter wakes at the deadline and the worker's round loop aborts
+//!   within one frontier round (the injected stall polls the same token
+//!   every 2 ms);
+//! * **workers are freed** — a deadline-exceeded flight releases its
+//!   worker; the pool answers cheap queries immediately afterwards and
+//!   the `workers_busy` gauge settles to zero;
+//! * **extended identity** — `queries == completed + degraded +
+//!   timeouts + cancelled + rejected_overload + errors +
+//!   deadline_exceeded + shed` holds after the storm, and the oracle
+//!   identity `oracle_queries == oracle_served + oracle_unserved`
+//!   proves no oracle request was dropped by batching, rerouting, or
+//!   shedding.
+//!
+//! Seeds: `PASGAL_FAULT_SEED` when set (the CI overload job sweeps fixed
+//! seeds), else the test default. The invariants hold for every seed.
+//!
+//! Requires `--features fault-injection` (declared as a required-feature
+//! in `crates/service/Cargo.toml`, so plain `cargo test` skips this
+//! file instead of failing).
+
+use pasgal_core::common::CancelToken;
+use pasgal_graph::gen::basic::grid2d;
+use pasgal_service::{
+    FaultPlan, Query, QueryMode, ResilienceConfig, Service, ServiceConfig, ServiceError,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SIDE: usize = 32; // 32×32 grid: traversals are microseconds
+
+/// How far past its deadline a deadline-carrying query may return: the
+/// waiter's condvar fires at the deadline and the stall loop polls every
+/// 2 ms, so the slack is scheduler jitter — far below the 10 s injected
+/// stall that a broken deadline path would eat.
+const GRACE: Duration = Duration::from_millis(500);
+
+fn env_seed(default: u64) -> u64 {
+    std::env::var("PASGAL_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn service_with(faults: FaultPlan, workers: usize, timeout: Duration) -> Arc<Service> {
+    let svc = Arc::new(Service::new(ServiceConfig {
+        workers,
+        queue_capacity: 16,
+        query_timeout: timeout,
+        cache_capacity: 32,
+        tau: 64,
+        // deadline chaos asserts the unassisted bookkeeping: no retries,
+        // no breakers (resilience has its own suite)
+        resilience: ResilienceConfig::disabled(),
+        faults,
+        ..ServiceConfig::default()
+    }));
+    svc.register("g", grid2d(SIDE, SIDE));
+    svc
+}
+
+/// The `i`-th query of the mixed workload: every flight-bearing op kind
+/// including the oracle family, a rotating set of sources so the cache
+/// both hits and misses.
+fn mixed_query(i: u32) -> Query {
+    let n = (SIDE * SIDE) as u32;
+    let src = (i * 131) % 8;
+    let v = (i * 977) % n;
+    match i % 8 {
+        0 => Query::BfsDist {
+            graph: "g".into(),
+            src,
+            target: Some(v),
+        },
+        1 => Query::SsspDist {
+            graph: "g".into(),
+            src,
+            target: None,
+        },
+        2 => Query::Ptp {
+            graph: "g".into(),
+            src,
+            dst: v,
+        },
+        3 => Query::Oracle {
+            graph: "g".into(),
+            src,
+            dst: Some(v),
+        },
+        4 => Query::Oracle {
+            graph: "g".into(),
+            src: src + 8,
+            dst: None,
+        },
+        5 => Query::SccId {
+            graph: "g".into(),
+            vertex: Some(v),
+        },
+        6 => Query::KCore {
+            graph: "g".into(),
+            vertex: Some(v),
+        },
+        _ => Query::CcId {
+            graph: "g".into(),
+            vertex: Some(v),
+        },
+    }
+}
+
+fn wait_gauge_settles(svc: &Service) {
+    let t0 = Instant::now();
+    while svc.metrics().workers_busy != 0 && t0.elapsed() < Duration::from_secs(5) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Prove no worker thread was lost: one cheap distinct-key query per
+/// worker, concurrently; each must succeed within a few attempts (the
+/// injector stays armed, so a probe may draw a fault — a retry soon
+/// lands clean, whereas a dead worker fails every attempt).
+fn assert_workers_alive(svc: &Arc<Service>, workers: usize) {
+    let handles: Vec<_> = (0..workers as u32)
+        .map(|i| {
+            let svc = Arc::clone(svc);
+            std::thread::spawn(move || {
+                let mut last = None;
+                for attempt in 0..10u32 {
+                    // the storm only uses sources 0..16; these probes
+                    // always start fresh flights
+                    let r = svc.query(&Query::BfsDist {
+                        graph: "g".into(),
+                        src: 200 + i * 16 + attempt,
+                        target: None,
+                    });
+                    if r.is_ok() {
+                        return;
+                    }
+                    last = Some(r);
+                }
+                panic!("worker lost after deadline chaos: {last:?}");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// The 512-query adversarial storm from the acceptance criteria: 8
+/// threads, every third query carrying a 5–80 ms deadline, workers
+/// stalled for 10 s on a periodic schedule. Every deadline-carrying
+/// query must return within GRACE of its deadline; afterwards the
+/// extended identity and the oracle identity must both hold and the
+/// pool must be intact.
+#[test]
+fn deadline_storm_reconciles_and_lands_on_time() {
+    const THREADS: u32 = 8;
+    const PER_THREAD: u32 = 64; // 512 queries total
+    let faults = FaultPlan {
+        seed: env_seed(0xDEAD11),
+        worker_panic_every: 7,
+        delay_every: 5,
+        delay: Duration::from_secs(10), // >> every deadline: relies on abort
+        cache_miss_every: 5,
+        queue_full_every: 13,
+        ..FaultPlan::default()
+    };
+    let workers = 4;
+    let svc = service_with(faults, workers, Duration::from_millis(300));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || {
+                let mut deadline_hits = 0u64;
+                for i in 0..PER_THREAD {
+                    let id = t * PER_THREAD + i;
+                    let q = mixed_query(id);
+                    // every third query carries a tight deadline
+                    let deadline = match id % 3 {
+                        0 => Some(Duration::from_millis([5, 20, 80][(id % 9 / 3) as usize])),
+                        _ => None,
+                    };
+                    let token = match deadline {
+                        Some(d) => CancelToken::with_deadline(d),
+                        None => CancelToken::new(),
+                    };
+                    let t0 = Instant::now();
+                    let r = svc.query_full(&q, &token, QueryMode::Normal);
+                    if let Some(d) = deadline {
+                        // answered or refused, a deadline query must not
+                        // outlive its deadline by more than GRACE — a
+                        // broken abort path eats the 10 s stall here
+                        assert!(
+                            t0.elapsed() <= d + GRACE,
+                            "query {id} with {d:?} deadline took {:?}: {r:?}",
+                            t0.elapsed()
+                        );
+                        if matches!(r, Err(ServiceError::DeadlineExceeded)) {
+                            deadline_hits += 1;
+                        }
+                    }
+                }
+                deadline_hits
+            })
+        })
+        .collect();
+    let deadline_hits: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+
+    let m = svc.metrics();
+    assert_eq!(m.queries, (THREADS * PER_THREAD) as u64);
+    assert!(
+        m.reconciles(),
+        "extended identity must conserve queries: {m:?}"
+    );
+    // a joiner inherits its shared flight's terminal outcome (exactly as
+    // with Cancelled), so unbounded queries that boarded an expired
+    // flight also land in the bucket: the thread-side tally is a lower
+    // bound, not an equality
+    assert!(m.deadline_exceeded >= deadline_hits, "{m:?}");
+    assert!(
+        deadline_hits > 0,
+        "10 s stalls against ≤ 80 ms deadlines must miss some: {m:?}"
+    );
+    assert!(
+        m.oracle_reconciles(),
+        "no oracle request may be dropped: {m:?}"
+    );
+    assert!(m.oracle_queries > 0, "{m:?}");
+
+    wait_gauge_settles(&svc);
+    assert_eq!(
+        svc.metrics().workers_busy,
+        0,
+        "gauge must settle once all queries end"
+    );
+    assert_workers_alive(&svc, workers);
+    // probes may have drawn an injected stall themselves; give their
+    // abandoned flights the same bounded window to observe cancellation
+    wait_gauge_settles(&svc);
+    assert_eq!(svc.metrics().workers_busy, 0);
+}
+
+/// With a roomy service timeout the deadline is the binding constraint:
+/// two stalled flights must return `DeadlineExceeded` within GRACE of
+/// their 100 ms deadlines, both workers must come back (the abort
+/// cancels the flight token the stall loop polls), and a cheap follow-up
+/// query must succeed immediately.
+#[test]
+fn deadline_exceeded_frees_stalled_workers_promptly() {
+    let faults = FaultPlan {
+        seed: env_seed(1),
+        delay_first: 2,
+        delay: Duration::from_secs(10),
+        ..FaultPlan::default()
+    };
+    // 30 s timeout: only the deadline can cut these queries short
+    let svc = service_with(faults, 2, Duration::from_secs(30));
+
+    let deadline = Duration::from_millis(100);
+    let slow: Vec<_> = (0..2u32)
+        .map(|src| {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || {
+                let t0 = Instant::now();
+                let r = svc.query_full(
+                    &Query::BfsDist {
+                        graph: "g".into(),
+                        src,
+                        target: None,
+                    },
+                    &CancelToken::with_deadline(deadline),
+                    QueryMode::Normal,
+                );
+                (r, t0.elapsed())
+            })
+        })
+        .collect();
+    for h in slow {
+        let (r, took) = h.join().unwrap();
+        assert!(
+            matches!(r, Err(ServiceError::DeadlineExceeded)),
+            "stalled deadline query must exceed: {r:?}"
+        );
+        assert!(
+            took <= deadline + GRACE,
+            "deadline exceeded surfaced {took:?} after issue (deadline {deadline:?})"
+        );
+    }
+
+    // Both workers were stalled moments ago; the deadline abort must have
+    // freed them, or this query waits out the 10 s stall.
+    let t0 = Instant::now();
+    let r = svc.query(&Query::BfsDist {
+        graph: "g".into(),
+        src: 7,
+        target: Some(40),
+    });
+    assert!(r.is_ok(), "cheap query after deadline aborts failed: {r:?}");
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "worker was not freed promptly: {:?}",
+        t0.elapsed()
+    );
+
+    wait_gauge_settles(&svc);
+    let m = svc.metrics();
+    assert_eq!(m.deadline_exceeded, 2, "{m:?}");
+    assert!(m.reconciles(), "{m:?}");
+    assert_eq!(m.workers_busy, 0);
+}
+
+/// Deadline classification is not sticky: after a burst of
+/// deadline-exceeded flights on one key, the same key served without a
+/// deadline must answer normally (deadline evidence is inconclusive for
+/// the breaker, and the flight/cache state is not poisoned).
+#[test]
+fn key_recovers_after_deadline_misses() {
+    let faults = FaultPlan {
+        seed: env_seed(5),
+        delay_first: 3,
+        delay: Duration::from_secs(10),
+        ..FaultPlan::default()
+    };
+    let svc = service_with(faults, 1, Duration::from_secs(30));
+
+    let q = Query::BfsDist {
+        graph: "g".into(),
+        src: 3,
+        target: Some(40),
+    };
+    for _ in 0..3 {
+        let r = svc.query_full(
+            &q,
+            &CancelToken::with_deadline(Duration::from_millis(50)),
+            QueryMode::Normal,
+        );
+        assert!(
+            matches!(r, Err(ServiceError::DeadlineExceeded)),
+            "stalled flight must miss its deadline: {r:?}"
+        );
+    }
+    // the injector has spent its delay_first budget; the same key now
+    // answers, unbounded, on the parallel lane
+    let r = svc.query(&q);
+    assert!(r.is_ok(), "key must recover after deadline misses: {r:?}");
+
+    wait_gauge_settles(&svc);
+    let m = svc.metrics();
+    assert_eq!(m.deadline_exceeded, 3, "{m:?}");
+    assert!(m.reconciles(), "{m:?}");
+}

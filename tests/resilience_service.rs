@@ -48,6 +48,7 @@ fn config(faults: FaultPlan, resilience: ResilienceConfig, workers: usize) -> Se
         tau: 64,
         resilience,
         faults,
+        ..ServiceConfig::default()
     }
 }
 
@@ -412,6 +413,7 @@ fn storm_with_resilience_reconciles_and_recovers() {
             breaker_cooldown: Duration::from_millis(50),
         },
         faults,
+        ..ServiceConfig::default()
     }));
     svc.register("g", grid2d(32, 32));
 
