@@ -16,6 +16,8 @@
 //!              (default: just --src) answers hop queries by lookup
 //!   stats      graph statistics (the Table-1 row)
 //!   gen        generate a suite graph: pasgal gen <NAME> <out-file>
+//!   pack       write a graph into the mmap-ready on-disk container:
+//!              pasgal pack <graph-file> <out.pasgal> [--compress]
 //!   serve      start the query service: pasgal serve [graph-files...]
 //!
 //! options:
@@ -27,7 +29,10 @@
 //!   --tau N           VGC budget (default 512)
 //!   --threads N       rayon worker threads (default: all; must be ≥ 1)
 //!   --scale tiny|small|full   for `gen` (default small)
+//!   --compress        for `pack`: byte-compressed payload (delta/varint)
 //!   --host H --port N         for `serve` (default 127.0.0.1:7421)
+//!   --storage plain|compressed|mmap   backend `serve` loads graphs into
+//!   --mmap            shorthand for --storage mmap (container files)
 //!   --workers N --queue N --timeout-ms N --cache N   service tuning
 //!   --max-retries N           retry budget for transient failures
 //!   --breaker-threshold N     failures that open a key's breaker
@@ -42,7 +47,8 @@
 //! ```
 //!
 //! Graph format is chosen by extension: `.adj` (PBBS text), `.bin`
-//! (binary CSR), anything else is read as an edge list.
+//! (binary CSR), `.pasgal` (packed container), anything else is read as
+//! an edge list.
 
 use pasgal_core::common::VgcConfig;
 use pasgal_graph::csr::Graph;
@@ -74,7 +80,7 @@ impl std::error::Error for UsageError {}
 
 /// Options that are bare flags: their presence means "true" and no value
 /// is consumed from the argument stream.
-const FLAG_OPTIONS: &[&str] = &["trace-rounds", "help"];
+const FLAG_OPTIONS: &[&str] = &["trace-rounds", "help", "compress", "mmap"];
 
 /// Every `pasgal serve` tuning flag with its help line. This table is
 /// both the `serve --help` output and the strict allowlist: a serve
@@ -95,6 +101,8 @@ pub const SERVE_FLAGS: &[(&str, &str)] = &[
     ("oracle-sources N", "seats per multi-source oracle flight (default 64, max 128)"),
     ("default-deadline-ms N", "end-to-end deadline applied to queries that carry no deadline_ms of their own (default: none)"),
     ("memory-budget-mb N", "resident-memory budget feeding the brownout controller; pressure above it sheds oracle promotion and flight width (default: none)"),
+    ("storage KIND", "backend positional graphs load into: plain, compressed, or mmap (default: mmap for .pasgal containers, plain otherwise)"),
+    ("mmap", "shorthand for --storage mmap; positional files must be .pasgal containers"),
     ("drain-ms N", "shutdown drain deadline for in-flight work on SIGINT/SIGTERM (default 5000)"),
     ("trace-rounds", "print one line per synchronization round (query commands; accepted by serve for symmetry, no per-round output server-side)"),
     ("help", "print this flag listing and exit"),
@@ -194,13 +202,19 @@ pub fn threads_option(cli: &Cli) -> Result<usize, UsageError> {
     Ok(t as usize)
 }
 
-/// Load a graph by file extension.
+/// Load a graph by file extension (`.pasgal` containers decode to a
+/// plain in-memory graph here; `serve --storage mmap` keeps them mapped).
 pub fn load_graph(path: &str) -> Result<Graph, String> {
     let p = Path::new(path);
     let ext = p.extension().and_then(|e| e.to_str()).unwrap_or("");
     let res = match ext {
         "adj" => io::read_adj(p),
         "bin" => io::read_bin(p),
+        "pasgal" => {
+            return pasgal_graph::disk::MmapGraph::load(p)
+                .map(|g| pasgal_graph::storage::to_plain(&g))
+                .map_err(|e| format!("cannot read {path}: {e}"))
+        }
         _ => io::read_edge_list(p),
     };
     res.map_err(|e| format!("cannot read {path}: {e}"))
@@ -222,11 +236,13 @@ pub fn drain_option(cli: &Cli) -> Result<std::time::Duration, UsageError> {
 /// The start-up banner for `pasgal serve`: bound address plus the
 /// registered-graph listing.
 pub fn serve_banner(service: &pasgal_service::Service, server: &pasgal_service::Server) -> String {
+    // both catalog reports sort by name, so they zip positionally
     let listing = service
         .catalog()
         .list()
         .into_iter()
-        .map(|(name, n, m)| format!("  {name}: n = {n}, m = {m}"))
+        .zip(service.catalog().storage_report())
+        .map(|((name, n, m), (_, kind, _))| format!("  {name}: n = {n}, m = {m}, storage {kind}"))
         .collect::<Vec<_>>()
         .join("\n");
     let mut out = format!("pasgal-service listening on {}", server.local_addr());
@@ -347,6 +363,21 @@ pub fn start_service(
         memory_budget: (memory_budget_mb > 0).then_some(memory_budget_mb * 1024 * 1024),
         ..ServiceConfig::default()
     };
+    let storage = match (cli.options.get("storage"), cli.options.contains_key("mmap")) {
+        (Some(s), true) if s != "mmap" => {
+            return Err(format!("--mmap conflicts with --storage {s}"));
+        }
+        (Some(s), _) => {
+            if !matches!(s.as_str(), "plain" | "compressed" | "mmap") {
+                return Err(format!(
+                    "--storage must be plain, compressed, or mmap (got {s})"
+                ));
+            }
+            Some(s.as_str())
+        }
+        (None, true) => Some("mmap"),
+        (None, false) => None,
+    };
     let service = std::sync::Arc::new(Service::new(config));
     for file in &cli.positional {
         let name = Path::new(file)
@@ -354,8 +385,8 @@ pub fn start_service(
             .and_then(|s| s.to_str())
             .unwrap_or(file.as_str())
             .to_string();
-        let g = load_graph(file)?;
-        service.register(&name, g);
+        let store = pasgal_service::server::load_store_by_ext(file, storage)?;
+        service.register(&name, store);
     }
     let host = cli.opt("host", "127.0.0.1");
     let port = cli.num("port", 7421).map_err(|e| e.to_string())?;
@@ -412,6 +443,30 @@ pub fn run(cli: &Cli) -> Result<String, String> {
                 out,
                 g.num_vertices(),
                 g.num_edges()
+            ));
+        }
+        "pack" => {
+            let [input, out] = cli.positional.as_slice() else {
+                return usage_err("usage: pasgal pack <graph-file> <out.pasgal> [--compress]");
+            };
+            if !out.ends_with(".pasgal") {
+                return usage_err(&format!(
+                    "pack output must end in .pasgal (got {out:?}) so loaders recognize the container"
+                ));
+            }
+            let compress = cli.options.contains_key("compress");
+            let g = load_graph(input)?;
+            pasgal_graph::disk::pack(&g, out, compress)
+                .map_err(|e| format!("cannot write {out}: {e}"))?;
+            let packed_bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+            return Ok(format!(
+                "packed {} -> {} (n = {}, m = {}, payload {}, {} bytes)",
+                input,
+                out,
+                g.num_vertices(),
+                g.num_edges(),
+                if compress { "compressed" } else { "plain" },
+                packed_bytes
             ));
         }
         "serve" => {
@@ -783,6 +838,55 @@ mod tests {
     }
 
     #[test]
+    fn pack_roundtrip_and_query_over_container() {
+        let p = write_fixture();
+        let f = p.to_str().unwrap();
+        for compress in [false, true] {
+            let out_path = std::env::temp_dir().join(format!(
+                "pasgal_cli_pack_{}_{}.pasgal",
+                std::process::id(),
+                compress
+            ));
+            let out_file = out_path.to_str().unwrap().to_string();
+            let mut args = vec!["pack", f, &out_file];
+            if compress {
+                args.push("--compress");
+            }
+            let out = run(&cli(&args)).unwrap();
+            assert!(out.contains("n = 54"), "{out}");
+            assert!(
+                out.contains(if compress { "compressed" } else { "plain" }),
+                "{out}"
+            );
+            // query commands decode the container transparently
+            let out = run(&cli(&["bfs", &out_file])).unwrap();
+            assert!(out.contains("reached 54/54"), "{out}");
+            std::fs::remove_file(&out_path).unwrap();
+        }
+        // bad extension is rejected before any work happens
+        let e = run(&cli(&["pack", f, "out.bin"])).unwrap_err();
+        assert!(e.contains(".pasgal"), "{e}");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn serve_storage_flag_validation() {
+        let e = validate_serve_options(&cli(&["serve", "--storage", "zstd"]));
+        assert!(e.is_ok(), "allowlist only checks names: {e:?}");
+        let err = |c: &Cli| start_service(c).err().expect("should fail");
+        let bad = err(&cli(&["serve", "--storage", "zstd"]));
+        assert!(bad.contains("--storage must be"), "{bad}");
+        let conflict = err(&cli(&["serve", "--mmap", "--storage", "plain"]));
+        assert!(conflict.contains("conflicts"), "{conflict}");
+        // --mmap demands container files
+        let p = write_fixture();
+        let f = p.to_str().unwrap();
+        let e = err(&cli(&["serve", "--mmap", f]));
+        assert!(e.contains(".pasgal"), "{e}");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
     fn run_scc_bcc_cc_kcore() {
         let p = write_fixture();
         let f = p.to_str().unwrap();
@@ -1030,6 +1134,8 @@ mod tests {
             "oracle-sources",
             "default-deadline-ms",
             "memory-budget-mb",
+            "storage",
+            "mmap",
             "drain-ms",
             "trace-rounds",
             "help",

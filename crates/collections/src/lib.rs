@@ -18,6 +18,8 @@
 //! * [`epoch::EpochMarks`] — epoch-stamped visited marks whose per-run
 //!   reset is O(1): pooled traversal workspaces use them so repeated runs
 //!   on a resident graph skip the O(n) clear entirely.
+//! * [`varint`] — LEB128 + zigzag primitives backing the byte-compressed
+//!   CSR storage backend in pasgal-graph.
 
 pub mod atomic_array;
 pub mod bitvec;
@@ -25,3 +27,4 @@ pub mod epoch;
 pub mod hashbag;
 pub mod u64set;
 pub mod union_find;
+pub mod varint;

@@ -1,0 +1,173 @@
+//! LEB128 varint + zigzag primitives for byte-compressed adjacency.
+//!
+//! The compressed CSR backend (pasgal-graph) encodes each neighbor list
+//! as a first-gap (zigzag, since `x0 - v` may be negative) followed by
+//! plain ascending gaps, all LEB128 varints. These helpers are the whole
+//! codec: append-only encoding into a `Vec<u8>` and branch-light decoding
+//! from a byte slice with an explicit cursor, so iterators over encoded
+//! lists allocate nothing.
+//!
+//! Encoding is canonical little-endian base-128: seven payload bits per
+//! byte, continuation bit 0x80, terminator byte < 0x80. A `u64` takes at
+//! most [`MAX_VARINT_LEN`] bytes.
+
+/// Maximum encoded length of a `u64` varint (⌈64/7⌉).
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Append the LEB128 encoding of `x` to `out`.
+#[inline]
+pub fn encode_u64(mut x: u64, out: &mut Vec<u8>) {
+    while x >= 0x80 {
+        out.push((x as u8) | 0x80);
+        x >>= 7;
+    }
+    out.push(x as u8);
+}
+
+/// Decode a LEB128 varint from `buf` starting at `*pos`, advancing `*pos`
+/// past it. Panics (via slice indexing) on truncated input; the storage
+/// layer validates section checksums before decode ever runs.
+#[inline]
+pub fn decode_u64(buf: &[u8], pos: &mut usize) -> u64 {
+    // Unrolled one- and two-byte fast paths: gap streams are dominated by
+    // values under 2^14 (clustered lists give 1-byte gaps, uniform lists
+    // over n < ~10^6 vertices give 2-byte gaps).
+    let p = *pos;
+    let b0 = buf[p];
+    if b0 < 0x80 {
+        *pos = p + 1;
+        return u64::from(b0);
+    }
+    let b1 = buf[p + 1];
+    if b1 < 0x80 {
+        *pos = p + 2;
+        return u64::from(b0 & 0x7f) | u64::from(b1) << 7;
+    }
+    let mut x = u64::from(b0 & 0x7f) | u64::from(b1 & 0x7f) << 7;
+    *pos = p + 2;
+    let mut shift = 14u32;
+    loop {
+        let b = buf[*pos];
+        *pos += 1;
+        x |= u64::from(b & 0x7f) << shift;
+        if b < 0x80 {
+            return x;
+        }
+        shift += 7;
+    }
+}
+
+/// Advance `*pos` past one encoded varint without materializing it.
+#[inline]
+pub fn skip_varint(buf: &[u8], pos: &mut usize) {
+    while buf[*pos] >= 0x80 {
+        *pos += 1;
+    }
+    *pos += 1;
+}
+
+/// Zigzag-map a signed value onto unsigned so small magnitudes (either
+/// sign) stay short under LEB128: 0, -1, 1, -2, … → 0, 1, 2, 3, …
+#[inline]
+pub fn zigzag_encode(x: i64) -> u64 {
+    ((x << 1) ^ (x >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+#[inline]
+pub fn zigzag_decode(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// Encoded length of `x` without writing it.
+#[inline]
+pub fn varint_len(x: u64) -> usize {
+    if x == 0 {
+        1
+    } else {
+        (64 - x.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(x: u64) {
+        let mut buf = Vec::new();
+        encode_u64(x, &mut buf);
+        assert_eq!(buf.len(), varint_len(x), "len for {x}");
+        assert!(buf.len() <= MAX_VARINT_LEN);
+        let mut pos = 0;
+        assert_eq!(decode_u64(&buf, &mut pos), x);
+        assert_eq!(pos, buf.len());
+        pos = 0;
+        skip_varint(&buf, &mut pos);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn roundtrip_edges_and_boundaries() {
+        for x in [
+            0u64,
+            1,
+            0x7f,
+            0x80,
+            0x3fff,
+            0x4000,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            roundtrip(x);
+        }
+    }
+
+    #[test]
+    fn roundtrip_dense_small_range() {
+        for x in 0..10_000u64 {
+            roundtrip(x);
+        }
+    }
+
+    #[test]
+    fn concatenated_stream_decodes_in_order() {
+        let vals = [0u64, 300, 7, u64::MAX, 128, 127];
+        let mut buf = Vec::new();
+        for &v in &vals {
+            encode_u64(v, &mut buf);
+        }
+        let mut pos = 0;
+        for &v in &vals {
+            assert_eq!(decode_u64(&buf, &mut pos), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn zigzag_maps_small_magnitudes_small() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+        for x in [-1_000_000i64, -1, 0, 1, 17, i64::MIN, i64::MAX] {
+            assert_eq!(zigzag_decode(zigzag_encode(x)), x);
+        }
+    }
+
+    #[test]
+    fn skip_matches_decode_on_mixed_stream() {
+        let mut buf = Vec::new();
+        let vals: Vec<u64> = (0..100).map(|i| (i * 2654435761u64) >> (i % 40)).collect();
+        for &v in &vals {
+            encode_u64(v, &mut buf);
+        }
+        let mut p1 = 0;
+        let mut p2 = 0;
+        for &v in &vals {
+            assert_eq!(decode_u64(&buf, &mut p1), v);
+            skip_varint(&buf, &mut p2);
+            assert_eq!(p1, p2);
+        }
+    }
+}

@@ -12,12 +12,12 @@ use super::BccResult;
 use crate::bfs::flat::{bfs_flat, DirOptConfig};
 use crate::common::{AlgoStats, UNREACHED};
 use pasgal_collections::union_find::ConcurrentUnionFind;
-use pasgal_graph::csr::Graph;
+use pasgal_graph::storage::GraphStorage;
 use pasgal_graph::VertexId;
 use pasgal_parlay::counters::Counters;
 
 /// GBBS-style BCC: BFS spanning forest + Euler-tour labeling.
-pub fn bcc_bfs_based(g: &Graph) -> BccResult {
+pub fn bcc_bfs_based<S: GraphStorage>(g: &S) -> BccResult {
     assert!(g.is_symmetric(), "BCC requires an undirected graph");
     let n = g.num_vertices();
     let counters = Counters::new();
@@ -47,8 +47,6 @@ pub fn bcc_bfs_based(g: &Graph) -> BccResult {
                     let d = r.dist[v];
                     let p = g
                         .neighbors(v as u32)
-                        .iter()
-                        .copied()
                         .find(|&w| r.dist[w as usize] == d - 1)
                         .expect("BFS level-consistent parent");
                     tree_edges.push((p, v as u32));
@@ -78,6 +76,7 @@ mod tests {
     use crate::bcc::hopcroft_tarjan::bcc_hopcroft_tarjan;
     use crate::common::canonicalize_labels;
     use pasgal_graph::builder::from_edges_symmetric;
+    use pasgal_graph::csr::Graph;
     use pasgal_graph::gen::basic::{cycle, grid2d, path, random_directed, star};
     use pasgal_graph::gen::synthetic::bubbles;
     use pasgal_graph::transform::symmetrize;

@@ -29,13 +29,13 @@ use crate::cc::spanning_forest;
 use crate::common::{CancelToken, Cancelled};
 use crate::engine::{NoopObserver, RoundDriver, RoundObserver};
 use pasgal_collections::union_find::ConcurrentUnionFind;
-use pasgal_graph::csr::Graph;
+use pasgal_graph::storage::GraphStorage;
 use pasgal_parlay::counters::Counters;
 use rayon::prelude::*;
 
 /// `low`/`high` arrays: min/max `first(x)` over non-tree neighbors of the
 /// whole subtree (including each vertex's own `first`).
-pub(crate) fn compute_low_high(g: &Graph, tour: &EulerTour) -> (Vec<u32>, Vec<u32>) {
+pub(crate) fn compute_low_high<S: GraphStorage>(g: &S, tour: &EulerTour) -> (Vec<u32>, Vec<u32>) {
     let n = g.num_vertices();
     let is_tree_edge =
         |v: u32, w: u32| tour.parent[v as usize] == w || tour.parent[w as usize] == v;
@@ -44,7 +44,7 @@ pub(crate) fn compute_low_high(g: &Graph, tour: &EulerTour) -> (Vec<u32>, Vec<u3
         .with_min_len(512)
         .map(|v| {
             let mut m = tour.first[v as usize];
-            for &w in g.neighbors(v) {
+            for w in g.neighbors(v) {
                 if !is_tree_edge(v, w) {
                     m = m.min(tour.first[w as usize]);
                 }
@@ -57,7 +57,7 @@ pub(crate) fn compute_low_high(g: &Graph, tour: &EulerTour) -> (Vec<u32>, Vec<u3
         .with_min_len(512)
         .map(|v| {
             let mut m = tour.first[v as usize];
-            for &w in g.neighbors(v) {
+            for w in g.neighbors(v) {
                 if !is_tree_edge(v, w) {
                     m = m.max(tour.first[w as usize]);
                 }
@@ -70,8 +70,8 @@ pub(crate) fn compute_low_high(g: &Graph, tour: &EulerTour) -> (Vec<u32>, Vec<u3
 
 /// Apply the two clustering rules to a union-find (shared by FAST-BCC and
 /// the GBBS-style variant). Returns the number of unions performed.
-pub(crate) fn cluster_unions(
-    g: &Graph,
+pub(crate) fn cluster_unions<S: GraphStorage>(
+    g: &S,
     tour: &EulerTour,
     low: &[u32],
     high: &[u32],
@@ -102,7 +102,7 @@ pub(crate) fn cluster_unions(
         .into_par_iter()
         .with_min_len(256)
         .for_each(|u| {
-            for &v in g.neighbors(u) {
+            for v in g.neighbors(u) {
                 counters.add_edges(1);
                 if u < v
                     && tour.parent[u as usize] != v
@@ -120,8 +120,8 @@ pub(crate) fn cluster_unions(
 /// to cluster `find(v)`; a non-tree edge `{u, v}` belongs to the cluster
 /// of its *descendant-most* endpoint (the deeper one when one endpoint is
 /// an ancestor of the other; either when incomparable — they are united).
-pub(crate) fn read_edge_labels(
-    g: &Graph,
+pub(crate) fn read_edge_labels<S: GraphStorage>(
+    g: &S,
     tour: &EulerTour,
     uf: &ConcurrentUnionFind,
 ) -> (Vec<u32>, usize) {
@@ -149,7 +149,7 @@ pub(crate) fn read_edge_labels(
 }
 
 /// FAST-BCC. Requires a symmetric graph.
-pub fn bcc_fast(g: &Graph) -> BccResult {
+pub fn bcc_fast<S: GraphStorage>(g: &S) -> BccResult {
     bcc_fast_cancel(g, &CancelToken::new()).expect("fresh token cannot cancel")
 }
 
@@ -157,15 +157,18 @@ pub fn bcc_fast(g: &Graph) -> BccResult {
 /// five bounded phases), the token is checked at every phase boundary —
 /// each phase is a single `O(n + m)` sweep, so this is the same "within
 /// one round" granularity the frontier algorithms give.
-pub fn bcc_fast_cancel(g: &Graph, cancel: &CancelToken) -> Result<BccResult, Cancelled> {
+pub fn bcc_fast_cancel<S: GraphStorage>(
+    g: &S,
+    cancel: &CancelToken,
+) -> Result<BccResult, Cancelled> {
     bcc_fast_observed(g, cancel, &NoopObserver)
 }
 
 /// [`bcc_fast`] with per-round observation: each of the five pipeline
 /// phases is one round, so exactly five [`crate::engine::RoundEvent`]s
 /// are emitted on an uncancelled run.
-pub fn bcc_fast_observed(
-    g: &Graph,
+pub fn bcc_fast_observed<S: GraphStorage>(
+    g: &S,
     cancel: &CancelToken,
     observer: &dyn RoundObserver,
 ) -> Result<BccResult, Cancelled> {
@@ -201,6 +204,7 @@ mod tests {
     use crate::bcc::{articulation_points, bridges};
     use crate::common::canonicalize_labels;
     use pasgal_graph::builder::from_edges_symmetric;
+    use pasgal_graph::csr::Graph;
     use pasgal_graph::gen::basic::{clique, cycle, grid2d, path, star};
     use pasgal_graph::gen::rmat::{rmat_undirected, RmatParams};
     use pasgal_graph::gen::synthetic::{bubbles, traces};

@@ -6,12 +6,12 @@
 
 use super::{BccResult, EdgeIndexer};
 use crate::common::AlgoStats;
-use pasgal_graph::csr::Graph;
+use pasgal_graph::storage::GraphStorage;
 
 const UNVISITED: u32 = u32::MAX;
 
 /// Sequential Hopcroft-Tarjan BCC.
-pub fn bcc_hopcroft_tarjan(g: &Graph) -> BccResult {
+pub fn bcc_hopcroft_tarjan<S: GraphStorage>(g: &S) -> BccResult {
     assert!(g.is_symmetric(), "BCC requires an undirected graph");
     let n = g.num_vertices();
     let indexer = EdgeIndexer::new(g);
@@ -23,8 +23,10 @@ pub fn bcc_hopcroft_tarjan(g: &Graph) -> BccResult {
     let mut low = vec![0u32; n];
     let mut timer = 0u32;
     let mut edge_stack: Vec<usize> = Vec::new(); // canonical edge ids
-                                                 // frame: (vertex, parent, next neighbor position)
-    let mut frames: Vec<(u32, u32, usize)> = Vec::new();
+                                                 // frame: (vertex, parent, live neighbor iterator) —
+                                                 // holding the iterator keeps compressed backends
+                                                 // O(deg) per vertex instead of re-decoding per step
+    let mut frames: Vec<(u32, u32, S::Neighbors<'_>)> = Vec::new();
     let mut edges_scanned = 0u64;
 
     for root in 0..n as u32 {
@@ -34,13 +36,11 @@ pub fn bcc_hopcroft_tarjan(g: &Graph) -> BccResult {
         disc[root as usize] = timer;
         low[root as usize] = timer;
         timer += 1;
-        frames.push((root, UNVISITED, 0));
+        frames.push((root, UNVISITED, g.neighbors(root)));
 
-        while let Some(&mut (v, parent, ref mut pos)) = frames.last_mut() {
-            let nbrs = g.neighbors(v);
-            if *pos < nbrs.len() {
-                let w = nbrs[*pos];
-                *pos += 1;
+        while let Some((v, parent, it)) = frames.last_mut() {
+            let (v, parent) = (*v, *parent);
+            if let Some(w) = it.next() {
                 edges_scanned += 1;
                 if disc[w as usize] == UNVISITED {
                     // tree edge
@@ -48,7 +48,7 @@ pub fn bcc_hopcroft_tarjan(g: &Graph) -> BccResult {
                     disc[w as usize] = timer;
                     low[w as usize] = timer;
                     timer += 1;
-                    frames.push((w, v, 0));
+                    frames.push((w, v, g.neighbors(w)));
                 } else if w != parent && disc[w as usize] < disc[v as usize] {
                     // back edge (counted once, toward the ancestor)
                     edge_stack.push(indexer.id(g, v, w));
@@ -56,7 +56,8 @@ pub fn bcc_hopcroft_tarjan(g: &Graph) -> BccResult {
                 }
             } else {
                 frames.pop();
-                if let Some(&mut (u, _, _)) = frames.last_mut() {
+                if let Some((u, _, _)) = frames.last_mut() {
+                    let u = *u;
                     // v was u's child: close the subtree
                     low[u as usize] = low[u as usize].min(low[v as usize]);
                     if low[v as usize] >= disc[u as usize] {
@@ -97,6 +98,7 @@ mod tests {
     use crate::bcc::{articulation_points, bridges};
     use crate::common::canonicalize_labels;
     use pasgal_graph::builder::from_edges_symmetric;
+    use pasgal_graph::csr::Graph;
     use pasgal_graph::gen::basic::{clique, cycle, grid2d, path, star};
 
     #[test]

@@ -33,7 +33,7 @@ pub use hopcroft_tarjan::bcc_hopcroft_tarjan;
 pub use tarjan_vishkin::{bcc_tarjan_vishkin, bcc_tarjan_vishkin_budgeted, SpaceBudgetExceeded};
 
 use crate::common::AlgoStats;
-use pasgal_graph::csr::Graph;
+use pasgal_graph::storage::GraphStorage;
 use pasgal_graph::VertexId;
 
 /// BCC output: one label per canonical undirected edge.
@@ -52,14 +52,14 @@ pub struct BccResult {
 /// The canonical undirected edge order: `(u, v)` pairs with `u < v`, in
 /// CSR iteration order. Every BCC implementation indexes its output by
 /// this list.
-pub fn edge_list_canonical(g: &Graph) -> Vec<(VertexId, VertexId)> {
+pub fn edge_list_canonical<S: GraphStorage>(g: &S) -> Vec<(VertexId, VertexId)> {
     assert!(
         g.is_symmetric(),
         "BCC requires an undirected (symmetric) graph"
     );
     let mut out = Vec::with_capacity(g.num_edges() / 2);
     for u in 0..g.num_vertices() as u32 {
-        for &v in g.neighbors(u) {
+        for v in g.neighbors(u) {
             if u < v {
                 out.push((u, v));
             }
@@ -77,15 +77,16 @@ pub struct EdgeIndexer {
 
 impl EdgeIndexer {
     /// Build the indexer for `g`.
-    pub fn new(g: &Graph) -> Self {
+    pub fn new<S: GraphStorage>(g: &S) -> Self {
         let n = g.num_vertices();
         let mut base = Vec::with_capacity(n + 1);
         let mut acc = 0usize;
         for u in 0..n as u32 {
             base.push(acc);
-            let nbrs = g.neighbors(u);
-            let split = nbrs.partition_point(|&v| v <= u);
-            acc += nbrs.len() - split;
+            // neighbor lists are sorted, so the canonical (u < v) suffix
+            // is everything after the last v <= u
+            let split = g.neighbors(u).take_while(|&v| v <= u).count();
+            acc += g.degree(u) - split;
         }
         base.push(acc);
         Self { base }
@@ -102,26 +103,26 @@ impl EdgeIndexer {
     }
 
     /// Canonical index of edge `{u, v}` (must exist in `g`).
-    pub fn id(&self, g: &Graph, u: VertexId, v: VertexId) -> usize {
+    pub fn id<S: GraphStorage>(&self, g: &S, u: VertexId, v: VertexId) -> usize {
         let (a, b) = if u < v { (u, v) } else { (v, u) };
-        let nbrs = g.neighbors(a);
-        let split = nbrs.partition_point(|&x| x <= a);
-        let pos = nbrs[split..]
-            .binary_search(&b)
+        // split = neighbors of `a` that precede its canonical suffix
+        let split = g.degree(a) - (self.base[a as usize + 1] - self.base[a as usize]);
+        let pos = g
+            .neighbor_position(a, b)
             .expect("edge must exist in canonical list");
-        self.base[a as usize] + pos
+        self.base[a as usize] + (pos - split)
     }
 }
 
 /// Articulation points derived from an edge labeling: `v` is an
 /// articulation point iff its incident edges span at least two BCCs.
-pub fn articulation_points(g: &Graph, edge_labels: &[u32]) -> Vec<bool> {
+pub fn articulation_points<S: GraphStorage>(g: &S, edge_labels: &[u32]) -> Vec<bool> {
     let idx = EdgeIndexer::new(g);
     let n = g.num_vertices();
     let mut out = vec![false; n];
     for v in 0..n as u32 {
         let mut seen: Option<u32> = None;
-        for &w in g.neighbors(v) {
+        for w in g.neighbors(v) {
             let l = edge_labels[idx.id(g, v, w)];
             match seen {
                 None => seen = Some(l),

@@ -17,7 +17,7 @@ use super::BccResult;
 use crate::cc::spanning_forest;
 use crate::common::AlgoStats;
 use pasgal_collections::union_find::ConcurrentUnionFind;
-use pasgal_graph::csr::Graph;
+use pasgal_graph::storage::GraphStorage;
 use pasgal_graph::VertexId;
 use pasgal_parlay::counters::Counters;
 use rayon::prelude::*;
@@ -44,8 +44,8 @@ impl std::fmt::Display for SpaceBudgetExceeded {
 impl std::error::Error for SpaceBudgetExceeded {}
 
 /// Tarjan-Vishkin BCC with an auxiliary-space budget (bytes).
-pub fn bcc_tarjan_vishkin_budgeted(
-    g: &Graph,
+pub fn bcc_tarjan_vishkin_budgeted<S: GraphStorage>(
+    g: &S,
     budget_bytes: usize,
 ) -> Result<BccResult, SpaceBudgetExceeded> {
     assert!(g.is_symmetric(), "BCC requires an undirected graph");
@@ -87,15 +87,14 @@ pub fn bcc_tarjan_vishkin_budgeted(
     let tour_ref = &tour;
     aux_edges.par_extend((0..n as u32).into_par_iter().flat_map_iter(move |u| {
         g.neighbors(u)
-            .iter()
-            .filter(move |&&v| {
+            .filter(move |&v| {
                 u < v
                     && tour_ref.parent[u as usize] != v
                     && tour_ref.parent[v as usize] != u
                     && !tour_ref.is_ancestor(u, v)
                     && !tour_ref.is_ancestor(v, u)
             })
-            .map(move |&v| (u, v))
+            .map(move |v| (u, v))
             .collect::<Vec<_>>()
             .into_iter()
     }));
@@ -119,7 +118,7 @@ pub fn bcc_tarjan_vishkin_budgeted(
 }
 
 /// Tarjan-Vishkin BCC with an unlimited budget.
-pub fn bcc_tarjan_vishkin(g: &Graph) -> BccResult {
+pub fn bcc_tarjan_vishkin<S: GraphStorage>(g: &S) -> BccResult {
     bcc_tarjan_vishkin_budgeted(g, usize::MAX).expect("unlimited budget")
 }
 
@@ -129,6 +128,7 @@ mod tests {
     use crate::bcc::hopcroft_tarjan::bcc_hopcroft_tarjan;
     use crate::common::canonicalize_labels;
     use pasgal_graph::builder::from_edges_symmetric;
+    use pasgal_graph::csr::Graph;
     use pasgal_graph::gen::basic::{cycle, grid2d, path, random_directed, star};
     use pasgal_graph::transform::symmetrize;
 

@@ -21,7 +21,7 @@ use crate::common::{BfsResult, CancelToken, Cancelled, UNREACHED};
 use crate::engine::{NoopObserver, RoundDriver, RoundObserver};
 use pasgal_collections::atomic_array::AtomicU32Array;
 use pasgal_collections::bitvec::AtomicBitVec;
-use pasgal_graph::csr::Graph;
+use pasgal_graph::storage::GraphStorage;
 use pasgal_graph::VertexId;
 use pasgal_parlay::pack::{filter_map_index, pack_index};
 use rayon::prelude::*;
@@ -48,10 +48,10 @@ impl Default for DirOptConfig {
 /// Flat frontier BFS. `incoming` supplies in-neighbors for dense rounds:
 /// pass `Some(&transpose)` for directed graphs, or `None` to (a) use `g`
 /// itself when symmetric or (b) disable dense rounds entirely.
-pub fn bfs_flat(
-    g: &Graph,
+pub fn bfs_flat<S: GraphStorage>(
+    g: &S,
     src: VertexId,
-    incoming: Option<&Graph>,
+    incoming: Option<&S>,
     cfg: &DirOptConfig,
 ) -> BfsResult {
     bfs_flat_observed(g, src, incoming, cfg, &CancelToken::new(), &NoopObserver)
@@ -61,10 +61,10 @@ pub fn bfs_flat(
 /// [`bfs_flat`] with cancellation and per-round observation: one
 /// [`crate::engine::RoundEvent`] per hop level, so the trace directly
 /// exhibits the `Ω(D)` round count the paper attacks.
-pub fn bfs_flat_observed(
-    g: &Graph,
+pub fn bfs_flat_observed<S: GraphStorage>(
+    g: &S,
     src: VertexId,
-    incoming: Option<&Graph>,
+    incoming: Option<&S>,
     cfg: &DirOptConfig,
     cancel: &CancelToken,
     observer: &dyn RoundObserver,
@@ -75,7 +75,7 @@ pub fn bfs_flat_observed(
     let dist = AtomicU32Array::new(n, UNREACHED);
     dist.set(src as usize, 0);
 
-    let gin: Option<&Graph> = incoming.or(if g.is_symmetric() { Some(g) } else { None });
+    let gin: Option<&S> = incoming.or(if g.is_symmetric() { Some(g) } else { None });
 
     let mut level: u32 = 0;
     let mut dense_mode = false;
@@ -113,7 +113,7 @@ pub fn bfs_flat_observed(
                         if dist.get(v) != UNREACHED {
                             return;
                         }
-                        for &u in gin.neighbors(v as u32) {
+                        for u in gin.neighbors(v as u32) {
                             counters.add_edges(1);
                             if in_frontier.get(u as usize) {
                                 dist.set(v, next_level);
@@ -136,9 +136,7 @@ pub fn bfs_flat_observed(
                         counters.add_tasks(1);
                         counters.add_edges(g.degree(u) as u64);
                         g.neighbors(u)
-                            .iter()
-                            .filter(|&&v| dist.cas(v as usize, UNREACHED, next_level))
-                            .copied()
+                            .filter(|&v| dist.cas(v as usize, UNREACHED, next_level))
                             .collect::<Vec<_>>()
                             .into_iter()
                     })

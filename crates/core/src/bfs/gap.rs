@@ -10,7 +10,7 @@
 
 use crate::bfs::flat::{bfs_flat, DirOptConfig};
 use crate::common::BfsResult;
-use pasgal_graph::csr::Graph;
+use pasgal_graph::storage::GraphStorage;
 use pasgal_graph::VertexId;
 
 /// GAPBS's published thresholds.
@@ -22,7 +22,7 @@ pub fn gap_config() -> DirOptConfig {
 }
 
 /// GAPBS-style BFS (direction optimizing, bitmap dense phase).
-pub fn bfs_gap(g: &Graph, src: VertexId, incoming: Option<&Graph>) -> BfsResult {
+pub fn bfs_gap<S: GraphStorage>(g: &S, src: VertexId, incoming: Option<&S>) -> BfsResult {
     bfs_flat(g, src, incoming, &gap_config())
 }
 

@@ -2,12 +2,12 @@
 //! ("a queue-based solution", Table 4 `Queue-based*`).
 
 use crate::common::{AlgoStats, BfsResult, HopDist, UNREACHED};
-use pasgal_graph::csr::Graph;
+use pasgal_graph::storage::GraphStorage;
 use pasgal_graph::VertexId;
 use std::collections::VecDeque;
 
 /// Standard sequential BFS from `src`.
-pub fn bfs_seq(g: &Graph, src: VertexId) -> BfsResult {
+pub fn bfs_seq<S: GraphStorage>(g: &S, src: VertexId) -> BfsResult {
     let n = g.num_vertices();
     let mut dist = vec![UNREACHED; n];
     let mut q = VecDeque::with_capacity(1024);
@@ -16,7 +16,7 @@ pub fn bfs_seq(g: &Graph, src: VertexId) -> BfsResult {
     let mut edges = 0u64;
     while let Some(u) = q.pop_front() {
         let du = dist[u as usize];
-        for &v in g.neighbors(u) {
+        for v in g.neighbors(u) {
             edges += 1;
             if dist[v as usize] == UNREACHED {
                 dist[v as usize] = du + 1;

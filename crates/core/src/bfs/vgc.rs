@@ -46,7 +46,7 @@ use crate::vgc::{frontier_chunk_len, local_search_fifo_multi, TauController};
 use crate::workspace::TraversalWorkspace;
 use pasgal_collections::atomic_array::AtomicU32Array;
 use pasgal_collections::hashbag::HashBag;
-use pasgal_graph::csr::Graph;
+use pasgal_graph::storage::GraphStorage;
 use pasgal_graph::VertexId;
 use pasgal_parlay::counters::Counters;
 use pasgal_parlay::gran::{par_blocks, par_for, par_slices};
@@ -81,17 +81,17 @@ fn unpack(e: u64) -> (VertexId, u32) {
 
 /// PASGAL BFS from `src` (sparse VGC rounds only; direction optimization
 /// disabled). See [`bfs_vgc_dir`] for the full hybrid.
-pub fn bfs_vgc(g: &Graph, src: VertexId, cfg: &VgcConfig) -> BfsResult {
+pub fn bfs_vgc<S: GraphStorage>(g: &S, src: VertexId, cfg: &VgcConfig) -> BfsResult {
     bfs_vgc_dir(g, src, None, cfg)
 }
 
 /// PASGAL BFS with direction optimization. `incoming` supplies
 /// in-neighbors for dense rounds (`None`: use `g` when symmetric, else
 /// stay sparse).
-pub fn bfs_vgc_dir(
-    g: &Graph,
+pub fn bfs_vgc_dir<S: GraphStorage>(
+    g: &S,
     src: VertexId,
-    incoming: Option<&Graph>,
+    incoming: Option<&S>,
     cfg: &VgcConfig,
 ) -> BfsResult {
     bfs_vgc_dir_cancel(g, src, incoming, cfg, &CancelToken::new())
@@ -99,8 +99,8 @@ pub fn bfs_vgc_dir(
 }
 
 /// Cancellable [`bfs_vgc`]: stops within one round of `cancel` firing.
-pub fn bfs_vgc_cancel(
-    g: &Graph,
+pub fn bfs_vgc_cancel<S: GraphStorage>(
+    g: &S,
     src: VertexId,
     cfg: &VgcConfig,
     cancel: &CancelToken,
@@ -111,10 +111,10 @@ pub fn bfs_vgc_cancel(
 /// Cancellable [`bfs_vgc_dir`]. The token is polled once per round and
 /// once per frontier task; a fired token aborts the traversal and
 /// returns `Err(Cancelled)` without finishing the round's spills.
-pub fn bfs_vgc_dir_cancel(
-    g: &Graph,
+pub fn bfs_vgc_dir_cancel<S: GraphStorage>(
+    g: &S,
     src: VertexId,
-    incoming: Option<&Graph>,
+    incoming: Option<&S>,
     cfg: &VgcConfig,
     cancel: &CancelToken,
 ) -> Result<BfsResult, Cancelled> {
@@ -123,10 +123,10 @@ pub fn bfs_vgc_dir_cancel(
 
 /// [`bfs_vgc_dir`] with per-round observation: one
 /// [`crate::engine::RoundEvent`] per processed window (dense or sparse).
-pub fn bfs_vgc_dir_observed(
-    g: &Graph,
+pub fn bfs_vgc_dir_observed<S: GraphStorage>(
+    g: &S,
     src: VertexId,
-    incoming: Option<&Graph>,
+    incoming: Option<&S>,
     cfg: &VgcConfig,
     cancel: &CancelToken,
     observer: &dyn RoundObserver,
@@ -146,10 +146,10 @@ pub fn bfs_vgc_dir_observed(
 /// performs no heap allocation. All workspace state is re-prepared at
 /// entry, so a workspace abandoned by a cancelled or panicked run is
 /// safe to reuse.
-pub fn bfs_vgc_dir_observed_in(
-    g: &Graph,
+pub fn bfs_vgc_dir_observed_in<S: GraphStorage>(
+    g: &S,
     src: VertexId,
-    incoming: Option<&Graph>,
+    incoming: Option<&S>,
     cfg: &VgcConfig,
     cancel: &CancelToken,
     observer: &dyn RoundObserver,
@@ -191,7 +191,7 @@ pub fn bfs_vgc_dir_observed_in(
     let bags: &[HashBag] = bags;
 
     dist.set(src as usize, 0);
-    let gin: Option<&Graph> = incoming.or(if g.is_symmetric() { Some(g) } else { None });
+    let gin: Option<&S> = incoming.or(if g.is_symmetric() { Some(g) } else { None });
 
     // Bootstrap: treat the source as a pending entry of bag 0.
     bags[0].insert(src);
@@ -222,23 +222,32 @@ pub fn bfs_vgc_dir_observed_in(
                 if processed > n / DENSE_DIVISOR {
                     let next_level = d_min + 1;
                     let scanned = Counters::new();
-                    par_for(n, 512, |v| {
-                        if dist.get(v) <= next_level {
-                            return;
-                        }
-                        for &u in gin.neighbors(v as u32) {
-                            scanned.add_edges(1);
-                            if dist.get(u as usize) == d_min {
-                                if dist.write_min(v, next_level) {
-                                    // exactly one task wins the write_min
-                                    // for v this round, so inserting here
-                                    // adds no duplicates — no bit-vector
-                                    // or pack pass needed
-                                    bags[0].insert(v as u32);
+                    // One sequential adjacency cursor per block: byte-
+                    // stream backends step over already-reached vertices
+                    // in O(1) instead of re-seeking through their sampled
+                    // index for every vertex of the graph.
+                    par_blocks(n, 512, |lo, hi| {
+                        gin.scan_range(
+                            lo as u32,
+                            hi as u32,
+                            |v| dist.get(v as usize) > next_level,
+                            |v, neigh| {
+                                for u in neigh {
+                                    scanned.add_edges(1);
+                                    if dist.get(u as usize) == d_min {
+                                        if dist.write_min(v as usize, next_level) {
+                                            // exactly one task wins the
+                                            // write_min for v this round, so
+                                            // inserting here adds no
+                                            // duplicates — no bit-vector or
+                                            // pack pass needed
+                                            bags[0].insert(v);
+                                        }
+                                        break;
+                                    }
                                 }
-                                return;
-                            }
-                        }
+                            },
+                        );
                     });
                     counters.add_tasks(processed as u64);
                     counters.add_edges(scanned.edges());
@@ -371,6 +380,7 @@ mod tests {
     use super::*;
     use crate::bfs::seq::bfs_seq;
     use pasgal_graph::builder::from_edges;
+    use pasgal_graph::csr::Graph;
     use pasgal_graph::gen::basic::{
         clique, grid2d, grid2d_directed, path, path_directed, random_directed, star,
     };

@@ -11,7 +11,7 @@ use crate::common::{AlgoStats, CancelToken, Cancelled};
 use crate::engine::{NoopObserver, RoundDriver, RoundObserver};
 use crate::workspace::TraversalWorkspace;
 use pasgal_collections::union_find::ConcurrentUnionFind;
-use pasgal_graph::csr::Graph;
+use pasgal_graph::storage::GraphStorage;
 use pasgal_graph::VertexId;
 use pasgal_parlay::gran::par_blocks;
 use rayon::prelude::*;
@@ -38,21 +38,24 @@ pub struct SpanningForest {
 
 /// Parallel connected components via concurrent union-find. Treats the
 /// graph as undirected (every stored arc unites its endpoints).
-pub fn connectivity(g: &Graph) -> CcResult {
+pub fn connectivity<S: GraphStorage>(g: &S) -> CcResult {
     connectivity_cancel(g, &CancelToken::new()).expect("fresh token cannot cancel")
 }
 
 /// Cancellable [`connectivity`]: the single edge sweep polls the token
 /// per vertex task (a few hundred edges), so cancellation lands within
 /// one round by construction.
-pub fn connectivity_cancel(g: &Graph, cancel: &CancelToken) -> Result<CcResult, Cancelled> {
+pub fn connectivity_cancel<S: GraphStorage>(
+    g: &S,
+    cancel: &CancelToken,
+) -> Result<CcResult, Cancelled> {
     connectivity_observed(g, cancel, &NoopObserver)
 }
 
 /// [`connectivity`] with per-round observation: the whole edge sweep is
 /// one round, so exactly one [`crate::engine::RoundEvent`] is emitted.
-pub fn connectivity_observed(
-    g: &Graph,
+pub fn connectivity_observed<S: GraphStorage>(
+    g: &S,
     cancel: &CancelToken,
     observer: &dyn RoundObserver,
 ) -> Result<CcResult, Cancelled> {
@@ -65,8 +68,8 @@ pub fn connectivity_observed(
 /// freshly allocated and handed to the caller — but the O(n) union-find
 /// scratch is pooled, so a warm run allocates only its output. State is
 /// re-prepared at entry, so an abandoned workspace is safe to reuse.
-pub fn connectivity_observed_in(
-    g: &Graph,
+pub fn connectivity_observed_in<S: GraphStorage>(
+    g: &S,
     cancel: &CancelToken,
     observer: &dyn RoundObserver,
     ws: &mut TraversalWorkspace,
@@ -85,7 +88,7 @@ pub fn connectivity_observed_in(
             }
             for u in lo as u32..hi as u32 {
                 counters.add_tasks(1);
-                for &v in g.neighbors(u) {
+                for v in g.neighbors(u) {
                     counters.add_edges(1);
                     uf.unite(u, v);
                 }
@@ -106,7 +109,7 @@ pub fn connectivity_observed_in(
 /// baseline, and what the service's degraded mode runs when the parallel
 /// path is misbehaving. Produces the same smallest-member labeling as
 /// [`connectivity`].
-pub fn connectivity_seq(g: &Graph) -> CcResult {
+pub fn connectivity_seq<S: GraphStorage>(g: &S) -> CcResult {
     let n = g.num_vertices();
     let mut parent: Vec<u32> = (0..n as u32).collect();
     fn find(parent: &mut [u32], mut v: u32) -> u32 {
@@ -118,7 +121,7 @@ pub fn connectivity_seq(g: &Graph) -> CcResult {
     }
     let mut edges = 0u64;
     for u in 0..n as u32 {
-        for &v in g.neighbors(u) {
+        for v in g.neighbors(u) {
             edges += 1;
             let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
             if ru != rv {
@@ -156,7 +159,7 @@ pub fn connectivity_seq(g: &Graph) -> CcResult {
 /// race). Deterministic *as a forest* (it spans), not as a specific edge
 /// set under true concurrency — callers must not rely on which edge of a
 /// cycle wins.
-pub fn spanning_forest(g: &Graph) -> SpanningForest {
+pub fn spanning_forest<S: GraphStorage>(g: &S) -> SpanningForest {
     let n = g.num_vertices();
     let uf = ConcurrentUnionFind::new(n);
     let edges: Vec<(VertexId, VertexId)> = (0..n as u32)
@@ -165,12 +168,11 @@ pub fn spanning_forest(g: &Graph) -> SpanningForest {
         .flat_map_iter(|u| {
             let uf = &uf;
             g.neighbors(u)
-                .iter()
-                .filter(move |&&v| {
+                .filter(move |&v| {
                     // skip one direction of symmetric pairs cheaply
                     (u < v || !g.has_edge(v, u)) && uf.unite(u, v)
                 })
-                .map(move |&v| (u, v))
+                .map(move |v| (u, v))
                 .collect::<Vec<_>>()
                 .into_iter()
         })
@@ -185,6 +187,7 @@ pub fn spanning_forest(g: &Graph) -> SpanningForest {
 mod tests {
     use super::*;
     use pasgal_graph::builder::{from_edges, from_edges_symmetric};
+    use pasgal_graph::csr::Graph;
     use pasgal_graph::gen::basic::{clique, cycle, grid2d, path};
 
     #[test]

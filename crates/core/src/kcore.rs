@@ -31,7 +31,7 @@ use crate::common::{AlgoStats, CancelToken, Cancelled};
 use crate::engine::{NoopObserver, RoundDriver, RoundObserver};
 use crate::vgc::with_fifo_scratch;
 use crate::workspace::TraversalWorkspace;
-use pasgal_graph::csr::Graph;
+use pasgal_graph::storage::GraphStorage;
 use pasgal_graph::VertexId;
 use pasgal_parlay::gran::{par_blocks, par_for, par_slices};
 use pasgal_parlay::pack::filter_map_index_into;
@@ -49,7 +49,7 @@ pub struct KcoreResult {
 }
 
 /// Sequential Batagelj–Zaveršnik k-core (bucket peeling).
-pub fn kcore_seq(g: &Graph) -> KcoreResult {
+pub fn kcore_seq<S: GraphStorage>(g: &S) -> KcoreResult {
     assert!(g.is_symmetric(), "k-core requires an undirected graph");
     let n = g.num_vertices();
     let mut degree: Vec<u32> = (0..n as u32).map(|v| g.degree(v) as u32).collect();
@@ -81,7 +81,7 @@ pub fn kcore_seq(g: &Graph) -> KcoreResult {
         let v = order[i];
         let dv = degree[v as usize];
         coreness[v as usize] = dv;
-        for &w in g.neighbors(v) {
+        for w in g.neighbors(v) {
             edges += 1;
             if degree[w as usize] > dv {
                 // move w one bucket down: swap with the first element of
@@ -112,15 +112,15 @@ pub fn kcore_seq(g: &Graph) -> KcoreResult {
 }
 
 /// Parallel peeling k-core with VGC-style cascade processing.
-pub fn kcore_peel(g: &Graph, tau: usize) -> KcoreResult {
+pub fn kcore_peel<S: GraphStorage>(g: &S, tau: usize) -> KcoreResult {
     kcore_peel_cancel(g, tau, &CancelToken::new()).expect("fresh token cannot cancel")
 }
 
 /// Cancellable [`kcore_peel`]: the token is polled per level and per
 /// cascade round; a fired token drains the bag and returns
 /// `Err(Cancelled)` within one round.
-pub fn kcore_peel_cancel(
-    g: &Graph,
+pub fn kcore_peel_cancel<S: GraphStorage>(
+    g: &S,
     tau: usize,
     cancel: &CancelToken,
 ) -> Result<KcoreResult, Cancelled> {
@@ -130,8 +130,8 @@ pub fn kcore_peel_cancel(
 /// [`kcore_peel`] with per-round observation: one
 /// [`crate::engine::RoundEvent`] per cascade round (level transitions do
 /// not emit events of their own).
-pub fn kcore_peel_observed(
-    g: &Graph,
+pub fn kcore_peel_observed<S: GraphStorage>(
+    g: &S,
     tau: usize,
     cancel: &CancelToken,
     observer: &dyn RoundObserver,
@@ -154,8 +154,8 @@ pub fn kcore_peel_observed(
 /// allocation — the degree array, frontier vector, per-task cascade
 /// queues and the bag are all recycled. State is re-prepared at entry, so
 /// an abandoned workspace is safe to reuse.
-pub fn kcore_peel_observed_in(
-    g: &Graph,
+pub fn kcore_peel_observed_in<S: GraphStorage>(
+    g: &S,
     tau: usize,
     cancel: &CancelToken,
     observer: &dyn RoundObserver,
@@ -240,7 +240,7 @@ pub fn kcore_peel_observed_in(
                             bag.insert(u);
                             continue;
                         }
-                        for &w in g.neighbors(u) {
+                        for w in g.neighbors(u) {
                             edges += 1;
                             if coreness.get(w as usize) != u32::MAX {
                                 continue;
@@ -274,6 +274,7 @@ pub fn kcore_peel_observed_in(
 mod tests {
     use super::*;
     use pasgal_graph::builder::from_edges_symmetric;
+    use pasgal_graph::csr::Graph;
     use pasgal_graph::gen::basic::{clique, cycle, grid2d, path, random_directed, star};
     use pasgal_graph::gen::rmat::{rmat_undirected, RmatParams};
     use pasgal_graph::transform::symmetrize;

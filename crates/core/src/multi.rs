@@ -48,7 +48,7 @@ use crate::common::{AlgoStats, CancelToken, Cancelled, HopDist, UNREACHED};
 use crate::engine::{NoopObserver, RoundDriver, RoundObserver};
 use crate::vgc::frontier_chunk_len;
 use crate::workspace::TraversalWorkspace;
-use pasgal_graph::csr::Graph;
+use pasgal_graph::storage::GraphStorage;
 use pasgal_graph::VertexId;
 use pasgal_parlay::gran::{par_for, par_slices};
 use std::sync::Arc;
@@ -81,13 +81,13 @@ pub struct MultiBfsResult {
 ///
 /// If `sources` is empty, longer than [`MAX_SOURCES`], or names a vertex
 /// out of range.
-pub fn multi_bfs(g: &Graph, sources: &[VertexId]) -> MultiBfsResult {
+pub fn multi_bfs<S: GraphStorage>(g: &S, sources: &[VertexId]) -> MultiBfsResult {
     multi_bfs_cancel(g, sources, &CancelToken::new()).expect("fresh token cannot cancel")
 }
 
 /// Cancellable [`multi_bfs`]: stops within one round of `cancel` firing.
-pub fn multi_bfs_cancel(
-    g: &Graph,
+pub fn multi_bfs_cancel<S: GraphStorage>(
+    g: &S,
     sources: &[VertexId],
     cancel: &CancelToken,
 ) -> Result<MultiBfsResult, Cancelled> {
@@ -105,8 +105,8 @@ pub fn multi_bfs_cancel(
 /// [`TraversalWorkspace::take_multi_dist`]). All state is re-prepared up
 /// front, so a workspace abandoned by a panicked or cancelled run is safe
 /// to reuse; a warm call allocates nothing.
-pub fn multi_bfs_observed_in(
-    g: &Graph,
+pub fn multi_bfs_observed_in<S: GraphStorage>(
+    g: &S,
     sources: &[VertexId],
     cancel: &CancelToken,
     observer: &dyn RoundObserver,
@@ -208,9 +208,8 @@ pub fn multi_bfs_observed_in(
                 if payload[..w].iter().all(|&b| b == 0) {
                     continue;
                 }
-                let nbrs = g.neighbors(v);
-                edges += nbrs.len() as u64;
-                for &u in nbrs {
+                edges += g.degree(v) as u64;
+                for u in g.neighbors(v) {
                     let ui = u as usize;
                     let mut discovered = false;
                     for (j, &bits) in payload.iter().enumerate().take(w) {
@@ -281,7 +280,7 @@ impl DistanceOracle {
 
     /// Run one multi-source flight over a fresh workspace and freeze its
     /// columns.
-    pub fn build(g: &Graph, sources: &[VertexId]) -> (Self, AlgoStats) {
+    pub fn build<S: GraphStorage>(g: &S, sources: &[VertexId]) -> (Self, AlgoStats) {
         let r = multi_bfs(g, sources);
         (
             Self::from_columns(g.num_vertices(), sources.to_vec(), Arc::new(r.dist)),
@@ -291,7 +290,7 @@ impl DistanceOracle {
 
     /// The all-pairs oracle of a small graph (`1 ≤ n ≤` [`MAX_SOURCES`]):
     /// every vertex is a source, so *every* distance query is a lookup.
-    pub fn all_pairs(g: &Graph) -> (Self, AlgoStats) {
+    pub fn all_pairs<S: GraphStorage>(g: &S) -> (Self, AlgoStats) {
         let n = g.num_vertices();
         assert!(
             (1..=MAX_SOURCES).contains(&n),
@@ -349,6 +348,7 @@ impl DistanceOracle {
 mod tests {
     use super::*;
     use crate::bfs::seq::bfs_seq;
+    use pasgal_graph::csr::Graph;
     use pasgal_graph::gen::basic::{cycle, grid2d};
     use pasgal_graph::gen::rmat::{rmat_directed, rmat_undirected, RmatParams};
 

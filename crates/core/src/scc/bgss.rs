@@ -28,7 +28,7 @@ use crate::scc::reach::ReachEngine;
 use pasgal_collections::atomic_array::AtomicU32Array;
 use pasgal_collections::hashbag::HashBag64;
 use pasgal_collections::u64set::ConcurrentU64Set;
-use pasgal_graph::csr::Graph;
+use pasgal_graph::storage::GraphStorage;
 use pasgal_graph::transform::transpose;
 use pasgal_graph::VertexId;
 use pasgal_parlay::counters::Counters;
@@ -49,15 +49,15 @@ fn unpack(p: u64) -> (VertexId, u32) {
     ((p >> 32) as u32, p as u32)
 }
 
-struct BgssState<'g> {
-    g: &'g Graph,
+struct BgssState<'g, S: GraphStorage> {
+    g: &'g S,
     scc_id: AtomicU32Array,
     part: AtomicU32Array,
     counters: Counters,
     engine: ReachEngine,
 }
 
-impl<'g> BgssState<'g> {
+impl<'g, S: GraphStorage> BgssState<'g, S> {
     fn live(&self, v: VertexId) -> bool {
         self.scc_id.get(v as usize) == UNFINISHED
     }
@@ -65,7 +65,12 @@ impl<'g> BgssState<'g> {
     /// Multi-source pair search from `centers` over `dir`. `center_part`
     /// gives each center's partition; a pair `(v, i)` expands only through
     /// live vertices of partition `center_part[i]`. Returns all pairs.
-    fn multi_search(&self, dir: &Graph, centers: &[VertexId], center_part: &[u32]) -> Vec<u64> {
+    fn multi_search<D: GraphStorage>(
+        &self,
+        dir: &D,
+        centers: &[VertexId],
+        center_part: &[u32],
+    ) -> Vec<u64> {
         // Capacity guessing with restart-on-overflow: pair counts are
         // expected O(live) per batch (the BGSS bound), but adversarial
         // inputs can exceed any guess; a retry with doubled capacity keeps
@@ -79,9 +84,9 @@ impl<'g> BgssState<'g> {
         }
     }
 
-    fn try_multi_search(
+    fn try_multi_search<D: GraphStorage>(
         &self,
-        dir: &Graph,
+        dir: &D,
         centers: &[VertexId],
         center_part: &[u32],
         cap: usize,
@@ -124,9 +129,8 @@ impl<'g> BgssState<'g> {
                                 return Vec::new().into_iter();
                             }
                             dir.neighbors(v)
-                                .iter()
-                                .filter(|&&w| try_claim(w, i))
-                                .map(|&w| pack(w, i))
+                                .filter(|&w| try_claim(w, i))
+                                .map(|w| pack(w, i))
                                 .collect::<Vec<_>>()
                                 .into_iter()
                         })
@@ -155,7 +159,7 @@ impl<'g> BgssState<'g> {
                                 bag.insert(p);
                                 continue;
                             }
-                            for &w in dir.neighbors(v) {
+                            for w in dir.neighbors(v) {
                                 edges += 1;
                                 if try_claim(w, i) {
                                     stack.push(pack(w, i));
@@ -192,7 +196,12 @@ fn group_pairs(pairs: Vec<u64>) -> HashMap<VertexId, Vec<u32>> {
 }
 
 /// BGSS SCC with an explicit engine and precomputed transpose.
-pub fn scc_bgss(g: &Graph, gt: &Graph, engine: ReachEngine, seed: u64) -> SccResult {
+pub fn scc_bgss<S: GraphStorage, T: GraphStorage>(
+    g: &S,
+    gt: &T,
+    engine: ReachEngine,
+    seed: u64,
+) -> SccResult {
     let n = g.num_vertices();
     assert_eq!(gt.num_vertices(), n);
     let state = BgssState {
@@ -214,8 +223,8 @@ pub fn scc_bgss(g: &Graph, gt: &Graph, engine: ReachEngine, seed: u64) -> SccRes
                 if !state.live(v) {
                     return 0;
                 }
-                let has_out = g.neighbors(v).iter().any(|&u| u != v && state.live(u));
-                let has_in = has_out && gt.neighbors(v).iter().any(|&u| u != v && state.live(u));
+                let has_out = g.neighbors(v).any(|u| u != v && state.live(u));
+                let has_in = has_out && gt.neighbors(v).any(|u| u != v && state.live(u));
                 if !has_in {
                     state.scc_id.set(v as usize, v);
                     1
@@ -327,14 +336,14 @@ pub fn scc_bgss(g: &Graph, gt: &Graph, engine: ReachEngine, seed: u64) -> SccRes
 }
 
 /// GBBS's SCC: BGSS with strict BFS-order pair expansion.
-pub fn scc_bgss_bfs(g: &Graph) -> SccResult {
+pub fn scc_bgss_bfs<S: GraphStorage>(g: &S) -> SccResult {
     let gt = transpose(g);
     scc_bgss(g, &gt, ReachEngine::BfsOrder, 0x6bb5)
 }
 
 /// Wang et al. / PASGAL SCC: BGSS with VGC local searches over pairs and
 /// hash-bag spill buffers.
-pub fn scc_bgss_vgc(g: &Graph, cfg: &VgcConfig) -> SccResult {
+pub fn scc_bgss_vgc<S: GraphStorage>(g: &S, cfg: &VgcConfig) -> SccResult {
     let gt = transpose(g);
     scc_bgss(g, &gt, ReachEngine::Vgc(*cfg), 0x6bb5)
 }
@@ -345,6 +354,7 @@ mod tests {
     use crate::common::canonicalize_labels;
     use crate::scc::tarjan::scc_tarjan;
     use pasgal_graph::builder::from_edges;
+    use pasgal_graph::csr::Graph;
     use pasgal_graph::gen::basic::{
         cycle_directed, grid2d_directed, path_directed, random_directed,
     };

@@ -39,7 +39,7 @@ use crate::vgc::{frontier_chunk_len, local_search_multi};
 use crate::workspace::{BagPool, BufPool, TraversalWorkspace};
 use pasgal_collections::atomic_array::AtomicU32Array;
 use pasgal_collections::epoch::EpochMarks;
-use pasgal_graph::csr::Graph;
+use pasgal_graph::storage::GraphStorage;
 use pasgal_graph::transform::transpose;
 use pasgal_graph::VertexId;
 use pasgal_parlay::gran::{par_for, par_for_each_mut, par_slices};
@@ -53,9 +53,9 @@ const UNLABELED: u32 = u32::MAX;
 /// vertex lists are recycled through the workspace's buffer pool.
 type Subproblem = (u32, Vec<VertexId>);
 
-struct State<'g> {
-    g: &'g Graph,
-    gt: &'g Graph,
+struct State<'g, S: GraphStorage, T: GraphStorage> {
+    g: &'g S,
+    gt: &'g T,
     labels: &'g AtomicU32Array,
     part: &'g AtomicU32Array,
     fwd_mark: &'g EpochMarks,
@@ -68,7 +68,7 @@ struct State<'g> {
     frontier_pool: &'g BufPool,
 }
 
-impl State<'_> {
+impl<S: GraphStorage, T: GraphStorage> State<'_, S, T> {
     fn live(&self, v: VertexId) -> bool {
         self.labels.get(v as usize) == UNLABELED
     }
@@ -78,7 +78,7 @@ impl State<'_> {
     /// restricted to live vertices of partition `p`. Stale marks from
     /// ancestor partitions (or earlier runs) are overwritten by the
     /// epoch-stamped claim.
-    fn search(&self, dir: &Graph, pivot: VertexId, mark: &EpochMarks, p: u32) {
+    fn search<D: GraphStorage>(&self, dir: &D, pivot: VertexId, mark: &EpochMarks, p: u32) {
         let try_claim = |v: VertexId| -> bool {
             self.part.get(v as usize) == p && self.live(v) && mark.try_claim(v as usize, p)
         };
@@ -101,9 +101,7 @@ impl State<'_> {
                                 counters.add_tasks(1);
                                 counters.add_edges(dir.degree(u) as u64);
                                 dir.neighbors(u)
-                                    .iter()
-                                    .filter(|&&v| try_claim(v))
-                                    .copied()
+                                    .filter(|&v| try_claim(v))
                                     .collect::<Vec<_>>()
                                     .into_iter()
                             })
@@ -165,8 +163,8 @@ impl State<'_> {
                 let v = verts[i];
                 let in_part_live =
                     |u: VertexId| u != v && self.part.get(u as usize) == p && self.live(u);
-                let has_out = self.g.neighbors(v).iter().any(|&u| in_part_live(u));
-                let has_in = has_out && self.gt.neighbors(v).iter().any(|&u| in_part_live(u));
+                let has_out = self.g.neighbors(v).any(&in_part_live);
+                let has_in = has_out && self.gt.neighbors(v).any(in_part_live);
                 if !has_in {
                     // no live in- or out-neighbor in this partition ⇒
                     // nothing can both reach and be reached by v here ⇒
@@ -240,16 +238,16 @@ impl State<'_> {
 }
 
 /// FW-BW SCC with an explicit engine and a precomputed transpose.
-pub fn scc_fwbw(g: &Graph, gt: &Graph, engine: ReachEngine) -> SccResult {
+pub fn scc_fwbw<S: GraphStorage, T: GraphStorage>(g: &S, gt: &T, engine: ReachEngine) -> SccResult {
     scc_fwbw_cancel(g, gt, engine, &CancelToken::new()).expect("fresh token cannot cancel")
 }
 
 /// Cancellable [`scc_fwbw`]: the token is polled at every decomposition
 /// round and every reachability round; a fired token abandons the
 /// remaining subproblems and returns `Err(Cancelled)`.
-pub fn scc_fwbw_cancel(
-    g: &Graph,
-    gt: &Graph,
+pub fn scc_fwbw_cancel<S: GraphStorage, T: GraphStorage>(
+    g: &S,
+    gt: &T,
     engine: ReachEngine,
     cancel: &CancelToken,
 ) -> Result<SccResult, Cancelled> {
@@ -260,9 +258,9 @@ pub fn scc_fwbw_cancel(
 /// sources — decomposition rounds, FW/BW phase boundaries, and the
 /// reachability searches' own rounds — and subproblems run concurrently,
 /// so per-event edge counts are approximate (see [`crate::engine`]).
-pub fn scc_fwbw_observed(
-    g: &Graph,
-    gt: &Graph,
+pub fn scc_fwbw_observed<S: GraphStorage, T: GraphStorage>(
+    g: &S,
+    gt: &T,
     engine: ReachEngine,
     cancel: &CancelToken,
     observer: &dyn RoundObserver,
@@ -284,9 +282,9 @@ pub fn scc_fwbw_observed(
 /// [`TraversalWorkspace::take_scc_labels`]) and a warm VGC run performs
 /// no heap allocation. State is re-prepared at entry, so an abandoned
 /// workspace is safe to reuse.
-pub fn scc_fwbw_observed_in(
-    g: &Graph,
-    gt: &Graph,
+pub fn scc_fwbw_observed_in<S: GraphStorage, T: GraphStorage>(
+    g: &S,
+    gt: &T,
     engine: ReachEngine,
     cancel: &CancelToken,
     observer: &dyn RoundObserver,
@@ -390,14 +388,14 @@ pub fn scc_fwbw_observed_in(
 
 /// PASGAL SCC: trim + FW-BW with **VGC** reachability and hash bags
 /// (computes the transpose internally).
-pub fn scc_vgc(g: &Graph, cfg: &VgcConfig) -> SccResult {
+pub fn scc_vgc<S: GraphStorage>(g: &S, cfg: &VgcConfig) -> SccResult {
     let gt = transpose(g);
     scc_fwbw(g, &gt, ReachEngine::Vgc(*cfg))
 }
 
 /// Cancellable [`scc_vgc`].
-pub fn scc_vgc_cancel(
-    g: &Graph,
+pub fn scc_vgc_cancel<S: GraphStorage>(
+    g: &S,
     cfg: &VgcConfig,
     cancel: &CancelToken,
 ) -> Result<SccResult, Cancelled> {
@@ -406,8 +404,8 @@ pub fn scc_vgc_cancel(
 }
 
 /// [`scc_vgc`] with per-round observation (transpose computed internally).
-pub fn scc_vgc_observed(
-    g: &Graph,
+pub fn scc_vgc_observed<S: GraphStorage>(
+    g: &S,
     cfg: &VgcConfig,
     cancel: &CancelToken,
     observer: &dyn RoundObserver,
@@ -420,8 +418,8 @@ pub fn scc_vgc_observed(
 /// computed per call — callers holding a resident graph should transpose
 /// once and use [`scc_fwbw_observed_in`] directly to keep the warm path
 /// allocation-free.
-pub fn scc_vgc_observed_in(
-    g: &Graph,
+pub fn scc_vgc_observed_in<S: GraphStorage>(
+    g: &S,
     cfg: &VgcConfig,
     cancel: &CancelToken,
     observer: &dyn RoundObserver,
@@ -433,7 +431,7 @@ pub fn scc_vgc_observed_in(
 
 /// GBBS-style baseline: identical decomposition, but every reachability
 /// search runs in strict BFS order (`Ω(D)` rounds per search).
-pub fn scc_bfs_based(g: &Graph) -> SccResult {
+pub fn scc_bfs_based<S: GraphStorage>(g: &S) -> SccResult {
     let gt = transpose(g);
     scc_fwbw(g, &gt, ReachEngine::BfsOrder)
 }
@@ -444,6 +442,7 @@ mod tests {
     use crate::common::canonicalize_labels;
     use crate::scc::tarjan::scc_tarjan;
     use pasgal_graph::builder::from_edges;
+    use pasgal_graph::csr::Graph;
     use pasgal_graph::gen::basic::{
         cycle_directed, grid2d_directed, path_directed, random_directed,
     };

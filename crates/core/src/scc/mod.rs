@@ -31,13 +31,14 @@ pub use multistep::scc_multistep;
 pub use tarjan::scc_tarjan;
 
 use pasgal_graph::csr::Graph;
+use pasgal_graph::storage::GraphStorage;
 use pasgal_graph::VertexId;
 
 /// Build the condensation DAG: one vertex per SCC, one edge per pair of
 /// adjacent distinct SCCs (deduplicated). Returns the DAG and the dense
 /// component id (`0..num_sccs`) of every original vertex, numbered by
 /// each component's smallest member.
-pub fn condensation(g: &Graph, labels: &[u32]) -> (Graph, Vec<u32>) {
+pub fn condensation<S: GraphStorage>(g: &S, labels: &[u32]) -> (Graph, Vec<u32>) {
     assert_eq!(labels.len(), g.num_vertices());
     let canon = crate::common::canonicalize_labels(labels);
     // dense ids ordered by representative (= smallest member id)
@@ -47,10 +48,12 @@ pub fn condensation(g: &Graph, labels: &[u32]) -> (Graph, Vec<u32>) {
     let dense = |l: u32| -> u32 { reps.binary_search(&l).expect("canonical label") as u32 };
     let comp: Vec<u32> = canon.iter().map(|&l| dense(l)).collect();
     let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
-    for (u, v) in g.edges() {
-        let (cu, cv) = (comp[u as usize], comp[v as usize]);
-        if cu != cv {
-            edges.push((cu, cv));
+    for u in 0..g.num_vertices() as u32 {
+        for v in g.neighbors(u) {
+            let (cu, cv) = (comp[u as usize], comp[v as usize]);
+            if cu != cv {
+                edges.push((cu, cv));
+            }
         }
     }
     let dag = pasgal_graph::builder::from_edges(reps.len(), &edges);

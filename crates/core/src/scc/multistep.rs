@@ -21,7 +21,7 @@ use crate::common::{AlgoStats, SccResult};
 use crate::scc::reach::{reach, ReachEngine};
 use pasgal_collections::atomic_array::AtomicU32Array;
 use pasgal_collections::bitvec::AtomicBitVec;
-use pasgal_graph::csr::Graph;
+use pasgal_graph::storage::GraphStorage;
 use pasgal_graph::transform::transpose;
 use pasgal_graph::VertexId;
 use pasgal_parlay::counters::Counters;
@@ -48,7 +48,7 @@ impl std::error::Error for Unsupported {}
 
 /// Multistep SCC. Fails (like the original, which is 32-bit-only) on
 /// graphs with more than [`MULTISTEP_MAX_VERTICES`] vertices.
-pub fn scc_multistep(g: &Graph) -> Result<SccResult, Unsupported> {
+pub fn scc_multistep<S: GraphStorage>(g: &S) -> Result<SccResult, Unsupported> {
     let n = g.num_vertices();
     if n > MULTISTEP_MAX_VERTICES {
         return Err(Unsupported(format!(
@@ -71,7 +71,7 @@ pub fn scc_multistep(g: &Graph) -> Result<SccResult, Unsupported> {
                 if !live(v) {
                     return 0;
                 }
-                let has_out = g.neighbors(v).iter().any(|&u| u != v && live(u));
+                let has_out = g.neighbors(v).any(|u| u != v && live(u));
                 let has_in = has_out && gt.neighbors(v).iter().any(|&u| u != v && live(u));
                 if !has_in {
                     labels.set(v as usize, v);
@@ -154,7 +154,7 @@ pub fn scc_multistep(g: &Graph) -> Result<SccResult, Unsupported> {
                 .map(|&v| {
                     let mut changed = 0u64;
                     let cv = colors.get(v as usize);
-                    for &w in g.neighbors(v) {
+                    for w in g.neighbors(v) {
                         counters.add_edges(1);
                         if live(w) && colors.write_max(w as usize, cv) {
                             changed += 1;
@@ -211,7 +211,7 @@ pub fn scc_multistep(g: &Graph) -> Result<SccResult, Unsupported> {
 
 /// Sequential Tarjan on the subgraph induced by `verts`, writing final
 /// labels (original vertex ids) into `labels`.
-fn finish_serial(g: &Graph, verts: &[VertexId], labels: &AtomicU32Array) {
+fn finish_serial<S: GraphStorage>(g: &S, verts: &[VertexId], labels: &AtomicU32Array) {
     use pasgal_graph::transform::induced_subgraph;
     let mut sorted = verts.to_vec();
     sorted.sort_unstable();
@@ -232,6 +232,7 @@ mod tests {
     use crate::common::canonicalize_labels;
     use crate::scc::tarjan::scc_tarjan;
     use pasgal_graph::builder::from_edges;
+    use pasgal_graph::csr::Graph;
     use pasgal_graph::gen::basic::{
         cycle_directed, grid2d_directed, path_directed, random_directed,
     };

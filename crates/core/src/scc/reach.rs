@@ -20,7 +20,7 @@ use crate::common::VgcConfig;
 use crate::vgc::local_search_multi;
 use pasgal_collections::bitvec::AtomicBitVec;
 use pasgal_collections::hashbag::HashBag;
-use pasgal_graph::csr::Graph;
+use pasgal_graph::storage::GraphStorage;
 use pasgal_graph::VertexId;
 use pasgal_parlay::counters::Counters;
 use rayon::prelude::*;
@@ -39,8 +39,8 @@ pub enum ReachEngine {
 /// unconditionally (even if `allowed` is false for them, matching FW-BW
 /// pivot semantics). Round/task/edge statistics accumulate into
 /// `counters`.
-pub fn reach(
-    g: &Graph,
+pub fn reach<S: GraphStorage>(
+    g: &S,
     sources: &[VertexId],
     allowed: &(impl Fn(VertexId) -> bool + Sync),
     visited: &AtomicBitVec,
@@ -67,9 +67,7 @@ pub fn reach(
                         counters.add_tasks(1);
                         counters.add_edges(g.degree(u) as u64);
                         g.neighbors(u)
-                            .iter()
-                            .filter(|&&v| allowed(v) && visited.test_and_set(v as usize))
-                            .copied()
+                            .filter(|&v| allowed(v) && visited.test_and_set(v as usize))
                             .collect::<Vec<_>>()
                             .into_iter()
                     })
@@ -104,6 +102,7 @@ pub fn reach(
 mod tests {
     use super::*;
     use pasgal_graph::builder::from_edges;
+    use pasgal_graph::csr::Graph;
     use pasgal_graph::gen::basic::{grid2d, path_directed, random_directed};
 
     fn reach_set(g: &Graph, sources: &[u32], engine: ReachEngine) -> Vec<bool> {

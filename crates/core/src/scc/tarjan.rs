@@ -3,14 +3,14 @@
 //! chains don't overflow the call stack.
 
 use crate::common::{AlgoStats, SccResult};
-use pasgal_graph::csr::Graph;
+use pasgal_graph::storage::GraphStorage;
 
 const UNVISITED: u32 = u32::MAX;
 
 /// Sequential Tarjan SCC. `labels[v]` is the smallest preorder index of
 /// v's component root (an arbitrary but consistent id); canonicalize
 /// before comparing with other algorithms.
-pub fn scc_tarjan(g: &Graph) -> SccResult {
+pub fn scc_tarjan<S: GraphStorage>(g: &S) -> SccResult {
     let n = g.num_vertices();
     let mut index = vec![UNVISITED; n];
     let mut lowlink = vec![0u32; n];
@@ -21,25 +21,26 @@ pub fn scc_tarjan(g: &Graph) -> SccResult {
     let mut num_sccs = 0usize;
     let mut edges = 0u64;
 
-    // DFS frame: (vertex, next neighbor position to scan)
-    let mut frames: Vec<(u32, usize)> = Vec::new();
+    // DFS frame: (vertex, live neighbor iterator). Holding the iterator
+    // instead of a scan position keeps compressed backends O(deg) per
+    // vertex — an index-based frame would re-decode the prefix of the
+    // list on every step.
+    let mut frames: Vec<(u32, S::Neighbors<'_>)> = Vec::new();
 
     for root in 0..n as u32 {
         if index[root as usize] != UNVISITED {
             continue;
         }
-        frames.push((root, 0));
+        frames.push((root, g.neighbors(root)));
         index[root as usize] = next_index;
         lowlink[root as usize] = next_index;
         next_index += 1;
         stack.push(root);
         on_stack[root as usize] = true;
 
-        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
-            let nbrs = g.neighbors(v);
-            if *pos < nbrs.len() {
-                let w = nbrs[*pos];
-                *pos += 1;
+        while let Some((v, it)) = frames.last_mut() {
+            let v = *v;
+            if let Some(w) = it.next() {
                 edges += 1;
                 if index[w as usize] == UNVISITED {
                     index[w as usize] = next_index;
@@ -47,7 +48,7 @@ pub fn scc_tarjan(g: &Graph) -> SccResult {
                     next_index += 1;
                     stack.push(w);
                     on_stack[w as usize] = true;
-                    frames.push((w, 0));
+                    frames.push((w, g.neighbors(w)));
                 } else if on_stack[w as usize] {
                     lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
                 }
@@ -89,6 +90,7 @@ mod tests {
     use super::*;
     use crate::common::canonicalize_labels;
     use pasgal_graph::builder::from_edges;
+    use pasgal_graph::csr::Graph;
     use pasgal_graph::gen::basic::{cycle_directed, path_directed};
 
     #[test]

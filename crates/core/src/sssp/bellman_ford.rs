@@ -12,14 +12,14 @@ use super::INF;
 use crate::common::{AlgoStats, SsspResult};
 use pasgal_collections::atomic_array::AtomicU64Array;
 use pasgal_collections::bitvec::AtomicBitVec;
-use pasgal_graph::csr::Graph;
+use pasgal_graph::storage::GraphStorage;
 use pasgal_graph::VertexId;
 use pasgal_parlay::counters::Counters;
 use pasgal_parlay::pack::filter_map_index;
 use rayon::prelude::*;
 
 /// Parallel Bellman-Ford from `src`.
-pub fn sssp_bellman_ford(g: &Graph, src: VertexId) -> SsspResult {
+pub fn sssp_bellman_ford<S: GraphStorage>(g: &S, src: VertexId) -> SsspResult {
     let n = g.num_vertices();
     let counters = Counters::new();
     let dist = AtomicU64Array::new(n, INF);

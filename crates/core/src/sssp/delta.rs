@@ -11,14 +11,14 @@
 use super::INF;
 use crate::common::{AlgoStats, SsspResult};
 use pasgal_collections::atomic_array::AtomicU64Array;
-use pasgal_graph::csr::Graph;
+use pasgal_graph::storage::GraphStorage;
 use pasgal_graph::VertexId;
 use pasgal_parlay::counters::Counters;
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 
 /// Δ-stepping from `src` with bucket width `delta` (≥ 1).
-pub fn sssp_delta_stepping(g: &Graph, src: VertexId, delta: u64) -> SsspResult {
+pub fn sssp_delta_stepping<S: GraphStorage>(g: &S, src: VertexId, delta: u64) -> SsspResult {
     let delta = delta.max(1);
     let n = g.num_vertices();
     let counters = Counters::new();

@@ -3,14 +3,14 @@
 
 use super::INF;
 use crate::common::{AlgoStats, SsspResult};
-use pasgal_graph::csr::Graph;
+use pasgal_graph::storage::GraphStorage;
 use pasgal_graph::VertexId;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Sequential Dijkstra from `src`. Unweighted graphs are treated as
 /// unit-weighted.
-pub fn sssp_dijkstra(g: &Graph, src: VertexId) -> SsspResult {
+pub fn sssp_dijkstra<S: GraphStorage>(g: &S, src: VertexId) -> SsspResult {
     let n = g.num_vertices();
     let mut dist = vec![INF; n];
     let mut heap: BinaryHeap<Reverse<(u64, VertexId)>> = BinaryHeap::new();

@@ -18,7 +18,7 @@ use crate::common::AlgoStats;
 use crate::vgc::local_search_weighted_multi;
 use pasgal_collections::atomic_array::AtomicU64Array;
 use pasgal_collections::hashbag::HashBag;
-use pasgal_graph::csr::Graph;
+use pasgal_graph::storage::GraphStorage;
 use pasgal_graph::transform::transpose;
 use pasgal_graph::VertexId;
 use pasgal_parlay::counters::Counters;
@@ -38,7 +38,7 @@ pub struct PtpResult {
 }
 
 /// Early-exit Dijkstra: stops as soon as `t` is settled.
-pub fn ptp_dijkstra(g: &Graph, s: VertexId, t: VertexId) -> PtpResult {
+pub fn ptp_dijkstra<S: GraphStorage>(g: &S, s: VertexId, t: VertexId) -> PtpResult {
     let n = g.num_vertices();
     let mut dist = vec![INF; n];
     let mut heap: BinaryHeap<Reverse<(u64, VertexId)>> = BinaryHeap::new();
@@ -86,7 +86,12 @@ pub fn ptp_dijkstra(g: &Graph, s: VertexId, t: VertexId) -> PtpResult {
 
 /// Bidirectional Dijkstra. `gt` must be the transpose of `g` (pass `g`
 /// itself for symmetric graphs).
-pub fn ptp_bidirectional(g: &Graph, gt: &Graph, s: VertexId, t: VertexId) -> PtpResult {
+pub fn ptp_bidirectional<S: GraphStorage, T: GraphStorage>(
+    g: &S,
+    gt: &T,
+    s: VertexId,
+    t: VertexId,
+) -> PtpResult {
     let n = g.num_vertices();
     assert_eq!(gt.num_vertices(), n);
     if s == t {
@@ -167,7 +172,12 @@ pub fn ptp_bidirectional(g: &Graph, gt: &Graph, s: VertexId, t: VertexId) -> Ptp
 /// Parallel point-to-point via pruned ρ-stepping: relaxations that cannot
 /// beat the best known `s→t` distance are not expanded, and the loop stops
 /// once every pending distance exceeds it.
-pub fn ptp_rho_stepping(g: &Graph, s: VertexId, t: VertexId, cfg: &RhoConfig) -> PtpResult {
+pub fn ptp_rho_stepping<S: GraphStorage>(
+    g: &S,
+    s: VertexId,
+    t: VertexId,
+    cfg: &RhoConfig,
+) -> PtpResult {
     let n = g.num_vertices();
     let m = g.num_edges();
     let counters = Counters::new();
@@ -236,7 +246,7 @@ pub fn ptp_rho_stepping(g: &Graph, s: VertexId, t: VertexId, cfg: &RhoConfig) ->
 }
 
 /// Convenience: bidirectional Dijkstra computing the transpose itself.
-pub fn ptp_bidirectional_auto(g: &Graph, s: VertexId, t: VertexId) -> PtpResult {
+pub fn ptp_bidirectional_auto<S: GraphStorage>(g: &S, s: VertexId, t: VertexId) -> PtpResult {
     if g.is_symmetric() {
         ptp_bidirectional(g, g, s, t)
     } else {
@@ -250,6 +260,7 @@ mod tests {
     use super::*;
     use crate::common::VgcConfig;
     use pasgal_graph::builder::from_weighted_edges;
+    use pasgal_graph::csr::Graph;
     use pasgal_graph::gen::basic::{grid2d, path, random_directed};
     use pasgal_graph::gen::with_random_weights;
 

@@ -24,7 +24,7 @@ use crate::vgc::{frontier_chunk_len, local_search_weighted_multi};
 use crate::workspace::TraversalWorkspace;
 use pasgal_collections::atomic_array::AtomicU64Array;
 use pasgal_collections::hashbag::HashBag;
-use pasgal_graph::csr::Graph;
+use pasgal_graph::storage::GraphStorage;
 use pasgal_graph::VertexId;
 use pasgal_parlay::gran::{par_for, par_slices};
 use pasgal_parlay::pack::filter_map_index_into;
@@ -53,15 +53,15 @@ impl Default for RhoConfig {
 }
 
 /// ρ-stepping SSSP from `src`.
-pub fn sssp_rho_stepping(g: &Graph, src: VertexId, cfg: &RhoConfig) -> SsspResult {
+pub fn sssp_rho_stepping<S: GraphStorage>(g: &S, src: VertexId, cfg: &RhoConfig) -> SsspResult {
     sssp_rho_stepping_cancel(g, src, cfg, &CancelToken::new()).expect("fresh token cannot cancel")
 }
 
 /// Cancellable [`sssp_rho_stepping`]: the token is polled once per step
 /// and once per frontier task; a fired token drains the bag and returns
 /// `Err(Cancelled)` within one step.
-pub fn sssp_rho_stepping_cancel(
-    g: &Graph,
+pub fn sssp_rho_stepping_cancel<S: GraphStorage>(
+    g: &S,
     src: VertexId,
     cfg: &RhoConfig,
     cancel: &CancelToken,
@@ -71,8 +71,8 @@ pub fn sssp_rho_stepping_cancel(
 
 /// [`sssp_rho_stepping`] with per-round observation: one
 /// [`crate::engine::RoundEvent`] per step of the stepping framework.
-pub fn sssp_rho_stepping_observed(
-    g: &Graph,
+pub fn sssp_rho_stepping_observed<S: GraphStorage>(
+    g: &S,
     src: VertexId,
     cfg: &RhoConfig,
     cancel: &CancelToken,
@@ -93,8 +93,8 @@ pub fn sssp_rho_stepping_observed(
 /// heap allocation — the frontier, sample and near-partition buffers are
 /// all recycled, and the bag keeps its chunks. State is re-prepared at
 /// entry, so an abandoned workspace is safe to reuse.
-pub fn sssp_rho_stepping_observed_in(
-    g: &Graph,
+pub fn sssp_rho_stepping_observed_in<S: GraphStorage>(
+    g: &S,
     src: VertexId,
     cfg: &RhoConfig,
     cancel: &CancelToken,
@@ -216,6 +216,7 @@ mod tests {
     use super::*;
     use crate::sssp::dijkstra::sssp_dijkstra;
     use pasgal_graph::builder::from_weighted_edges;
+    use pasgal_graph::csr::Graph;
     use pasgal_graph::gen::basic::{grid2d, path, random_directed};
     use pasgal_graph::gen::rmat::{rmat_undirected, RmatParams};
     use pasgal_graph::gen::with_random_weights;

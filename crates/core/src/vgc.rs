@@ -36,7 +36,7 @@
 //! ```
 
 use crate::common::VgcConfig;
-use pasgal_graph::csr::Graph;
+use pasgal_graph::storage::GraphStorage;
 use pasgal_graph::VertexId;
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -154,8 +154,8 @@ pub struct LocalSearchStats {
 /// The function always finishes scanning the vertex it is working on
 /// (budget overshoot ≤ max degree), so a task performs at least
 /// `min(τ, reachable-work)` edge traversals.
-pub fn local_search(
-    g: &Graph,
+pub fn local_search<S: GraphStorage>(
+    g: &S,
     start: VertexId,
     tau: usize,
     try_claim: &(impl Fn(VertexId, VertexId) -> bool + ?Sized),
@@ -169,8 +169,8 @@ pub fn local_search(
 /// least `τ` work per frontier vertex" guarantee independent of how tasks
 /// interleave: a task boxed in around one seed continues from its other
 /// seeds instead of retiring with unspent budget.
-pub fn local_search_multi(
-    g: &Graph,
+pub fn local_search_multi<S: GraphStorage>(
+    g: &S,
     starts: &[VertexId],
     tau: usize,
     try_claim: &(impl Fn(VertexId, VertexId) -> bool + ?Sized),
@@ -190,7 +190,7 @@ pub fn local_search_multi(
                 spilled += 1;
                 continue;
             }
-            for &v in g.neighbors(u) {
+            for v in g.neighbors(u) {
                 edges += 1;
                 if try_claim(u, v) {
                     stack.push(v);
@@ -207,8 +207,8 @@ pub fn local_search_multi(
 /// this keeps provisional distances near-exact inside the local ball, so
 /// far fewer corrections (re-visits) leak to later rounds; for plain
 /// reachability the order is irrelevant and the cheaper LIFO stack wins.
-pub fn local_search_fifo(
-    g: &Graph,
+pub fn local_search_fifo<S: GraphStorage>(
+    g: &S,
     start: VertexId,
     tau: usize,
     try_claim: &(impl Fn(VertexId, VertexId) -> bool + ?Sized),
@@ -219,8 +219,8 @@ pub fn local_search_fifo(
 
 /// Multi-seed FIFO local search (see [`local_search_multi`] for why
 /// multi-seed, [`local_search_fifo`] for why FIFO).
-pub fn local_search_fifo_multi(
-    g: &Graph,
+pub fn local_search_fifo_multi<S: GraphStorage>(
+    g: &S,
     starts: &[VertexId],
     tau: usize,
     try_claim: &(impl Fn(VertexId, VertexId) -> bool + ?Sized),
@@ -236,7 +236,7 @@ pub fn local_search_fifo_multi(
                 spilled += 1;
                 continue;
             }
-            for &v in g.neighbors(u) {
+            for v in g.neighbors(u) {
                 edges += 1;
                 if try_claim(u, v) {
                     queue.push_back(v);
@@ -248,8 +248,8 @@ pub fn local_search_fifo_multi(
 }
 
 /// Weighted variant: `try_relax(u, v, w)` sees the edge weight.
-pub fn local_search_weighted(
-    g: &Graph,
+pub fn local_search_weighted<S: GraphStorage>(
+    g: &S,
     start: VertexId,
     tau: usize,
     try_relax: &(impl Fn(VertexId, VertexId, u32) -> bool + ?Sized),
@@ -261,8 +261,8 @@ pub fn local_search_weighted(
 /// Multi-seed weighted local search in FIFO order (weighted relaxations
 /// are distance-sensitive, so FIFO's near-exact provisional values matter
 /// as much as for BFS).
-pub fn local_search_weighted_multi(
-    g: &Graph,
+pub fn local_search_weighted_multi<S: GraphStorage>(
+    g: &S,
     starts: &[VertexId],
     tau: usize,
     try_relax: &(impl Fn(VertexId, VertexId, u32) -> bool + ?Sized),

@@ -6,16 +6,69 @@
 
 use crate::{Dist, VertexId, Weight};
 
+/// The row-offset array, width-adapted to the edge count: graphs with
+/// fewer than 2³² edges (every suite graph) store offsets as `u32`,
+/// halving index memory versus the former `Vec<usize>`; larger graphs
+/// fall back to `u64`. Construction picks the width automatically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Offsets {
+    Small(Vec<u32>),
+    Large(Vec<u64>),
+}
+
+impl Offsets {
+    fn from_usize(offsets: Vec<usize>) -> Self {
+        if offsets.iter().all(|&o| o <= u32::MAX as usize) {
+            Offsets::Small(offsets.into_iter().map(|o| o as u32).collect())
+        } else {
+            Offsets::Large(offsets.into_iter().map(|o| o as u64).collect())
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            Offsets::Small(o) => o.len(),
+            Offsets::Large(o) => o.len(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> usize {
+        match self {
+            Offsets::Small(o) => o[i] as usize,
+            Offsets::Large(o) => o[i] as usize,
+        }
+    }
+
+    /// `(offsets[v], offsets[v+1])` with a single width branch.
+    #[inline]
+    fn bounds(&self, v: VertexId) -> (usize, usize) {
+        let i = v as usize;
+        match self {
+            Offsets::Small(o) => (o[i] as usize, o[i + 1] as usize),
+            Offsets::Large(o) => (o[i] as usize, o[i + 1] as usize),
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        match self {
+            Offsets::Small(o) => o.len() * std::mem::size_of::<u32>(),
+            Offsets::Large(o) => o.len() * std::mem::size_of::<u64>(),
+        }
+    }
+}
+
 /// An immutable CSR graph.
 ///
-/// * `offsets[v]..offsets[v+1]` indexes `targets` (and `weights`, when
+/// * `offset(v)..offset(v+1)` indexes `targets` (and `weights`, when
 ///   present) with the out-neighbors of `v`, sorted ascending.
 /// * `symmetric == true` declares that the edge set is closed under
 ///   reversal (undirected view); algorithms that require undirected input
 ///   (BCC, connectivity) assert on it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Graph {
-    offsets: Vec<usize>,
+    offsets: Offsets,
     targets: Vec<VertexId>,
     weights: Option<Vec<Weight>>,
     symmetric: bool,
@@ -38,7 +91,7 @@ impl Graph {
         let n = offsets.len() - 1;
         debug_assert!(targets.iter().all(|&t| (t as usize) < n));
         Self {
-            offsets,
+            offsets: Offsets::from_usize(offsets),
             targets,
             weights,
             symmetric,
@@ -55,7 +108,7 @@ impl Graph {
         symmetric: bool,
     ) -> Self {
         Self {
-            offsets,
+            offsets: Offsets::from_usize(offsets),
             targets,
             weights,
             symmetric,
@@ -65,7 +118,7 @@ impl Graph {
     /// Graph with `n` vertices and no edges.
     pub fn empty(n: usize, symmetric: bool) -> Self {
         Self {
-            offsets: vec![0; n + 1],
+            offsets: Offsets::Small(vec![0; n + 1]),
             targets: Vec::new(),
             weights: None,
             symmetric,
@@ -88,21 +141,22 @@ impl Graph {
     /// Out-degree of `v`.
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
-        self.offsets[v as usize + 1] - self.offsets[v as usize]
+        let (lo, hi) = self.offsets.bounds(v);
+        hi - lo
     }
 
     /// Out-neighbors of `v`, ascending.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
-        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+        let (lo, hi) = self.offsets.bounds(v);
+        &self.targets[lo..hi]
     }
 
     /// Out-neighbors with weights; unit weight (1) if the graph is
     /// unweighted.
     #[inline]
     pub fn weighted_neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
-        let lo = self.offsets[v as usize];
-        let hi = self.offsets[v as usize + 1];
+        let (lo, hi) = self.offsets.bounds(v);
         let ws = self.weights.as_deref();
         (lo..hi).map(move |i| (self.targets[i], ws.map_or(1, |w| w[i])))
     }
@@ -110,9 +164,8 @@ impl Graph {
     /// The weight slice for `v`'s out-edges, if the graph is weighted.
     #[inline]
     pub fn neighbor_weights(&self, v: VertexId) -> Option<&[Weight]> {
-        self.weights
-            .as_deref()
-            .map(|w| &w[self.offsets[v as usize]..self.offsets[v as usize + 1]])
+        let (lo, hi) = self.offsets.bounds(v);
+        self.weights.as_deref().map(|w| &w[lo..hi])
     }
 
     /// Whether the stored edge set is symmetric (undirected view).
@@ -132,9 +185,36 @@ impl Graph {
         self.neighbors(u).binary_search(&v).is_ok()
     }
 
-    /// Raw offsets (length `n + 1`).
-    pub fn offsets(&self) -> &[usize] {
-        &self.offsets
+    /// Materialized offsets (length `n + 1`). The stored representation is
+    /// width-adapted (`u32` when every offset fits, `u64` otherwise), so
+    /// this allocates; per-vertex access should use [`Graph::offset`].
+    pub fn offsets(&self) -> Vec<usize> {
+        match &self.offsets {
+            Offsets::Small(o) => o.iter().map(|&x| x as usize).collect(),
+            Offsets::Large(o) => o.iter().map(|&x| x as usize).collect(),
+        }
+    }
+
+    /// `offsets[i]` for `i` in `0..=n` — O(1), no materialization.
+    #[inline]
+    pub fn offset(&self, i: usize) -> usize {
+        self.offsets.get(i)
+    }
+
+    /// Whether the offset array is stored in the `u32` fast path.
+    pub fn offsets_are_u32(&self) -> bool {
+        matches!(self.offsets, Offsets::Small(_))
+    }
+
+    /// Heap bytes held resident by this graph (offset + target + weight
+    /// arrays).
+    pub fn resident_bytes(&self) -> usize {
+        self.offsets.heap_bytes()
+            + self.targets.len() * std::mem::size_of::<VertexId>()
+            + self
+                .weights
+                .as_ref()
+                .map_or(0, |w| w.len() * std::mem::size_of::<Weight>())
     }
 
     /// Raw targets (length `m`).
@@ -157,6 +237,13 @@ impl Graph {
     /// Drop weights.
     pub fn without_weights(mut self) -> Self {
         self.weights = None;
+        self
+    }
+
+    /// Same graph, re-declared symmetric (or not). The caller asserts the
+    /// edge set actually has the property; no edges are changed.
+    pub fn with_symmetry(mut self, symmetric: bool) -> Self {
+        self.symmetric = symmetric;
         self
     }
 
@@ -240,6 +327,19 @@ mod tests {
         let g = diamond();
         let es: Vec<_> = g.edges().collect();
         assert_eq!(es, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn offsets_u32_fast_path_and_accessors() {
+        let g = diamond();
+        assert!(g.offsets_are_u32());
+        assert_eq!(g.offsets(), vec![0, 2, 3, 4, 4]);
+        assert_eq!(g.offset(0), 0);
+        assert_eq!(g.offset(4), 4);
+        // 5 u32 offsets + 4 u32 targets, no weights
+        assert_eq!(g.resident_bytes(), 5 * 4 + 4 * 4);
+        let w = diamond().with_weights(vec![1, 2, 3, 4]);
+        assert_eq!(w.resident_bytes(), 5 * 4 + 4 * 4 + 4 * 4);
     }
 
     #[test]

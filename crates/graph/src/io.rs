@@ -100,7 +100,7 @@ pub fn write_adj(g: &Graph, path: impl AsRef<Path>) -> Result<(), IoError> {
     writeln!(w, "{}", g.num_vertices())?;
     writeln!(w, "{}", g.num_edges())?;
     for v in 0..g.num_vertices() {
-        writeln!(w, "{}", g.offsets()[v])?;
+        writeln!(w, "{}", g.offset(v))?;
     }
     for &t in g.targets() {
         writeln!(w, "{t}")?;
@@ -195,8 +195,8 @@ pub fn write_bin(g: &Graph, path: impl AsRef<Path>) -> Result<(), IoError> {
         flags |= FLAG_SYMMETRIC;
     }
     buf.extend_from_slice(&flags.to_le_bytes());
-    for &o in g.offsets() {
-        buf.extend_from_slice(&(o as u64).to_le_bytes());
+    for v in 0..=g.num_vertices() {
+        buf.extend_from_slice(&(g.offset(v) as u64).to_le_bytes());
     }
     for &t in g.targets() {
         buf.extend_from_slice(&t.to_le_bytes());

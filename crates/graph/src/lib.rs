@@ -26,12 +26,17 @@
 //! ```
 
 pub mod builder;
+pub mod compressed;
 pub mod csr;
+pub mod disk;
 pub mod gen;
 pub mod io;
 pub mod stats;
+pub mod storage;
 pub mod transform;
 pub mod validate;
+
+pub use storage::{GraphStorage, GraphStore, StorageKind};
 
 /// Vertex identifier. `u32` halves memory traffic vs `usize`; all suites
 /// here stay far below 2³² vertices. (The paper's Multistep baseline is

@@ -10,7 +10,7 @@
 //! assert_eq!(estimate_diameter(&grid2d(10, 20), 4, 1), 28);
 //! ```
 
-use crate::csr::Graph;
+use crate::storage::GraphStorage;
 use crate::transform::symmetrize;
 use crate::VertexId;
 use pasgal_parlay::rng::SplitRng;
@@ -29,7 +29,7 @@ pub struct DegreeStats {
 }
 
 /// Compute degree statistics (parallel).
-pub fn degree_stats(g: &Graph) -> DegreeStats {
+pub fn degree_stats<S: GraphStorage>(g: &S) -> DegreeStats {
     let n = g.num_vertices();
     if n == 0 {
         return DegreeStats {
@@ -55,7 +55,7 @@ pub fn degree_stats(g: &Graph) -> DegreeStats {
 
 /// Out-degree histogram: `hist[d]` = number of vertices with out-degree
 /// exactly `d` (length `max_degree + 1`; empty for an empty graph).
-pub fn degree_histogram(g: &Graph) -> Vec<u64> {
+pub fn degree_histogram<S: GraphStorage>(g: &S) -> Vec<u64> {
     let n = g.num_vertices();
     if n == 0 {
         return Vec::new();
@@ -66,7 +66,7 @@ pub fn degree_histogram(g: &Graph) -> Vec<u64> {
 
 /// Sequential BFS eccentricity from `src`: `(max finite hop distance,
 /// #reached vertices)`. Shared helper for diameter estimation.
-pub fn bfs_eccentricity(g: &Graph, src: VertexId) -> (usize, usize) {
+pub fn bfs_eccentricity<S: GraphStorage>(g: &S, src: VertexId) -> (usize, usize) {
     let n = g.num_vertices();
     let mut dist = vec![usize::MAX; n];
     let mut q = VecDeque::new();
@@ -76,7 +76,7 @@ pub fn bfs_eccentricity(g: &Graph, src: VertexId) -> (usize, usize) {
     let mut reached = 1;
     while let Some(u) = q.pop_front() {
         let du = dist[u as usize];
-        for &v in g.neighbors(u) {
+        for v in g.neighbors(u) {
             if dist[v as usize] == usize::MAX {
                 dist[v as usize] = du + 1;
                 ecc = ecc.max(du + 1);
@@ -89,7 +89,7 @@ pub fn bfs_eccentricity(g: &Graph, src: VertexId) -> (usize, usize) {
 }
 
 /// Farthest vertex from `src` (for double-sweep).
-fn bfs_farthest(g: &Graph, src: VertexId) -> (VertexId, usize) {
+fn bfs_farthest<S: GraphStorage>(g: &S, src: VertexId) -> (VertexId, usize) {
     let n = g.num_vertices();
     let mut dist = vec![usize::MAX; n];
     let mut q = VecDeque::new();
@@ -101,7 +101,7 @@ fn bfs_farthest(g: &Graph, src: VertexId) -> (VertexId, usize) {
         if du > far.1 {
             far = (u, du);
         }
-        for &v in g.neighbors(u) {
+        for v in g.neighbors(u) {
             if dist[v as usize] == usize::MAX {
                 dist[v as usize] = du + 1;
                 q.push_back(v);
@@ -115,7 +115,7 @@ fn bfs_farthest(g: &Graph, src: VertexId) -> (VertexId, usize) {
 /// `samples` random sources, then a second sweep from the farthest vertex
 /// each found; report the largest eccentricity seen. This is the paper's
 /// Table 1 method (a lower bound, not the exact diameter).
-pub fn estimate_diameter(g: &Graph, samples: usize, seed: u64) -> usize {
+pub fn estimate_diameter<S: GraphStorage>(g: &S, samples: usize, seed: u64) -> usize {
     let n = g.num_vertices();
     if n == 0 {
         return 0;
@@ -154,7 +154,7 @@ pub struct GraphInfo {
 }
 
 /// Compute a Table-1 row with `samples` sampled searches per quantity.
-pub fn graph_info(g: &Graph, samples: usize, seed: u64) -> GraphInfo {
+pub fn graph_info<S: GraphStorage>(g: &S, samples: usize, seed: u64) -> GraphInfo {
     if g.is_symmetric() {
         GraphInfo {
             n: g.num_vertices(),
@@ -178,6 +178,7 @@ pub fn graph_info(g: &Graph, samples: usize, seed: u64) -> GraphInfo {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::csr::Graph;
     use crate::gen::basic::{clique, grid2d, path, path_directed, star};
 
     #[test]

@@ -1,0 +1,473 @@
+//! The storage abstraction: every graph backend behind one trait.
+//!
+//! [`GraphStorage`] is the contract the traversal layer compiles against:
+//! vertex/edge counts, degrees, neighbor iteration (plain and weighted),
+//! and the symmetric/weighted declarations algorithms assert on. Three
+//! backends implement it:
+//!
+//! * [`crate::csr::Graph`] — plain in-memory CSR (slices);
+//! * [`crate::compressed::CompressedGraph`] — per-vertex delta-encoded
+//!   varint/zigzag neighbor lists with a sampled offset index;
+//! * [`crate::disk::MmapGraph`] — an mmap-backed on-disk container whose
+//!   sections are read zero-copy (plain or compressed payload).
+//!
+//! Algorithms are **generic** over `S: GraphStorage` and monomorphize per
+//! backend — the edge loop contains no virtual dispatch, only whatever
+//! branch the backend's own iterator carries (none for plain CSR). The
+//! iterators allocate nothing, so pooled-workspace warm runs stay
+//! allocation-free on every backend.
+//!
+//! Concrete call sites keep their ergonomics: `Graph`'s inherent
+//! `neighbors()` still returns a slice (inherent methods win over trait
+//! methods), while generic code gets the trait's iterator.
+
+use crate::csr::Graph;
+use crate::{Dist, VertexId, Weight};
+
+/// Which backend a graph is stored in. Carried by service catalog entries
+/// and reported in health/metrics output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StorageKind {
+    /// Plain in-memory CSR: offset + target (+ weight) arrays.
+    Plain,
+    /// Byte-compressed in-memory CSR: delta/varint neighbor lists.
+    Compressed,
+    /// Memory-mapped on-disk container; resident cost is paged by the OS.
+    Mmap,
+}
+
+impl StorageKind {
+    /// Stable lowercase name for wire formats and CLI flags.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StorageKind::Plain => "plain",
+            StorageKind::Compressed => "compressed",
+            StorageKind::Mmap => "mmap",
+        }
+    }
+}
+
+impl std::fmt::Display for StorageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A graph storage backend. See the module docs for the contract; the
+/// invariants every implementation must uphold:
+///
+/// * neighbor lists are sorted ascending (same as CSR), and
+///   `neighbors(v)` yields exactly `degree(v)` items;
+/// * `weighted_neighbors(v)` pairs the same targets with their weights,
+///   unit weight 1 when `!is_weighted()`;
+/// * iteration allocates nothing.
+pub trait GraphStorage: Sync {
+    /// Neighbor iterator for one vertex, ascending.
+    type Neighbors<'a>: Iterator<Item = VertexId> + 'a
+    where
+        Self: 'a;
+    /// `(target, weight)` iterator for one vertex, ascending by target.
+    type WeightedNeighbors<'a>: Iterator<Item = (VertexId, Weight)> + 'a
+    where
+        Self: 'a;
+
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+    /// Number of directed edges stored (undirected edges count twice).
+    fn num_edges(&self) -> usize;
+    /// Out-degree of `v`.
+    fn degree(&self, v: VertexId) -> usize;
+    /// Out-neighbors of `v`, ascending.
+    fn neighbors(&self, v: VertexId) -> Self::Neighbors<'_>;
+    /// Out-neighbors of `v` with weights (unit 1 when unweighted).
+    fn weighted_neighbors(&self, v: VertexId) -> Self::WeightedNeighbors<'_>;
+    /// Whether the edge set is declared symmetric (undirected view).
+    fn is_symmetric(&self) -> bool;
+    /// Whether per-edge weights are present.
+    fn is_weighted(&self) -> bool;
+    /// Which backend this is.
+    fn storage_kind(&self) -> StorageKind;
+    /// Bytes this backend keeps resident in RAM (mmap counts only its
+    /// in-process metadata, not OS-paged file bytes).
+    fn resident_bytes(&self) -> usize;
+
+    /// Upper bound on any finite shortest-path distance: `n * max_weight`.
+    /// Backends should override with a stored bound; the default scans.
+    fn distance_bound(&self) -> Dist {
+        let mut maxw: Weight = 1;
+        if self.is_weighted() {
+            for v in 0..self.num_vertices() as VertexId {
+                for (_, w) in self.weighted_neighbors(v) {
+                    maxw = maxw.max(w);
+                }
+            }
+        }
+        (self.num_vertices() as Dist).saturating_mul(maxw as Dist)
+    }
+
+    /// Does the directed edge `(u, v)` exist? Default scans the sorted
+    /// list with early exit; plain CSR overrides with binary search.
+    fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        for x in self.neighbors(u) {
+            if x >= v {
+                return x == v;
+            }
+        }
+        false
+    }
+
+    /// Position of `v` within `u`'s sorted neighbor list, if present.
+    /// Default scans; plain CSR overrides with binary search.
+    fn neighbor_position(&self, u: VertexId, v: VertexId) -> Option<usize> {
+        for (i, x) in self.neighbors(u).enumerate() {
+            if x >= v {
+                return (x == v).then_some(i);
+            }
+        }
+        None
+    }
+
+    /// Visit every vertex in `lo..hi` (ascending) that passes `filter`,
+    /// handing `visit` a fresh neighbor iterator. Semantically identical
+    /// to calling [`GraphStorage::neighbors`] per passing vertex — the
+    /// default does exactly that, which is already free on slice-backed
+    /// CSR. Byte-stream backends override it to walk blocks with one
+    /// sequential cursor, so a filtered-out vertex costs O(1) regardless
+    /// of its degree. This is the bottom-up traversal primitive: dense
+    /// rounds touch *every* vertex, and most are filtered out.
+    fn scan_range<'s>(
+        &'s self,
+        lo: VertexId,
+        hi: VertexId,
+        mut filter: impl FnMut(VertexId) -> bool,
+        mut visit: impl FnMut(VertexId, Self::Neighbors<'s>),
+    ) {
+        for v in lo..hi {
+            if filter(v) {
+                visit(v, self.neighbors(v));
+            }
+        }
+    }
+}
+
+/// Weighted-neighbor iterator over parallel target/weight slices; yields
+/// unit weight when the weight slice is absent.
+#[derive(Clone)]
+pub struct SliceWeightedNeighbors<'a> {
+    targets: &'a [VertexId],
+    weights: Option<&'a [Weight]>,
+    idx: usize,
+}
+
+impl<'a> SliceWeightedNeighbors<'a> {
+    /// Pair `targets` with `weights` (unit 1 if `None`). Lengths must
+    /// match when weights are present.
+    #[inline]
+    pub fn new(targets: &'a [VertexId], weights: Option<&'a [Weight]>) -> Self {
+        debug_assert!(weights.is_none_or(|w| w.len() == targets.len()));
+        Self {
+            targets,
+            weights,
+            idx: 0,
+        }
+    }
+}
+
+impl Iterator for SliceWeightedNeighbors<'_> {
+    type Item = (VertexId, Weight);
+
+    #[inline]
+    fn next(&mut self) -> Option<(VertexId, Weight)> {
+        let i = self.idx;
+        let t = *self.targets.get(i)?;
+        self.idx = i + 1;
+        Some((t, self.weights.map_or(1, |w| w[i])))
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.targets.len() - self.idx;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for SliceWeightedNeighbors<'_> {}
+
+impl GraphStorage for Graph {
+    type Neighbors<'a> = std::iter::Copied<std::slice::Iter<'a, VertexId>>;
+    type WeightedNeighbors<'a> = SliceWeightedNeighbors<'a>;
+
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        Graph::num_vertices(self)
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        Graph::num_edges(self)
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        Graph::degree(self, v)
+    }
+
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> Self::Neighbors<'_> {
+        Graph::neighbors(self, v).iter().copied()
+    }
+
+    #[inline]
+    fn weighted_neighbors(&self, v: VertexId) -> Self::WeightedNeighbors<'_> {
+        SliceWeightedNeighbors::new(Graph::neighbors(self, v), Graph::neighbor_weights(self, v))
+    }
+
+    #[inline]
+    fn is_symmetric(&self) -> bool {
+        Graph::is_symmetric(self)
+    }
+
+    #[inline]
+    fn is_weighted(&self) -> bool {
+        Graph::is_weighted(self)
+    }
+
+    #[inline]
+    fn storage_kind(&self) -> StorageKind {
+        StorageKind::Plain
+    }
+
+    #[inline]
+    fn resident_bytes(&self) -> usize {
+        Graph::resident_bytes(self)
+    }
+
+    #[inline]
+    fn distance_bound(&self) -> Dist {
+        Graph::distance_bound(self)
+    }
+
+    #[inline]
+    fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        Graph::has_edge(self, u, v)
+    }
+
+    #[inline]
+    fn neighbor_position(&self, u: VertexId, v: VertexId) -> Option<usize> {
+        Graph::neighbors(self, u).binary_search(&v).ok()
+    }
+}
+
+/// Materialize any storage backend as a plain in-memory [`Graph`] —
+/// the decode path used to symmetrize/transpose non-plain backends.
+pub fn to_plain<S: GraphStorage>(s: &S) -> Graph {
+    let n = s.num_vertices();
+    let m = s.num_edges();
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut targets = Vec::with_capacity(m);
+    let mut weights = s.is_weighted().then(|| Vec::with_capacity(m));
+    offsets.push(0usize);
+    for v in 0..n as VertexId {
+        if let Some(ws) = &mut weights {
+            for (t, w) in s.weighted_neighbors(v) {
+                targets.push(t);
+                ws.push(w);
+            }
+        } else {
+            targets.extend(s.neighbors(v));
+        }
+        offsets.push(targets.len());
+    }
+    Graph::from_csr(offsets, targets, weights, s.is_symmetric())
+}
+
+/// One graph in any backend — what the service catalog, CLI, and bench
+/// harness hold. Algorithm dispatch matches the variant once per run and
+/// calls the monomorphized generic kernel for that backend, so the edge
+/// loop itself never branches on storage kind.
+#[derive(Debug)]
+pub enum GraphStore {
+    /// Plain in-memory CSR.
+    Plain(Graph),
+    /// Byte-compressed in-memory CSR.
+    Compressed(crate::compressed::CompressedGraph),
+    /// Mmap-backed on-disk container.
+    Mmap(crate::disk::MmapGraph),
+}
+
+impl From<Graph> for GraphStore {
+    fn from(g: Graph) -> Self {
+        GraphStore::Plain(g)
+    }
+}
+
+/// Run `$body` with `$g` bound to the concrete backend inside a
+/// [`GraphStore`] — the monomorphizing dispatch point.
+#[macro_export]
+macro_rules! with_storage {
+    ($store:expr, $g:ident, $body:expr) => {
+        match $store {
+            $crate::storage::GraphStore::Plain($g) => $body,
+            $crate::storage::GraphStore::Compressed($g) => $body,
+            $crate::storage::GraphStore::Mmap($g) => $body,
+        }
+    };
+}
+
+impl GraphStore {
+    /// Number of vertices (variant-dispatched convenience).
+    pub fn num_vertices(&self) -> usize {
+        with_storage!(self, g, GraphStorage::num_vertices(g))
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        with_storage!(self, g, GraphStorage::num_edges(g))
+    }
+
+    /// Whether the edge set is symmetric.
+    pub fn is_symmetric(&self) -> bool {
+        with_storage!(self, g, GraphStorage::is_symmetric(g))
+    }
+
+    /// Whether weights are present.
+    pub fn is_weighted(&self) -> bool {
+        with_storage!(self, g, GraphStorage::is_weighted(g))
+    }
+
+    /// Which backend this is.
+    pub fn storage_kind(&self) -> StorageKind {
+        with_storage!(self, g, GraphStorage::storage_kind(g))
+    }
+
+    /// Bytes kept resident in RAM by this backend.
+    pub fn resident_bytes(&self) -> usize {
+        with_storage!(self, g, GraphStorage::resident_bytes(g))
+    }
+
+    /// Upper bound on finite shortest-path distances.
+    pub fn distance_bound(&self) -> Dist {
+        with_storage!(self, g, GraphStorage::distance_bound(g))
+    }
+
+    /// Decode into a plain in-memory [`Graph`].
+    pub fn to_plain(&self) -> Graph {
+        match self {
+            GraphStore::Plain(g) => g.clone(),
+            GraphStore::Compressed(g) => to_plain(g),
+            GraphStore::Mmap(g) => to_plain(g),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{from_edges, from_weighted_edges};
+
+    fn diamond() -> Graph {
+        from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn trait_neighbors_match_inherent_slice() {
+        let g = diamond();
+        for v in 0..4u32 {
+            let via_trait: Vec<u32> = GraphStorage::neighbors(&g, v).collect();
+            assert_eq!(via_trait, Graph::neighbors(&g, v));
+            assert_eq!(GraphStorage::degree(&g, v), Graph::degree(&g, v));
+        }
+        assert_eq!(GraphStorage::num_vertices(&g), 4);
+        assert_eq!(GraphStorage::num_edges(&g), 4);
+        assert_eq!(g.storage_kind(), StorageKind::Plain);
+        assert!(GraphStorage::resident_bytes(&g) > 0);
+    }
+
+    #[test]
+    fn weighted_neighbors_unit_when_unweighted() {
+        let g = diamond();
+        let got: Vec<(u32, u32)> = GraphStorage::weighted_neighbors(&g, 0).collect();
+        assert_eq!(got, vec![(1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn weighted_neighbors_real_weights() {
+        let g = from_weighted_edges(3, &[(0, 1), (0, 2)], &[5, 9]);
+        let got: Vec<(u32, u32)> = GraphStorage::weighted_neighbors(&g, 0).collect();
+        assert_eq!(got, vec![(1, 5), (2, 9)]);
+        let it = GraphStorage::weighted_neighbors(&g, 0);
+        assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn default_has_edge_matches_override() {
+        let g = diamond();
+        for u in 0..4u32 {
+            for v in 0..4u32 {
+                // force the default scan path through a shim type
+                struct Shim<'a>(&'a Graph);
+                impl GraphStorage for Shim<'_> {
+                    type Neighbors<'b>
+                        = <Graph as GraphStorage>::Neighbors<'b>
+                    where
+                        Self: 'b;
+                    type WeightedNeighbors<'b>
+                        = <Graph as GraphStorage>::WeightedNeighbors<'b>
+                    where
+                        Self: 'b;
+                    fn num_vertices(&self) -> usize {
+                        self.0.num_vertices()
+                    }
+                    fn num_edges(&self) -> usize {
+                        self.0.num_edges()
+                    }
+                    fn degree(&self, v: VertexId) -> usize {
+                        self.0.degree(v)
+                    }
+                    fn neighbors(&self, v: VertexId) -> Self::Neighbors<'_> {
+                        Graph::neighbors(self.0, v).iter().copied()
+                    }
+                    fn weighted_neighbors(&self, v: VertexId) -> Self::WeightedNeighbors<'_> {
+                        GraphStorage::weighted_neighbors(self.0, v)
+                    }
+                    fn is_symmetric(&self) -> bool {
+                        self.0.is_symmetric()
+                    }
+                    fn is_weighted(&self) -> bool {
+                        self.0.is_weighted()
+                    }
+                    fn storage_kind(&self) -> StorageKind {
+                        StorageKind::Plain
+                    }
+                    fn resident_bytes(&self) -> usize {
+                        0
+                    }
+                }
+                let shim = Shim(&g);
+                assert_eq!(shim.has_edge(u, v), g.has_edge(u, v), "({u},{v})");
+                assert_eq!(
+                    shim.neighbor_position(u, v),
+                    GraphStorage::neighbor_position(&g, u, v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn to_plain_roundtrips_plain() {
+        let g = from_weighted_edges(5, &[(0, 1), (1, 2), (3, 4)], &[2, 3, 4]);
+        let h = to_plain(&g);
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn store_wraps_and_reports() {
+        let store = GraphStore::from(diamond());
+        assert_eq!(store.num_vertices(), 4);
+        assert_eq!(store.num_edges(), 4);
+        assert_eq!(store.storage_kind(), StorageKind::Plain);
+        assert!(!store.is_weighted());
+        let plain = store.to_plain();
+        assert_eq!(plain, diamond());
+    }
+}

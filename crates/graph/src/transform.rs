@@ -1,53 +1,55 @@
 //! Graph transformations: transpose, symmetrize, induced relabeling.
+//! All entry points are generic over [`GraphStorage`], so compressed and
+//! mmap backends transform by streaming decode; the result is always a
+//! plain in-memory [`Graph`].
 
 use crate::builder;
 use crate::csr::Graph;
-use crate::VertexId;
+use crate::storage::GraphStorage;
+use crate::{VertexId, Weight};
 use rayon::prelude::*;
 
 /// Reverse every edge: `(u, v)` becomes `(v, u)`. Weights follow edges.
+/// The unweighted case is handled explicitly — no weight-slice unwrap.
 ///
 /// SCC algorithms run reachability on both `g` and `transpose(g)`.
-pub fn transpose(g: &Graph) -> Graph {
+pub fn transpose<S: GraphStorage>(g: &S) -> Graph {
     let n = g.num_vertices();
-    let rev: Vec<(VertexId, VertexId)> = (0..n as u32)
-        .into_par_iter()
-        .flat_map_iter(|u| g.neighbors(u).iter().map(move |&v| (v, u)))
-        .collect();
-    match g.weights() {
-        None => builder::from_edges(n, &rev),
-        Some(_) => {
-            let w: Vec<u32> = (0..n as u32)
-                .into_par_iter()
-                .flat_map_iter(|u| g.neighbor_weights(u).unwrap().iter().copied())
-                .collect();
-            builder::from_weighted_edges(n, &rev, &w)
-        }
+    if g.is_weighted() {
+        let tri: Vec<(VertexId, VertexId, Weight)> = (0..n as u32)
+            .into_par_iter()
+            .flat_map_iter(|u| g.weighted_neighbors(u).map(move |(v, w)| (v, u, w)))
+            .collect();
+        let rev: Vec<(VertexId, VertexId)> = tri.iter().map(|&(v, u, _)| (v, u)).collect();
+        let ws: Vec<Weight> = tri.iter().map(|&(_, _, w)| w).collect();
+        builder::from_weighted_edges(n, &rev, &ws)
+    } else {
+        let rev: Vec<(VertexId, VertexId)> = (0..n as u32)
+            .into_par_iter()
+            .flat_map_iter(|u| g.neighbors(u).map(move |v| (v, u)))
+            .collect();
+        builder::from_edges(n, &rev)
     }
 }
 
 /// Union of the graph and its transpose, marked symmetric. This is the
 /// paper's procedure for testing BCC on directed inputs ("we symmetrize
 /// directed graphs for testing BCC").
-pub fn symmetrize(g: &Graph) -> Graph {
+pub fn symmetrize<S: GraphStorage>(g: &S) -> Graph {
     let n = g.num_vertices();
     let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(g.num_edges() * 2);
-    for (u, v) in g.edges() {
-        edges.push((u, v));
-        edges.push((v, u));
+    for u in 0..n as u32 {
+        for v in g.neighbors(u) {
+            edges.push((u, v));
+            edges.push((v, u));
+        }
     }
-    let built = builder::from_edges(n, &edges);
-    Graph::from_csr(
-        built.offsets().to_vec(),
-        built.targets().to_vec(),
-        None,
-        true,
-    )
+    builder::from_edges(n, &edges).with_symmetry(true)
 }
 
 /// Extract the subgraph induced by `keep` (a sorted vertex set), relabeling
 /// vertices to `0..keep.len()` in order. Returns the subgraph.
-pub fn induced_subgraph(g: &Graph, keep: &[VertexId]) -> Graph {
+pub fn induced_subgraph<S: GraphStorage>(g: &S, keep: &[VertexId]) -> Graph {
     debug_assert!(keep.windows(2).all(|w| w[0] < w[1]), "keep must be sorted");
     let n = g.num_vertices();
     let mut new_id = vec![u32::MAX; n];
@@ -75,7 +77,7 @@ pub fn induced_subgraph(g: &Graph, keep: &[VertexId]) -> Graph {
 /// edges as undirected), relabeled to `0..size`. Returns the subgraph and
 /// the original ids of its vertices. Standard preprocessing before
 /// traversal benchmarks so every source reaches the whole graph.
-pub fn largest_component(g: &Graph) -> (Graph, Vec<VertexId>) {
+pub fn largest_component<S: GraphStorage>(g: &S) -> (Graph, Vec<VertexId>) {
     let n = g.num_vertices();
     if n == 0 {
         return (Graph::empty(0, g.is_symmetric()), Vec::new());
@@ -89,11 +91,13 @@ pub fn largest_component(g: &Graph) -> (Graph, Vec<VertexId>) {
         }
         x
     }
-    for (u, v) in g.edges() {
-        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
-        if ru != rv {
-            let (lo, hi) = if ru < rv { (ru, rv) } else { (rv, ru) };
-            parent[hi as usize] = lo;
+    for u in 0..n as u32 {
+        for v in g.neighbors(u) {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru != rv {
+                let (lo, hi) = if ru < rv { (ru, rv) } else { (rv, ru) };
+                parent[hi as usize] = lo;
+            }
         }
     }
     let mut size = vec![0usize; n];
@@ -107,16 +111,7 @@ pub fn largest_component(g: &Graph) -> (Graph, Vec<VertexId>) {
         .filter(|&v| find(&mut parent, v) == best_root)
         .collect();
     let sub = induced_subgraph(g, &keep);
-    let sub = if g.is_symmetric() {
-        Graph::from_csr(
-            sub.offsets().to_vec(),
-            sub.targets().to_vec(),
-            sub.weights().map(|w| w.to_vec()),
-            true,
-        )
-    } else {
-        sub
-    };
+    let sub = sub.with_symmetry(g.is_symmetric());
     (sub, keep)
 }
 
@@ -147,6 +142,20 @@ mod tests {
         let g = crate::builder::from_weighted_edges(2, &[(0, 1)], &[42]);
         let t = transpose(&g);
         assert_eq!(t.weighted_neighbors(1).next(), Some((0, 42)));
+    }
+
+    #[test]
+    fn transpose_unweighted_takes_unweighted_path() {
+        // regression: the old implementation fetched the weight slice with
+        // an unwrap inside the edge sweep; unweighted graphs must go
+        // through the explicit weightless branch and stay unweighted.
+        let g = from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert!(!g.is_weighted());
+        let t = transpose(&g);
+        assert!(!t.is_weighted());
+        assert_eq!(t.neighbors(3), &[1, 2]);
+        assert_eq!(t.neighbors(0), &[] as &[u32]);
+        assert_eq!(transpose(&t), g);
     }
 
     #[test]

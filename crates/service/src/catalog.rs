@@ -7,9 +7,15 @@
 //! results embed the generation in their key, so re-registering a name
 //! implicitly invalidates every cached answer computed against the old
 //! graph.
+//!
+//! Entries hold a [`GraphStore`], so a graph may live in any storage
+//! backend (plain CSR, byte-compressed CSR, or an mmap-backed container);
+//! per-entry [`StorageKind`] and resident-byte accounting feed the
+//! `health` report and the brownout controller's memory signal.
 
-use pasgal_graph::csr::Graph;
+use pasgal_graph::storage::{GraphStore, StorageKind};
 use pasgal_graph::transform::symmetrize;
+use pasgal_graph::with_storage;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
@@ -20,25 +26,40 @@ pub struct GraphEntry {
     pub name: String,
     /// Unique id of this registration; changes on re-register.
     pub generation: u64,
-    /// The graph as registered.
-    pub graph: Arc<Graph>,
+    /// The graph as registered, in whichever backend it arrived.
+    pub graph: Arc<GraphStore>,
     /// Lazily-computed symmetrized view for algorithms that need an
     /// undirected graph (k-core). Shared so the symmetrization also
-    /// happens once per registration, not once per query.
-    symmetrized: OnceLock<Arc<Graph>>,
+    /// happens once per registration, not once per query. Always a plain
+    /// in-memory graph — it is derived, not registered.
+    symmetrized: OnceLock<Arc<GraphStore>>,
 }
 
 impl GraphEntry {
     /// The undirected view: the graph itself when already symmetric,
-    /// otherwise a symmetrized copy built on first use.
-    pub fn undirected(&self) -> Arc<Graph> {
+    /// otherwise a symmetrized (plain) copy built on first use.
+    pub fn undirected(&self) -> Arc<GraphStore> {
         if self.graph.is_symmetric() {
             return Arc::clone(&self.graph);
         }
-        Arc::clone(
-            self.symmetrized
-                .get_or_init(|| Arc::new(symmetrize(&self.graph))),
-        )
+        Arc::clone(self.symmetrized.get_or_init(|| {
+            Arc::new(GraphStore::Plain(with_storage!(
+                &*self.graph,
+                g,
+                symmetrize(g)
+            )))
+        }))
+    }
+
+    /// Which backend the registered graph lives in.
+    pub fn storage_kind(&self) -> StorageKind {
+        self.graph.storage_kind()
+    }
+
+    /// Bytes this entry keeps resident in RAM: the registered graph plus
+    /// the symmetrized view if it has been built.
+    pub fn resident_bytes(&self) -> usize {
+        self.graph.resident_bytes() + self.symmetrized.get().map_or(0, |s| s.resident_bytes())
     }
 }
 
@@ -54,13 +75,15 @@ impl Catalog {
         Self::default()
     }
 
-    /// Register (or replace) a graph under `name`. Returns the new entry.
-    pub fn register(&self, name: &str, graph: Graph) -> Arc<GraphEntry> {
+    /// Register (or replace) a graph under `name`, in any storage backend
+    /// (a bare [`Graph`](pasgal_graph::csr::Graph) converts to the plain
+    /// backend). Returns the new entry.
+    pub fn register(&self, name: &str, graph: impl Into<GraphStore>) -> Arc<GraphEntry> {
         let generation = self.next_generation.fetch_add(1, Ordering::Relaxed);
         let entry = Arc::new(GraphEntry {
             name: name.to_string(),
             generation,
-            graph: Arc::new(graph),
+            graph: Arc::new(graph.into()),
             symmetrized: OnceLock::new(),
         });
         self.graphs
@@ -100,12 +123,38 @@ impl Catalog {
         v.sort();
         v
     }
+
+    /// Per-graph storage report, sorted by name:
+    /// `(name, storage kind, resident bytes)`.
+    pub fn storage_report(&self) -> Vec<(String, StorageKind, usize)> {
+        let mut v: Vec<(String, StorageKind, usize)> = self
+            .graphs
+            .read()
+            .expect("catalog lock poisoned")
+            .values()
+            .map(|e| (e.name.clone(), e.storage_kind(), e.resident_bytes()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Total bytes all registered graphs (and their built undirected
+    /// views) keep resident — one input to the brownout memory signal.
+    pub fn resident_bytes(&self) -> usize {
+        self.graphs
+            .read()
+            .expect("catalog lock poisoned")
+            .values()
+            .map(|e| e.resident_bytes())
+            .sum()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pasgal_graph::builder::from_edges;
+    use pasgal_graph::compressed::CompressedGraph;
     use pasgal_graph::gen::basic::grid2d;
 
     #[test]
@@ -139,9 +188,33 @@ mod tests {
         let s2 = e.undirected();
         assert!(Arc::ptr_eq(&s1, &s2));
         assert!(s1.is_symmetric());
-        assert!(s1.has_edge(1, 0));
+        assert!(s1.to_plain().has_edge(1, 0));
         // already-symmetric graphs are returned as-is
         let e2 = c.register("u", grid2d(2, 2));
         assert!(Arc::ptr_eq(&e2.undirected(), &e2.graph));
+    }
+
+    #[test]
+    fn storage_report_and_resident_bytes() {
+        let c = Catalog::new();
+        let g = grid2d(4, 4);
+        let plain_bytes = g.resident_bytes();
+        c.register("plain", g.clone());
+        c.register(
+            "packed",
+            GraphStore::Compressed(CompressedGraph::from_storage(&g)),
+        );
+        let report = c.storage_report();
+        assert_eq!(report.len(), 2);
+        assert_eq!(report[1].0, "plain");
+        assert_eq!(report[1].1, StorageKind::Plain);
+        assert_eq!(report[1].2, plain_bytes);
+        assert_eq!(report[0].1, StorageKind::Compressed);
+        assert_eq!(c.resident_bytes(), report[0].2 + report[1].2);
+        // the lazily-built undirected view counts once it exists
+        let e = c.register("dir", from_edges(3, &[(0, 1), (1, 2)]));
+        let before = c.resident_bytes();
+        e.undirected();
+        assert!(c.resident_bytes() > before);
     }
 }

@@ -46,6 +46,7 @@ pub struct Metrics {
     oracle_unserved: AtomicU64,
     multi_source_flights: AtomicU64,
     brownout_state: AtomicU64,
+    graph_resident_bytes: AtomicU64,
     latency_us: [AtomicU64; LATENCY_BUCKETS],
     batch_size: [AtomicU64; BATCH_BUCKETS],
     rounds: [AtomicU64; ROUNDS_BUCKETS],
@@ -145,6 +146,13 @@ impl Metrics {
         self.brownout_state.store(state, Ordering::Relaxed);
     }
 
+    /// Total bytes registered graphs keep resident (gauge, refreshed on
+    /// every pressure reassessment) — the catalog half of the brownout
+    /// memory signal.
+    pub fn set_graph_resident_bytes(&self, bytes: u64) {
+        self.graph_resident_bytes.store(bytes, Ordering::Relaxed);
+    }
+
     /// One `oracle` query entered the service (paired with exactly one of
     /// [`oracle_served`](Self::oracle_served) /
     /// [`oracle_unserved`](Self::oracle_unserved)).
@@ -228,6 +236,7 @@ impl Metrics {
             oracle_unserved: load(&self.oracle_unserved),
             multi_source_flights: load(&self.multi_source_flights),
             brownout_state: load(&self.brownout_state),
+            graph_resident_bytes: load(&self.graph_resident_bytes),
             latency_us: self.latency_us.iter().map(load).collect(),
             batch_size: self.batch_size.iter().map(load).collect(),
             rounds: self.rounds.iter().map(load).collect(),
@@ -288,6 +297,8 @@ pub struct MetricsSnapshot {
     pub multi_source_flights: u64,
     /// Brownout state gauge: 0 = normal, 1 = pressured, 2 = brownout.
     pub brownout_state: u64,
+    /// Total resident bytes of registered graphs (gauge).
+    pub graph_resident_bytes: u64,
     /// Power-of-two latency buckets in microseconds.
     pub latency_us: Vec<u64>,
     /// Power-of-two batch-size buckets (how many queries shared one
@@ -423,6 +434,10 @@ impl MetricsSnapshot {
                 Json::from(self.multi_source_flights),
             ),
             ("brownout_state", Json::from(self.brownout_state)),
+            (
+                "graph_resident_bytes",
+                Json::from(self.graph_resident_bytes),
+            ),
             ("latency_us", hist(&self.latency_us)),
             ("batch_size", hist(&self.batch_size)),
             ("rounds", hist(&self.rounds)),

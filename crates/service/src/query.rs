@@ -205,6 +205,9 @@ pub enum Reply {
         /// Non-closed breakers as `(key description, state)` pairs,
         /// sorted by key.
         breakers: Vec<(String, String)>,
+        /// Per-graph storage report, sorted by name:
+        /// `(name, storage kind, resident bytes)`.
+        storage: Vec<(String, String, usize)>,
     },
 }
 
@@ -430,6 +433,7 @@ impl Reply {
                 workers_busy,
                 graphs,
                 breakers,
+                storage,
             } => Json::obj([
                 ok,
                 ("ready", Json::Bool(*ready)),
@@ -445,6 +449,21 @@ impl Reply {
                                 Json::obj([
                                     ("key", Json::from(key.as_str())),
                                     ("state", Json::from(state.as_str())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "storage",
+                    Json::Arr(
+                        storage
+                            .iter()
+                            .map(|(name, kind, bytes)| {
+                                Json::obj([
+                                    ("name", Json::from(name.as_str())),
+                                    ("storage", Json::from(kind.as_str())),
+                                    ("resident_bytes", Json::from(*bytes)),
                                 ])
                             })
                             .collect(),
@@ -559,6 +578,7 @@ mod tests {
             workers_busy: 1,
             graphs: 2,
             breakers: vec![("bfs@0:3".into(), "open".into())],
+            storage: vec![("g".into(), "compressed".into(), 4096)],
         };
         let j = r.to_json();
         assert_eq!(j.get("ready").unwrap().as_bool(), Some(true));
@@ -569,6 +589,19 @@ mod tests {
         };
         assert_eq!(breakers.len(), 1);
         assert_eq!(breakers[0].get("state").unwrap().as_str(), Some("open"));
+        let storage = match j.get("storage").unwrap() {
+            Json::Arr(a) => a,
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(storage[0].get("name").unwrap().as_str(), Some("g"));
+        assert_eq!(
+            storage[0].get("storage").unwrap().as_str(),
+            Some("compressed")
+        );
+        assert_eq!(
+            storage[0].get("resident_bytes").unwrap().as_u64(),
+            Some(4096)
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ use crate::json::{self, Json};
 use crate::query::{deadline_from_json, Query, QueryMode, ServiceError};
 use crate::service::Service;
 use pasgal_core::common::CancelToken;
+use pasgal_graph::compressed::CompressedGraph;
+use pasgal_graph::disk::MmapGraph;
 use pasgal_graph::io;
+use pasgal_graph::storage::GraphStore;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -384,15 +387,19 @@ pub fn handle_line_with_token(service: &Service, line: &str, token: &CancelToken
             }
         }
         Some("list") => {
-            let graphs = service
-                .catalog()
-                .list()
+            // both reports are sorted by name, so they zip positionally
+            let sizes = service.catalog().list();
+            let storage = service.catalog().storage_report();
+            let graphs = sizes
                 .into_iter()
-                .map(|(name, n, m)| {
+                .zip(storage)
+                .map(|((name, n, m), (_, kind, bytes))| {
                     Json::obj([
                         ("name", Json::from(name)),
                         ("n", Json::from(n)),
                         ("m", Json::from(m)),
+                        ("storage", Json::from(kind.as_str())),
+                        ("resident_bytes", Json::from(bytes)),
                     ])
                 })
                 .collect();
@@ -437,31 +444,79 @@ fn handle_register(service: &Service, request: &Json) -> Json {
     ) else {
         return ServiceError::BadRequest("register needs \"name\" and \"path\"".into()).to_json();
     };
-    let graph = match load_graph_by_ext(path) {
+    let storage = match request.get("storage") {
+        None => None,
+        Some(v) => match v.as_str() {
+            Some(s) => Some(s),
+            None => {
+                return ServiceError::BadRequest("\"storage\" must be a string".into()).to_json()
+            }
+        },
+    };
+    let store = match load_store_by_ext(path, storage) {
         Ok(g) => g,
         Err(e) => return ServiceError::BadRequest(e).to_json(),
     };
-    let entry = service.register(name, graph);
+    let entry = service.register(name, store);
     Json::obj([
         ("ok", Json::Bool(true)),
         ("name", Json::from(name)),
         ("n", Json::from(entry.graph.num_vertices())),
         ("m", Json::from(entry.graph.num_edges())),
+        ("storage", Json::from(entry.storage_kind().as_str())),
         ("generation", Json::from(entry.generation)),
     ])
 }
 
 /// Load a graph file by extension: `.adj` (PBBS text), `.bin` (binary
-/// CSR), anything else as an edge list. Mirrors the CLI's convention.
+/// CSR), `.pasgal` (packed container), anything else as an edge list.
+/// Mirrors the CLI's convention. Container files load as plain graphs
+/// here; use [`load_store_by_ext`] to keep them mmap-backed.
 pub fn load_graph_by_ext(path: &str) -> Result<pasgal_graph::csr::Graph, String> {
     let p = Path::new(path);
     let ext = p.extension().and_then(|e| e.to_str()).unwrap_or("");
     let res = match ext {
         "adj" => io::read_adj(p),
         "bin" => io::read_bin(p),
+        "pasgal" => {
+            return MmapGraph::load(p)
+                .map(|g| pasgal_graph::storage::to_plain(&g))
+                .map_err(|e| format!("cannot read {path}: {e}"))
+        }
         _ => io::read_edge_list(p),
     };
     res.map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+/// Load a graph into the requested storage backend. `storage` is
+/// `plain` / `compressed` / `mmap` (default: `mmap` for `.pasgal`
+/// container files, `plain` otherwise). `mmap` requires a container
+/// produced by `pasgal pack`.
+pub fn load_store_by_ext(path: &str, storage: Option<&str>) -> Result<GraphStore, String> {
+    let is_container = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .is_some_and(|e| e == "pasgal");
+    match storage.unwrap_or(if is_container { "mmap" } else { "plain" }) {
+        "mmap" => {
+            if !is_container {
+                return Err(format!(
+                    "storage \"mmap\" needs a .pasgal container (run `pasgal pack`), got {path}"
+                ));
+            }
+            MmapGraph::load(path)
+                .map(GraphStore::Mmap)
+                .map_err(|e| format!("cannot read {path}: {e}"))
+        }
+        "compressed" => {
+            let g = load_graph_by_ext(path)?;
+            Ok(GraphStore::Compressed(CompressedGraph::from_storage(&g)))
+        }
+        "plain" => Ok(GraphStore::Plain(load_graph_by_ext(path)?)),
+        other => Err(format!(
+            "unknown storage {other:?} (expected plain, compressed, or mmap)"
+        )),
+    }
 }
 
 #[cfg(test)]

@@ -63,8 +63,9 @@ use pasgal_core::scc::tarjan::scc_tarjan;
 use pasgal_core::sssp::dijkstra::sssp_dijkstra;
 use pasgal_core::sssp::stepping::{sssp_rho_stepping_observed_in, RhoConfig};
 use pasgal_core::workspace::{TraversalWorkspace, WorkspacePool};
-use pasgal_graph::csr::Graph;
 use pasgal_graph::stats::degree_stats;
+use pasgal_graph::storage::GraphStore;
+use pasgal_graph::with_storage;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -248,7 +249,7 @@ impl Service {
 
     /// Register (or replace) a graph. Replacement mints a new generation
     /// and drops every cached result — and every breaker — of the old one.
-    pub fn register(&self, name: &str, graph: Graph) -> Arc<GraphEntry> {
+    pub fn register(&self, name: &str, graph: impl Into<GraphStore>) -> Arc<GraphEntry> {
         let old = self.inner.catalog.get(name).map(|e| e.generation);
         let entry = self.inner.catalog.register(name, graph);
         if let Some(generation) = old {
@@ -376,10 +377,12 @@ impl Service {
     /// take (already-boarded batches keep theirs).
     fn reassess_pressure(&self) {
         let inner = &self.inner;
+        let graph_bytes = inner.catalog.resident_bytes() as u64;
+        inner.metrics.set_graph_resident_bytes(graph_bytes);
         let state = inner.brownout.evaluate(
             inner.cost.debt(),
             self.ceiling(),
-            inner.workspaces.resident_bytes() as u64,
+            inner.workspaces.resident_bytes() as u64 + graph_bytes,
         );
         inner.metrics.set_brownout_state(state.as_gauge());
         let full = inner.config.oracle_max_sources.clamp(1, MAX_SOURCES);
@@ -475,12 +478,19 @@ impl Service {
                         .into_iter()
                         .map(|(k, s)| (k, s.to_string()))
                         .collect(),
+                    storage: self
+                        .inner
+                        .catalog
+                        .storage_report()
+                        .into_iter()
+                        .map(|(name, kind, bytes)| (name, kind.as_str().to_string(), bytes))
+                        .collect(),
                 }))
             }
             Query::Stats { graph } => {
                 let entry = self.lookup(graph)?;
-                let g = &entry.graph;
-                let d = degree_stats(g);
+                let g = &*entry.graph;
+                let d = with_storage!(g, g, degree_stats(g));
                 Ok(Answer::primary(Reply::Stats {
                     n: g.num_vertices(),
                     m: g.num_edges(),
@@ -1293,7 +1303,11 @@ fn run_oracle_flight(
         if inner.faults.should_panic_worker() {
             panic!("injected worker panic");
         }
-        let stats = multi_bfs_observed_in(&entry.graph, &sources, &token, &NoopObserver, &mut ws)?;
+        let stats = with_storage!(
+            &*entry.graph,
+            g,
+            multi_bfs_observed_in(g, &sources, &token, &NoopObserver, &mut ws,)
+        )?;
         let oracle = DistanceOracle::from_columns(
             entry.graph.num_vertices(),
             sources.clone(),
@@ -1396,8 +1410,11 @@ fn compute(
     // copied.
     Ok(match *key {
         ComputeKey::HopDists { src, .. } => {
-            let stats =
-                bfs_vgc_dir_observed_in(&entry.graph, src, None, &vgc, cancel, &NoopObserver, ws)?;
+            let stats = with_storage!(
+                &*entry.graph,
+                g,
+                bfs_vgc_dir_observed_in(g, src, None, &vgc, cancel, &NoopObserver, ws,)
+            )?;
             ComputeValue::HopDists {
                 dist: Arc::new(ws.take_hop_dist()),
                 rounds: stats.rounds,
@@ -1408,15 +1425,22 @@ fn compute(
                 vgc,
                 ..RhoConfig::default()
             };
-            let stats =
-                sssp_rho_stepping_observed_in(&entry.graph, src, &cfg, cancel, &NoopObserver, ws)?;
+            let stats = with_storage!(
+                &*entry.graph,
+                g,
+                sssp_rho_stepping_observed_in(g, src, &cfg, cancel, &NoopObserver, ws,)
+            )?;
             ComputeValue::Dists {
                 dist: Arc::new(ws.take_weighted_dist()),
                 rounds: stats.rounds,
             }
         }
         ComputeKey::SccLabels { .. } => {
-            let stats = scc_vgc_observed_in(&entry.graph, &vgc, cancel, &NoopObserver, ws)?;
+            let stats = with_storage!(
+                &*entry.graph,
+                g,
+                scc_vgc_observed_in(g, &vgc, cancel, &NoopObserver, ws)
+            )?;
             let count = ws.scc_num_sccs();
             // canonical (smallest-member) labels, so degraded Tarjan
             // answers are bit-for-bit equal to parallel FW-BW ones
@@ -1427,7 +1451,11 @@ fn compute(
             }
         }
         ComputeKey::CcLabels { .. } => {
-            let r = connectivity_observed_in(&entry.graph, cancel, &NoopObserver, ws)?;
+            let r = with_storage!(
+                &*entry.graph,
+                g,
+                connectivity_observed_in(g, cancel, &NoopObserver, ws)
+            )?;
             ComputeValue::Labels {
                 labels: Arc::new(r.labels),
                 count: r.num_components,
@@ -1438,7 +1466,11 @@ fn compute(
             // Normally served by `run_oracle_flight`; reachable here only
             // if a column key is ever enqueued as a single job. One
             // single-seat flight keeps the answer identical either way.
-            let stats = multi_bfs_observed_in(&entry.graph, &[src], cancel, &NoopObserver, ws)?;
+            let stats = with_storage!(
+                &*entry.graph,
+                g,
+                multi_bfs_observed_in(g, &[src], cancel, &NoopObserver, ws)
+            )?;
             ComputeValue::Oracle {
                 oracle: Arc::new(DistanceOracle::from_columns(
                     entry.graph.num_vertices(),
@@ -1451,7 +1483,11 @@ fn compute(
         ComputeKey::OracleAllPairs { .. } => {
             let n = entry.graph.num_vertices();
             let sources: Vec<u32> = (0..n as u32).collect();
-            let stats = multi_bfs_observed_in(&entry.graph, &sources, cancel, &NoopObserver, ws)?;
+            let stats = with_storage!(
+                &*entry.graph,
+                g,
+                multi_bfs_observed_in(g, &sources, cancel, &NoopObserver, ws)
+            )?;
             ComputeValue::Oracle {
                 oracle: Arc::new(DistanceOracle::from_columns(
                     n,
@@ -1462,8 +1498,12 @@ fn compute(
             }
         }
         ComputeKey::Coreness { .. } => {
-            let g = entry.undirected();
-            let stats = kcore_peel_observed_in(&g, inner.config.tau, cancel, &NoopObserver, ws)?;
+            let und = entry.undirected();
+            let stats = with_storage!(
+                &*und,
+                g,
+                kcore_peel_observed_in(g, inner.config.tau, cancel, &NoopObserver, ws,)
+            )?;
             let coreness = ws.take_coreness();
             let degeneracy = coreness.iter().copied().max().unwrap_or(0);
             ComputeValue::Coreness {
@@ -1482,21 +1522,21 @@ fn compute(
 fn compute_sequential(key: &ComputeKey, entry: &GraphEntry) -> ComputeValue {
     match *key {
         ComputeKey::HopDists { src, .. } => {
-            let r = bfs_seq(&entry.graph, src);
+            let r = with_storage!(&*entry.graph, g, bfs_seq(g, src));
             ComputeValue::HopDists {
                 dist: Arc::new(r.dist),
                 rounds: r.stats.rounds,
             }
         }
         ComputeKey::Dists { src, .. } => {
-            let r = sssp_dijkstra(&entry.graph, src);
+            let r = with_storage!(&*entry.graph, g, sssp_dijkstra(g, src));
             ComputeValue::Dists {
                 dist: Arc::new(r.dist),
                 rounds: r.stats.rounds,
             }
         }
         ComputeKey::SccLabels { .. } => {
-            let r = scc_tarjan(&entry.graph);
+            let r = with_storage!(&*entry.graph, g, scc_tarjan(g));
             ComputeValue::Labels {
                 labels: Arc::new(canonicalize_labels(&r.labels)),
                 count: r.num_sccs,
@@ -1504,7 +1544,7 @@ fn compute_sequential(key: &ComputeKey, entry: &GraphEntry) -> ComputeValue {
             }
         }
         ComputeKey::CcLabels { .. } => {
-            let r = connectivity_seq(&entry.graph);
+            let r = with_storage!(&*entry.graph, g, connectivity_seq(g));
             ComputeValue::Labels {
                 labels: Arc::new(r.labels),
                 count: r.num_components,
@@ -1514,7 +1554,7 @@ fn compute_sequential(key: &ComputeKey, entry: &GraphEntry) -> ComputeValue {
         ComputeKey::OracleColumn { src, .. } => {
             // One sequential BFS column; `multi_bfs` columns are
             // bit-identical to `bfs_seq`, so the degraded answer matches.
-            let r = bfs_seq(&entry.graph, src);
+            let r = with_storage!(&*entry.graph, g, bfs_seq(g, src));
             ComputeValue::Oracle {
                 oracle: Arc::new(DistanceOracle::from_columns(
                     entry.graph.num_vertices(),
@@ -1529,7 +1569,7 @@ fn compute_sequential(key: &ComputeKey, entry: &GraphEntry) -> ComputeValue {
             let mut dist = Vec::with_capacity(n * n);
             let mut rounds = 0u64;
             for src in 0..n as u32 {
-                let r = bfs_seq(&entry.graph, src);
+                let r = with_storage!(&*entry.graph, g, bfs_seq(g, src));
                 rounds = rounds.max(r.stats.rounds);
                 dist.extend_from_slice(&r.dist);
             }
@@ -1543,8 +1583,8 @@ fn compute_sequential(key: &ComputeKey, entry: &GraphEntry) -> ComputeValue {
             }
         }
         ComputeKey::Coreness { .. } => {
-            let g = entry.undirected();
-            let r = kcore_seq(&g);
+            let und = entry.undirected();
+            let r = with_storage!(&*und, g, kcore_seq(g));
             ComputeValue::Coreness {
                 coreness: Arc::new(r.coreness),
                 degeneracy: r.degeneracy,
@@ -2171,12 +2211,17 @@ mod tests {
                 workers_busy,
                 graphs,
                 breakers,
+                storage,
             } => {
                 assert!(ready);
                 assert_eq!(workers, 2);
                 assert_eq!(workers_busy, 0);
                 assert_eq!(graphs, 1);
                 assert!(breakers.is_empty());
+                assert_eq!(storage.len(), 1);
+                assert_eq!(storage[0].0, "g");
+                assert_eq!(storage[0].1, "plain");
+                assert!(storage[0].2 > 0);
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -123,7 +123,7 @@ fn seen_mask_reuse_wraps_through_the_workspace_pool() {
         let n = g.num_vertices();
         let sources = spread_sources(n, *k);
         let mut ws = pool.acquire();
-        multi_bfs_observed_in(g, &sources, &token, &NoopObserver, &mut ws)
+        multi_bfs_observed_in(*g, &sources, &token, &NoopObserver, &mut ws)
             .expect("fresh token cannot cancel");
         let kn = sources.len() * n;
         let dist: Vec<u32> = (0..kn).map(|i| ws.multi_dist().get(i)).collect();
