@@ -1,0 +1,202 @@
+//! Live-graph mutation bench and gate: incremental invalidation versus
+//! the generation-nuke baseline (DESIGN.md §17).
+//!
+//! A deterministic 512-op sequence with a 10% mutation mix — every
+//! tenth op is a 4-edge insertion batch of diagonal shortcuts, the rest
+//! are BFS point queries over a 16-source rotation plus periodic CC
+//! lookups — runs twice against identical services that differ in one
+//! config bit: `incremental_invalidation` on (revalidate-or-repair the
+//! warm cache under the mutation lock) versus off (drop the graph's
+//! whole generation on every applied batch).
+//!
+//! Reported (BENCH_MUTATE.json at the repo root): cache hits/misses,
+//! revalidation counters, epoch progression, and wall time per mode,
+//! plus the retention ratio.
+//!
+//! Invariants — deterministic (sequential issuance, no fault
+//! injection), so `--gate` relies on them in CI:
+//! * both modes return bit-identical replies for every op (invalidation
+//!   strategy is a performance knob, never a correctness knob);
+//! * `mutation_reconciles` and the terminal-bucket identity hold in
+//!   both modes;
+//! * the incremental run keeps ≥ 2× the warm cache hits of the nuke
+//!   baseline.
+
+use pasgal_graph::gen::basic::grid2d;
+use pasgal_graph::overlay::Mutation;
+use pasgal_service::{MetricsSnapshot, Query, Reply, Service, ServiceConfig};
+use std::time::{Duration, Instant};
+
+const SIDE: usize = 64; // 64×64 grid: flights are real but bounded
+const OPS: u32 = 512; // every 10th op mutates → 10% mutation mix
+
+enum Op {
+    Mutate(Vec<Mutation>),
+    Query(Query),
+}
+
+/// The `i`-th op of the deterministic sequence.
+fn op(i: u32) -> Op {
+    let side = SIDE as u32;
+    let n = side * side;
+    if i % 10 == 9 {
+        // four diagonal shortcuts (r, c) → (r+1, c+1): local edits whose
+        // distance-repair frontier is small, the regime incremental
+        // invalidation is built for
+        let ops = (0..4u32)
+            .map(|j| {
+                let h = i.wrapping_mul(37).wrapping_add(j.wrapping_mul(101));
+                let r = h % (side - 1);
+                let c = (h / 7) % (side - 1);
+                Mutation::InsertEdge {
+                    u: r * side + c,
+                    v: (r + 1) * side + (c + 1),
+                    w: 1,
+                }
+            })
+            .collect();
+        Op::Mutate(ops)
+    } else if i % 5 == 4 {
+        Op::Query(Query::CcId {
+            graph: "g".into(),
+            vertex: Some((i * 977) % n),
+        })
+    } else {
+        Op::Query(Query::BfsDist {
+            graph: "g".into(),
+            src: (i * 131) % 16,
+            target: Some((i * 977) % n),
+        })
+    }
+}
+
+struct Run {
+    replies: Vec<Reply>,
+    metrics: MetricsSnapshot,
+    wall: Duration,
+}
+
+fn run_mode(incremental: bool) -> Run {
+    let svc = Service::new(ServiceConfig {
+        workers: 2,
+        cache_capacity: 256, // hold the whole working set: no LRU noise
+        query_timeout: Duration::from_secs(10),
+        incremental_invalidation: incremental,
+        ..ServiceConfig::default()
+    });
+    svc.register("g", grid2d(SIDE, SIDE));
+    let t0 = Instant::now();
+    let mut replies = Vec::with_capacity(OPS as usize);
+    for i in 0..OPS {
+        let q = match op(i) {
+            Op::Mutate(ops) => Query::Mutate {
+                graph: "g".into(),
+                ops,
+                compact: false,
+            },
+            Op::Query(q) => q,
+        };
+        replies.push(svc.query(&q).expect("deterministic workload never errors"));
+    }
+    let wall = t0.elapsed();
+    let metrics = svc.metrics();
+    Run {
+        replies,
+        metrics,
+        wall,
+    }
+}
+
+fn main() {
+    let gate = std::env::args().any(|a| a == "--gate");
+
+    let inc = run_mode(true);
+    let nuke = run_mode(false);
+
+    // ---- invariants -------------------------------------------------
+    assert_eq!(
+        inc.replies, nuke.replies,
+        "invalidation strategy must never change an answer"
+    );
+    for (name, m) in [("incremental", &inc.metrics), ("nuke", &nuke.metrics)] {
+        assert!(m.reconciles(), "{name}: terminal identity broke: {m:?}");
+        assert!(
+            m.mutation_reconciles(),
+            "{name}: mutation identity broke: {m:?}"
+        );
+        assert_eq!(m.errors, 0, "{name}: {m:?}");
+    }
+    assert!(
+        inc.metrics.cache_revalidated > 0,
+        "the incremental run should have revalidated entries: {:?}",
+        inc.metrics
+    );
+    assert_eq!(
+        nuke.metrics.cache_revalidated, 0,
+        "the nuke baseline never revalidates: {:?}",
+        nuke.metrics
+    );
+
+    let ratio = inc.metrics.cache_hits as f64 / (nuke.metrics.cache_hits as f64).max(1.0);
+    println!(
+        "mutate: {OPS} ops ({} mutation batches) on a {SIDE}x{SIDE} grid",
+        inc.metrics.mutation_batches
+    );
+    println!(
+        "  incremental: {} hits / {} misses, {} revalidated, {} dropped, {:.1} ms",
+        inc.metrics.cache_hits,
+        inc.metrics.cache_misses,
+        inc.metrics.cache_revalidated,
+        inc.metrics.cache_dropped,
+        inc.wall.as_secs_f64() * 1e3
+    );
+    println!(
+        "  nuke:        {} hits / {} misses, {} dropped, {:.1} ms",
+        nuke.metrics.cache_hits,
+        nuke.metrics.cache_misses,
+        nuke.metrics.cache_dropped,
+        nuke.wall.as_secs_f64() * 1e3
+    );
+    println!("  warm-hit retention ratio: {ratio:.2}x (gate: >= 2.0x)");
+
+    write_report(&inc, &nuke, ratio);
+    println!("report written to BENCH_MUTATE.json");
+
+    assert!(
+        ratio >= 2.0,
+        "incremental invalidation must retain >= 2x the warm hits of the nuke baseline, got {ratio:.2}x"
+    );
+    if gate {
+        println!("mutate gate OK: answers identical, identities hold, retention {ratio:.2}x");
+    }
+}
+
+fn write_report(inc: &Run, nuke: &Run, ratio: f64) {
+    use std::fmt::Write as _;
+    let mode = |j: &mut String, name: &str, r: &Run| {
+        let m = &r.metrics;
+        let _ = writeln!(
+            j,
+            "  \"{name}\": {{\"cache_hits\": {}, \"cache_misses\": {}, \
+             \"cache_revalidated\": {}, \"cache_dropped\": {}, \
+             \"mutation_batches\": {}, \"wall_ns\": {}}},",
+            m.cache_hits,
+            m.cache_misses,
+            m.cache_revalidated,
+            m.cache_dropped,
+            m.mutation_batches,
+            r.wall.as_nanos()
+        );
+    };
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"bench\": \"mutate-invalidation\",\n");
+    let _ = writeln!(j, "  \"ops\": {OPS},");
+    let _ = writeln!(j, "  \"mutation_mix\": 0.1,");
+    mode(&mut j, "incremental", inc);
+    mode(&mut j, "nuke", nuke);
+    let _ = writeln!(j, "  \"retention_ratio\": {ratio:.4},");
+    let _ = writeln!(j, "  \"gate_2x\": {}", ratio >= 2.0);
+    j.push_str("}\n");
+    std::fs::write("BENCH_MUTATE.json", j).expect("write BENCH_MUTATE.json");
+}

@@ -17,7 +17,11 @@
 //!   stats      graph statistics (the Table-1 row)
 //!   gen        generate a suite graph: pasgal gen <NAME> <out-file>
 //!   pack       write a graph into the mmap-ready on-disk container:
-//!              pasgal pack <graph-file> <out.pasgal> [--compress]
+//!              pasgal pack <graph-file> <out.pasgal> [--compress] [--force]
+//!              (an existing output is never overwritten without --force)
+//!   verify     re-check a container's section checksums and offset/bounds
+//!              invariants; prints one verdict per section and exits
+//!              non-zero on corruption: pasgal verify <file.pasgal>
 //!   serve      start the query service: pasgal serve [graph-files...]
 //!
 //! options:
@@ -30,6 +34,7 @@
 //!   --threads N       rayon worker threads (default: all; must be ≥ 1)
 //!   --scale tiny|small|full   for `gen` (default small)
 //!   --compress        for `pack`: byte-compressed payload (delta/varint)
+//!   --force           for `pack`: overwrite an existing output file
 //!   --host H --port N         for `serve` (default 127.0.0.1:7421)
 //!   --storage plain|compressed|mmap   backend `serve` loads graphs into
 //!   --mmap            shorthand for --storage mmap (container files)
@@ -39,6 +44,9 @@
 //!   --breaker-cooldown-ms N   open-breaker cool-down before probing
 //!   --default-deadline-ms N   deadline for queries without their own
 //!   --memory-budget-mb N      brownout memory budget for resident data
+//!   --compact-delta-kb N      overlay delta size that triggers compaction
+//!   --invalidation MODE       incremental (default) or nuke cache strategy
+//!                             when a graph is mutated
 //!   --drain-ms N      how long `serve` waits for in-flight work on
 //!                     SIGINT/SIGTERM before exiting (default 5000)
 //!   --trace-rounds    print one line per synchronization round (frontier
@@ -80,7 +88,7 @@ impl std::error::Error for UsageError {}
 
 /// Options that are bare flags: their presence means "true" and no value
 /// is consumed from the argument stream.
-const FLAG_OPTIONS: &[&str] = &["trace-rounds", "help", "compress", "mmap"];
+const FLAG_OPTIONS: &[&str] = &["trace-rounds", "help", "compress", "mmap", "force"];
 
 /// Every `pasgal serve` tuning flag with its help line. This table is
 /// both the `serve --help` output and the strict allowlist: a serve
@@ -101,6 +109,8 @@ pub const SERVE_FLAGS: &[(&str, &str)] = &[
     ("oracle-sources N", "seats per multi-source oracle flight (default 64, max 128)"),
     ("default-deadline-ms N", "end-to-end deadline applied to queries that carry no deadline_ms of their own (default: none)"),
     ("memory-budget-mb N", "resident-memory budget feeding the brownout controller; pressure above it sheds oracle promotion and flight width (default: none)"),
+    ("compact-delta-kb N", "mutation-overlay delta size that triggers background compaction into a fresh CSR (default 1024)"),
+    ("invalidation MODE", "cache strategy on mutation: incremental (revalidate/repair entries, default) or nuke (drop the graph's generation)"),
     ("storage KIND", "backend positional graphs load into: plain, compressed, or mmap (default: mmap for .pasgal containers, plain otherwise)"),
     ("mmap", "shorthand for --storage mmap; positional files must be .pasgal containers"),
     ("drain-ms N", "shutdown drain deadline for in-flight work on SIGINT/SIGTERM (default 5000)"),
@@ -349,6 +359,24 @@ pub fn start_service(
             "--memory-budget-mb must be 1..=1048576 (got {memory_budget_mb})"
         ));
     }
+    let compact_delta_kb = cli
+        .num(
+            "compact-delta-kb",
+            (defaults.compact_delta_bytes / 1024) as u64,
+        )
+        .map_err(|e| e.to_string())?;
+    if compact_delta_kb == 0 {
+        return Err("--compact-delta-kb must be at least 1".into());
+    }
+    let incremental_invalidation = match cli.opt("invalidation", "incremental") {
+        "incremental" => true,
+        "nuke" => false,
+        other => {
+            return Err(format!(
+                "--invalidation must be incremental or nuke (got {other})"
+            ));
+        }
+    };
     let config = ServiceConfig {
         workers,
         queue_capacity: queue,
@@ -361,6 +389,8 @@ pub fn start_service(
         default_deadline: (default_deadline_ms > 0)
             .then(|| std::time::Duration::from_millis(default_deadline_ms)),
         memory_budget: (memory_budget_mb > 0).then_some(memory_budget_mb * 1024 * 1024),
+        compact_delta_bytes: compact_delta_kb as usize * 1024,
+        incremental_invalidation,
         ..ServiceConfig::default()
     };
     let storage = match (cli.options.get("storage"), cli.options.contains_key("mmap")) {
@@ -447,16 +477,28 @@ pub fn run(cli: &Cli) -> Result<String, String> {
         }
         "pack" => {
             let [input, out] = cli.positional.as_slice() else {
-                return usage_err("usage: pasgal pack <graph-file> <out.pasgal> [--compress]");
+                return usage_err(
+                    "usage: pasgal pack <graph-file> <out.pasgal> [--compress] [--force]",
+                );
             };
             if !out.ends_with(".pasgal") {
                 return usage_err(&format!(
                     "pack output must end in .pasgal (got {out:?}) so loaders recognize the container"
                 ));
             }
+            // packing a container onto itself would read and truncate the
+            // same file; catch it before any byte is written
+            if let (Ok(a), Ok(b)) = (std::fs::canonicalize(input), std::fs::canonicalize(out)) {
+                if a == b {
+                    return usage_err(&format!(
+                        "pack input and output are the same file ({input}); refusing"
+                    ));
+                }
+            }
             let compress = cli.options.contains_key("compress");
+            let force = cli.options.contains_key("force");
             let g = load_graph(input)?;
-            pasgal_graph::disk::pack(&g, out, compress)
+            pasgal_graph::disk::pack_checked(&g, out, compress, force)
                 .map_err(|e| format!("cannot write {out}: {e}"))?;
             let packed_bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
             return Ok(format!(
@@ -468,6 +510,30 @@ pub fn run(cli: &Cli) -> Result<String, String> {
                 if compress { "compressed" } else { "plain" },
                 packed_bytes
             ));
+        }
+        "verify" => {
+            let [file] = cli.positional.as_slice() else {
+                return usage_err("usage: pasgal verify <file.pasgal>");
+            };
+            let report =
+                pasgal_graph::disk::verify(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+            let mut out = String::new();
+            for c in &report.checks {
+                out.push_str(&format!(
+                    "{} {:<12} {}\n",
+                    if c.ok { "ok  " } else { "FAIL" },
+                    c.name,
+                    c.detail
+                ));
+            }
+            if report.ok() {
+                out.push_str(&format!("{}: container verifies clean", file));
+                return Ok(out);
+            }
+            // corruption exits non-zero: main prints Err to stderr and
+            // exits 1, so `pasgal verify` is scriptable as a gate
+            out.push_str(&format!("{}: container is corrupt", file));
+            return Err(out);
         }
         "serve" => {
             if cli.options.contains_key("help") {
@@ -870,6 +936,89 @@ mod tests {
     }
 
     #[test]
+    fn pack_refuses_overwrite_without_force() {
+        let p = write_fixture();
+        let f = p.to_str().unwrap();
+        let out_path =
+            std::env::temp_dir().join(format!("pasgal_cli_force_{}.pasgal", std::process::id()));
+        let out_file = out_path.to_str().unwrap().to_string();
+        run(&cli(&["pack", f, &out_file])).unwrap();
+        let before = std::fs::metadata(&out_path).unwrap().modified().unwrap();
+        // second pack without --force must refuse and leave the file alone
+        let e = run(&cli(&["pack", f, &out_file])).unwrap_err();
+        assert!(e.contains("--force"), "{e}");
+        assert_eq!(
+            std::fs::metadata(&out_path).unwrap().modified().unwrap(),
+            before,
+            "a refused pack must not touch the existing container"
+        );
+        // --force overwrites, and the result still loads
+        let out = run(&cli(&["pack", f, &out_file, "--force"])).unwrap();
+        assert!(out.contains("packed"), "{out}");
+        assert!(pasgal_graph::disk::MmapGraph::load(&out_path).is_ok());
+        // packing a container onto itself is refused outright
+        let e = run(&cli(&["pack", &out_file, &out_file, "--force"])).unwrap_err();
+        assert!(e.contains("same file"), "{e}");
+        std::fs::remove_file(&out_path).unwrap();
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn verify_reports_sections_and_flags_corruption() {
+        let p = write_fixture();
+        let f = p.to_str().unwrap();
+        let out_path =
+            std::env::temp_dir().join(format!("pasgal_cli_verify_{}.pasgal", std::process::id()));
+        let out_file = out_path.to_str().unwrap().to_string();
+        run(&cli(&["pack", f, &out_file])).unwrap();
+
+        let out = run(&cli(&["verify", &out_file])).unwrap();
+        assert!(out.contains("verifies clean"), "{out}");
+        assert!(out.contains("header"), "{out}");
+        assert!(out.contains("section"), "{out}");
+        assert!(!out.contains("FAIL"), "{out}");
+
+        // flip one payload byte: verify must fail (non-zero exit via Err)
+        // and say which check broke
+        let mut bytes = std::fs::read(&out_path).unwrap();
+        let last = bytes.len() - 9;
+        bytes[last] ^= 0x40;
+        std::fs::write(&out_path, &bytes).unwrap();
+        let e = run(&cli(&["verify", &out_file])).unwrap_err();
+        assert!(e.contains("corrupt"), "{e}");
+        assert!(e.contains("FAIL"), "{e}");
+
+        let e = run(&cli(&["verify"])).unwrap_err();
+        assert!(e.contains("usage"), "{e}");
+        let e = run(&cli(&["verify", "/no/such/file.pasgal"])).unwrap_err();
+        assert!(e.contains("cannot read"), "{e}");
+        std::fs::remove_file(&out_path).unwrap();
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn serve_mutation_flag_validation() {
+        let err = |c: &Cli| start_service(c).err().expect("should fail");
+        let bad = err(&cli(&["serve", "--invalidation", "lazy"]));
+        assert!(bad.contains("incremental or nuke"), "{bad}");
+        let bad = err(&cli(&["serve", "--compact-delta-kb", "0"]));
+        assert!(bad.contains("at least 1"), "{bad}");
+        // valid settings reach the bind step (port 0: ephemeral)
+        let (svc, server) = start_service(&cli(&[
+            "serve",
+            "--port",
+            "0",
+            "--invalidation",
+            "nuke",
+            "--compact-delta-kb",
+            "64",
+        ]))
+        .unwrap();
+        drop(server);
+        drop(svc);
+    }
+
+    #[test]
     fn serve_storage_flag_validation() {
         let e = validate_serve_options(&cli(&["serve", "--storage", "zstd"]));
         assert!(e.is_ok(), "allowlist only checks names: {e:?}");
@@ -1134,6 +1283,8 @@ mod tests {
             "oracle-sources",
             "default-deadline-ms",
             "memory-budget-mb",
+            "compact-delta-kb",
+            "invalidation",
             "storage",
             "mmap",
             "drain-ms",

@@ -54,7 +54,7 @@ fn main() {
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" || args[0] == "help" {
         eprintln!(
             "usage: pasgal <command> <graph-file> [options]\n\
-             commands: bfs sssp scc bcc cc kcore ptp stats validate gen serve\n\
+             commands: bfs sssp scc bcc cc kcore ptp stats validate gen pack verify serve\n\
              options:  --algo NAME --src N --dst N --tau N --delta N\n\
                        --threads N --scale tiny|small|full\n\
              serve:    --host H --port N --workers N --queue N\n\

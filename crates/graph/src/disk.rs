@@ -193,6 +193,25 @@ pub fn pack<S: GraphStorage>(
     Ok(())
 }
 
+/// [`pack`] with an overwrite guard: refuses to clobber an existing file
+/// unless `force` is set. The CLI front end goes through this; library
+/// callers that manage their own paths may still use [`pack`] directly.
+pub fn pack_checked<S: GraphStorage>(
+    g: &S,
+    path: impl AsRef<Path>,
+    compress: bool,
+    force: bool,
+) -> Result<(), DiskError> {
+    let path = path.as_ref();
+    if !force && path.exists() {
+        return Err(DiskError::Io(std::io::Error::new(
+            std::io::ErrorKind::AlreadyExists,
+            format!("{} exists (pass --force to overwrite)", path.display()),
+        )));
+    }
+    pack(g, path, compress)
+}
+
 // ------------------------------------------------------------- mapping ---
 
 #[cfg(unix)]
@@ -311,6 +330,207 @@ fn read_u32(b: &[u8], off: usize) -> u32 {
     u32::from_le_bytes(b[off..off + 4].try_into().unwrap())
 }
 
+const SECTION_COUNT: usize = 4;
+
+/// Decoded, checksum-verified header fields.
+struct Header {
+    flags: u64,
+    n: usize,
+    m: usize,
+    max_weight: Weight,
+    sample_rate: usize,
+    sections: [Section; SECTION_COUNT],
+    sums: [u64; SECTION_COUNT],
+}
+
+/// Validate magic/version/endianness and the header checksum, then
+/// decode the fixed fields and section table.
+fn parse_header(b: &[u8]) -> Result<Header, DiskError> {
+    if b.len() < PAGE {
+        return format_err("file shorter than header page");
+    }
+    if read_u64(b, 0x00) != MAGIC {
+        return format_err("bad magic");
+    }
+    if read_u32(b, 0x08) != VERSION {
+        return format_err(format!("unsupported version {}", read_u32(b, 0x08)));
+    }
+    if read_u32(b, 0x0c) != ENDIAN_SENTINEL {
+        return format_err("byte order mismatch");
+    }
+    let stored_hsum = read_u64(b, HEADER_LEN - 8);
+    if fnv1a(&b[..HEADER_LEN - 8]) != stored_hsum {
+        return format_err("header checksum mismatch");
+    }
+    let mut sections = [Section { off: 0, len: 0 }; SECTION_COUNT];
+    let mut sums = [0u64; SECTION_COUNT];
+    for i in 0..SECTION_COUNT {
+        let base = 0x38 + i * 24;
+        let off = read_u64(b, base);
+        let len = read_u64(b, base + 8);
+        if off.checked_add(len).is_none_or(|end| end > b.len() as u64) {
+            return format_err(format!("section {i} out of bounds"));
+        }
+        sections[i] = Section {
+            off: off as usize,
+            len: len as usize,
+        };
+        sums[i] = read_u64(b, base + 16);
+    }
+    Ok(Header {
+        flags: read_u64(b, 0x10),
+        n: read_u64(b, 0x18) as usize,
+        m: read_u64(b, 0x20) as usize,
+        max_weight: read_u64(b, 0x28) as Weight,
+        sample_rate: read_u64(b, 0x30) as usize,
+        sections,
+        sums,
+    })
+}
+
+/// Expected file offset of section `i` given the strict sequential,
+/// page-padded layout `pack` writes.
+fn expected_offset(h: &Header, i: usize) -> usize {
+    let mut off = PAGE;
+    for s in &h.sections[..i] {
+        off = (off + s.len).div_ceil(PAGE) * PAGE;
+    }
+    off
+}
+
+/// Validate one section: position in the strict layout, checksum, and
+/// zero padding up to the next page boundary. Covering the pad bytes is
+/// what makes *every* byte of the file either checksummed or
+/// zero-checked, so a single flipped byte can never go unnoticed.
+fn check_section(b: &[u8], h: &Header, i: usize) -> Result<(), String> {
+    let s = h.sections[i];
+    let expected = expected_offset(h, i);
+    if s.off != expected {
+        return Err(format!(
+            "section {i} at offset {} (layout expects {expected})",
+            s.off
+        ));
+    }
+    if fnv1a(&b[s.off..s.off + s.len]) != h.sums[i] {
+        return Err(format!("section {i} checksum mismatch"));
+    }
+    let padded = (s.off + s.len).div_ceil(PAGE) * PAGE;
+    let pad_end = padded.min(b.len());
+    if b[s.off + s.len..pad_end].iter().any(|&x| x != 0) {
+        return Err(format!("section {i} padding not zero"));
+    }
+    Ok(())
+}
+
+/// The file must end exactly where the last padded section does, and the
+/// header page's tail must be zero — trailing garbage or padding writes
+/// are corruption, not slack.
+fn check_length(b: &[u8], h: &Header) -> Result<(), String> {
+    if b[HEADER_LEN..PAGE].iter().any(|&x| x != 0) {
+        return Err("header padding not zero".to_string());
+    }
+    let expected = expected_offset(h, SECTION_COUNT);
+    if b.len() != expected {
+        return Err(format!(
+            "file length {} (layout expects {expected})",
+            b.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Outcome of one [`verify`] check.
+#[derive(Debug)]
+pub struct VerifyCheck {
+    /// What was checked (`header`, `section N`, `length`, `invariants`).
+    pub name: String,
+    /// Whether the check passed.
+    pub ok: bool,
+    /// Human-readable detail (sizes on success, the failure otherwise).
+    pub detail: String,
+}
+
+/// Per-section report from [`verify`].
+#[derive(Debug, Default)]
+pub struct VerifyReport {
+    /// Individual checks in the order they ran.
+    pub checks: Vec<VerifyCheck>,
+}
+
+impl VerifyReport {
+    /// Whether every check passed.
+    pub fn ok(&self) -> bool {
+        self.checks.iter().all(|c| c.ok)
+    }
+
+    fn push(&mut self, name: impl Into<String>, result: Result<String, String>) {
+        let (ok, detail) = match result {
+            Ok(d) => (true, d),
+            Err(d) => (false, d),
+        };
+        self.checks.push(VerifyCheck {
+            name: name.into(),
+            ok,
+            detail,
+        });
+    }
+}
+
+/// Re-check a packed container end to end: header + section checksums,
+/// strict layout/padding/length, and the deep offset/bounds invariants
+/// of the payload. Unlike [`MmapGraph::load`] this does not stop at the
+/// first failure — every section gets its own verdict — and it never
+/// panics on corrupt input. I/O errors (missing file) are still `Err`.
+pub fn verify(path: impl AsRef<Path>) -> Result<VerifyReport, DiskError> {
+    let bytes = std::fs::read(path)?;
+    let mut report = VerifyReport::default();
+    let h = match parse_header(&bytes) {
+        Ok(h) => {
+            report.push(
+                "header",
+                Ok(format!("n={} m={} flags=0x{:x}", h.n, h.m, h.flags)),
+            );
+            h
+        }
+        Err(e) => {
+            report.push("header", Err(e.to_string()));
+            return Ok(report);
+        }
+    };
+    for i in 0..SECTION_COUNT {
+        let s = h.sections[i];
+        report.push(
+            format!("section {i}"),
+            check_section(&bytes, &h, i).map(|()| format!("{} bytes at 0x{:x}", s.len, s.off)),
+        );
+    }
+    report.push(
+        "length",
+        check_length(&bytes, &h).map(|()| format!("{} bytes", bytes.len())),
+    );
+    if report.ok() {
+        let deep = match MmapGraph::parse(owned_from_bytes(&bytes)) {
+            Ok(g) => g.check_invariants(),
+            Err(e) => Err(e.to_string()),
+        };
+        report.push(
+            "invariants",
+            deep.map(|()| "offsets/targets in range".into()),
+        );
+    }
+    Ok(report)
+}
+
+/// Copy raw bytes into an owned 8-byte-aligned [`Source`].
+fn owned_from_bytes(bytes: &[u8]) -> Source {
+    let len = bytes.len();
+    let mut buf = vec![0u64; len.div_ceil(8)];
+    // SAFETY: u64 buffer reinterpreted as bytes; len ≤ capacity bytes.
+    let dst = unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), len) };
+    dst.copy_from_slice(bytes);
+    Source::Owned { buf, len }
+}
+
 impl MmapGraph {
     /// Map `path` and validate header + section checksums. Falls back to
     /// an owned aligned buffer when mapping is unavailable.
@@ -372,44 +592,20 @@ impl MmapGraph {
 
     fn parse(src: Source) -> Result<Self, DiskError> {
         let b = src.bytes();
-        if b.len() < PAGE {
-            return format_err("file shorter than header page");
+        let h = parse_header(b)?;
+        for i in 0..SECTION_COUNT {
+            check_section(b, &h, i).map_err(DiskError::Format)?;
         }
-        if read_u64(b, 0x00) != MAGIC {
-            return format_err("bad magic");
-        }
-        if read_u32(b, 0x08) != VERSION {
-            return format_err(format!("unsupported version {}", read_u32(b, 0x08)));
-        }
-        if read_u32(b, 0x0c) != ENDIAN_SENTINEL {
-            return format_err("byte order mismatch");
-        }
-        let stored_hsum = read_u64(b, HEADER_LEN - 8);
-        if fnv1a(&b[..HEADER_LEN - 8]) != stored_hsum {
-            return format_err("header checksum mismatch");
-        }
-        let flags = read_u64(b, 0x10);
-        let n = read_u64(b, 0x18) as usize;
-        let m = read_u64(b, 0x20) as usize;
-        let max_weight = read_u64(b, 0x28) as Weight;
-        let sample_rate = read_u64(b, 0x30) as usize;
-        let mut sections = [Section { off: 0, len: 0 }; 4];
-        for (i, s) in sections.iter_mut().enumerate() {
-            let base = 0x38 + i * 24;
-            let off = read_u64(b, base) as usize;
-            let len = read_u64(b, base + 8) as usize;
-            let sum = read_u64(b, base + 16);
-            if off + len > b.len() {
-                return format_err(format!("section {i} out of bounds"));
-            }
-            if len > 0 && !off.is_multiple_of(PAGE) {
-                return format_err(format!("section {i} not page-aligned"));
-            }
-            if fnv1a(&b[off..off + len]) != sum {
-                return format_err(format!("section {i} checksum mismatch"));
-            }
-            *s = Section { off, len };
-        }
+        check_length(b, &h).map_err(DiskError::Format)?;
+        let Header {
+            flags,
+            n,
+            m,
+            max_weight,
+            sample_rate,
+            sections,
+            ..
+        } = h;
 
         let weighted = flags & FLAG_WEIGHTED != 0;
         let symmetric = flags & FLAG_SYMMETRIC != 0;
@@ -464,6 +660,47 @@ impl MmapGraph {
     /// Whether the payload is the byte-compressed stream.
     pub fn is_compressed(&self) -> bool {
         matches!(self.payload, Payload::Compressed { .. })
+    }
+
+    /// Deep structural invariants beyond checksums: offsets monotone,
+    /// starting at 0 and ending at `m`; every target in range; each
+    /// neighbor list sorted. O(n + m) — run by [`verify`], not by load.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if let Payload::Plain { .. } = self.payload {
+            if self.offset(0) != 0 {
+                return Err("offsets do not start at 0".into());
+            }
+            for v in 0..self.n {
+                if self.offset(v) > self.offset(v + 1) {
+                    return Err(format!("offsets decrease at vertex {v}"));
+                }
+            }
+            if self.offset(self.n) != self.m {
+                return Err(format!(
+                    "final offset {} != edge count {}",
+                    self.offset(self.n),
+                    self.m
+                ));
+            }
+        }
+        let mut total = 0usize;
+        for v in 0..self.n as VertexId {
+            let mut prev: Option<VertexId> = None;
+            for t in GraphStorage::neighbors(self, v) {
+                if (t as usize) >= self.n {
+                    return Err(format!("target {t} of vertex {v} out of range"));
+                }
+                if prev.is_some_and(|p| p > t) {
+                    return Err(format!("neighbor list of vertex {v} not sorted"));
+                }
+                prev = Some(t);
+                total += 1;
+            }
+        }
+        if total != self.m {
+            return Err(format!("edge count {total} != header m {}", self.m));
+        }
+        Ok(())
     }
 
     /// Zero-copy typed view of a section. Alignment holds because every

@@ -31,6 +31,7 @@ pub mod csr;
 pub mod disk;
 pub mod gen;
 pub mod io;
+pub mod overlay;
 pub mod stats;
 pub mod storage;
 pub mod transform;

@@ -1,0 +1,868 @@
+//! Live-graph mutation overlay: per-vertex sorted insert/delete sets
+//! layered over any immutable [`GraphStorage`] backend.
+//!
+//! A [`DeltaOverlay`] wraps an `Arc<GraphStore>` *base snapshot* and a
+//! sparse per-vertex delta: targets deleted from the base list and
+//! `(target, weight)` pairs inserted next to it, both kept sorted. The
+//! overlay itself implements [`GraphStorage`], so every traversal kernel
+//! (BFS, SSSP, SCC, CC, k-core, the multi-source engine) runs over a
+//! mutated graph unchanged through the existing monomorphized dispatch —
+//! neighbor iteration is an allocation-free sorted merge of
+//! `(base \ deletes) ∪ inserts`.
+//!
+//! Mutations are applied copy-on-write: the service clones the overlay
+//! (cloning only the delta, the base stays shared), applies a batch, and
+//! publishes the clone. A panic mid-batch therefore discards the clone
+//! and leaves the published snapshot untouched — per-batch atomicity by
+//! construction. [`DeltaOverlay::compact`] folds base + delta into a
+//! fresh plain CSR; the result is bit-identical to rebuilding from
+//! scratch because both walk the same merged, sorted neighbor lists.
+//!
+//! Delta invariants (maintained by [`DeltaOverlay::apply`]):
+//!
+//! * `deletes` ⊆ the base neighbor list of that vertex;
+//! * `inserts` is disjoint from `base \ deletes` — re-weighting a base
+//!   edge records a delete *and* an insert, so the merge never sees the
+//!   same target on both sides;
+//! * removed vertices stay allocated as isolated tombstones (`n` never
+//!   shrinks); added vertices extend `n` past the base's count.
+
+use crate::compressed::{CompressedNeighbors, CompressedWeightedNeighbors};
+use crate::csr::Graph;
+use crate::disk::{MmapNeighbors, MmapWeightedNeighbors};
+use crate::storage::{GraphStorage, GraphStore, SliceWeightedNeighbors, StorageKind};
+use crate::{Dist, VertexId, Weight};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One requested graph mutation. Edge semantics are *upsert*/*delete*:
+/// inserting an existing edge updates its weight, deleting a missing
+/// edge is a no-op. On symmetric graphs edge ops apply in both
+/// directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mutation {
+    /// Insert (or re-weight) the directed edge `u -> v`.
+    InsertEdge {
+        /// Source vertex.
+        u: VertexId,
+        /// Target vertex.
+        v: VertexId,
+        /// Edge weight (coerced to 1 on unweighted graphs).
+        w: Weight,
+    },
+    /// Delete the directed edge `u -> v` if present.
+    DeleteEdge {
+        /// Source vertex.
+        u: VertexId,
+        /// Target vertex.
+        v: VertexId,
+    },
+    /// Append one isolated vertex; its id is the pre-op vertex count.
+    AddVertex,
+    /// Delete every edge incident to `v`, leaving it as an isolated
+    /// tombstone (vertex ids are stable; `n` does not shrink).
+    RemoveVertex {
+        /// The vertex to isolate.
+        v: VertexId,
+    },
+}
+
+/// A mutation referenced a vertex outside the current vertex range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidVertex {
+    /// Index of the offending op within the batch.
+    pub index: usize,
+    /// The out-of-range vertex id.
+    pub vertex: VertexId,
+}
+
+impl std::fmt::Display for InvalidVertex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "op {}: vertex {} out of range", self.index, self.vertex)
+    }
+}
+
+impl std::error::Error for InvalidVertex {}
+
+/// What a batch actually changed, as **directed** edge deltas (symmetric
+/// mirrors appear as their own entries). This is the input to the
+/// service's incremental cache revalidation: a re-weight shows up as a
+/// delete of the old weight plus an insert of the new one.
+#[derive(Debug, Clone, Default)]
+pub struct AppliedBatch {
+    /// Directed edges now present that were absent (or re-weighted).
+    pub inserted: Vec<(VertexId, VertexId, Weight)>,
+    /// Directed edges removed, with the weight they carried.
+    pub deleted: Vec<(VertexId, VertexId, Weight)>,
+    /// Vertices appended by `AddVertex`.
+    pub added_vertices: usize,
+    /// Vertices isolated by `RemoveVertex`.
+    pub removed_vertices: usize,
+    /// Requested ops that changed the graph (no-ops excluded).
+    pub changed_ops: usize,
+}
+
+impl AppliedBatch {
+    /// Whether the batch left the graph exactly as it was.
+    pub fn is_noop(&self) -> bool {
+        self.changed_ops == 0
+    }
+}
+
+/// Sorted per-vertex delta over the base neighbor list.
+#[derive(Debug, Clone, Default)]
+struct VertexDelta {
+    /// `(target, weight)` pairs to merge in, sorted by target.
+    inserts: Vec<(VertexId, Weight)>,
+    /// Base targets to mask out, sorted. Always ⊆ the base list.
+    deletes: Vec<VertexId>,
+}
+
+impl VertexDelta {
+    fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+}
+
+/// A mutable graph: an immutable base snapshot plus a sparse edge delta.
+/// Implements [`GraphStorage`], so it traverses like any other backend.
+#[derive(Debug, Clone)]
+pub struct DeltaOverlay {
+    /// The immutable snapshot under the delta. Never itself an overlay —
+    /// [`DeltaOverlay::new`] flattens by construction.
+    base: Arc<GraphStore>,
+    deltas: HashMap<VertexId, VertexDelta>,
+    n: usize,
+    m: usize,
+    symmetric: bool,
+    weighted: bool,
+    max_weight: Weight,
+}
+
+impl DeltaOverlay {
+    /// Start an empty overlay over `base`.
+    ///
+    /// # Panics
+    /// If `base` is itself an overlay — layering overlays would make
+    /// lookups O(depth); mutate an existing overlay by cloning it
+    /// instead.
+    pub fn new(base: Arc<GraphStore>) -> Self {
+        assert!(
+            !matches!(&*base, GraphStore::Overlay(_)),
+            "overlay base must be a concrete backend"
+        );
+        let n = base.num_vertices();
+        let m = base.num_edges();
+        let symmetric = base.is_symmetric();
+        let weighted = base.is_weighted();
+        let max_weight = if weighted && n > 0 {
+            ((base.distance_bound() / n as Dist).max(1)).min(Weight::MAX as Dist) as Weight
+        } else {
+            1
+        };
+        Self {
+            base,
+            deltas: HashMap::new(),
+            n,
+            m,
+            symmetric,
+            weighted,
+            max_weight,
+        }
+    }
+
+    /// The base snapshot this overlay layers over.
+    pub fn base(&self) -> &Arc<GraphStore> {
+        &self.base
+    }
+
+    /// Directed edges added/masked by the delta (insert + delete entries).
+    pub fn delta_edges(&self) -> usize {
+        self.deltas
+            .values()
+            .map(|d| d.inserts.len() + d.deletes.len())
+            .sum()
+    }
+
+    /// Approximate bytes the delta itself keeps resident, excluding the
+    /// shared base snapshot.
+    pub fn delta_bytes(&self) -> usize {
+        let per_entry = std::mem::size_of::<(VertexId, VertexDelta)>() + 16;
+        self.deltas
+            .values()
+            .map(|d| {
+                per_entry
+                    + d.inserts.capacity() * std::mem::size_of::<(VertexId, Weight)>()
+                    + d.deletes.capacity() * std::mem::size_of::<VertexId>()
+            })
+            .sum()
+    }
+
+    fn base_n(&self) -> usize {
+        self.base.num_vertices()
+    }
+
+    fn base_neighbors(&self, v: VertexId) -> StoreNeighbors<'_> {
+        if (v as usize) >= self.base_n() {
+            return StoreNeighbors::Empty;
+        }
+        match &*self.base {
+            GraphStore::Plain(g) => StoreNeighbors::Plain(GraphStorage::neighbors(g, v)),
+            GraphStore::Compressed(g) => StoreNeighbors::Compressed(GraphStorage::neighbors(g, v)),
+            GraphStore::Mmap(g) => StoreNeighbors::Mmap(GraphStorage::neighbors(g, v)),
+            GraphStore::Overlay(_) => unreachable!("overlay base is a concrete backend"),
+        }
+    }
+
+    fn base_weighted_neighbors(&self, v: VertexId) -> StoreWeightedNeighbors<'_> {
+        if (v as usize) >= self.base_n() {
+            return StoreWeightedNeighbors::Empty;
+        }
+        match &*self.base {
+            GraphStore::Plain(g) => {
+                StoreWeightedNeighbors::Plain(GraphStorage::weighted_neighbors(g, v))
+            }
+            GraphStore::Compressed(g) => {
+                StoreWeightedNeighbors::Compressed(GraphStorage::weighted_neighbors(g, v))
+            }
+            GraphStore::Mmap(g) => {
+                StoreWeightedNeighbors::Mmap(GraphStorage::weighted_neighbors(g, v))
+            }
+            GraphStore::Overlay(_) => unreachable!("overlay base is a concrete backend"),
+        }
+    }
+
+    fn base_degree(&self, v: VertexId) -> usize {
+        if (v as usize) >= self.base_n() {
+            return 0;
+        }
+        crate::with_storage!(&*self.base, g, GraphStorage::degree(g, v))
+    }
+
+    /// Weight of `u -> v` in the base snapshot, if the edge exists there.
+    fn base_weight_of(&self, u: VertexId, v: VertexId) -> Option<Weight> {
+        for (t, w) in self.base_weighted_neighbors(u) {
+            if t >= v {
+                return (t == v).then_some(w);
+            }
+        }
+        None
+    }
+
+    /// Current (post-delta) weight of `u -> v`, if the edge exists.
+    pub fn weight_of(&self, u: VertexId, v: VertexId) -> Option<Weight> {
+        if let Some(d) = self.deltas.get(&u) {
+            if let Ok(i) = d.inserts.binary_search_by_key(&v, |&(t, _)| t) {
+                return Some(d.inserts[i].1);
+            }
+            if d.deletes.binary_search(&v).is_ok() {
+                return None;
+            }
+        }
+        self.base_weight_of(u, v)
+    }
+
+    /// Insert or re-weight `u -> v` (one direction). Records changes into
+    /// `batch` and returns whether anything changed.
+    fn insert_one(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        w: Weight,
+        batch: &mut AppliedBatch,
+    ) -> bool {
+        let w = if self.weighted { w } else { 1 };
+        let old = self.weight_of(u, v);
+        if old == Some(w) {
+            return false;
+        }
+        let base_has = self.base_weight_of(u, v).is_some();
+        let d = self.deltas.entry(u).or_default();
+        match d.inserts.binary_search_by_key(&v, |&(t, _)| t) {
+            Ok(i) => d.inserts[i].1 = w,
+            Err(i) => {
+                d.inserts.insert(i, (v, w));
+                // re-weighting a live base edge: mask it so the merge
+                // sees the target exactly once
+                if base_has {
+                    if let Err(j) = d.deletes.binary_search(&v) {
+                        d.deletes.insert(j, v);
+                    }
+                }
+            }
+        }
+        match old {
+            Some(old_w) => {
+                batch.deleted.push((u, v, old_w));
+                batch.inserted.push((u, v, w));
+            }
+            None => {
+                self.m += 1;
+                batch.inserted.push((u, v, w));
+            }
+        }
+        self.max_weight = self.max_weight.max(w);
+        true
+    }
+
+    /// Delete `u -> v` (one direction). Records the change and returns
+    /// whether the edge existed.
+    fn delete_one(&mut self, u: VertexId, v: VertexId, batch: &mut AppliedBatch) -> bool {
+        let Some(old_w) = self.weight_of(u, v) else {
+            return false;
+        };
+        let base_has = self.base_weight_of(u, v).is_some();
+        let d = self.deltas.entry(u).or_default();
+        if let Ok(i) = d.inserts.binary_search_by_key(&v, |&(t, _)| t) {
+            d.inserts.remove(i);
+        }
+        if base_has {
+            if let Err(j) = d.deletes.binary_search(&v) {
+                d.deletes.insert(j, v);
+            }
+        }
+        if d.is_empty() {
+            self.deltas.remove(&u);
+        }
+        self.m -= 1;
+        batch.deleted.push((u, v, old_w));
+        true
+    }
+
+    /// Apply a batch of mutations in order. Returns what actually
+    /// changed, or the first out-of-range vertex reference — in which
+    /// case `self` may hold a prefix of the batch and should be
+    /// discarded (the service applies batches to a clone).
+    pub fn apply(&mut self, ops: &[Mutation]) -> Result<AppliedBatch, InvalidVertex> {
+        let mut batch = AppliedBatch::default();
+        for (index, &op) in ops.iter().enumerate() {
+            let check = |vertex: VertexId, n: usize| {
+                if (vertex as usize) < n {
+                    Ok(())
+                } else {
+                    Err(InvalidVertex { index, vertex })
+                }
+            };
+            match op {
+                Mutation::InsertEdge { u, v, w } => {
+                    check(u, self.n)?;
+                    check(v, self.n)?;
+                    let mut changed = self.insert_one(u, v, w, &mut batch);
+                    if self.symmetric && u != v {
+                        changed |= self.insert_one(v, u, w, &mut batch);
+                    }
+                    batch.changed_ops += usize::from(changed);
+                }
+                Mutation::DeleteEdge { u, v } => {
+                    check(u, self.n)?;
+                    check(v, self.n)?;
+                    let mut changed = self.delete_one(u, v, &mut batch);
+                    if self.symmetric && u != v {
+                        changed |= self.delete_one(v, u, &mut batch);
+                    }
+                    batch.changed_ops += usize::from(changed);
+                }
+                Mutation::AddVertex => {
+                    self.n += 1;
+                    batch.added_vertices += 1;
+                    batch.changed_ops += 1;
+                }
+                Mutation::RemoveVertex { v } => {
+                    check(v, self.n)?;
+                    let mut changed = false;
+                    let outs: Vec<VertexId> = self.neighbors(v).collect();
+                    for t in outs {
+                        changed |= self.delete_one(v, t, &mut batch);
+                    }
+                    // in-edges: O(n + m) sorted-scan sweep; acceptable for
+                    // the rare isolate-a-vertex op
+                    for u in 0..self.n as VertexId {
+                        if u != v && self.weight_of(u, v).is_some() {
+                            changed |= self.delete_one(u, v, &mut batch);
+                        }
+                    }
+                    if changed {
+                        batch.removed_vertices += 1;
+                        batch.changed_ops += 1;
+                    }
+                }
+            }
+        }
+        Ok(batch)
+    }
+
+    /// Fold base + delta into a fresh plain CSR. Bit-identical to
+    /// rebuilding the mutated graph from scratch: the merge yields each
+    /// vertex's final neighbor list sorted, which is exactly what
+    /// [`Graph::from_csr`] stores.
+    pub fn compact(&self) -> Graph {
+        let n = self.n;
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(self.m);
+        let mut weights = self.weighted.then(|| Vec::with_capacity(self.m));
+        offsets.push(0usize);
+        for v in 0..n as VertexId {
+            if let Some(ws) = &mut weights {
+                for (t, w) in GraphStorage::weighted_neighbors(self, v) {
+                    targets.push(t);
+                    ws.push(w);
+                }
+            } else {
+                targets.extend(GraphStorage::neighbors(self, v));
+            }
+            offsets.push(targets.len());
+        }
+        Graph::from_csr(offsets, targets, weights, self.symmetric)
+    }
+}
+
+/// Neighbor iterator of the overlay's base, dispatched once per vertex.
+pub enum StoreNeighbors<'a> {
+    /// Plain CSR slice walk.
+    Plain(std::iter::Copied<std::slice::Iter<'a, VertexId>>),
+    /// Byte-compressed varint decode.
+    Compressed(CompressedNeighbors<'a>),
+    /// Mmap-backed container (either payload flavor).
+    Mmap(MmapNeighbors<'a>),
+    /// Vertex beyond the base's vertex count (added after the snapshot).
+    Empty,
+}
+
+impl Iterator for StoreNeighbors<'_> {
+    type Item = VertexId;
+
+    #[inline]
+    fn next(&mut self) -> Option<VertexId> {
+        match self {
+            StoreNeighbors::Plain(it) => it.next(),
+            StoreNeighbors::Compressed(it) => it.next(),
+            StoreNeighbors::Mmap(it) => it.next(),
+            StoreNeighbors::Empty => None,
+        }
+    }
+}
+
+/// Weighted twin of [`StoreNeighbors`].
+pub enum StoreWeightedNeighbors<'a> {
+    /// Plain CSR parallel slices.
+    Plain(SliceWeightedNeighbors<'a>),
+    /// Byte-compressed varint decode.
+    Compressed(CompressedWeightedNeighbors<'a>),
+    /// Mmap-backed container (either payload flavor).
+    Mmap(MmapWeightedNeighbors<'a>),
+    /// Vertex beyond the base's vertex count.
+    Empty,
+}
+
+impl Iterator for StoreWeightedNeighbors<'_> {
+    type Item = (VertexId, Weight);
+
+    #[inline]
+    fn next(&mut self) -> Option<(VertexId, Weight)> {
+        match self {
+            StoreWeightedNeighbors::Plain(it) => it.next(),
+            StoreWeightedNeighbors::Compressed(it) => it.next(),
+            StoreWeightedNeighbors::Mmap(it) => it.next(),
+            StoreWeightedNeighbors::Empty => None,
+        }
+    }
+}
+
+static NO_DELTA: VertexDelta = VertexDelta {
+    inserts: Vec::new(),
+    deletes: Vec::new(),
+};
+
+/// Allocation-free sorted merge of `(base \ deletes) ∪ inserts` for one
+/// vertex. Both sides ascend and are disjoint by the delta invariant,
+/// so the merge is a straight two-pointer walk.
+pub struct OverlayNeighbors<'a> {
+    base: StoreNeighbors<'a>,
+    pending: Option<VertexId>,
+    deletes: &'a [VertexId],
+    del_pos: usize,
+    inserts: &'a [(VertexId, Weight)],
+    ins_pos: usize,
+    remaining: usize,
+}
+
+impl<'a> OverlayNeighbors<'a> {
+    fn new(base: StoreNeighbors<'a>, delta: &'a VertexDelta, remaining: usize) -> Self {
+        let mut it = Self {
+            base,
+            pending: None,
+            deletes: &delta.deletes,
+            del_pos: 0,
+            inserts: &delta.inserts,
+            ins_pos: 0,
+            remaining,
+        };
+        it.advance_base();
+        it
+    }
+
+    /// Pull the next base target that is not masked by `deletes`.
+    fn advance_base(&mut self) {
+        self.pending = None;
+        for t in self.base.by_ref() {
+            while self.del_pos < self.deletes.len() && self.deletes[self.del_pos] < t {
+                self.del_pos += 1;
+            }
+            if self.del_pos < self.deletes.len() && self.deletes[self.del_pos] == t {
+                self.del_pos += 1;
+                continue;
+            }
+            self.pending = Some(t);
+            return;
+        }
+    }
+}
+
+impl Iterator for OverlayNeighbors<'_> {
+    type Item = VertexId;
+
+    #[inline]
+    fn next(&mut self) -> Option<VertexId> {
+        let ins = self.inserts.get(self.ins_pos).map(|&(t, _)| t);
+        let out = match (self.pending, ins) {
+            (Some(b), Some(i)) if i < b => {
+                self.ins_pos += 1;
+                i
+            }
+            (Some(b), _) => {
+                self.advance_base();
+                b
+            }
+            (None, Some(i)) => {
+                self.ins_pos += 1;
+                i
+            }
+            (None, None) => return None,
+        };
+        self.remaining -= 1;
+        Some(out)
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for OverlayNeighbors<'_> {}
+
+/// Weighted twin of [`OverlayNeighbors`].
+pub struct OverlayWeightedNeighbors<'a> {
+    base: StoreWeightedNeighbors<'a>,
+    pending: Option<(VertexId, Weight)>,
+    deletes: &'a [VertexId],
+    del_pos: usize,
+    inserts: &'a [(VertexId, Weight)],
+    ins_pos: usize,
+    remaining: usize,
+}
+
+impl<'a> OverlayWeightedNeighbors<'a> {
+    fn new(base: StoreWeightedNeighbors<'a>, delta: &'a VertexDelta, remaining: usize) -> Self {
+        let mut it = Self {
+            base,
+            pending: None,
+            deletes: &delta.deletes,
+            del_pos: 0,
+            inserts: &delta.inserts,
+            ins_pos: 0,
+            remaining,
+        };
+        it.advance_base();
+        it
+    }
+
+    fn advance_base(&mut self) {
+        self.pending = None;
+        for (t, w) in self.base.by_ref() {
+            while self.del_pos < self.deletes.len() && self.deletes[self.del_pos] < t {
+                self.del_pos += 1;
+            }
+            if self.del_pos < self.deletes.len() && self.deletes[self.del_pos] == t {
+                self.del_pos += 1;
+                continue;
+            }
+            self.pending = Some((t, w));
+            return;
+        }
+    }
+}
+
+impl Iterator for OverlayWeightedNeighbors<'_> {
+    type Item = (VertexId, Weight);
+
+    #[inline]
+    fn next(&mut self) -> Option<(VertexId, Weight)> {
+        let ins = self.inserts.get(self.ins_pos).copied();
+        let out = match (self.pending, ins) {
+            (Some((bt, _)), Some((it, iw))) if it < bt => {
+                self.ins_pos += 1;
+                (it, iw)
+            }
+            (Some(b), _) => {
+                self.advance_base();
+                b
+            }
+            (None, Some(i)) => {
+                self.ins_pos += 1;
+                i
+            }
+            (None, None) => return None,
+        };
+        self.remaining -= 1;
+        Some(out)
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for OverlayWeightedNeighbors<'_> {}
+
+impl GraphStorage for DeltaOverlay {
+    type Neighbors<'a> = OverlayNeighbors<'a>;
+    type WeightedNeighbors<'a> = OverlayWeightedNeighbors<'a>;
+
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        let base = self.base_degree(v);
+        match self.deltas.get(&v) {
+            Some(d) => base - d.deletes.len() + d.inserts.len(),
+            None => base,
+        }
+    }
+
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> Self::Neighbors<'_> {
+        let delta = self.deltas.get(&v).unwrap_or(&NO_DELTA);
+        OverlayNeighbors::new(self.base_neighbors(v), delta, self.degree(v))
+    }
+
+    #[inline]
+    fn weighted_neighbors(&self, v: VertexId) -> Self::WeightedNeighbors<'_> {
+        let delta = self.deltas.get(&v).unwrap_or(&NO_DELTA);
+        OverlayWeightedNeighbors::new(self.base_weighted_neighbors(v), delta, self.degree(v))
+    }
+
+    #[inline]
+    fn is_symmetric(&self) -> bool {
+        self.symmetric
+    }
+
+    #[inline]
+    fn is_weighted(&self) -> bool {
+        self.weighted
+    }
+
+    #[inline]
+    fn storage_kind(&self) -> StorageKind {
+        StorageKind::Overlay
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.base.resident_bytes() + self.delta_bytes()
+    }
+
+    fn distance_bound(&self) -> Dist {
+        (self.n as Dist).saturating_mul(self.max_weight.max(1) as Dist)
+    }
+
+    #[inline]
+    fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.weight_of(u, v).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{from_edges, from_edges_symmetric, from_weighted_edges};
+    use crate::compressed::CompressedGraph;
+    use crate::gen::basic::grid2d;
+    use crate::storage::to_plain;
+
+    fn overlay_of(g: Graph) -> DeltaOverlay {
+        DeltaOverlay::new(Arc::new(GraphStore::Plain(g)))
+    }
+
+    fn nbrs(o: &DeltaOverlay, v: VertexId) -> Vec<VertexId> {
+        GraphStorage::neighbors(o, v).collect()
+    }
+
+    #[test]
+    fn empty_overlay_mirrors_base() {
+        let g = grid2d(3, 3);
+        let o = overlay_of(g.clone());
+        assert_eq!(o.num_vertices(), 9);
+        assert_eq!(o.num_edges(), GraphStorage::num_edges(&g));
+        for v in 0..9u32 {
+            assert_eq!(nbrs(&o, v), Graph::neighbors(&g, v));
+            assert_eq!(GraphStorage::degree(&o, v), Graph::degree(&g, v));
+        }
+        assert_eq!(o.compact(), g);
+    }
+
+    #[test]
+    fn insert_delete_merge_sorted() {
+        let mut o = overlay_of(from_edges(5, &[(0, 1), (0, 3)]));
+        let batch = o
+            .apply(&[
+                Mutation::InsertEdge { u: 0, v: 2, w: 1 },
+                Mutation::InsertEdge { u: 0, v: 4, w: 1 },
+                Mutation::DeleteEdge { u: 0, v: 3 },
+            ])
+            .unwrap();
+        assert_eq!(batch.changed_ops, 3);
+        assert_eq!(nbrs(&o, 0), vec![1, 2, 4]);
+        assert_eq!(GraphStorage::degree(&o, 0), 3);
+        assert_eq!(o.num_edges(), 3);
+        assert!(o.has_edge(0, 2));
+        assert!(!o.has_edge(0, 3));
+        let it = GraphStorage::neighbors(&o, 0);
+        assert_eq!(it.len(), 3);
+    }
+
+    #[test]
+    fn upsert_reweights_and_records_both_sides() {
+        let mut o = overlay_of(from_weighted_edges(3, &[(0, 1)], &[5]));
+        let batch = o
+            .apply(&[Mutation::InsertEdge { u: 0, v: 1, w: 9 }])
+            .unwrap();
+        assert_eq!(batch.deleted, vec![(0, 1, 5)]);
+        assert_eq!(batch.inserted, vec![(0, 1, 9)]);
+        assert_eq!(o.num_edges(), 1);
+        assert_eq!(o.weight_of(0, 1), Some(9));
+        let w: Vec<(u32, u32)> = GraphStorage::weighted_neighbors(&o, 0).collect();
+        assert_eq!(w, vec![(1, 9)]);
+        // same weight again is a no-op
+        let batch = o
+            .apply(&[Mutation::InsertEdge { u: 0, v: 1, w: 9 }])
+            .unwrap();
+        assert!(batch.is_noop());
+    }
+
+    #[test]
+    fn unweighted_coerces_weight_to_unit() {
+        let mut o = overlay_of(from_edges(3, &[(0, 1)]));
+        o.apply(&[Mutation::InsertEdge { u: 1, v: 2, w: 77 }])
+            .unwrap();
+        let w: Vec<(u32, u32)> = GraphStorage::weighted_neighbors(&o, 1).collect();
+        assert_eq!(w, vec![(2, 1)]);
+        // inserting an edge that already exists is then a no-op
+        let batch = o
+            .apply(&[Mutation::InsertEdge { u: 0, v: 1, w: 3 }])
+            .unwrap();
+        assert!(batch.is_noop());
+    }
+
+    #[test]
+    fn symmetric_ops_mirror() {
+        let mut o = overlay_of(from_edges_symmetric(4, &[(0, 1)]));
+        let batch = o
+            .apply(&[Mutation::InsertEdge { u: 2, v: 3, w: 1 }])
+            .unwrap();
+        assert_eq!(batch.inserted.len(), 2);
+        assert!(o.has_edge(2, 3) && o.has_edge(3, 2));
+        o.apply(&[Mutation::DeleteEdge { u: 1, v: 0 }]).unwrap();
+        assert!(!o.has_edge(0, 1) && !o.has_edge(1, 0));
+        assert_eq!(o.num_edges(), 2);
+    }
+
+    #[test]
+    fn add_and_remove_vertices() {
+        let mut o = overlay_of(from_edges(3, &[(0, 1), (1, 2), (2, 0)]));
+        let batch = o.apply(&[Mutation::AddVertex]).unwrap();
+        assert_eq!(batch.added_vertices, 1);
+        assert_eq!(o.num_vertices(), 4);
+        assert_eq!(nbrs(&o, 3), Vec::<u32>::new());
+        o.apply(&[Mutation::InsertEdge { u: 3, v: 1, w: 1 }])
+            .unwrap();
+        assert_eq!(nbrs(&o, 3), vec![1]);
+        let batch = o.apply(&[Mutation::RemoveVertex { v: 1 }]).unwrap();
+        assert_eq!(batch.removed_vertices, 1);
+        assert!(!o.has_edge(0, 1) && !o.has_edge(1, 2) && !o.has_edge(3, 1));
+        assert_eq!(o.num_vertices(), 4, "tombstone: n does not shrink");
+        assert_eq!(GraphStorage::degree(&o, 1), 0);
+    }
+
+    #[test]
+    fn out_of_range_vertex_rejected() {
+        let mut o = overlay_of(from_edges(2, &[(0, 1)]));
+        let err = o
+            .apply(&[Mutation::InsertEdge { u: 0, v: 7, w: 1 }])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            InvalidVertex {
+                index: 0,
+                vertex: 7
+            }
+        );
+        // AddVertex extends the range within the same batch
+        o.apply(&[
+            Mutation::AddVertex,
+            Mutation::InsertEdge { u: 2, v: 0, w: 1 },
+        ])
+        .unwrap();
+        assert!(o.has_edge(2, 0));
+    }
+
+    #[test]
+    fn compact_matches_to_plain_and_preserves_flags() {
+        let g = from_weighted_edges(4, &[(0, 1), (1, 2), (3, 0)], &[4, 5, 6]);
+        let mut o = overlay_of(g);
+        o.apply(&[
+            Mutation::InsertEdge { u: 2, v: 3, w: 8 },
+            Mutation::DeleteEdge { u: 1, v: 2 },
+            Mutation::InsertEdge { u: 0, v: 1, w: 2 },
+        ])
+        .unwrap();
+        let c = o.compact();
+        assert_eq!(c, to_plain(&o));
+        assert!(c.is_weighted());
+        assert_eq!(c.num_edges(), o.num_edges());
+        assert_eq!(c.neighbors(0), &[1]);
+        assert_eq!(c.neighbor_weights(0), Some(&[2u32][..]));
+        assert_eq!(Graph::distance_bound(&c), GraphStorage::distance_bound(&o));
+    }
+
+    #[test]
+    fn works_over_compressed_and_reports_kind() {
+        let g = grid2d(4, 4);
+        let comp = CompressedGraph::from_storage(&g);
+        let mut o = DeltaOverlay::new(Arc::new(GraphStore::Compressed(comp)));
+        assert_eq!(o.storage_kind(), StorageKind::Overlay);
+        o.apply(&[Mutation::DeleteEdge { u: 0, v: 1 }]).unwrap();
+        let folded = o.compact();
+        assert!(!folded.has_edge(0, 1));
+        assert_eq!(
+            GraphStorage::num_edges(&folded),
+            GraphStorage::num_edges(&g) - 2
+        );
+        assert!(o.resident_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "concrete backend")]
+    fn overlay_over_overlay_panics() {
+        let o = overlay_of(grid2d(2, 2));
+        let _ = DeltaOverlay::new(Arc::new(GraphStore::Overlay(o)));
+    }
+}

@@ -34,6 +34,9 @@ pub enum StorageKind {
     Compressed,
     /// Memory-mapped on-disk container; resident cost is paged by the OS.
     Mmap,
+    /// Mutation overlay: a sparse edge delta over one of the immutable
+    /// backends (see [`crate::overlay::DeltaOverlay`]).
+    Overlay,
 }
 
 impl StorageKind {
@@ -43,6 +46,7 @@ impl StorageKind {
             StorageKind::Plain => "plain",
             StorageKind::Compressed => "compressed",
             StorageKind::Mmap => "mmap",
+            StorageKind::Overlay => "overlay",
         }
     }
 }
@@ -293,6 +297,8 @@ pub enum GraphStore {
     Compressed(crate::compressed::CompressedGraph),
     /// Mmap-backed on-disk container.
     Mmap(crate::disk::MmapGraph),
+    /// Live graph: sparse mutation delta over an immutable base snapshot.
+    Overlay(crate::overlay::DeltaOverlay),
 }
 
 impl From<Graph> for GraphStore {
@@ -310,6 +316,7 @@ macro_rules! with_storage {
             $crate::storage::GraphStore::Plain($g) => $body,
             $crate::storage::GraphStore::Compressed($g) => $body,
             $crate::storage::GraphStore::Mmap($g) => $body,
+            $crate::storage::GraphStore::Overlay($g) => $body,
         }
     };
 }
@@ -356,6 +363,7 @@ impl GraphStore {
             GraphStore::Plain(g) => g.clone(),
             GraphStore::Compressed(g) => to_plain(g),
             GraphStore::Mmap(g) => to_plain(g),
+            GraphStore::Overlay(o) => o.compact(),
         }
     }
 }

@@ -208,10 +208,44 @@ impl ResultCache {
     }
 
     /// Drop every entry computed against `generation` (called when a graph
-    /// name is re-registered or unregistered).
-    pub fn invalidate_generation(&mut self, generation: u64) {
+    /// name is re-registered or unregistered). Returns how many entries
+    /// were dropped.
+    pub fn invalidate_generation(&mut self, generation: u64) -> usize {
+        let before = self.len();
         self.dists.retain(|k, _| k.generation() != generation);
         self.labelings.retain(|k, _| k.generation() != generation);
+        before - self.len()
+    }
+
+    /// Remove and return every entry computed against `generation` — the
+    /// incremental-invalidation path: the mutation applier takes the
+    /// entries out, revalidates or repairs each against the applied edge
+    /// delta, and re-inserts the survivors. Taking (rather than peeking)
+    /// keeps the cache consistent even if revalidation panics mid-way:
+    /// entries are simply gone, never stale.
+    pub fn take_generation(&mut self, generation: u64) -> Vec<(ComputeKey, ComputeValue)> {
+        let mut out = Vec::new();
+        let dist_keys: Vec<ComputeKey> = self
+            .dists
+            .keys()
+            .filter(|k| k.generation() == generation)
+            .copied()
+            .collect();
+        for k in dist_keys {
+            let slot = self.dists.remove(&k).expect("key just listed");
+            out.push((k, slot.value));
+        }
+        let label_keys: Vec<ComputeKey> = self
+            .labelings
+            .keys()
+            .filter(|k| k.generation() == generation)
+            .copied()
+            .collect();
+        for k in label_keys {
+            let v = self.labelings.remove(&k).expect("key just listed");
+            out.push((k, v));
+        }
+        out
     }
 
     /// Number of live entries (distance arrays + labelings).

@@ -26,6 +26,10 @@ pub struct GraphEntry {
     pub name: String,
     /// Unique id of this registration; changes on re-register.
     pub generation: u64,
+    /// Monotone mutation epoch within this generation: 0 at
+    /// registration, +1 per applied mutation batch. Compaction republishes
+    /// at the *same* epoch — it changes representation, not content.
+    pub epoch: u64,
     /// The graph as registered, in whichever backend it arrived.
     pub graph: Arc<GraphStore>,
     /// Lazily-computed symmetrized view for algorithms that need an
@@ -83,6 +87,7 @@ impl Catalog {
         let entry = Arc::new(GraphEntry {
             name: name.to_string(),
             generation,
+            epoch: 0,
             graph: Arc::new(graph.into()),
             symmetrized: OnceLock::new(),
         });
@@ -91,6 +96,36 @@ impl Catalog {
             .expect("catalog lock poisoned")
             .insert(name.to_string(), Arc::clone(&entry));
         entry
+    }
+
+    /// Replace the graph under `name` **within** the current generation —
+    /// the mutation/compaction publish path. Succeeds only while the
+    /// entry still carries `generation`; a concurrent re-registration
+    /// (which minted a new generation) wins and the publish is dropped,
+    /// so a stale mutation or compaction can never resurrect an
+    /// unregistered graph. Returns the new entry, or `None` if the
+    /// generation guard failed.
+    pub fn publish(
+        &self,
+        name: &str,
+        graph: GraphStore,
+        generation: u64,
+        epoch: u64,
+    ) -> Option<Arc<GraphEntry>> {
+        let mut map = self.graphs.write().expect("catalog lock poisoned");
+        let current = map.get(name)?;
+        if current.generation != generation {
+            return None;
+        }
+        let entry = Arc::new(GraphEntry {
+            name: name.to_string(),
+            generation,
+            epoch,
+            graph: Arc::new(graph),
+            symmetrized: OnceLock::new(),
+        });
+        map.insert(name.to_string(), Arc::clone(&entry));
+        Some(entry)
     }
 
     /// Look up a graph by name.
@@ -178,6 +213,27 @@ mod tests {
         let b = c.register("g", grid2d(4, 4));
         assert_ne!(a.generation, b.generation);
         assert_eq!(c.get("g").unwrap().generation, b.generation);
+    }
+
+    #[test]
+    fn publish_is_generation_guarded() {
+        let c = Catalog::new();
+        let a = c.register("g", grid2d(3, 3));
+        assert_eq!(a.epoch, 0);
+        let b = c
+            .publish("g", grid2d(3, 3).into(), a.generation, 1)
+            .unwrap();
+        assert_eq!(b.generation, a.generation, "epoch bump keeps generation");
+        assert_eq!(b.epoch, 1);
+        assert_eq!(c.get("g").unwrap().epoch, 1);
+        // a re-registration mints a new generation; stale publishes lose
+        let fresh = c.register("g", grid2d(2, 2));
+        assert!(c
+            .publish("g", grid2d(3, 3).into(), a.generation, 2)
+            .is_none());
+        assert_eq!(c.get("g").unwrap().generation, fresh.generation);
+        // unknown names cannot be resurrected
+        assert!(c.publish("zz", grid2d(2, 2).into(), 0, 1).is_none());
     }
 
     #[test]

@@ -61,6 +61,12 @@ pub struct FaultPlan {
     pub cache_miss_every: u64,
     /// Pretend the admission queue is full on every Nth submission.
     pub queue_full_every: u64,
+    /// Panic every Nth mutation batch mid-apply (the batch must roll
+    /// back atomically: nothing published, old snapshot intact).
+    pub mutation_panic_every: u64,
+    /// Panic every Nth compaction mid-fold (the old overlay snapshot
+    /// must keep serving).
+    pub compact_panic_every: u64,
 }
 
 impl Default for FaultPlan {
@@ -75,6 +81,8 @@ impl Default for FaultPlan {
             delay: Duration::from_millis(50),
             cache_miss_every: 0,
             queue_full_every: 0,
+            mutation_panic_every: 0,
+            compact_panic_every: 0,
         }
     }
 }
@@ -98,9 +106,11 @@ enum Point {
     Delay = 1,
     CacheMiss = 2,
     QueueFull = 3,
+    MutationPanic = 4,
+    CompactPanic = 5,
 }
 
-const POINTS: usize = 4;
+const POINTS: usize = 6;
 
 /// Live injector: a [`FaultPlan`] plus one arrival counter per point.
 /// Shared by every worker and query thread; all methods are lock-free.
@@ -137,7 +147,7 @@ impl FaultInjector {
             .plan
             .seed
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-            .wrapping_add(point as u64 * 0x517c_c1b7_2722_0a95)
+            .wrapping_add((point as u64).wrapping_mul(0x517c_c1b7_2722_0a95))
             % every;
         i % every == offset
     }
@@ -196,6 +206,16 @@ impl FaultInjector {
     pub fn should_force_queue_full(&self) -> bool {
         self.fire(Point::QueueFull, self.plan.queue_full_every)
     }
+
+    /// Should this mutation batch panic mid-apply?
+    pub fn should_panic_mutation(&self) -> bool {
+        self.fire(Point::MutationPanic, self.plan.mutation_panic_every)
+    }
+
+    /// Should this compaction panic mid-fold?
+    pub fn should_panic_compaction(&self) -> bool {
+        self.fire(Point::CompactPanic, self.plan.compact_panic_every)
+    }
 }
 
 #[cfg(test)]
@@ -209,6 +229,8 @@ mod tests {
             assert!(!inj.should_panic_worker());
             assert!(!inj.should_force_cache_miss());
             assert!(!inj.should_force_queue_full());
+            assert!(!inj.should_panic_mutation());
+            assert!(!inj.should_panic_compaction());
             assert!(inj.injected_delay().is_none());
         }
     }
@@ -230,6 +252,24 @@ mod tests {
         let inj = FaultInjector::new(plan);
         let again: Vec<bool> = (0..100).map(|_| inj.should_panic_worker()).collect();
         assert_eq!(fired, again);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn mutation_and_compaction_points_count_independently() {
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 0, // offset 0-ish phases; exact indices matter less than counts
+            mutation_panic_every: 3,
+            compact_panic_every: 2,
+            ..FaultPlan::default()
+        });
+        let mutation_fires = (0..30).filter(|_| inj.should_panic_mutation()).count();
+        let compact_fires = (0..30).filter(|_| inj.should_panic_compaction()).count();
+        assert_eq!(mutation_fires, 10);
+        assert_eq!(compact_fires, 15);
+        // the legacy points were untouched
+        assert!(!inj.should_panic_worker());
+        assert!(!inj.should_force_cache_miss());
     }
 
     #[cfg(feature = "fault-injection")]

@@ -55,6 +55,7 @@ pub mod cost;
 pub mod fault;
 pub mod json;
 pub mod metrics;
+pub mod mutate;
 pub mod query;
 pub mod resilience;
 pub mod server;

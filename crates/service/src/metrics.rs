@@ -45,6 +45,14 @@ pub struct Metrics {
     oracle_served: AtomicU64,
     oracle_unserved: AtomicU64,
     multi_source_flights: AtomicU64,
+    mutate_queries: AtomicU64,
+    mutation_batches: AtomicU64,
+    mutations_applied: AtomicU64,
+    mutations_shed: AtomicU64,
+    compactions: AtomicU64,
+    compactions_failed: AtomicU64,
+    cache_revalidated: AtomicU64,
+    cache_dropped: AtomicU64,
     brownout_state: AtomicU64,
     graph_resident_bytes: AtomicU64,
     latency_us: [AtomicU64; LATENCY_BUCKETS],
@@ -197,6 +205,49 @@ impl Metrics {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One `mutate` query reached its commit-or-shed decision point.
+    /// Subject to its own conservation identity:
+    /// `mutate_queries == mutation_batches + mutations_shed`.
+    pub fn mutate_query(&self) {
+        self.mutate_queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One mutation batch applied atomically, containing `ops` effective
+    /// edge/vertex operations.
+    pub fn mutation_batch(&self, ops: u64) {
+        self.mutation_batches.fetch_add(1, Ordering::Relaxed);
+        self.mutations_applied.fetch_add(ops, Ordering::Relaxed);
+    }
+
+    /// One mutation batch shed under brownout (reported `overloaded` on
+    /// the wire; nothing was applied).
+    pub fn mutation_shed(&self) {
+        self.mutations_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One overlay successfully folded into a fresh CSR and published.
+    pub fn compaction(&self) {
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One compaction aborted (worker panic, cancellation, or a newer
+    /// epoch published mid-fold); the previous snapshot kept serving.
+    pub fn compaction_failed(&self) {
+        self.compactions_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cache entries that survived a mutation batch: re-validated (or
+    /// repaired in place) instead of nuked.
+    pub fn cache_revalidated(&self, entries: u64) {
+        self.cache_revalidated.fetch_add(entries, Ordering::Relaxed);
+    }
+
+    /// Cache entries dropped by invalidation — actually stale after a
+    /// mutation batch (or nuked wholesale on re-registration).
+    pub fn cache_dropped(&self, entries: u64) {
+        self.cache_dropped.fetch_add(entries, Ordering::Relaxed);
+    }
+
     pub fn latency(&self, elapsed: std::time::Duration) {
         let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
         self.latency_us[bucket_of(us, LATENCY_BUCKETS)].fetch_add(1, Ordering::Relaxed);
@@ -235,6 +286,14 @@ impl Metrics {
             oracle_served: load(&self.oracle_served),
             oracle_unserved: load(&self.oracle_unserved),
             multi_source_flights: load(&self.multi_source_flights),
+            mutate_queries: load(&self.mutate_queries),
+            mutation_batches: load(&self.mutation_batches),
+            mutations_applied: load(&self.mutations_applied),
+            mutations_shed: load(&self.mutations_shed),
+            compactions: load(&self.compactions),
+            compactions_failed: load(&self.compactions_failed),
+            cache_revalidated: load(&self.cache_revalidated),
+            cache_dropped: load(&self.cache_dropped),
             brownout_state: load(&self.brownout_state),
             graph_resident_bytes: load(&self.graph_resident_bytes),
             latency_us: self.latency_us.iter().map(load).collect(),
@@ -295,6 +354,30 @@ pub struct MetricsSnapshot {
     /// Multi-source BFS flights executed (each serves up to 128 sources
     /// in one bit-parallel traversal).
     pub multi_source_flights: u64,
+    /// `mutate` queries that reached their commit-or-shed decision.
+    /// Conservation identity: `mutate_queries == mutation_batches +
+    /// mutations_shed`. Not disjoint from the query outcome buckets — a
+    /// mutate query still lands in `completed`/`shed`/… like any other.
+    pub mutate_queries: u64,
+    /// Mutation batches applied atomically (each bumped the graph's
+    /// epoch by exactly one).
+    pub mutation_batches: u64,
+    /// Effective edge/vertex operations across all applied batches
+    /// (no-ops excluded; symmetric mirrors count once per requested op).
+    pub mutations_applied: u64,
+    /// Mutation batches shed under brownout; nothing was applied.
+    pub mutations_shed: u64,
+    /// Overlays folded into fresh CSRs and published.
+    pub compactions: u64,
+    /// Compactions that aborted (panic / cancellation / stale epoch);
+    /// the old snapshot kept serving.
+    pub compactions_failed: u64,
+    /// Cache entries that survived mutation batches via incremental
+    /// revalidation or in-place repair.
+    pub cache_revalidated: u64,
+    /// Cache entries dropped as actually stale (or nuked wholesale on
+    /// re-registration).
+    pub cache_dropped: u64,
     /// Brownout state gauge: 0 = normal, 1 = pressured, 2 = brownout.
     pub brownout_state: u64,
     /// Total resident bytes of registered graphs (gauge).
@@ -381,6 +464,14 @@ impl MetricsSnapshot {
         self.oracle_queries == self.oracle_served + self.oracle_unserved
     }
 
+    /// Mutation conservation: every `mutate` query that reached its
+    /// decision point either applied a batch or was shed under brownout
+    /// — a batch is never half-counted. The mutation chaos suite asserts
+    /// this alongside [`reconciles`](Self::reconciles).
+    pub fn mutation_reconciles(&self) -> bool {
+        self.mutate_queries == self.mutation_batches + self.mutations_shed
+    }
+
     /// Encode as the wire object (histograms as `[lower_bound, count]`
     /// pairs with empty buckets elided).
     pub fn to_json(&self) -> Json {
@@ -433,6 +524,14 @@ impl MetricsSnapshot {
                 "multi_source_flights",
                 Json::from(self.multi_source_flights),
             ),
+            ("mutate_queries", Json::from(self.mutate_queries)),
+            ("mutation_batches", Json::from(self.mutation_batches)),
+            ("mutations_applied", Json::from(self.mutations_applied)),
+            ("mutations_shed", Json::from(self.mutations_shed)),
+            ("compactions", Json::from(self.compactions)),
+            ("compactions_failed", Json::from(self.compactions_failed)),
+            ("cache_revalidated", Json::from(self.cache_revalidated)),
+            ("cache_dropped", Json::from(self.cache_dropped)),
             ("brownout_state", Json::from(self.brownout_state)),
             (
                 "graph_resident_bytes",
@@ -556,6 +655,43 @@ mod tests {
         let j = s.to_json();
         assert_eq!(j.get("oracle_queries"), Some(&Json::Int(2)));
         assert_eq!(j.get("oracle_unserved"), Some(&Json::Int(1)));
+    }
+
+    #[test]
+    fn mutation_identity_reconciles_independently() {
+        let m = Metrics::new();
+        assert!(m.snapshot().mutation_reconciles()); // vacuously
+        m.query();
+        m.mutate_query();
+        assert!(!m.snapshot().mutation_reconciles());
+        m.mutation_batch(3);
+        m.completed();
+        assert!(m.snapshot().mutation_reconciles());
+        m.query();
+        m.mutate_query();
+        m.mutation_shed();
+        m.shed();
+        // revalidation/compaction counters must not perturb either identity
+        m.cache_revalidated(2);
+        m.cache_dropped(1);
+        m.compaction();
+        m.compaction_failed();
+        let s = m.snapshot();
+        assert!(s.mutation_reconciles());
+        assert!(s.reconciles());
+        assert_eq!(s.mutate_queries, 2);
+        assert_eq!(s.mutation_batches, 1);
+        assert_eq!(s.mutations_applied, 3);
+        assert_eq!(s.mutations_shed, 1);
+        assert_eq!(s.cache_revalidated, 2);
+        assert_eq!(s.cache_dropped, 1);
+        assert_eq!(s.compactions, 1);
+        assert_eq!(s.compactions_failed, 1);
+        let j = s.to_json();
+        assert_eq!(j.get("mutation_batches"), Some(&Json::Int(1)));
+        assert_eq!(j.get("mutations_applied"), Some(&Json::Int(3)));
+        assert_eq!(j.get("cache_revalidated"), Some(&Json::Int(2)));
+        assert_eq!(j.get("compactions"), Some(&Json::Int(1)));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::json::Json;
 use crate::metrics::MetricsSnapshot;
+use pasgal_graph::overlay::Mutation;
 
 /// A graph question the service can answer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,6 +51,16 @@ pub enum Query {
     KCore { graph: String, vertex: Option<u32> },
     /// Structural statistics of a registered graph.
     Stats { graph: String },
+    /// Apply a batch of edge/vertex mutations to a registered graph.
+    /// The batch is atomic (all ops or none) and serialized per graph;
+    /// each applied batch bumps the graph's mutation epoch by one.
+    /// `compact` forces the mutation overlay to be folded into a fresh
+    /// CSR after the batch lands.
+    Mutate {
+        graph: String,
+        ops: Vec<Mutation>,
+        compact: bool,
+    },
     /// Service metrics snapshot.
     Metrics,
     /// Service readiness and resilience state (breakers, worker gauge).
@@ -67,7 +78,8 @@ impl Query {
             | Query::SccId { graph, .. }
             | Query::CcId { graph, .. }
             | Query::KCore { graph, .. }
-            | Query::Stats { graph } => Some(graph),
+            | Query::Stats { graph }
+            | Query::Mutate { graph, .. } => Some(graph),
             Query::Metrics | Query::Health => None,
         }
     }
@@ -83,6 +95,7 @@ impl Query {
             Query::CcId { .. } => "cc",
             Query::KCore { .. } => "kcore",
             Query::Stats { .. } => "stats",
+            Query::Mutate { .. } => "mutate",
             Query::Metrics => "metrics",
             Query::Health => "health",
         }
@@ -189,6 +202,16 @@ pub enum Reply {
         min_degree: usize,
         avg_degree: f64,
         max_degree: usize,
+    },
+    /// Outcome of an applied mutation batch: the graph's new mutation
+    /// epoch, how many ops actually changed the graph (idempotent ops —
+    /// deleting an absent edge, re-inserting an identical one — do not
+    /// count), and the post-batch vertex/edge counts.
+    Mutated {
+        epoch: u64,
+        applied: usize,
+        n: usize,
+        m: usize,
     },
     /// Metrics snapshot.
     Metrics(MetricsSnapshot),
@@ -322,6 +345,80 @@ pub fn deadline_from_json(v: &Json) -> Result<Option<std::time::Duration>, Servi
     }
 }
 
+/// Decode the `"ops"` array of a mutate request. Each op is itself an
+/// array tagged by its first element: `["+e",u,v]` / `["+e",u,v,w]`
+/// (insert or re-weight an edge), `["-e",u,v]` (delete an edge),
+/// `["+v"]` (append a vertex), `["-v",v]` (isolate a vertex). The batch
+/// must be non-empty — an empty `ops` is almost certainly a client bug.
+fn mutation_ops(v: &Json) -> Result<Vec<Mutation>, ServiceError> {
+    let arr = match v.get("ops") {
+        Some(Json::Arr(a)) => a,
+        _ => {
+            return Err(ServiceError::BadRequest(
+                "missing array field \"ops\"".into(),
+            ))
+        }
+    };
+    if arr.is_empty() {
+        return Err(ServiceError::BadRequest(
+            "\"ops\" must contain at least one mutation".into(),
+        ));
+    }
+    let mut ops = Vec::with_capacity(arr.len());
+    for (i, op) in arr.iter().enumerate() {
+        let parts = match op {
+            Json::Arr(p) => p,
+            other => {
+                return Err(ServiceError::BadRequest(format!(
+                    "ops[{i}] must be an array, got {other:?}"
+                )))
+            }
+        };
+        let bad = |what: &str| ServiceError::BadRequest(format!("ops[{i}]: {what}"));
+        let tag = parts
+            .first()
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("first element must be an op tag string"))?;
+        let vertex_at = |k: usize, name: &str| {
+            parts
+                .get(k)
+                .and_then(Json::as_u32)
+                .ok_or_else(|| bad(&format!("{name} must be a vertex id")))
+        };
+        let op = match (tag, parts.len()) {
+            ("+e", 3) | ("+e", 4) => Mutation::InsertEdge {
+                u: vertex_at(1, "u")?,
+                v: vertex_at(2, "v")?,
+                w: if parts.len() == 4 {
+                    let w = vertex_at(3, "w")?;
+                    if w == 0 {
+                        return Err(bad("edge weight must be positive"));
+                    }
+                    w
+                } else {
+                    1
+                },
+            },
+            ("-e", 3) => Mutation::DeleteEdge {
+                u: vertex_at(1, "u")?,
+                v: vertex_at(2, "v")?,
+            },
+            ("+v", 1) => Mutation::AddVertex,
+            ("-v", 2) => Mutation::RemoveVertex {
+                v: vertex_at(1, "v")?,
+            },
+            _ => {
+                return Err(bad(&format!(
+                    "unknown op {tag:?} with {} argument(s)",
+                    parts.len() - 1
+                )))
+            }
+        };
+        ops.push(op);
+    }
+    Ok(ops)
+}
+
 impl Query {
     /// Decode a query from a parsed JSON request object.
     pub fn from_json(v: &Json) -> Result<Query, ServiceError> {
@@ -361,6 +458,19 @@ impl Query {
             }),
             "stats" => Ok(Query::Stats {
                 graph: need_str(v, "graph")?,
+            }),
+            "mutate" => Ok(Query::Mutate {
+                graph: need_str(v, "graph")?,
+                ops: mutation_ops(v)?,
+                compact: match v.get("compact") {
+                    None | Some(Json::Null) => false,
+                    Some(Json::Bool(b)) => *b,
+                    Some(other) => {
+                        return Err(ServiceError::BadRequest(format!(
+                            "field \"compact\" must be a boolean, got {other:?}"
+                        )))
+                    }
+                },
             }),
             "metrics" => Ok(Query::Metrics),
             "health" => Ok(Query::Health),
@@ -425,6 +535,18 @@ impl Reply {
                 ("min_degree", Json::from(*min_degree)),
                 ("avg_degree", Json::from(*avg_degree)),
                 ("max_degree", Json::from(*max_degree)),
+            ]),
+            Reply::Mutated {
+                epoch,
+                applied,
+                n,
+                m,
+            } => Json::obj([
+                ok,
+                ("epoch", Json::from(*epoch)),
+                ("applied", Json::from(*applied)),
+                ("n", Json::from(*n)),
+                ("m", Json::from(*m)),
             ]),
             Reply::Metrics(snap) => snap.to_json(),
             Reply::Health {
@@ -543,6 +665,66 @@ mod tests {
             Query::from_json(&parse(r#"{"op":"health"}"#).unwrap()).unwrap(),
             Query::Health
         );
+    }
+
+    #[test]
+    fn decodes_mutate_ops() {
+        let q = Query::from_json(
+            &parse(r#"{"op":"mutate","graph":"g","ops":[["+e",0,1],["+e",1,2,5],["-e",2,3],["+v"],["-v",4]],"compact":true}"#)
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(q.op(), "mutate");
+        assert_eq!(q.graph(), Some("g"));
+        assert_eq!(
+            q,
+            Query::Mutate {
+                graph: "g".into(),
+                ops: vec![
+                    Mutation::InsertEdge { u: 0, v: 1, w: 1 },
+                    Mutation::InsertEdge { u: 1, v: 2, w: 5 },
+                    Mutation::DeleteEdge { u: 2, v: 3 },
+                    Mutation::AddVertex,
+                    Mutation::RemoveVertex { v: 4 },
+                ],
+                compact: true,
+            }
+        );
+        // compact defaults to false
+        let q =
+            Query::from_json(&parse(r#"{"op":"mutate","graph":"g","ops":[["+e",0,1]]}"#).unwrap())
+                .unwrap();
+        assert!(matches!(q, Query::Mutate { compact: false, .. }));
+        for bad in [
+            r#"{"op":"mutate","graph":"g"}"#,
+            r#"{"op":"mutate","graph":"g","ops":[]}"#,
+            r#"{"op":"mutate","graph":"g","ops":["+v"]}"#,
+            r#"{"op":"mutate","graph":"g","ops":[["+e",0]]}"#,
+            r#"{"op":"mutate","graph":"g","ops":[["+e",0,1,0]]}"#,
+            r#"{"op":"mutate","graph":"g","ops":[["-e",0,1,2]]}"#,
+            r#"{"op":"mutate","graph":"g","ops":[["*e",0,1]]}"#,
+            r#"{"op":"mutate","graph":"g","ops":[["+e","a",1]]}"#,
+            r#"{"op":"mutate","graph":"g","ops":[["+e",0,1]],"compact":"yes"}"#,
+        ] {
+            let e = Query::from_json(&parse(bad).unwrap()).unwrap_err();
+            assert_eq!(e.kind(), "bad_request", "{bad}");
+        }
+    }
+
+    #[test]
+    fn mutated_reply_encodes() {
+        let r = Reply::Mutated {
+            epoch: 3,
+            applied: 7,
+            n: 100,
+            m: 412,
+        };
+        let j = r.to_json();
+        assert_eq!(j.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(j.get("epoch").unwrap().as_u64(), Some(3));
+        assert_eq!(j.get("applied").unwrap().as_u64(), Some(7));
+        assert_eq!(j.get("n").unwrap().as_u64(), Some(100));
+        assert_eq!(j.get("m").unwrap().as_u64(), Some(412));
     }
 
     #[test]

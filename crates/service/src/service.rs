@@ -63,9 +63,11 @@ use pasgal_core::scc::tarjan::scc_tarjan;
 use pasgal_core::sssp::dijkstra::sssp_dijkstra;
 use pasgal_core::sssp::stepping::{sssp_rho_stepping_observed_in, RhoConfig};
 use pasgal_core::workspace::{TraversalWorkspace, WorkspacePool};
+use pasgal_graph::overlay::{DeltaOverlay, Mutation};
 use pasgal_graph::stats::degree_stats;
 use pasgal_graph::storage::GraphStore;
 use pasgal_graph::with_storage;
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -116,6 +118,16 @@ pub struct ServiceConfig {
     /// Workspace-pool memory budget in bytes driving the brownout
     /// controller's memory signal; `None` disables it.
     pub memory_budget: Option<u64>,
+    /// Revalidate cached results against each applied mutation batch
+    /// (keeping the provably-unaffected ones) instead of dropping every
+    /// entry of the graph's generation. `false` selects the
+    /// generation-nuke baseline — the benchmark's control arm.
+    pub incremental_invalidation: bool,
+    /// Overlay delta size (bytes) past which a mutation batch schedules
+    /// background compaction of the graph into a fresh CSR. Brownout
+    /// `Pressured` and a query's `"compact":true` force compaction
+    /// regardless.
+    pub compact_delta_bytes: usize,
 }
 
 impl Default for ServiceConfig {
@@ -136,6 +148,8 @@ impl Default for ServiceConfig {
             faults: FaultPlan::default(),
             default_deadline: None,
             memory_budget: None,
+            incremental_invalidation: true,
+            compact_delta_bytes: 1 << 20,
         }
     }
 }
@@ -160,6 +174,15 @@ enum Work {
         entry: Arc<GraphEntry>,
         cost: Duration,
     },
+    /// Fold the named graph's mutation overlay into a fresh CSR. Guarded
+    /// by `(generation, epoch)`: if either moved by the time the job
+    /// runs (re-registration, another batch), the compaction is stale
+    /// and publishes nothing — the current snapshot keeps serving.
+    Compact {
+        name: String,
+        generation: u64,
+        epoch: u64,
+    },
 }
 
 struct Inner {
@@ -182,6 +205,11 @@ struct Inner {
     /// memory; re-evaluated once per query.
     brownout: BrownoutController,
     faults: FaultInjector,
+    /// Per-graph mutation serialization: one batch (and its cache
+    /// revalidation) at a time per name, so epochs within a generation
+    /// are a contiguous total order. Lock order is mutation lock →
+    /// cache → catalog; never the reverse.
+    mutation_locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
     /// Cleared when shutdown drain begins; reported by `health`.
     ready: AtomicBool,
     /// Recycled traversal workspaces — one in flight per busy worker, so
@@ -213,6 +241,7 @@ impl Service {
             cost: CostModel::new(config.workers.max(1)),
             brownout: BrownoutController::new(config.memory_budget),
             faults: FaultInjector::new(config.faults.clone()),
+            mutation_locks: Mutex::new(HashMap::new()),
             ready: AtomicBool::new(true),
             workspaces: WorkspacePool::new(),
             config: config.clone(),
@@ -640,6 +669,153 @@ impl Service {
                     _ => Err(ServiceError::Internal("wrong result kind".into())),
                 }
             }
+            Query::Mutate {
+                graph,
+                ops,
+                compact,
+            } => self.mutate(graph, ops, *compact),
+        }
+    }
+
+    /// The per-graph mutation lock, created on first use. The map only
+    /// ever grows, but entries are a name plus an `Arc<Mutex<()>>` —
+    /// negligible next to the graph itself.
+    fn mutation_lock(&self, name: &str) -> Arc<Mutex<()>> {
+        Arc::clone(
+            self.inner
+                .mutation_locks
+                .lock()
+                .expect("mutation-locks lock poisoned")
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// Apply one mutation batch: serialized per graph, atomic per batch
+    /// (the batch lands on a clone of the overlay, so a panic mid-apply
+    /// publishes nothing), epoch-stamped, and followed — still under the
+    /// mutation lock — by cache revalidation (or the generation nuke when
+    /// `incremental_invalidation` is off). Brownout sheds mutations
+    /// before any work; `Pressured` forces compaction after the batch.
+    fn mutate(
+        &self,
+        name: &str,
+        ops: &[Mutation],
+        force_compact: bool,
+    ) -> Result<Answer, ServiceError> {
+        let lock = self.mutation_lock(name);
+        let _guard = lock.lock().expect("mutation lock poisoned");
+        let entry = self.lookup(name)?;
+        // the shed-or-apply decision point: `mutate_queries` counts
+        // decided batches, so shed + applied reconciles exactly
+        // (validation failures and injected panics land in `errors`)
+        let pressure = self.inner.brownout.state();
+        if pressure == Pressure::Brownout {
+            self.inner.metrics.mutate_query();
+            self.inner.metrics.mutation_shed();
+            return Err(ServiceError::Shed);
+        }
+        // The batch lands on a clone: the clone copies only the delta
+        // (the base CSR stays shared behind its Arc), and a panic or
+        // validation error discards it with the published snapshot
+        // untouched — atomicity by construction.
+        let mut overlay = match &*entry.graph {
+            GraphStore::Overlay(o) => o.clone(),
+            _ => DeltaOverlay::new(Arc::clone(&entry.graph)),
+        };
+        let faults = &self.inner.faults;
+        let applied = catch_unwind(AssertUnwindSafe(|| {
+            if faults.should_panic_mutation() {
+                panic!("injected mutation panic");
+            }
+            overlay.apply(ops)
+        }));
+        let applied = match applied {
+            Ok(Ok(batch)) => batch,
+            Ok(Err(bad)) => {
+                let n = entry.graph.num_vertices();
+                return Err(ServiceError::BadRequest(format!(
+                    "ops[{}]: vertex {} out of range (n = {n})",
+                    bad.index, bad.vertex
+                )));
+            }
+            Err(payload) => return Err(ServiceError::Internal(panic_message(payload))),
+        };
+        self.inner.metrics.mutate_query();
+        self.inner
+            .metrics
+            .mutation_batch(applied.changed_ops as u64);
+        let mut compact_after = None;
+        let new_entry = if applied.is_noop() {
+            Arc::clone(&entry)
+        } else {
+            let epoch = entry.epoch + 1;
+            let delta_bytes = overlay.delta_bytes();
+            let published = self
+                .inner
+                .catalog
+                .publish(name, GraphStore::Overlay(overlay), entry.generation, epoch)
+                // a concurrent re-registration won the name; its
+                // generation bump already invalidated everything this
+                // batch could have staled
+                .ok_or_else(|| ServiceError::UnknownGraph(name.to_string()))?;
+            if self.inner.config.incremental_invalidation {
+                let taken = self
+                    .inner
+                    .cache
+                    .lock()
+                    .expect("cache lock poisoned")
+                    .take_generation(entry.generation);
+                let out = crate::mutate::revalidate(taken, &applied, &published.graph);
+                self.inner.metrics.cache_revalidated(out.kept);
+                self.inner.metrics.cache_dropped(out.dropped);
+                let mut cache = self.inner.cache.lock().expect("cache lock poisoned");
+                for (key, value) in out.survivors {
+                    cache.insert(key, value);
+                }
+            } else {
+                let dropped = self
+                    .inner
+                    .cache
+                    .lock()
+                    .expect("cache lock poisoned")
+                    .invalidate_generation(entry.generation);
+                self.inner.metrics.cache_dropped(dropped as u64);
+            }
+            if force_compact
+                || delta_bytes >= self.inner.config.compact_delta_bytes
+                || pressure == Pressure::Pressured
+            {
+                compact_after = Some((published.generation, published.epoch));
+            }
+            published
+        };
+        // release the mutation lock before scheduling: the inline
+        // fallback inside `schedule_compaction` re-takes it
+        drop(_guard);
+        if let Some((generation, epoch)) = compact_after {
+            self.schedule_compaction(name, generation, epoch);
+        }
+        Ok(Answer::primary(Reply::Mutated {
+            epoch: new_entry.epoch,
+            applied: applied.changed_ops,
+            n: new_entry.graph.num_vertices(),
+            m: new_entry.graph.num_edges(),
+        }))
+    }
+
+    /// Hand compaction to the worker pool; if the queue is full, run it
+    /// inline so a `"compact":true` request still compacts under load.
+    /// Inline is safe here: `run_compaction` takes the mutation lock
+    /// itself, so the caller must not hold it.
+    fn schedule_compaction(&self, name: &str, generation: u64, epoch: u64) {
+        let work = Work::Compact {
+            name: name.to_string(),
+            generation,
+            epoch,
+        };
+        if self.queue.try_send(work).is_err() {
+            run_compaction(&self.inner, name, generation, epoch);
         }
     }
 
@@ -1079,6 +1255,17 @@ fn sleep_cancellable(delay: Duration, cancel: &CancelToken) -> bool {
     }
 }
 
+/// Whether `entry` is still the published snapshot of its name: same
+/// generation **and** epoch. Compaction republishes at the same epoch,
+/// so a compacted graph does not invalidate flights computed against
+/// the overlay — the content is identical.
+fn entry_current(inner: &Inner, entry: &GraphEntry) -> bool {
+    inner
+        .catalog
+        .get(&entry.name)
+        .is_some_and(|c| c.generation == entry.generation && c.epoch == entry.epoch)
+}
+
 fn check_vertex(entry: &Arc<GraphEntry>, v: u32) -> Result<(), ServiceError> {
     let n = entry.graph.num_vertices();
     if (v as usize) < n {
@@ -1178,8 +1365,71 @@ fn worker_loop(inner: Arc<Inner>, rx: Arc<Mutex<Receiver<Work>>>) {
         match work {
             Work::Single(job) => run_single(&inner, job),
             Work::Oracle { batch, entry, cost } => run_oracle_flight(&inner, &batch, &entry, cost),
+            Work::Compact {
+                name,
+                generation,
+                epoch,
+            } => run_compaction(&inner, &name, generation, epoch),
         }
     }
+}
+
+/// Fold the named graph's overlay into a fresh plain CSR and republish
+/// it at the **same** epoch (compaction changes representation, not
+/// content). Crash-consistent: the fold runs on a clone of the overlay
+/// under `catch_unwind`, and the republish is guarded by the mutation
+/// lock plus a `(generation, epoch)` re-check — a panic mid-fold, a
+/// concurrent batch, or a re-registration all leave the currently
+/// published snapshot serving untouched.
+fn run_compaction(inner: &Inner, name: &str, generation: u64, epoch: u64) {
+    let Some(entry) = inner.catalog.get(name) else {
+        return;
+    };
+    if entry.generation != generation || entry.epoch != epoch {
+        return; // stale before it started: nothing attempted, nothing counted
+    }
+    let GraphStore::Overlay(overlay) = &*entry.graph else {
+        return; // already compact
+    };
+    inner.metrics.worker_busy();
+    let overlay = overlay.clone();
+    let folded = catch_unwind(AssertUnwindSafe(|| {
+        if inner.faults.should_panic_compaction() {
+            panic!("injected compaction panic");
+        }
+        overlay.compact()
+    }));
+    match folded {
+        Ok(graph) => {
+            let lock = Arc::clone(
+                inner
+                    .mutation_locks
+                    .lock()
+                    .expect("mutation-locks lock poisoned")
+                    .entry(name.to_string())
+                    .or_default(),
+            );
+            let _guard = lock.lock().expect("mutation lock poisoned");
+            let current = inner.catalog.get(name);
+            let fresh = current
+                .as_ref()
+                .is_some_and(|c| c.generation == generation && c.epoch == epoch);
+            if fresh
+                && inner
+                    .catalog
+                    .publish(name, GraphStore::Plain(graph), generation, epoch)
+                    .is_some()
+            {
+                inner.metrics.compaction();
+            } else {
+                // a batch or re-registration landed mid-fold: the folded
+                // CSR no longer matches the published content — discard
+                inner.metrics.compaction_failed();
+            }
+        }
+        Err(_) => inner.metrics.compaction_failed(),
+    }
+    inner.metrics.worker_idle();
 }
 
 fn run_single(inner: &Inner, job: Job) {
@@ -1227,23 +1477,36 @@ fn run_single(inner: &Inner, job: Job) {
         }
         Err(msg) => FlightOutcome::Failed(msg),
     };
+    // A value computed against an entry that is no longer current (a
+    // mutation batch landed mid-flight) could be arbitrarily stale by
+    // the time waiters read it; reject it so they retry against the
+    // live snapshot. The catalog re-check runs inside the cache
+    // critical section — the same discipline `mutate` uses — so an
+    // insert can never slip between a batch's publish and its
+    // revalidation sweep.
+    let mut outcome = outcome;
+    let mut stale = false;
     if let FlightOutcome::Value(value) = &outcome {
-        inner
-            .cache
-            .lock()
-            .expect("cache lock poisoned")
-            .insert(job.key, value.clone());
+        let mut cache = inner.cache.lock().expect("cache lock poisoned");
+        if entry_current(inner, &job.entry) {
+            cache.insert(job.key, value.clone());
+        } else {
+            drop(cache);
+            stale = true;
+            outcome = FlightOutcome::Failed("graph mutated during computation".into());
+        }
     }
     // Breaker evidence is per *flight*, not per waiter: a batch of
     // 50 queries riding one panicked flight is one failure. A blown
     // deadline is time-budget pressure, not key poison — inconclusive,
-    // like cancellation.
+    // like cancellation. So is a mutation landing mid-flight.
     match &outcome {
         FlightOutcome::Value(_) => {
             if inner.breakers.on_success(&job.key) {
                 inner.metrics.breaker_closed();
             }
         }
+        FlightOutcome::Failed(_) if stale => inner.breakers.on_inconclusive(&job.key),
         FlightOutcome::Failed(_) => {
             if inner.breakers.on_failure(&job.key) {
                 inner.metrics.breaker_opened();
@@ -1332,10 +1595,20 @@ fn run_oracle_flight(
         }
         Err(msg) => FlightOutcome::Failed(msg),
     };
+    // Same staleness rejection as `run_single`: a mutation landing
+    // mid-flight invalidates the whole batch's answer.
+    let mut outcome = outcome;
+    let mut stale = false;
     if let FlightOutcome::Value(value) = &outcome {
         let mut cache = inner.cache.lock().expect("cache lock poisoned");
-        for &src in &sources {
-            cache.insert(ComputeKey::OracleColumn { generation, src }, value.clone());
+        if entry_current(inner, entry) {
+            for &src in &sources {
+                cache.insert(ComputeKey::OracleColumn { generation, src }, value.clone());
+            }
+        } else {
+            drop(cache);
+            stale = true;
+            outcome = FlightOutcome::Failed("graph mutated during computation".into());
         }
     }
     // Per-flight breaker evidence, recorded on every boarded column key:
@@ -1348,6 +1621,7 @@ fn run_oracle_flight(
                     inner.metrics.breaker_closed();
                 }
             }
+            FlightOutcome::Failed(_) if stale => inner.breakers.on_inconclusive(&key),
             FlightOutcome::Failed(_) => {
                 if inner.breakers.on_failure(&key) {
                     inner.metrics.breaker_opened();
@@ -2228,6 +2502,237 @@ mod tests {
         svc.cancel_inflight();
         match svc.query(&Query::Health).unwrap() {
             Reply::Health { ready, .. } => assert!(!ready, "drain clears readiness"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    fn mutate_q(ops: Vec<Mutation>) -> Query {
+        Query::Mutate {
+            graph: "g".into(),
+            ops,
+            compact: false,
+        }
+    }
+
+    #[test]
+    fn mutate_bumps_epoch_and_answers_follow() {
+        let svc = small_service();
+        svc.register("g", grid2d(3, 3)); // 0..8, corner 0 to corner 8 is 4 hops
+        let far = Query::BfsDist {
+            graph: "g".into(),
+            src: 0,
+            target: Some(8),
+        };
+        assert_eq!(svc.query(&far).unwrap(), Reply::Dist { value: Some(4) });
+        // a shortcut straight across; grid2d is symmetric so one op is
+        // two directed edges
+        let r = svc
+            .query(&mutate_q(vec![Mutation::InsertEdge { u: 0, v: 8, w: 1 }]))
+            .unwrap();
+        assert_eq!(
+            r,
+            Reply::Mutated {
+                epoch: 1,
+                applied: 1,
+                n: 9,
+                m: 24 + 2,
+            }
+        );
+        assert_eq!(svc.catalog().get("g").unwrap().epoch, 1);
+        assert_eq!(svc.query(&far).unwrap(), Reply::Dist { value: Some(1) });
+        // deleting it restores the old distance at epoch 2
+        let r = svc
+            .query(&mutate_q(vec![Mutation::DeleteEdge { u: 0, v: 8 }]))
+            .unwrap();
+        assert!(matches!(r, Reply::Mutated { epoch: 2, .. }), "{r:?}");
+        assert_eq!(svc.query(&far).unwrap(), Reply::Dist { value: Some(4) });
+        let m = svc.metrics();
+        assert_eq!(m.mutate_queries, 2);
+        assert_eq!(m.mutation_batches, 2);
+        assert!(m.mutation_reconciles(), "{m:?}");
+    }
+
+    #[test]
+    fn noop_batch_keeps_epoch_and_storage() {
+        let svc = small_service();
+        svc.register("g", grid2d(3, 3));
+        // edge already present: nothing changes, no overlay published
+        let r = svc
+            .query(&mutate_q(vec![Mutation::InsertEdge { u: 0, v: 1, w: 1 }]))
+            .unwrap();
+        assert_eq!(
+            r,
+            Reply::Mutated {
+                epoch: 0,
+                applied: 0,
+                n: 9,
+                m: 24,
+            }
+        );
+        let entry = svc.catalog().get("g").unwrap();
+        assert_eq!(entry.epoch, 0);
+        assert!(matches!(&*entry.graph, GraphStore::Plain(_)));
+    }
+
+    #[test]
+    fn mutate_rejects_out_of_range_atomically() {
+        let svc = small_service();
+        svc.register("g", grid2d(3, 3));
+        // first op valid, second out of range: the whole batch must not land
+        let out = svc.query(&mutate_q(vec![
+            Mutation::InsertEdge { u: 0, v: 8, w: 1 },
+            Mutation::DeleteEdge { u: 0, v: 99 },
+        ]));
+        assert!(matches!(out, Err(ServiceError::BadRequest(_))), "{out:?}");
+        let entry = svc.catalog().get("g").unwrap();
+        assert_eq!(entry.epoch, 0);
+        assert_eq!(entry.graph.num_edges(), 24);
+        assert_eq!(
+            svc.query(&Query::BfsDist {
+                graph: "g".into(),
+                src: 0,
+                target: Some(8)
+            })
+            .unwrap(),
+            Reply::Dist { value: Some(4) }
+        );
+    }
+
+    #[test]
+    fn incremental_invalidation_retains_unaffected_entries() {
+        let svc = small_service();
+        svc.register("g", grid2d(4, 4));
+        // warm a BFS cache entry from source 15, then insert an edge that
+        // cannot shorten anything from 15's perspective... use CC instead:
+        // insertions merge via union-find, entry survives.
+        let cc = Query::CcId {
+            graph: "g".into(),
+            vertex: Some(0),
+        };
+        assert_eq!(
+            svc.query(&cc).unwrap(),
+            Reply::Label {
+                vertex: 0,
+                label: 0,
+                components: 1
+            }
+        );
+        let before = svc.metrics().computations;
+        svc.query(&mutate_q(vec![Mutation::InsertEdge { u: 0, v: 15, w: 1 }]))
+            .unwrap();
+        // still one component; served from the revalidated entry, not a
+        // fresh computation
+        assert_eq!(
+            svc.query(&cc).unwrap(),
+            Reply::Label {
+                vertex: 0,
+                label: 0,
+                components: 1
+            }
+        );
+        let m = svc.metrics();
+        assert_eq!(m.computations, before, "revalidated entry served the hit");
+        assert!(m.cache_revalidated >= 1, "{m:?}");
+    }
+
+    #[test]
+    fn nuke_baseline_drops_everything() {
+        let svc = Service::new(ServiceConfig {
+            workers: 2,
+            queue_capacity: 16,
+            cache_capacity: 8,
+            incremental_invalidation: false,
+            ..ServiceConfig::default()
+        });
+        svc.register("g", grid2d(4, 4));
+        svc.query(&Query::CcId {
+            graph: "g".into(),
+            vertex: None,
+        })
+        .unwrap();
+        assert_eq!(svc.cache_entries(), 1);
+        svc.query(&mutate_q(vec![Mutation::InsertEdge { u: 0, v: 15, w: 1 }]))
+            .unwrap();
+        assert_eq!(svc.cache_entries(), 0);
+        assert_eq!(svc.metrics().cache_dropped, 1);
+    }
+
+    #[test]
+    fn forced_compaction_folds_overlay_to_plain() {
+        let svc = small_service();
+        svc.register("g", grid2d(3, 3));
+        svc.query(&Query::Mutate {
+            graph: "g".into(),
+            ops: vec![Mutation::InsertEdge { u: 0, v: 8, w: 1 }],
+            compact: true,
+        })
+        .unwrap();
+        // compaction runs on the worker pool; wait for the republish
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let entry = svc.catalog().get("g").unwrap();
+            if matches!(&*entry.graph, GraphStore::Plain(_)) {
+                assert_eq!(entry.epoch, 1, "compaction republishes at the same epoch");
+                assert_eq!(entry.graph.num_edges(), 26);
+                break;
+            }
+            assert!(Instant::now() < deadline, "compaction never landed");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(svc.metrics().compactions, 1);
+        // the compacted graph still answers with the shortcut
+        assert_eq!(
+            svc.query(&Query::BfsDist {
+                graph: "g".into(),
+                src: 0,
+                target: Some(8)
+            })
+            .unwrap(),
+            Reply::Dist { value: Some(1) }
+        );
+    }
+
+    #[test]
+    fn mutation_then_queries_on_all_algorithms_match_rebuilt_graph() {
+        let svc = small_service();
+        svc.register("g", grid2d(4, 4));
+        svc.query(&mutate_q(vec![
+            Mutation::InsertEdge { u: 0, v: 15, w: 1 },
+            Mutation::DeleteEdge { u: 0, v: 1 },
+            Mutation::AddVertex,
+            Mutation::InsertEdge { u: 16, v: 0, w: 1 },
+        ]))
+        .unwrap();
+        // the overlay must answer every algorithm identically to the
+        // rebuilt plain graph
+        let entry = svc.catalog().get("g").unwrap();
+        assert!(matches!(&*entry.graph, GraphStore::Overlay(_)));
+        let rebuilt = entry.graph.to_plain();
+        let direct = bfs_vgc(&rebuilt, 0, &VgcConfig::default()).dist;
+        for t in [1u32, 8, 15, 16] {
+            let want = match direct[t as usize] {
+                pasgal_core::common::UNREACHED => None,
+                d => Some(d as u64),
+            };
+            assert_eq!(
+                svc.query(&Query::BfsDist {
+                    graph: "g".into(),
+                    src: 0,
+                    target: Some(t)
+                })
+                .unwrap(),
+                Reply::Dist { value: want },
+                "target {t}"
+            );
+        }
+        match svc
+            .query(&Query::CcId {
+                graph: "g".into(),
+                vertex: None,
+            })
+            .unwrap()
+        {
+            Reply::LabelSummary { components } => assert_eq!(components, 1),
             other => panic!("unexpected {other:?}"),
         }
     }

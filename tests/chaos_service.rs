@@ -18,10 +18,13 @@
 //! file instead of failing).
 
 use pasgal_graph::gen::basic::grid2d;
+use pasgal_graph::overlay::Mutation;
+use pasgal_graph::storage::StorageKind;
 use pasgal_service::{
-    FaultPlan, Query, ResilienceConfig, Server, Service, ServiceConfig, ServiceError,
+    FaultPlan, Query, Reply, ResilienceConfig, Server, Service, ServiceConfig, ServiceError,
 };
-use std::sync::Arc;
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 const SIDE: usize = 32; // 32×32 grid: traversals are microseconds
@@ -209,6 +212,9 @@ fn storm_of_faults_reconciles_and_loses_no_worker() {
     assert!(m.rejected_overload > 0, "forced queue-full should reject");
 
     assert_workers_alive(&svc, workers);
+    // the probes themselves bump the gauge; give their workers a beat
+    // to decrement it after delivering the reply
+    wait_gauge_settles(&svc);
     assert_eq!(svc.metrics().workers_busy, 0);
 }
 
@@ -395,4 +401,538 @@ fn one_json_response_per_request_line_under_faults() {
     let m = svc.metrics();
     assert!(m.reconciles(), "{m:?}");
     assert_eq!(m.workers_busy, 0);
+}
+
+// ------------------------------------------------------------------
+// Live-graph chaos: interleaved mutation storms, crash-consistent
+// compaction, and a linearizability check over the epoch-stamped
+// mutation log.
+// ------------------------------------------------------------------
+
+/// splitmix64 — the storm's op generator must be a pure function of the
+/// seed (no wall clock, no thread timing).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Sequential model of the live grid: replays epoch-stamped mutation
+/// batches with the same symmetric upsert/delete semantics as
+/// `DeltaOverlay`, and answers the storm's query kinds exactly.
+#[derive(Clone)]
+struct Model {
+    adj: Vec<BTreeSet<u32>>,
+}
+
+impl Model {
+    fn base_grid() -> Self {
+        let g = grid2d(SIDE, SIDE);
+        let adj = (0..(SIDE * SIDE) as u32)
+            .map(|v| g.neighbors(v).iter().copied().collect())
+            .collect();
+        Model { adj }
+    }
+
+    fn apply(&mut self, ops: &[Mutation]) {
+        for op in ops {
+            match *op {
+                Mutation::InsertEdge { u, v, .. } => {
+                    self.adj[u as usize].insert(v);
+                    self.adj[v as usize].insert(u);
+                }
+                Mutation::DeleteEdge { u, v } => {
+                    self.adj[u as usize].remove(&v);
+                    self.adj[v as usize].remove(&u);
+                }
+                Mutation::AddVertex => self.adj.push(BTreeSet::new()),
+                Mutation::RemoveVertex { v } => {
+                    let nbrs: Vec<u32> = self.adj[v as usize].iter().copied().collect();
+                    for u in nbrs {
+                        self.adj[u as usize].remove(&v);
+                    }
+                    self.adj[v as usize].clear();
+                }
+            }
+        }
+    }
+
+    fn bfs(&self, src: u32, target: u32) -> Option<u64> {
+        let n = self.adj.len();
+        let mut dist = vec![u64::MAX; n];
+        let mut q = VecDeque::new();
+        dist[src as usize] = 0;
+        q.push_back(src);
+        while let Some(u) = q.pop_front() {
+            if u == target {
+                return Some(dist[u as usize]);
+            }
+            for &v in &self.adj[u as usize] {
+                if dist[v as usize] == u64::MAX {
+                    dist[v as usize] = dist[u as usize] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    fn components(&self) -> usize {
+        let n = self.adj.len();
+        let mut seen = vec![false; n];
+        let mut count = 0;
+        let mut q = VecDeque::new();
+        for s in 0..n {
+            if seen[s] {
+                continue;
+            }
+            count += 1;
+            seen[s] = true;
+            q.push_back(s as u32);
+            while let Some(u) = q.pop_front() {
+                for &v in &self.adj[u as usize] {
+                    if !seen[v as usize] {
+                        seen[v as usize] = true;
+                        q.push_back(v);
+                    }
+                }
+            }
+        }
+        count
+    }
+}
+
+/// The `i`-th mutation batch of mutator `t`: four edge edits drawn from
+/// a fixed chord pool (so deletions actually hit earlier insertions)
+/// plus base-grid edge toggles (so shortest paths and components really
+/// change under the queriers' feet).
+fn storm_batch(seed: u64, t: u64, i: u64) -> Vec<Mutation> {
+    let n = (SIDE * SIDE) as u64;
+    let mut ops = Vec::with_capacity(4);
+    for j in 0..4u64 {
+        let h = mix(seed ^ (t << 32) ^ (i << 8) ^ j);
+        let c = (h >> 16) % 48;
+        let mut u = (mix(c ^ 0xa5a5) % n) as u32;
+        let mut v = (mix(c ^ 0x5a5a) % n) as u32;
+        if u == v {
+            v = (v + 1) % n as u32;
+        }
+        ops.push(match h % 4 {
+            0 => Mutation::InsertEdge { u, v, w: 1 },
+            1 => Mutation::DeleteEdge { u, v },
+            kind => {
+                // toggle the base grid edge to the right (or left, at the
+                // row boundary) of the pool vertex
+                let side = SIDE as u32;
+                u %= n as u32;
+                v = if u % side != side - 1 { u + 1 } else { u - 1 };
+                if kind == 2 {
+                    Mutation::DeleteEdge { u, v }
+                } else {
+                    Mutation::InsertEdge { u, v, w: 1 }
+                }
+            }
+        });
+    }
+    ops
+}
+
+/// One served answer with the epoch window it was observed in.
+#[derive(Debug)]
+struct Obs {
+    e_lo: u64,
+    e_hi: u64,
+    kind: ObsKind,
+}
+
+#[derive(Debug)]
+enum ObsKind {
+    Dist {
+        src: u32,
+        target: u32,
+        value: Option<u64>,
+    },
+    Components {
+        count: usize,
+    },
+}
+
+impl Obs {
+    /// Does this answer match the model at mutation state `state`?
+    fn matches(&self, state: &Model) -> bool {
+        match self.kind {
+            ObsKind::Dist { src, target, value } => state.bfs(src, target) == value,
+            ObsKind::Components { count } => state.components() == count,
+        }
+    }
+}
+
+/// Issue one query with up to `attempts` retries: the injector stays
+/// armed during the quiescent phase, so a single probe may legitimately
+/// draw a panic or stall — a later arrival lands clean.
+fn query_ok(svc: &Service, q: &Query, attempts: u32) -> Reply {
+    let mut last = None;
+    for _ in 0..attempts {
+        match svc.query(q) {
+            Ok(r) => return r,
+            Err(e) => last = Some(e),
+        }
+    }
+    panic!("query failed {attempts} times: {q:?} → {last:?}")
+}
+
+/// The tentpole acceptance run: a 512-op interleaved storm — 2 mutator
+/// threads × 64 epoch-stamped batches racing 2 query threads × 192
+/// BFS/CC queries — while the injector panics workers, stalls flights
+/// past their deadline, voids the cache, panics mutation application
+/// mid-batch, and panics compaction mid-fold. Afterwards the
+/// epoch-stamped mutation log is replayed into a sequential model and
+/// every served answer must match some consistent cut within its
+/// observation window: `[e_lo − 1, e_hi]`, where the −1 slack is the
+/// documented one-epoch cache-visibility lag (a hit may be served
+/// between a batch's publish and its revalidation sweep becoming
+/// visible to that reader).
+#[test]
+fn mutation_query_storm_linearizes() {
+    const MUTATORS: u64 = 2;
+    const BATCHES: u64 = 64; // 128 mutation batches …
+    const QUERIERS: u64 = 2;
+    const QUERIES: u64 = 192; // … + 384 queries = 512 interleaved ops
+    let seed = env_seed(0xBEEF);
+    let faults = FaultPlan {
+        seed,
+        worker_panic_every: 9,
+        delay_every: 13,
+        delay: Duration::from_secs(10), // >> timeout: deadline expiry mid-storm
+        cache_miss_every: 5,
+        mutation_panic_every: 6,
+        compact_panic_every: 2,
+        ..FaultPlan::default()
+    };
+    let workers = 4;
+    let svc = service_with(faults, workers, Duration::from_millis(300));
+    let n = (SIDE * SIDE) as u64;
+
+    // epoch-stamped log of every batch that actually changed the graph
+    type MutationLog = Arc<Mutex<Vec<(u64, Vec<Mutation>)>>>;
+    let log: MutationLog = Arc::new(Mutex::new(Vec::new()));
+    let obs: Arc<Mutex<Vec<Obs>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let mutators: Vec<_> = (0..MUTATORS)
+        .map(|t| {
+            let svc = Arc::clone(&svc);
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || {
+                let mut failed = 0u64;
+                for i in 0..BATCHES {
+                    let ops = storm_batch(seed, t, i);
+                    let q = Query::Mutate {
+                        graph: "g".into(),
+                        ops: ops.clone(),
+                        compact: i % 8 == 7, // periodic forced compaction
+                    };
+                    match svc.query(&q) {
+                        Ok(Reply::Mutated { epoch, applied, .. }) => {
+                            if applied > 0 {
+                                log.lock().unwrap().push((epoch, ops));
+                            }
+                        }
+                        Ok(other) => panic!("unexpected reply to mutate: {other:?}"),
+                        // injected mutation panic: the batch is discarded
+                        // atomically — it must NOT appear in the log
+                        Err(_) => failed += 1,
+                    }
+                }
+                failed
+            })
+        })
+        .collect();
+
+    let queriers: Vec<_> = (0..QUERIERS)
+        .map(|t| {
+            let svc = Arc::clone(&svc);
+            let obs = Arc::clone(&obs);
+            std::thread::spawn(move || {
+                for j in 0..QUERIES {
+                    let h = mix(seed ^ 0xF00D ^ (t << 32) ^ j);
+                    let e_lo = svc.catalog().get("g").unwrap().epoch;
+                    let (q, src, target) = if j % 2 == 0 {
+                        let src = (h % 16) as u32;
+                        let target = ((h >> 20) % n) as u32;
+                        (
+                            Query::BfsDist {
+                                graph: "g".into(),
+                                src,
+                                target: Some(target),
+                            },
+                            src,
+                            target,
+                        )
+                    } else {
+                        (
+                            Query::CcId {
+                                graph: "g".into(),
+                                vertex: Some(((h >> 20) % n) as u32),
+                            },
+                            0,
+                            0,
+                        )
+                    };
+                    let r = svc.query(&q);
+                    let e_hi = svc.catalog().get("g").unwrap().epoch;
+                    match r {
+                        Ok(Reply::Dist { value }) => obs.lock().unwrap().push(Obs {
+                            e_lo,
+                            e_hi,
+                            kind: ObsKind::Dist { src, target, value },
+                        }),
+                        Ok(Reply::Label { components, .. }) => obs.lock().unwrap().push(Obs {
+                            e_lo,
+                            e_hi,
+                            kind: ObsKind::Components { count: components },
+                        }),
+                        Ok(other) => panic!("unexpected reply: {other:?}"),
+                        // timeout / injected panic / overload: nothing was
+                        // served, so there is nothing to linearize
+                        Err(_) => {}
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let mut mutate_failures = 0u64;
+    for h in mutators {
+        mutate_failures += h.join().unwrap();
+    }
+    for h in queriers {
+        h.join().unwrap();
+    }
+
+    // --- replay: the applied epochs must be gap-free and unique -------
+    let mut log = std::mem::take(&mut *log.lock().unwrap());
+    log.sort_by_key(|(e, _)| *e);
+    let epochs: Vec<u64> = log.iter().map(|(e, _)| *e).collect();
+    let k = epochs.len() as u64;
+    assert!(k > 0, "the storm should land at least one batch");
+    assert_eq!(
+        epochs,
+        (1..=k).collect::<Vec<_>>(),
+        "applied batches must consume consecutive epochs exactly once"
+    );
+
+    // states[e] = the graph after the first e applied batches
+    let mut states = Vec::with_capacity(k as usize + 1);
+    states.push(Model::base_grid());
+    for (_, ops) in &log {
+        let mut next = states.last().unwrap().clone();
+        next.apply(ops);
+        states.push(next);
+    }
+
+    // --- linearizability: every served answer matches some cut in its
+    // window --------------------------------------------------------
+    let obs = std::mem::take(&mut *obs.lock().unwrap());
+    assert!(
+        !obs.is_empty(),
+        "the query storm should serve at least one answer"
+    );
+    for o in &obs {
+        let lo = o.e_lo.saturating_sub(1);
+        let hi = o.e_hi.min(k);
+        let ok = (lo..=hi).any(|e| o.matches(&states[e as usize]));
+        assert!(
+            ok,
+            "served answer matches no consistent cut in its window {lo}..={hi}: {o:?}"
+        );
+    }
+
+    // --- quiescent phase: with the mutators gone, answers are exact ---
+    let mut now = states.pop().unwrap();
+    let far = (SIDE * SIDE - 1) as u32;
+    let final_ops = vec![Mutation::InsertEdge { u: 0, v: far, w: 1 }];
+    // retried: the mutation-panic injector is still armed
+    let mut applied_final = false;
+    for _ in 0..10 {
+        match svc.query(&Query::Mutate {
+            graph: "g".into(),
+            ops: final_ops.clone(),
+            compact: true,
+        }) {
+            Ok(Reply::Mutated { applied, .. }) => {
+                applied_final = applied > 0;
+                break;
+            }
+            Ok(other) => panic!("unexpected reply: {other:?}"),
+            Err(_) => {}
+        }
+    }
+    if applied_final {
+        now.apply(&final_ops);
+    }
+    for (src, target) in [(0u32, far), (5, 517), (11, 40)] {
+        let r = query_ok(
+            &svc,
+            &Query::BfsDist {
+                graph: "g".into(),
+                src,
+                target: Some(target),
+            },
+            10,
+        );
+        assert_eq!(
+            r,
+            Reply::Dist {
+                value: now.bfs(src, target)
+            },
+            "quiescent answers must be exact for the live state ({src}→{target})"
+        );
+    }
+    let r = query_ok(
+        &svc,
+        &Query::CcId {
+            graph: "g".into(),
+            vertex: None,
+        },
+        10,
+    );
+    assert_eq!(
+        r,
+        Reply::LabelSummary {
+            components: now.components()
+        }
+    );
+
+    // --- bookkeeping survived the storm -------------------------------
+    // the final compact:true batch cannot be raced stale, so a terminal
+    // compaction outcome (folded or injected-panic) must appear
+    let t0 = Instant::now();
+    while {
+        let m = svc.metrics();
+        m.compactions + m.compactions_failed == 0
+    } && t0.elapsed() < Duration::from_secs(5)
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    wait_gauge_settles(&svc);
+    let m = svc.metrics();
+    assert!(m.reconciles(), "{m:?}");
+    assert!(
+        m.mutation_reconciles(),
+        "every mutate query must be applied or shed: {m:?}"
+    );
+    assert!(m.mutation_batches >= k, "{m:?}");
+    assert!(
+        mutate_failures > 0 && m.errors >= mutate_failures,
+        "injected mutation panics should surface as errors: \
+         {mutate_failures} failures, {m:?}"
+    );
+    assert!(
+        m.compactions + m.compactions_failed > 0,
+        "forced compaction should reach a terminal outcome: {m:?}"
+    );
+    assert!(
+        m.cache_revalidated + m.cache_dropped > 0,
+        "mutation batches should have revalidated the warm cache: {m:?}"
+    );
+    assert_workers_alive(&svc, workers);
+    // the probes themselves bump the gauge; give their workers a beat
+    // to decrement it after delivering the reply
+    wait_gauge_settles(&svc);
+    assert_eq!(svc.metrics().workers_busy, 0);
+}
+
+/// Crash consistency of compaction: with `compact_panic_every: 1` every
+/// fold dies mid-compaction. The failure must be invisible to readers —
+/// the pre-compaction overlay snapshot keeps serving, the epoch does not
+/// move, and later mutations still apply on top of it.
+#[test]
+fn mid_compaction_panic_keeps_old_snapshot_serving() {
+    let faults = FaultPlan {
+        seed: env_seed(5),
+        compact_panic_every: 1, // every compaction attempt panics
+        ..FaultPlan::default()
+    };
+    let svc = service_with(faults, 2, Duration::from_millis(500));
+    let far = (SIDE * SIDE - 1) as u32;
+
+    let r = svc
+        .query(&Query::Mutate {
+            graph: "g".into(),
+            ops: vec![Mutation::InsertEdge { u: 0, v: far, w: 1 }],
+            compact: true,
+        })
+        .unwrap();
+    assert!(
+        matches!(
+            r,
+            Reply::Mutated {
+                epoch: 1,
+                applied: 1,
+                ..
+            }
+        ),
+        "{r:?}"
+    );
+
+    // the forced compaction runs on a pool worker; wait for it to die
+    let t0 = Instant::now();
+    while svc.metrics().compactions_failed == 0 && t0.elapsed() < Duration::from_secs(5) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let m = svc.metrics();
+    assert!(
+        m.compactions_failed >= 1,
+        "compaction should have died: {m:?}"
+    );
+    assert_eq!(
+        m.compactions, 0,
+        "no fold may be recorded as succeeded: {m:?}"
+    );
+
+    // the old snapshot is untouched: still the overlay, still epoch 1,
+    // still answering through the mutated edge
+    let entry = svc.catalog().get("g").unwrap();
+    assert_eq!(entry.graph.storage_kind(), StorageKind::Overlay);
+    assert_eq!(entry.epoch, 1);
+    let d = svc
+        .query(&Query::BfsDist {
+            graph: "g".into(),
+            src: 0,
+            target: Some(far),
+        })
+        .unwrap();
+    assert_eq!(d, Reply::Dist { value: Some(1) });
+
+    // the torn fold must not wedge mutation: the next batch applies and
+    // is immediately visible
+    let r = svc
+        .query(&Query::Mutate {
+            graph: "g".into(),
+            ops: vec![Mutation::DeleteEdge { u: 0, v: far }],
+            compact: false,
+        })
+        .unwrap();
+    assert!(matches!(r, Reply::Mutated { epoch: 2, .. }), "{r:?}");
+    let d = svc
+        .query(&Query::BfsDist {
+            graph: "g".into(),
+            src: 0,
+            target: Some(far),
+        })
+        .unwrap();
+    assert_eq!(
+        d,
+        Reply::Dist {
+            value: Some(2 * (SIDE as u64 - 1))
+        }
+    );
+
+    wait_gauge_settles(&svc);
+    let m = svc.metrics();
+    assert!(m.reconciles(), "{m:?}");
+    assert!(m.mutation_reconciles(), "{m:?}");
+    assert_eq!(m.workers_busy, 0);
+    assert_workers_alive(&svc, 2);
 }

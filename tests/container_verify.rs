@@ -1,0 +1,101 @@
+//! Corruption property test for the on-disk container: flip any single
+//! byte of a packed `.pasgal` file and (a) [`MmapGraph::load`] must
+//! return an error — never panic, never yield a graph — and
+//! (b) [`disk::verify`] must report at least one failing check while
+//! still producing a verdict for every section it could reach.
+
+use pasgal_graph::disk::{self, pack, MmapGraph};
+use pasgal_graph::gen::basic::grid2d;
+use std::path::{Path, PathBuf};
+
+fn packed_fixture(compress: bool) -> (PathBuf, Vec<u8>) {
+    let path = std::env::temp_dir().join(format!(
+        "pasgal-corrupt-{}-{}.pasgal",
+        std::process::id(),
+        compress
+    ));
+    pack(&grid2d(9, 7), &path, compress).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    (path, bytes)
+}
+
+fn write_flipped(path: &Path, bytes: &[u8], pos: usize) {
+    let mut corrupt = bytes.to_vec();
+    corrupt[pos] ^= 0x01;
+    std::fs::write(path, &corrupt).unwrap();
+}
+
+/// Every single-byte flip must be caught. Strided positions keep the
+/// runtime down while still covering header, every section descriptor,
+/// and payload bytes; the file tail is covered exhaustively.
+#[test]
+fn one_flipped_byte_always_errors_and_never_panics() {
+    for compress in [false, true] {
+        let (path, bytes) = packed_fixture(compress);
+        let positions: Vec<usize> = (0..bytes.len())
+            .filter(|p| p % 13 == 0 || *p >= bytes.len().saturating_sub(16))
+            .collect();
+        for pos in positions {
+            write_flipped(&path, &bytes, pos);
+            // catch_unwind: the property is *errors, never panics* — a
+            // panic would poison an mmap-serving process on bad input
+            let loaded = std::panic::catch_unwind(|| MmapGraph::load(&path));
+            match loaded {
+                Ok(Err(_)) => {}
+                Ok(Ok(_)) => panic!(
+                    "flipping byte {pos} of the {}compressed container went undetected",
+                    if compress { "" } else { "un" }
+                ),
+                Err(_) => panic!(
+                    "MmapGraph::load panicked on byte {pos} flipped ({}compressed)",
+                    if compress { "" } else { "un" }
+                ),
+            }
+            let report = disk::verify(&path).expect("file exists: verify must not I/O-error");
+            assert!(
+                !report.ok(),
+                "verify passed a container with byte {pos} flipped: {report:?}"
+            );
+            assert!(
+                report.checks.iter().any(|c| !c.ok),
+                "failing report must name a failing check: {report:?}"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// Truncation at any strided length is likewise an error, not a panic.
+#[test]
+fn truncated_container_always_errors() {
+    let (path, bytes) = packed_fixture(false);
+    for len in (0..bytes.len()).step_by(7) {
+        std::fs::write(&path, &bytes[..len]).unwrap();
+        let loaded = std::panic::catch_unwind(|| MmapGraph::load(&path));
+        match loaded {
+            Ok(Err(_)) => {}
+            Ok(Ok(_)) => panic!("loading a {len}-byte truncation succeeded"),
+            Err(_) => panic!("MmapGraph::load panicked on a {len}-byte truncation"),
+        }
+        let report = disk::verify(&path).unwrap();
+        assert!(!report.ok(), "verify passed a {len}-byte truncation");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// The intact file round-trips: verify reports every check green.
+#[test]
+fn pristine_container_verifies_clean() {
+    for compress in [false, true] {
+        let (path, _) = packed_fixture(compress);
+        let report = disk::verify(&path).unwrap();
+        assert!(report.ok(), "{report:?}");
+        assert!(
+            report.checks.iter().any(|c| c.name == "header")
+                && report.checks.iter().any(|c| c.name.starts_with("section")),
+            "report should cover header and sections: {report:?}"
+        );
+        assert!(MmapGraph::load(&path).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+}
