@@ -35,7 +35,15 @@
 //!   --scale tiny|small|full   for `gen` (default small)
 //!   --compress        for `pack`: byte-compressed payload (delta/varint)
 //!   --force           for `pack`: overwrite an existing output file
-//!   --host H --port N         for `serve` (default 127.0.0.1:7421)
+//!   --host H --port N         for `serve` (default 127.0.0.1:7421;
+//!                             port 0 binds an ephemeral port, resolved
+//!                             in the banner and via the serve API)
+//!   --frontend event|threads  serving front end: readiness-loop event
+//!                             multiplexing (default) or the
+//!                             thread-per-connection baseline
+//!   --io-threads N            event front end I/O threads
+//!   --shards N                worker/cache shards (route by graph name)
+//!   --pipeline-depth N        per-connection in-flight request cap
 //!   --storage plain|compressed|mmap   backend `serve` loads graphs into
 //!   --mmap            shorthand for --storage mmap (container files)
 //!   --workers N --queue N --timeout-ms N --cache N   service tuning
@@ -95,7 +103,11 @@ const FLAG_OPTIONS: &[&str] = &["trace-rounds", "help", "compress", "mmap", "for
 /// option not listed here is a [`UsageError`], never silently ignored.
 pub const SERVE_FLAGS: &[(&str, &str)] = &[
     ("host H", "bind address (default 127.0.0.1)"),
-    ("port N", "TCP port (default 7421; 0 picks an ephemeral port)"),
+    ("port N", "TCP port (default 7421; 0 picks an ephemeral port, resolved in the banner)"),
+    ("frontend KIND", "serving front end: event (readiness loop multiplexing many connections per I/O thread, default) or threads (thread-per-connection baseline)"),
+    ("io-threads N", "event front end I/O threads, each polling its share of connections (default: cores, capped at 4)"),
+    ("shards N", "worker-pool/cache shards; queries route by hash of graph name (default 1; event front end only)"),
+    ("pipeline-depth N", "pipelined requests one connection may have in flight before its reads pause (default 128; event front end only)"),
     ("workers N", "worker threads executing traversals (default: cores, capped at 8)"),
     ("queue N", "bounded admission queue depth; full queue rejects with overloaded (default 64)"),
     ("timeout-ms N", "per-attempt query timeout in milliseconds (default 30000)"),
@@ -243,38 +255,99 @@ pub fn drain_option(cli: &Cli) -> Result<std::time::Duration, UsageError> {
     Ok(std::time::Duration::from_millis(ms))
 }
 
-/// The start-up banner for `pasgal serve`: bound address plus the
-/// registered-graph listing.
-pub fn serve_banner(service: &pasgal_service::Service, server: &pasgal_service::Server) -> String {
-    // both catalog reports sort by name, so they zip positionally
-    let listing = service
-        .catalog()
-        .list()
-        .into_iter()
-        .zip(service.catalog().storage_report())
-        .map(|((name, n, m), (_, kind, _))| format!("  {name}: n = {n}, m = {m}, storage {kind}"))
-        .collect::<Vec<_>>()
-        .join("\n");
+/// Either serving front end behind one lifecycle API, so `main` and the
+/// tests treat `--frontend event` and `--frontend threads` uniformly.
+pub enum ServeHandle {
+    /// Thread-per-connection baseline ([`pasgal_service::Server`]).
+    Threads(pasgal_service::Server),
+    /// Readiness-loop event front end ([`pasgal_service::EventServer`]).
+    Event(pasgal_service::EventServer),
+}
+
+impl ServeHandle {
+    /// The bound address; `--port 0` resolves to the actual ephemeral
+    /// port here.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        match self {
+            ServeHandle::Threads(s) => s.local_addr(),
+            ServeHandle::Event(s) => s.local_addr(),
+        }
+    }
+
+    /// The actual bound TCP port (the serve-API answer to `--port 0`).
+    pub fn port(&self) -> u16 {
+        self.local_addr().port()
+    }
+
+    /// One-line description of the front end for the banner.
+    pub fn describe(&self) -> String {
+        match self {
+            ServeHandle::Threads(_) => "threads (one thread per connection)".to_string(),
+            ServeHandle::Event(s) => {
+                let c = s.config();
+                format!(
+                    "event ({} io threads, {} shards, pipeline depth {})",
+                    c.io_threads,
+                    s.sharded().num_shards(),
+                    c.pipeline_depth
+                )
+            }
+        }
+    }
+
+    /// Shut down with the front end's default drain deadline.
+    pub fn shutdown(&mut self) {
+        match self {
+            ServeHandle::Threads(s) => s.shutdown(),
+            ServeHandle::Event(s) => s.shutdown(),
+        }
+    }
+
+    /// Cancel in-flight work, then wait up to `drain` for connections to
+    /// flush and close.
+    pub fn shutdown_with_deadline(&mut self, drain: std::time::Duration) {
+        match self {
+            ServeHandle::Threads(s) => s.shutdown_with_deadline(drain),
+            ServeHandle::Event(s) => s.shutdown_with_deadline(drain),
+        }
+    }
+}
+
+/// The start-up banner for `pasgal serve`: bound address (first line,
+/// address last so scripts can grab it), front end description, and the
+/// registered-graph listing across every shard.
+pub fn serve_banner(service: &pasgal_service::ShardedService, server: &ServeHandle) -> String {
+    // each shard's catalog reports sort by name, so they zip positionally
+    let mut rows: Vec<String> = Vec::new();
+    for shard in service.shards() {
+        rows.extend(
+            shard
+                .catalog()
+                .list()
+                .into_iter()
+                .zip(shard.catalog().storage_report())
+                .map(|((name, n, m), (_, kind, _))| {
+                    format!("  {name}: n = {n}, m = {m}, storage {kind}")
+                }),
+        );
+    }
+    rows.sort();
     let mut out = format!("pasgal-service listening on {}", server.local_addr());
-    if !listing.is_empty() {
-        out.push_str(&format!("\nregistered graphs:\n{listing}"));
+    out.push_str(&format!("\nfront end: {}", server.describe()));
+    if !rows.is_empty() {
+        out.push_str(&format!("\nregistered graphs:\n{}", rows.join("\n")));
     }
     out
 }
 
 /// Build the query service for `pasgal serve`: parse the tuning options,
-/// register every positional graph file under its file stem, and bind the
-/// TCP server. Returns both so the caller controls their lifetime.
+/// build the shard fleet, register every positional graph file under its
+/// file stem, and bind the chosen front end. Returns both so the caller
+/// controls their lifetime.
 pub fn start_service(
     cli: &Cli,
-) -> Result<
-    (
-        std::sync::Arc<pasgal_service::Service>,
-        pasgal_service::Server,
-    ),
-    String,
-> {
-    use pasgal_service::{Server, Service, ServiceConfig};
+) -> Result<(std::sync::Arc<pasgal_service::ShardedService>, ServeHandle), String> {
+    use pasgal_service::{EventServer, FrontendConfig, Server, ServiceConfig, ShardedService};
 
     validate_serve_options(cli).map_err(|e| e.to_string())?;
     threads_option(cli).map_err(|e| e.to_string())?;
@@ -408,7 +481,40 @@ pub fn start_service(
         (None, true) => Some("mmap"),
         (None, false) => None,
     };
-    let service = std::sync::Arc::new(Service::new(config));
+    let event_frontend = match cli.opt("frontend", "event") {
+        "event" => true,
+        "threads" => false,
+        other => {
+            return Err(format!("--frontend must be event or threads (got {other})"));
+        }
+    };
+    let shards = cli.num("shards", 1).map_err(|e| e.to_string())? as usize;
+    if !(1..=64).contains(&shards) {
+        return Err(format!("--shards must be 1..=64 (got {shards})"));
+    }
+    let io_threads = cli.num("io-threads", 0).map_err(|e| e.to_string())? as usize;
+    if cli.options.contains_key("io-threads") && !(1..=64).contains(&io_threads) {
+        return Err(format!("--io-threads must be 1..=64 (got {io_threads})"));
+    }
+    let pipeline_depth = cli.num("pipeline-depth", 128).map_err(|e| e.to_string())? as usize;
+    if !(1..=4096).contains(&pipeline_depth) {
+        return Err(format!(
+            "--pipeline-depth must be 1..=4096 (got {pipeline_depth})"
+        ));
+    }
+    if !event_frontend {
+        if shards != 1 {
+            return Err(
+                "--shards needs the event front end (--frontend threads serves one shard)".into(),
+            );
+        }
+        for key in ["io-threads", "pipeline-depth"] {
+            if cli.options.contains_key(key) {
+                return Err(format!("--{key} only applies to --frontend event"));
+            }
+        }
+    }
+    let sharded = std::sync::Arc::new(ShardedService::new(config, shards));
     for file in &cli.positional {
         let name = Path::new(file)
             .file_stem()
@@ -416,13 +522,28 @@ pub fn start_service(
             .unwrap_or(file.as_str())
             .to_string();
         let store = pasgal_service::server::load_store_by_ext(file, storage)?;
-        service.register(&name, store);
+        sharded.register(&name, store);
     }
     let host = cli.opt("host", "127.0.0.1");
     let port = cli.num("port", 7421).map_err(|e| e.to_string())?;
-    let server = Server::spawn(std::sync::Arc::clone(&service), &format!("{host}:{port}"))
-        .map_err(|e| format!("cannot bind {host}:{port}: {e}"))?;
-    Ok((service, server))
+    let addr = format!("{host}:{port}");
+    let handle = if event_frontend {
+        let mut fc = FrontendConfig::default();
+        if io_threads > 0 {
+            fc.io_threads = io_threads;
+        }
+        fc.pipeline_depth = pipeline_depth;
+        ServeHandle::Event(
+            EventServer::spawn(std::sync::Arc::clone(&sharded), &addr, fc)
+                .map_err(|e| format!("cannot bind {addr}: {e}"))?,
+        )
+    } else {
+        let single = std::sync::Arc::clone(&sharded.shards()[0]);
+        ServeHandle::Threads(
+            Server::spawn(single, &addr).map_err(|e| format!("cannot bind {addr}: {e}"))?,
+        )
+    };
+    Ok((sharded, handle))
 }
 
 /// Run a driver-backed algorithm under a `TracingObserver`, returning its
@@ -1258,6 +1379,149 @@ mod tests {
         assert!(run(&cli(&["serve", "--memory-budget-mb", "0"])).is_err());
         assert!(run(&cli(&["serve", "--memory-budget-mb", "abc"])).is_err());
         assert!(run(&cli(&["serve", "--memory-budget-mb", "9999999"])).is_err());
+        assert!(run(&cli(&["serve", "--frontend", "epoll"])).is_err());
+        assert!(run(&cli(&["serve", "--shards", "0"])).is_err());
+        assert!(run(&cli(&["serve", "--shards", "65"])).is_err());
+        assert!(run(&cli(&["serve", "--io-threads", "0"])).is_err());
+        assert!(run(&cli(&["serve", "--io-threads", "999"])).is_err());
+        assert!(run(&cli(&["serve", "--pipeline-depth", "0"])).is_err());
+        assert!(run(&cli(&["serve", "--pipeline-depth", "99999"])).is_err());
+        // event-only tuning is rejected with the baseline front end
+        let e = run(&cli(&["serve", "--frontend", "threads", "--shards", "2"])).unwrap_err();
+        assert!(e.contains("event front end"), "{e}");
+        let e = run(&cli(&[
+            "serve",
+            "--frontend",
+            "threads",
+            "--io-threads",
+            "2",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--frontend event"), "{e}");
+        let e = run(&cli(&[
+            "serve",
+            "--frontend",
+            "threads",
+            "--pipeline-depth",
+            "8",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--frontend event"), "{e}");
+    }
+
+    #[test]
+    fn serve_threads_frontend_still_answers_over_tcp() {
+        use std::io::{BufRead, BufReader, Write};
+
+        let (service, mut server) = start_service(&cli(&[
+            "serve",
+            "--port",
+            "0",
+            "--workers",
+            "1",
+            "--frontend",
+            "threads",
+        ]))
+        .unwrap();
+        assert!(matches!(server, ServeHandle::Threads(_)));
+        service.register("g", pasgal_graph::gen::basic::grid2d(6, 9));
+        let banner = serve_banner(&service, &server);
+        assert!(banner.contains("front end: threads"), "{banner}");
+        let stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writer
+            .write_all(b"{\"op\":\"bfs\",\"graph\":\"g\",\"src\":0,\"target\":53}\n")
+            .unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"dist\":13"), "{line}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn serve_port_zero_resolves_in_banner_and_api() {
+        // satellite: --port 0 must surface the real ephemeral port both
+        // in the banner text and through the serve API, on either front end
+        for frontend in ["event", "threads"] {
+            let (service, mut server) = start_service(&cli(&[
+                "serve",
+                "--port",
+                "0",
+                "--workers",
+                "1",
+                "--frontend",
+                frontend,
+            ]))
+            .unwrap();
+            let port = server.port();
+            assert_ne!(port, 0, "{frontend}: port 0 must resolve");
+            assert_eq!(server.local_addr().port(), port);
+            let banner = serve_banner(&service, &server);
+            let first = banner.lines().next().unwrap();
+            assert!(
+                first.ends_with(&format!(":{port}")),
+                "{frontend}: banner must end with the resolved port: {first}"
+            );
+            assert!(!first.contains(":0"), "{frontend}: {first}");
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn serve_event_frontend_shards_and_answers_binary() {
+        use pasgal_service::{FrameBuf, WireMode};
+        use std::io::{Read as _, Write};
+
+        let (service, mut server) = start_service(&cli(&[
+            "serve",
+            "--port",
+            "0",
+            "--workers",
+            "2",
+            "--shards",
+            "2",
+            "--io-threads",
+            "1",
+            "--pipeline-depth",
+            "16",
+        ]))
+        .unwrap();
+        assert_eq!(service.num_shards(), 2);
+        let banner = serve_banner(&service, &server);
+        assert!(banner.contains("2 shards"), "{banner}");
+        assert!(banner.contains("pipeline depth 16"), "{banner}");
+        service.register("g", pasgal_graph::gen::basic::grid2d(6, 9));
+
+        // binary protocol straight through the CLI-built stack
+        let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        let mut msg = pasgal_service::protocol::BINARY_MAGIC.to_vec();
+        pasgal_service::protocol::encode_binary_request(
+            pasgal_service::protocol::TAG_BFS,
+            "g",
+            0,
+            Some(53),
+            None,
+            &mut msg,
+        );
+        stream.write_all(&msg).unwrap();
+        let mut frames = FrameBuf::with_mode(WireMode::Binary);
+        let mut buf = [0u8; 4096];
+        loop {
+            let n = stream.read(&mut buf).unwrap();
+            assert!(n > 0, "server closed before answering");
+            frames.push(&buf[..n]);
+            if let Some(frame) = frames.next_frame().unwrap() {
+                let reply = pasgal_service::protocol::decode_binary_response(&frame).unwrap();
+                assert_eq!(
+                    reply.get("dist").and_then(|d| d.as_u64()),
+                    Some(13),
+                    "{reply}"
+                );
+                break;
+            }
+        }
+        server.shutdown();
     }
 
     /// Every flag `start_service` parses must appear in [`SERVE_FLAGS`],
@@ -1270,6 +1534,10 @@ mod tests {
         let parsed = [
             "host",
             "port",
+            "frontend",
+            "io-threads",
+            "shards",
+            "pipeline-depth",
             "workers",
             "queue",
             "timeout-ms",
@@ -1313,8 +1581,16 @@ mod tests {
             "127.0.0.1",
             "--port",
             "0",
+            "--frontend",
+            "event",
+            "--io-threads",
+            "2",
+            "--shards",
+            "2",
+            "--pipeline-depth",
+            "64",
             "--workers",
-            "1",
+            "2",
             "--queue",
             "4",
             "--timeout-ms",
@@ -1363,7 +1639,7 @@ mod tests {
         .unwrap();
         service.register("g", pasgal_graph::gen::basic::grid2d(6, 9));
         let r = pasgal_service::server::handle_line(
-            &service,
+            service.shard_for("g"),
             r#"{"op":"bfs","graph":"g","src":0,"target":53}"#,
         );
         assert!(r.to_string().contains("\"dist\":13"), "{r}");

@@ -60,7 +60,8 @@ fn main() {
              serve:    --host H --port N --workers N --queue N\n\
                        --timeout-ms N --cache N --drain-ms N\n\
                        --max-retries N --breaker-threshold N\n\
-                       --breaker-cooldown-ms N\n\
+                       --breaker-cooldown-ms N --frontend event|threads\n\
+                       --io-threads N --shards N --pipeline-depth N\n\
                        (graphs register by stem; SIGINT/SIGTERM drains;\n\
                        `pasgal serve --help` details every flag)\n\
              formats:  .adj (PBBS text), .bin (binary CSR), else edge list\n\

@@ -24,28 +24,55 @@ pub fn encode_u64(mut x: u64, out: &mut Vec<u8>) {
     out.push(x as u8);
 }
 
+/// High (continuation) bit of every byte lane in a `u64` word.
+const CONT_MASK: u64 = 0x8080_8080_8080_8080;
+
 /// Decode a LEB128 varint from `buf` starting at `*pos`, advancing `*pos`
 /// past it. Panics (via slice indexing) on truncated input; the storage
 /// layer validates section checksums before decode ever runs.
+///
+/// When at least 8 bytes remain, the whole candidate varint is loaded as
+/// one little-endian `u64` word: the terminator byte is found with a
+/// single `trailing_zeros` over the inverted continuation bits, and the
+/// seven-bit payload groups are folded together with three shift/mask
+/// steps instead of a byte-at-a-time loop. Gap streams never exceed five
+/// bytes per value (vertex ids are `u32`), so the ≤8-byte word path is
+/// the only one that runs on graph data; the byte loop remains for
+/// buffer tails shorter than a word and for 9–10-byte (≥2⁵⁷) values.
 #[inline]
 pub fn decode_u64(buf: &[u8], pos: &mut usize) -> u64 {
-    // Unrolled one- and two-byte fast paths: gap streams are dominated by
-    // values under 2^14 (clustered lists give 1-byte gaps, uniform lists
-    // over n < ~10^6 vertices give 2-byte gaps).
     let p = *pos;
+    // One-byte values dominate clustered gap streams; keep the single
+    // compare-and-return ahead of the word load.
     let b0 = buf[p];
     if b0 < 0x80 {
         *pos = p + 1;
         return u64::from(b0);
     }
-    let b1 = buf[p + 1];
-    if b1 < 0x80 {
-        *pos = p + 2;
-        return u64::from(b0 & 0x7f) | u64::from(b1) << 7;
+    if let Some(chunk) = buf.get(p..p + 8) {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte slice"));
+        let stops = !word & CONT_MASK;
+        if stops != 0 {
+            // Terminator inside the word: n = encoded length in bytes.
+            let n = (stops.trailing_zeros() >> 3) as usize + 1;
+            *pos = p + n;
+            // Keep the n encoded bytes, strip continuation bits, then
+            // fold the 7-bit groups pairwise: 7→14→28→56 payload bits.
+            let masked = word & (u64::MAX >> (64 - 8 * n)) & !CONT_MASK;
+            let x = (masked & 0x007f_007f_007f_007f) | (masked & 0x7f00_7f00_7f00_7f00) >> 1;
+            let x = (x & 0x0000_3fff_0000_3fff) | (x & 0x3fff_0000_3fff_0000) >> 2;
+            return (x & 0x0fff_ffff) | (x & 0x0fff_ffff_0000_0000) >> 4;
+        }
     }
-    let mut x = u64::from(b0 & 0x7f) | u64::from(b1 & 0x7f) << 7;
-    *pos = p + 2;
-    let mut shift = 14u32;
+    decode_u64_slow(buf, pos)
+}
+
+/// Byte-at-a-time decode: buffer tails (< 8 bytes left) and varints
+/// longer than 8 bytes.
+#[cold]
+fn decode_u64_slow(buf: &[u8], pos: &mut usize) -> u64 {
+    let mut x = 0u64;
+    let mut shift = 0u32;
     loop {
         let b = buf[*pos];
         *pos += 1;
@@ -153,6 +180,50 @@ mod tests {
         for x in [-1_000_000i64, -1, 0, 1, 17, i64::MIN, i64::MAX] {
             assert_eq!(zigzag_decode(zigzag_encode(x)), x);
         }
+    }
+
+    /// Decode with ≥ 8 bytes of tail padding so the word-load fast path
+    /// runs, and again at the exact buffer end so the byte-loop tail
+    /// path runs; both must agree with the encoder for every length
+    /// class 1..=10 bytes.
+    #[test]
+    fn word_path_and_tail_path_agree_across_length_classes() {
+        let cases: Vec<u64> = (0..10)
+            .map(|k| if k == 0 { 0 } else { 1u64 << (7 * k).min(63) })
+            .chain([u64::MAX, u64::MAX - 1, (1 << 56) - 1, 1 << 56])
+            .collect();
+        for &v in &cases {
+            let mut padded = Vec::new();
+            encode_u64(v, &mut padded);
+            let encoded_len = padded.len();
+            padded.extend_from_slice(&[0xAA; 8]); // arbitrary trailing noise
+            let mut pos = 0;
+            assert_eq!(decode_u64(&padded, &mut pos), v, "padded decode of {v}");
+            assert_eq!(pos, encoded_len, "cursor after padded decode of {v}");
+            let mut exact = Vec::new();
+            encode_u64(v, &mut exact);
+            let mut pos = 0;
+            assert_eq!(decode_u64(&exact, &mut pos), v, "tail decode of {v}");
+            assert_eq!(pos, exact.len());
+        }
+    }
+
+    /// A dense stream decoded in order exercises every boundary between
+    /// the word path (early values) and the tail path (last values).
+    #[test]
+    fn long_stream_crosses_word_tail_boundary() {
+        let vals: Vec<u64> = (0..4096u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> (i % 57))
+            .collect();
+        let mut buf = Vec::new();
+        for &v in &vals {
+            encode_u64(v, &mut buf);
+        }
+        let mut pos = 0;
+        for &v in &vals {
+            assert_eq!(decode_u64(&buf, &mut pos), v);
+        }
+        assert_eq!(pos, buf.len());
     }
 
     #[test]

@@ -32,8 +32,19 @@
 //! - **[`fault`]** — deterministic fault injection (worker panics,
 //!   stalls, forced cache misses, fake queue-full), compiled out unless
 //!   the `fault-injection` cargo feature is on; drives the chaos tests.
-//! - **[`server`]** — JSON-lines-over-TCP front end (`pasgal serve`),
-//!   scriptable with `nc`.
+//! - **[`protocol`]** — request framing shared by both front ends:
+//!   incremental JSON-lines / length-prefixed-binary parsing with
+//!   first-frame negotiation, and the compact binary query encodings.
+//! - **[`poller`]** — the readiness-notification abstraction (epoll on
+//!   Linux, a portable poll fallback elsewhere) behind the event loop.
+//! - **[`shard`]** — per-graph sharding of the worker pool and result
+//!   cache: each shard is a full [`Service`] so one hot graph cannot
+//!   starve the rest of the catalog.
+//! - **[`server`]** — the thread-per-connection JSON-lines front end
+//!   (`pasgal serve --frontend threads`), scriptable with `nc`; kept as
+//!   the loadgen baseline.
+//! - **[`frontend`]** — the event-driven readiness-loop front end
+//!   (default): many pipelined connections per I/O thread.
 //!
 //! ```
 //! use pasgal_service::{Query, Service, ServiceConfig};
@@ -53,13 +64,17 @@ pub mod cache;
 pub mod catalog;
 pub mod cost;
 pub mod fault;
+pub mod frontend;
 pub mod json;
 pub mod metrics;
 pub mod mutate;
+pub mod poller;
+pub mod protocol;
 pub mod query;
 pub mod resilience;
 pub mod server;
 pub mod service;
+pub mod shard;
 
 pub use batcher::FlightOutcome;
 pub use brownout::{BrownoutController, Pressure};
@@ -67,8 +82,11 @@ pub use cache::{ComputeKey, ComputeValue};
 pub use catalog::{Catalog, GraphEntry};
 pub use cost::{AdmitDecision, CostClass, CostModel};
 pub use fault::{FaultInjector, FaultPlan};
+pub use frontend::{EventServer, FrontendConfig};
 pub use metrics::MetricsSnapshot;
+pub use protocol::{FrameBuf, WireMode};
 pub use query::{Answer, Query, QueryMode, Reply, ServiceError};
 pub use resilience::ResilienceConfig;
 pub use server::Server;
 pub use service::{Service, ServiceConfig};
+pub use shard::ShardedService;

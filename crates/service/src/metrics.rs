@@ -395,6 +395,97 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Fold another shard's snapshot into this one: counters and
+    /// histogram buckets add; `workers_busy` and `graph_resident_bytes`
+    /// are per-shard gauges whose fleet-wide reading is the sum;
+    /// `brownout_state` takes the max (the fleet is as pressured as its
+    /// most pressured shard). Every conservation identity is linear, so
+    /// a merge of reconciling snapshots reconciles.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        let MetricsSnapshot {
+            queries,
+            completed,
+            cache_hits,
+            cache_misses,
+            computations,
+            computations_cancelled,
+            rejected_overload,
+            timeouts,
+            cancelled,
+            errors,
+            degraded,
+            retries,
+            breaker_open_total,
+            breaker_closed_total,
+            deadline_exceeded,
+            shed,
+            workers_busy,
+            oracle_hits,
+            oracle_queries,
+            oracle_served,
+            oracle_unserved,
+            multi_source_flights,
+            mutate_queries,
+            mutation_batches,
+            mutations_applied,
+            mutations_shed,
+            compactions,
+            compactions_failed,
+            cache_revalidated,
+            cache_dropped,
+            brownout_state,
+            graph_resident_bytes,
+            latency_us,
+            batch_size,
+            rounds,
+            sources_per_flight,
+        } = other;
+        self.queries += queries;
+        self.completed += completed;
+        self.cache_hits += cache_hits;
+        self.cache_misses += cache_misses;
+        self.computations += computations;
+        self.computations_cancelled += computations_cancelled;
+        self.rejected_overload += rejected_overload;
+        self.timeouts += timeouts;
+        self.cancelled += cancelled;
+        self.errors += errors;
+        self.degraded += degraded;
+        self.retries += retries;
+        self.breaker_open_total += breaker_open_total;
+        self.breaker_closed_total += breaker_closed_total;
+        self.deadline_exceeded += deadline_exceeded;
+        self.shed += shed;
+        self.workers_busy += workers_busy;
+        self.oracle_hits += oracle_hits;
+        self.oracle_queries += oracle_queries;
+        self.oracle_served += oracle_served;
+        self.oracle_unserved += oracle_unserved;
+        self.multi_source_flights += multi_source_flights;
+        self.mutate_queries += mutate_queries;
+        self.mutation_batches += mutation_batches;
+        self.mutations_applied += mutations_applied;
+        self.mutations_shed += mutations_shed;
+        self.compactions += compactions;
+        self.compactions_failed += compactions_failed;
+        self.cache_revalidated += cache_revalidated;
+        self.cache_dropped += cache_dropped;
+        self.brownout_state = self.brownout_state.max(*brownout_state);
+        self.graph_resident_bytes += graph_resident_bytes;
+        for (a, b) in self.latency_us.iter_mut().zip(latency_us) {
+            *a += b;
+        }
+        for (a, b) in self.batch_size.iter_mut().zip(batch_size) {
+            *a += b;
+        }
+        for (a, b) in self.rounds.iter_mut().zip(rounds) {
+            *a += b;
+        }
+        for (a, b) in self.sources_per_flight.iter_mut().zip(sources_per_flight) {
+            *a += b;
+        }
+    }
+
     /// Fraction of cache lookups that hit, in `[0, 1]`.
     pub fn cache_hit_rate(&self) -> f64 {
         let total = self.cache_hits + self.cache_misses;
@@ -544,6 +635,120 @@ impl MetricsSnapshot {
             ("rounds_p50", Json::from(self.rounds_p50())),
             ("rounds_p99", Json::from(self.rounds_p99())),
         ])
+    }
+}
+
+/// Connection-level counters kept by a front end (either one), beside
+/// the per-shard query [`Metrics`]. Frames have their own conservation
+/// identity: every frame pulled off a socket is answered exactly once
+/// (good frames by their reply, bad ones by a `bad_request`), so at
+/// quiescence `frames_in == frames_out` and responses never outnumber
+/// requests mid-flight.
+#[derive(Default)]
+pub struct FrontendStats {
+    connections_open: AtomicU64,
+    connections_total: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    frames_bad: AtomicU64,
+}
+
+impl FrontendStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn connection_opened(&self) {
+        self.connections_open.fetch_add(1, Ordering::Relaxed);
+        self.connections_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn connection_closed(&self) {
+        self.connections_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub fn bytes_in(&self, n: u64) {
+        self.bytes_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn bytes_out(&self, n: u64) {
+        self.bytes_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// One complete frame parsed off a connection.
+    pub fn frame_in(&self) {
+        self.frames_in.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One response frame queued for its connection.
+    pub fn frame_out(&self) {
+        self.frames_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One frame that decoded to garbage (still answered, by a
+    /// `bad_request` — so it counts in `frames_out` too).
+    pub fn frame_bad(&self) {
+        self.frames_bad.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> FrontendSnapshot {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        FrontendSnapshot {
+            connections_open: load(&self.connections_open),
+            connections_total: load(&self.connections_total),
+            bytes_in: load(&self.bytes_in),
+            bytes_out: load(&self.bytes_out),
+            frames_in: load(&self.frames_in),
+            frames_out: load(&self.frames_out),
+            frames_bad: load(&self.frames_bad),
+        }
+    }
+}
+
+/// Point-in-time copy of [`FrontendStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontendSnapshot {
+    /// Currently open connections (gauge).
+    pub connections_open: u64,
+    /// Connections accepted since startup.
+    pub connections_total: u64,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+    /// Complete request frames parsed.
+    pub frames_in: u64,
+    /// Response frames written (one per request frame, including
+    /// `bad_request` answers to malformed ones).
+    pub frames_out: u64,
+    /// Frames whose payload failed to decode (subset of `frames_in`,
+    /// each still answered).
+    pub frames_bad: u64,
+}
+
+impl FrontendSnapshot {
+    /// Frame conservation at quiescence: every parsed frame was answered
+    /// exactly once, and bad frames are a subset of parsed ones.
+    pub fn reconciles(&self) -> bool {
+        self.frames_in == self.frames_out && self.frames_bad <= self.frames_in
+    }
+
+    /// Splice the connection counters into a metrics wire object (the
+    /// front end owns these; the per-shard service does not know about
+    /// sockets).
+    pub fn inject(&self, metrics_reply: &mut Json) {
+        if let Json::Obj(m) = metrics_reply {
+            m.insert("connections_open".into(), Json::from(self.connections_open));
+            m.insert(
+                "connections_total".into(),
+                Json::from(self.connections_total),
+            );
+            m.insert("bytes_in".into(), Json::from(self.bytes_in));
+            m.insert("bytes_out".into(), Json::from(self.bytes_out));
+            m.insert("frames_in".into(), Json::from(self.frames_in));
+            m.insert("frames_out".into(), Json::from(self.frames_out));
+            m.insert("frames_bad".into(), Json::from(self.frames_bad));
+        }
     }
 }
 
@@ -755,6 +960,66 @@ mod tests {
         assert_eq!(j.get("multi_source_flights"), Some(&Json::Int(2)));
         assert_eq!(j.get("oracle_hits"), Some(&Json::Int(1)));
         assert!(j.get("sources_per_flight").is_some());
+    }
+
+    #[test]
+    fn merge_sums_counters_and_keeps_identities() {
+        let a = Metrics::new();
+        a.query();
+        a.completed();
+        a.latency(Duration::from_micros(10));
+        a.set_brownout_state(0);
+        a.set_graph_resident_bytes(100);
+        let b = Metrics::new();
+        b.query();
+        b.query();
+        b.shed();
+        b.deadline_exceeded();
+        b.oracle_query();
+        b.oracle_unserved();
+        b.latency(Duration::from_micros(10));
+        b.set_brownout_state(2);
+        b.set_graph_resident_bytes(50);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.queries, 3);
+        assert_eq!(merged.completed, 1);
+        assert_eq!(merged.shed, 1);
+        assert_eq!(merged.deadline_exceeded, 1);
+        assert_eq!(merged.brownout_state, 2, "gauge takes the max");
+        assert_eq!(merged.graph_resident_bytes, 150, "gauge sums");
+        assert_eq!(merged.latency_us[3], 2, "histograms add elementwise");
+        assert!(merged.reconciles(), "identities are linear under merge");
+        assert!(merged.oracle_reconciles());
+        assert!(merged.mutation_reconciles());
+    }
+
+    #[test]
+    fn frontend_stats_reconcile_and_inject() {
+        let fe = FrontendStats::new();
+        fe.connection_opened();
+        fe.connection_opened();
+        fe.connection_closed();
+        fe.bytes_in(100);
+        fe.bytes_out(250);
+        fe.frame_in();
+        fe.frame_out();
+        fe.frame_in();
+        let snap = fe.snapshot();
+        assert_eq!(snap.connections_open, 1);
+        assert_eq!(snap.connections_total, 2);
+        assert!(!snap.reconciles(), "a parsed frame is still unanswered");
+        fe.frame_bad();
+        fe.frame_out();
+        let snap = fe.snapshot();
+        assert!(snap.reconciles());
+        assert_eq!(snap.frames_bad, 1);
+        let mut reply = Metrics::new().snapshot().to_json();
+        snap.inject(&mut reply);
+        assert_eq!(reply.get("connections_open"), Some(&Json::Int(1)));
+        assert_eq!(reply.get("bytes_in"), Some(&Json::Int(100)));
+        assert_eq!(reply.get("frames_in"), Some(&Json::Int(2)));
+        assert_eq!(reply.get("frames_bad"), Some(&Json::Int(1)));
     }
 
     #[test]

@@ -1,0 +1,397 @@
+//! Readiness notification for the event-driven front end.
+//!
+//! [`Poller`] is the thin abstraction the I/O threads block on: register
+//! nonblocking sockets with a `usize` token and an interest set, then
+//! [`Poller::wait`] for readiness events. On Linux the backend is epoll,
+//! reached through `extern "C"` declarations of the four syscall wrappers
+//! — std already links libc (the CLI declares `signal` the same way), so
+//! this adds no dependency while keeping O(ready) wakeups. Elsewhere the
+//! backend is POSIX `poll(2)` over the registered set: O(registered) per
+//! wakeup, fine as a portability fallback. The std-only-vs-dependency
+//! trade-off is recorded in DESIGN.md §18.
+//!
+//! Both backends are level-triggered: a socket with buffered input keeps
+//! reporting readable until drained, so the event loop never needs the
+//! re-arm bookkeeping edge triggering would force.
+//!
+//! Cross-thread wakeup (new connection handed to an I/O thread, a worker
+//! finishing a response) is a [`Waker`]: one end of a `UnixStream` pair
+//! registered like any other socket under a reserved token.
+
+use std::io;
+use std::io::{Read, Write};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+
+/// What a registration wants to be woken for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Interest {
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    pub token: usize,
+    pub readable: bool,
+    pub writable: bool,
+    /// Peer hung up or the socket errored; drain then drop the
+    /// connection.
+    pub hangup: bool,
+}
+
+#[cfg(target_os = "linux")]
+pub use epoll_impl::Poller;
+#[cfg(not(target_os = "linux"))]
+pub use poll_impl::Poller;
+
+#[cfg(target_os = "linux")]
+mod epoll_impl {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    // Raw epoll syscall wrappers from libc, which std links
+    // unconditionally on Linux. Declaring the symbols directly keeps the
+    // crate dependency-free (see DESIGN.md §18).
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    /// Kernel `struct epoll_event`. Packed on x86 ABIs only — matching
+    /// the kernel UAPI header, which packs there and not elsewhere.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    /// epoll-backed poller: O(ready) wakeups, no per-wait re-registration.
+    pub struct Poller {
+        epfd: RawFd,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller { epfd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: interest_bits(interest),
+                data: token as u64,
+            };
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn register(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub fn modify(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            // event argument ignored for DEL on kernels ≥ 2.6.9 but must
+            // be non-null for portability to older ones
+            self.ctl(EPOLL_CTL_DEL, fd, 0, Interest::READ)
+        }
+
+        /// Block for readiness, appending to `out`. Returns the number of
+        /// events delivered; `EINTR` surfaces as zero events.
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+            let mut raw = [EpollEvent { events: 0, data: 0 }; 128];
+            let timeout_ms = timeout.map_or(-1i32, |d| d.as_millis().min(i32::MAX as u128) as i32);
+            let n =
+                unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), raw.len() as i32, timeout_ms) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(err);
+            }
+            for ev in &raw[..n as usize] {
+                let bits = ev.events;
+                out.push(Event {
+                    token: ev.data as usize,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    hangup: bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                });
+            }
+            Ok(n as usize)
+        }
+    }
+
+    fn interest_bits(interest: Interest) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if interest.readable {
+            bits |= EPOLLIN;
+        }
+        if interest.writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe { close(self.epfd) };
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod poll_impl {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    /// Portable POSIX `poll(2)` fallback: rebuilds the fd array each
+    /// wait, O(registered) per wakeup.
+    pub struct Poller {
+        registered: Mutex<Vec<(RawFd, usize, Interest)>>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                registered: Mutex::new(Vec::new()),
+            })
+        }
+
+        pub fn register(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            self.registered.lock().unwrap().push((fd, token, interest));
+            Ok(())
+        }
+
+        pub fn modify(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            let mut reg = self.registered.lock().unwrap();
+            for slot in reg.iter_mut() {
+                if slot.0 == fd {
+                    *slot = (fd, token, interest);
+                    return Ok(());
+                }
+            }
+            Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.registered.lock().unwrap().retain(|s| s.0 != fd);
+            Ok(())
+        }
+
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+            let snapshot: Vec<(RawFd, usize, Interest)> = self.registered.lock().unwrap().clone();
+            let mut fds: Vec<PollFd> = snapshot
+                .iter()
+                .map(|&(fd, _, interest)| PollFd {
+                    fd,
+                    events: (if interest.readable { POLLIN } else { 0 })
+                        | (if interest.writable { POLLOUT } else { 0 }),
+                    revents: 0,
+                })
+                .collect();
+            let timeout_ms = timeout.map_or(-1i32, |d| d.as_millis().min(i32::MAX as u128) as i32);
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(err);
+            }
+            let mut delivered = 0;
+            for (pfd, &(_, token, _)) in fds.iter().zip(snapshot.iter()) {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                delivered += 1;
+                out.push(Event {
+                    token,
+                    readable: pfd.revents & POLLIN != 0,
+                    writable: pfd.revents & POLLOUT != 0,
+                    hangup: pfd.revents & (POLLERR | POLLHUP) != 0,
+                });
+            }
+            Ok(delivered)
+        }
+    }
+}
+
+/// Cross-thread wakeup for a [`Poller`]: the read half sits in the poll
+/// set under a reserved token; any thread calls [`Waker::wake`] to make
+/// the next (or current) `wait` return.
+pub struct Waker {
+    read: UnixStream,
+    write: UnixStream,
+}
+
+impl Waker {
+    pub fn new() -> io::Result<Waker> {
+        let (read, write) = UnixStream::pair()?;
+        read.set_nonblocking(true)?;
+        write.set_nonblocking(true)?;
+        Ok(Waker { read, write })
+    }
+
+    /// Register the wake pipe's read half under `token`.
+    pub fn register(&self, poller: &Poller, token: usize) -> io::Result<()> {
+        poller.register(self.read.as_raw_fd(), token, Interest::READ)
+    }
+
+    /// Wake the poller. A full pipe means a wake is already pending,
+    /// which is all a wake needs to guarantee — ignore it.
+    pub fn wake(&self) {
+        let _ = (&self.write).write(&[1u8]);
+    }
+
+    /// Drain pending wake bytes (call when the wake token fires, before
+    /// processing the queues the wakes announced).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while matches!((&self.read).read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Duration;
+
+    const WAKE: usize = usize::MAX;
+
+    #[test]
+    fn waker_wakes_and_drains() {
+        let poller = Poller::new().unwrap();
+        let waker = Waker::new().unwrap();
+        waker.register(&poller, WAKE).unwrap();
+        // no wake yet: times out empty
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.iter().all(|e| e.token != WAKE));
+        waker.wake();
+        waker.wake(); // coalesced wakes are fine
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == WAKE && e.readable));
+        waker.drain();
+        // drained: back to quiet
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.iter().all(|e| e.token != WAKE));
+    }
+
+    #[test]
+    fn tcp_readable_and_writable_interest() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        client.set_nonblocking(true).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller
+            .register(client.as_raw_fd(), 7, Interest::BOTH)
+            .unwrap();
+        // a fresh socket with an empty send buffer is writable, not
+        // readable
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events.iter().find(|e| e.token == 7).expect("event");
+        assert!(ev.writable && !ev.readable);
+
+        // after the peer writes, read interest fires
+        poller
+            .modify(client.as_raw_fd(), 7, Interest::READ)
+            .unwrap();
+        (&server_side).write_all(b"ping").unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events.iter().find(|e| e.token == 7).expect("event");
+        assert!(ev.readable);
+
+        // peer hangup is reported so the loop can reap the connection
+        drop(server_side);
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events.iter().find(|e| e.token == 7).expect("event");
+        assert!(ev.hangup || ev.readable);
+        poller.deregister(client.as_raw_fd()).unwrap();
+    }
+}

@@ -1,0 +1,653 @@
+//! Request framing and the optional binary wire protocol.
+//!
+//! Both front ends (the thread-per-connection baseline and the
+//! event-driven readiness loop) speak two framings over one TCP port:
+//!
+//! * **JSON lines** — the original protocol: one JSON object per
+//!   `\n`-terminated line, one JSON object back per request. Trivially
+//!   scriptable with `nc`.
+//! * **Binary** — negotiated by the first four bytes of the connection
+//!   being the magic [`BINARY_MAGIC`] (`"PGB1"`). After the magic, every
+//!   frame in both directions is `u32` little-endian payload length
+//!   followed by that many payload bytes. A JSON object can never begin
+//!   with `P`, so the negotiation is unambiguous on the first byte.
+//!
+//! [`FrameBuf`] is the shared incremental parser: bytes drained from a
+//! nonblocking socket are pushed in arbitrary splits (byte-by-byte,
+//! coalesced, mid-frame) and complete frames come out, each produced
+//! exactly once. Malformed *payloads* are recoverable (the connection
+//! answers `bad_request` and lives on); an unframeable *stream* — an
+//! oversized line or length prefix — is fatal after one final error
+//! response, because the remaining bytes cannot be re-synchronized.
+//!
+//! # Binary request payloads
+//!
+//! The first payload byte is a tag. Tag `0x00` escapes to JSON: the rest
+//! of the payload is a UTF-8 JSON request object, giving binary clients
+//! the full op surface. Tags `0x01..=0x04` are compact encodings of the
+//! four hot point-query ops:
+//!
+//! ```text
+//! tag   op       fields after the tag
+//! 0x01  bfs      name_len:u8  name  src:u32le  flags:u8  [dst:u32le]  [deadline_ms:u32le]
+//! 0x02  sssp     (same layout)
+//! 0x03  ptp      (same layout; the dst flag is mandatory)
+//! 0x04  oracle   (same layout)
+//! ```
+//!
+//! `flags` bit 0 = a destination/target vertex follows; bit 1 = a
+//! `deadline_ms` follows (after the optional dst). Worked example — the
+//! request `{"op":"bfs","graph":"g","src":3,"target":7}`:
+//!
+//! ```text
+//! 0c 00 00 00   frame length = 12
+//! 01            tag: bfs
+//! 01 67         name_len = 1, "g"
+//! 03 00 00 00   src = 3
+//! 01            flags: dst present
+//! 07 00 00 00   dst = 7
+//! ```
+//!
+//! # Binary response payloads
+//!
+//! Responses reuse the length-prefix framing. Payload tag `0x01` is the
+//! fast path for single-distance answers: `status:u8` (bit 0 = ok, bit 1
+//! = a distance follows, bit 2 = answered by the degraded lane) then
+//! `dist:u64le` when present. Every other reply — summaries, errors,
+//! metrics — is tag `0x00` followed by the usual JSON object, so nothing
+//! is expressible in one protocol but not the other.
+
+use crate::json::Json;
+use crate::query::ServiceError;
+
+/// Longest accepted frame (line or binary payload), in bytes.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Connection preamble selecting the binary protocol.
+pub const BINARY_MAGIC: [u8; 4] = *b"PGB1";
+
+/// Request tag: JSON payload (full op surface).
+pub const TAG_JSON: u8 = 0x00;
+/// Request tags of the compact hot-path encodings, in op order.
+pub const TAG_BFS: u8 = 0x01;
+pub const TAG_SSSP: u8 = 0x02;
+pub const TAG_PTP: u8 = 0x03;
+pub const TAG_ORACLE: u8 = 0x04;
+/// Response tag: single-distance fast path.
+pub const TAG_DIST: u8 = 0x01;
+
+/// Which framing a connection speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireMode {
+    /// Not enough bytes seen to rule the magic in or out (< 4 bytes, all
+    /// a prefix of [`BINARY_MAGIC`]).
+    Undecided,
+    /// `\n`-delimited JSON objects.
+    Lines,
+    /// Length-prefixed binary frames.
+    Binary,
+}
+
+/// A fatal framing error: the byte stream cannot be re-synchronized, so
+/// the connection must close after one final `bad_request` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// A line exceeded [`MAX_FRAME_BYTES`] before its newline appeared.
+    OversizedLine,
+    /// A binary length prefix exceeded [`MAX_FRAME_BYTES`].
+    OversizedFrame { len: usize },
+}
+
+impl FrameError {
+    /// The one `bad_request` sent before closing the connection.
+    pub fn to_response(&self) -> Json {
+        let msg = match self {
+            FrameError::OversizedLine => {
+                format!("request line exceeds {MAX_FRAME_BYTES} bytes")
+            }
+            FrameError::OversizedFrame { len } => {
+                format!("binary frame of {len} bytes exceeds {MAX_FRAME_BYTES}")
+            }
+        };
+        ServiceError::BadRequest(msg).to_json()
+    }
+}
+
+/// Incremental frame parser for one connection. Push bytes as they
+/// arrive; pull complete frame payloads out. Blank lines are consumed
+/// silently (they are not frames), matching the line protocol's
+/// historical behavior.
+#[derive(Debug)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted once it outgrows the tail.
+    start: usize,
+    mode: WireMode,
+    /// Pending binary payload length once the prefix is read.
+    want: Option<usize>,
+    fatal: bool,
+}
+
+impl Default for FrameBuf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameBuf {
+    /// Server-side parser: the mode is negotiated from the first bytes.
+    pub fn new() -> Self {
+        FrameBuf {
+            buf: Vec::new(),
+            start: 0,
+            mode: WireMode::Undecided,
+            want: None,
+            fatal: false,
+        }
+    }
+
+    /// Parser pinned to a known mode — the client side of the binary
+    /// protocol, where the server's response stream carries no magic.
+    pub fn with_mode(mode: WireMode) -> Self {
+        FrameBuf {
+            mode,
+            ..Self::new()
+        }
+    }
+
+    /// The negotiated framing (responses must be encoded to match).
+    pub fn mode(&self) -> WireMode {
+        self.mode
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Append freshly read bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact before growing: keeps the buffer bounded by
+        // MAX_FRAME_BYTES + one read's worth, not by connection lifetime.
+        if self.start > 0 && self.start >= self.buf.len().saturating_sub(self.start) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Extract the next complete frame payload, if any. After an `Err`
+    /// the parser is poisoned: the stream cannot be trusted past the
+    /// malformed framing, so every later call returns the same error.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        if self.fatal {
+            return Err(self.fatal_error());
+        }
+        if self.mode == WireMode::Undecided && !self.decide_mode() {
+            return Ok(None);
+        }
+        let out = match self.mode {
+            WireMode::Lines => self.next_line(),
+            WireMode::Binary => self.next_binary(),
+            WireMode::Undecided => unreachable!("mode decided above"),
+        };
+        if out.is_err() {
+            self.fatal = true;
+        }
+        out
+    }
+
+    fn fatal_error(&self) -> FrameError {
+        match self.mode {
+            WireMode::Binary => FrameError::OversizedFrame {
+                len: self.want.unwrap_or(0),
+            },
+            _ => FrameError::OversizedLine,
+        }
+    }
+
+    /// Try to fix the mode from the buffered prefix. Returns `false`
+    /// while still undecidable (fewer than 4 bytes, all matching the
+    /// magic prefix).
+    fn decide_mode(&mut self) -> bool {
+        let avail = &self.buf[self.start..];
+        let probe = avail.len().min(BINARY_MAGIC.len());
+        if avail[..probe] != BINARY_MAGIC[..probe] {
+            self.mode = WireMode::Lines;
+            return true;
+        }
+        if probe == BINARY_MAGIC.len() {
+            self.start += BINARY_MAGIC.len();
+            self.mode = WireMode::Binary;
+            return true;
+        }
+        false // a strict prefix of the magic: wait for more bytes
+    }
+
+    fn next_line(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        loop {
+            let avail = &self.buf[self.start..];
+            match avail.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    if i > MAX_FRAME_BYTES {
+                        return Err(FrameError::OversizedLine);
+                    }
+                    let mut line = avail[..i].to_vec();
+                    if line.ends_with(b"\r") {
+                        line.pop();
+                    }
+                    self.start += i + 1;
+                    if line.iter().all(|b| b.is_ascii_whitespace()) {
+                        continue; // blank line: not a frame
+                    }
+                    return Ok(Some(line));
+                }
+                None => {
+                    if avail.len() > MAX_FRAME_BYTES {
+                        return Err(FrameError::OversizedLine);
+                    }
+                    return Ok(None);
+                }
+            }
+        }
+    }
+
+    fn next_binary(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        let want = match self.want {
+            Some(w) => w,
+            None => {
+                let avail = &self.buf[self.start..];
+                if avail.len() < 4 {
+                    return Ok(None);
+                }
+                let len = u32::from_le_bytes(avail[..4].try_into().expect("4-byte slice")) as usize;
+                if len > MAX_FRAME_BYTES {
+                    return Err(FrameError::OversizedFrame { len });
+                }
+                self.start += 4;
+                self.want = Some(len);
+                len
+            }
+        };
+        let avail = &self.buf[self.start..];
+        if avail.len() < want {
+            return Ok(None);
+        }
+        let payload = avail[..want].to_vec();
+        self.start += want;
+        self.want = None;
+        Ok(Some(payload))
+    }
+}
+
+/// Decode one frame payload into a JSON request object, independent of
+/// which framing delivered it. Errors are `bad_request` messages; the
+/// connection stays usable.
+pub fn decode_request(mode: WireMode, payload: &[u8]) -> Result<Json, String> {
+    match mode {
+        WireMode::Binary => decode_binary_request(payload),
+        _ => {
+            let line = std::str::from_utf8(payload)
+                .map_err(|_| "request line is not valid UTF-8".to_string())?;
+            crate::json::parse(line).map_err(|e| format!("invalid JSON: {e}"))
+        }
+    }
+}
+
+/// Decode a binary request payload (tag byte + fields) into the same
+/// JSON object shape the line protocol parses, so both framings share
+/// one validation and dispatch path.
+pub fn decode_binary_request(payload: &[u8]) -> Result<Json, String> {
+    let (&tag, rest) = payload
+        .split_first()
+        .ok_or_else(|| "empty binary frame".to_string())?;
+    if tag == TAG_JSON {
+        let text = std::str::from_utf8(rest)
+            .map_err(|_| "binary JSON payload is not valid UTF-8".to_string())?;
+        return crate::json::parse(text).map_err(|e| format!("invalid JSON: {e}"));
+    }
+    let (op, dst_field) = match tag {
+        TAG_BFS => ("bfs", "target"),
+        TAG_SSSP => ("sssp", "target"),
+        TAG_PTP => ("ptp", "dst"),
+        TAG_ORACLE => ("oracle", "dst"),
+        other => return Err(format!("unknown binary request tag 0x{other:02x}")),
+    };
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], String> {
+        let s = rest
+            .get(*pos..*pos + n)
+            .ok_or_else(|| format!("truncated binary {op} request"))?;
+        *pos += n;
+        Ok(s)
+    };
+    let name_len = take(&mut pos, 1)?[0] as usize;
+    let name = std::str::from_utf8(take(&mut pos, name_len)?)
+        .map_err(|_| "graph name is not valid UTF-8".to_string())?
+        .to_string();
+    let src = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes"));
+    let flags = take(&mut pos, 1)?[0];
+    if flags & !0b11 != 0 {
+        return Err(format!("unknown binary request flags 0x{flags:02x}"));
+    }
+    if tag == TAG_PTP && flags & 1 == 0 {
+        return Err("ptp requires a destination (flags bit 0)".to_string());
+    }
+    let mut fields = vec![
+        ("op".to_string(), Json::from(op)),
+        ("graph".to_string(), Json::Str(name)),
+        ("src".to_string(), Json::from(src)),
+    ];
+    if flags & 1 != 0 {
+        let dst = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes"));
+        fields.push((dst_field.to_string(), Json::from(dst)));
+    }
+    if flags & 2 != 0 {
+        let ms = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes"));
+        fields.push(("deadline_ms".to_string(), Json::from(ms)));
+    }
+    if pos != rest.len() {
+        return Err(format!(
+            "trailing bytes after binary {op} request ({} extra)",
+            rest.len() - pos
+        ));
+    }
+    Ok(Json::Obj(fields.into_iter().collect()))
+}
+
+/// Encode one hot-path binary request (tests and the loadgen client).
+pub fn encode_binary_request(
+    tag: u8,
+    graph: &str,
+    src: u32,
+    dst: Option<u32>,
+    deadline_ms: Option<u32>,
+    out: &mut Vec<u8>,
+) {
+    let payload_len =
+        1 + 1 + graph.len() + 4 + 1 + dst.map_or(0, |_| 4) + deadline_ms.map_or(0, |_| 4);
+    out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    out.push(tag);
+    out.push(graph.len() as u8);
+    out.extend_from_slice(graph.as_bytes());
+    out.extend_from_slice(&src.to_le_bytes());
+    let flags = dst.map_or(0, |_| 1u8) | deadline_ms.map_or(0, |_| 2u8);
+    out.push(flags);
+    if let Some(d) = dst {
+        out.extend_from_slice(&d.to_le_bytes());
+    }
+    if let Some(ms) = deadline_ms {
+        out.extend_from_slice(&ms.to_le_bytes());
+    }
+}
+
+/// Append `response` to `out` in the connection's framing: a JSON line,
+/// or a length-prefixed binary frame (single-distance answers take the
+/// compact [`TAG_DIST`] form, everything else is framed JSON).
+pub fn encode_response(mode: WireMode, response: &Json, out: &mut Vec<u8>) {
+    match mode {
+        WireMode::Binary => {
+            if let Some((status, dist)) = dist_shape(response) {
+                let len = 2 + if dist.is_some() { 8 } else { 0 };
+                out.extend_from_slice(&(len as u32).to_le_bytes());
+                out.push(TAG_DIST);
+                out.push(status);
+                if let Some(d) = dist {
+                    out.extend_from_slice(&d.to_le_bytes());
+                }
+            } else {
+                let text = response.to_string();
+                out.extend_from_slice(&(1 + text.len() as u32).to_le_bytes());
+                out.push(TAG_JSON);
+                out.extend_from_slice(text.as_bytes());
+            }
+        }
+        _ => {
+            let text = response.to_string();
+            out.extend_from_slice(text.as_bytes());
+            out.push(b'\n');
+        }
+    }
+}
+
+/// Match the `{"ok":true,"dist":…}` reply shape (optionally with
+/// `"degraded":true`) and fold it into the compact status byte: bit 0 =
+/// ok, bit 1 = distance present, bit 2 = degraded.
+fn dist_shape(response: &Json) -> Option<(u8, Option<u64>)> {
+    let Json::Obj(map) = response else {
+        return None;
+    };
+    if response.get("ok") != Some(&Json::Bool(true)) || map.len() > 3 {
+        return None;
+    }
+    let degraded = match map.len() {
+        3 => {
+            if response.get("degraded") != Some(&Json::Bool(true)) {
+                return None;
+            }
+            true
+        }
+        2 => false,
+        _ => return None,
+    };
+    let (status_deg, dist) = match response.get("dist")? {
+        Json::Null => (0u8, None),
+        v => (2u8, Some(v.as_u64()?)),
+    };
+    Some((1 | status_deg | if degraded { 4 } else { 0 }, dist))
+}
+
+/// Decode a binary response payload (the loadgen client and tests):
+/// either the compact distance form or the embedded JSON object.
+pub fn decode_binary_response(payload: &[u8]) -> Result<Json, String> {
+    let (&tag, rest) = payload
+        .split_first()
+        .ok_or_else(|| "empty binary response".to_string())?;
+    match tag {
+        TAG_JSON => {
+            let text = std::str::from_utf8(rest).map_err(|_| "non-UTF-8 response".to_string())?;
+            crate::json::parse(text).map_err(|e| format!("invalid response JSON: {e}"))
+        }
+        TAG_DIST => {
+            let status = *rest.first().ok_or("truncated dist response")?;
+            let mut fields = vec![("ok".to_string(), Json::Bool(status & 1 != 0))];
+            if status & 2 != 0 {
+                let d = u64::from_le_bytes(
+                    rest.get(1..9)
+                        .ok_or("truncated dist response")?
+                        .try_into()
+                        .expect("8 bytes"),
+                );
+                fields.push(("dist".to_string(), Json::from(d)));
+            } else {
+                fields.push(("dist".to_string(), Json::Null));
+            }
+            if status & 4 != 0 {
+                fields.push(("degraded".to_string(), Json::Bool(true)));
+            }
+            Ok(Json::Obj(fields.into_iter().collect()))
+        }
+        other => Err(format!("unknown binary response tag 0x{other:02x}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames_from(chunks: &[&[u8]]) -> (Vec<Vec<u8>>, Option<FrameError>, WireMode) {
+        let mut fb = FrameBuf::new();
+        let mut frames = Vec::new();
+        let mut err = None;
+        'outer: for chunk in chunks {
+            fb.push(chunk);
+            loop {
+                match fb.next_frame() {
+                    Ok(Some(f)) => frames.push(f),
+                    Ok(None) => break,
+                    Err(e) => {
+                        err = Some(e);
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        (frames, err, fb.mode())
+    }
+
+    #[test]
+    fn lines_split_and_coalesced() {
+        let (frames, err, mode) = frames_from(&[b"{\"op\":\"a\"}\n{\"op\":", b"\"b\"}\n\n"]);
+        assert_eq!(err, None);
+        assert_eq!(mode, WireMode::Lines);
+        assert_eq!(
+            frames,
+            vec![b"{\"op\":\"a\"}".to_vec(), b"{\"op\":\"b\"}".to_vec()]
+        );
+    }
+
+    #[test]
+    fn byte_by_byte_line() {
+        let mut fb = FrameBuf::new();
+        let text = b"{\"op\":\"stats\",\"graph\":\"g\"}\n";
+        let mut frames = Vec::new();
+        for &b in text.iter() {
+            fb.push(&[b]);
+            while let Ok(Some(f)) = fb.next_frame() {
+                frames.push(f);
+            }
+        }
+        assert_eq!(frames.len(), 1);
+        assert_eq!(&frames[0], &text[..text.len() - 1]);
+    }
+
+    #[test]
+    fn crlf_and_blank_lines_tolerated() {
+        let (frames, err, _) = frames_from(&[b"{\"a\":1}\r\n   \n\t\n{\"b\":2}\n"]);
+        assert_eq!(err, None);
+        assert_eq!(frames, vec![b"{\"a\":1}".to_vec(), b"{\"b\":2}".to_vec()]);
+    }
+
+    #[test]
+    fn oversized_line_is_fatal_and_sticky() {
+        let mut fb = FrameBuf::new();
+        fb.push(&vec![b'x'; MAX_FRAME_BYTES + 2]);
+        assert_eq!(fb.next_frame(), Err(FrameError::OversizedLine));
+        fb.push(b"\n{\"op\":\"stats\"}\n");
+        assert!(
+            fb.next_frame().is_err(),
+            "poisoned parser must stay poisoned"
+        );
+    }
+
+    #[test]
+    fn binary_negotiation_and_frames() {
+        let mut stream = BINARY_MAGIC.to_vec();
+        encode_binary_request(TAG_BFS, "g", 3, Some(7), None, &mut stream);
+        encode_binary_request(TAG_ORACLE, "road", 9, None, Some(250), &mut stream);
+        // feed in awkward splits: magic split mid-way, frames split too
+        let (a, b) = stream.split_at(2);
+        let (b1, b2) = b.split_at(7);
+        let (frames, err, mode) = frames_from(&[a, b1, b2]);
+        assert_eq!(err, None);
+        assert_eq!(mode, WireMode::Binary);
+        assert_eq!(frames.len(), 2);
+        let r0 = decode_binary_request(&frames[0]).unwrap();
+        assert_eq!(r0.get("op").and_then(Json::as_str), Some("bfs"));
+        assert_eq!(r0.get("graph").and_then(Json::as_str), Some("g"));
+        assert_eq!(r0.get("src").and_then(Json::as_u64), Some(3));
+        assert_eq!(r0.get("target").and_then(Json::as_u64), Some(7));
+        let r1 = decode_binary_request(&frames[1]).unwrap();
+        assert_eq!(r1.get("op").and_then(Json::as_str), Some("oracle"));
+        assert_eq!(r1.get("deadline_ms").and_then(Json::as_u64), Some(250));
+        assert_eq!(r1.get("dst"), None);
+    }
+
+    #[test]
+    fn worked_byte_example_from_the_docs() {
+        // {"op":"bfs","graph":"g","src":3,"target":7} — the DESIGN.md §18
+        // worked example, byte for byte.
+        let mut out = Vec::new();
+        encode_binary_request(TAG_BFS, "g", 3, Some(7), None, &mut out);
+        assert_eq!(
+            out,
+            vec![
+                0x0c, 0x00, 0x00, 0x00, // length = 12
+                0x01, // tag bfs
+                0x01, 0x67, // name_len = 1, "g"
+                0x03, 0x00, 0x00, 0x00, // src = 3
+                0x01, // flags: dst present
+                0x07, 0x00, 0x00, 0x00, // dst = 7
+            ]
+        );
+    }
+
+    #[test]
+    fn binary_oversized_length_is_fatal() {
+        let mut fb = FrameBuf::new();
+        fb.push(&BINARY_MAGIC);
+        fb.push(&(MAX_FRAME_BYTES as u32 + 1).to_le_bytes());
+        assert!(matches!(
+            fb.next_frame(),
+            Err(FrameError::OversizedFrame { .. })
+        ));
+    }
+
+    #[test]
+    fn magic_prefix_wait_then_lines() {
+        // "PG" could still become the magic; "PGX" cannot. The parser
+        // must hold off on 2 bytes, then fall back to line mode (where
+        // the bytes form an eventual bad_request line, not a lost frame).
+        let mut fb = FrameBuf::new();
+        fb.push(b"PG");
+        assert_eq!(fb.next_frame(), Ok(None));
+        assert_eq!(fb.mode(), WireMode::Undecided);
+        fb.push(b"X is not json\n");
+        let f = fb.next_frame().unwrap().unwrap();
+        assert_eq!(fb.mode(), WireMode::Lines);
+        assert_eq!(f, b"PGX is not json".to_vec());
+    }
+
+    #[test]
+    fn malformed_binary_payloads_are_recoverable() {
+        for payload in [
+            vec![],                                // empty
+            vec![0x99],                            // unknown tag
+            vec![TAG_BFS, 5, b'g'],                // truncated name
+            vec![TAG_PTP, 1, b'g', 0, 0, 0, 0, 0], // ptp without dst flag
+            vec![TAG_BFS, 1, b'g', 0, 0, 0, 0, 9], // bad flags
+        ] {
+            assert!(decode_binary_request(&payload).is_err(), "{payload:?}");
+        }
+        // a valid frame still decodes afterwards (parser state is per
+        // connection, decode is stateless)
+        let mut buf = Vec::new();
+        encode_binary_request(TAG_SSSP, "g", 1, None, None, &mut buf);
+        assert!(decode_binary_request(&buf[4..]).is_ok());
+    }
+
+    #[test]
+    fn response_roundtrip_both_shapes() {
+        for resp in [
+            crate::json::parse(r#"{"ok":true,"dist":13}"#).unwrap(),
+            crate::json::parse(r#"{"ok":true,"dist":null}"#).unwrap(),
+            crate::json::parse(r#"{"ok":true,"dist":5,"degraded":true}"#).unwrap(),
+            crate::json::parse(r#"{"ok":false,"kind":"bad_request","error":"nope"}"#).unwrap(),
+            crate::json::parse(r#"{"ok":true,"reached":54,"max_dist":13}"#).unwrap(),
+        ] {
+            let mut wire = Vec::new();
+            encode_response(WireMode::Binary, &resp, &mut wire);
+            let mut fb = FrameBuf::with_mode(WireMode::Binary);
+            fb.push(&wire);
+            let payload = fb.next_frame().unwrap().unwrap();
+            let back = decode_binary_response(&payload).unwrap();
+            for key in ["ok", "dist", "degraded", "kind", "reached"] {
+                assert_eq!(back.get(key), resp.get(key), "{resp} key {key}");
+            }
+            // line mode stays a plain JSON line
+            let mut line = Vec::new();
+            encode_response(WireMode::Lines, &resp, &mut line);
+            assert_eq!(line.last(), Some(&b'\n'));
+        }
+    }
+}

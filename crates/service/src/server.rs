@@ -374,8 +374,14 @@ pub fn handle_line_with_token(service: &Service, line: &str, token: &CancelToken
         Ok(v) => v,
         Err(e) => return ServiceError::BadRequest(format!("invalid JSON: {e}")).to_json(),
     };
+    handle_request(service, &request, token)
+}
+
+/// Process one already-parsed request object against one service — the
+/// shared dispatch both front ends and the shard router go through.
+pub fn handle_request(service: &Service, request: &Json, token: &CancelToken) -> Json {
     match request.get("op").and_then(Json::as_str) {
-        Some("register") => handle_register(service, &request),
+        Some("register") => handle_register(service, request),
         Some("unregister") => {
             let Some(name) = request.get("name").and_then(Json::as_str) else {
                 return ServiceError::BadRequest("missing string field \"name\"".into()).to_json();
@@ -405,7 +411,7 @@ pub fn handle_line_with_token(service: &Service, line: &str, token: &CancelToken
                 .collect();
             Json::obj([("ok", Json::Bool(true)), ("graphs", Json::Arr(graphs))])
         }
-        _ => match parse_query_and_mode(&request) {
+        _ => match parse_query_and_mode(request) {
             Ok((q, mode, deadline)) => {
                 let bounded;
                 let token = match deadline {
@@ -437,7 +443,7 @@ fn parse_query_and_mode(
     Ok((q, mode, deadline))
 }
 
-fn handle_register(service: &Service, request: &Json) -> Json {
+pub(crate) fn handle_register(service: &Service, request: &Json) -> Json {
     let (Some(name), Some(path)) = (
         request.get("name").and_then(Json::as_str),
         request.get("path").and_then(Json::as_str),

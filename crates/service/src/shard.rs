@@ -1,0 +1,353 @@
+//! Per-graph sharding of the worker pool and result cache.
+//!
+//! A [`ShardedService`] is a fixed array of complete [`Service`]
+//! instances. Each shard keeps the whole existing stack — bounded worker
+//! pool, single-flight batcher, LRU cache, circuit breakers, cost-aware
+//! admission, brownout controller — wired exactly as in the single-shard
+//! service; nothing in that machinery knows sharding exists. A graph
+//! lives on the shard its name hashes to (stable FNV-1a), so a hot graph
+//! saturating its shard's queue and workers cannot starve queries
+//! against graphs on other shards: admission control, queue debt, and
+//! brownout are all per-shard state.
+//!
+//! The fan-in ops (`metrics`, `health`, `list`) aggregate across shards;
+//! everything else routes by graph name. Aggregated metrics stay subject
+//! to every conservation identity because the identities are linear (see
+//! [`MetricsSnapshot::merge`]).
+
+use crate::json::Json;
+use crate::metrics::MetricsSnapshot;
+use crate::query::{Query, Reply, ServiceError};
+use crate::server;
+use crate::service::{Service, ServiceConfig};
+use pasgal_core::common::CancelToken;
+use pasgal_graph::storage::GraphStore;
+use std::sync::Arc;
+
+/// Stable 64-bit FNV-1a, the shard routing hash. Not `DefaultHasher`:
+/// routing must not change across std versions, or a restart would move
+/// graphs between shards with different tuning.
+pub fn shard_hash(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A fixed set of [`Service`] shards routed by graph name.
+pub struct ShardedService {
+    shards: Vec<Arc<Service>>,
+}
+
+impl ShardedService {
+    /// Build `num_shards` shards from `config`. The worker budget is
+    /// divided across shards (at least one each); every other knob —
+    /// queue capacity, cache size, timeouts, resilience, faults — is
+    /// replicated per shard, preserving the single-shard wiring within
+    /// each.
+    pub fn new(config: ServiceConfig, num_shards: usize) -> ShardedService {
+        let num_shards = num_shards.max(1);
+        let per_shard_workers = (config.workers / num_shards).max(1);
+        let shards = (0..num_shards)
+            .map(|_| {
+                Arc::new(Service::new(ServiceConfig {
+                    workers: per_shard_workers,
+                    ..config.clone()
+                }))
+            })
+            .collect();
+        ShardedService { shards }
+    }
+
+    /// Wrap a single existing service as a one-shard "fleet" (the
+    /// `--shards 1` path; routing degenerates to the identity).
+    pub fn from_single(service: Arc<Service>) -> ShardedService {
+        ShardedService {
+            shards: vec![service],
+        }
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn shards(&self) -> &[Arc<Service>] {
+        &self.shards
+    }
+
+    /// The shard index `name` routes to.
+    pub fn shard_index(&self, name: &str) -> usize {
+        (shard_hash(name) % self.shards.len() as u64) as usize
+    }
+
+    /// The shard owning graph `name`.
+    pub fn shard_for(&self, name: &str) -> &Arc<Service> {
+        &self.shards[self.shard_index(name)]
+    }
+
+    /// Register a graph on its home shard.
+    pub fn register(&self, name: &str, graph: impl Into<GraphStore>) {
+        self.shard_for(name).register(name, graph);
+    }
+
+    /// Unregister a graph from its home shard.
+    pub fn unregister(&self, name: &str) -> bool {
+        self.shard_for(name).unregister(name)
+    }
+
+    /// Fleet-wide metrics: every shard's snapshot merged.
+    pub fn merged_metrics(&self) -> MetricsSnapshot {
+        let mut it = self.shards.iter().map(|s| s.metrics());
+        let mut merged = it.next().expect("at least one shard");
+        for snap in it {
+            merged.merge(&snap);
+        }
+        merged
+    }
+
+    /// Cancel all in-flight work on every shard (shutdown path).
+    pub fn cancel_inflight(&self) {
+        for shard in &self.shards {
+            shard.cancel_inflight();
+        }
+    }
+}
+
+/// Route one parsed request through the shard fleet. Fan-in ops
+/// aggregate; everything else goes to the graph's home shard via the
+/// same [`server::handle_request`] dispatch the single-shard front end
+/// uses. Requests that name no graph (including malformed ones) land on
+/// shard 0, whose parser produces the authoritative `bad_request`.
+pub fn handle_sharded_request(
+    sharded: &ShardedService,
+    request: &Json,
+    token: &CancelToken,
+) -> Json {
+    match request.get("op").and_then(Json::as_str) {
+        Some("metrics") => sharded.merged_metrics().to_json(),
+        Some("health") => merged_health(sharded, token),
+        Some("list") => merged_list(sharded),
+        Some("register") => {
+            let Some(name) = request.get("name").and_then(Json::as_str) else {
+                return ServiceError::BadRequest("register needs \"name\" and \"path\"".into())
+                    .to_json();
+            };
+            server::handle_register(sharded.shard_for(name), request)
+        }
+        Some("unregister") => {
+            let Some(name) = request.get("name").and_then(Json::as_str) else {
+                return ServiceError::BadRequest("missing string field \"name\"".into()).to_json();
+            };
+            server::handle_request(sharded.shard_for(name), request, token)
+        }
+        _ => {
+            let shard = match request.get("graph").and_then(Json::as_str) {
+                Some(name) => sharded.shard_for(name),
+                None => &sharded.shards()[0],
+            };
+            server::handle_request(shard, request, token)
+        }
+    }
+}
+
+/// Merge every shard's `list` into one name-sorted catalog view.
+fn merged_list(sharded: &ShardedService) -> Json {
+    let mut rows: Vec<(String, usize, usize, String, usize)> = Vec::new();
+    for shard in sharded.shards() {
+        let sizes = shard.catalog().list();
+        let storage = shard.catalog().storage_report();
+        for ((name, n, m), (_, kind, bytes)) in sizes.into_iter().zip(storage) {
+            rows.push((name, n, m, kind.as_str().to_string(), bytes));
+        }
+    }
+    rows.sort();
+    let graphs = rows
+        .into_iter()
+        .map(|(name, n, m, kind, bytes)| {
+            Json::obj([
+                ("name", Json::from(name)),
+                ("n", Json::from(n)),
+                ("m", Json::from(m)),
+                ("storage", Json::from(kind)),
+                ("resident_bytes", Json::from(bytes)),
+            ])
+        })
+        .collect();
+    Json::obj([("ok", Json::Bool(true)), ("graphs", Json::Arr(graphs))])
+}
+
+/// Merge every shard's health: the fleet is ready iff every shard is,
+/// capacities and catalogs sum, breaker/storage reports concatenate
+/// (re-sorted).
+fn merged_health(sharded: &ShardedService, token: &CancelToken) -> Json {
+    let mut ready = true;
+    let mut workers = 0usize;
+    let mut workers_busy = 0u64;
+    let mut graphs = 0usize;
+    let mut breakers: Vec<(String, String)> = Vec::new();
+    let mut storage: Vec<(String, String, usize)> = Vec::new();
+    for shard in sharded.shards() {
+        match shard.query_full(&Query::Health, token, crate::query::QueryMode::Normal) {
+            Ok(answer) => match answer.reply {
+                Reply::Health {
+                    ready: r,
+                    workers: w,
+                    workers_busy: wb,
+                    graphs: g,
+                    breakers: b,
+                    storage: s,
+                } => {
+                    ready &= r;
+                    workers += w;
+                    workers_busy += wb;
+                    graphs += g;
+                    breakers.extend(b);
+                    storage.extend(s);
+                }
+                other => {
+                    return ServiceError::Internal(format!(
+                        "health produced unexpected reply {other:?}"
+                    ))
+                    .to_json()
+                }
+            },
+            Err(e) => return e.to_json(),
+        }
+    }
+    breakers.sort();
+    storage.sort();
+    Reply::Health {
+        ready,
+        workers,
+        workers_busy,
+        graphs,
+        breakers,
+        storage,
+    }
+    .to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasgal_graph::gen::basic::grid2d;
+
+    fn fleet(shards: usize) -> ShardedService {
+        ShardedService::new(
+            ServiceConfig {
+                workers: 4,
+                queue_capacity: 8,
+                ..ServiceConfig::default()
+            },
+            shards,
+        )
+    }
+
+    #[test]
+    fn hash_is_stable_and_spreads() {
+        // pinned values: changing the routing hash silently re-homes
+        // every registered graph, so lock it down
+        assert_eq!(shard_hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(shard_hash("a"), 0xaf63_dc4c_8601_ec8c);
+        let spread: std::collections::HashSet<usize> = (0..64)
+            .map(|i| (shard_hash(&format!("graph-{i}")) % 4) as usize)
+            .collect();
+        assert_eq!(spread.len(), 4, "64 names must reach all 4 shards");
+    }
+
+    #[test]
+    fn routing_is_consistent_and_queries_work() {
+        let fleet = fleet(4);
+        for name in ["alpha", "beta", "gamma", "delta", "epsilon"] {
+            fleet.register(name, grid2d(4, 4));
+            let home = fleet.shard_index(name);
+            // the graph exists on exactly its home shard
+            for (i, shard) in fleet.shards().iter().enumerate() {
+                let found = shard.catalog().list().iter().any(|(n, _, _)| n == name);
+                assert_eq!(found, i == home, "{name} on shard {i}");
+            }
+            let req = crate::json::parse(&format!(
+                r#"{{"op":"bfs","graph":"{name}","src":0,"target":15}}"#
+            ))
+            .unwrap();
+            let r = handle_sharded_request(&fleet, &req, &CancelToken::new());
+            assert_eq!(r.get("dist").and_then(Json::as_u64), Some(6), "{r}");
+        }
+        assert!(fleet.unregister("alpha"));
+        assert!(!fleet.unregister("alpha"));
+    }
+
+    #[test]
+    fn fan_in_ops_aggregate() {
+        let fleet = fleet(4);
+        fleet.register("one", grid2d(3, 3));
+        fleet.register("two", grid2d(4, 4));
+        fleet.register("three", grid2d(5, 5));
+        let tok = CancelToken::new();
+        let list = handle_sharded_request(
+            &fleet,
+            &crate::json::parse(r#"{"op":"list"}"#).unwrap(),
+            &tok,
+        );
+        let names: Vec<&str> = match list.get("graphs").unwrap() {
+            Json::Arr(gs) => gs
+                .iter()
+                .map(|g| g.get("name").unwrap().as_str().unwrap())
+                .collect(),
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(names, ["one", "three", "two"], "sorted across shards");
+
+        let health = handle_sharded_request(
+            &fleet,
+            &crate::json::parse(r#"{"op":"health"}"#).unwrap(),
+            &tok,
+        );
+        assert_eq!(health.get("ready").and_then(Json::as_bool), Some(true));
+        assert_eq!(health.get("graphs").and_then(Json::as_u64), Some(3));
+        // 4 workers over 4 shards: one each
+        assert_eq!(health.get("workers").and_then(Json::as_u64), Some(4));
+
+        // run a query on each graph, then merged metrics must cover all
+        for (name, far) in [("one", 8u32), ("two", 15), ("three", 24)] {
+            let req = crate::json::parse(&format!(
+                r#"{{"op":"bfs","graph":"{name}","src":0,"target":{far}}}"#
+            ))
+            .unwrap();
+            let r = handle_sharded_request(&fleet, &req, &tok);
+            assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+        }
+        let m = fleet.merged_metrics();
+        assert_eq!(m.queries, 3 + 4, "3 bfs + one health probe per shard");
+        assert!(m.reconciles());
+        let wire = handle_sharded_request(
+            &fleet,
+            &crate::json::parse(r#"{"op":"metrics"}"#).unwrap(),
+            &tok,
+        );
+        assert_eq!(wire.get("ok").and_then(Json::as_bool), Some(true));
+        assert!(wire.get("queries").and_then(Json::as_u64).unwrap() >= 7);
+    }
+
+    #[test]
+    fn graphless_and_unknown_requests_get_typed_errors() {
+        let fleet = fleet(2);
+        let tok = CancelToken::new();
+        for (req, kind) in [
+            (r#"{"op":"bfs","src":0}"#, "bad_request"),
+            (r#"{"op":"bfs","graph":"nope","src":0}"#, "unknown_graph"),
+            (r#"{"op":"register"}"#, "bad_request"),
+            (r#"{"op":"unregister"}"#, "bad_request"),
+            (r#"{"op":"teleport","graph":"x"}"#, "bad_request"),
+        ] {
+            let r = handle_sharded_request(&fleet, &crate::json::parse(req).unwrap(), &tok);
+            assert_eq!(
+                r.get("kind").and_then(Json::as_str),
+                Some(kind),
+                "{req} → {r}"
+            );
+        }
+    }
+}
